@@ -1,0 +1,205 @@
+(* Benchmark harness.
+
+   Default mode regenerates every table and figure of the paper's
+   evaluation (plus the extension studies) at full fidelity and prints
+   them as text tables — the reproduction artefact recorded in
+   EXPERIMENTS.md.
+
+     dune exec bench/main.exe                 # everything
+     dune exec bench/main.exe fig6 table4     # a subset
+     dune exec bench/main.exe micro           # Bechamel microbenches
+     dune exec bench/main.exe all micro       # both
+
+   The Bechamel suite has one Test.make per paper artefact, timing that
+   artefact's deterministic planning/model kernel (simulation-driven
+   measurements live in the default mode; iterating them under Bechamel
+   would take hours). *)
+
+module Common = Adept_experiments.Common
+module Registry = Adept_experiments.Registry
+module Demand = Adept_model.Demand
+
+let params = Adept_model.Params.diet_lyon
+
+let dgemm n = Adept_workload.Dgemm.(mflops (make n))
+
+(* ---------- paper artefact regeneration ---------- *)
+
+let run_experiments ids =
+  let ctx = Common.default_context in
+  let selected =
+    match ids with
+    | [] -> Registry.all
+    | ids ->
+        List.map
+          (fun id ->
+            match Registry.find id with
+            | Some e -> e
+            | None ->
+                prerr_endline ("unknown experiment id: " ^ id);
+                exit 1)
+          ids
+  in
+  List.iter
+    (fun (e : Registry.experiment) ->
+      let t0 = Unix.gettimeofday () in
+      let report = e.Registry.run ctx in
+      print_string (Common.render report);
+      Printf.printf "(regenerated in %.1fs)\n\n%!" (Unix.gettimeofday () -. t0))
+    selected
+
+(* ---------- Bechamel microbenches: one per table/figure ---------- *)
+
+let lyon n = Adept_platform.Generator.grid5000_lyon ~n ()
+
+let orsay seed n =
+  let rng = Adept_util.Rng.create seed in
+  Adept_platform.Generator.grid5000_orsay ~rng ~n ()
+
+let bench_table3 =
+  (* Table 3's kernel: the Wrep linear fit over star-deployment samples. *)
+  let platform = lyon 9 in
+  Bechamel.Test.make ~name:"table3/wrep-fit"
+    (Bechamel.Staged.stage (fun () ->
+         let samples =
+           Adept_calibration.Fit.star_reply_samples ~params ~platform
+             ~degrees:[ 1; 2; 4; 8 ] ~requests:5 ~wapp:(dgemm 100)
+         in
+         match Adept_calibration.Fit.fit_wrep ~power:730.0 samples with
+         | Ok fit -> ignore fit.Adept_calibration.Fit.wsel
+         | Error e -> failwith e))
+
+let bench_fig2_3 =
+  (* Figs. 2-3 kernel: Eq. 16 prediction for the two star deployments. *)
+  let platform = lyon 3 in
+  let nodes = Adept_platform.Platform.nodes platform in
+  let star1 = Adept_hierarchy.Tree.star (List.hd nodes) [ List.nth nodes 1 ] in
+  let star2 = Adept_hierarchy.Tree.star (List.hd nodes) (List.tl nodes) in
+  Bechamel.Test.make ~name:"fig2-3/predict"
+    (Bechamel.Staged.stage (fun () ->
+         ignore (Adept.Evaluate.rho_on params ~platform ~wapp:(dgemm 10) star1);
+         ignore (Adept.Evaluate.rho_on params ~platform ~wapp:(dgemm 10) star2)))
+
+let bench_fig4_5 =
+  (* Figs. 4-5 kernel: one simulated saturation point of the 2-server star. *)
+  let platform = lyon 3 in
+  let nodes = Adept_platform.Platform.nodes platform in
+  let tree = Adept_hierarchy.Tree.star (List.hd nodes) (List.tl nodes) in
+  let job = Adept_workload.Job.of_dgemm (Adept_workload.Dgemm.make 200) in
+  let scenario =
+    Adept_sim.Scenario.make ~params ~platform
+      ~client:(Adept_workload.Client.closed_loop job) tree
+  in
+  Bechamel.Test.make ~name:"fig4-5/simulate-point"
+    (Bechamel.Staged.stage (fun () ->
+         ignore (Adept_sim.Scenario.run_fixed scenario ~clients:10 ~warmup:0.5 ~duration:1.0)))
+
+let bench_table4 =
+  (* Table 4 kernel: heuristic + homogeneous degree search on 45 nodes. *)
+  let platform = lyon 45 in
+  Bechamel.Test.make ~name:"table4/plan-45-nodes"
+    (Bechamel.Staged.stage (fun () ->
+         ignore
+           (Adept.Heuristic.plan params ~platform ~wapp:(dgemm 310)
+              ~demand:Demand.unbounded);
+         ignore
+           (Adept.Homogeneous.plan params ~platform ~wapp:(dgemm 310)
+              ~demand:Demand.unbounded)))
+
+let bench_fig6 =
+  (* Fig. 6 kernel: the heuristic on the 200-node heterogeneous platform. *)
+  let platform = orsay 42 200 in
+  Bechamel.Test.make ~name:"fig6/plan-200-nodes"
+    (Bechamel.Staged.stage (fun () ->
+         ignore
+           (Adept.Heuristic.plan params ~platform ~wapp:(dgemm 310)
+              ~demand:Demand.unbounded)))
+
+let bench_fig7 =
+  (* Fig. 7 kernel: planning the service-limited regime on 200 nodes. *)
+  let platform = orsay 42 200 in
+  Bechamel.Test.make ~name:"fig7/plan-200-nodes"
+    (Bechamel.Staged.stage (fun () ->
+         ignore
+           (Adept.Heuristic.plan params ~platform ~wapp:(dgemm 1000)
+              ~demand:Demand.unbounded)))
+
+let bench_plan_2000 =
+  (* scalability of the planner well beyond the paper's 200 nodes *)
+  let platform = orsay 1 2000 in
+  Bechamel.Test.make ~name:"scale/plan-2000-nodes"
+    (Bechamel.Staged.stage (fun () ->
+         ignore
+           (Adept.Heuristic.plan params ~platform ~wapp:(dgemm 310)
+              ~demand:Demand.unbounded)))
+
+let bench_event_queue =
+  Bechamel.Test.make ~name:"substrate/event-queue-10k"
+    (Bechamel.Staged.stage (fun () ->
+         let q = Adept_sim.Event_queue.create () in
+         let rng = Adept_util.Rng.create 7 in
+         for _ = 1 to 10_000 do
+           Adept_sim.Event_queue.add q ~time:(Adept_util.Rng.float rng 100.0) ()
+         done;
+         let rec drain () =
+           match Adept_sim.Event_queue.pop_min q with
+           | Some _ -> drain ()
+           | None -> ()
+         in
+         drain ()))
+
+let bench_xml =
+  let platform = orsay 42 100 in
+  let tree =
+    match
+      Adept.Heuristic.plan_tree params ~platform ~wapp:(dgemm 310) ~demand:Demand.unbounded
+    with
+    | Ok t -> t
+    | Error e -> failwith e
+  in
+  Bechamel.Test.make ~name:"substrate/xml-roundtrip-100-nodes"
+    (Bechamel.Staged.stage (fun () ->
+         match Adept_hierarchy.Xml.of_string (Adept_hierarchy.Xml.to_string tree) with
+         | Ok _ -> ()
+         | Error e -> failwith e))
+
+let run_micro () =
+  let open Bechamel in
+  let benchmarks =
+    Test.make_grouped ~name:"adept"
+      [
+        bench_table3; bench_fig2_3; bench_fig4_5; bench_table4; bench_fig6;
+        bench_fig7; bench_plan_2000; bench_event_queue; bench_xml;
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 1.5) ~kde:(Some 1000) () in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let raw = Benchmark.all cfg instances benchmarks in
+  let results =
+    List.map (fun instance -> Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:true
+        ~predictors:[| Measure.run |]) instance raw)
+      instances
+  in
+  let results = Analyze.merge (Analyze.ols ~bootstrap:0 ~r_square:true
+      ~predictors:[| Measure.run |]) instances results in
+  (* plain-text report: nanoseconds per run for each benchmark *)
+  print_endline "Bechamel microbenches (time per run):";
+  Hashtbl.iter
+    (fun label by_bench ->
+      if label = Measure.label Toolkit.Instance.monotonic_clock then
+        Hashtbl.iter
+          (fun name ols ->
+            match Bechamel.Analyze.OLS.estimates ols with
+            | Some [ est ] -> Printf.printf "  %-40s %12.0f ns/run\n" name est
+            | _ -> Printf.printf "  %-40s (no estimate)\n" name)
+          by_bench)
+    results
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let micro = List.mem "micro" args in
+  let ids = List.filter (fun a -> a <> "micro" && a <> "all") args in
+  let run_all = args = [] || List.mem "all" args || (ids = [] && not micro) in
+  if run_all then run_experiments []
+  else if ids <> [] then run_experiments ids;
+  if micro then run_micro ()

@@ -1,0 +1,488 @@
+(* ADePT — Automatic Deployment Planning Tool (the paper's Section 6
+   "near future" objective, built on this library).
+
+   Subcommands:
+     platform   generate a platform catalog
+     plan       plan a deployment and print/export it
+     eval       evaluate a hierarchy XML against the model
+     simulate   measure a deployment in the discrete-event simulator
+     experiment run paper reproductions by id
+     bench-node measure this machine's MFlop/s (Linpack mini-benchmark)  *)
+
+open Cmdliner
+
+let exit_err msg =
+  prerr_endline ("adept: " ^ msg);
+  exit 1
+
+let params = Adept_model.Params.diet_lyon
+
+(* ---------- shared arguments ---------- *)
+
+let platform_file =
+  let doc = "Platform catalog file (see Catalog format in the README)." in
+  Arg.(value & opt (some string) None & info [ "platform" ] ~docv:"FILE" ~doc)
+
+let nodes_arg =
+  let doc = "Number of synthetic nodes when no catalog is given." in
+  Arg.(value & opt int 50 & info [ "nodes"; "n" ] ~docv:"N" ~doc)
+
+let power_arg =
+  let doc = "Node power in MFlop/s for synthetic platforms." in
+  Arg.(value & opt float 730.0 & info [ "power" ] ~docv:"MFLOPS" ~doc)
+
+let bandwidth_arg =
+  let doc = "Link bandwidth in Mbit/s for synthetic platforms." in
+  Arg.(value & opt float 1000.0 & info [ "bandwidth"; "B" ] ~docv:"MBITS" ~doc)
+
+let hetero_arg =
+  let doc =
+    "Heterogenise the synthetic platform with background load (the paper's \
+     Section 5.3 method)."
+  in
+  Arg.(value & flag & info [ "heterogeneous" ] ~doc)
+
+let seed_arg =
+  let doc = "Random seed for platform generation and simulation." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let dgemm_arg =
+  let doc = "DGEMM matrix order defining the workload." in
+  Arg.(value & opt int 310 & info [ "dgemm" ] ~docv:"N" ~doc)
+
+let demand_arg =
+  let doc = "Client demand in requests/s (default: unbounded)." in
+  Arg.(value & opt (some float) None & info [ "demand" ] ~docv:"REQS" ~doc)
+
+let strategy_arg =
+  let doc =
+    "Planning strategy: heuristic, star, balanced:<k>, dary:<d>, homogeneous, \
+     exhaustive."
+  in
+  Arg.(value & opt string "heuristic" & info [ "strategy" ] ~docv:"NAME" ~doc)
+
+let build_platform file n power bandwidth hetero seed =
+  match file with
+  | Some path -> (
+      match Adept_platform.Catalog.load path with
+      | Ok p -> p
+      | Error e -> exit_err ("cannot load platform: " ^ e))
+  | None ->
+      if hetero then
+        let rng = Adept_util.Rng.create seed in
+        Adept_platform.Generator.background_loaded ~bandwidth ~rng ~n ~power
+          ~load_fraction:0.65 ~load_levels:4 ()
+      else Adept_platform.Generator.homogeneous ~bandwidth ~n ~power ()
+
+let demand_of = function
+  | None -> Adept_model.Demand.unbounded
+  | Some r -> Adept_model.Demand.rate r
+
+(* Accept either a bare hierarchy XML or a full GoDIET deployment document. *)
+let load_hierarchy platform path =
+  let text =
+    match In_channel.with_open_text path In_channel.input_all with
+    | t -> t
+    | exception Sys_error e -> exit_err e
+  in
+  match Adept_hierarchy.Xml.of_string_on platform text with
+  | Ok tree -> tree
+  | Error direct_err -> (
+      match Adept_godiet.Writer.parse_document text with
+      | Ok shape -> (
+          match
+            Adept_hierarchy.Xml.of_string_on platform (Adept_hierarchy.Xml.to_string shape)
+          with
+          | Ok tree -> tree
+          | Error e -> exit_err ("cannot resolve hierarchy hosts: " ^ e))
+      | Error _ -> exit_err ("cannot parse hierarchy: " ^ direct_err))
+
+(* ---------- platform ---------- *)
+
+let platform_cmd =
+  let run file n power bandwidth hetero seed output =
+    let platform = build_platform file n power bandwidth hetero seed in
+    let text = Adept_platform.Catalog.to_string platform in
+    (match output with
+    | None -> print_string text
+    | Some path ->
+        Adept_platform.Catalog.save platform path;
+        Printf.printf "wrote %s\n" path);
+    Format.printf "%a@." Adept_platform.Platform.pp_summary platform
+  in
+  let output =
+    Arg.(value & opt (some string) None & info [ "output"; "o" ] ~docv:"FILE"
+           ~doc:"Write the catalog to this file.")
+  in
+  Cmd.v
+    (Cmd.info "platform" ~doc:"Generate or inspect a platform catalog")
+    Term.(const run $ platform_file $ nodes_arg $ power_arg $ bandwidth_arg
+          $ hetero_arg $ seed_arg $ output)
+
+(* ---------- plan ---------- *)
+
+let plan_cmd =
+  let run file n power bandwidth hetero seed dgemm demand strategy xml_out dot_out =
+    let platform = build_platform file n power bandwidth hetero seed in
+    let wapp = Adept_workload.Dgemm.(mflops (make dgemm)) in
+    let strategy =
+      match Adept.Planner.strategy_of_string strategy with
+      | Ok s -> s
+      | Error e -> exit_err e
+    in
+    match
+      Adept.Planner.run strategy params ~platform ~wapp ~demand:(demand_of demand)
+    with
+    | Error e -> exit_err e
+    | Ok plan ->
+        Format.printf "%a@." Adept.Planner.pp_plan plan;
+        (match
+           Adept_platform.Link.uniform_bandwidth (Adept_platform.Platform.link platform)
+         with
+        | Some bandwidth ->
+            Format.printf "%s@."
+              (Adept.Evaluate.report params ~bandwidth ~wapp plan.Adept.Planner.tree)
+        | None ->
+            Format.printf "rho (heterogeneous links) = %.2f req/s@."
+              (Adept.Evaluate.rho_hetero params ~platform ~wapp plan.Adept.Planner.tree));
+        Option.iter
+          (fun path ->
+            Adept_godiet.Writer.save platform plan.Adept.Planner.tree path;
+            Printf.printf "wrote GoDIET XML to %s\n" path)
+          xml_out;
+        Option.iter
+          (fun path ->
+            Adept_hierarchy.Dot.save plan.Adept.Planner.tree path;
+            Printf.printf "wrote DOT to %s\n" path)
+          dot_out
+  in
+  let xml_out =
+    Arg.(value & opt (some string) None & info [ "xml" ] ~docv:"FILE"
+           ~doc:"Export the plan as a GoDIET XML document.")
+  in
+  let dot_out =
+    Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"FILE"
+           ~doc:"Export the hierarchy as Graphviz DOT.")
+  in
+  Cmd.v
+    (Cmd.info "plan" ~doc:"Plan a middleware deployment")
+    Term.(const run $ platform_file $ nodes_arg $ power_arg $ bandwidth_arg
+          $ hetero_arg $ seed_arg $ dgemm_arg $ demand_arg $ strategy_arg
+          $ xml_out $ dot_out)
+
+(* ---------- eval ---------- *)
+
+let eval_cmd =
+  let run file n power bandwidth hetero seed dgemm xml =
+    let platform = build_platform file n power bandwidth hetero seed in
+    let wapp = Adept_workload.Dgemm.(mflops (make dgemm)) in
+    let tree = load_hierarchy platform xml in
+    Format.printf "%s@."
+      (Adept.Evaluate.report params
+         ~bandwidth:(Adept_platform.Platform.uniform_bandwidth platform)
+         ~wapp tree)
+  in
+  let xml =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"HIERARCHY_XML"
+           ~doc:"Hierarchy XML file to evaluate.")
+  in
+  Cmd.v
+    (Cmd.info "eval" ~doc:"Evaluate a hierarchy XML under the throughput model")
+    Term.(const run $ platform_file $ nodes_arg $ power_arg $ bandwidth_arg
+          $ hetero_arg $ seed_arg $ dgemm_arg $ xml)
+
+(* ---------- simulate ---------- *)
+
+let simulate_cmd =
+  let run file n power bandwidth hetero seed dgemm demand strategy clients warmup
+      duration =
+    let platform = build_platform file n power bandwidth hetero seed in
+    let wapp = Adept_workload.Dgemm.(mflops (make dgemm)) in
+    let strategy =
+      match Adept.Planner.strategy_of_string strategy with
+      | Ok s -> s
+      | Error e -> exit_err e
+    in
+    match
+      Adept.Planner.run strategy params ~platform ~wapp ~demand:(demand_of demand)
+    with
+    | Error e -> exit_err e
+    | Ok plan ->
+        Format.printf "%a@." Adept.Planner.pp_plan plan;
+        let job = Adept_workload.Job.of_dgemm (Adept_workload.Dgemm.make dgemm) in
+        let scenario =
+          Adept_sim.Scenario.make ~seed ~params ~platform
+            ~client:(Adept_workload.Client.closed_loop job)
+            plan.Adept.Planner.tree
+        in
+        let r = Adept_sim.Scenario.run_fixed scenario ~clients ~warmup ~duration in
+        Printf.printf
+          "simulated: %d clients -> %.2f req/s (model %.2f), %d completed, mean \
+           response %.4fs\n"
+          clients r.Adept_sim.Scenario.throughput plan.Adept.Planner.predicted_rho
+          r.Adept_sim.Scenario.completed_total
+          (Option.value ~default:Float.nan r.Adept_sim.Scenario.mean_response)
+  in
+  let clients =
+    Arg.(value & opt int 100 & info [ "clients" ] ~docv:"N"
+           ~doc:"Closed-loop client population.")
+  in
+  let warmup =
+    Arg.(value & opt float 2.0 & info [ "warmup" ] ~docv:"SECONDS"
+           ~doc:"Simulated warm-up before measurement.")
+  in
+  let duration =
+    Arg.(value & opt float 4.0 & info [ "duration" ] ~docv:"SECONDS"
+           ~doc:"Simulated measurement window.")
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Plan and measure a deployment in the simulator")
+    Term.(const run $ platform_file $ nodes_arg $ power_arg $ bandwidth_arg
+          $ hetero_arg $ seed_arg $ dgemm_arg $ demand_arg $ strategy_arg
+          $ clients $ warmup $ duration)
+
+(* ---------- compare ---------- *)
+
+let compare_cmd =
+  let run file n power bandwidth hetero seed dgemm demand strategies simulate clients =
+    let platform = build_platform file n power bandwidth hetero seed in
+    let wapp = Adept_workload.Dgemm.(mflops (make dgemm)) in
+    let strategies =
+      if strategies = [] then [ "heuristic"; "star"; "homogeneous" ] else strategies
+    in
+    let strategies =
+      List.map
+        (fun s ->
+          match Adept.Planner.strategy_of_string s with
+          | Ok st -> st
+          | Error e -> exit_err e)
+        strategies
+    in
+    let results =
+      Adept.Planner.compare_strategies params ~platform ~wapp ~demand:(demand_of demand)
+        strategies
+    in
+    let table =
+      List.fold_left
+        (fun table (strategy, outcome) ->
+          match outcome with
+          | Error e ->
+              Adept_util.Table.add_row table
+                [ Adept.Planner.strategy_name strategy; "error: " ^ e; "-"; "-" ]
+          | Ok plan ->
+              let measured =
+                if not simulate then "-"
+                else begin
+                  let job =
+                    Adept_workload.Job.of_dgemm (Adept_workload.Dgemm.make dgemm)
+                  in
+                  let scenario =
+                    Adept_sim.Scenario.make ~seed ~params ~platform
+                      ~client:(Adept_workload.Client.closed_loop job)
+                      plan.Adept.Planner.tree
+                  in
+                  let r =
+                    Adept_sim.Scenario.run_fixed scenario ~clients ~warmup:2.0
+                      ~duration:4.0
+                  in
+                  Adept_util.Table.cell_float r.Adept_sim.Scenario.throughput
+                end
+              in
+              Adept_util.Table.add_row table
+                [
+                  Adept.Planner.strategy_name strategy;
+                  Adept_hierarchy.Metrics.describe plan.Adept.Planner.tree;
+                  Adept_util.Table.cell_float plan.Adept.Planner.predicted_rho;
+                  measured;
+                ])
+        (Adept_util.Table.create
+           [ "strategy"; "shape"; "model rho"; "measured req/s" ])
+        results
+    in
+    print_string (Adept_util.Table.render table)
+  in
+  let strategies =
+    Arg.(value & pos_all string [] & info [] ~docv:"STRATEGY"
+           ~doc:"Strategies to compare (default: heuristic star homogeneous).")
+  in
+  let simulate =
+    Arg.(value & flag & info [ "measure" ]
+           ~doc:"Also measure each plan in the simulator.")
+  in
+  let clients =
+    Arg.(value & opt int 150 & info [ "clients" ] ~docv:"N"
+           ~doc:"Client population for --measure.")
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Plan with several strategies side by side")
+    Term.(const run $ platform_file $ nodes_arg $ power_arg $ bandwidth_arg
+          $ hetero_arg $ seed_arg $ dgemm_arg $ demand_arg $ strategies $ simulate
+          $ clients)
+
+(* ---------- improve ---------- *)
+
+let improve_cmd =
+  let run file n power bandwidth hetero seed dgemm xml xml_out =
+    let platform = build_platform file n power bandwidth hetero seed in
+    let wapp = Adept_workload.Dgemm.(mflops (make dgemm)) in
+    let tree = load_hierarchy platform xml in
+    (match Adept.Improver.improve params ~platform ~wapp tree with
+        | Error e -> exit_err e
+        | Ok r ->
+            let before = Adept.Evaluate.rho_on params ~platform ~wapp tree in
+            Printf.printf "rho %.2f -> %.2f req/s after %d change(s)%s\n" before
+              r.Adept.Improver.predicted_rho
+              (List.length r.Adept.Improver.steps)
+              (if r.Adept.Improver.converged then "" else " (iteration limit)");
+            List.iter
+              (fun (s : Adept.Improver.step) ->
+                let action =
+                  match s.Adept.Improver.action with
+                  | Adept.Improver.Added_server (srv, agent) ->
+                      Printf.sprintf "added server %d under agent %d" srv agent
+                  | Adept.Improver.Split_agent (agent, fresh) ->
+                      Printf.sprintf "split agent %d with new agent %d" agent fresh
+                  | Adept.Improver.Removed_server srv ->
+                      Printf.sprintf "removed server %d" srv
+                in
+                Printf.printf "  %s: %.2f -> %.2f req/s\n" action
+                  s.Adept.Improver.rho_before s.Adept.Improver.rho_after)
+              r.Adept.Improver.steps;
+            match xml_out with
+            | None -> print_string (Adept_hierarchy.Xml.to_string r.Adept.Improver.tree)
+            | Some path ->
+                Adept_hierarchy.Xml.save r.Adept.Improver.tree path;
+                Printf.printf "wrote improved hierarchy to %s\n" path)
+  in
+  let xml =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"HIERARCHY_XML"
+           ~doc:"Deployed hierarchy to improve.")
+  in
+  let xml_out =
+    Arg.(value & opt (some string) None & info [ "output"; "o" ] ~docv:"FILE"
+           ~doc:"Write the improved hierarchy here (default: stdout).")
+  in
+  Cmd.v
+    (Cmd.info "improve"
+       ~doc:"Iteratively remove the bottlenecks of an existing deployment")
+    Term.(const run $ platform_file $ nodes_arg $ power_arg $ bandwidth_arg
+          $ hetero_arg $ seed_arg $ dgemm_arg $ xml $ xml_out)
+
+(* ---------- latency ---------- *)
+
+let latency_cmd =
+  let run file n power bandwidth hetero seed dgemm demand strategy rates =
+    let platform = build_platform file n power bandwidth hetero seed in
+    let wapp = Adept_workload.Dgemm.(mflops (make dgemm)) in
+    let strategy =
+      match Adept.Planner.strategy_of_string strategy with
+      | Ok s -> s
+      | Error e -> exit_err e
+    in
+    match
+      Adept.Planner.run strategy params ~platform ~wapp ~demand:(demand_of demand)
+    with
+    | Error e -> exit_err e
+    | Ok plan ->
+        Format.printf "%a@." Adept.Planner.pp_plan plan;
+        let rho = plan.Adept.Planner.predicted_rho in
+        let rates =
+          if rates <> [] then rates
+          else List.map (fun f -> f *. rho) [ 0.25; 0.5; 0.75; 0.9; 0.99 ]
+        in
+        let b = Adept_platform.Platform.uniform_bandwidth platform in
+        List.iter
+          (fun rate ->
+            Format.printf "%a@."
+              Adept.Latency.pp
+              (Adept.Latency.estimate params ~bandwidth:b ~wapp ~rate
+                 plan.Adept.Planner.tree))
+          rates
+  in
+  let rates =
+    Arg.(value & opt_all float [] & info [ "rate" ] ~docv:"REQS"
+           ~doc:"Arrival rate to estimate at (repeatable; default: fractions of rho).")
+  in
+  Cmd.v
+    (Cmd.info "latency" ~doc:"Estimate response time under load for a planned deployment")
+    Term.(const run $ platform_file $ nodes_arg $ power_arg $ bandwidth_arg
+          $ hetero_arg $ seed_arg $ dgemm_arg $ demand_arg $ strategy_arg $ rates)
+
+(* ---------- experiment ---------- *)
+
+let experiment_cmd =
+  let run ids quick seed out_dir list_only =
+    if list_only then begin
+      List.iter
+        (fun (e : Adept_experiments.Registry.experiment) ->
+          Printf.printf "%-20s %s\n" e.id e.title)
+        Adept_experiments.Registry.all;
+      exit 0
+    end;
+    let ctx =
+      {
+        Adept_experiments.Common.fidelity =
+          (if quick then Adept_experiments.Common.Quick
+           else Adept_experiments.Common.Full);
+        seed;
+        out_dir;
+      }
+    in
+    let selected =
+      match ids with
+      | [] -> Adept_experiments.Registry.all
+      | ids ->
+          List.map
+            (fun id ->
+              match Adept_experiments.Registry.find id with
+              | Some e -> e
+              | None -> exit_err ("unknown experiment " ^ id))
+            ids
+    in
+    List.iter
+      (fun (e : Adept_experiments.Registry.experiment) ->
+        let report = e.run ctx in
+        print_string (Adept_experiments.Common.render report);
+        Adept_experiments.Common.write_series ctx report;
+        print_newline ())
+      selected
+  in
+  let ids =
+    Arg.(value & pos_all string [] & info [] ~docv:"ID"
+           ~doc:"Experiment ids (default: all). Use --list to see them.")
+  in
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Reduced sweeps for a fast pass.")
+  in
+  let out_dir =
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"DIR"
+           ~doc:"Write figure series as CSV files into this directory.")
+  in
+  let list_only = Arg.(value & flag & info [ "list" ] ~doc:"List experiment ids.") in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Run paper reproduction experiments")
+    Term.(const run $ ids $ quick $ seed_arg $ out_dir $ list_only)
+
+(* ---------- bench-node ---------- *)
+
+let bench_node_cmd =
+  let run () =
+    let daxpy = Adept_calibration.Linpack.daxpy_mflops () in
+    let dgemm = Adept_calibration.Linpack.dgemm_mflops () in
+    Printf.printf "daxpy: %.0f MFlop/s\ndgemm: %.0f MFlop/s\n" daxpy dgemm
+  in
+  Cmd.v
+    (Cmd.info "bench-node"
+       ~doc:"Measure this machine's MFlop/s with the Linpack mini-benchmark")
+    Term.(const run $ const ())
+
+let main =
+  let doc = "Automatic middleware deployment planning (ADePT)" in
+  Cmd.group
+    (Cmd.info "adept" ~version:"1.0.0" ~doc)
+    [
+      platform_cmd; plan_cmd; eval_cmd; simulate_cmd; compare_cmd; improve_cmd;
+      latency_cmd; experiment_cmd; bench_node_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

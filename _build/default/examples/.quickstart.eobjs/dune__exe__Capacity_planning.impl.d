@@ -1,0 +1,1 @@
+examples/capacity_planning.ml: Adept Adept_hierarchy Adept_model Adept_platform Adept_util Adept_workload List Printf

@@ -1,0 +1,1 @@
+examples/forecast_planning.ml: Adept Adept_calibration Adept_model Adept_platform Adept_util Adept_workload Array Float List Option Printf

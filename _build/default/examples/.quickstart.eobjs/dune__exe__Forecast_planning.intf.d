@@ -1,0 +1,1 @@
+examples/forecast_planning.mli:

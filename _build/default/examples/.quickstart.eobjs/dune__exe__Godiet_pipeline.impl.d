@@ -1,0 +1,1 @@
+examples/godiet_pipeline.ml: Adept Adept_godiet Adept_hierarchy Adept_model Adept_platform Adept_sim Adept_util Adept_workload List Printf Result String

@@ -1,0 +1,1 @@
+examples/godiet_pipeline.mli:

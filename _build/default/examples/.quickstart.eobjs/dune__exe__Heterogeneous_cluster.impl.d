@@ -1,0 +1,1 @@
+examples/heterogeneous_cluster.ml: Adept Adept_hierarchy Adept_model Adept_platform Adept_sim Adept_util Adept_workload Float Format List Option Printf Result

@@ -1,0 +1,1 @@
+examples/model_validation.ml: Adept Adept_hierarchy Adept_model Adept_platform Adept_sim Adept_util Adept_workload List Printf

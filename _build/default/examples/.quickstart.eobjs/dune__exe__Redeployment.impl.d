@@ -1,0 +1,1 @@
+examples/redeployment.ml: Adept Adept_godiet Adept_model Adept_platform Adept_sim Adept_workload Float List Option Printf Result

@@ -1,0 +1,41 @@
+(* Capacity planning: how many nodes does each target request rate need?
+
+   The heuristic prefers the deployment using the least resources once the
+   client demand is met (paper, Section 4), so sweeping the demand turns it
+   into a sizing tool: "we expect N req/s of DGEMM 310 — what do we rent?"
+
+     dune exec examples/capacity_planning.exe *)
+
+let () =
+  let params = Adept_model.Params.diet_lyon in
+  let platform =
+    Adept_platform.Generator.homogeneous ~bandwidth:1000.0 ~n:120 ~power:730.0 ()
+  in
+  let wapp = Adept_workload.Dgemm.(mflops (make 310)) in
+  let table =
+    List.fold_left
+      (fun table demand ->
+        match
+          Adept.Heuristic.plan params ~platform ~wapp
+            ~demand:(Adept_model.Demand.rate demand)
+        with
+        | Error e -> failwith e
+        | Ok plan ->
+            let m = Adept_hierarchy.Metrics.of_tree plan.Adept.Heuristic.tree in
+            Adept_util.Table.add_row table
+              [
+                Printf.sprintf "%.0f" demand;
+                string_of_bool plan.Adept.Heuristic.demand_met;
+                string_of_int m.Adept_hierarchy.Metrics.nodes;
+                string_of_int m.Adept_hierarchy.Metrics.agents;
+                string_of_int m.Adept_hierarchy.Metrics.servers;
+                Adept_util.Table.cell_float plan.Adept.Heuristic.predicted_rho;
+              ])
+      (Adept_util.Table.create
+         [ "demand (req/s)"; "met"; "nodes"; "agents"; "servers"; "plan rho" ])
+      [ 25.0; 50.0; 100.0; 200.0; 400.0; 800.0; 1600.0; 3200.0 ]
+  in
+  print_string (Adept_util.Table.render table);
+  print_endline
+    "(an unmet demand means the 120-node pool tops out: the plan shown is the \
+     best achievable)"

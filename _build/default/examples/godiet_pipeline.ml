@@ -1,0 +1,78 @@
+(* The full deployment pipeline, end to end:
+
+     plan -> GoDIET XML document -> parse back -> launch on the simulated
+     grid -> drive load -> compare against the plan's prediction.
+
+   This is what the paper's toolchain did with real machines: the heuristic
+   wrote an XML file, GoDIET deployed it over ssh, and clients hammered it.
+
+     dune exec examples/godiet_pipeline.exe *)
+
+let () =
+  let params = Adept_model.Params.diet_lyon in
+  let rng = Adept_util.Rng.create 3 in
+  let platform = Adept_platform.Generator.grid5000_orsay ~rng ~n:30 () in
+  let job = Adept_workload.Job.of_dgemm (Adept_workload.Dgemm.make 310) in
+  let wapp = Adept_workload.Job.wapp job in
+
+  (* 1. Plan. *)
+  let tree =
+    Result.get_ok
+      (Adept.Heuristic.plan_tree params ~platform ~wapp
+         ~demand:Adept_model.Demand.unbounded)
+  in
+  Printf.printf "planned: %s\n" (Adept_hierarchy.Metrics.describe tree);
+
+  (* 2. Emit the deployment document (write_xml). *)
+  let document = Adept_godiet.Writer.document platform tree in
+  Printf.printf "document: %d bytes of GoDIET XML\n" (String.length document);
+
+  (* 3. Parse it back and build the launch plan. *)
+  let parsed =
+    match Adept_godiet.Writer.parse_document document with
+    | Ok shape -> (
+        match
+          Adept_hierarchy.Xml.of_string_on platform (Adept_hierarchy.Xml.to_string shape)
+        with
+        | Ok t -> t
+        | Error e -> failwith e)
+    | Error e -> failwith e
+  in
+  assert (Adept_hierarchy.Tree.equal parsed tree);
+  let plan = Result.get_ok (Adept_godiet.Plan.of_tree parsed) in
+  Printf.printf "launch order: %d elements, master on %s\n"
+    (List.length (Adept_godiet.Plan.launch_order plan))
+    (Adept_platform.Node.name (Adept_godiet.Plan.master plan).Adept_godiet.Plan.host);
+
+  (* 4. Launch on the simulator and drive closed-loop clients. *)
+  let engine = Adept_sim.Engine.create () in
+  let launched =
+    Adept_godiet.Launcher.launch ~element_delay:0.5 ~engine ~params ~platform plan
+  in
+  Printf.printf "hierarchy up at t=%.1fs (simulated)\n"
+    launched.Adept_godiet.Launcher.ready_at;
+  let middleware = launched.Adept_godiet.Launcher.middleware in
+  let ready = launched.Adept_godiet.Launcher.ready_at in
+  (* One client per second for the first minute of load, as in Section 5.1;
+     measure a steady window after the ramp. *)
+  let measure_from = ready +. 3.0 in
+  let horizon = ready +. 10.0 in
+  let completed = ref 0 in
+  let rec client_loop () =
+    if Adept_sim.Engine.now engine < horizon then
+      Adept_sim.Middleware.submit middleware ~wapp ~on_scheduled:(fun ~server ->
+          Adept_sim.Middleware.request_service middleware ~server ~wapp
+            ~on_done:(fun () ->
+              if Adept_sim.Engine.now engine >= measure_from then incr completed;
+              client_loop ()))
+  in
+  for i = 0 to 59 do
+    Adept_sim.Engine.schedule_at engine
+      ~time:(ready +. (0.05 *. float_of_int i))
+      client_loop
+  done;
+  ignore (Adept_sim.Engine.run ~until:horizon engine);
+  let predicted = Adept.Evaluate.rho_on params ~platform ~wapp tree in
+  Printf.printf "measured %.1f req/s at steady state (model predicts %.1f)\n"
+    (float_of_int !completed /. (horizon -. measure_from))
+    predicted

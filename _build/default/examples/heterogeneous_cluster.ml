@@ -1,0 +1,53 @@
+(* The Figure 6 story in miniature: on a background-loaded heterogeneous
+   cluster, compare the automatically planned deployment against the two
+   intuitive ones (star, balanced) by actually running them in the
+   discrete-event simulator.
+
+     dune exec examples/heterogeneous_cluster.exe *)
+
+let clients = 150
+
+let () =
+  let params = Adept_model.Params.diet_lyon in
+  let rng = Adept_util.Rng.create 11 in
+  let platform = Adept_platform.Generator.grid5000_orsay ~rng ~n:60 () in
+  Format.printf "platform: %a@.@." Adept_platform.Platform.pp_summary platform;
+  let job = Adept_workload.Job.of_dgemm (Adept_workload.Dgemm.make 310) in
+  let wapp = Adept_workload.Job.wapp job in
+  let in_order = Adept_platform.Platform.nodes platform in
+  let deployments =
+    [
+      ("star", Result.get_ok (Adept.Baselines.star in_order));
+      ("balanced", Result.get_ok (Adept.Baselines.balanced ~agents:6 in_order));
+      ( "automatic",
+        Result.get_ok
+          (Adept.Heuristic.plan_tree params ~platform ~wapp
+             ~demand:Adept_model.Demand.unbounded) );
+    ]
+  in
+  let table =
+    List.fold_left
+      (fun table (name, tree) ->
+        let scenario =
+          Adept_sim.Scenario.make ~params ~platform
+            ~client:(Adept_workload.Client.closed_loop job) tree
+        in
+        let r =
+          Adept_sim.Scenario.run_fixed scenario ~clients ~warmup:2.0 ~duration:4.0
+        in
+        Adept_util.Table.add_row table
+          [
+            name;
+            Adept_hierarchy.Metrics.describe tree;
+            Adept_util.Table.cell_float
+              (Adept.Evaluate.rho_on params ~platform ~wapp tree);
+            Adept_util.Table.cell_float r.Adept_sim.Scenario.throughput;
+            Printf.sprintf "%.3f"
+              (Option.value ~default:Float.nan r.Adept_sim.Scenario.mean_response);
+          ])
+      (Adept_util.Table.create
+         [ "deployment"; "shape"; "model rho"; "measured req/s"; "mean resp (s)" ])
+      deployments
+  in
+  Printf.printf "%d closed-loop DGEMM 310x310 clients:\n" clients;
+  print_string (Adept_util.Table.render table)

@@ -1,0 +1,45 @@
+(* Model validation (Section 5.2 in miniature): does Eq. 16 predict what
+   the simulated middleware actually sustains?  Runs star hierarchies of
+   one and two servers under an agent-limited workload (DGEMM 10x10) and a
+   server-limited one (DGEMM 200x200).
+
+     dune exec examples/model_validation.exe *)
+
+let measure ~dgemm ~servers =
+  let params = Adept_model.Params.diet_lyon in
+  let platform = Adept_platform.Generator.grid5000_lyon ~n:(servers + 1) () in
+  let nodes = Adept_platform.Platform.nodes platform in
+  let tree = Adept_hierarchy.Tree.star (List.hd nodes) (List.tl nodes) in
+  let job = Adept_workload.Job.of_dgemm (Adept_workload.Dgemm.make dgemm) in
+  let wapp = Adept_workload.Job.wapp job in
+  let predicted = Adept.Evaluate.rho_on params ~platform ~wapp tree in
+  let scenario =
+    Adept_sim.Scenario.make ~params ~platform
+      ~client:(Adept_workload.Client.closed_loop job) tree
+  in
+  let _, measured =
+    Adept_sim.Scenario.saturation_throughput scenario ~warmup:1.0 ~duration:3.0
+  in
+  (predicted, measured)
+
+let () =
+  let table =
+    List.fold_left
+      (fun table (dgemm, servers) ->
+        let predicted, measured = measure ~dgemm ~servers in
+        Adept_util.Table.add_row table
+          [
+            Printf.sprintf "DGEMM %dx%d" dgemm dgemm;
+            string_of_int servers;
+            Adept_util.Table.cell_float predicted;
+            Adept_util.Table.cell_float measured;
+            Adept_util.Table.cell_percent (measured /. predicted);
+          ])
+      (Adept_util.Table.create
+         [ "workload"; "servers"; "predicted req/s"; "measured req/s"; "accuracy" ])
+      [ (10, 1); (10, 2); (200, 1); (200, 2) ]
+  in
+  print_string (Adept_util.Table.render table);
+  print_endline
+    "(the model must predict that the second server hurts DGEMM 10 and doubles \
+     DGEMM 200 — compare rows pairwise)"

@@ -1,0 +1,1 @@
+lib/calibration/fit.ml: Adept_hierarchy Adept_platform Adept_sim Adept_util Array Int List Printf

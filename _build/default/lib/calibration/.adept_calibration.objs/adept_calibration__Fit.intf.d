@@ -1,0 +1,1 @@
+lib/calibration/fit.mli: Adept_model Adept_platform

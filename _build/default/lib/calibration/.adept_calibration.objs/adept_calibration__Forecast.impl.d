@@ -1,0 +1,1 @@
+lib/calibration/forecast.ml: Adept_util Array Float Format List

@@ -1,0 +1,1 @@
+lib/calibration/forecast.mli: Format

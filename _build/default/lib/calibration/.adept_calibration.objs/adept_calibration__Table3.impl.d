@@ -1,0 +1,1 @@
+lib/calibration/table3.ml: Adept_hierarchy Adept_model Adept_platform Adept_sim Adept_workload Array Fit Float List Printf Result

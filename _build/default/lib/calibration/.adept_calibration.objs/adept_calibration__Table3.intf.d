@@ -1,0 +1,1 @@
+lib/calibration/table3.mli: Adept_model Adept_util

@@ -1,0 +1,60 @@
+module Stats = Adept_util.Stats
+module Platform = Adept_platform.Platform
+
+type wrep_fit = { wfix : float; wsel : float; correlation : float }
+
+let fit_wrep ~power samples =
+  if power <= 0.0 then Error "fit_wrep: power must be positive"
+  else
+    let degrees = List.sort_uniq Int.compare (List.map fst (Array.to_list samples)) in
+    if List.length degrees < 2 then
+      Error "fit_wrep: need samples at two or more distinct degrees"
+    else
+      let points =
+        Array.map (fun (d, seconds) -> (float_of_int d, seconds)) samples
+      in
+      match Stats.linear_regression points with
+      | exception Invalid_argument m -> Error m
+      | { slope; intercept; r } ->
+          Ok { wfix = intercept *. power; wsel = slope *. power; correlation = r }
+
+let mean_seconds_to_mflop ~power samples =
+  match samples with
+  | [||] -> None
+  | _ -> Some (Stats.mean samples *. power)
+
+let star_reply_samples ~params ~platform ~degrees ~requests ~wapp =
+  if requests <= 0 then invalid_arg "star_reply_samples: requests must be positive";
+  let nodes = Platform.nodes platform in
+  let needed = List.fold_left max 0 degrees + 1 in
+  if List.length nodes < needed then
+    invalid_arg
+      (Printf.sprintf "star_reply_samples: need %d nodes, platform has %d" needed
+         (List.length nodes));
+  let samples = ref [] in
+  List.iter
+    (fun degree ->
+      if degree < 1 then invalid_arg "star_reply_samples: degrees must be >= 1";
+      let agent = List.hd nodes in
+      let servers = List.filteri (fun i _ -> i >= 1 && i <= degree) nodes in
+      let tree = Adept_hierarchy.Tree.star agent servers in
+      let engine = Adept_sim.Engine.create () in
+      let trace = Adept_sim.Trace.create () in
+      let middleware =
+        Adept_sim.Middleware.deploy ~trace ~engine ~params ~platform tree
+      in
+      (* Serial clients, as in the paper: each request issued only after
+         the previous one fully completed. *)
+      let rec serial remaining =
+        if remaining > 0 then
+          Adept_sim.Middleware.submit middleware ~wapp ~on_scheduled:(fun ~server ->
+              Adept_sim.Middleware.request_service middleware ~server ~wapp
+                ~on_done:(fun () -> serial (remaining - 1)))
+      in
+      serial requests;
+      ignore (Adept_sim.Engine.run engine);
+      Array.iter
+        (fun sample -> samples := sample :: !samples)
+        (Adept_sim.Trace.reply_samples trace))
+    degrees;
+  Array.of_list (List.rev !samples)

@@ -1,0 +1,38 @@
+(** Parameter fitting from traces.
+
+    Reproduces the paper's measurement pipeline: deploy an agent with a
+    single server, run clients serially, capture traffic and per-element
+    timings, then fit [Wrep] against agent degree over a family of star
+    deployments ("a linear data fit provided a very accurate model ...
+    with a correlation coefficient of 0.97"). *)
+
+type wrep_fit = {
+  wfix : float;  (** Fitted fixed cost, MFlop. *)
+  wsel : float;  (** Fitted per-child cost, MFlop. *)
+  correlation : float;  (** r of the time-vs-degree regression. *)
+}
+
+val fit_wrep : power:float -> (int * float) array -> (wrep_fit, string) result
+(** [(degree, seconds)] samples from {!Adept_sim.Trace.reply_samples};
+    times are converted to MFlop with the node power (the paper "measured
+    the capacity of our test machines in MFlops ... and this value is used
+    to convert all measured times to estimates of the MFlops required").
+    Needs samples at two or more distinct degrees. *)
+
+val mean_seconds_to_mflop : power:float -> float array -> float option
+(** Convert timing samples to a single MFlop estimate ([None] on empty
+    input) — used for [Wreq] and [Wpre]. *)
+
+val star_reply_samples :
+  params:Adept_model.Params.t ->
+  platform:Adept_platform.Platform.t ->
+  degrees:int list ->
+  requests:int ->
+  wapp:float ->
+  (int * float) array
+(** Run one simulated star deployment per degree (the paper's "variety of
+    star deployments including an agent and different numbers of
+    servers"), driving [requests] serial client requests each, and collect
+    the agent reply-processing samples.  The platform must have at least
+    [max degrees + 1] nodes.
+    @raise Invalid_argument otherwise. *)

@@ -1,0 +1,111 @@
+module Params = Adept_model.Params
+module Trace = Adept_sim.Trace
+
+type measured = {
+  params : Params.t;
+  wrep_correlation : float;
+  requests_observed : int;
+}
+
+let ( let* ) = Result.bind
+
+let require name = function
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "table3: no observation for %s" name)
+
+let run ?(requests = 100) ?(fit_degrees = [ 1; 2; 3; 4; 5; 6; 7; 8 ]) ~reference
+    ~node_power () =
+  if requests <= 0 then Error "table3: requests must be positive"
+  else begin
+    let n = List.fold_left max 1 fit_degrees + 1 in
+    let platform =
+      Adept_platform.Generator.homogeneous ~bandwidth:100.0 ~cluster:"lyon" ~n
+        ~power:node_power ()
+    in
+    (* The calibration workload: a small DGEMM, as in the paper. *)
+    let wapp = Adept_workload.Dgemm.(mflops (make 100)) in
+    (* Step 1: agent + one server, serial clients, full capture. *)
+    let nodes = Adept_platform.Platform.nodes platform in
+    let tree =
+      Adept_hierarchy.Tree.star (List.hd nodes) [ List.nth nodes 1 ]
+    in
+    let engine = Adept_sim.Engine.create () in
+    let trace = Trace.create () in
+    let middleware =
+      Adept_sim.Middleware.deploy ~trace ~engine ~params:reference ~platform tree
+    in
+    let rec serial remaining =
+      if remaining > 0 then
+        Adept_sim.Middleware.submit middleware ~wapp ~on_scheduled:(fun ~server ->
+            Adept_sim.Middleware.request_service middleware ~server ~wapp
+              ~on_done:(fun () -> serial (remaining - 1)))
+    in
+    serial requests;
+    ignore (Adept_sim.Engine.run engine);
+    (* Step 2: message sizes from the capture. *)
+    let* agent_sreq =
+      require "agent Sreq" (Trace.mean_message_size trace Trace.Sched_request Trace.Agent_end)
+    in
+    let* agent_srep =
+      require "agent Srep" (Trace.mean_message_size trace Trace.Sched_reply Trace.Agent_end)
+    in
+    let* server_sreq =
+      require "server Sreq"
+        (Trace.mean_message_size trace Trace.Sched_request Trace.Server_end)
+    in
+    let* server_srep =
+      require "server Srep"
+        (Trace.mean_message_size trace Trace.Sched_reply Trace.Server_end)
+    in
+    (* Step 3: processing times converted to MFlop with the node capacity. *)
+    let* wreq =
+      require "Wreq"
+        (Fit.mean_seconds_to_mflop ~power:node_power
+           (Trace.agent_request_computes trace))
+    in
+    let* wpre =
+      require "Wpre"
+        (Fit.mean_seconds_to_mflop ~power:node_power (Trace.server_predictions trace))
+    in
+    (* Step 4: the Wrep linear fit over star deployments of varying degree. *)
+    let samples =
+      Fit.star_reply_samples ~params:reference ~platform ~degrees:fit_degrees
+        ~requests:(max 10 (requests / 10))
+        ~wapp
+    in
+    let* fit = Fit.fit_wrep ~power:node_power samples in
+    let measured_params =
+      Params.make
+        ~agent:
+          {
+            Params.wreq;
+            wfix = fit.Fit.wfix;
+            wsel = fit.Fit.wsel;
+            sreq = agent_sreq;
+            srep = agent_srep;
+          }
+        ~server:{ Params.wpre; sreq = server_sreq; srep = server_srep }
+    in
+    Ok
+      {
+        params = measured_params;
+        wrep_correlation = fit.Fit.correlation;
+        requests_observed = Array.length (Trace.agent_request_computes trace);
+      }
+  end
+
+let to_table m = Params.to_table m.params
+
+let relative_errors m ~reference =
+  let open Params in
+  let rel got want = if want = 0.0 then Float.abs got else Float.abs (got -. want) /. want in
+  [
+    ("agent.Wreq", rel m.params.agent.wreq reference.agent.wreq);
+    ("agent.Wfix", rel m.params.agent.wfix reference.agent.wfix);
+    ("agent.Wsel", rel m.params.agent.wsel reference.agent.wsel);
+    ("agent.Sreq", rel m.params.agent.sreq reference.agent.sreq);
+    ("agent.Srep", rel m.params.agent.srep reference.agent.srep);
+    ("server.Wpre", rel m.params.server.wpre reference.server.wpre);
+    ("server.Sreq", rel m.params.server.sreq reference.server.sreq);
+    ("server.Srep", rel m.params.server.srep reference.server.srep);
+  ]

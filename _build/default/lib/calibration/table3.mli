@@ -1,0 +1,38 @@
+(** Reproduction of Table 3: extracting the middleware cost parameters
+    from (simulated) measurements.
+
+    The paper deployed an agent and a single DGEMM server on the Lyon
+    cluster, launched 100 serial clients, captured all traffic with
+    tcpdump/Ethereal for the message sizes, used DIET's statistics
+    collection for per-element processing times, ran a family of star
+    deployments for the [Wrep(d)] linear fit, and converted times to
+    MFlop with the Linpack node capacity.  This module runs the same
+    protocol against the simulator and reconstructs every Table 3 entry;
+    agreement with the injected {!Adept_model.Params.diet_lyon} constants
+    validates the measurement pipeline end to end. *)
+
+type measured = {
+  params : Adept_model.Params.t;  (** The reconstructed Table 3. *)
+  wrep_correlation : float;  (** r of the Wrep fit (paper: 0.97). *)
+  requests_observed : int;  (** Scheduling requests in the capture. *)
+}
+
+val run :
+  ?requests:int ->
+  ?fit_degrees:int list ->
+  reference:Adept_model.Params.t ->
+  node_power:float ->
+  unit ->
+  (measured, string) result
+(** Run the calibration campaign on a simulated Lyon-like cluster whose
+    middleware is parameterised by [reference], and reconstruct the
+    parameters from the traces alone.  Defaults: 100 requests (the
+    paper's count), fit degrees 1..8. *)
+
+val to_table : measured -> Adept_util.Table.t
+(** Table 3 layout of the reconstructed parameters. *)
+
+val relative_errors :
+  measured -> reference:Adept_model.Params.t -> (string * float) list
+(** Relative reconstruction error per parameter, for tests and the
+    EXPERIMENTS.md report. *)

@@ -1,0 +1,1 @@
+lib/core/baselines.ml: Adept_hierarchy Adept_util Array List Printf Tree

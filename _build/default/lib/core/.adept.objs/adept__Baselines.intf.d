@@ -1,0 +1,1 @@
+lib/core/baselines.mli: Adept_hierarchy Adept_platform Adept_util Node Tree

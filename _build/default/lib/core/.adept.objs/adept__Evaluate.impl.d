@@ -1,0 +1,1 @@
+lib/core/evaluate.ml: Adept_hierarchy Adept_model Adept_platform Float Format List Metrics Node Platform Printf Tree

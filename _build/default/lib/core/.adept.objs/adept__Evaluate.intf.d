@@ -1,0 +1,1 @@
+lib/core/evaluate.mli: Adept_hierarchy Adept_model Adept_platform Platform Tree

@@ -1,0 +1,1 @@
+lib/core/exhaustive.ml: Adept_hierarchy Adept_platform Evaluate Link List Platform Printf Seq Tree

@@ -1,0 +1,1 @@
+lib/core/exhaustive.mli: Adept_hierarchy Adept_model Adept_platform Node Platform Seq Stdlib Tree

@@ -1,0 +1,1 @@
+lib/core/heuristic.ml: Adept_hierarchy Adept_model Adept_platform Array Evaluate Float Link List Node Platform Result Sched_power Service_power Tree

@@ -1,0 +1,1 @@
+lib/core/heuristic.mli: Adept_hierarchy Adept_model Adept_platform Platform Stdlib Tree

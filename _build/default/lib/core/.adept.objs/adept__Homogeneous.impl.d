@@ -1,0 +1,1 @@
+lib/core/homogeneous.ml: Adept_hierarchy Adept_model Adept_platform Baselines Evaluate Float Link List Metrics Platform Tree

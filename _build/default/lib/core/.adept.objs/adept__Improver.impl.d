@@ -1,0 +1,1 @@
+lib/core/improver.ml: Adept_hierarchy Adept_model Adept_platform Evaluate Hashtbl List Node Option Platform Service_power String Tree Validate

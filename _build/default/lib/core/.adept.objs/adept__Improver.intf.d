@@ -1,0 +1,1 @@
+lib/core/improver.mli: Adept_hierarchy Adept_model Adept_platform Node Platform Stdlib Tree

@@ -1,0 +1,1 @@
+lib/core/latency.ml: Adept_hierarchy Adept_model Adept_platform Float Format List Node Tree

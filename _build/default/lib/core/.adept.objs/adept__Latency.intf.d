@@ -1,0 +1,1 @@
+lib/core/latency.mli: Adept_hierarchy Adept_model Format Tree

@@ -1,0 +1,1 @@
+lib/core/multi_cluster.ml: Adept_hierarchy Adept_model Adept_platform Array Evaluate Heuristic Link List Node Platform String Tree Validate

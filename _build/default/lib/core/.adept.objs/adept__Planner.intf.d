@@ -1,0 +1,1 @@
+lib/core/planner.mli: Adept_hierarchy Adept_model Adept_platform Format Platform Stdlib Tree

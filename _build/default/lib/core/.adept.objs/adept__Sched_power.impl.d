@@ -1,0 +1,1 @@
+lib/core/sched_power.ml: Adept_model Adept_platform Float List Node

@@ -1,0 +1,1 @@
+lib/core/sched_power.mli: Adept_model Adept_platform Node

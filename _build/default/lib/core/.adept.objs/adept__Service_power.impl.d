@@ -1,0 +1,1 @@
+lib/core/service_power.ml: Adept_model Adept_platform List Node

@@ -1,0 +1,1 @@
+lib/core/service_power.mli: Adept_model Adept_platform Node

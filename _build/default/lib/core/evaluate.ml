@@ -1,0 +1,103 @@
+open Adept_platform
+open Adept_hierarchy
+module Throughput = Adept_model.Throughput
+
+let spec_of_tree ~wapp tree =
+  let agents =
+    List.map
+      (fun (node, degree) ->
+        if degree = 0 then
+          invalid_arg
+            (Printf.sprintf "Evaluate.spec_of_tree: agent %s has no children"
+               (Node.name node));
+        (Node.power node, degree))
+      (Tree.agents_with_degree tree)
+  in
+  let servers =
+    List.map (fun node -> { Throughput.power = Node.power node; wapp }) (Tree.servers tree)
+  in
+  if servers = [] then invalid_arg "Evaluate.spec_of_tree: hierarchy has no servers";
+  { Throughput.agents; servers }
+
+let rho params ~bandwidth ~wapp tree =
+  Throughput.platform params ~bandwidth (spec_of_tree ~wapp tree)
+
+let rho_on params ~platform ~wapp tree =
+  rho params ~bandwidth:(Platform.uniform_bandwidth platform) ~wapp tree
+
+let bottleneck params ~bandwidth ~wapp tree =
+  Throughput.bottleneck params ~bandwidth (spec_of_tree ~wapp tree)
+
+let rho_hetero (params : Adept_model.Params.t) ~platform ~wapp tree =
+  if wapp <= 0.0 || not (Float.is_finite wapp) then
+    invalid_arg "Evaluate.rho_hetero: wapp must be positive and finite";
+  let bw a b = Platform.bandwidth platform (Node.id a) (Node.id b) in
+  let client_bw node = Platform.bandwidth platform (Node.id node) (Node.id node) in
+  let ag = params.Adept_model.Params.agent in
+  let srv = params.Adept_model.Params.server in
+  (* Eq. 14 agent term with per-link bandwidths: the parent (or client)
+     link carries one request down and one reply up; each child link
+     carries one request and one reply, always at agent-level sizes. *)
+  let agent_term ~parent node children =
+    let up = match parent with Some p -> bw p node | None -> client_bw node in
+    let degree = List.length children in
+    let comm_up = (ag.sreq +. ag.srep) /. up in
+    let comm_down =
+      List.fold_left
+        (fun acc child -> acc +. ((ag.sreq +. ag.srep) /. bw node (Tree.root_node child)))
+        0.0 children
+    in
+    let compute =
+      (ag.wreq +. Adept_model.Params.wrep params ~degree) /. Node.power node
+    in
+    1.0 /. (compute +. comm_up +. comm_down)
+  in
+  let server_term ~parent node =
+    let up = bw parent node in
+    1.0 /. ((srv.wpre /. Node.power node) +. ((srv.sreq +. srv.srep) /. up))
+  in
+  let rec sched_min ~parent tree =
+    match tree with
+    | Tree.Server node -> (
+        match parent with
+        | Some p -> server_term ~parent:p node
+        | None -> invalid_arg "Evaluate.rho_hetero: root server")
+    | Tree.Agent (node, children) ->
+        if children = [] then
+          invalid_arg "Evaluate.rho_hetero: agent without children";
+        List.fold_left
+          (fun acc child -> Float.min acc (sched_min ~parent:(Some node) child))
+          (agent_term ~parent node children)
+          children
+  in
+  let servers = Tree.servers tree in
+  if servers = [] then invalid_arg "Evaluate.rho_hetero: hierarchy has no servers";
+  (* Eq. 15 with the load split of Eqs. 6-9 weighting each server's
+     client-link cost. *)
+  let rate_sum = List.fold_left (fun acc s -> acc +. (Node.power s /. wapp)) 0.0 servers in
+  let ratio_sum = List.fold_left (fun acc _ -> acc +. (srv.wpre /. wapp)) 0.0 servers in
+  let comm_mean =
+    List.fold_left
+      (fun acc s ->
+        let x = Node.power s /. wapp /. rate_sum in
+        acc +. (x *. ((srv.sreq +. srv.srep) /. client_bw s)))
+      0.0 servers
+  in
+  let service = 1.0 /. (comm_mean +. ((1.0 +. ratio_sum) /. rate_sum)) in
+  Float.min (sched_min ~parent:None tree) service
+
+let report params ~bandwidth ~wapp tree =
+  let spec = spec_of_tree ~wapp tree in
+  let sched = Throughput.sched params ~bandwidth spec in
+  let service = Throughput.service params ~bandwidth spec.Throughput.servers in
+  let total = Throughput.platform params ~bandwidth spec in
+  let limit =
+    match Throughput.bottleneck params ~bandwidth spec with
+    | `Agent_sched -> "agent scheduling"
+    | `Server_sched -> "server prediction"
+    | `Service -> "service capacity"
+  in
+  Format.asprintf
+    "%s@.rho_sched   = %.2f req/s@.rho_service = %.2f req/s@.rho         = %.2f req/s \
+     (bottleneck: %s)"
+    (Metrics.describe tree) sched service total limit

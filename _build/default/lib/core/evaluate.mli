@@ -1,0 +1,48 @@
+(** Model evaluation of arbitrary hierarchies: bridges {!Adept_hierarchy}
+    trees and the Eq. 16 throughput model. *)
+
+open Adept_platform
+open Adept_hierarchy
+
+val spec_of_tree :
+  wapp:float -> Tree.t -> Adept_model.Throughput.deployment_spec
+(** Agents with their degrees and servers with their powers, as the
+    throughput model wants them.  @raise Invalid_argument if the tree has
+    no servers or an agent with no children. *)
+
+val rho :
+  Adept_model.Params.t -> bandwidth:float -> wapp:float -> Tree.t -> float
+(** Eq. 16 completed-request throughput of the deployment. *)
+
+val rho_on :
+  Adept_model.Params.t -> platform:Platform.t -> wapp:float -> Tree.t -> float
+(** {!rho} with the platform's uniform bandwidth.
+    @raise Invalid_argument on heterogeneous connectivity. *)
+
+val bottleneck :
+  Adept_model.Params.t ->
+  bandwidth:float ->
+  wapp:float ->
+  Tree.t ->
+  [ `Agent_sched | `Server_sched | `Service ]
+(** Which side of Eq. 16 limits the deployment. *)
+
+val rho_hetero :
+  Adept_model.Params.t -> platform:Platform.t -> wapp:float -> Tree.t -> float
+(** Eq. 16 generalised to heterogeneous connectivity — the paper's "we
+    plan to deal with heterogeneous communication in future works", made
+    concrete:
+
+    - every term of Eq. 14 charges each message at the bandwidth of the
+      link it crosses (an agent's parent link and each of its child
+      links); the root's client link and each server's client link use
+      that node's intra-cluster bandwidth;
+    - Eq. 15's shared communication term becomes the load-weighted mean of
+      the per-server client-link costs, with the Eqs. 6–9 split
+      [x_i = (w_i / wapp) / sum_j (w_j / wapp)].
+
+    With a uniform bandwidth this reduces exactly to {!rho} (tested). *)
+
+val report :
+  Adept_model.Params.t -> bandwidth:float -> wapp:float -> Tree.t -> string
+(** Multi-line human summary: shape, throughputs, bottleneck. *)

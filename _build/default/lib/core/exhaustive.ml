@@ -1,0 +1,92 @@
+open Adept_platform
+open Adept_hierarchy
+
+let default_max_nodes = 8
+
+(* All (subset, complement) splits of a list, 2^n of them. *)
+let rec splits = function
+  | [] -> Seq.return ([], [])
+  | x :: rest ->
+      Seq.concat_map
+        (fun (inside, outside) ->
+          List.to_seq [ (x :: inside, outside); (inside, x :: outside) ])
+        (splits rest)
+
+(* Unordered partitions into non-empty groups: the first element anchors
+   its group, removing permutation duplicates. *)
+let rec partitions = function
+  | [] -> Seq.return []
+  | x :: rest ->
+      Seq.concat_map
+        (fun (with_x, others) ->
+          Seq.map (fun parts -> (x :: with_x) :: parts) (partitions others))
+        (splits rest)
+
+let rec seq_product = function
+  | [] -> Seq.return []
+  | s :: rest -> Seq.concat_map (fun x -> Seq.map (fun xs -> x :: xs) (seq_product rest)) s
+
+let remove_one items =
+  (* each element paired with the list without it *)
+  let rec go before = function
+    | [] -> Seq.empty
+    | x :: after -> Seq.cons (x, List.rev_append before after) (fun () -> go (x :: before) after ())
+  in
+  go [] items
+
+(* Valid subtrees spanning exactly [group].  Non-root agents need >= 2
+   children, so no subtree exists for groups of size 2 when the group root
+   must be an agent... except the size-1 server case. *)
+let rec subtrees group =
+  match group with
+  | [] -> Seq.empty
+  | [ x ] -> Seq.return (Tree.server x)
+  | _ ->
+      Seq.concat_map
+        (fun (root, rest) ->
+          partitions rest
+          |> Seq.filter (fun parts -> List.length parts >= 2)
+          |> Seq.concat_map (fun parts ->
+                 Seq.map (Tree.agent root) (seq_product (List.map subtrees parts))))
+        (remove_one group)
+
+let enumerate nodes =
+  match nodes with
+  | [] | [ _ ] -> Seq.empty
+  | _ ->
+      Seq.concat_map
+        (fun (root, rest) ->
+          partitions rest
+          |> Seq.filter (fun parts -> parts <> [])
+          |> Seq.concat_map (fun parts ->
+                 Seq.map (Tree.agent root) (seq_product (List.map subtrees parts))))
+        (remove_one nodes)
+
+let enumerate_subsets nodes =
+  splits nodes
+  |> Seq.concat_map (fun (subset, _) -> enumerate subset)
+
+let count nodes = Seq.fold_left (fun acc _ -> acc + 1) 0 (enumerate_subsets nodes)
+
+let optimal ?(max_nodes = default_max_nodes) params ~platform ~wapp () =
+  let n = Platform.size platform in
+  if n > max_nodes then
+    Error (Printf.sprintf "exhaustive: %d nodes exceed the %d-node guard" n max_nodes)
+  else if n < 2 then Error "exhaustive: need at least two nodes"
+  else
+    match Link.uniform_bandwidth (Platform.link platform) with
+    | None -> Error "exhaustive: the model requires homogeneous connectivity"
+    | Some bandwidth ->
+        let best =
+          Seq.fold_left
+            (fun acc tree ->
+              let rho = Evaluate.rho params ~bandwidth ~wapp tree in
+              match acc with
+              | Some (_, brho) when brho >= rho -> acc
+              | Some _ | None -> Some (tree, rho))
+            None
+            (enumerate_subsets (Platform.nodes platform))
+        in
+        (match best with
+        | None -> Error "exhaustive: no valid hierarchy exists"
+        | Some result -> Ok result)

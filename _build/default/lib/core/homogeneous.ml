@@ -1,0 +1,74 @@
+open Adept_platform
+open Adept_hierarchy
+module Demand = Adept_model.Demand
+
+type result = {
+  tree : Tree.t;
+  degree : int;
+  predicted_rho : float;
+  per_degree : (int * float) list;
+}
+
+let plan params ~platform ~wapp ~demand =
+  let n = Platform.size platform in
+  if n < 2 then Error "homogeneous: need at least two nodes"
+  else if wapp <= 0.0 || not (Float.is_finite wapp) then
+    Error "homogeneous: wapp must be positive and finite"
+  else
+    match Link.uniform_bandwidth (Platform.link platform) with
+    | None -> Error "homogeneous: the model requires homogeneous connectivity"
+    | Some bandwidth ->
+        let nodes = Platform.sorted_by_power_desc platform in
+        let candidates =
+          List.filter_map
+            (fun degree ->
+              match Baselines.dary ~degree nodes with
+              | Error _ -> None
+              | Ok tree ->
+                  let rho = Evaluate.rho params ~bandwidth ~wapp tree in
+                  Some (degree, tree, rho, Tree.size tree))
+            (List.init (n - 1) (fun i -> i + 1))
+        in
+        let per_degree = List.map (fun (d, _, rho, _) -> (d, rho)) candidates in
+        let better_unbounded (da, ra, ua) (db, rb, ub) =
+          (* prefer: higher rho, then fewer nodes, then smaller degree *)
+          if rb > ra then true
+          else if rb < ra then false
+          else if ub < ua then true
+          else if ub > ua then false
+          else db < da
+        in
+        let meeting =
+          match demand with
+          | Demand.Unbounded -> []
+          | Demand.Rate r ->
+              List.filter (fun (_, _, rho, _) -> rho >= r *. (1.0 -. 1e-9)) candidates
+        in
+        let pool, prefer =
+          match meeting with
+          | [] -> (candidates, better_unbounded)
+          | _ :: _ ->
+              ( meeting,
+                fun (da, _, ua) (db, _, ub) ->
+                  (* demand met: fewest nodes, then smaller degree *)
+                  if ub < ua then true else if ub > ua then false else db < da )
+        in
+        let best =
+          List.fold_left
+            (fun acc (d, tree, rho, used) ->
+              match acc with
+              | None -> Some (d, tree, rho, used)
+              | Some (bd, _, brho, bused) ->
+                  if prefer (bd, brho, bused) (d, rho, used) then Some (d, tree, rho, used)
+                  else acc)
+            None pool
+        in
+        (match best with
+        | None -> Error "homogeneous: no valid d-ary tree could be built"
+        | Some (_, tree, predicted_rho, _) ->
+            (* Report the realised degree: frontier fix-ups can leave the
+               built tree with a different maximum degree than the search
+               parameter (e.g. a demoted single-child agent widens the
+               root). *)
+            let degree = (Metrics.of_tree tree).Metrics.max_degree in
+            Ok { tree; degree; predicted_rho; per_degree })

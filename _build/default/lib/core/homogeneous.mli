@@ -1,0 +1,31 @@
+(** The homogeneous optimal planner of Chouhan, Dail, Caron, Vivien
+    (IJHPCA 2006) — the paper's [10] and the reference column of Table 4.
+
+    On a homogeneous cluster the optimal deployment is a complete spanning
+    d-ary tree for the best degree [d]; this module searches every degree,
+    builds the {!Baselines.dary} tree and evaluates it with Eq. 16. *)
+
+open Adept_platform
+open Adept_hierarchy
+
+type result = {
+  tree : Tree.t;
+  degree : int;
+      (** Maximum degree of the winning tree (the realised degree — the
+          frontier fix-up can widen a tree beyond its search parameter). *)
+  predicted_rho : float;
+  per_degree : (int * float) list;  (** rho for every search degree tried. *)
+}
+
+val plan :
+  Adept_model.Params.t ->
+  platform:Platform.t ->
+  wapp:float ->
+  demand:Adept_model.Demand.t ->
+  (result, string) Stdlib.result
+(** Search degrees 1 .. n-1.  With a demand, the smallest-resource tree
+    meeting it wins; otherwise the maximum-rho tree (ties: fewer nodes,
+    then smaller degree).  Intended for homogeneous-compute platforms; on
+    heterogeneous input it still runs (nodes sorted strongest-first) but
+    optimality claims no longer hold — callers can check
+    [Platform.is_homogeneous_compute]. *)

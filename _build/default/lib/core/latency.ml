@@ -1,0 +1,110 @@
+open Adept_platform
+open Adept_hierarchy
+module Params = Adept_model.Params
+module Costs = Adept_model.Costs
+
+type estimate = {
+  rate : float;
+  sched_latency : float;
+  service_latency : float;
+  total : float;
+  max_utilization : float;
+  stable : bool;
+}
+
+(* M/D/1 mean waiting time for a resource occupied [s] seconds per request
+   at utilisation [u]. *)
+let md1_wait ~s ~u = if u >= 1.0 then Float.infinity else u *. s /. (2.0 *. (1.0 -. u))
+
+let estimate (params : Params.t) ~bandwidth ~wapp ~rate tree =
+  if rate <= 0.0 || not (Float.is_finite rate) then
+    invalid_arg "Latency.estimate: rate must be positive and finite";
+  if wapp <= 0.0 then invalid_arg "Latency.estimate: wapp must be positive";
+  if bandwidth <= 0.0 then invalid_arg "Latency.estimate: bandwidth must be positive";
+  let servers = Tree.servers tree in
+  if servers = [] then invalid_arg "Latency.estimate: hierarchy has no servers";
+  let ag = params.Params.agent and srv = params.Params.server in
+  let total_power = List.fold_left (fun acc s -> acc +. Node.power s) 0.0 servers in
+  (* service share of server i under the Eqs. 6-9 proportional split *)
+  let share node = Node.power node /. total_power in
+  (* per-request port occupation *)
+  let agent_occupation node degree =
+    Costs.agent_request_time params ~bandwidth ~power:(Node.power node) ~degree
+  in
+  let server_occupation node =
+    let w = Node.power node in
+    (srv.wpre /. w)
+    +. ((srv.sreq +. srv.srep) /. bandwidth)
+    +. (share node *. (((srv.sreq +. srv.srep) /. bandwidth) +. (wapp /. w)))
+  in
+  (* collect utilisations for the stability verdict *)
+  let max_u = ref 0.0 in
+  let note_u u = if u > !max_u then max_u := u in
+  let agent_wait node degree =
+    let s = agent_occupation node degree in
+    let u = rate *. s in
+    note_u u;
+    md1_wait ~s ~u
+  in
+  List.iter (fun s -> note_u (rate *. server_occupation s)) servers;
+  (* scheduling-phase latency: recursive path time with queue waits at the
+     agents (server predictions run on a non-blocking lane; their charge
+     appears in the server utilisation, not the scheduling path) *)
+  let rec sched_path tree =
+    match tree with
+    | Tree.Server node ->
+        (srv.wpre /. Node.power node) +. (srv.srep /. bandwidth)
+    | Tree.Agent (node, children) ->
+        let degree = List.length children in
+        let w = Node.power node in
+        let deepest_child =
+          List.fold_left (fun acc c -> Float.max acc (sched_path c)) 0.0 children
+        in
+        agent_wait node degree
+        +. (ag.sreq /. bandwidth) (* receive from parent/client *)
+        +. (ag.wreq /. w)
+        +. (float_of_int degree *. ag.sreq /. bandwidth) (* serial fan-out *)
+        +. deepest_child
+        +. (float_of_int degree *. ag.srep /. bandwidth) (* serial reply collection *)
+        +. (Params.wrep params ~degree /. w)
+        +. (ag.srep /. bandwidth) (* reply up *)
+  in
+  let sched_latency = sched_path tree in
+  (* service phase: expectation over the proportional split *)
+  let service_latency =
+    List.fold_left
+      (fun acc node ->
+        let w = Node.power node in
+        let s = server_occupation node in
+        let u = rate *. s in
+        acc
+        +. (share node
+           *. (md1_wait ~s ~u
+              +. (srv.sreq /. bandwidth)
+              +. (wapp /. w)
+              +. (srv.srep /. bandwidth))))
+      0.0 servers
+  in
+  let stable = !max_u < 1.0 in
+  let sched_latency = if stable then sched_latency else Float.infinity in
+  let service_latency = if stable then service_latency else Float.infinity in
+  {
+    rate;
+    sched_latency;
+    service_latency;
+    total = sched_latency +. service_latency;
+    max_utilization = !max_u;
+    stable;
+  }
+
+let sweep params ~bandwidth ~wapp ~rates tree =
+  List.map (fun rate -> estimate params ~bandwidth ~wapp ~rate tree) rates
+
+let pp ppf e =
+  if e.stable then
+    Format.fprintf ppf
+      "@%.1f req/s: total %.4fs (sched %.4fs + service %.4fs), max util %.0f%%" e.rate
+      e.total e.sched_latency e.service_latency (100.0 *. e.max_utilization)
+  else
+    Format.fprintf ppf "@%.1f req/s: unstable (max util %.0f%%)" e.rate
+      (100.0 *. e.max_utilization)

@@ -1,0 +1,59 @@
+(** Response-time estimation under load.
+
+    The paper's model predicts steady-state {e throughput} only; this
+    companion estimates the {e latency} a request experiences at a given
+    arrival rate, so a deployment can be checked against response-time
+    targets as well as rates (and so the simulator's latency curves have
+    an analytical reference).
+
+    The estimate combines:
+    - the zero-load path time: every message and computation a request
+      traverses, including the serial fan-out at each agent (children are
+      contacted one port-transmission after another, but their subtrees
+      work in parallel);
+    - an M/D/1 queueing wait at every resource, [W = u*s / (2*(1-u))] for
+      a resource with per-request occupation [s] and utilisation
+      [u = rate*s] — arrivals are Poisson-like, service nearly
+      deterministic;
+    - the service phase on the selected server, with requests split
+      proportionally to server power (Eqs. 6–9).
+
+    Agents are occupied by every scheduling message and computation
+    (Eq. 14's denominator); servers by predictions plus their share of
+    services.  The estimate is heuristic — hierarchies overlap work in
+    ways no product-form model captures — but tracks the simulator within
+    tens of percent below saturation (see the tests), and correctly
+    diverges at it. *)
+
+open Adept_hierarchy
+
+type estimate = {
+  rate : float;  (** The arrival rate the estimate is for, req/s. *)
+  sched_latency : float;  (** Scheduling phase, seconds. *)
+  service_latency : float;  (** Service phase (wait + execution), seconds. *)
+  total : float;
+  max_utilization : float;  (** Busiest resource's [u]. *)
+  stable : bool;  (** All utilisations < 1. *)
+}
+
+val estimate :
+  Adept_model.Params.t ->
+  bandwidth:float ->
+  wapp:float ->
+  rate:float ->
+  Tree.t ->
+  estimate
+(** @raise Invalid_argument on non-positive rate/wapp/bandwidth or a tree
+    with no servers.  When [stable] is false the latency fields are
+    [infinity]. *)
+
+val sweep :
+  Adept_model.Params.t ->
+  bandwidth:float ->
+  wapp:float ->
+  rates:float list ->
+  Tree.t ->
+  estimate list
+(** One estimate per rate. *)
+
+val pp : Format.formatter -> estimate -> unit

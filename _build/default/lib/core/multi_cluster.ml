@@ -1,0 +1,142 @@
+open Adept_platform
+open Adept_hierarchy
+module Demand = Adept_model.Demand
+
+type arrangement = Single_site of string | Federated of string
+
+type result = {
+  tree : Tree.t;
+  predicted_rho : float;
+  arrangement : arrangement;
+  candidates : (string * float) list;
+}
+
+let sub_platform platform ~cluster =
+  let members =
+    List.filter (fun n -> Node.cluster n = cluster) (Platform.nodes platform)
+  in
+  match members with
+  | [] -> None
+  | representative :: _ ->
+      let mapping = Array.of_list members in
+      let renumbered =
+        List.mapi
+          (fun i n ->
+            Node.make ~id:i ~name:(Node.name n) ~power:(Node.power n) ~cluster ())
+          members
+      in
+      let intra =
+        Platform.bandwidth platform (Node.id representative) (Node.id representative)
+      in
+      let link =
+        Link.homogeneous ~bandwidth:intra
+          ~latency:(Link.latency (Platform.link platform))
+          ()
+      in
+      Some (Platform.create ~link renumbered, mapping)
+
+(* Map a tree planned on a renumbered sub-platform back onto the original
+   platform's nodes. *)
+let rec retranslate mapping = function
+  | Tree.Server n -> Tree.server mapping.(Node.id n)
+  | Tree.Agent (n, children) ->
+      Tree.agent mapping.(Node.id n) (List.map (retranslate mapping) children)
+
+let plan params ~platform ~wapp ~demand =
+  let clusters =
+    List.sort_uniq String.compare
+      (List.map Node.cluster (Platform.nodes platform))
+  in
+  (* One unbounded heuristic plan per cluster; clusters of a single node
+     cannot host a deployment alone but can still lend their node... they
+     are simply skipped (the heuristic needs agent + server). *)
+  let cluster_plans =
+    List.filter_map
+      (fun cluster ->
+        match sub_platform platform ~cluster with
+        | None -> None
+        | Some (sub, mapping) -> (
+            if Platform.size sub < 2 then None
+            else
+              match
+                Heuristic.plan_tree params ~platform:sub ~wapp
+                  ~demand:Demand.unbounded
+              with
+              | Error _ -> None
+              | Ok tree -> Some (cluster, retranslate mapping tree)))
+      clusters
+  in
+  if cluster_plans = [] then
+    Error "multi_cluster: no cluster can host even a degenerate deployment"
+  else begin
+    let score tree = Evaluate.rho_hetero params ~platform ~wapp tree in
+    let singles =
+      List.map
+        (fun (cluster, tree) -> (Single_site cluster, tree, score tree))
+        cluster_plans
+    in
+    let federations =
+      if List.length cluster_plans < 2 then []
+      else
+        List.map
+          (fun (master, master_tree) ->
+            let others =
+              List.filter (fun (c, _) -> c <> master) cluster_plans
+            in
+            let tree =
+              match master_tree with
+              | Tree.Server _ ->
+                  (* cannot happen: heuristic roots are agents *)
+                  master_tree
+              | Tree.Agent (root, children) ->
+                  Tree.normalize
+                    (Tree.agent root (children @ List.map snd others))
+            in
+            (Federated master, tree, score tree))
+          cluster_plans
+    in
+    let all = singles @ federations in
+    let name = function
+      | Single_site c -> "single:" ^ c
+      | Federated c -> "federated:" ^ c
+    in
+    let candidates = List.map (fun (a, _, rho) -> (name a, rho)) all in
+    let meeting =
+      match demand with
+      | Demand.Unbounded -> []
+      | Demand.Rate r -> List.filter (fun (_, _, rho) -> rho >= r *. (1.0 -. 1e-9)) all
+    in
+    let pick_best l =
+      List.fold_left
+        (fun acc ((_, tree, rho) as c) ->
+          match acc with
+          | Some (_, btree, brho) ->
+              if
+                rho > brho
+                || (rho = brho && Tree.size tree < Tree.size btree)
+              then Some c
+              else acc
+          | None -> Some c)
+        None l
+    in
+    let pick_cheapest l =
+      List.fold_left
+        (fun acc ((_, tree, _) as c) ->
+          match acc with
+          | Some (_, btree, _) when Tree.size btree <= Tree.size tree -> acc
+          | Some _ | None -> Some c)
+        None l
+    in
+    let chosen =
+      match meeting with [] -> pick_best all | _ :: _ -> pick_cheapest meeting
+    in
+    match chosen with
+    | None -> Error "multi_cluster: empty candidate set"
+    | Some (arrangement, tree, predicted_rho) ->
+        (match Validate.check ~platform tree with
+        | Error errs ->
+            Error
+              ("multi_cluster: invalid composed hierarchy: "
+              ^ String.concat "; " (List.map Validate.error_to_string errs))
+        | Ok () -> Ok { tree; predicted_rho; arrangement; candidates })
+  end

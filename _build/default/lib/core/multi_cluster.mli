@@ -1,0 +1,49 @@
+(** Deployment planning across clusters with heterogeneous connectivity —
+    the paper's closing future-work item, built on {!Evaluate.rho_hetero}.
+
+    The Eq. 14–16 machinery (and therefore {!Heuristic.plan}) assumes a
+    single bandwidth; on a multi-site platform this planner composes
+    single-site plans instead:
+
+    - {e single-site}: run the heuristic inside each cluster alone and keep
+      the best (ignoring the other sites entirely);
+    - {e federated}: for each choice of master site, plan every cluster
+      separately and attach the other clusters' roots as children of the
+      master's root, paying WAN costs on those links.
+
+    Every candidate is scored with the generalised model and the best one
+    returned — slow WANs make single-site plans win, fast WANs make
+    federation win (the [ablation-wan] experiment sweeps this). *)
+
+open Adept_platform
+open Adept_hierarchy
+
+type arrangement =
+  | Single_site of string  (** Winning cluster name. *)
+  | Federated of string  (** Master-root cluster name. *)
+
+type result = {
+  tree : Tree.t;
+  predicted_rho : float;  (** {!Evaluate.rho_hetero} of [tree]. *)
+  arrangement : arrangement;
+  candidates : (string * float) list;
+      (** Every arrangement considered with its score, e.g.
+          [("single:lyon", 410.2); ("federated:orsay", 501.7)]. *)
+}
+
+val plan :
+  Adept_model.Params.t ->
+  platform:Platform.t ->
+  wapp:float ->
+  demand:Adept_model.Demand.t ->
+  (result, string) Stdlib.result
+(** Plan across the platform's clusters.  Works on single-cluster
+    platforms too (degenerates to the heuristic).  Errors when any
+    cluster is too small to host even a degenerate deployment and no
+    other candidate exists.  The returned tree validates against the
+    platform. *)
+
+val sub_platform : Platform.t -> cluster:string -> (Platform.t * Node.t array) option
+(** The nodes of one cluster re-indexed densely as their own platform,
+    plus the mapping from new ids back to the original nodes; [None] if
+    the cluster has no nodes.  Exposed for tests. *)

@@ -1,0 +1,110 @@
+open Adept_platform
+open Adept_hierarchy
+module Demand = Adept_model.Demand
+
+type strategy =
+  | Heuristic
+  | Star
+  | Balanced of int
+  | Dary of int
+  | Homogeneous_optimal
+  | Exhaustive
+  | Multi_cluster
+  | Improved of strategy
+
+let rec strategy_name = function
+  | Heuristic -> "heuristic"
+  | Star -> "star"
+  | Balanced k -> Printf.sprintf "balanced:%d" k
+  | Dary d -> Printf.sprintf "dary:%d" d
+  | Homogeneous_optimal -> "homogeneous"
+  | Exhaustive -> "exhaustive"
+  | Multi_cluster -> "multi-cluster"
+  | Improved inner -> "improved:" ^ strategy_name inner
+
+let strip_prefix prefix s =
+  let plen = String.length prefix in
+  if String.length s > plen && String.sub s 0 plen = prefix then
+    Some (String.sub s plen (String.length s - plen))
+  else None
+
+let rec strategy_of_string s =
+  let int_suffix prefix s =
+    Option.bind (strip_prefix prefix s) int_of_string_opt
+  in
+  match s with
+  | "heuristic" -> Ok Heuristic
+  | "star" -> Ok Star
+  | "homogeneous" -> Ok Homogeneous_optimal
+  | "exhaustive" -> Ok Exhaustive
+  | "multi-cluster" -> Ok Multi_cluster
+  | s -> (
+      match int_suffix "balanced:" s with
+      | Some k -> Ok (Balanced k)
+      | None -> (
+          match int_suffix "dary:" s with
+          | Some d -> Ok (Dary d)
+          | None -> (
+              match strip_prefix "improved:" s with
+              | Some inner -> Result.map (fun i -> Improved i) (strategy_of_string inner)
+              | None -> Error (Printf.sprintf "unknown strategy %S" s))))
+
+type plan = {
+  strategy : strategy;
+  tree : Tree.t;
+  predicted_rho : float;
+  demand_met : bool;
+  nodes_used : int;
+  nodes_available : int;
+}
+
+let ( let* ) = Result.bind
+
+let rec plan_tree strategy params ~platform ~wapp ~demand =
+  let nodes = Platform.sorted_by_power_desc platform in
+  match strategy with
+  | Heuristic -> Heuristic.plan_tree params ~platform ~wapp ~demand
+  | Star -> Baselines.star nodes
+  | Balanced k -> Baselines.balanced ~agents:k nodes
+  | Dary d -> Baselines.dary ~degree:d nodes
+  | Homogeneous_optimal ->
+      Result.map (fun (r : Homogeneous.result) -> r.tree)
+        (Homogeneous.plan params ~platform ~wapp ~demand)
+  | Exhaustive -> Result.map fst (Exhaustive.optimal params ~platform ~wapp ())
+  | Multi_cluster ->
+      Result.map (fun (r : Multi_cluster.result) -> r.Multi_cluster.tree)
+        (Multi_cluster.plan params ~platform ~wapp ~demand)
+  | Improved inner ->
+      let* start = plan_tree inner params ~platform ~wapp ~demand in
+      Result.map (fun (r : Improver.result) -> r.Improver.tree)
+        (Improver.improve params ~platform ~wapp start)
+
+let run strategy params ~platform ~wapp ~demand =
+  let* tree = plan_tree strategy params ~platform ~wapp ~demand in
+  let* () =
+    match Validate.check ~platform tree with
+    | Ok () -> Ok ()
+    | Error errs ->
+        Error
+          (Printf.sprintf "strategy %s produced an invalid hierarchy: %s"
+             (strategy_name strategy)
+             (String.concat "; " (List.map Validate.error_to_string errs)))
+  in
+  let predicted_rho = Evaluate.rho_hetero params ~platform ~wapp tree in
+  Ok
+    {
+      strategy;
+      tree;
+      predicted_rho;
+      demand_met = Demand.is_met demand predicted_rho;
+      nodes_used = Tree.size tree;
+      nodes_available = Platform.size platform;
+    }
+
+let compare_strategies params ~platform ~wapp ~demand strategies =
+  List.map (fun s -> (s, run s params ~platform ~wapp ~demand)) strategies
+
+let pp_plan ppf p =
+  Format.fprintf ppf "%s: rho=%.2f req/s, %d/%d nodes, %s" (strategy_name p.strategy)
+    p.predicted_rho p.nodes_used p.nodes_available
+    (Metrics.describe p.tree)

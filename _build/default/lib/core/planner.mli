@@ -1,0 +1,63 @@
+(** Unified planning interface over every strategy in the library.
+
+    This is the front door a deployment tool (the paper's planned ADePT)
+    calls: pick a strategy, a platform, a workload, a demand — get a
+    validated hierarchy with its predicted throughput. *)
+
+open Adept_platform
+open Adept_hierarchy
+
+type strategy =
+  | Heuristic  (** The paper's Algorithm 1 (heterogeneous heuristic). *)
+  | Star  (** One agent, every other node a server. *)
+  | Balanced of int  (** The paper's balanced graph with this many middle agents. *)
+  | Dary of int  (** Complete spanning d-ary tree of fixed degree. *)
+  | Homogeneous_optimal  (** Degree search over d-ary trees (ref. [10]). *)
+  | Exhaustive  (** Brute force; tiny platforms only. *)
+  | Multi_cluster  (** Per-cluster planning with WAN-aware scoring. *)
+  | Improved of strategy
+      (** Plan with the inner strategy, then climb with the iterative
+          bottleneck remover of refs [6]/[7]. *)
+
+val strategy_name : strategy -> string
+val strategy_of_string : string -> (strategy, string) Stdlib.result
+(** Parse ["heuristic"], ["star"], ["balanced:<k>"], ["dary:<d>"],
+    ["homogeneous"], ["exhaustive"], ["multi-cluster"], and
+    ["improved:<strategy>"]. *)
+
+type plan = {
+  strategy : strategy;
+  tree : Tree.t;
+  predicted_rho : float;  (** Eq. 16 model throughput. *)
+  demand_met : bool;  (** Always false under unbounded demand. *)
+  nodes_used : int;
+  nodes_available : int;
+}
+
+val run :
+  strategy ->
+  Adept_model.Params.t ->
+  platform:Platform.t ->
+  wapp:float ->
+  demand:Adept_model.Demand.t ->
+  (plan, string) Stdlib.result
+(** Plan and validate.  Every returned tree passes
+    [Validate.check ~platform]; strategies that cannot satisfy the
+    platform (e.g. [Balanced] with too few nodes) return [Error].
+    Baseline strategies receive nodes strongest-first.  Predicted
+    throughput is {!Evaluate.rho_hetero}, so baselines and
+    [Multi_cluster] also score correctly on multi-site platforms
+    (strategies whose algorithm needs a single bandwidth — the heuristic,
+    the degree search, [Improved] — still error there). *)
+
+val compare_strategies :
+  Adept_model.Params.t ->
+  platform:Platform.t ->
+  wapp:float ->
+  demand:Adept_model.Demand.t ->
+  strategy list ->
+  (strategy * (plan, string) Stdlib.result) list
+(** Run several strategies on the same problem (the Section 5.3
+    experiment shape). *)
+
+val pp_plan : Format.formatter -> plan -> unit

@@ -1,0 +1,33 @@
+open Adept_platform
+module Throughput = Adept_model.Throughput
+
+let agent params ~bandwidth ~node ~children =
+  Throughput.agent_sched params ~bandwidth ~power:(Node.power node) ~degree:children
+
+let server params ~bandwidth ~node =
+  Throughput.server_sched params ~bandwidth ~power:(Node.power node)
+
+let sort_nodes params ~bandwidth nodes =
+  match nodes with
+  | [] -> []
+  | _ ->
+      let fanout = max 1 (List.length nodes - 1) in
+      let keyed =
+        List.map (fun n -> (agent params ~bandwidth ~node:n ~children:fanout, n)) nodes
+      in
+      let compare (ka, a) (kb, b) =
+        match Float.compare kb ka with
+        | 0 -> Node.compare_by_power_desc a b
+        | c -> c
+      in
+      List.map snd (List.sort compare keyed)
+
+let supported_children params ~bandwidth ~node ~floor ~max_children =
+  (* agent sched power is strictly decreasing in the degree, so a linear
+     scan from 1 is exact; max_children is at most n and keeps this cheap. *)
+  let rec go d =
+    if d > max_children then max_children
+    else if agent params ~bandwidth ~node ~children:d < floor then d - 1
+    else go (d + 1)
+  in
+  if max_children < 1 then 0 else go 1

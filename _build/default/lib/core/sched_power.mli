@@ -1,0 +1,35 @@
+(** Scheduling power of individual nodes (the paper's [calc_sch_pow]).
+
+    The scheduling power of a node acting as an agent depends on its
+    computing power and its number of children (Eq. 14); the heuristic
+    sorts candidate nodes by their scheduling power with [n_nodes - 1]
+    children to find the most agent-worthy nodes. *)
+
+open Adept_platform
+
+val agent : Adept_model.Params.t -> bandwidth:float -> node:Node.t -> children:int -> float
+(** Requests/s the node can schedule as an agent with [children] children
+    (agent term of Eq. 14).  [children >= 1]. *)
+
+val server : Adept_model.Params.t -> bandwidth:float -> node:Node.t -> float
+(** Requests/s the node can predict for as a server (server term of
+    Eq. 14). *)
+
+val sort_nodes :
+  Adept_model.Params.t -> bandwidth:float -> Node.t list -> Node.t list
+(** The paper's [sort_nodes]: decreasing scheduling power evaluated with
+    [n - 1] children (Steps 1–2 of Algorithm 1), ties broken by higher raw
+    power then lower id.  Returns [] for [].  Single-node lists sort with
+    one child. *)
+
+val supported_children :
+  Adept_model.Params.t ->
+  bandwidth:float ->
+  node:Node.t ->
+  floor:float ->
+  max_children:int ->
+  int
+(** The largest degree [d <= max_children] such that
+    [agent ~node ~children:d >= floor], or 0 when even one child drops the
+    node below [floor] — the paper's [supported_children] notion: how many
+    children an agent can take before becoming the bottleneck. *)

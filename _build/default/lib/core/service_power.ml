@@ -1,0 +1,14 @@
+open Adept_platform
+module Throughput = Adept_model.Throughput
+
+let of_powers params ~bandwidth ~wapp powers =
+  let servers =
+    List.map (fun power -> { Throughput.power; wapp }) powers
+  in
+  Throughput.service params ~bandwidth servers
+
+let of_servers params ~bandwidth ~wapp nodes =
+  of_powers params ~bandwidth ~wapp (List.map Node.power nodes)
+
+let marginal params ~bandwidth ~wapp servers candidate =
+  of_servers params ~bandwidth ~wapp (candidate :: servers)

@@ -1,0 +1,23 @@
+(** Service power of a server set (the paper's [calc_hier_ser_pow]).
+
+    Eq. 15 evaluated for the servers of a hierarchy running an application
+    of cost [wapp] MFlop, "when load is equally divided among the servers
+    of the hierarchy" — more precisely, divided so that heterogeneous
+    servers finish together (Eqs. 6–9). *)
+
+open Adept_platform
+
+val of_servers :
+  Adept_model.Params.t -> bandwidth:float -> wapp:float -> Node.t list -> float
+(** Service throughput in requests/s.  @raise Invalid_argument on an empty
+    list or non-positive [wapp]. *)
+
+val of_powers :
+  Adept_model.Params.t -> bandwidth:float -> wapp:float -> float list -> float
+(** Same, from raw powers. *)
+
+val marginal :
+  Adept_model.Params.t -> bandwidth:float -> wapp:float -> Node.t list -> Node.t -> float
+(** [marginal params ~bandwidth ~wapp servers candidate] is the service
+    power after adding [candidate] to [servers] — what the heuristic
+    evaluates when it considers taking the next sorted node as a server. *)

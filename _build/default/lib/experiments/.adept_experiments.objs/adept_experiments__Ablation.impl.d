@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Adept Adept_hierarchy Adept_model Adept_platform Adept_sim Adept_util Adept_workload Common Float List Option Printf

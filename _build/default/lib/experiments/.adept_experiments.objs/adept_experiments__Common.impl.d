@@ -1,0 +1,1 @@
+lib/experiments/common.ml: Adept_hierarchy Adept_model Adept_platform Adept_sim Adept_util Adept_workload Buffer Filename List Printf

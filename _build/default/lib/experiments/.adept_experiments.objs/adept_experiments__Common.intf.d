@@ -1,0 +1,1 @@
+lib/experiments/common.mli: Adept_model Adept_sim Adept_util

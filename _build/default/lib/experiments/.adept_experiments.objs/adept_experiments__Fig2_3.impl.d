@@ -1,0 +1,1 @@
+lib/experiments/fig2_3.ml: Adept Adept_hierarchy Adept_platform Adept_util Adept_workload Common Float List Printf

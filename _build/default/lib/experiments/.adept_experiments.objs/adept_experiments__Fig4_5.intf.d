@@ -1,0 +1,1 @@
+lib/experiments/fig4_5.mli: Common

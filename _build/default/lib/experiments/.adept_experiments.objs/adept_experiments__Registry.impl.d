@@ -1,0 +1,1 @@
+lib/experiments/registry.ml: Ablation Common Fig2_3 Fig4_5 Fig6 Fig7 List Table3_exp Table4

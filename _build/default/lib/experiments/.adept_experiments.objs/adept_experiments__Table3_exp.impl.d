@@ -1,0 +1,1 @@
+lib/experiments/table3_exp.ml: Adept_calibration Adept_model Adept_util Common Float List Printf

@@ -1,0 +1,1 @@
+lib/experiments/table3_exp.mli: Adept_calibration Common

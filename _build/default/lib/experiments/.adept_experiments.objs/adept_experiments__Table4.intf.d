@@ -1,0 +1,1 @@
+lib/experiments/table4.mli: Common

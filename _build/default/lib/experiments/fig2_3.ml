@@ -1,0 +1,90 @@
+module Table = Adept_util.Table
+module Csv = Adept_util.Csv
+
+type result = {
+  series_one : (int * float) list;
+  series_two : (int * float) list;
+  predicted_one : float;
+  predicted_two : float;
+  measured_one : float;
+  measured_two : float;
+  second_server_hurts_predicted : bool;
+  second_server_hurts_measured : bool;
+}
+
+let dgemm = 10
+
+let peak series = List.fold_left (fun acc (_, v) -> Float.max acc v) 0.0 series
+
+let predicted ~servers =
+  let platform = Adept_platform.Generator.grid5000_lyon ~n:(servers + 1) () in
+  let nodes = Adept_platform.Platform.nodes platform in
+  let tree = Adept_hierarchy.Tree.star (List.hd nodes) (List.tl nodes) in
+  Adept.Evaluate.rho_on Common.params ~platform
+    ~wapp:Adept_workload.Dgemm.(mflops (make dgemm))
+    tree
+
+let run (ctx : Common.context) =
+  let clients, warmup, duration =
+    match ctx.fidelity with
+    | Common.Quick -> ([ 1; 10; 50 ], 0.5, 1.0)
+    | Common.Full -> ([ 1; 2; 5; 10; 20; 50; 100; 150; 200 ], 1.0, 3.0)
+  in
+  let series servers =
+    Common.measure_series
+      (Common.star_scenario ~dgemm ~servers ~seed:ctx.seed)
+      ~clients ~warmup ~duration
+  in
+  let series_one = series 1 and series_two = series 2 in
+  let predicted_one = predicted ~servers:1 and predicted_two = predicted ~servers:2 in
+  let measured_one = peak series_one and measured_two = peak series_two in
+  {
+    series_one;
+    series_two;
+    predicted_one;
+    predicted_two;
+    measured_one;
+    measured_two;
+    second_server_hurts_predicted = predicted_two < predicted_one;
+    second_server_hurts_measured = measured_two < measured_one;
+  }
+
+let report _ctx r =
+  let fig2 =
+    List.fold_left
+      (fun table ((c, one), (_, two)) ->
+        Table.add_row table
+          [ string_of_int c; Table.cell_float one; Table.cell_float two ])
+      (Table.create [ "clients"; "1 SeD (req/s)"; "2 SeDs (req/s)" ])
+      (List.combine r.series_one r.series_two)
+  in
+  let fig3 =
+    Table.create [ "deployment"; "predicted (req/s)"; "measured (req/s)" ]
+    |> (fun t ->
+         Table.add_row t
+           [ "1 SeD"; Table.cell_float r.predicted_one; Table.cell_float r.measured_one ])
+    |> fun t ->
+    Table.add_row t
+      [ "2 SeDs"; Table.cell_float r.predicted_two; Table.cell_float r.measured_two ]
+  in
+  let csv =
+    List.fold_left
+      (fun csv ((c, one), (_, two)) -> Csv.add_floats csv [ float_of_int c; one; two ])
+      (Csv.create [ "clients"; "one_sed"; "two_seds" ])
+      (List.combine r.series_one r.series_two)
+  in
+  {
+    Common.id = "fig2-3";
+    title = "Star hierarchies, DGEMM 10x10 (agent-limited regime)";
+    paper_reference =
+      "Fig. 2/3: predicted 1460 vs 1052 req/s, measured 295 vs 283 req/s — the \
+       second server hurts in both";
+    tables = [ ("Fig. 2 — throughput vs load", fig2); ("Fig. 3 — predicted vs measured", fig3) ];
+    notes =
+      [
+        Printf.sprintf "second server hurts (predicted): %b"
+          r.second_server_hurts_predicted;
+        Printf.sprintf "second server hurts (measured):  %b" r.second_server_hurts_measured;
+      ];
+    series = [ ("throughput", csv) ];
+  }

@@ -1,0 +1,18 @@
+(** Figures 2 and 3: star hierarchies with one or two servers under
+    DGEMM 10x10 — the agent-limited regime where the model must predict
+    that adding a second server {e hurts}. *)
+
+type result = {
+  series_one : (int * float) list;  (** (clients, req/s), one server. *)
+  series_two : (int * float) list;
+  predicted_one : float;  (** Eq. 16 for the one-server star. *)
+  predicted_two : float;
+  measured_one : float;  (** Peak of the measured series. *)
+  measured_two : float;
+  second_server_hurts_predicted : bool;
+  second_server_hurts_measured : bool;
+}
+
+val run : Common.context -> result
+
+val report : Common.context -> result -> Common.report

@@ -1,0 +1,89 @@
+module Table = Adept_util.Table
+module Csv = Adept_util.Csv
+
+type result = {
+  series_one : (int * float) list;
+  series_two : (int * float) list;
+  predicted_one : float;
+  predicted_two : float;
+  measured_one : float;
+  measured_two : float;
+  speedup_predicted : float;
+  speedup_measured : float;
+}
+
+let dgemm = 200
+
+let peak series = List.fold_left (fun acc (_, v) -> Float.max acc v) 0.0 series
+
+let predicted ~servers =
+  let platform = Adept_platform.Generator.grid5000_lyon ~n:(servers + 1) () in
+  let nodes = Adept_platform.Platform.nodes platform in
+  let tree = Adept_hierarchy.Tree.star (List.hd nodes) (List.tl nodes) in
+  Adept.Evaluate.rho_on Common.params ~platform
+    ~wapp:Adept_workload.Dgemm.(mflops (make dgemm))
+    tree
+
+let run (ctx : Common.context) =
+  let clients, warmup, duration =
+    match ctx.fidelity with
+    | Common.Quick -> ([ 1; 10; 30 ], 1.0, 2.0)
+    | Common.Full -> ([ 1; 2; 5; 10; 25; 50; 100; 200; 300 ], 2.0, 4.0)
+  in
+  let series servers =
+    Common.measure_series
+      (Common.star_scenario ~dgemm ~servers ~seed:ctx.seed)
+      ~clients ~warmup ~duration
+  in
+  let series_one = series 1 and series_two = series 2 in
+  let predicted_one = predicted ~servers:1 and predicted_two = predicted ~servers:2 in
+  let measured_one = peak series_one and measured_two = peak series_two in
+  {
+    series_one;
+    series_two;
+    predicted_one;
+    predicted_two;
+    measured_one;
+    measured_two;
+    speedup_predicted = predicted_two /. predicted_one;
+    speedup_measured = measured_two /. measured_one;
+  }
+
+let report _ctx r =
+  let fig4 =
+    List.fold_left
+      (fun table ((c, one), (_, two)) ->
+        Table.add_row table
+          [ string_of_int c; Table.cell_float one; Table.cell_float two ])
+      (Table.create [ "clients"; "1 SeD (req/s)"; "2 SeDs (req/s)" ])
+      (List.combine r.series_one r.series_two)
+  in
+  let fig5 =
+    Table.create [ "deployment"; "predicted (req/s)"; "measured (req/s)" ]
+    |> (fun t ->
+         Table.add_row t
+           [ "1 SeD"; Table.cell_float r.predicted_one; Table.cell_float r.measured_one ])
+    |> fun t ->
+    Table.add_row t
+      [ "2 SeDs"; Table.cell_float r.predicted_two; Table.cell_float r.measured_two ]
+  in
+  let csv =
+    List.fold_left
+      (fun csv ((c, one), (_, two)) -> Csv.add_floats csv [ float_of_int c; one; two ])
+      (Csv.create [ "clients"; "one_sed"; "two_seds" ])
+      (List.combine r.series_one r.series_two)
+  in
+  {
+    Common.id = "fig4-5";
+    title = "Star hierarchies, DGEMM 200x200 (server-limited regime)";
+    paper_reference =
+      "Fig. 4/5: predicted 45 vs 90 req/s, measured 35 vs 70 req/s — the second \
+       server roughly doubles throughput";
+    tables = [ ("Fig. 4 — throughput vs load", fig4); ("Fig. 5 — predicted vs measured", fig5) ];
+    notes =
+      [
+        Printf.sprintf "speedup with second server: predicted %.2fx, measured %.2fx"
+          r.speedup_predicted r.speedup_measured;
+      ];
+    series = [ ("throughput", csv) ];
+  }

@@ -1,0 +1,18 @@
+(** Figures 4 and 5: star hierarchies with one or two servers under
+    DGEMM 200x200 — the server-limited regime where the second server must
+    roughly double throughput. *)
+
+type result = {
+  series_one : (int * float) list;
+  series_two : (int * float) list;
+  predicted_one : float;
+  predicted_two : float;
+  measured_one : float;
+  measured_two : float;
+  speedup_predicted : float;  (** predicted_two / predicted_one (~2). *)
+  speedup_measured : float;
+}
+
+val run : Common.context -> result
+
+val report : Common.context -> result -> Common.report

@@ -1,0 +1,27 @@
+(** Figure 6: automatically planned deployment vs intuitive star and
+    balanced deployments for DGEMM 310x310 on a 200-node heterogeneous
+    cluster (background-loaded Orsay-like site), measured as throughput
+    against a growing client population.
+
+    The intuitive baselines assign nodes in platform order (the paper's
+    deployments were not power-aware); the heuristic sorts by scheduling
+    power. *)
+
+type deployment = {
+  name : string;
+  tree : Adept_hierarchy.Tree.t;
+  predicted : float;
+  series : (int * float) list;
+  peak : float;
+}
+
+type result = {
+  star : deployment;
+  balanced : deployment;
+  automatic : deployment;
+  automatic_wins : bool;  (** Peak of automatic >= peak of both others. *)
+}
+
+val run : Common.context -> result
+
+val report : Common.context -> result -> Common.report

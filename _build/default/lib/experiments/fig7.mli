@@ -1,0 +1,23 @@
+(** Figure 7: DGEMM 1000x1000 on the 200-node heterogeneous cluster.  The
+    heuristic must degenerate to a star (service-limited regime), and that
+    automatic star must beat the balanced deployment, whose middle agents
+    waste 14 nodes of service capacity. *)
+
+type deployment = {
+  name : string;
+  tree : Adept_hierarchy.Tree.t;
+  predicted : float;
+  series : (int * float) list;
+  peak : float;
+}
+
+type result = {
+  automatic : deployment;
+  balanced : deployment;
+  automatic_is_star : bool;
+  automatic_wins : bool;
+}
+
+val run : Common.context -> result
+
+val report : Common.context -> result -> Common.report

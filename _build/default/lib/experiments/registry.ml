@@ -1,0 +1,83 @@
+type experiment = {
+  id : string;
+  title : string;
+  run : Common.context -> Common.report;
+}
+
+let all =
+  [
+    {
+      id = "table3";
+      title = "Calibration of middleware parameters (Table 3)";
+      run = (fun ctx -> Table3_exp.report ctx (Table3_exp.run ctx));
+    };
+    {
+      id = "fig2-3";
+      title = "Star validation, DGEMM 10x10 (Figures 2-3)";
+      run = (fun ctx -> Fig2_3.report ctx (Fig2_3.run ctx));
+    };
+    {
+      id = "fig4-5";
+      title = "Star validation, DGEMM 200x200 (Figures 4-5)";
+      run = (fun ctx -> Fig4_5.report ctx (Fig4_5.run ctx));
+    };
+    {
+      id = "table4";
+      title = "Heuristic vs homogeneous optimal (Table 4)";
+      run = (fun ctx -> Table4.report ctx (Table4.run ctx));
+    };
+    {
+      id = "fig6";
+      title = "Automatic vs intuitive deployments, DGEMM 310x310 (Figure 6)";
+      run = (fun ctx -> Fig6.report ctx (Fig6.run ctx));
+    };
+    {
+      id = "fig7";
+      title = "Automatic star vs balanced, DGEMM 1000x1000 (Figure 7)";
+      run = (fun ctx -> Fig7.report ctx (Fig7.run ctx));
+    };
+    {
+      id = "ablation-selection";
+      title = "Extension: server-selection policy ablation";
+      run = (fun ctx -> Ablation.report_selection ctx (Ablation.run_selection ctx));
+    };
+    {
+      id = "ablation-bandwidth";
+      title = "Extension: bandwidth sensitivity of the planner";
+      run = (fun ctx -> Ablation.report_bandwidth ctx (Ablation.run_bandwidth ctx));
+    };
+    {
+      id = "ablation-demand";
+      title = "Extension: demand-bounded planning";
+      run = (fun ctx -> Ablation.report_demand ctx (Ablation.run_demand ctx));
+    };
+    {
+      id = "ablation-improver";
+      title = "Extension: iterative bottleneck removal vs planning from scratch";
+      run = (fun ctx -> Ablation.report_improver ctx (Ablation.run_improver ctx));
+    };
+    {
+      id = "ablation-wan";
+      title = "Extension: multi-cluster planning across WAN bandwidths";
+      run = (fun ctx -> Ablation.report_wan ctx (Ablation.run_wan ctx));
+    };
+    {
+      id = "ablation-mix";
+      title = "Extension: multi-application mixes and the effective Wapp";
+      run = (fun ctx -> Ablation.report_mix ctx (Ablation.run_mix ctx));
+    };
+    {
+      id = "ablation-latency";
+      title = "Extension: response time vs load (M/D/1 companion model)";
+      run = (fun ctx -> Ablation.report_latency ctx (Ablation.run_latency ctx));
+    };
+    {
+      id = "ablation-monitoring";
+      title = "Extension: monitoring-database staleness vs selection quality";
+      run = (fun ctx -> Ablation.report_monitoring ctx (Ablation.run_monitoring ctx));
+    };
+  ]
+
+let find id = List.find_opt (fun e -> e.id = id) all
+
+let ids = List.map (fun e -> e.id) all

@@ -1,0 +1,16 @@
+(** Experiment registry: every paper artefact and extension by id, as the
+    benchmark harness and the CLI list them. *)
+
+type experiment = {
+  id : string;
+  title : string;
+  run : Common.context -> Common.report;
+}
+
+val all : experiment list
+(** In presentation order: table3, fig2-3, fig4-5, table4, fig6, fig7,
+    ablations. *)
+
+val find : string -> experiment option
+
+val ids : string list

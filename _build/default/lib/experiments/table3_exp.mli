@@ -1,0 +1,14 @@
+(** Table 3: calibration of the middleware parameters from simulated
+    traces — runs the full measurement protocol of Section 5.1 against the
+    simulator and reports the reconstructed constants next to the
+    injected reference values. *)
+
+type result = {
+  measured : Adept_calibration.Table3.measured;
+  errors : (string * float) list;  (** Relative error per parameter. *)
+  max_error : float;
+}
+
+val run : Common.context -> result
+
+val report : Common.context -> result -> Common.report

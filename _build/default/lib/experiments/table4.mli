@@ -1,0 +1,29 @@
+(** Table 4: quality of the heterogeneous heuristic on homogeneous
+    clusters, measured as the percentage of the optimal throughput
+    achieved, with the degrees each planner picks.
+
+    The paper compares against the experimentally determined optimal and
+    the homogeneous model of [10]; here the reference optimum is the
+    d-ary degree search itself (exact under the model on homogeneous
+    platforms), and the exhaustive oracle cross-checks the smallest
+    instance. *)
+
+type row = {
+  dgemm : int;
+  total_nodes : int;
+  paper_opt_degree : int;
+  paper_homo_degree : int;
+  paper_heur_degree : int;
+  paper_heur_percent : float;
+  homo_degree : int;  (** Our homogeneous-optimal degree. *)
+  homo_rho : float;
+  heur_degree : int;  (** Max degree of the heuristic's hierarchy. *)
+  heur_rho : float;
+  heur_percent : float;  (** heur_rho / max(homo_rho, heur_rho effective optimum) *)
+}
+
+type result = { rows : row list }
+
+val run : Common.context -> result
+
+val report : Common.context -> result -> Common.report

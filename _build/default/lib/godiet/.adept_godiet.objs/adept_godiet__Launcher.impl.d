@@ -1,0 +1,1 @@
+lib/godiet/launcher.ml: Adept_hierarchy Adept_platform Adept_sim Adept_util List Plan String

@@ -1,0 +1,1 @@
+lib/godiet/launcher.mli: Adept_model Adept_platform Adept_sim Adept_util Plan Platform

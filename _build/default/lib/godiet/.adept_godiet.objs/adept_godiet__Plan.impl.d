@@ -1,0 +1,1 @@
+lib/godiet/plan.ml: Adept_hierarchy Adept_platform Format List Option Printf String Tree Validate

@@ -1,0 +1,1 @@
+lib/godiet/plan.mli: Adept_hierarchy Adept_platform Format Node Tree

@@ -1,0 +1,1 @@
+lib/godiet/writer.ml: Adept_hierarchy Adept_platform Buffer Fun Link List Node Option Platform Printf Result String Xml

@@ -1,0 +1,1 @@
+lib/godiet/writer.mli: Adept_hierarchy Adept_platform Platform Tree

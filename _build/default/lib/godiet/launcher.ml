@@ -1,0 +1,136 @@
+type launched = {
+  middleware : Adept_sim.Middleware.t;
+  ready_at : float;
+  launched_elements : int;
+}
+
+let launch ?(element_delay = 0.5) ?trace ?selection ~engine ~params ~platform
+    (plan : Plan.t) =
+  if element_delay < 0.0 then invalid_arg "Launcher.launch: negative element delay";
+  let elements = Plan.launch_order plan in
+  let count = List.length elements in
+  let middleware =
+    Adept_sim.Middleware.deploy ?trace ?selection ~engine ~params ~platform plan.Plan.tree
+  in
+  let ready_at =
+    Adept_sim.Engine.now engine +. (element_delay *. float_of_int count)
+  in
+  { middleware; ready_at; launched_elements = count }
+
+type launch_policy = {
+  element_delay : float;
+  failure_probability : float;
+  max_retries : int;
+}
+
+let default_policy = { element_delay = 0.5; failure_probability = 0.0; max_retries = 2 }
+
+type staged_outcome = {
+  deployment : launched option;
+  attempts : int;
+  dropped_servers : string list;
+  aborted_on : string option;
+}
+
+let remove_server tree node_id =
+  let rec go tree =
+    match tree with
+    | Adept_hierarchy.Tree.Server _ -> tree
+    | Adept_hierarchy.Tree.Agent (n, children) ->
+        let children =
+          List.filter
+            (fun c ->
+              match c with
+              | Adept_hierarchy.Tree.Server s -> Adept_platform.Node.id s <> node_id
+              | Adept_hierarchy.Tree.Agent _ -> true)
+            children
+        in
+        Adept_hierarchy.Tree.agent n (List.map go children)
+  in
+  go tree
+
+let launch_staged ?(policy = default_policy) ?trace ?selection ~rng ~engine ~params
+    ~platform (plan : Plan.t) =
+  if policy.element_delay < 0.0 then Error "launch_staged: negative element delay"
+  else if policy.failure_probability < 0.0 || policy.failure_probability >= 1.0 then
+    Error "launch_staged: failure probability must be in [0, 1)"
+  else if policy.max_retries < 0 then Error "launch_staged: negative retry count"
+  else begin
+    let attempts = ref 0 in
+    let clock = ref (Adept_sim.Engine.now engine) in
+    (* returns true when the element eventually came up *)
+    let try_launch () =
+      let rec go tries_left =
+        incr attempts;
+        clock := !clock +. policy.element_delay;
+        let failed =
+          policy.failure_probability > 0.0
+          && Adept_util.Rng.float rng 1.0 < policy.failure_probability
+        in
+        if not failed then true else if tries_left > 0 then go (tries_left - 1) else false
+      in
+      go policy.max_retries
+    in
+    let dropped = ref [] in
+    let aborted = ref None in
+    let tree = ref plan.Plan.tree in
+    List.iter
+      (fun (e : Plan.element) ->
+        if !aborted = None then
+          if try_launch () then ()
+          else
+            match e.Plan.kind with
+            | Plan.Server ->
+                dropped := e.Plan.element_name :: !dropped;
+                tree := remove_server !tree (Adept_platform.Node.id e.Plan.host)
+            | Plan.Master_agent | Plan.Agent ->
+                aborted := Some e.Plan.element_name)
+      (Plan.launch_order plan);
+    match !aborted with
+    | Some name ->
+        Ok
+          {
+            deployment = None;
+            attempts = !attempts;
+            dropped_servers = List.rev !dropped;
+            aborted_on = Some name;
+          }
+    | None -> (
+        (* an agent left with a single child by a dropped sibling is
+           restarted as a server (Tree.normalize) *)
+        tree := Adept_hierarchy.Tree.normalize !tree;
+        match Adept_hierarchy.Validate.check ~platform !tree with
+        | Error errs ->
+            Error
+              ("launch_staged: too many servers lost: "
+              ^ String.concat "; "
+                  (List.map Adept_hierarchy.Validate.error_to_string errs))
+        | Ok () ->
+            let middleware =
+              Adept_sim.Middleware.deploy ?trace ?selection ~engine ~params ~platform
+                !tree
+            in
+            Ok
+              {
+                deployment =
+                  Some
+                    {
+                      middleware;
+                      ready_at = !clock;
+                      launched_elements =
+                        List.length (Plan.launch_order plan) - List.length !dropped;
+                    };
+                attempts = !attempts;
+                dropped_servers = List.rev !dropped;
+                aborted_on = None;
+              })
+  end
+
+let launch_xml ?element_delay ?trace ?selection ~engine ~params ~platform xml =
+  match Adept_hierarchy.Xml.of_string_on platform xml with
+  | Error _ as e -> e
+  | Ok tree -> (
+      match Plan.of_tree tree with
+      | Error _ as e -> e
+      | Ok plan ->
+          Ok (launch ?element_delay ?trace ?selection ~engine ~params ~platform plan))

@@ -1,0 +1,140 @@
+open Adept_platform
+open Adept_hierarchy
+
+let document platform tree =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "<godiet_deployment>\n";
+  Buffer.add_string buf "  <resources>\n";
+  List.iter
+    (fun node ->
+      Buffer.add_string buf
+        (Printf.sprintf "    <compute_node name=\"%s\" power=\"%.17g\" cluster=\"%s\"/>\n"
+           (Node.name node) (Node.power node) (Node.cluster node)))
+    (Platform.nodes platform);
+  let link = Platform.link platform in
+  (match Link.uniform_bandwidth link with
+  | Some b ->
+      Buffer.add_string buf
+        (Printf.sprintf "    <link bandwidth=\"%.17g\" latency=\"%.17g\"/>\n" b
+           (Link.latency link))
+  | None ->
+      Buffer.add_string buf
+        (Printf.sprintf "    <link bandwidth=\"heterogeneous\" latency=\"%.17g\"/>\n"
+           (Link.latency link)));
+  Buffer.add_string buf "  </resources>\n";
+  (* Indent the hierarchy section by two spaces to nest it. *)
+  String.split_on_char '\n' (Xml.to_string tree)
+  |> List.iter (fun line ->
+         if line <> "" then begin
+           Buffer.add_string buf "  ";
+           Buffer.add_string buf line;
+           Buffer.add_char buf '\n'
+         end);
+  Buffer.add_string buf "</godiet_deployment>\n";
+  Buffer.contents buf
+
+let parse_document text =
+  match
+    (String.index_opt text '<', String.length text)
+  with
+  | None, _ -> Error "empty document"
+  | Some _, _ -> (
+      let open_tag = "<diet_hierarchy>" and close_tag = "</diet_hierarchy>" in
+      let find_sub needle =
+        let nlen = String.length needle and hlen = String.length text in
+        let rec go i =
+          if i + nlen > hlen then None
+          else if String.sub text i nlen = needle then Some i
+          else go (i + 1)
+        in
+        go 0
+      in
+      match (find_sub open_tag, find_sub close_tag) with
+      | Some a, Some b when b > a ->
+          let section = String.sub text a (b + String.length close_tag - a) in
+          Xml.of_string section
+      | _ -> Error "document has no <diet_hierarchy> section")
+
+(* value of key="..." inside one tag's text *)
+let attr tag key =
+  let needle = key ^ "=\"" in
+  let nlen = String.length needle and tlen = String.length tag in
+  let rec find i =
+    if i + nlen > tlen then None
+    else if String.sub tag i nlen = needle then
+      let start = i + nlen in
+      match String.index_from_opt tag start '"' with
+      | Some close -> Some (String.sub tag start (close - start))
+      | None -> None
+    else find (i + 1)
+  in
+  find 0
+
+(* every "<name ... />" tag text in the document, in order *)
+let self_closing_tags text name =
+  let open_tag = "<" ^ name in
+  let tlen = String.length text and olen = String.length open_tag in
+  let rec go acc i =
+    if i + olen > tlen then List.rev acc
+    else if String.sub text i olen = open_tag then
+      match String.index_from_opt text i '>' with
+      | Some close -> go (String.sub text i (close - i) :: acc) (close + 1)
+      | None -> List.rev acc
+    else go acc (i + 1)
+  in
+  go [] 0
+
+let ( let* ) = Result.bind
+
+let parse_resources text =
+  let nodes_tags = self_closing_tags text "compute_node" in
+  if nodes_tags = [] then Error "document has no compute_node entries"
+  else begin
+    let* link =
+      match self_closing_tags text "link" with
+      | [ tag ] -> (
+          match attr tag "bandwidth" with
+          | None -> Error "link entry missing bandwidth"
+          | Some "heterogeneous" ->
+              Error
+                "document was written from a heterogeneous-connectivity platform; \
+                 the per-pair table is not serialised"
+          | Some b -> (
+              match float_of_string_opt b with
+              | None -> Error (Printf.sprintf "invalid link bandwidth %S" b)
+              | Some bandwidth -> (
+                  let latency =
+                    Option.bind (attr tag "latency") float_of_string_opt
+                    |> Option.value ~default:0.0
+                  in
+                  try Ok (Link.homogeneous ~bandwidth ~latency ())
+                  with Invalid_argument m -> Error m)))
+      | [] -> Error "document has no link entry"
+      | _ -> Error "document has several link entries"
+    in
+    let rec build acc id = function
+      | [] -> Ok (List.rev acc)
+      | tag :: rest -> (
+          match (attr tag "name", Option.bind (attr tag "power") float_of_string_opt) with
+          | Some name, Some power -> (
+              let cluster = Option.value ~default:"default" (attr tag "cluster") in
+              match Node.make ~id ~name ~power ~cluster () with
+              | node -> build (node :: acc) (id + 1) rest
+              | exception Invalid_argument m -> Error m)
+          | _ -> Error (Printf.sprintf "malformed compute_node entry: %s" tag))
+    in
+    let* nodes = build [] 0 nodes_tags in
+    try Ok (Platform.create ~link nodes) with Invalid_argument m -> Error m
+  end
+
+let load_deployment text =
+  let* platform = parse_resources text in
+  let* shape = parse_document text in
+  let* tree = Xml.of_string_on platform (Xml.to_string shape) in
+  Ok (platform, tree)
+
+let save platform tree path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (document platform tree))

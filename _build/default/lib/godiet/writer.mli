@@ -1,0 +1,36 @@
+(** Full GoDIET-style XML documents: resources section (the platform) plus
+    the hierarchy section (from {!Adept_hierarchy.Xml}), mirroring the
+    input files GoDIET 2.0 consumed. *)
+
+open Adept_platform
+open Adept_hierarchy
+
+val document : Platform.t -> Tree.t -> string
+(** The complete deployment document:
+
+    {v
+    <godiet_deployment>
+      <resources>
+        <compute_node name="..." power="..." cluster="..."/>
+        ...
+        <link bandwidth="..." latency="..."/>
+      </resources>
+      <diet_hierarchy> ... </diet_hierarchy>
+    </godiet_deployment>
+    v} *)
+
+val parse_document : string -> (Tree.t, string) result
+(** Extract and parse the hierarchy section of a {!document}. *)
+
+val parse_resources : string -> (Platform.t, string) result
+(** Extract and parse the resources section of a {!document}: the
+    [compute_node] entries (ids assigned in document order) and the
+    homogeneous [link].  Documents written from heterogeneous-connectivity
+    platforms are rejected — the per-pair table is not serialised. *)
+
+val load_deployment : string -> (Platform.t * Tree.t, string) result
+(** Restore a complete deployment from a {!document}: the platform from
+    the resources section and the hierarchy resolved against it (original
+    node ids, names and powers). *)
+
+val save : Platform.t -> Tree.t -> string -> unit

@@ -1,0 +1,1 @@
+lib/hierarchy/adjacency.ml: Adept_platform Array Format List Node Platform Printf Result Tree

@@ -1,0 +1,1 @@
+lib/hierarchy/adjacency.mli: Adept_platform Format Platform Tree

@@ -1,0 +1,1 @@
+lib/hierarchy/dot.ml: Adept_platform Buffer Fun List Node Printf Tree

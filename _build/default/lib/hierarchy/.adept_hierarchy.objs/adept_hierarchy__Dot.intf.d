@@ -1,0 +1,1 @@
+lib/hierarchy/dot.mli: Tree

@@ -1,0 +1,1 @@
+lib/hierarchy/metrics.ml: Format Hashtbl Int List Option Printf Tree

@@ -1,0 +1,1 @@
+lib/hierarchy/metrics.mli: Format Tree

@@ -1,0 +1,1 @@
+lib/hierarchy/tree.ml: Adept_platform Format List Node

@@ -1,0 +1,1 @@
+lib/hierarchy/tree.mli: Adept_platform Format Node

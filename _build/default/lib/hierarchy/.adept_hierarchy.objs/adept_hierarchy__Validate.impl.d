@@ -1,0 +1,1 @@
+lib/hierarchy/validate.ml: Adept_platform Format Hashtbl List Node Platform Tree

@@ -1,0 +1,1 @@
+lib/hierarchy/validate.mli: Adept_platform Format Node Platform Tree

@@ -1,0 +1,1 @@
+lib/hierarchy/xml.ml: Adept_platform Buffer Float Fun Hashtbl In_channel List Node Platform Printf Result String Tree

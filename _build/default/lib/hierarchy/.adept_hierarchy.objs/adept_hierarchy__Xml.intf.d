@@ -1,0 +1,1 @@
+lib/hierarchy/xml.mli: Adept_platform Platform Tree

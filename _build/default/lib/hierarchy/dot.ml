@@ -1,0 +1,32 @@
+open Adept_platform
+
+let to_string ?(name = "hierarchy") tree =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n" name);
+  Buffer.add_string buf "  rankdir=TB;\n";
+  let node_decl node shape =
+    Buffer.add_string buf
+      (Printf.sprintf "  n%d [shape=%s, label=\"%s\\n%.0f MFlop/s\"];\n" (Node.id node)
+         shape (Node.name node) (Node.power node))
+  in
+  let rec go = function
+    | Tree.Server node -> node_decl node "ellipse"
+    | Tree.Agent (node, children) ->
+        node_decl node "box";
+        List.iter
+          (fun child ->
+            Buffer.add_string buf
+              (Printf.sprintf "  n%d -> n%d;\n" (Node.id node)
+                 (Node.id (Tree.root_node child)));
+            go child)
+          children
+  in
+  go tree;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let save ?name tree path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ?name tree))

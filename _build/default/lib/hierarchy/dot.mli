@@ -1,0 +1,7 @@
+(** Graphviz export of hierarchies, for documentation and debugging. *)
+
+val to_string : ?name:string -> Tree.t -> string
+(** A [digraph] with agents as boxes and servers as ellipses, labelled
+    with node name and power.  [name] defaults to ["hierarchy"]. *)
+
+val save : ?name:string -> Tree.t -> string -> unit

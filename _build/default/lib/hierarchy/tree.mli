@@ -1,0 +1,75 @@
+(** Middleware hierarchies.
+
+    A deployment hierarchy maps each used node to a role: agents are
+    internal vertices (the root is the master agent), servers are leaves.
+    The constructors are exposed for pattern-matching; structural
+    invariants (paper, Section 1: the root has one or more children,
+    non-root agents two or more, servers exactly one agent parent) are
+    checked by {!Validate.check}, which planners call on their output. *)
+
+open Adept_platform
+
+type t =
+  | Agent of Node.t * t list  (** An agent and its children, in order. *)
+  | Server of Node.t  (** A leaf server. *)
+
+val agent : Node.t -> t list -> t
+(** [agent node children] — mere constructor, no validation. *)
+
+val server : Node.t -> t
+
+val star : Node.t -> Node.t list -> t
+(** One agent with the given servers as leaves.
+    @raise Invalid_argument when the server list is empty. *)
+
+val root_node : t -> Node.t
+
+val nodes : t -> Node.t list
+(** All nodes, preorder. *)
+
+val agents : t -> Node.t list
+(** Agent nodes, preorder (root first). *)
+
+val servers : t -> Node.t list
+(** Server nodes, preorder. *)
+
+val agents_with_degree : t -> (Node.t * int) list
+(** Each agent with its child count, preorder. *)
+
+val size : t -> int
+(** Total number of nodes used. *)
+
+val agent_count : t -> int
+val server_count : t -> int
+
+val depth : t -> int
+(** Length of the longest root-to-leaf path counted in edges; a lone server
+    or single agent has depth 0. *)
+
+val degree : t -> int
+(** Child count of the root (0 for a server). *)
+
+val fold : agent:(Node.t -> 'a list -> 'a) -> server:(Node.t -> 'a) -> t -> 'a
+(** Bottom-up catamorphism. *)
+
+val parent_of : t -> Node.id -> Node.t option
+(** The parent node of the node with the given id, if present and not the
+    root. *)
+
+val mem : t -> Node.id -> bool
+
+val normalize : t -> t
+(** Demote non-root agents with fewer than two children (the structural
+    minimum of {!Validate}): a childless agent becomes a server in place;
+    a single-child agent becomes a server with its child spliced into the
+    grandparent's child list.  The root is never demoted.  Idempotent;
+    used by planners to clean up frontier rounding. *)
+
+val equal : t -> t -> bool
+(** Structural equality, child order significant. *)
+
+val pp : Format.formatter -> t -> unit
+(** Indented multi-line rendering. *)
+
+val pp_compact : Format.formatter -> t -> unit
+(** One-line rendering like [a0(a1(s2 s3) s4)]. *)

@@ -1,0 +1,216 @@
+open Adept_platform
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let unescape s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i >= n then ()
+    else if s.[i] = '&' then begin
+      let entity_end =
+        match String.index_from_opt s i ';' with Some j -> j | None -> n - 1
+      in
+      let entity = String.sub s i (entity_end - i + 1) in
+      (match entity with
+      | "&amp;" -> Buffer.add_char buf '&'
+      | "&lt;" -> Buffer.add_char buf '<'
+      | "&gt;" -> Buffer.add_char buf '>'
+      | "&quot;" -> Buffer.add_char buf '"'
+      | other -> Buffer.add_string buf other);
+      go (entity_end + 1)
+    end
+    else begin
+      Buffer.add_char buf s.[i];
+      go (i + 1)
+    end
+  in
+  go 0;
+  Buffer.contents buf
+
+let to_string tree =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "<diet_hierarchy>\n";
+  let attr node =
+    Printf.sprintf "host=\"%s\" power=\"%.17g\"" (escape (Node.name node)) (Node.power node)
+  in
+  let rec emit indent element = function
+    | Tree.Server node ->
+        Buffer.add_string buf (Printf.sprintf "%s<server %s/>\n" indent (attr node))
+    | Tree.Agent (node, children) ->
+        Buffer.add_string buf (Printf.sprintf "%s<%s %s>\n" indent element (attr node));
+        List.iter (emit (indent ^ "  ") "agent") children;
+        Buffer.add_string buf (Printf.sprintf "%s</%s>\n" indent element)
+  in
+  emit "  " "master_agent" tree;
+  Buffer.add_string buf "</diet_hierarchy>\n";
+  Buffer.contents buf
+
+(* --- Parsing.  Tokenise into open/close/self-closing tags, then build. --- *)
+
+type tag = Open of string * (string * string) list | Close of string | Selfclose of string * (string * string) list
+
+let parse_attrs s =
+  (* attributes of the form key="value", separated by spaces *)
+  let n = String.length s in
+  let rec skip_ws i = if i < n && (s.[i] = ' ' || s.[i] = '\n' || s.[i] = '\t') then skip_ws (i + 1) else i in
+  let rec go acc i =
+    let i = skip_ws i in
+    if i >= n then Ok (List.rev acc)
+    else
+      match String.index_from_opt s i '=' with
+      | None -> Error (Printf.sprintf "malformed attribute near %S" (String.sub s i (n - i)))
+      | Some eq ->
+          let key = String.trim (String.sub s i (eq - i)) in
+          if eq + 1 >= n || s.[eq + 1] <> '"' then Error "attribute value must be quoted"
+          else (
+            match String.index_from_opt s (eq + 2) '"' with
+            | None -> Error "unterminated attribute value"
+            | Some close ->
+                let value = unescape (String.sub s (eq + 2) (close - eq - 2)) in
+                go ((key, value) :: acc) (close + 1))
+  in
+  go [] 0
+
+let tokenize text =
+  let n = String.length text in
+  let rec go acc i =
+    if i >= n then Ok (List.rev acc)
+    else if text.[i] <> '<' then
+      if text.[i] = ' ' || text.[i] = '\n' || text.[i] = '\t' || text.[i] = '\r' then
+        go acc (i + 1)
+      else Error (Printf.sprintf "unexpected character %C at offset %d" text.[i] i)
+    else
+      match String.index_from_opt text i '>' with
+      | None -> Error "unterminated tag"
+      | Some close ->
+          let inner = String.sub text (i + 1) (close - i - 1) in
+          if inner = "" then Error "empty tag"
+          else if inner.[0] = '/' then
+            go (Close (String.trim (String.sub inner 1 (String.length inner - 1))) :: acc)
+              (close + 1)
+          else
+            let selfclosing = inner.[String.length inner - 1] = '/' in
+            let inner =
+              if selfclosing then String.sub inner 0 (String.length inner - 1) else inner
+            in
+            let name, attrs_str =
+              match String.index_opt inner ' ' with
+              | None -> (String.trim inner, "")
+              | Some sp ->
+                  (String.sub inner 0 sp, String.sub inner sp (String.length inner - sp))
+            in
+            (match parse_attrs attrs_str with
+            | Error _ as e -> e
+            | Ok attrs ->
+                let tok = if selfclosing then Selfclose (name, attrs) else Open (name, attrs) in
+                go (tok :: acc) (close + 1))
+  in
+  go [] 0
+
+let node_of_attrs ~id attrs =
+  match (List.assoc_opt "host" attrs, List.assoc_opt "power" attrs) with
+  | None, _ -> Error "element missing host attribute"
+  | _, None -> Error "element missing power attribute"
+  | Some host, Some power_str -> (
+      match float_of_string_opt power_str with
+      | None -> Error (Printf.sprintf "invalid power %S" power_str)
+      | Some power -> (
+          try Ok (Node.make ~id ~name:host ~power ())
+          with Invalid_argument m -> Error m))
+
+let ( let* ) = Result.bind
+
+let build_tree tokens =
+  let next_id = ref 0 in
+  let fresh_node attrs =
+    let id = !next_id in
+    incr next_id;
+    node_of_attrs ~id attrs
+  in
+  (* Parse one element from the token stream; returns the tree and rest. *)
+  let rec element tokens =
+    match tokens with
+    | Selfclose ("server", attrs) :: rest ->
+        let* node = fresh_node attrs in
+        Ok (Tree.server node, rest)
+    | Open (("agent" | "master_agent") as name, attrs) :: rest ->
+        let* node = fresh_node attrs in
+        let* children, rest = children name [] rest in
+        if children = [] then Error (Printf.sprintf "<%s> with no children" name)
+        else Ok (Tree.agent node children, rest)
+    | Open (other, _) :: _ | Selfclose (other, _) :: _ ->
+        Error (Printf.sprintf "unexpected element <%s>" other)
+    | Close other :: _ -> Error (Printf.sprintf "unexpected closing tag </%s>" other)
+    | [] -> Error "unexpected end of document"
+  and children closer acc tokens =
+    match tokens with
+    | Close name :: rest when name = closer -> Ok (List.rev acc, rest)
+    | _ ->
+        let* child, rest = element tokens in
+        children closer (child :: acc) rest
+  in
+  match tokens with
+  | Open ("diet_hierarchy", _) :: rest -> (
+      let* tree, rest = element rest in
+      match rest with
+      | [ Close "diet_hierarchy" ] -> Ok tree
+      | _ -> Error "trailing content after hierarchy")
+  | _ -> Error "document must start with <diet_hierarchy>"
+
+let of_string text =
+  let* tokens = tokenize text in
+  build_tree tokens
+
+let of_string_on platform text =
+  let* shape = of_string text in
+  let by_name = Hashtbl.create (Platform.size platform) in
+  List.iter (fun n -> Hashtbl.replace by_name (Node.name n) n) (Platform.nodes platform);
+  let resolve parsed =
+    match Hashtbl.find_opt by_name (Node.name parsed) with
+    | None -> Error (Printf.sprintf "unknown host %S" (Node.name parsed))
+    | Some node ->
+        if Float.abs (Node.power node -. Node.power parsed) > 1e-9 *. Node.power node then
+          Error
+            (Printf.sprintf "host %S power mismatch: plan says %g, platform says %g"
+               (Node.name parsed) (Node.power parsed) (Node.power node))
+        else Ok node
+  in
+  let rec rebuild = function
+    | Tree.Server n ->
+        let* node = resolve n in
+        Ok (Tree.server node)
+    | Tree.Agent (n, children) ->
+        let* node = resolve n in
+        let rec all acc = function
+          | [] -> Ok (List.rev acc)
+          | c :: rest ->
+              let* c' = rebuild c in
+              all (c' :: acc) rest
+        in
+        let* children = all [] children in
+        Ok (Tree.agent node children)
+  in
+  rebuild shape
+
+let save tree path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string tree))
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> of_string text
+  | exception Sys_error m -> Error m

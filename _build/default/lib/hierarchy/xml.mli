@@ -1,0 +1,39 @@
+(** GoDIET-style XML serialisation (the paper's [write_xml]).
+
+    The heuristic "generates an XML file ... given as an input to [the]
+    deployment tool to deploy the hierarchical platform" (GoDIET).  The
+    emitted document mirrors GoDIET's hierarchy section:
+
+    {v
+    <diet_hierarchy>
+      <master_agent host="orsay-3" power="730">
+        <agent host="orsay-7" power="693">
+          <server host="orsay-12" power="550"/>
+          ...
+        </agent>
+        ...
+      </master_agent>
+    </diet_hierarchy>
+    v}
+
+    The parser accepts exactly this dialect (attributes double-quoted,
+    elements [master_agent], [agent], [server]); it exists so plans can be
+    stored and re-launched, and for round-trip testing. *)
+
+open Adept_platform
+
+val to_string : Tree.t -> string
+(** Serialise with 2-space indentation and a trailing newline. *)
+
+val of_string : string -> (Tree.t, string) result
+(** Parse a document produced by {!to_string} (node ids are reassigned
+    densely in document order, so the round-trip preserves shape, names
+    and powers but not necessarily original platform ids). *)
+
+val of_string_on : Platform.t -> string -> (Tree.t, string) result
+(** Parse and resolve each [host] attribute against the platform by node
+    name, restoring original ids; fails if a host is unknown or the power
+    attribute disagrees with the platform. *)
+
+val save : Tree.t -> string -> unit
+val load : string -> (Tree.t, string) result

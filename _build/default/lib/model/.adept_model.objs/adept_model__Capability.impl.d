@@ -1,0 +1,1 @@
+lib/model/capability.ml: Adept_util Format List

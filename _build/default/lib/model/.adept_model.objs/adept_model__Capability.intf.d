@@ -1,0 +1,1 @@
+lib/model/capability.mli: Format

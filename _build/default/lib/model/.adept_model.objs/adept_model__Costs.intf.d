@@ -1,0 +1,1 @@
+lib/model/costs.mli: Params

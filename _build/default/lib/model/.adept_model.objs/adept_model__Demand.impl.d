@@ -1,0 +1,1 @@
+lib/model/demand.ml: Float Format

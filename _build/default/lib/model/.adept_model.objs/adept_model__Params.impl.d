@@ -1,0 +1,1 @@
+lib/model/params.ml: Adept_util Float Format Printf Table

@@ -1,0 +1,1 @@
+lib/model/params.mli: Adept_util Format

@@ -1,0 +1,1 @@
+lib/model/throughput.ml: Costs Float List Params

@@ -1,0 +1,51 @@
+let check_bandwidth b =
+  if b <= 0.0 || not (Float.is_finite b) then
+    invalid_arg "Costs: bandwidth must be positive and finite"
+
+let check_power w =
+  if w <= 0.0 || not (Float.is_finite w) then
+    invalid_arg "Costs: power must be positive and finite"
+
+let check_degree d = if d < 0 then invalid_arg "Costs: negative degree"
+
+let agent_receive_time (p : Params.t) ~bandwidth ~degree =
+  check_bandwidth bandwidth;
+  check_degree degree;
+  (p.agent.sreq +. (float_of_int degree *. p.agent.srep)) /. bandwidth
+
+let agent_send_time (p : Params.t) ~bandwidth ~degree =
+  check_bandwidth bandwidth;
+  check_degree degree;
+  ((float_of_int degree *. p.agent.sreq) +. p.agent.srep) /. bandwidth
+
+let server_receive_time (p : Params.t) ~bandwidth =
+  check_bandwidth bandwidth;
+  p.server.sreq /. bandwidth
+
+let server_send_time (p : Params.t) ~bandwidth =
+  check_bandwidth bandwidth;
+  p.server.srep /. bandwidth
+
+let agent_comp_time (p : Params.t) ~power ~degree =
+  check_power power;
+  check_degree degree;
+  (p.agent.wreq +. Params.wrep p ~degree) /. power
+
+let server_prediction_time (p : Params.t) ~power =
+  check_power power;
+  p.server.wpre /. power
+
+let server_service_time ~power ~wapp =
+  check_power power;
+  if wapp < 0.0 then invalid_arg "Costs.server_service_time: negative wapp";
+  wapp /. power
+
+let agent_request_time p ~bandwidth ~power ~degree =
+  agent_receive_time p ~bandwidth ~degree
+  +. agent_comp_time p ~power ~degree
+  +. agent_send_time p ~bandwidth ~degree
+
+let server_sched_time p ~bandwidth ~power =
+  server_receive_time p ~bandwidth
+  +. server_prediction_time p ~power
+  +. server_send_time p ~bandwidth

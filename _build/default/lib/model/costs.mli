@@ -1,0 +1,37 @@
+(** Per-request element costs: the paper's Equations 1–5.
+
+    All functions take the link bandwidth [bandwidth] in Mbit/s, node power
+    [power] in MFlop/s, and the agent degree [degree] (number of children);
+    results are in seconds.  Degrees must be non-negative and bandwidth and
+    power positive; violations raise [Invalid_argument]. *)
+
+val agent_receive_time : Params.t -> bandwidth:float -> degree:int -> float
+(** Eq. 1: [(Sreq + d * Srep) / B] — one request from the parent plus one
+    reply from each of [d] children. *)
+
+val agent_send_time : Params.t -> bandwidth:float -> degree:int -> float
+(** Eq. 2: [(d * Sreq + Srep) / B] — the request forwarded to each child
+    plus one reply to the parent. *)
+
+val server_receive_time : Params.t -> bandwidth:float -> float
+(** Eq. 3: [Sreq / B] with server-level message sizes. *)
+
+val server_send_time : Params.t -> bandwidth:float -> float
+(** Eq. 4: [Srep / B] with server-level message sizes. *)
+
+val agent_comp_time : Params.t -> power:float -> degree:int -> float
+(** Eq. 5: [(Wreq + Wrep(d)) / w]. *)
+
+val server_prediction_time : Params.t -> power:float -> float
+(** [Wpre / w]: the server-side scheduling work per request. *)
+
+val server_service_time : power:float -> wapp:float -> float
+(** [Wapp / w]: the application execution itself. *)
+
+val agent_request_time : Params.t -> bandwidth:float -> power:float -> degree:int -> float
+(** Total serial occupation of an agent per request: receive + compute +
+    send (the denominator of the agent term of Eq. 14). *)
+
+val server_sched_time : Params.t -> bandwidth:float -> power:float -> float
+(** Total serial occupation of a server per scheduling request: receive +
+    prediction + send (the denominator of the server term of Eq. 14). *)

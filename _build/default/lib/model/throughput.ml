@@ -1,0 +1,81 @@
+type server_spec = { power : float; wapp : float }
+
+let check_server s =
+  if s.power <= 0.0 || not (Float.is_finite s.power) then
+    invalid_arg "Throughput: server power must be positive and finite";
+  if s.wapp <= 0.0 || not (Float.is_finite s.wapp) then
+    invalid_arg "Throughput: wapp must be positive and finite"
+
+let agent_sched p ~bandwidth ~power ~degree =
+  if degree < 1 then invalid_arg "Throughput.agent_sched: degree must be >= 1";
+  1.0 /. Costs.agent_request_time p ~bandwidth ~power ~degree
+
+let server_sched p ~bandwidth ~power =
+  1.0 /. Costs.server_sched_time p ~bandwidth ~power
+
+let service_comp_time (p : Params.t) servers =
+  if servers = [] then invalid_arg "Throughput.service_comp_time: no servers";
+  List.iter check_server servers;
+  let ratio_sum =
+    List.fold_left (fun acc s -> acc +. (p.server.wpre /. s.wapp)) 0.0 servers
+  in
+  let rate_sum = List.fold_left (fun acc s -> acc +. (s.power /. s.wapp)) 0.0 servers in
+  (1.0 +. ratio_sum) /. rate_sum
+
+let service p ~bandwidth servers =
+  if bandwidth <= 0.0 || not (Float.is_finite bandwidth) then
+    invalid_arg "Throughput.service: bandwidth must be positive and finite";
+  let comm = (p.Params.server.sreq +. p.Params.server.srep) /. bandwidth in
+  1.0 /. (comm +. service_comp_time p servers)
+
+let completed_per_server (p : Params.t) servers ~horizon =
+  if horizon < 0.0 then invalid_arg "Throughput.completed_per_server: negative horizon";
+  let t_one = service_comp_time p servers in
+  let n_total = horizon /. t_one in
+  (* Eq. 8: N_i = (T * w_i - Wpre * N) / Wapp_i, clamped at 0 for servers
+     slower than the aggregate prediction load. *)
+  List.map
+    (fun s ->
+      let n_i = ((horizon *. s.power) -. (p.server.wpre *. n_total)) /. s.wapp in
+      Float.max 0.0 n_i)
+    servers
+
+type deployment_spec = { agents : (float * int) list; servers : server_spec list }
+
+let sched p ~bandwidth spec =
+  if spec.agents = [] then invalid_arg "Throughput.sched: no agents";
+  if spec.servers = [] then invalid_arg "Throughput.sched: no servers";
+  let agent_min =
+    List.fold_left
+      (fun acc (power, degree) ->
+        Float.min acc (agent_sched p ~bandwidth ~power ~degree))
+      Float.infinity spec.agents
+  in
+  let server_min =
+    List.fold_left
+      (fun acc (s : server_spec) ->
+        Float.min acc (server_sched p ~bandwidth ~power:s.power))
+      Float.infinity spec.servers
+  in
+  Float.min agent_min server_min
+
+let platform p ~bandwidth spec =
+  Float.min (sched p ~bandwidth spec) (service p ~bandwidth spec.servers)
+
+let bottleneck p ~bandwidth spec =
+  let agent_min =
+    List.fold_left
+      (fun acc (power, degree) ->
+        Float.min acc (agent_sched p ~bandwidth ~power ~degree))
+      Float.infinity spec.agents
+  in
+  let server_min =
+    List.fold_left
+      (fun acc (s : server_spec) ->
+        Float.min acc (server_sched p ~bandwidth ~power:s.power))
+      Float.infinity spec.servers
+  in
+  let svc = service p ~bandwidth spec.servers in
+  if agent_min <= server_min && agent_min <= svc then `Agent_sched
+  else if server_min <= svc then `Server_sched
+  else `Service

@@ -1,0 +1,56 @@
+(** Steady-state throughput: the paper's Equations 10–16.
+
+    Throughput values are requests per second.  Servers are heterogeneous:
+    server [i] has power [w_i] and executes an application costing
+    [wapp_i] MFlop, predicting at [Wpre] per request.  The service phase
+    load split (Eqs. 6–9) assumes every server predicts every request and
+    completed requests divide so that all servers finish together. *)
+
+type server_spec = {
+  power : float;  (** [w_i], MFlop/s. *)
+  wapp : float;  (** [Wapp_i], MFlop per service request; must be > 0. *)
+}
+
+val agent_sched : Params.t -> bandwidth:float -> power:float -> degree:int -> float
+(** Agent term of Eq. 14: the scheduling throughput sustained by an agent
+    of the given power with [degree] children.  [degree] must be >= 1. *)
+
+val server_sched : Params.t -> bandwidth:float -> power:float -> float
+(** Server term of Eq. 14: prediction throughput of one server. *)
+
+val service_comp_time : Params.t -> server_spec list -> float
+(** Eq. 10: mean time for the server set to complete one request,
+    computation only:
+    [(1 + sum Wpre/Wapp_i) / (sum w_i / Wapp_i)].
+    @raise Invalid_argument on an empty list. *)
+
+val service : Params.t -> bandwidth:float -> server_spec list -> float
+(** Eq. 15: service throughput of the platform, including the service-phase
+    client–server messages: [1 / (Sreq/B + Srep/B + service_comp_time)]. *)
+
+val completed_per_server :
+  Params.t -> server_spec list -> horizon:float -> float list
+(** Eq. 8: requests [N_i] completed by each server over a time horizon [T]
+    seconds when the set processes at its steady-state rate.  Entries can
+    be fractional; they sum to [horizon / service_comp_time].  Servers too
+    slow to keep up with prediction contribute 0 rather than a negative
+    count. *)
+
+type deployment_spec = {
+  agents : (float * int) list;  (** (power, degree) per agent; degrees >= 1. *)
+  servers : server_spec list;  (** non-empty. *)
+}
+
+val sched : Params.t -> bandwidth:float -> deployment_spec -> float
+(** Eq. 14: minimum over all agents and servers of their scheduling-phase
+    throughput. *)
+
+val platform : Params.t -> bandwidth:float -> deployment_spec -> float
+(** Eq. 16: [min(sched, service)] — the completed-request throughput of the
+    deployment. *)
+
+val bottleneck :
+  Params.t -> bandwidth:float -> deployment_spec ->
+  [ `Agent_sched | `Server_sched | `Service ]
+(** Which term of Eq. 16 attains the minimum (ties resolve in the order
+    agent, server-scheduling, service). *)

@@ -1,0 +1,1 @@
+lib/platform/catalog.ml: Buffer Fun In_channel Link List Node Platform Printf Result String

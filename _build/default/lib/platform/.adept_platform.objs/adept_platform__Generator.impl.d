@@ -1,0 +1,1 @@
+lib/platform/generator.ml: Adept_util Array Link List Node Platform Printf

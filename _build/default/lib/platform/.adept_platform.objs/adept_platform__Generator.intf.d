@@ -1,0 +1,1 @@
+lib/platform/generator.mli: Adept_util Platform

@@ -1,0 +1,1 @@
+lib/platform/link.ml: Float Format List Map Node String

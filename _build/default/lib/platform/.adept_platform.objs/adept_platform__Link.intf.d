@@ -1,0 +1,1 @@
+lib/platform/link.mli: Format Node

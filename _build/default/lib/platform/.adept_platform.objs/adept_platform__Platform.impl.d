@@ -1,0 +1,1 @@
+lib/platform/platform.ml: Adept_util Array Format Hashtbl Link List Node Printf

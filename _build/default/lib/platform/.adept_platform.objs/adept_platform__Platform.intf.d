@@ -1,0 +1,1 @@
+lib/platform/platform.mli: Format Link Node

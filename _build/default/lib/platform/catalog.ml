@@ -1,0 +1,168 @@
+let to_string platform =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "# adept platform catalog\n";
+  let link = Platform.link platform in
+  (match Link.uniform_bandwidth link with
+  | Some b ->
+      Buffer.add_string buf
+        (Printf.sprintf "link homogeneous bandwidth=%.17g latency=%.17g\n" b
+           (Link.latency link))
+  | None ->
+      (* Heterogeneous: emit the per-pair table observed between clusters. *)
+      let nodes = Platform.nodes platform in
+      let clusters =
+        List.sort_uniq String.compare (List.map Node.cluster nodes)
+      in
+      let representative c = List.find (fun n -> Node.cluster n = c) nodes in
+      let intra =
+        match clusters with
+        | c :: _ ->
+            let n = representative c in
+            Link.bandwidth link n n
+        | [] -> 1000.0
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "link inter-cluster default=%.17g latency=%.17g\n" intra
+           (Link.latency link));
+      List.iter
+        (fun a ->
+          List.iter
+            (fun b ->
+              if String.compare a b < 0 then
+                let bw = Link.bandwidth link (representative a) (representative b) in
+                if bw <> intra then
+                  Buffer.add_string buf
+                    (Printf.sprintf "peer a=%s b=%s bandwidth=%.17g\n" a b bw))
+            clusters)
+        clusters);
+  List.iter
+    (fun n ->
+      Buffer.add_string buf
+        (Printf.sprintf "node name=%s power=%.17g cluster=%s\n" (Node.name n)
+           (Node.power n) (Node.cluster n)))
+    (Platform.nodes platform);
+  Buffer.contents buf
+
+type parse_state = {
+  mutable link_kind : [ `Unset | `Homogeneous of float * float | `Inter of float * float ];
+  mutable peers : ((string * string) * float) list;
+  mutable rev_nodes : (string * float * string) list;
+}
+
+let parse_kv line =
+  (* "key=value key=value ..." after the leading keyword. *)
+  String.split_on_char ' ' line
+  |> List.filter (fun s -> s <> "")
+  |> List.filter_map (fun tok ->
+         match String.index_opt tok '=' with
+         | None -> None
+         | Some i ->
+             Some (String.sub tok 0 i, String.sub tok (i + 1) (String.length tok - i - 1)))
+
+let find_field fields key lineno =
+  match List.assoc_opt key fields with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "line %d: missing field %S" lineno key)
+
+let float_field fields key lineno =
+  match find_field fields key lineno with
+  | Error _ as e -> e
+  | Ok v -> (
+      match float_of_string_opt v with
+      | Some f -> Ok f
+      | None -> Error (Printf.sprintf "line %d: field %S is not a number" lineno key))
+
+let float_field_default fields key default lineno =
+  match List.assoc_opt key fields with
+  | None -> Ok default
+  | Some v -> (
+      match float_of_string_opt v with
+      | Some f -> Ok f
+      | None -> Error (Printf.sprintf "line %d: field %S is not a number" lineno key))
+
+let ( let* ) = Result.bind
+
+let parse_line state lineno line =
+  let line = String.trim line in
+  if line = "" || line.[0] = '#' then Ok ()
+  else
+    match String.index_opt line ' ' with
+    | None -> Error (Printf.sprintf "line %d: malformed line %S" lineno line)
+    | Some i -> (
+        let keyword = String.sub line 0 i in
+        let rest = String.sub line i (String.length line - i) in
+        let fields = parse_kv rest in
+        match keyword with
+        | "link" ->
+            let kind = String.trim (List.hd (String.split_on_char ' ' (String.trim rest))) in
+            let* bw =
+              if kind = "homogeneous" then float_field fields "bandwidth" lineno
+              else float_field fields "default" lineno
+            in
+            let* latency = float_field_default fields "latency" 0.0 lineno in
+            if kind = "homogeneous" then (
+              state.link_kind <- `Homogeneous (bw, latency);
+              Ok ())
+            else if kind = "inter-cluster" then (
+              state.link_kind <- `Inter (bw, latency);
+              Ok ())
+            else Error (Printf.sprintf "line %d: unknown link kind %S" lineno kind)
+        | "peer" ->
+            let* a = find_field fields "a" lineno in
+            let* b = find_field fields "b" lineno in
+            let* bw = float_field fields "bandwidth" lineno in
+            state.peers <- ((a, b), bw) :: state.peers;
+            Ok ()
+        | "node" ->
+            let* name = find_field fields "name" lineno in
+            let* power = float_field fields "power" lineno in
+            let cluster =
+              match List.assoc_opt "cluster" fields with Some c -> c | None -> "default"
+            in
+            state.rev_nodes <- (name, power, cluster) :: state.rev_nodes;
+            Ok ()
+        | other -> Error (Printf.sprintf "line %d: unknown keyword %S" lineno other))
+
+let of_string text =
+  let state = { link_kind = `Unset; peers = []; rev_nodes = [] } in
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno = function
+    | [] -> Ok ()
+    | line :: rest -> (
+        match parse_line state lineno line with
+        | Ok () -> go (lineno + 1) rest
+        | Error _ as e -> e)
+  in
+  let* () = go 1 lines in
+  let* link =
+    match state.link_kind with
+    | `Unset -> Ok (Link.homogeneous ~bandwidth:1000.0 ())
+    | `Homogeneous (b, latency) -> (
+        try Ok (Link.homogeneous ~bandwidth:b ~latency ())
+        with Invalid_argument m -> Error m)
+    | `Inter (default, latency) -> (
+        try Ok (Link.inter_cluster ~default ~latency (List.rev state.peers))
+        with Invalid_argument m -> Error m)
+  in
+  let node_specs = List.rev state.rev_nodes in
+  if node_specs = [] then Error "catalog declares no nodes"
+  else
+    try
+      let nodes =
+        List.mapi
+          (fun i (name, power, cluster) -> Node.make ~id:i ~name ~power ~cluster ())
+          node_specs
+      in
+      Ok (Platform.create ~link nodes)
+    with Invalid_argument m -> Error m
+
+let save platform path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string platform))
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> of_string text
+  | exception Sys_error m -> Error m

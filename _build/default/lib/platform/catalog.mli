@@ -1,0 +1,29 @@
+(** Plain-text platform catalogs.
+
+    A catalog is the textual description of a platform, analogous to the
+    resource-description XML files consumed by ADAGE/GoDIET.  The format is
+    line-oriented:
+
+    {v
+    # comment
+    link homogeneous bandwidth=100 latency=0
+    node name=lyon-0 power=730 cluster=lyon
+    node name=lyon-1 power=730 cluster=lyon
+    v}
+
+    Node ids are assigned in file order.  Heterogeneous links use
+    [link inter-cluster default=1000 latency=0] followed by
+    [peer a=orsay b=lyon bandwidth=50] lines. *)
+
+val to_string : Platform.t -> string
+(** Serialise a platform; {!of_string} of the result is the identity up to
+    node ids (which are positional in both). *)
+
+val of_string : string -> (Platform.t, string) result
+(** Parse a catalog.  Errors carry a line number and reason. *)
+
+val save : Platform.t -> string -> unit
+(** Write {!to_string} to a file. *)
+
+val load : string -> (Platform.t, string) result
+(** Read and parse a file; [Error] on IO failure too. *)

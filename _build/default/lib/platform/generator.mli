@@ -1,0 +1,62 @@
+(** Synthetic platform generators.
+
+    These replace physical testbed reservations.  The heterogeneous
+    generator reproduces the paper's own method (Section 5.3): start from a
+    homogeneous cluster and perturb node powers by running background load,
+    then re-measure with the Linpack mini-benchmark.  Here the perturbation
+    is drawn deterministically from an {!Adept_util.Rng.t}. *)
+
+val homogeneous :
+  ?bandwidth:float -> ?cluster:string -> n:int -> power:float -> unit -> Platform.t
+(** [n] identical nodes of the given power; homogeneous links at
+    [bandwidth] (default 1000 Mbit/s).  @raise Invalid_argument if
+    [n <= 0]. *)
+
+val uniform_heterogeneous :
+  ?bandwidth:float ->
+  ?cluster:string ->
+  rng:Adept_util.Rng.t ->
+  n:int ->
+  power_min:float ->
+  power_max:float ->
+  unit ->
+  Platform.t
+(** Node powers drawn uniformly in [\[power_min, power_max\]]. *)
+
+val background_loaded :
+  ?bandwidth:float ->
+  ?cluster:string ->
+  rng:Adept_util.Rng.t ->
+  n:int ->
+  power:float ->
+  load_fraction:float ->
+  load_levels:int ->
+  unit ->
+  Platform.t
+(** The paper's heterogenisation: each node independently receives one of
+    [load_levels] background-load intensities (level 0 = unloaded), chosen
+    uniformly; a node at level [k] retains
+    [1 - load_fraction * k / (load_levels - 1)] of [power].
+    @raise Invalid_argument unless [0 <= load_fraction < 1] and
+    [load_levels >= 1] and [n > 0]. *)
+
+val grid5000_orsay :
+  rng:Adept_util.Rng.t -> n:int -> unit -> Platform.t
+(** A 2008-era Grid'5000 Orsay-like site: nominal 730 MFlop/s nodes
+    (anchored on the paper's DGEMM 200x200 measurements) heterogenised by
+    background load over four levels up to 65%, 1000 Mbit/s LAN. *)
+
+val grid5000_lyon : n:int -> unit -> Platform.t
+(** The homogeneous Lyon-like site used for calibration (Table 3) and the
+    star-hierarchy validation: 730 MFlop/s nodes, 100 Mbit/s LAN. *)
+
+val two_sites :
+  rng:Adept_util.Rng.t ->
+  n_orsay:int ->
+  n_lyon:int ->
+  wan_bandwidth:float ->
+  unit ->
+  Platform.t
+(** Both sites with an inter-cluster WAN bandwidth — exercises the
+    heterogeneous-connectivity extension point (future work in the
+    paper). *)

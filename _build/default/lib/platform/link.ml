@@ -1,0 +1,64 @@
+module Pair_map = Map.Make (struct
+  type t = string * string
+
+  let compare = compare
+end)
+
+type t =
+  | Homogeneous of { bandwidth : float; latency : float }
+  | Inter_cluster of { default : float; table : float Pair_map.t; latency : float }
+
+let check_bandwidth b =
+  if b <= 0.0 || not (Float.is_finite b) then
+    invalid_arg "Link: bandwidth must be positive and finite"
+
+let check_latency l =
+  if l < 0.0 || not (Float.is_finite l) then
+    invalid_arg "Link: latency must be non-negative and finite"
+
+let homogeneous ?(latency = 0.0) ~bandwidth () =
+  check_bandwidth bandwidth;
+  check_latency latency;
+  Homogeneous { bandwidth; latency }
+
+let canonical (a, b) = if String.compare a b <= 0 then (a, b) else (b, a)
+
+let inter_cluster ~default ?(latency = 0.0) entries =
+  check_bandwidth default;
+  check_latency latency;
+  let table =
+    List.fold_left
+      (fun acc (pair, b) ->
+        check_bandwidth b;
+        Pair_map.add (canonical pair) b acc)
+      Pair_map.empty entries
+  in
+  Inter_cluster { default; table; latency }
+
+let bandwidth t a b =
+  match t with
+  | Homogeneous { bandwidth; _ } -> bandwidth
+  | Inter_cluster { default; table; _ } -> (
+      let key = canonical (Node.cluster a, Node.cluster b) in
+      match Pair_map.find_opt key table with Some b -> b | None -> default)
+
+let latency = function
+  | Homogeneous { latency; _ } -> latency
+  | Inter_cluster { latency; _ } -> latency
+
+let is_homogeneous = function
+  | Homogeneous _ -> true
+  | Inter_cluster { default; table; _ } ->
+      Pair_map.for_all (fun _ b -> b = default) table
+
+let uniform_bandwidth t =
+  match t with
+  | Homogeneous { bandwidth; _ } -> Some bandwidth
+  | Inter_cluster { default; _ } -> if is_homogeneous t then Some default else None
+
+let pp ppf = function
+  | Homogeneous { bandwidth; latency } ->
+      Format.fprintf ppf "homogeneous %.0f Mbit/s (latency %.3g s)" bandwidth latency
+  | Inter_cluster { default; table; latency } ->
+      Format.fprintf ppf "inter-cluster default %.0f Mbit/s, %d overrides (latency %.3g s)"
+        default (Pair_map.cardinal table) latency

@@ -1,0 +1,40 @@
+(** Interconnect model.
+
+    The paper's primary model assumes homogeneous connectivity: every pair
+    of nodes communicates at bandwidth [B] (Mbit/s), optionally with a
+    per-message latency.  The paper lists heterogeneous communication as
+    future work; we expose a per-cluster-pair bandwidth table as that
+    extension point while keeping the homogeneous model as the default used
+    by all paper experiments. *)
+
+type t
+
+val homogeneous : ?latency:float -> bandwidth:float -> unit -> t
+(** Uniform bandwidth in Mbit/s and optional one-way latency in seconds
+    (default 0).  @raise Invalid_argument if [bandwidth <= 0] or
+    [latency < 0]. *)
+
+val inter_cluster :
+  default:float ->
+  ?latency:float ->
+  ((string * string) * float) list ->
+  t
+(** Bandwidth per unordered cluster pair, falling back to [default] —
+    the future-work heterogeneous extension.  Pairs are symmetric:
+    [(a, b)] also applies to [(b, a)].
+    @raise Invalid_argument on non-positive bandwidths. *)
+
+val bandwidth : t -> Node.t -> Node.t -> float
+(** Bandwidth of the link between two nodes, Mbit/s. *)
+
+val latency : t -> float
+(** One-way latency in seconds (uniform). *)
+
+val is_homogeneous : t -> bool
+(** True when every pair sees the same bandwidth — required by the
+    planner's model (Eq. 14–16 assume a single [B]). *)
+
+val uniform_bandwidth : t -> float option
+(** [Some b] iff {!is_homogeneous}. *)
+
+val pp : Format.formatter -> t -> unit

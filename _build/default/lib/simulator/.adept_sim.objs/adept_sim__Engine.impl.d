@@ -1,0 +1,1 @@
+lib/simulator/engine.ml: Event_queue Float Option Printf

@@ -1,0 +1,1 @@
+lib/simulator/event_queue.ml: Array Float

@@ -1,0 +1,1 @@
+lib/simulator/event_queue.mli:

@@ -1,0 +1,1 @@
+lib/simulator/middleware.ml: Adept_hierarchy Adept_model Adept_platform Adept_util Array Engine Float Hashtbl Link List Network Node Option Platform Printf Resource String Trace Tree Validate

@@ -1,0 +1,1 @@
+lib/simulator/middleware.mli: Adept_hierarchy Adept_model Adept_platform Adept_util Engine Node Platform Resource Trace

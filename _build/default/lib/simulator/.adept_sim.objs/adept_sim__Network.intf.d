@@ -1,0 +1,1 @@
+lib/simulator/network.mli: Engine Resource

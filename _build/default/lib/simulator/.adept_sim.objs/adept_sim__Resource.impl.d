@@ -1,0 +1,1 @@
+lib/simulator/resource.ml: Float Format Printf

@@ -1,0 +1,1 @@
+lib/simulator/resource.mli: Format

@@ -1,0 +1,1 @@
+lib/simulator/run_stats.ml: Adept_platform Adept_util Array Format Hashtbl Int List Node Option

@@ -1,0 +1,1 @@
+lib/simulator/run_stats.mli: Adept_platform Format Node

@@ -1,0 +1,1 @@
+lib/simulator/scenario.ml: Adept_hierarchy Adept_model Adept_platform Adept_util Adept_workload Engine Float List Middleware Node Platform Run_stats Trace Tree

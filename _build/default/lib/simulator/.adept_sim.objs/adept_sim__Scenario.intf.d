@@ -1,0 +1,1 @@
+lib/simulator/scenario.mli: Adept_hierarchy Adept_model Adept_platform Adept_workload Engine Middleware Node Platform Trace Tree

@@ -1,0 +1,50 @@
+type t = { mutable clock : float; queue : (unit -> unit) Event_queue.t }
+
+let create () = { clock = 0.0; queue = Event_queue.create () }
+
+let now t = t.clock
+
+let schedule_at t ~time callback =
+  if Float.is_nan time then invalid_arg "Engine.schedule_at: NaN time";
+  if time < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_at: time %g is before now %g" time t.clock);
+  Event_queue.add t.queue ~time callback
+
+let schedule t ~delay callback =
+  if delay < 0.0 || Float.is_nan delay then
+    invalid_arg "Engine.schedule: negative or NaN delay";
+  schedule_at t ~time:(t.clock +. delay) callback
+
+let pending t = Event_queue.size t.queue
+
+type outcome = Exhausted | Horizon_reached | Event_limit
+
+let step t =
+  match Event_queue.pop_min t.queue with
+  | None -> false
+  | Some (time, callback) ->
+      t.clock <- time;
+      callback ();
+      true
+
+let run ?until ?max_events t =
+  let horizon = Option.value ~default:Float.infinity until in
+  let limit = Option.value ~default:max_int max_events in
+  let rec go executed =
+    if executed >= limit then Event_limit
+    else
+      match Event_queue.peek_min t.queue with
+      | None -> Exhausted
+      | Some (time, _) when time > horizon ->
+          t.clock <- horizon;
+          Horizon_reached
+      | Some _ ->
+          ignore (step t);
+          go (executed + 1)
+  in
+  let outcome = go 0 in
+  (match (outcome, until) with
+  | Exhausted, Some h when t.clock < h -> t.clock <- h
+  | _ -> ());
+  outcome

@@ -1,0 +1,34 @@
+(** Discrete-event simulation engine.
+
+    A monotonically advancing clock driving a queue of timestamped
+    callbacks.  Deterministic: same schedule calls, same execution order
+    (ties fire in insertion order). *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Current simulation time, seconds; starts at 0. *)
+
+val schedule_at : t -> time:float -> (unit -> unit) -> unit
+(** Enqueue a callback.  @raise Invalid_argument for a time in the past
+    (before [now]) or NaN. *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+(** [schedule_at ~time:(now + delay)].  @raise Invalid_argument on a
+    negative delay. *)
+
+val pending : t -> int
+
+type outcome = Exhausted  (** No events left. *)
+             | Horizon_reached  (** Stopped at the time limit. *)
+             | Event_limit  (** Stopped after [max_events]. *)
+
+val run : ?until:float -> ?max_events:int -> t -> outcome
+(** Process events in order.  [until] stops before executing any event
+    later than the horizon and sets the clock to the horizon;
+    [max_events] is a safety valve against runaway simulations. *)
+
+val step : t -> bool
+(** Execute the next event; false when empty. *)

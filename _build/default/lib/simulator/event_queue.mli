@@ -1,0 +1,21 @@
+(** Binary min-heap keyed by (time, sequence number).
+
+    The sequence number makes event ordering total and deterministic:
+    events scheduled for the same instant fire in insertion order. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val add : 'a t -> time:float -> 'a -> unit
+(** Insert with an automatically increasing sequence number.
+    @raise Invalid_argument on NaN time. *)
+
+val pop_min : 'a t -> (float * 'a) option
+(** Remove and return the earliest event. *)
+
+val peek_min : 'a t -> (float * 'a) option
+
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+val clear : 'a t -> unit

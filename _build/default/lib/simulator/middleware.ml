@@ -1,0 +1,427 @@
+open Adept_platform
+open Adept_hierarchy
+module Params = Adept_model.Params
+
+type selection =
+  | Best_prediction
+  | Round_robin
+  | Random_child of Adept_util.Rng.t
+  | Database
+
+(* Per-request aggregation state at one agent: replies collected so far,
+   in arrival order, plus the request's service cost for selection. *)
+type pending = {
+  mutable received : int;
+  mutable candidates : (Node.id * float) list;
+  req_wapp : float;
+}
+
+type agent_state = {
+  a_resource : Resource.t;
+  children : Node.id array;
+  a_parent : Node.id option;
+  mutable rr : int;
+  inflight : (int, pending) Hashtbl.t;
+}
+
+type server_state = {
+  s_resource : Resource.t;
+  s_parent : Node.id;
+  mutable reserved : float;
+      (* MFlop selected for this server but not yet booked.  The root
+         maintains this ledger: it adds the chosen server's work at
+         decision time and the entry drains when the client's service
+         request reaches the server.  Decisions consult the ledger so that
+         requests deciding within one scheduling round-trip of each other
+         do not herd onto the same server from identical stale
+         predictions. *)
+}
+
+type element = Agent_el of agent_state | Server_el of server_state
+
+type t = {
+  engine : Engine.t;
+  params : Params.t;
+  platform : Platform.t;
+  latency : float;
+  elements : element option array;
+  root : Node.id;
+  trace : Trace.t;
+  selection : selection;
+  mutable next_req : int;
+  continuations : (int, float * (Node.id -> unit)) Hashtbl.t;
+      (* per request: the service cost to reserve and the client callback *)
+  database : (Node.id, float * float) Hashtbl.t;
+      (* monitoring database at the root: server id -> (reported backlog
+         seconds, report arrival time) *)
+}
+
+let element t id =
+  match t.elements.(id) with
+  | Some e -> e
+  | None -> invalid_arg (Printf.sprintf "Middleware: node %d not deployed" id)
+
+let resource t id =
+  match t.elements.(id) with
+  | Some (Agent_el a) -> a.a_resource
+  | Some (Server_el s) -> s.s_resource
+  | None -> raise Not_found
+
+let root t = t.root
+
+let engine t = t.engine
+
+let trace t = t.trace
+
+let server_ids t =
+  let ids = ref [] in
+  Array.iteri
+    (fun id el -> match el with Some (Server_el _) -> ids := id :: !ids | _ -> ())
+    t.elements;
+  List.rev !ids
+
+let agent_ids t =
+  let ids = ref [] in
+  Array.iteri
+    (fun id el -> match el with Some (Agent_el _) -> ids := id :: !ids | _ -> ())
+    t.elements;
+  List.rev !ids
+
+let deploy ?(trace = Trace.disabled) ?(selection = Best_prediction) ?monitoring_period
+    ~engine ~params ~platform tree =
+  (match monitoring_period with
+  | Some p when p <= 0.0 || not (Float.is_finite p) ->
+      invalid_arg "Middleware.deploy: monitoring_period must be positive and finite"
+  | Some _ | None -> ());
+  if selection = Database && monitoring_period = None then
+    invalid_arg "Middleware.deploy: Database selection requires a monitoring_period";
+  (match Validate.check ~platform tree with
+  | Ok () -> ()
+  | Error errs ->
+      invalid_arg
+        ("Middleware.deploy: invalid hierarchy: "
+        ^ String.concat "; " (List.map Validate.error_to_string errs)));
+  let elements = Array.make (Platform.size platform) None in
+  let mk_resource node =
+    Resource.create ~name:(Node.name node) ~power:(Node.power node)
+  in
+  let rec instantiate parent = function
+    | Tree.Server node ->
+        let parent =
+          match parent with
+          | Some p -> p
+          | None -> invalid_arg "Middleware.deploy: root server"
+        in
+        elements.(Node.id node) <-
+          Some
+            (Server_el
+               { s_resource = mk_resource node; s_parent = parent; reserved = 0.0 })
+    | Tree.Agent (node, children) ->
+        let child_ids =
+          Array.of_list (List.map (fun c -> Node.id (Tree.root_node c)) children)
+        in
+        elements.(Node.id node) <-
+          Some
+            (Agent_el
+               {
+                 a_resource = mk_resource node;
+                 children = child_ids;
+                 a_parent = parent;
+                 rr = 0;
+                 inflight = Hashtbl.create 64;
+               });
+        List.iter (instantiate (Some (Node.id node))) children
+  in
+  instantiate None tree;
+  let t =
+    {
+      engine;
+      params;
+      platform;
+      latency = Link.latency (Platform.link platform);
+      elements;
+      root = Node.id (Tree.root_node tree);
+      trace;
+      selection;
+      next_req = 0;
+      continuations = Hashtbl.create 64;
+      database = Hashtbl.create 64;
+    }
+  in
+  (* Periodic monitoring: every server reports its backlog to the root's
+     database, paying the message at both ends (lane at the server, port
+     at the root — monitoring traffic really does contend with
+     scheduling). *)
+  (match monitoring_period with
+  | None -> ()
+  | Some period ->
+      let root_res =
+        match elements.(t.root) with
+        | Some (Agent_el a) -> a.a_resource
+        | Some (Server_el _) | None -> invalid_arg "Middleware.deploy: no root agent"
+      in
+      Array.iteri
+        (fun id el ->
+          match el with
+          | Some (Server_el s) ->
+              let rec report () =
+                let backlog =
+                  Resource.backlog s.s_resource ~now:(Engine.now engine)
+                in
+                Network.transfer engine
+                  ~bandwidth:(Platform.bandwidth platform id t.root)
+                  ~latency:t.latency ~src:(Network.Lane s.s_resource)
+                  ~src_size:params.Params.server.srep ~dst:(Network.Port root_res)
+                  ~dst_size:params.Params.agent.srep
+                  ~on_delivered:(fun () ->
+                    Hashtbl.replace t.database id (backlog, Engine.now engine))
+                  ();
+                Engine.schedule engine ~delay:period report
+              in
+              (* desynchronise first reports across servers *)
+              Engine.schedule engine
+                ~delay:(period *. float_of_int (id + 1) /. float_of_int (Array.length elements))
+                report
+          | Some (Agent_el _) | None -> ())
+        elements);
+  t
+
+let bandwidth_between t a b = Platform.bandwidth t.platform a b
+
+(* Bandwidth for messages between a platform node and a client machine:
+   the node's intra-cluster bandwidth (clients are not modelled as
+   bottlenecks, only the node-side port cost matters). *)
+let bandwidth_to_client t id = Platform.bandwidth t.platform id id
+
+let book_compute t resource ~work k =
+  let now = Engine.now t.engine in
+  let duration = work /. Resource.power resource in
+  let _, finish = Resource.book resource ~now ~duration in
+  Engine.schedule_at t.engine ~time:finish (fun () -> k duration)
+
+let argmin_candidate candidates ~effective =
+  Array.fold_left
+    (fun best (id, _) ->
+      let adjusted = effective id in
+      match best with
+      | Some (bid, bp) when bp < adjusted || (bp = adjusted && bid <= id) -> best
+      | Some _ | None -> Some (id, adjusted))
+    None candidates
+  |> Option.get
+  |> fun (id, _) ->
+  (* report the chosen server with its raw prediction upward *)
+  (id, List.assoc id (Array.to_list candidates))
+
+let choose_candidate t (a : agent_state) pending =
+  let candidates = Array.of_list (List.rev pending.candidates) in
+  match t.selection with
+  | Best_prediction ->
+      (* The paper's agents "select potential servers from a list of
+         servers maintained in the database by frequent monitoring"
+         (footnote 1): the decision reads the current load picture —
+         booked backlog plus the reservation ledger of work promised by
+         decisions whose service requests are still in flight — rather
+         than the prediction snapshots the replies carried, which go stale
+         within one scheduling round-trip and would herd concurrent
+         requests onto one server. *)
+      let now = Engine.now t.engine in
+      let effective id =
+        match t.elements.(id) with
+        | Some (Server_el s) ->
+            let w = Resource.power s.s_resource in
+            Resource.backlog s.s_resource ~now
+            +. (s.reserved /. w)
+            +. (pending.req_wapp /. w)
+        | Some (Agent_el _) | None -> Float.infinity
+      in
+      argmin_candidate candidates ~effective
+  | Database ->
+      (* Same decision, but from the last periodic report instead of
+         fresh state: the reported backlog is decayed by the time since
+         the report (the server has been draining meanwhile) and
+         corrected by the reservation ledger. *)
+      let now = Engine.now t.engine in
+      let effective id =
+        match t.elements.(id) with
+        | Some (Server_el s) ->
+            let w = Resource.power s.s_resource in
+            let reported =
+              match Hashtbl.find_opt t.database id with
+              | Some (backlog, at) -> Float.max 0.0 (backlog -. (now -. at))
+              | None -> 0.0
+            in
+            reported +. (s.reserved /. w) +. (pending.req_wapp /. w)
+        | Some (Agent_el _) | None -> Float.infinity
+      in
+      argmin_candidate candidates ~effective
+  | Round_robin ->
+      let i = a.rr mod Array.length candidates in
+      a.rr <- a.rr + 1;
+      candidates.(i)
+  | Random_child rng -> Adept_util.Rng.pick rng candidates
+
+(* The scheduling phase, message by message.  [handle_request] runs when a
+   request has been fully received at [id]; [handle_reply] when a child's
+   reply has been fully received at agent [id]. *)
+let rec handle_request t ~req_id ~wapp id =
+  match element t id with
+  | Agent_el a ->
+      book_compute t a.a_resource ~work:t.params.Params.agent.wreq (fun seconds ->
+          Trace.record_agent_request_compute t.trace ~seconds;
+          Hashtbl.replace a.inflight req_id
+            { received = 0; candidates = []; req_wapp = wapp };
+          Array.iter (fun child -> forward_down t ~req_id ~wapp ~from:id ~child) a.children)
+  | Server_el s ->
+      (* Prediction work charges the port (it steals cycles from any
+         running application) but the reply is not queued behind booked
+         services: the servant thread answers after Wpre/w of wall time.
+         The prediction itself is "when would your job finish if you chose
+         me now": current queue, the prediction step, then the service. *)
+      let now = Engine.now t.engine in
+      let backlog = Resource.backlog s.s_resource ~now in
+      let wpre_duration =
+        t.params.Params.server.wpre /. Resource.power s.s_resource
+      in
+      Resource.charge s.s_resource ~now ~duration:wpre_duration;
+      Trace.record_server_prediction t.trace ~seconds:wpre_duration;
+      let prediction =
+        backlog +. wpre_duration +. (wapp /. Resource.power s.s_resource)
+      in
+      Engine.schedule t.engine ~delay:wpre_duration (fun () ->
+          send_reply_up t ~req_id ~from:id ~to_:s.s_parent ~candidate:(id, prediction))
+
+and forward_down t ~req_id ~wapp ~from ~child =
+  let src_res = resource t from in
+  let dst_is_agent, dst =
+    match element t child with
+    | Agent_el a -> (true, Network.Port a.a_resource)
+    | Server_el s -> (false, Network.Lane s.s_resource)
+  in
+  let src_size = t.params.Params.agent.sreq in
+  let dst_size =
+    if dst_is_agent then t.params.Params.agent.sreq else t.params.Params.server.sreq
+  in
+  Trace.record_message t.trace ~kind:Trace.Sched_request ~role:Trace.Agent_end
+    ~size:src_size;
+  Trace.record_message t.trace ~kind:Trace.Sched_request
+    ~role:(if dst_is_agent then Trace.Agent_end else Trace.Server_end)
+    ~size:dst_size;
+  Network.transfer t.engine
+    ~bandwidth:(bandwidth_between t from child)
+    ~latency:t.latency ~src:(Network.Port src_res) ~src_size ~dst ~dst_size
+    ~on_delivered:(fun () -> handle_request t ~req_id ~wapp child)
+    ()
+
+and send_reply_up t ~req_id ~from ~to_ ~candidate =
+  let src_is_agent, src =
+    match element t from with
+    | Agent_el a -> (true, Network.Port a.a_resource)
+    | Server_el s -> (false, Network.Lane s.s_resource)
+  in
+  let src_size =
+    if src_is_agent then t.params.Params.agent.srep else t.params.Params.server.srep
+  in
+  let dst_res =
+    match element t to_ with
+    | Agent_el a -> a.a_resource
+    | Server_el _ -> invalid_arg "Middleware: reply sent to a server"
+  in
+  let dst_size = t.params.Params.agent.srep in
+  Trace.record_message t.trace ~kind:Trace.Sched_reply
+    ~role:(if src_is_agent then Trace.Agent_end else Trace.Server_end)
+    ~size:src_size;
+  Trace.record_message t.trace ~kind:Trace.Sched_reply ~role:Trace.Agent_end
+    ~size:dst_size;
+  Network.transfer t.engine
+    ~bandwidth:(bandwidth_between t from to_)
+    ~latency:t.latency ~src ~src_size ~dst:(Network.Port dst_res) ~dst_size
+    ~on_delivered:(fun () -> handle_reply t ~req_id ~agent:to_ ~candidate)
+    ()
+
+and handle_reply t ~req_id ~agent ~candidate =
+  match element t agent with
+  | Server_el _ -> invalid_arg "Middleware: reply delivered to a server"
+  | Agent_el a -> (
+      match Hashtbl.find_opt a.inflight req_id with
+      | None -> invalid_arg "Middleware: reply for unknown request"
+      | Some pending ->
+          pending.received <- pending.received + 1;
+          pending.candidates <- candidate :: pending.candidates;
+          if pending.received = Array.length a.children then begin
+            Hashtbl.remove a.inflight req_id;
+            let degree = Array.length a.children in
+            let work = Params.wrep t.params ~degree in
+            book_compute t a.a_resource ~work (fun seconds ->
+                Trace.record_agent_reply_compute t.trace ~degree ~seconds;
+                let chosen = choose_candidate t a pending in
+                match a.a_parent with
+                | Some parent ->
+                    send_reply_up t ~req_id ~from:agent ~to_:parent ~candidate:chosen
+                | None ->
+                    (* Root: answer the client. *)
+                    let src_size = t.params.Params.agent.srep in
+                    Trace.record_message t.trace ~kind:Trace.Sched_reply
+                      ~role:Trace.Agent_end ~size:src_size;
+                    let req_wapp, continuation =
+                      match Hashtbl.find_opt t.continuations req_id with
+                      | Some k -> k
+                      | None -> invalid_arg "Middleware: request has no continuation"
+                    in
+                    Hashtbl.remove t.continuations req_id;
+                    (match element t (fst chosen) with
+                    | Server_el s -> s.reserved <- s.reserved +. req_wapp
+                    | Agent_el _ -> invalid_arg "Middleware: chose an agent");
+                    Network.transfer t.engine
+                      ~bandwidth:(bandwidth_to_client t agent)
+                      ~latency:t.latency ~src:(Network.Port a.a_resource) ~src_size
+                      ~dst:Network.Instant ~dst_size:0.0
+                      ~on_delivered:(fun () -> continuation (fst chosen))
+                      ())
+          end)
+
+let submit t ~wapp ~on_scheduled =
+  let req_id = t.next_req in
+  t.next_req <- t.next_req + 1;
+  Hashtbl.replace t.continuations req_id (wapp, fun server -> on_scheduled ~server);
+  let dst_size = t.params.Params.agent.sreq in
+  let root_res = resource t t.root in
+  Trace.record_message t.trace ~kind:Trace.Sched_request ~role:Trace.Agent_end
+    ~size:dst_size;
+  Network.transfer t.engine
+    ~bandwidth:(bandwidth_to_client t t.root)
+    ~latency:t.latency ~src:Network.Instant ~src_size:0.0 ~dst:(Network.Port root_res)
+    ~dst_size
+    ~on_delivered:(fun () -> handle_request t ~req_id ~wapp t.root)
+    ()
+
+let request_service t ~server ~wapp ~on_done =
+  match element t server with
+  | Agent_el _ -> invalid_arg "Middleware.request_service: target is an agent"
+  | Server_el s ->
+      let dst_size = t.params.Params.server.sreq in
+      Trace.record_message t.trace ~kind:Trace.Service_request ~role:Trace.Server_end
+        ~size:dst_size;
+      (* The promised work is now being submitted; it will appear in the
+         server's booked backlog as soon as the request arrives, so the
+         ledger entry drains here. *)
+      s.reserved <- Float.max 0.0 (s.reserved -. wapp);
+      Network.transfer t.engine
+        ~bandwidth:(bandwidth_to_client t server)
+        ~latency:t.latency ~src:Network.Instant ~src_size:0.0
+        ~dst:(Network.Port s.s_resource) ~dst_size
+        ~on_delivered:(fun () ->
+          book_compute t s.s_resource ~work:wapp (fun _seconds ->
+              (* The response leaves as soon as the computation ends: the
+                 send charges port capacity but is not queued behind work
+                 booked after this job (a strict-FIFO send would trap every
+                 finished reply behind the whole compute backlog). *)
+              let src_size = t.params.Params.server.srep in
+              Trace.record_message t.trace ~kind:Trace.Service_reply
+                ~role:Trace.Server_end ~size:src_size;
+              Network.transfer t.engine
+                ~bandwidth:(bandwidth_to_client t server)
+                ~latency:t.latency ~src:(Network.Lane s.s_resource) ~src_size
+                ~dst:Network.Instant ~dst_size:0.0
+                ~on_delivered:(fun () -> on_done ())
+                ()))
+        ()

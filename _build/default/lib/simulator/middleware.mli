@@ -1,0 +1,66 @@
+(** Simulated DIET-style middleware: a deployed hierarchy executing the
+    two phases of Figure 1.
+
+    Scheduling phase: the client's request enters the root agent, which
+    books [Wreq], forwards down to every child, collects one reply per
+    child, books [Wrep(d)], and answers up; servers book [Wpre] and reply
+    with a performance prediction.  Service phase: the client contacts the
+    selected server directly; the server books [Wapp] and responds.  Every
+    computation and both ends of every message occupy the owning node's
+    single port (see {!Resource}). *)
+
+open Adept_platform
+
+type selection =
+  | Best_prediction
+      (** DIET's policy with fresh monitoring: smallest predicted
+          completion from the server's current state. *)
+  | Round_robin  (** Each agent cycles through its children. *)
+  | Random_child of Adept_util.Rng.t  (** Uniform child choice per agent. *)
+  | Database
+      (** Selection from the monitoring database (the paper's footnote 1:
+          "a list of servers maintained in the database by frequent
+          monitoring"): servers push load reports every
+          [monitoring_period] seconds, each report costing its message
+          transfer at both ends, and decisions use the last report —
+          decayed by the time since — instead of fresh state.  Requires
+          [monitoring_period]. *)
+
+type t
+
+val deploy :
+  ?trace:Trace.t ->
+  ?selection:selection ->
+  ?monitoring_period:float ->
+  engine:Engine.t ->
+  params:Adept_model.Params.t ->
+  platform:Platform.t ->
+  Adept_hierarchy.Tree.t ->
+  t
+(** Instantiate resources for every node of the hierarchy.  The hierarchy
+    must validate against the platform.  [monitoring_period] (seconds,
+    positive) starts the periodic load reports and is required by the
+    [Database] selection.
+    @raise Invalid_argument otherwise. *)
+
+val submit :
+  t -> wapp:float -> on_scheduled:(server:Node.id -> unit) -> unit
+(** Inject one scheduling request at the root (from an [Instant] client
+    endpoint); [on_scheduled] fires when the client receives the reply
+    naming the selected server. *)
+
+val request_service :
+  t -> server:Node.id -> wapp:float -> on_done:(unit -> unit) -> unit
+(** The service phase: direct client→server request of [wapp] MFlop.
+    @raise Invalid_argument if [server] is not a server of the
+    hierarchy. *)
+
+val resource : t -> Node.id -> Resource.t
+(** The simulated port of a deployed node.
+    @raise Not_found for nodes outside the hierarchy. *)
+
+val root : t -> Node.id
+val server_ids : t -> Node.id list
+val agent_ids : t -> Node.id list
+val engine : t -> Engine.t
+val trace : t -> Trace.t

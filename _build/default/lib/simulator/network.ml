@@ -1,0 +1,31 @@
+type endpoint = Instant | Port of Resource.t | Lane of Resource.t
+
+let transfer engine ~bandwidth ?(latency = 0.0) ~src ~src_size ~dst ~dst_size
+    ~on_delivered () =
+  if bandwidth <= 0.0 then invalid_arg "Network.transfer: bandwidth must be positive";
+  if src_size < 0.0 || dst_size < 0.0 then
+    invalid_arg "Network.transfer: negative message size";
+  if latency < 0.0 then invalid_arg "Network.transfer: negative latency";
+  let now = Engine.now engine in
+  let sent_at =
+    match src with
+    | Instant -> now
+    | Port resource ->
+        let _, finish = Resource.book resource ~now ~duration:(src_size /. bandwidth) in
+        finish
+    | Lane resource ->
+        Resource.charge resource ~now ~duration:(src_size /. bandwidth);
+        now +. (src_size /. bandwidth)
+  in
+  let arrival = sent_at +. latency in
+  Engine.schedule_at engine ~time:arrival (fun () ->
+      match dst with
+      | Instant -> on_delivered ()
+      | Port resource ->
+          let _, finish =
+            Resource.book resource ~now:arrival ~duration:(dst_size /. bandwidth)
+          in
+          Engine.schedule_at engine ~time:finish on_delivered
+      | Lane resource ->
+          Resource.charge resource ~now:arrival ~duration:(dst_size /. bandwidth);
+          on_delivered ())

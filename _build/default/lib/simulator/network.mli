@@ -1,0 +1,38 @@
+(** Message passing between simulated resources.
+
+    A transfer occupies the sender's port, travels (optional latency), then
+    occupies the receiver's port — matching the model's accounting, which
+    charges [S/B] to both endpoints of every message (Eqs. 1–4).  The two
+    ends may account different sizes, as in Table 3 where an agent↔server
+    exchange costs the agent its agent-level message size and the server
+    its server-level size.
+
+    Endpoint semantics:
+    - [Port r]: the transfer queues FIFO on [r]'s single port; the message
+      leaves/arrives only when the port has processed it (agents, and the
+      service phase at servers).
+    - [Lane r]: the port is charged the same capacity but the message is
+      not delayed by the port's queue — a server's scheduling traffic,
+      handled by a servant thread concurrently with the running
+      application.
+    - [Instant]: no cost at this end (client machines, which the paper's
+      load model never makes a bottleneck). *)
+
+type endpoint = Instant | Port of Resource.t | Lane of Resource.t
+
+val transfer :
+  Engine.t ->
+  bandwidth:float ->
+  ?latency:float ->
+  src:endpoint ->
+  src_size:float ->
+  dst:endpoint ->
+  dst_size:float ->
+  on_delivered:(unit -> unit) ->
+  unit ->
+  unit
+(** Book/charge the send on [src] now, schedule arrival, book/charge the
+    receive on [dst], and call [on_delivered] once the receive completes
+    (for a [Port]) or at arrival (otherwise).
+    @raise Invalid_argument on non-positive bandwidth, negative sizes or
+    negative latency. *)

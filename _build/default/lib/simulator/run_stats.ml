@@ -1,0 +1,51 @@
+open Adept_platform
+
+type t = {
+  mutable issued : int;
+  mutable completions : (float * float) list;  (* (completed_at, response_time), newest first *)
+  mutable completed : int;
+  per_server : (Node.id, int) Hashtbl.t;
+}
+
+let create () =
+  { issued = 0; completions = []; completed = 0; per_server = Hashtbl.create 64 }
+
+let record_issue t ~time:_ = t.issued <- t.issued + 1
+
+let record_completion t ~issued_at ~time ~server =
+  t.completions <- (time, time -. issued_at) :: t.completions;
+  t.completed <- t.completed + 1;
+  Hashtbl.replace t.per_server server
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.per_server server))
+
+let issued t = t.issued
+let completed t = t.completed
+
+let completions_in t ~t0 ~t1 =
+  List.fold_left
+    (fun acc (time, _) -> if time >= t0 && time < t1 then acc + 1 else acc)
+    0 t.completions
+
+let throughput t ~t0 ~t1 =
+  if t1 <= t0 then invalid_arg "Run_stats.throughput: empty window";
+  float_of_int (completions_in t ~t0 ~t1) /. (t1 -. t0)
+
+let per_server t =
+  Hashtbl.fold (fun id count acc -> (id, count) :: acc) t.per_server []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let response_times t = Array.of_list (List.rev_map snd t.completions)
+
+let mean_response_time t =
+  match response_times t with
+  | [||] -> None
+  | times -> Some (Adept_util.Stats.mean times)
+
+let response_percentile t p =
+  match response_times t with
+  | [||] -> None
+  | times -> Some (Adept_util.Stats.percentile times p)
+
+let pp ppf t =
+  Format.fprintf ppf "issued=%d completed=%d servers=%d" t.issued t.completed
+    (Hashtbl.length t.per_server)

@@ -1,0 +1,38 @@
+(** Measurement collection for simulation runs. *)
+
+open Adept_platform
+
+type t
+
+val create : unit -> t
+
+val record_issue : t -> time:float -> unit
+(** A client submitted a scheduling request. *)
+
+val record_completion : t -> issued_at:float -> time:float -> server:Node.id -> unit
+(** A client received the service response. *)
+
+val issued : t -> int
+val completed : t -> int
+
+val completions_in : t -> t0:float -> t1:float -> int
+(** Completions with [t0 <= time < t1]. *)
+
+val throughput : t -> t0:float -> t1:float -> float
+(** Completions per second over the window.
+    @raise Invalid_argument when [t1 <= t0]. *)
+
+val per_server : t -> (Node.id * int) list
+(** Completion counts by serving node, ascending id. *)
+
+val response_times : t -> float array
+(** End-to-end request latencies (issue to service response), in
+    completion order. *)
+
+val mean_response_time : t -> float option
+
+val response_percentile : t -> float -> float option
+(** [response_percentile t p] for [p] in [\[0, 100\]]; [None] with no
+    completions. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,143 @@
+open Adept_platform
+open Adept_hierarchy
+module Rng = Adept_util.Rng
+module Client = Adept_workload.Client
+module Mix = Adept_workload.Mix
+module Job = Adept_workload.Job
+
+type t = {
+  params : Adept_model.Params.t;
+  platform : Platform.t;
+  tree : Tree.t;
+  client : Client.t;
+  selection : Middleware.selection;
+  monitoring_period : float option;
+  seed : int;
+}
+
+let make ?(selection = Middleware.Best_prediction) ?monitoring_period ?(seed = 1)
+    ~params ~platform ~client tree =
+  { params; platform; tree; client; selection; monitoring_period; seed }
+
+type run_result = {
+  clients : int;
+  warmup : float;
+  duration : float;
+  throughput : float;
+  completed_total : int;
+  issued_total : int;
+  mean_response : float option;
+  p95_response : float option;
+  per_server : (Node.id * int) list;
+  events : Engine.outcome;
+}
+
+(* Shared scaffolding of a run: deployed middleware, stats, and the
+   issue-one-request closure. *)
+let prepare ?(trace = Trace.disabled) t =
+  let engine = Engine.create () in
+  let rng = Rng.create t.seed in
+  let selection =
+    match t.selection with
+    | Middleware.Random_child _ -> Middleware.Random_child (Rng.split rng)
+    | other -> other
+  in
+  let middleware =
+    Middleware.deploy ~trace ~selection ?monitoring_period:t.monitoring_period ~engine
+      ~params:t.params ~platform:t.platform t.tree
+  in
+  let stats = Run_stats.create () in
+  let mix = Client.mix t.client in
+  let issue_request ~on_complete =
+    let issued_at = Engine.now engine in
+    let job = Mix.draw mix rng in
+    let wapp = Job.wapp job in
+    Run_stats.record_issue stats ~time:issued_at;
+    Middleware.submit middleware ~wapp ~on_scheduled:(fun ~server ->
+        Middleware.request_service middleware ~server ~wapp ~on_done:(fun () ->
+            Run_stats.record_completion stats ~issued_at ~time:(Engine.now engine)
+              ~server;
+            on_complete ()))
+  in
+  (engine, rng, stats, issue_request)
+
+let finish ~clients ~warmup ~duration ~stats ~events =
+  let horizon = warmup +. duration in
+  {
+    clients;
+    warmup;
+    duration;
+    throughput = Run_stats.throughput stats ~t0:warmup ~t1:horizon;
+    completed_total = Run_stats.completed stats;
+    issued_total = Run_stats.issued stats;
+    mean_response = Run_stats.mean_response_time stats;
+    p95_response = Run_stats.response_percentile stats 95.0;
+    per_server = Run_stats.per_server stats;
+    events;
+  }
+
+let run_fixed ?trace ?max_events t ~clients ~warmup ~duration =
+  if clients <= 0 then invalid_arg "Scenario.run_fixed: clients must be positive";
+  if warmup < 0.0 || duration <= 0.0 then
+    invalid_arg "Scenario.run_fixed: need warmup >= 0 and duration > 0";
+  let engine, _rng, stats, issue_request = prepare ?trace t in
+  let horizon = warmup +. duration in
+  let think = Client.think_time t.client in
+  let rec client_loop () =
+    if Engine.now engine < horizon then
+      issue_request ~on_complete:(fun () ->
+          if think > 0.0 then Engine.schedule engine ~delay:think client_loop
+          else client_loop ())
+  in
+  (* Stagger the client starts across the first simulated second so the
+     hierarchy does not see a synchronised burst at t=0. *)
+  let stagger = 1.0 /. float_of_int clients in
+  for i = 0 to clients - 1 do
+    Engine.schedule_at engine ~time:(float_of_int i *. stagger) client_loop
+  done;
+  let events = Engine.run ~until:horizon ?max_events engine in
+  finish ~clients ~warmup ~duration ~stats ~events
+
+let run_open ?trace ?max_events t ~rate ~warmup ~duration =
+  if rate <= 0.0 || not (Float.is_finite rate) then
+    invalid_arg "Scenario.run_open: rate must be positive and finite";
+  if warmup < 0.0 || duration <= 0.0 then
+    invalid_arg "Scenario.run_open: need warmup >= 0 and duration > 0";
+  let engine, rng, stats, issue_request = prepare ?trace t in
+  let horizon = warmup +. duration in
+  let rec arrival () =
+    if Engine.now engine < horizon then begin
+      issue_request ~on_complete:(fun () -> ());
+      Engine.schedule engine
+        ~delay:(Rng.exponential rng ~mean:(1.0 /. rate))
+        arrival
+    end
+  in
+  Engine.schedule_at engine ~time:(Rng.exponential rng ~mean:(1.0 /. rate)) arrival;
+  let events = Engine.run ~until:horizon ?max_events engine in
+  finish ~clients:0 ~warmup ~duration ~stats ~events
+
+let throughput_series ?trace t ~client_counts ~warmup ~duration =
+  List.map
+    (fun clients -> (clients, (run_fixed ?trace t ~clients ~warmup ~duration).throughput))
+    client_counts
+
+let saturation_throughput ?(start = 1) ?(grow = 1.6) ?(tolerance = 0.02) t ~warmup
+    ~duration =
+  if start < 1 then invalid_arg "Scenario.saturation_throughput: start must be >= 1";
+  if grow <= 1.0 then invalid_arg "Scenario.saturation_throughput: grow must exceed 1";
+  let rec probe clients best_clients best_throughput =
+    let result = run_fixed t ~clients ~warmup ~duration in
+    let improved =
+      result.throughput > best_throughput *. (1.0 +. tolerance)
+    in
+    let best_clients, best_throughput =
+      if result.throughput > best_throughput then (clients, result.throughput)
+      else (best_clients, best_throughput)
+    in
+    if not improved then (best_clients, best_throughput)
+    else
+      let next = max (clients + 1) (int_of_float (Float.round (float_of_int clients *. grow))) in
+      probe next best_clients best_throughput
+  in
+  probe start start 0.0

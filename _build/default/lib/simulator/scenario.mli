@@ -1,0 +1,99 @@
+(** End-to-end simulation runs: a platform, a deployed hierarchy, a client
+    population — the simulated version of the paper's measurement protocol
+    (Section 5.1).
+
+    Clients are closed loops: each keeps exactly one request in flight
+    (scheduling phase, then service phase, then immediately the next
+    request, with an optional think time).  The maximum sustained
+    throughput is measured over a window after a warm-up. *)
+
+open Adept_platform
+open Adept_hierarchy
+
+type t = {
+  params : Adept_model.Params.t;
+  platform : Platform.t;
+  tree : Tree.t;
+  client : Adept_workload.Client.t;
+  selection : Middleware.selection;
+  monitoring_period : float option;
+  seed : int;  (** Drives job draws from the mix (and Random selection). *)
+}
+
+val make :
+  ?selection:Middleware.selection ->
+  ?monitoring_period:float ->
+  ?seed:int ->
+  params:Adept_model.Params.t ->
+  platform:Platform.t ->
+  client:Adept_workload.Client.t ->
+  Tree.t ->
+  t
+(** Default selection [Best_prediction], seed 1.  [monitoring_period] is
+    required by the [Database] selection (see {!Middleware.deploy}). *)
+
+type run_result = {
+  clients : int;  (** Population, or 0 for open-loop runs. *)
+  warmup : float;
+  duration : float;  (** Measurement window length, sim seconds. *)
+  throughput : float;  (** Completions/s inside the window. *)
+  completed_total : int;
+  issued_total : int;
+  mean_response : float option;
+  p95_response : float option;
+  per_server : (Node.id * int) list;
+  events : Engine.outcome;
+}
+
+val run_fixed :
+  ?trace:Trace.t ->
+  ?max_events:int ->
+  t ->
+  clients:int ->
+  warmup:float ->
+  duration:float ->
+  run_result
+(** Launch [clients] closed-loop clients (start times staggered across the
+    first simulated second, like the paper's one-per-second ramp compressed)
+    and measure throughput on [\[warmup, warmup + duration\]].
+    @raise Invalid_argument on non-positive clients/durations. *)
+
+val throughput_series :
+  ?trace:Trace.t ->
+  t ->
+  client_counts:int list ->
+  warmup:float ->
+  duration:float ->
+  (int * float) list
+(** One {!run_fixed} per population size — the x/y series of the paper's
+    throughput-vs-clients figures.  Each point is an independent run. *)
+
+val run_open :
+  ?trace:Trace.t ->
+  ?max_events:int ->
+  t ->
+  rate:float ->
+  warmup:float ->
+  duration:float ->
+  run_result
+(** Open-loop load: requests arrive as a Poisson process of [rate]
+    requests/s (drawn from the scenario's seed), regardless of
+    completions — the workload a {!Adept_model.Demand.rate} describes.
+    When the deployment's rho exceeds [rate], throughput tracks [rate]
+    and response times stay bounded; below it, the backlog and latency
+    grow for as long as the run lasts.  The scenario's think time is
+    ignored (arrivals are exogenous).
+    @raise Invalid_argument on a non-positive rate. *)
+
+val saturation_throughput :
+  ?start:int ->
+  ?grow:float ->
+  ?tolerance:float ->
+  t ->
+  warmup:float ->
+  duration:float ->
+  int * float
+(** Increase the client population geometrically until throughput stops
+    improving by more than [tolerance] (relative, default 0.02); returns
+    (clients, throughput) at saturation — the paper's "introduce new
+    clients until the throughput of the platform stops improving". *)

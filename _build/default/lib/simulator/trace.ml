@@ -1,0 +1,93 @@
+type message_kind = Sched_request | Sched_reply | Service_request | Service_reply
+
+type role = Agent_end | Server_end | Client_end
+
+let kind_index = function
+  | Sched_request -> 0
+  | Sched_reply -> 1
+  | Service_request -> 2
+  | Service_reply -> 3
+
+let role_index = function Agent_end -> 0 | Server_end -> 1 | Client_end -> 2
+
+let kind_name = function
+  | Sched_request -> "sched-request"
+  | Sched_reply -> "sched-reply"
+  | Service_request -> "service-request"
+  | Service_reply -> "service-reply"
+
+let role_name = function
+  | Agent_end -> "agent"
+  | Server_end -> "server"
+  | Client_end -> "client"
+
+type t = {
+  enabled : bool;
+  counts : int array;  (* kind * role *)
+  sizes : float array;
+  mutable request_computes : float list;
+  mutable reply_samples : (int * float) list;
+  mutable predictions : float list;
+}
+
+let make enabled =
+  {
+    enabled;
+    counts = Array.make 12 0;
+    sizes = Array.make 12 0.0;
+    request_computes = [];
+    reply_samples = [];
+    predictions = [];
+  }
+
+let create () = make true
+
+let disabled = make false
+
+let is_enabled t = t.enabled
+
+let cell ~kind ~role = (kind_index kind * 3) + role_index role
+
+let record_message t ~kind ~role ~size =
+  if t.enabled then begin
+    let i = cell ~kind ~role in
+    t.counts.(i) <- t.counts.(i) + 1;
+    t.sizes.(i) <- t.sizes.(i) +. size
+  end
+
+let record_agent_request_compute t ~seconds =
+  if t.enabled then t.request_computes <- seconds :: t.request_computes
+
+let record_agent_reply_compute t ~degree ~seconds =
+  if t.enabled then t.reply_samples <- (degree, seconds) :: t.reply_samples
+
+let record_server_prediction t ~seconds =
+  if t.enabled then t.predictions <- seconds :: t.predictions
+
+let message_count t kind role = t.counts.(cell ~kind ~role)
+
+let mean_message_size t kind role =
+  let i = cell ~kind ~role in
+  if t.counts.(i) = 0 then None else Some (t.sizes.(i) /. float_of_int t.counts.(i))
+
+let total_mbit t = Array.fold_left ( +. ) 0.0 t.sizes
+
+let agent_request_computes t = Array.of_list (List.rev t.request_computes)
+
+let reply_samples t = Array.of_list (List.rev t.reply_samples)
+
+let server_predictions t = Array.of_list (List.rev t.predictions)
+
+let pp_summary ppf t =
+  List.iter
+    (fun kind ->
+      List.iter
+        (fun role ->
+          match mean_message_size t kind role with
+          | None -> ()
+          | Some mean ->
+              Format.fprintf ppf "%s@%s: %d observations, mean %.3g Mbit@."
+                (kind_name kind) (role_name role) (message_count t kind role) mean)
+        [ Agent_end; Server_end; Client_end ])
+    [ Sched_request; Sched_reply; Service_request; Service_reply ];
+  Format.fprintf ppf "total traffic: %.3f Mbit" (total_mbit t)

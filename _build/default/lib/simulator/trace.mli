@@ -1,0 +1,52 @@
+(** Measurement instrumentation: the simulator's stand-in for the paper's
+    tcpdump/Ethereal traffic capture and DIET's statistics collection.
+
+    The calibration pipeline (Table 3) reads message sizes and per-element
+    processing times from here and fits the [Wrep(d)] linear model exactly
+    as the paper fitted real traces.  Messages are recorded at each
+    endpoint with that endpoint's role and accounted size, because the
+    same logical message costs an agent its agent-level size and a server
+    its server-level size (Table 3 has separate rows). *)
+
+type message_kind = Sched_request | Sched_reply | Service_request | Service_reply
+
+type role = Agent_end | Server_end | Client_end
+
+type t
+
+val create : unit -> t
+
+val disabled : t
+(** A shared sink that records nothing — used by performance-sensitive
+    runs. *)
+
+val is_enabled : t -> bool
+
+val record_message : t -> kind:message_kind -> role:role -> size:float -> unit
+(** One message observation at one endpoint, size in Mbit. *)
+
+val record_agent_request_compute : t -> seconds:float -> unit
+(** Duration of one agent [Wreq] processing step. *)
+
+val record_agent_reply_compute : t -> degree:int -> seconds:float -> unit
+(** Duration of one agent reply-aggregation step ([Wrep]) together with
+    the agent's degree — the (x, y) samples of the paper's linear fit. *)
+
+val record_server_prediction : t -> seconds:float -> unit
+(** Duration of one server [Wpre] step. *)
+
+val message_count : t -> message_kind -> role -> int
+val mean_message_size : t -> message_kind -> role -> float option
+(** Mbit; [None] when no such observation exists. *)
+
+val total_mbit : t -> float
+(** Sum over all endpoint observations (each message counted at both
+    non-client endpoints). *)
+
+val agent_request_computes : t -> float array
+val reply_samples : t -> (int * float) array
+(** (degree, seconds) samples for the [Wrep] fit. *)
+
+val server_predictions : t -> float array
+
+val pp_summary : Format.formatter -> t -> unit

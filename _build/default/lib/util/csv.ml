@@ -1,0 +1,35 @@
+type t = { arity : int; rev_rows : string list list }
+
+let create headers = { arity = List.length headers; rev_rows = [ headers ] }
+
+let add_row t row =
+  if List.length row <> t.arity then invalid_arg "Csv.add_row: arity mismatch";
+  { t with rev_rows = row :: t.rev_rows }
+
+let add_floats t row = add_row t (List.map (Printf.sprintf "%.17g") row)
+
+let needs_quoting s =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+
+let quote s =
+  if needs_quoting s then
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  else s
+
+let to_string t =
+  let rows = List.rev t.rev_rows in
+  String.concat "\n" (List.map (fun row -> String.concat "," (List.map quote row)) rows)
+  ^ "\n"
+
+let save t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string t))

@@ -1,0 +1,21 @@
+(** Minimal CSV emission for experiment series (figure data points).
+
+    Only writing is supported; values are quoted per RFC 4180 when they
+    contain separators, quotes or newlines. *)
+
+type t
+
+val create : string list -> t
+(** [create headers] starts a document with a header row. *)
+
+val add_row : t -> string list -> t
+(** Append a row.  @raise Invalid_argument on arity mismatch. *)
+
+val add_floats : t -> float list -> t
+(** Append a row of floats rendered with [%.17g] round-trip precision. *)
+
+val to_string : t -> string
+(** Render the document, rows in insertion order, LF line endings. *)
+
+val save : t -> string -> unit
+(** [save t path] writes {!to_string} to [path]. *)

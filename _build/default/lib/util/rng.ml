@@ -1,0 +1,93 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* SplitMix64 output function (Steele, Lea, Flood 2014). *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  let seed = bits64 t in
+  { state = seed }
+
+(* Non-negative 62-bit int from the top bits, safe on 64-bit OCaml ints. *)
+let bits t = Int64.to_int (Int64.shift_right_logical (bits64 t) 2)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling to avoid modulo bias. *)
+  let max = (1 lsl 62) - 1 in
+  let limit = max - (max mod bound) in
+  let rec draw () =
+    let v = bits t in
+    if v >= limit then draw () else v mod bound
+  in
+  draw ()
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Rng.int_in: hi < lo";
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  if not (Float.is_finite bound) || bound <= 0.0 then
+    invalid_arg "Rng.float: bound must be finite and positive";
+  (* 53 uniform mantissa bits. *)
+  let v = Int64.to_int (Int64.shift_right_logical (bits64 t) 11) in
+  float_of_int v /. 9007199254740992.0 *. bound
+
+let float_in t lo hi =
+  if hi < lo then invalid_arg "Rng.float_in: hi < lo";
+  if hi = lo then lo else lo +. float t (hi -. lo)
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let exponential t ~mean =
+  if mean <= 0.0 then invalid_arg "Rng.exponential: mean must be positive";
+  let u = 1.0 -. float t 1.0 in
+  -.mean *. log u
+
+let normal t ~mean ~stddev =
+  let u1 = 1.0 -. float t 1.0 in
+  let u2 = float t 1.0 in
+  let r = sqrt (-2.0 *. log u1) in
+  mean +. (stddev *. r *. cos (2.0 *. Float.pi *. u2))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick t a =
+  if Array.length a = 0 then invalid_arg "Rng.pick: empty array";
+  a.(int t (Array.length a))
+
+let pick_weighted t choices =
+  if Array.length choices = 0 then invalid_arg "Rng.pick_weighted: empty array";
+  let total =
+    Array.fold_left
+      (fun acc (_, w) ->
+        if w < 0.0 then invalid_arg "Rng.pick_weighted: negative weight";
+        acc +. w)
+      0.0 choices
+  in
+  if total <= 0.0 then invalid_arg "Rng.pick_weighted: weights sum to zero";
+  let target = float t total in
+  let rec scan i acc =
+    let x, w = choices.(i) in
+    let acc = acc +. w in
+    if target < acc || i = Array.length choices - 1 then x else scan (i + 1) acc
+  in
+  scan 0 0.0

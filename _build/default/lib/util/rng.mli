@@ -1,0 +1,58 @@
+(** Deterministic pseudo-random number generation.
+
+    Every stochastic component of the library (platform generators, random
+    baselines, property tests) draws from this splittable SplitMix64
+    generator so that experiments are reproducible from a single seed.
+    The generator is explicit state: no global mutable RNG is used. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] builds a generator from an integer seed.  Equal seeds
+    yield equal streams. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator with the same current state. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a new generator whose stream is
+    statistically independent from the continuation of [t]. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output of SplitMix64. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  @raise Invalid_argument if
+    [bound <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive.
+    @raise Invalid_argument if [hi < lo]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)].  [bound] must be finite and
+    positive. *)
+
+val float_in : t -> float -> float -> float
+(** [float_in t lo hi] is uniform in [\[lo, hi)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed positive value with the given mean. *)
+
+val normal : t -> mean:float -> stddev:float -> float
+(** Gaussian value (Box–Muller). *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array.
+    @raise Invalid_argument on an empty array. *)
+
+val pick_weighted : t -> ('a * float) array -> 'a
+(** [pick_weighted t choices] selects proportionally to the (non-negative,
+    not all zero) weights.  @raise Invalid_argument otherwise. *)

@@ -1,0 +1,1 @@
+lib/workload/client.ml: Float Format Mix

@@ -1,0 +1,1 @@
+lib/workload/client.mli: Format Job Mix

@@ -1,0 +1,1 @@
+lib/workload/dgemm.mli: Format

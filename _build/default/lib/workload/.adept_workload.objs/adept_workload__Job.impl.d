@@ -1,0 +1,1 @@
+lib/workload/job.ml: Dgemm Float Format Printf

@@ -1,0 +1,1 @@
+lib/workload/job.mli: Dgemm Format

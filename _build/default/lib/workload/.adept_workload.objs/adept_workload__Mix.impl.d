@@ -1,0 +1,1 @@
+lib/workload/mix.ml: Adept_util Array Float Format Job List

@@ -1,0 +1,1 @@
+lib/workload/mix.mli: Adept_util Format Job

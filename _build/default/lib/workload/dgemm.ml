@@ -1,0 +1,19 @@
+type t = { n : int }
+
+let make n =
+  if n <= 0 then invalid_arg "Dgemm.make: order must be positive";
+  { n }
+
+let order t = t.n
+
+let flops t =
+  let n = float_of_int t.n in
+  (2.0 *. n *. n *. n) +. (2.0 *. n *. n)
+
+let mflops t = flops t /. 1e6
+
+let sizes_used_in_paper = List.map make [ 10; 100; 200; 310; 1000 ]
+
+let pp ppf t = Format.fprintf ppf "DGEMM %dx%d" t.n t.n
+
+let equal a b = a.n = b.n

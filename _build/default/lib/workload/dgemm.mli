@@ -1,0 +1,26 @@
+(** The DGEMM workload used throughout the paper's evaluation: a square
+    matrix multiplication from level-3 BLAS, parameterised by matrix
+    order [n].
+
+    The cost model is the classic [2 n^3] floating-point operations of
+    [C <- alpha*A*B + beta*C] (the [2 n^2] scaling terms are included for
+    completeness; they matter at the paper's smallest size, 10x10). *)
+
+type t = private { n : int }
+
+val make : int -> t
+(** @raise Invalid_argument if [n <= 0]. *)
+
+val order : t -> int
+
+val flops : t -> float
+(** [2 n^3 + 2 n^2] floating point operations. *)
+
+val mflops : t -> float
+(** {!flops} / 10^6 — the [Wapp] of the model, MFlop. *)
+
+val sizes_used_in_paper : t list
+(** 10, 100, 200, 310, 1000 — every size exercised in Section 5. *)
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

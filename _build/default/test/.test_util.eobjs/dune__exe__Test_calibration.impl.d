@@ -1,0 +1,1 @@
+test/test_calibration.ml: Adept_calibration Adept_model Adept_platform Adept_util Alcotest Array Astring Float Int List Option Result

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Adept_calibration Adept_experiments Alcotest Array Astring Filename Float Fun List Printf String Sys

@@ -1,0 +1,1 @@
+test/test_godiet.ml: Adept_godiet Adept_hierarchy Adept_model Adept_platform Adept_sim Adept_util Alcotest Astring List Option Printf Result

@@ -1,0 +1,1 @@
+test/test_integration.ml: Adept Adept_godiet Adept_hierarchy Adept_model Adept_platform Adept_sim Adept_util Adept_workload Alcotest Float List Option Printf Result

@@ -1,0 +1,1 @@
+test/test_model.ml: Adept_model Alcotest Float List QCheck QCheck_alcotest

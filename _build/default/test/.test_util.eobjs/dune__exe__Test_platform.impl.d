@@ -1,0 +1,1 @@
+test/test_platform.ml: Adept_platform Adept_util Alcotest Catalog Filename Float Fun Generator Link List Node Platform QCheck QCheck_alcotest Sys

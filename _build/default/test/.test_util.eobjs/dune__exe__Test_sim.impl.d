@@ -1,0 +1,1 @@
+test/test_sim.ml: Adept Adept_hierarchy Adept_model Adept_platform Adept_sim Adept_util Adept_workload Alcotest Array Float Int List Option Printf QCheck QCheck_alcotest

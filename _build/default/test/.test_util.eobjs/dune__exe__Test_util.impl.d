@@ -1,0 +1,1 @@
+test/test_util.ml: Adept_util Alcotest Array Astring Float Fun Gen Hashtbl Int List Option QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_workload.ml: Adept_util Adept_workload Alcotest Float Gen List Printf QCheck QCheck_alcotest

@@ -1,0 +1,221 @@
+(* Tests for Adept_calibration: the Linpack mini-benchmark, the Wrep fit
+   pipeline, and the full Table 3 reconstruction. *)
+
+module Linpack = Adept_calibration.Linpack
+module Fit = Adept_calibration.Fit
+module Table3 = Adept_calibration.Table3
+module Params = Adept_model.Params
+
+let params = Params.diet_lyon
+
+let check_close ?(eps = 1e-9) name expected got =
+  Alcotest.(check (float (eps *. Float.max 1.0 (Float.abs expected)))) name expected got
+
+(* ---------- Linpack ---------- *)
+
+let test_linpack_daxpy_positive () =
+  let m = Linpack.daxpy_mflops ~n:50_000 ~repeats:3 () in
+  Alcotest.(check bool) "positive and finite" true (m > 0.0 && Float.is_finite m)
+
+let test_linpack_dgemm_positive () =
+  let m = Linpack.dgemm_mflops ~n:48 ~repeats:2 () in
+  Alcotest.(check bool) "positive and finite" true (m > 0.0 && Float.is_finite m)
+
+let test_linpack_validation () =
+  Alcotest.(check bool) "zero n" true
+    (match Linpack.daxpy_mflops ~n:0 () with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_background_load_arithmetic () =
+  check_close "65% load" 255.5 (Linpack.simulate_background_load ~base:730.0 ~load_fraction:0.65);
+  check_close "no load" 730.0 (Linpack.simulate_background_load ~base:730.0 ~load_fraction:0.0);
+  Alcotest.(check bool) "full load rejected" true
+    (match Linpack.simulate_background_load ~base:1.0 ~load_fraction:1.0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* ---------- Fit ---------- *)
+
+let test_fit_wrep_synthetic () =
+  (* exact synthetic samples: seconds = (wfix + wsel*d)/power *)
+  let power = 730.0 in
+  let samples =
+    Array.of_list
+      (List.concat_map
+         (fun d ->
+           let seconds = (4.0e-3 +. (5.4e-3 *. float_of_int d)) /. power in
+           [ (d, seconds); (d, seconds) ])
+         [ 1; 2; 4; 8 ])
+  in
+  match Fit.fit_wrep ~power samples with
+  | Error e -> Alcotest.fail e
+  | Ok fit ->
+      check_close ~eps:1e-9 "wfix" 4.0e-3 fit.Fit.wfix;
+      check_close ~eps:1e-9 "wsel" 5.4e-3 fit.Fit.wsel;
+      check_close ~eps:1e-9 "perfect correlation" 1.0 fit.Fit.correlation
+
+let test_fit_wrep_needs_degrees () =
+  Alcotest.(check bool) "single degree rejected" true
+    (Result.is_error (Fit.fit_wrep ~power:1.0 [| (3, 0.1); (3, 0.2) |]))
+
+let test_mean_seconds_to_mflop () =
+  Alcotest.(check (option (float 1e-9))) "converted" (Some 14.6)
+    (Fit.mean_seconds_to_mflop ~power:730.0 [| 0.01; 0.03 |]);
+  Alcotest.(check (option (float 0.0))) "empty" None
+    (Fit.mean_seconds_to_mflop ~power:730.0 [||])
+
+let test_star_reply_samples () =
+  let platform = Adept_platform.Generator.grid5000_lyon ~n:5 () in
+  let samples =
+    Fit.star_reply_samples ~params ~platform ~degrees:[ 1; 2; 4 ] ~requests:5 ~wapp:2.0
+  in
+  Alcotest.(check int) "5 samples per degree" 15 (Array.length samples);
+  let degrees = List.sort_uniq Int.compare (List.map fst (Array.to_list samples)) in
+  Alcotest.(check (list int)) "degrees covered" [ 1; 2; 4 ] degrees;
+  (* every observed duration equals Wrep(d)/w exactly in the simulator *)
+  Array.iter
+    (fun (d, seconds) ->
+      check_close "duration is Wrep(d)/w" (Params.wrep params ~degree:d /. 730.0) seconds)
+    samples
+
+let test_star_reply_samples_validation () =
+  let platform = Adept_platform.Generator.grid5000_lyon ~n:3 () in
+  Alcotest.(check bool) "too few nodes" true
+    (match
+       Fit.star_reply_samples ~params ~platform ~degrees:[ 5 ] ~requests:1 ~wapp:1.0
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* ---------- Forecast ---------- *)
+
+module Forecast = Adept_calibration.Forecast
+
+let test_forecast_mean_converges () =
+  let rng = Adept_util.Rng.create 7 in
+  let true_wapp = 59.77 and power = 730.0 in
+  let f = Forecast.create Forecast.Running_mean in
+  for _ = 1 to 5000 do
+    let seconds =
+      Float.max 1e-6
+        (Adept_util.Rng.normal rng ~mean:(true_wapp /. power)
+           ~stddev:(0.2 *. true_wapp /. power))
+    in
+    Forecast.observe f ~power ~seconds
+  done;
+  let estimate = Option.get (Forecast.predict f) in
+  Alcotest.(check bool) "within 2% of truth" true
+    (Float.abs (estimate -. true_wapp) /. true_wapp < 0.02);
+  Alcotest.(check int) "count" 5000 (Forecast.count f)
+
+let test_forecast_ewma_tracks_drift () =
+  let f = Forecast.create (Forecast.Ewma 0.3) in
+  (* regime change: 10 then 100 MFlop *)
+  for _ = 1 to 20 do Forecast.observe_mflop f 10.0 done;
+  for _ = 1 to 20 do Forecast.observe_mflop f 100.0 done;
+  let ewma = Option.get (Forecast.predict f) in
+  let mean_f = Forecast.create Forecast.Running_mean in
+  for _ = 1 to 20 do Forecast.observe_mflop mean_f 10.0 done;
+  for _ = 1 to 20 do Forecast.observe_mflop mean_f 100.0 done;
+  let mean = Option.get (Forecast.predict mean_f) in
+  Alcotest.(check bool) "ewma close to new regime" true (ewma > 95.0);
+  Alcotest.(check bool) "mean stuck between regimes" true (mean > 50.0 && mean < 60.0)
+
+let test_forecast_median_robust () =
+  let f = Forecast.create (Forecast.Windowed_median 9) in
+  List.iter (Forecast.observe_mflop f) [ 10.; 11.; 9.; 10.; 1000.; 10.; 11.; 9.; 10. ];
+  let m = Option.get (Forecast.predict f) in
+  Alcotest.(check bool) "outlier ignored" true (m >= 9.0 && m <= 11.0)
+
+let test_forecast_window_slides () =
+  let f = Forecast.create (Forecast.Windowed_median 3) in
+  List.iter (Forecast.observe_mflop f) [ 1.0; 1.0; 1.0; 50.0; 50.0; 50.0 ];
+  check_close "only the last window counts" 50.0 (Option.get (Forecast.predict f))
+
+let test_forecast_residuals () =
+  let f = Forecast.create Forecast.Running_mean in
+  Alcotest.(check (option (float 0.0))) "empty predict" None (Forecast.predict f);
+  Forecast.observe_mflop f 4.0;
+  Alcotest.(check (option (float 0.0))) "single: no stddev" None (Forecast.residual_stddev f);
+  Forecast.observe_mflop f 8.0;
+  check_close "stddev of {4,8}" (sqrt 8.0) (Option.get (Forecast.residual_stddev f))
+
+let test_forecast_validation () =
+  Alcotest.(check bool) "bad alpha" true
+    (match Forecast.create (Forecast.Ewma 1.5) with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "bad window" true
+    (match Forecast.create (Forecast.Windowed_median 0) with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  let f = Forecast.create Forecast.Running_mean in
+  Alcotest.(check bool) "bad observation" true
+    (match Forecast.observe_mflop f 0.0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* ---------- Table 3 ---------- *)
+
+let test_table3_reconstruction_exact () =
+  match Table3.run ~requests:30 ~reference:params ~node_power:730.0 () with
+  | Error e -> Alcotest.fail e
+  | Ok measured ->
+      let errors = Table3.relative_errors measured ~reference:params in
+      List.iter
+        (fun (name, err) ->
+          Alcotest.(check bool) (name ^ " reconstructed within 1e-6") true (err < 1e-6))
+        errors;
+      Alcotest.(check bool) "correlation ~1" true
+        (measured.Table3.wrep_correlation > 0.999);
+      Alcotest.(check int) "all requests observed" 30 measured.Table3.requests_observed
+
+let test_table3_table_renders () =
+  match Table3.run ~requests:10 ~fit_degrees:[ 1; 2; 3 ] ~reference:params
+          ~node_power:730.0 ()
+  with
+  | Error e -> Alcotest.fail e
+  | Ok measured ->
+      let rendered = Adept_util.Table.render (Table3.to_table measured) in
+      Alcotest.(check bool) "has agent row" true
+        (Astring.String.is_infix ~affix:"Agent" rendered)
+
+let test_table3_validation () =
+  Alcotest.(check bool) "zero requests" true
+    (Result.is_error (Table3.run ~requests:0 ~reference:params ~node_power:730.0 ()))
+
+let () =
+  Alcotest.run "calibration"
+    [
+      ( "linpack",
+        [
+          Alcotest.test_case "daxpy" `Quick test_linpack_daxpy_positive;
+          Alcotest.test_case "dgemm" `Quick test_linpack_dgemm_positive;
+          Alcotest.test_case "validation" `Quick test_linpack_validation;
+          Alcotest.test_case "background load" `Quick test_background_load_arithmetic;
+        ] );
+      ( "fit",
+        [
+          Alcotest.test_case "wrep synthetic" `Quick test_fit_wrep_synthetic;
+          Alcotest.test_case "needs two degrees" `Quick test_fit_wrep_needs_degrees;
+          Alcotest.test_case "seconds to mflop" `Quick test_mean_seconds_to_mflop;
+          Alcotest.test_case "star reply samples" `Quick test_star_reply_samples;
+          Alcotest.test_case "sample validation" `Quick test_star_reply_samples_validation;
+        ] );
+      ( "forecast",
+        [
+          Alcotest.test_case "mean converges" `Quick test_forecast_mean_converges;
+          Alcotest.test_case "ewma tracks drift" `Quick test_forecast_ewma_tracks_drift;
+          Alcotest.test_case "median robust to outliers" `Quick test_forecast_median_robust;
+          Alcotest.test_case "window slides" `Quick test_forecast_window_slides;
+          Alcotest.test_case "residuals" `Quick test_forecast_residuals;
+          Alcotest.test_case "validation" `Quick test_forecast_validation;
+        ] );
+      ( "table3",
+        [
+          Alcotest.test_case "exact reconstruction" `Quick test_table3_reconstruction_exact;
+          Alcotest.test_case "renders" `Quick test_table3_table_renders;
+          Alcotest.test_case "validation" `Quick test_table3_validation;
+        ] );
+    ]

@@ -1,0 +1,873 @@
+(* Tests for the core planner library: scheduling/service power, model
+   evaluation, baselines, the heuristic, the homogeneous optimal planner,
+   the exhaustive oracle and the unified planner. *)
+
+open Adept
+module Params = Adept_model.Params
+module Demand = Adept_model.Demand
+module Node = Adept_platform.Node
+module Platform = Adept_platform.Platform
+module Generator = Adept_platform.Generator
+module Tree = Adept_hierarchy.Tree
+module Validate = Adept_hierarchy.Validate
+module Metrics = Adept_hierarchy.Metrics
+module Rng = Adept_util.Rng
+
+let params = Params.diet_lyon
+
+let b = 100.0
+
+let dgemm n = Adept_workload.Dgemm.(mflops (make n))
+
+let check_close ?(eps = 1e-9) name expected got =
+  Alcotest.(check (float (eps *. Float.max 1.0 (Float.abs expected)))) name expected got
+
+let node ?(power = 730.0) i = Node.make ~id:i ~name:(Printf.sprintf "n%d" i) ~power ()
+
+let nodes ?power n = List.init n (fun i -> node ?power i)
+
+(* ---------- Sched_power ---------- *)
+
+let test_sched_power_matches_throughput () =
+  let n = node 0 in
+  check_close "agent term"
+    (Adept_model.Throughput.agent_sched params ~bandwidth:b ~power:730.0 ~degree:5)
+    (Sched_power.agent params ~bandwidth:b ~node:n ~children:5);
+  check_close "server term"
+    (Adept_model.Throughput.server_sched params ~bandwidth:b ~power:730.0)
+    (Sched_power.server params ~bandwidth:b ~node:n)
+
+let test_sort_nodes_power_desc () =
+  let ns =
+    [ node ~power:100.0 0; node ~power:900.0 1; node ~power:500.0 2 ]
+  in
+  Alcotest.(check (list int)) "strongest first" [ 1; 2; 0 ]
+    (List.map Node.id (Sched_power.sort_nodes params ~bandwidth:b ns))
+
+let test_sort_nodes_empty_and_single () =
+  Alcotest.(check int) "empty" 0 (List.length (Sched_power.sort_nodes params ~bandwidth:b []));
+  Alcotest.(check int) "single" 1
+    (List.length (Sched_power.sort_nodes params ~bandwidth:b [ node 0 ]))
+
+let test_supported_children () =
+  let n = node 0 in
+  (* floor equal to the degree-5 sched power supports exactly 5 children *)
+  let floor = Sched_power.agent params ~bandwidth:b ~node:n ~children:5 in
+  Alcotest.(check int) "exact capacity" 5
+    (Sched_power.supported_children params ~bandwidth:b ~node:n ~floor ~max_children:100);
+  Alcotest.(check int) "impossible floor" 0
+    (Sched_power.supported_children params ~bandwidth:b ~node:n ~floor:1e9 ~max_children:100);
+  Alcotest.(check int) "trivial floor capped" 7
+    (Sched_power.supported_children params ~bandwidth:b ~node:n ~floor:0.0 ~max_children:7)
+
+(* ---------- Service_power ---------- *)
+
+let test_service_power () =
+  check_close "matches eq 15"
+    (Adept_model.Throughput.service params ~bandwidth:b
+       [ { Adept_model.Throughput.power = 730.0; wapp = 16.0 } ])
+    (Service_power.of_servers params ~bandwidth:b ~wapp:16.0 [ node 0 ]);
+  let base = Service_power.of_servers params ~bandwidth:b ~wapp:16.0 [ node 0 ] in
+  let more = Service_power.marginal params ~bandwidth:b ~wapp:16.0 [ node 0 ] (node 1) in
+  Alcotest.(check bool) "marginal adds" true (more > base)
+
+(* ---------- Evaluate ---------- *)
+
+let test_evaluate_star () =
+  let t = Tree.star (node 0) [ node 1; node 2 ] in
+  let spec = Evaluate.spec_of_tree ~wapp:16.0 t in
+  Alcotest.(check int) "one agent" 1 (List.length spec.Adept_model.Throughput.agents);
+  Alcotest.(check int) "two servers" 2 (List.length spec.Adept_model.Throughput.servers);
+  let expected =
+    Adept_model.Throughput.platform params ~bandwidth:b
+      {
+        Adept_model.Throughput.agents = [ (730.0, 2) ];
+        servers =
+          [
+            { Adept_model.Throughput.power = 730.0; wapp = 16.0 };
+            { Adept_model.Throughput.power = 730.0; wapp = 16.0 };
+          ];
+      }
+  in
+  check_close "matches direct Eq. 16" expected (Evaluate.rho params ~bandwidth:b ~wapp:16.0 t)
+
+let test_evaluate_no_servers () =
+  let t = Tree.agent (node 0) [ Tree.agent (node 1) [] ] in
+  Alcotest.(check bool) "agent without children rejected" true
+    (match Evaluate.spec_of_tree ~wapp:1.0 t with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_evaluate_report () =
+  let t = Tree.star (node 0) [ node 1 ] in
+  let report = Evaluate.report params ~bandwidth:b ~wapp:16.0 t in
+  Alcotest.(check bool) "mentions bottleneck" true
+    (Astring.String.is_infix ~affix:"bottleneck" report)
+
+(* ---------- rho_hetero / Multi_cluster ---------- *)
+
+let plan_on platform wapp demand =
+  match Heuristic.plan params ~platform ~wapp ~demand with
+  | Ok r -> r
+  | Error e -> Alcotest.fail e
+
+let test_rho_hetero_reduces_to_rho () =
+  (* on a uniform-bandwidth platform the generalised model must equal Eq. 16 *)
+  let rng = Rng.create 3 in
+  let platform = Generator.grid5000_orsay ~rng ~n:20 () in
+  let wapp = dgemm 310 in
+  let tree = plan_on platform wapp Demand.unbounded in
+  let tree = tree.Heuristic.tree in
+  check_close "hetero = homogeneous on uniform links"
+    (Evaluate.rho_on params ~platform ~wapp tree)
+    (Evaluate.rho_hetero params ~platform ~wapp tree)
+
+let test_rho_hetero_penalizes_slow_links () =
+  (* the same shape scores lower when its links cross a slow WAN *)
+  let rng = Rng.create 4 in
+  let fast = Generator.two_sites ~rng ~n_orsay:6 ~n_lyon:6 ~wan_bandwidth:1000.0 () in
+  let rng = Rng.create 4 in
+  let slow = Generator.two_sites ~rng ~n_orsay:6 ~n_lyon:6 ~wan_bandwidth:0.5 () in
+  let wapp = dgemm 310 in
+  (* a star rooted in orsay spanning both sites *)
+  let tree p = Result.get_ok (Baselines.star (Platform.nodes p)) in
+  Alcotest.(check bool) "slow WAN lowers rho" true
+    (Evaluate.rho_hetero params ~platform:slow ~wapp (tree slow)
+    < Evaluate.rho_hetero params ~platform:fast ~wapp (tree fast))
+
+let test_sub_platform () =
+  let rng = Rng.create 5 in
+  let platform = Generator.two_sites ~rng ~n_orsay:5 ~n_lyon:3 ~wan_bandwidth:10.0 () in
+  match Multi_cluster.sub_platform platform ~cluster:"lyon" with
+  | None -> Alcotest.fail "lyon exists"
+  | Some (sub, mapping) ->
+      Alcotest.(check int) "three nodes" 3 (Platform.size sub);
+      Alcotest.(check int) "mapping size" 3 (Array.length mapping);
+      Alcotest.(check string) "original cluster" "lyon" (Node.cluster mapping.(0));
+      Alcotest.(check bool) "intra bandwidth" true
+        (Platform.uniform_bandwidth sub = 1000.0);
+      Alcotest.(check bool) "missing cluster" true
+        (Multi_cluster.sub_platform platform ~cluster:"nowhere" = None)
+
+let test_multi_cluster_crossover () =
+  let wapp = dgemm 310 in
+  let plan_at wan =
+    let rng = Rng.create 5 in
+    let platform = Generator.two_sites ~rng ~n_orsay:16 ~n_lyon:12 ~wan_bandwidth:wan () in
+    match Multi_cluster.plan params ~platform ~wapp ~demand:Demand.unbounded with
+    | Ok r ->
+        Alcotest.(check bool) "valid on platform" true
+          (Validate.is_valid ~platform r.Multi_cluster.tree);
+        r
+    | Error e -> Alcotest.fail e
+  in
+  let slow = plan_at 0.5 and fast = plan_at 1000.0 in
+  (match slow.Multi_cluster.arrangement with
+  | Multi_cluster.Single_site _ -> ()
+  | Multi_cluster.Federated _ -> Alcotest.fail "slow WAN should stay single-site");
+  (match fast.Multi_cluster.arrangement with
+  | Multi_cluster.Federated _ -> ()
+  | Multi_cluster.Single_site _ -> Alcotest.fail "fast WAN should federate");
+  Alcotest.(check bool) "federation buys throughput" true
+    (fast.Multi_cluster.predicted_rho > slow.Multi_cluster.predicted_rho);
+  Alcotest.(check bool) "all four candidates scored" true
+    (List.length fast.Multi_cluster.candidates = 4)
+
+let test_multi_cluster_single_site_platform () =
+  (* degenerates to the heuristic on one cluster *)
+  let platform = Generator.grid5000_lyon ~n:12 () in
+  let wapp = dgemm 310 in
+  match Multi_cluster.plan params ~platform ~wapp ~demand:Demand.unbounded with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+      let heur = plan_on platform wapp Demand.unbounded in
+      check_close "same rho as plain heuristic" heur.Heuristic.predicted_rho
+        r.Multi_cluster.predicted_rho;
+      (match r.Multi_cluster.arrangement with
+      | Multi_cluster.Single_site "lyon" -> ()
+      | _ -> Alcotest.fail "expected single:lyon")
+
+(* ---------- Baselines ---------- *)
+
+let test_star_baseline () =
+  match Baselines.star (nodes 5) with
+  | Ok t ->
+      Alcotest.(check int) "degree" 4 (Tree.degree t);
+      Alcotest.(check bool) "valid" true (Validate.is_valid t)
+  | Error e -> Alcotest.fail e
+
+let test_star_too_small () =
+  Alcotest.(check bool) "one node fails" true (Result.is_error (Baselines.star (nodes 1)))
+
+let test_balanced_baseline () =
+  match Baselines.balanced ~agents:3 (nodes 14) with
+  | Ok t ->
+      let m = Metrics.of_tree t in
+      Alcotest.(check int) "agents" 4 m.Metrics.agents;
+      Alcotest.(check int) "servers" 10 m.Metrics.servers;
+      Alcotest.(check int) "depth" 2 m.Metrics.depth;
+      Alcotest.(check bool) "valid" true (Validate.is_valid t);
+      (* even distribution: 10 servers over 3 agents = 4/3/3 *)
+      Alcotest.(check int) "max degree" 4 m.Metrics.max_degree
+  | Error e -> Alcotest.fail e
+
+let test_balanced_too_small () =
+  Alcotest.(check bool) "cannot host 2 per agent" true
+    (Result.is_error (Baselines.balanced ~agents:3 (nodes 8)))
+
+let test_dary_star_case () =
+  match Baselines.dary ~degree:10 (nodes 6) with
+  | Ok t ->
+      Alcotest.(check int) "degree capped to star" 5 (Tree.degree t);
+      Alcotest.(check bool) "valid" true (Validate.is_valid t)
+  | Error e -> Alcotest.fail e
+
+let test_dary_exact () =
+  (* 13 nodes, degree 3: root + 3 agents + 9 servers is a perfect tree *)
+  match Baselines.dary ~degree:3 (nodes 13) with
+  | Ok t ->
+      let m = Metrics.of_tree t in
+      Alcotest.(check int) "all used" 13 m.Metrics.nodes;
+      Alcotest.(check int) "agents" 4 m.Metrics.agents;
+      Alcotest.(check int) "depth" 2 m.Metrics.depth;
+      Alcotest.(check bool) "valid" true (Validate.is_valid t)
+  | Error e -> Alcotest.fail e
+
+let test_dary_frontier_fixup () =
+  (* sizes that leave a single-child internal node must still validate *)
+  List.iter
+    (fun (n, d) ->
+      match Baselines.dary ~degree:d (nodes n) with
+      | Ok t ->
+          Alcotest.(check bool)
+            (Printf.sprintf "valid n=%d d=%d" n d)
+            true (Validate.is_valid t);
+          Alcotest.(check int) (Printf.sprintf "spans n=%d d=%d" n d) n (Tree.size t)
+      | Error e -> Alcotest.fail e)
+    [ (4, 2); (6, 2); (8, 3); (10, 4); (23, 5); (45, 14); (7, 1) ]
+
+let test_dary_validation () =
+  Alcotest.(check bool) "degree 0" true (Result.is_error (Baselines.dary ~degree:0 (nodes 5)));
+  Alcotest.(check bool) "one node" true (Result.is_error (Baselines.dary ~degree:2 (nodes 1)))
+
+let test_random_baseline_valid () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 50 do
+    match Baselines.random ~rng (nodes 12) with
+    | Ok t -> Alcotest.(check bool) "valid" true (Validate.is_valid t)
+    | Error e -> Alcotest.fail e
+  done
+
+(* ---------- Heuristic ---------- *)
+
+let test_heuristic_degenerate_tiny_job () =
+  (* DGEMM 10 is agent-limited: one agent, one server (paper Table 4 row 1) *)
+  let platform = Generator.grid5000_lyon ~n:21 () in
+  let r = plan_on platform (dgemm 10) Demand.unbounded in
+  Alcotest.(check int) "two nodes" 2 (Tree.size r.Heuristic.tree);
+  Alcotest.(check int) "one server" 1 (Tree.server_count r.Heuristic.tree)
+
+let test_heuristic_star_for_huge_job () =
+  (* DGEMM 1000 is service-limited: star over all nodes (Table 4 row 4) *)
+  let platform = Generator.grid5000_lyon ~n:21 () in
+  let r = plan_on platform (dgemm 1000) Demand.unbounded in
+  Alcotest.(check int) "all nodes" 21 (Tree.size r.Heuristic.tree);
+  Alcotest.(check int) "single agent" 1 (Tree.agent_count r.Heuristic.tree);
+  Alcotest.(check int) "degree 20" 20 (Tree.degree r.Heuristic.tree)
+
+let test_heuristic_matches_homogeneous_optimal () =
+  (* Table 4: >= 89% of optimal; ours achieves 100% on all four rows *)
+  List.iter
+    (fun (size, n) ->
+      let platform = Generator.grid5000_lyon ~n () in
+      let wapp = dgemm size in
+      let heur = plan_on platform wapp Demand.unbounded in
+      let homo =
+        match Homogeneous.plan params ~platform ~wapp ~demand:Demand.unbounded with
+        | Ok h -> h
+        | Error e -> Alcotest.fail e
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "dgemm %d: heuristic >= 0.89 * homogeneous" size)
+        true
+        (heur.Heuristic.predicted_rho >= 0.89 *. homo.Homogeneous.predicted_rho))
+    [ (10, 21); (100, 25); (310, 45); (1000, 21) ]
+
+let test_heuristic_valid_and_beats_baselines () =
+  let rng = Rng.create 31 in
+  let platform = Generator.grid5000_orsay ~rng ~n:60 () in
+  let wapp = dgemm 310 in
+  let r = plan_on platform wapp Demand.unbounded in
+  Alcotest.(check bool) "validates on platform" true
+    (Validate.is_valid ~platform r.Heuristic.tree);
+  let rho_of tree = Evaluate.rho_on params ~platform ~wapp tree in
+  check_close "predicted matches evaluate" (rho_of r.Heuristic.tree)
+    r.Heuristic.predicted_rho;
+  let sorted = Platform.sorted_by_power_desc platform in
+  let star = Result.get_ok (Baselines.star sorted) in
+  let balanced = Result.get_ok (Baselines.balanced ~agents:5 sorted) in
+  Alcotest.(check bool) "beats star" true (r.Heuristic.predicted_rho >= rho_of star -. 1e-9);
+  Alcotest.(check bool) "beats balanced" true
+    (r.Heuristic.predicted_rho >= rho_of balanced -. 1e-9)
+
+let test_heuristic_demand_met_minimal () =
+  let platform = Generator.grid5000_lyon ~n:50 () in
+  let wapp = dgemm 310 in
+  let unbounded = plan_on platform wapp Demand.unbounded in
+  let half = unbounded.Heuristic.predicted_rho /. 2.0 in
+  let bounded = plan_on platform wapp (Demand.rate half) in
+  Alcotest.(check bool) "demand met" true bounded.Heuristic.demand_met;
+  Alcotest.(check bool) "meets the rate" true (bounded.Heuristic.predicted_rho >= half);
+  Alcotest.(check bool) "uses fewer nodes" true
+    (Tree.size bounded.Heuristic.tree < Tree.size unbounded.Heuristic.tree)
+
+let test_heuristic_demand_unreachable () =
+  let platform = Generator.grid5000_lyon ~n:10 () in
+  let r = plan_on platform (dgemm 310) (Demand.rate 1e9) in
+  Alcotest.(check bool) "demand not met" false r.Heuristic.demand_met;
+  Alcotest.(check bool) "still produces best effort" true (r.Heuristic.predicted_rho > 0.0)
+
+let test_heuristic_probes_recorded () =
+  let platform = Generator.grid5000_lyon ~n:10 () in
+  let r = plan_on platform (dgemm 310) Demand.unbounded in
+  Alcotest.(check bool) "probes non-empty" true (r.Heuristic.probes <> []);
+  Alcotest.(check bool) "some feasible probe" true
+    (List.exists (fun p -> p.Heuristic.feasible) r.Heuristic.probes)
+
+let test_heuristic_errors () =
+  let one = Platform.of_powers [ 100.0 ] in
+  Alcotest.(check bool) "single node" true
+    (Result.is_error (Heuristic.plan params ~platform:one ~wapp:1.0 ~demand:Demand.unbounded));
+  let p2 = Platform.of_powers [ 100.0; 100.0 ] in
+  Alcotest.(check bool) "bad wapp" true
+    (Result.is_error (Heuristic.plan params ~platform:p2 ~wapp:0.0 ~demand:Demand.unbounded))
+
+let test_heuristic_heterogeneous_links_rejected () =
+  let link = Adept_platform.Link.inter_cluster ~default:100.0 [ (("a", "b"), 10.0) ] in
+  let ns =
+    [
+      Node.make ~id:0 ~name:"x" ~power:100.0 ~cluster:"a" ();
+      Node.make ~id:1 ~name:"y" ~power:100.0 ~cluster:"b" ();
+    ]
+  in
+  let platform = Platform.create ~link ns in
+  Alcotest.(check bool) "rejected" true
+    (Result.is_error (Heuristic.plan params ~platform ~wapp:1.0 ~demand:Demand.unbounded))
+
+let test_heuristic_scales_to_thousands () =
+  let rng = Rng.create 1 in
+  let platform = Generator.grid5000_orsay ~rng ~n:2000 () in
+  let r = plan_on platform (dgemm 310) Demand.unbounded in
+  Alcotest.(check bool) "valid at n=2000" true (Validate.is_valid ~platform r.Heuristic.tree);
+  Alcotest.(check bool) "does not waste nodes once sched-bound" true
+    (Tree.size r.Heuristic.tree < 2000);
+  (* at this scale the strongest node's minimal-degree Eq. 14 term caps rho *)
+  let cap =
+    Sched_power.agent params ~bandwidth:1000.0
+      ~node:(List.hd (Platform.sorted_by_power_desc platform))
+      ~children:2
+  in
+  Alcotest.(check bool) "rho within the degree-2 sched cap" true
+    (r.Heuristic.predicted_rho <= cap +. 1e-6)
+
+let test_build_for_target () =
+  let platform = Generator.grid5000_lyon ~n:45 () in
+  let wapp = dgemm 310 in
+  (match Heuristic.build_for_target params ~platform ~wapp ~target:300.0 with
+  | None -> Alcotest.fail "300 req/s should be feasible on 45 nodes"
+  | Some tree ->
+      Alcotest.(check bool) "valid" true (Validate.is_valid ~platform tree);
+      Alcotest.(check bool) "achieves target" true
+        (Evaluate.rho_on params ~platform ~wapp tree >= 300.0));
+  Alcotest.(check bool) "absurd target infeasible" true
+    (Heuristic.build_for_target params ~platform ~wapp ~target:1e9 = None)
+
+(* ---------- Homogeneous ---------- *)
+
+let test_homogeneous_picks_best_degree () =
+  let platform = Generator.grid5000_lyon ~n:21 () in
+  match Homogeneous.plan params ~platform ~wapp:(dgemm 1000) ~demand:Demand.unbounded with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+      Alcotest.(check int) "degree 20 (star)" 20 r.Homogeneous.degree;
+      Alcotest.(check int) "tried all degrees" 20 (List.length r.Homogeneous.per_degree);
+      let best_by_scan =
+        List.fold_left (fun acc (_, rho) -> Float.max acc rho) 0.0 r.Homogeneous.per_degree
+      in
+      check_close "winner is the max" best_by_scan r.Homogeneous.predicted_rho
+
+let test_homogeneous_validates () =
+  let platform = Generator.grid5000_lyon ~n:45 () in
+  match Homogeneous.plan params ~platform ~wapp:(dgemm 310) ~demand:Demand.unbounded with
+  | Error e -> Alcotest.fail e
+  | Ok r -> Alcotest.(check bool) "valid" true (Validate.is_valid ~platform r.Homogeneous.tree)
+
+(* ---------- Exhaustive ---------- *)
+
+let test_exhaustive_counts () =
+  (* 2 nodes: 2 hierarchies (either node can be the agent) *)
+  Alcotest.(check int) "n=2" 2 (Exhaustive.count (nodes 2));
+  (* enumeration of 3 nodes: subsets of size 2 give 3*2=6 stars; the full
+     set gives 3 choices of agent with both others as servers = 3
+     (partitions into two singletons) -- 2-node groups admit no subtree *)
+  Alcotest.(check int) "n=3" 9 (Exhaustive.count (nodes 3))
+
+let test_exhaustive_trees_valid () =
+  Adept.Exhaustive.enumerate_subsets (nodes 5)
+  |> Seq.iter (fun t -> Alcotest.(check bool) "valid" true (Validate.is_valid t))
+
+let test_exhaustive_optimal_beats_heuristic () =
+  let rng = Rng.create 77 in
+  for seed = 1 to 5 do
+    ignore seed;
+    let powers = List.init 6 (fun _ -> Rng.float_in rng 100.0 1500.0) in
+    let platform = Platform.of_powers ~link:(Adept_platform.Link.homogeneous ~bandwidth:100.0 ()) powers in
+    let wapp = dgemm 310 in
+    match Exhaustive.optimal params ~platform ~wapp () with
+    | Error e -> Alcotest.fail e
+    | Ok (_, opt_rho) ->
+        let heur = plan_on platform wapp Demand.unbounded in
+        Alcotest.(check bool) "optimal >= heuristic" true
+          (opt_rho >= heur.Heuristic.predicted_rho -. 1e-9);
+        Alcotest.(check bool) "heuristic >= 85% of optimal" true
+          (heur.Heuristic.predicted_rho >= 0.85 *. opt_rho)
+  done
+
+let test_exhaustive_guard () =
+  let platform = Generator.grid5000_lyon ~n:15 () in
+  Alcotest.(check bool) "too large" true
+    (Result.is_error (Exhaustive.optimal params ~platform ~wapp:1.0 ()))
+
+(* ---------- Latency ---------- *)
+
+let star2_lyon () =
+  let platform = Generator.grid5000_lyon ~n:3 () in
+  let ns = Platform.nodes platform in
+  (platform, Tree.star (List.hd ns) (List.tl ns))
+
+let test_latency_tracks_simulation () =
+  let platform, tree = star2_lyon () in
+  let wapp = dgemm 200 in
+  let job = Adept_workload.Job.of_dgemm (Adept_workload.Dgemm.make 200) in
+  let scenario =
+    Adept_sim.Scenario.make ~params ~platform
+      ~client:(Adept_workload.Client.closed_loop job) tree
+  in
+  List.iter
+    (fun rate ->
+      let est = Latency.estimate params ~bandwidth:b ~wapp ~rate tree in
+      let r = Adept_sim.Scenario.run_open scenario ~rate ~warmup:4.0 ~duration:12.0 in
+      let measured = Option.get r.Adept_sim.Scenario.mean_response in
+      Alcotest.(check bool)
+        (Printf.sprintf "rate %.0f: predicted %.4f vs measured %.4f within 30%%" rate
+           est.Latency.total measured)
+        true
+        (Float.abs (est.Latency.total -. measured) /. measured < 0.3))
+    [ 20.0; 45.0; 70.0 ]
+
+let test_latency_monotone_in_rate () =
+  let platform, tree = star2_lyon () in
+  ignore platform;
+  let wapp = dgemm 200 in
+  let estimates =
+    Latency.sweep params ~bandwidth:b ~wapp ~rates:[ 10.0; 40.0; 70.0; 85.0 ] tree
+  in
+  let rec increasing = function
+    | (a : Latency.estimate) :: (b : Latency.estimate) :: rest ->
+        a.Latency.total < b.Latency.total && increasing (b :: rest)
+    | _ -> true
+  in
+  Alcotest.(check bool) "latency grows with load" true (increasing estimates)
+
+let test_latency_instability_at_rho () =
+  let platform, tree = star2_lyon () in
+  let wapp = dgemm 200 in
+  let rho = Evaluate.rho_on params ~platform ~wapp tree in
+  let below = Latency.estimate params ~bandwidth:b ~wapp ~rate:(0.95 *. rho) tree in
+  let above = Latency.estimate params ~bandwidth:b ~wapp ~rate:(1.05 *. rho) tree in
+  Alcotest.(check bool) "stable below rho" true below.Latency.stable;
+  Alcotest.(check bool) "unstable above rho" false above.Latency.stable;
+  Alcotest.(check bool) "infinite latency when unstable" true
+    (above.Latency.total = Float.infinity)
+
+let test_latency_validation () =
+  let _, tree = star2_lyon () in
+  Alcotest.(check bool) "zero rate" true
+    (match Latency.estimate params ~bandwidth:b ~wapp:1.0 ~rate:0.0 tree with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* ---------- Improver ---------- *)
+
+let test_improver_climbs_from_degenerate () =
+  let platform = Generator.grid5000_lyon ~n:20 () in
+  let wapp = dgemm 310 in
+  let sorted = Platform.sorted_by_power_desc platform in
+  let start = Tree.star (List.hd sorted) [ List.nth sorted 1 ] in
+  match Improver.improve params ~platform ~wapp start with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+      let start_rho = Evaluate.rho_on params ~platform ~wapp start in
+      Alcotest.(check bool) "strictly improves" true
+        (r.Improver.predicted_rho > start_rho);
+      Alcotest.(check bool) "steps recorded" true (r.Improver.steps <> []);
+      Alcotest.(check bool) "still valid" true (Validate.is_valid ~platform r.Improver.tree);
+      (* every recorded step must show strict improvement *)
+      List.iter
+        (fun (s : Improver.step) ->
+          Alcotest.(check bool) "step improved" true (s.Improver.rho_after > s.Improver.rho_before))
+        r.Improver.steps
+
+let test_improver_service_bottleneck_adds_servers () =
+  let platform = Generator.grid5000_lyon ~n:10 () in
+  let wapp = dgemm 1000 in
+  (* service-limited: the improver must add servers until nodes run out *)
+  let sorted = Platform.sorted_by_power_desc platform in
+  let start = Tree.star (List.hd sorted) [ List.nth sorted 1 ] in
+  match Improver.improve params ~platform ~wapp start with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+      Alcotest.(check int) "uses the whole pool" 10 (Tree.size r.Improver.tree);
+      Alcotest.(check bool) "all steps are server additions" true
+        (List.for_all
+           (fun (s : Improver.step) ->
+             match s.Improver.action with
+             | Improver.Added_server _ -> true
+             | Improver.Split_agent _ | Improver.Removed_server _ -> false)
+           r.Improver.steps)
+
+let test_improver_splits_agent_bottleneck () =
+  (* large platform, mid-size jobs: a full star is agent-limited, so the
+     improver must split the root at least once *)
+  let platform = Generator.homogeneous ~bandwidth:100.0 ~n:45 ~power:730.0 () in
+  let wapp = dgemm 310 in
+  let sorted = Platform.sorted_by_power_desc platform in
+  let start =
+    Tree.star (List.hd sorted) (List.filteri (fun i _ -> i >= 1 && i <= 40) sorted)
+  in
+  match Improver.improve params ~platform ~wapp start with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+      let start_rho = Evaluate.rho_on params ~platform ~wapp start in
+      Alcotest.(check bool) "improved" true (r.Improver.predicted_rho > start_rho);
+      Alcotest.(check bool) "a split happened" true
+        (List.exists
+           (fun (s : Improver.step) ->
+             match s.Improver.action with Improver.Split_agent _ -> true | _ -> false)
+           r.Improver.steps)
+
+let test_improver_splits_non_root_agent () =
+  (* root with two mid agents; agent 1 carries 25 servers and its Eq. 14
+     term (313 req/s) sits below the 27-server service power (329), so it
+     is the bottleneck; two spare nodes allow a split *)
+  let platform = Generator.homogeneous ~bandwidth:100.0 ~n:32 ~power:730.0 () in
+  let ns = Array.of_list (Platform.nodes platform) in
+  let servers lo hi = List.init (hi - lo + 1) (fun i -> Tree.server ns.(lo + i)) in
+  let tree =
+    Tree.agent ns.(0)
+      [ Tree.agent ns.(1) (servers 3 27); Tree.agent ns.(2) (servers 28 29) ]
+  in
+  let wapp = dgemm 310 in
+  match Improver.improve params ~platform ~wapp tree with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+      Alcotest.(check bool) "improved" true
+        (r.Improver.predicted_rho > Evaluate.rho_on params ~platform ~wapp tree);
+      Alcotest.(check bool) "valid" true (Validate.is_valid ~platform r.Improver.tree);
+      Alcotest.(check bool) "split the overloaded mid agent" true
+        (List.exists
+           (fun (s : Improver.step) ->
+             match s.Improver.action with
+             | Improver.Split_agent (agent, _) -> agent = 1
+             | _ -> false)
+           r.Improver.steps)
+
+let test_improver_at_most_heuristic () =
+  let platform = Generator.grid5000_lyon ~n:30 () in
+  let wapp = dgemm 310 in
+  let sorted = Platform.sorted_by_power_desc platform in
+  let start = Tree.star (List.hd sorted) [ List.nth sorted 1 ] in
+  let improved =
+    match Improver.improve params ~platform ~wapp start with
+    | Ok r -> r.Improver.predicted_rho
+    | Error e -> Alcotest.fail e
+  in
+  let heur = plan_on platform wapp Demand.unbounded in
+  Alcotest.(check bool) "local climb <= from-scratch plan" true
+    (improved <= heur.Heuristic.predicted_rho +. 1e-9)
+
+let test_improver_max_iterations () =
+  let platform = Generator.grid5000_lyon ~n:30 () in
+  let wapp = dgemm 1000 in
+  let sorted = Platform.sorted_by_power_desc platform in
+  let start = Tree.star (List.hd sorted) [ List.nth sorted 1 ] in
+  match Improver.improve ~max_iterations:3 params ~platform ~wapp start with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+      Alcotest.(check int) "stopped at limit" 3 (List.length r.Improver.steps);
+      Alcotest.(check bool) "not converged" false r.Improver.converged
+
+let test_improver_rejects_invalid_input () =
+  let platform = Generator.grid5000_lyon ~n:5 () in
+  let bad = Tree.server (Platform.node platform 0) in
+  Alcotest.(check bool) "invalid input" true
+    (Result.is_error (Improver.improve params ~platform ~wapp:1.0 bad))
+
+(* ---------- Planner ---------- *)
+
+let test_planner_strategy_strings () =
+  List.iter
+    (fun s ->
+      match Planner.strategy_of_string s with
+      | Ok st -> Alcotest.(check string) "roundtrip" s (Planner.strategy_name st)
+      | Error e -> Alcotest.fail e)
+    [
+      "heuristic"; "star"; "balanced:14"; "dary:3"; "homogeneous"; "exhaustive";
+      "multi-cluster"; "improved:star"; "improved:dary:3";
+    ];
+  Alcotest.(check bool) "unknown" true
+    (Result.is_error (Planner.strategy_of_string "nonsense"));
+  Alcotest.(check bool) "unknown inner" true
+    (Result.is_error (Planner.strategy_of_string "improved:nonsense"))
+
+let test_planner_run_all () =
+  let platform = Generator.grid5000_lyon ~n:12 () in
+  let strategies =
+    [ Planner.Heuristic; Planner.Star; Planner.Balanced 2; Planner.Dary 3;
+      Planner.Homogeneous_optimal; Planner.Multi_cluster;
+      Planner.Improved Planner.Star ]
+  in
+  List.iter
+    (fun s ->
+      match Planner.run s params ~platform ~wapp:(dgemm 310) ~demand:Demand.unbounded with
+      | Ok plan ->
+          Alcotest.(check bool) "positive rho" true (plan.Planner.predicted_rho > 0.0);
+          Alcotest.(check bool) "uses <= available" true
+            (plan.Planner.nodes_used <= plan.Planner.nodes_available)
+      | Error e -> Alcotest.fail (Planner.strategy_name s ^ ": " ^ e))
+    strategies
+
+let test_planner_improved_strategy () =
+  (* improved:<base> must never be worse than the base *)
+  let platform = Generator.grid5000_lyon ~n:20 () in
+  let wapp = dgemm 310 in
+  let rho s =
+    match Planner.run s params ~platform ~wapp ~demand:Demand.unbounded with
+    | Ok p -> p.Planner.predicted_rho
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check bool) "improved dary:2 >= dary:2" true
+    (rho (Planner.Improved (Planner.Dary 2)) >= rho (Planner.Dary 2) -. 1e-9)
+
+let test_planner_multi_cluster_on_two_sites () =
+  let rng = Rng.create 6 in
+  let platform = Generator.two_sites ~rng ~n_orsay:8 ~n_lyon:8 ~wan_bandwidth:500.0 () in
+  let wapp = dgemm 310 in
+  (match Planner.run Planner.Multi_cluster params ~platform ~wapp ~demand:Demand.unbounded with
+  | Ok p -> Alcotest.(check bool) "positive rho" true (p.Planner.predicted_rho > 0.0)
+  | Error e -> Alcotest.fail e);
+  (* the plain heuristic cannot handle heterogeneous connectivity *)
+  Alcotest.(check bool) "heuristic errors on two sites" true
+    (Result.is_error
+       (Planner.run Planner.Heuristic params ~platform ~wapp ~demand:Demand.unbounded))
+
+let test_planner_compare () =
+  let platform = Generator.grid5000_lyon ~n:12 () in
+  let results =
+    Planner.compare_strategies params ~platform ~wapp:(dgemm 310) ~demand:Demand.unbounded
+      [ Planner.Heuristic; Planner.Star ]
+  in
+  Alcotest.(check int) "two results" 2 (List.length results)
+
+(* ---------- properties ---------- *)
+
+let prop_heuristic_always_valid =
+  QCheck.Test.make ~count:60 ~name:"heuristic plans validate on random platforms"
+    QCheck.(pair (int_range 0 10_000) (int_range 2 40))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let platform =
+        Generator.uniform_heterogeneous ~bandwidth:1000.0 ~rng ~n ~power_min:50.0
+          ~power_max:2000.0 ()
+      in
+      match Heuristic.plan params ~platform ~wapp:(dgemm 310) ~demand:Demand.unbounded with
+      | Error _ -> false
+      | Ok r ->
+          Validate.is_valid ~platform r.Heuristic.tree
+          && Tree.size r.Heuristic.tree <= n)
+
+let prop_heuristic_dominates_star =
+  QCheck.Test.make ~count:40 ~name:"heuristic >= power-aware star on random platforms"
+    QCheck.(triple (int_range 0 10_000) (int_range 3 35) (int_range 50 600))
+    (fun (seed, n, size) ->
+      let rng = Rng.create seed in
+      let platform =
+        Generator.uniform_heterogeneous ~bandwidth:1000.0 ~rng ~n ~power_min:100.0
+          ~power_max:1500.0 ()
+      in
+      let wapp = dgemm size in
+      match
+        ( Heuristic.plan params ~platform ~wapp ~demand:Demand.unbounded,
+          Baselines.star (Platform.sorted_by_power_desc platform) )
+      with
+      | Ok heur, Ok star ->
+          heur.Heuristic.predicted_rho
+          >= Evaluate.rho_on params ~platform ~wapp star -. 1e-6
+      | _ -> false)
+
+let prop_improver_preserves_validity =
+  QCheck.Test.make ~count:40 ~name:"improver output always validates and never regresses"
+    QCheck.(pair (int_range 0 10_000) (int_range 4 20))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let platform =
+        Generator.uniform_heterogeneous ~bandwidth:1000.0 ~rng ~n ~power_min:100.0
+          ~power_max:1500.0 ()
+      in
+      match Baselines.random ~rng (Platform.nodes platform) with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok start -> (
+          let wapp = dgemm 310 in
+          match Improver.improve params ~platform ~wapp start with
+          | Error _ -> false
+          | Ok r ->
+              Validate.is_valid ~platform r.Improver.tree
+              && r.Improver.predicted_rho
+                 >= Evaluate.rho_on params ~platform ~wapp start -. 1e-9))
+
+let prop_normalize_always_validates =
+  QCheck.Test.make ~count:100 ~name:"Tree.normalize fixes any random tree shape"
+    QCheck.(pair (int_range 0 10_000) (int_range 2 20))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let platform =
+        Generator.uniform_heterogeneous ~bandwidth:1000.0 ~rng ~n ~power_min:100.0
+          ~power_max:1500.0 ()
+      in
+      match Baselines.random ~rng (Platform.nodes platform) with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok t ->
+          let t' = Adept_hierarchy.Tree.normalize t in
+          Validate.is_valid t'
+          && Adept_hierarchy.Tree.size t' = Adept_hierarchy.Tree.size t)
+
+let prop_dary_valid_and_spanning =
+  QCheck.Test.make ~count:150 ~name:"dary trees always validate and span"
+    QCheck.(pair (int_range 2 60) (int_range 1 12))
+    (fun (n, d) ->
+      match Baselines.dary ~degree:d (nodes n) with
+      | Error _ -> false
+      | Ok t -> Validate.is_valid t && Tree.size t = n)
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "sched_power",
+        [
+          Alcotest.test_case "matches throughput" `Quick test_sched_power_matches_throughput;
+          Alcotest.test_case "sort by power" `Quick test_sort_nodes_power_desc;
+          Alcotest.test_case "sort edge cases" `Quick test_sort_nodes_empty_and_single;
+          Alcotest.test_case "supported children" `Quick test_supported_children;
+        ] );
+      ("service_power", [ Alcotest.test_case "eq 15" `Quick test_service_power ]);
+      ( "evaluate",
+        [
+          Alcotest.test_case "star spec" `Quick test_evaluate_star;
+          Alcotest.test_case "rejects empty" `Quick test_evaluate_no_servers;
+          Alcotest.test_case "report" `Quick test_evaluate_report;
+        ] );
+      ( "multi_cluster",
+        [
+          Alcotest.test_case "hetero reduces to homogeneous" `Quick
+            test_rho_hetero_reduces_to_rho;
+          Alcotest.test_case "slow links penalized" `Quick
+            test_rho_hetero_penalizes_slow_links;
+          Alcotest.test_case "sub platform" `Quick test_sub_platform;
+          Alcotest.test_case "WAN crossover" `Quick test_multi_cluster_crossover;
+          Alcotest.test_case "single-site degenerate" `Quick
+            test_multi_cluster_single_site_platform;
+        ] );
+      ( "baselines",
+        [
+          Alcotest.test_case "star" `Quick test_star_baseline;
+          Alcotest.test_case "star too small" `Quick test_star_too_small;
+          Alcotest.test_case "balanced" `Quick test_balanced_baseline;
+          Alcotest.test_case "balanced too small" `Quick test_balanced_too_small;
+          Alcotest.test_case "dary star case" `Quick test_dary_star_case;
+          Alcotest.test_case "dary exact" `Quick test_dary_exact;
+          Alcotest.test_case "dary frontier fixup" `Quick test_dary_frontier_fixup;
+          Alcotest.test_case "dary validation" `Quick test_dary_validation;
+          Alcotest.test_case "random valid" `Quick test_random_baseline_valid;
+        ] );
+      ( "heuristic",
+        [
+          Alcotest.test_case "tiny job degenerates" `Quick test_heuristic_degenerate_tiny_job;
+          Alcotest.test_case "huge job stars" `Quick test_heuristic_star_for_huge_job;
+          Alcotest.test_case "table 4 quality" `Quick
+            test_heuristic_matches_homogeneous_optimal;
+          Alcotest.test_case "valid and beats baselines" `Quick
+            test_heuristic_valid_and_beats_baselines;
+          Alcotest.test_case "demand met minimally" `Quick test_heuristic_demand_met_minimal;
+          Alcotest.test_case "demand unreachable" `Quick test_heuristic_demand_unreachable;
+          Alcotest.test_case "probes recorded" `Quick test_heuristic_probes_recorded;
+          Alcotest.test_case "errors" `Quick test_heuristic_errors;
+          Alcotest.test_case "heterogeneous links rejected" `Quick
+            test_heuristic_heterogeneous_links_rejected;
+          Alcotest.test_case "scales to thousands" `Quick
+            test_heuristic_scales_to_thousands;
+          Alcotest.test_case "build_for_target" `Quick test_build_for_target;
+        ] );
+      ( "homogeneous",
+        [
+          Alcotest.test_case "best degree" `Quick test_homogeneous_picks_best_degree;
+          Alcotest.test_case "validates" `Quick test_homogeneous_validates;
+        ] );
+      ( "exhaustive",
+        [
+          Alcotest.test_case "counts" `Quick test_exhaustive_counts;
+          Alcotest.test_case "all valid" `Quick test_exhaustive_trees_valid;
+          Alcotest.test_case "oracle vs heuristic" `Slow
+            test_exhaustive_optimal_beats_heuristic;
+          Alcotest.test_case "size guard" `Quick test_exhaustive_guard;
+        ] );
+      ( "latency",
+        [
+          Alcotest.test_case "tracks simulation" `Slow test_latency_tracks_simulation;
+          Alcotest.test_case "monotone in rate" `Quick test_latency_monotone_in_rate;
+          Alcotest.test_case "instability at rho" `Quick test_latency_instability_at_rho;
+          Alcotest.test_case "validation" `Quick test_latency_validation;
+        ] );
+      ( "improver",
+        [
+          Alcotest.test_case "climbs from degenerate" `Quick
+            test_improver_climbs_from_degenerate;
+          Alcotest.test_case "adds servers when service-limited" `Quick
+            test_improver_service_bottleneck_adds_servers;
+          Alcotest.test_case "splits agent bottleneck" `Quick
+            test_improver_splits_agent_bottleneck;
+          Alcotest.test_case "splits non-root agent" `Quick
+            test_improver_splits_non_root_agent;
+          Alcotest.test_case "bounded by heuristic" `Quick test_improver_at_most_heuristic;
+          Alcotest.test_case "max iterations" `Quick test_improver_max_iterations;
+          Alcotest.test_case "rejects invalid input" `Quick
+            test_improver_rejects_invalid_input;
+        ] );
+      ( "planner",
+        [
+          Alcotest.test_case "strategy strings" `Quick test_planner_strategy_strings;
+          Alcotest.test_case "run all" `Quick test_planner_run_all;
+          Alcotest.test_case "improved strategy" `Quick test_planner_improved_strategy;
+          Alcotest.test_case "multi-cluster on two sites" `Quick
+            test_planner_multi_cluster_on_two_sites;
+          Alcotest.test_case "compare" `Quick test_planner_compare;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_heuristic_always_valid;
+            prop_heuristic_dominates_star;
+            prop_improver_preserves_validity;
+            prop_normalize_always_validates;
+            prop_dary_valid_and_spanning;
+          ] );
+    ]

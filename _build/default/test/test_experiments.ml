@@ -1,0 +1,245 @@
+(* End-to-end tests of every paper reproduction, at Quick fidelity.
+   These assert the paper's qualitative claims, not absolute numbers. *)
+
+module Common = Adept_experiments.Common
+module Registry = Adept_experiments.Registry
+
+let ctx = Common.quick_context
+
+let test_table3_exact_reconstruction () =
+  let r = Adept_experiments.Table3_exp.run ctx in
+  Alcotest.(check bool) "max relative error < 1e-6" true
+    (r.Adept_experiments.Table3_exp.max_error < 1e-6);
+  Alcotest.(check bool) "correlation near 1" true
+    (r.Adept_experiments.Table3_exp.measured.Adept_calibration.Table3.wrep_correlation
+     > 0.99)
+
+let test_fig2_3_second_server_hurts () =
+  let r = Adept_experiments.Fig2_3.run ctx in
+  Alcotest.(check bool) "predicted: hurts" true
+    r.Adept_experiments.Fig2_3.second_server_hurts_predicted;
+  Alcotest.(check bool) "measured: hurts" true
+    r.Adept_experiments.Fig2_3.second_server_hurts_measured;
+  (* prediction accuracy on the peaks *)
+  let close a b = Float.abs (a -. b) /. b < 0.05 in
+  Alcotest.(check bool) "1 SeD within 5%" true
+    (close r.Adept_experiments.Fig2_3.measured_one r.Adept_experiments.Fig2_3.predicted_one);
+  Alcotest.(check bool) "2 SeDs within 5%" true
+    (close r.Adept_experiments.Fig2_3.measured_two r.Adept_experiments.Fig2_3.predicted_two)
+
+let test_fig4_5_second_server_doubles () =
+  let r = Adept_experiments.Fig4_5.run ctx in
+  Alcotest.(check bool) "predicted speedup ~2" true
+    (r.Adept_experiments.Fig4_5.speedup_predicted > 1.9
+    && r.Adept_experiments.Fig4_5.speedup_predicted < 2.1);
+  Alcotest.(check bool) "measured speedup ~2" true
+    (r.Adept_experiments.Fig4_5.speedup_measured > 1.8
+    && r.Adept_experiments.Fig4_5.speedup_measured < 2.2)
+
+let test_table4_quality () =
+  let r = Adept_experiments.Table4.run ctx in
+  Alcotest.(check int) "four rows" 4 (List.length r.Adept_experiments.Table4.rows);
+  List.iter
+    (fun (row : Adept_experiments.Table4.row) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "dgemm %d >= paper's 89%%" row.Adept_experiments.Table4.dgemm)
+        true
+        (row.Adept_experiments.Table4.heur_percent >= 0.89))
+    r.Adept_experiments.Table4.rows;
+  (* the two regime extremes match the paper's degrees exactly *)
+  let row i = List.nth r.Adept_experiments.Table4.rows i in
+  Alcotest.(check int) "dgemm 10 degree 1" 1 (row 0).Adept_experiments.Table4.heur_degree;
+  Alcotest.(check int) "dgemm 1000 degree 20" 20
+    (row 3).Adept_experiments.Table4.heur_degree
+
+let test_fig6_automatic_wins () =
+  let r = Adept_experiments.Fig6.run ctx in
+  Alcotest.(check bool) "automatic wins" true r.Adept_experiments.Fig6.automatic_wins;
+  Alcotest.(check bool) "star is agent-limited (worst model rho)" true
+    (r.Adept_experiments.Fig6.star.Adept_experiments.Fig6.predicted
+    < r.Adept_experiments.Fig6.automatic.Adept_experiments.Fig6.predicted)
+
+let test_fig7_star_generated_and_wins () =
+  let r = Adept_experiments.Fig7.run ctx in
+  Alcotest.(check bool) "automatic is a star" true
+    r.Adept_experiments.Fig7.automatic_is_star;
+  Alcotest.(check bool) "automatic >= balanced" true r.Adept_experiments.Fig7.automatic_wins
+
+let test_ablation_selection () =
+  let rows = Adept_experiments.Ablation.run_selection ctx in
+  Alcotest.(check int) "three policies" 3 (List.length rows);
+  let get name =
+    (List.find (fun (r : Adept_experiments.Ablation.selection_row) ->
+         r.Adept_experiments.Ablation.policy = name) rows)
+      .Adept_experiments.Ablation.throughput
+  in
+  Alcotest.(check bool) "best-prediction >= random" true
+    (get "best-prediction" >= get "random" *. 0.95)
+
+let test_ablation_bandwidth_shape () =
+  let rows = Adept_experiments.Ablation.run_bandwidth ctx in
+  match rows with
+  | [ low; high ] ->
+      Alcotest.(check bool) "more bandwidth, more throughput" true
+        (high.Adept_experiments.Ablation.rho > low.Adept_experiments.Ablation.rho);
+      Alcotest.(check bool) "cheap links flatten or widen the tree" true
+        (high.Adept_experiments.Ablation.max_degree
+        >= low.Adept_experiments.Ablation.max_degree)
+  | _ -> Alcotest.fail "expected two bandwidth points in quick mode"
+
+let test_ablation_demand_monotone () =
+  let rows = Adept_experiments.Ablation.run_demand ctx in
+  let met = List.filter (fun (r : Adept_experiments.Ablation.demand_row) ->
+      r.Adept_experiments.Ablation.met) rows in
+  Alcotest.(check bool) "some demands met" true (List.length met >= 3);
+  (* resources grow with the met demand *)
+  let rec monotone = function
+    | (a : Adept_experiments.Ablation.demand_row)
+      :: (b : Adept_experiments.Ablation.demand_row) :: rest ->
+        a.Adept_experiments.Ablation.nodes_used <= b.Adept_experiments.Ablation.nodes_used
+        && monotone (b :: rest)
+    | _ -> true
+  in
+  Alcotest.(check bool) "nodes monotone in demand" true (monotone met)
+
+let test_ablation_improver () =
+  let rows = Adept_experiments.Ablation.run_improver ctx in
+  Alcotest.(check int) "three starts" 3 (List.length rows);
+  List.iter
+    (fun (r : Adept_experiments.Ablation.improver_row) ->
+      Alcotest.(check bool) (r.Adept_experiments.Ablation.start ^ ": improves or holds")
+        true
+        (r.Adept_experiments.Ablation.improved_rho
+        >= r.Adept_experiments.Ablation.start_rho -. 1e-9);
+      Alcotest.(check bool)
+        (r.Adept_experiments.Ablation.start ^ ": heuristic at least as good")
+        true
+        (r.Adept_experiments.Ablation.heuristic_rho
+        >= r.Adept_experiments.Ablation.improved_rho -. 1e-9))
+    rows;
+  (* the paper's motivating claim: from a degenerate start, local climbing
+     stalls below the from-scratch plan *)
+  let degenerate =
+    List.find
+      (fun (r : Adept_experiments.Ablation.improver_row) ->
+        r.Adept_experiments.Ablation.start = "1 agent + 1 server")
+      rows
+  in
+  Alcotest.(check bool) "local optimum below heuristic" true
+    (degenerate.Adept_experiments.Ablation.improved_rho
+    < degenerate.Adept_experiments.Ablation.heuristic_rho)
+
+let test_ablation_wan_crossover () =
+  let rows = Adept_experiments.Ablation.run_wan ctx in
+  match rows with
+  | [ (_, slow_arrangement, _); (_, fast_arrangement, fast_rho) ] ->
+      Alcotest.(check bool) "slow WAN stays single-site" true
+        (String.length slow_arrangement >= 6 && String.sub slow_arrangement 0 6 = "single");
+      Alcotest.(check bool) "fast WAN federates" true
+        (String.length fast_arrangement >= 9
+        && String.sub fast_arrangement 0 9 = "federated");
+      Alcotest.(check bool) "positive rho" true (fast_rho > 0.0)
+  | _ -> Alcotest.fail "expected two WAN points in quick mode"
+
+let test_ablation_mix_arithmetic_wins () =
+  let rows = Adept_experiments.Ablation.run_mix ctx in
+  let get basis =
+    List.find
+      (fun (r : Adept_experiments.Ablation.mix_row) ->
+        r.Adept_experiments.Ablation.planner_basis = basis)
+      rows
+  in
+  let arith = get "arithmetic mean" and harm = get "harmonic mean" in
+  Alcotest.(check bool) "harmonic under-provisions" true
+    (harm.Adept_experiments.Ablation.plan_nodes
+    < arith.Adept_experiments.Ablation.plan_nodes);
+  Alcotest.(check bool) "arithmetic plan measures higher" true
+    (arith.Adept_experiments.Ablation.measured
+    > harm.Adept_experiments.Ablation.measured)
+
+let test_ablation_monitoring_staleness () =
+  let rows = Adept_experiments.Ablation.run_monitoring ctx in
+  let value period =
+    (List.find
+       (fun (r : Adept_experiments.Ablation.monitoring_row) ->
+         r.Adept_experiments.Ablation.period = period)
+       rows)
+      .Adept_experiments.Ablation.monitored_throughput
+  in
+  let fresh = value None in
+  let fast = value (Some 0.01) in
+  let slow = value (Some 1.0) in
+  Alcotest.(check bool) "fast monitoring close to fresh" true (fast > 0.8 *. fresh);
+  Alcotest.(check bool) "second-scale staleness collapses" true (slow < 0.5 *. fresh)
+
+let test_registry_complete () =
+  Alcotest.(check int) "fourteen experiments" 14 (List.length Registry.all);
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) ("find " ^ id) true (Registry.find id <> None))
+    Registry.ids;
+  Alcotest.(check bool) "unknown id" true (Registry.find "nope" = None)
+
+let test_reports_render () =
+  (* every report renders non-trivially and mentions its paper reference *)
+  List.iter
+    (fun (e : Registry.experiment) ->
+      if e.Registry.id <> "fig6" && e.Registry.id <> "fig7" then begin
+        let report = e.Registry.run ctx in
+        let text = Common.render report in
+        Alcotest.(check bool) (e.Registry.id ^ " renders") true (String.length text > 100);
+        Alcotest.(check bool) (e.Registry.id ^ " has id header") true
+          (Astring.String.is_infix ~affix:e.Registry.id text)
+      end)
+    Registry.all
+
+let test_series_written () =
+  let dir = Filename.temp_file "adept_series" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () ->
+      let ctx = { ctx with Common.out_dir = Some dir } in
+      let r = Adept_experiments.Fig2_3.run ctx in
+      let report = Adept_experiments.Fig2_3.report ctx r in
+      Common.write_series ctx report;
+      Alcotest.(check bool) "csv written" true
+        (Array.exists
+           (fun f -> Filename.check_suffix f ".csv")
+           (Sys.readdir dir)))
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "paper-claims",
+        [
+          Alcotest.test_case "table3 reconstruction" `Quick test_table3_exact_reconstruction;
+          Alcotest.test_case "fig2-3 second server hurts" `Quick
+            test_fig2_3_second_server_hurts;
+          Alcotest.test_case "fig4-5 second server doubles" `Quick
+            test_fig4_5_second_server_doubles;
+          Alcotest.test_case "table4 quality" `Quick test_table4_quality;
+          Alcotest.test_case "fig6 automatic wins" `Slow test_fig6_automatic_wins;
+          Alcotest.test_case "fig7 star wins" `Slow test_fig7_star_generated_and_wins;
+        ] );
+      ( "extensions",
+        [
+          Alcotest.test_case "selection ablation" `Quick test_ablation_selection;
+          Alcotest.test_case "bandwidth ablation" `Quick test_ablation_bandwidth_shape;
+          Alcotest.test_case "demand ablation" `Quick test_ablation_demand_monotone;
+          Alcotest.test_case "improver ablation" `Quick test_ablation_improver;
+          Alcotest.test_case "wan ablation" `Quick test_ablation_wan_crossover;
+          Alcotest.test_case "mix ablation" `Quick test_ablation_mix_arithmetic_wins;
+          Alcotest.test_case "monitoring staleness" `Quick
+            test_ablation_monitoring_staleness;
+        ] );
+      ( "harness",
+        [
+          Alcotest.test_case "registry" `Quick test_registry_complete;
+          Alcotest.test_case "reports render" `Slow test_reports_render;
+          Alcotest.test_case "series written" `Quick test_series_written;
+        ] );
+    ]

@@ -1,0 +1,415 @@
+(* Tests for Adept_hierarchy: trees, validation, adjacency matrices, XML,
+   DOT, metrics. *)
+
+open Adept_hierarchy
+module Node = Adept_platform.Node
+module Platform = Adept_platform.Platform
+module Rng = Adept_util.Rng
+
+let node i = Node.make ~id:i ~name:(Printf.sprintf "n%d" i) ~power:(100.0 +. float_of_int i) ()
+
+let nodes n = List.init n node
+
+(* a0( a1(s3 s4) s2 ) *)
+let sample () =
+  Tree.agent (node 0)
+    [ Tree.agent (node 1) [ Tree.server (node 3); Tree.server (node 4) ];
+      Tree.server (node 2) ]
+
+(* ---------- Tree ---------- *)
+
+let test_tree_counts () =
+  let t = sample () in
+  Alcotest.(check int) "size" 5 (Tree.size t);
+  Alcotest.(check int) "agents" 2 (Tree.agent_count t);
+  Alcotest.(check int) "servers" 3 (Tree.server_count t);
+  Alcotest.(check int) "depth" 2 (Tree.depth t);
+  Alcotest.(check int) "root degree" 2 (Tree.degree t)
+
+let test_tree_lists_preorder () =
+  let t = sample () in
+  Alcotest.(check (list int)) "nodes preorder" [ 0; 1; 3; 4; 2 ]
+    (List.map Node.id (Tree.nodes t));
+  Alcotest.(check (list int)) "agents" [ 0; 1 ] (List.map Node.id (Tree.agents t));
+  Alcotest.(check (list int)) "servers" [ 3; 4; 2 ] (List.map Node.id (Tree.servers t))
+
+let test_tree_agents_with_degree () =
+  Alcotest.(check (list (pair int int))) "degrees" [ (0, 2); (1, 2) ]
+    (List.map (fun (n, d) -> (Node.id n, d)) (Tree.agents_with_degree (sample ())))
+
+let test_tree_parent_of () =
+  let t = sample () in
+  Alcotest.(check (option int)) "parent of 3" (Some 1)
+    (Option.map Node.id (Tree.parent_of t 3));
+  Alcotest.(check (option int)) "parent of 2" (Some 0)
+    (Option.map Node.id (Tree.parent_of t 2));
+  Alcotest.(check (option int)) "root has none" None
+    (Option.map Node.id (Tree.parent_of t 0));
+  Alcotest.(check (option int)) "absent" None (Option.map Node.id (Tree.parent_of t 9))
+
+let test_tree_mem () =
+  let t = sample () in
+  Alcotest.(check bool) "member" true (Tree.mem t 4);
+  Alcotest.(check bool) "not member" false (Tree.mem t 7)
+
+let test_tree_star () =
+  let t = Tree.star (node 0) [ node 1; node 2 ] in
+  Alcotest.(check int) "depth 1" 1 (Tree.depth t);
+  Alcotest.check_raises "empty server list" (Invalid_argument "Tree.star: empty server list")
+    (fun () -> ignore (Tree.star (node 0) []))
+
+let test_tree_fold () =
+  let t = sample () in
+  let sum = Tree.fold ~agent:(fun _ xs -> 1 + List.fold_left ( + ) 0 xs) ~server:(fun _ -> 1) t in
+  Alcotest.(check int) "fold counts nodes" 5 sum
+
+let test_tree_equal () =
+  Alcotest.(check bool) "equal" true (Tree.equal (sample ()) (sample ()));
+  Alcotest.(check bool) "order matters" false
+    (Tree.equal
+       (Tree.star (node 0) [ node 1; node 2 ])
+       (Tree.star (node 0) [ node 2; node 1 ]))
+
+let test_tree_single_server_depth () =
+  Alcotest.(check int) "lone server depth" 0 (Tree.depth (Tree.server (node 0)))
+
+let test_tree_normalize_demotes () =
+  (* non-root agent with one child: demoted, child spliced up *)
+  let t = Tree.agent (node 0) [ Tree.agent (node 1) [ Tree.server (node 2) ] ] in
+  let n = Tree.normalize t in
+  Alcotest.(check bool) "valid after normalize" true (Validate.is_valid n);
+  Alcotest.(check int) "same node count" 3 (Tree.size n);
+  Alcotest.(check int) "only the root remains an agent" 1 (Tree.agent_count n);
+  (* childless non-root agent becomes a server in place *)
+  let t2 = Tree.agent (node 0) [ Tree.agent (node 1) []; Tree.server (node 2) ] in
+  let n2 = Tree.normalize t2 in
+  Alcotest.(check bool) "valid" true (Validate.is_valid n2);
+  Alcotest.(check int) "agent 1 demoted" 2 (Tree.server_count n2)
+
+let test_tree_normalize_idempotent () =
+  let t = sample () in
+  Alcotest.(check bool) "already-valid tree unchanged" true
+    (Tree.equal t (Tree.normalize t));
+  let messy = Tree.agent (node 0) [ Tree.agent (node 1) [ Tree.server (node 2) ] ] in
+  let once = Tree.normalize messy in
+  Alcotest.(check bool) "idempotent" true (Tree.equal once (Tree.normalize once))
+
+let test_tree_normalize_cascade () =
+  (* a chain of single-child agents collapses fully *)
+  let t =
+    Tree.agent (node 0)
+      [ Tree.agent (node 1) [ Tree.agent (node 2) [ Tree.server (node 3) ] ] ]
+  in
+  let n = Tree.normalize t in
+  Alcotest.(check bool) "valid" true (Validate.is_valid n);
+  Alcotest.(check int) "root keeps everything" 4 (Tree.size n)
+
+(* ---------- Validate ---------- *)
+
+let test_validate_ok () =
+  Alcotest.(check bool) "sample valid" true (Validate.is_valid (sample ()))
+
+let test_validate_root_server () =
+  match Validate.errors (Tree.server (node 0)) with
+  | Validate.Root_is_server _ :: _ -> ()
+  | _ -> Alcotest.fail "expected Root_is_server"
+
+let test_validate_root_no_children () =
+  match Validate.errors (Tree.agent (node 0) []) with
+  | Validate.Root_has_no_children _ :: _ -> ()
+  | _ -> Alcotest.fail "expected Root_has_no_children"
+
+let test_validate_undersized_agent () =
+  let t = Tree.agent (node 0) [ Tree.agent (node 1) [ Tree.server (node 2) ] ] in
+  Alcotest.(check bool) "undersized flagged" true
+    (List.exists
+       (function Validate.Undersized_agent (n, 1) -> Node.id n = 1 | _ -> false)
+       (Validate.errors t))
+
+let test_validate_duplicate () =
+  let t = Tree.star (node 0) [ node 1; node 1 ] in
+  Alcotest.(check bool) "duplicate flagged" true
+    (List.exists
+       (function Validate.Duplicate_node _ -> true | _ -> false)
+       (Validate.errors t))
+
+let test_validate_unknown_node () =
+  let platform = Platform.of_powers [ 10.0; 20.0 ] in
+  let t = Tree.star (node 0) [ node 5 ] in
+  Alcotest.(check bool) "unknown flagged" true
+    (List.exists
+       (function Validate.Unknown_node _ -> true | _ -> false)
+       (Validate.errors ~platform t))
+
+let test_validate_platform_match () =
+  let platform = Platform.of_powers [ 10.0; 20.0 ] in
+  let a = Platform.node platform 0 and s = Platform.node platform 1 in
+  Alcotest.(check bool) "matching nodes accepted" true
+    (Validate.is_valid ~platform (Tree.star a [ s ]))
+
+let test_validate_error_strings () =
+  List.iter
+    (fun e -> Alcotest.(check bool) "non-empty message" true (Validate.error_to_string e <> ""))
+    (Validate.errors (Tree.server (node 0)))
+
+(* ---------- Adjacency ---------- *)
+
+let test_adjacency_of_tree () =
+  let m = Adjacency.of_tree ~n:5 (sample ()) in
+  Alcotest.(check bool) "0->1" true m.(0).(1);
+  Alcotest.(check bool) "0->2" true m.(0).(2);
+  Alcotest.(check bool) "1->3" true m.(1).(3);
+  Alcotest.(check bool) "1->4" true m.(1).(4);
+  Alcotest.(check int) "edges" 4 (Adjacency.edge_count m)
+
+let test_adjacency_parents_used () =
+  let m = Adjacency.of_tree ~n:6 (sample ()) in
+  let parents = Adjacency.parents m in
+  Alcotest.(check (option int)) "parent of 4" (Some 1) parents.(4);
+  Alcotest.(check (option int)) "root parentless" None parents.(0);
+  let used = Adjacency.used m in
+  Alcotest.(check bool) "node 5 unused" false used.(5);
+  Alcotest.(check bool) "node 0 used" true used.(0)
+
+let test_adjacency_roundtrip () =
+  let platform = Platform.create (nodes 5) in
+  let t = sample () in
+  let m = Adjacency.of_tree ~n:5 t in
+  match Adjacency.to_tree platform m with
+  | Ok t' -> Alcotest.(check bool) "roundtrip" true (Tree.equal t t')
+  | Error e -> Alcotest.fail e
+
+let test_adjacency_errors () =
+  let platform = Platform.create (nodes 3) in
+  let empty = Array.make_matrix 3 3 false in
+  (match Adjacency.to_tree platform empty with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty matrix should fail");
+  let two_parents = Array.make_matrix 3 3 false in
+  two_parents.(0).(2) <- true;
+  two_parents.(1).(2) <- true;
+  (match Adjacency.to_tree platform two_parents with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "two parents should fail");
+  let cycle = Array.make_matrix 3 3 false in
+  cycle.(0).(1) <- true;
+  cycle.(1).(0) <- true;
+  (match Adjacency.to_tree platform cycle with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "cycle should fail")
+
+let test_adjacency_out_of_range () =
+  Alcotest.(check bool) "id beyond n" true
+    (match Adjacency.of_tree ~n:2 (sample ()) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* ---------- Xml ---------- *)
+
+let test_xml_roundtrip_shape () =
+  let t = sample () in
+  match Xml.of_string (Xml.to_string t) with
+  | Error e -> Alcotest.fail e
+  | Ok t' ->
+      Alcotest.(check int) "same size" (Tree.size t) (Tree.size t');
+      Alcotest.(check int) "same depth" (Tree.depth t) (Tree.depth t');
+      Alcotest.(check (list string)) "same names in order"
+        (List.map Node.name (Tree.nodes t))
+        (List.map Node.name (Tree.nodes t'))
+
+let test_xml_roundtrip_on_platform () =
+  let platform = Platform.create (nodes 5) in
+  let t = sample () in
+  match Xml.of_string_on platform (Xml.to_string t) with
+  | Error e -> Alcotest.fail e
+  | Ok t' -> Alcotest.(check bool) "identical with ids" true (Tree.equal t t')
+
+let test_xml_escaping () =
+  let weird = Node.make ~id:0 ~name:"a<b>&\"c" ~power:10.0 () in
+  let t = Tree.star weird [ node 1 ] in
+  match Xml.of_string (Xml.to_string t) with
+  | Error e -> Alcotest.fail e
+  | Ok t' ->
+      Alcotest.(check string) "escaped name survives" "a<b>&\"c"
+        (Node.name (Tree.root_node t'))
+
+let test_xml_unknown_host () =
+  let platform = Platform.create (nodes 2) in
+  let foreign =
+    Tree.star (Node.make ~id:0 ~name:"stranger" ~power:1.0 ()) [ node 1 ]
+  in
+  match Xml.of_string_on platform (Xml.to_string foreign) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown host should fail"
+
+let test_xml_power_mismatch () =
+  let platform = Platform.create (nodes 2) in
+  let lying = Tree.star (Node.make ~id:0 ~name:"n0" ~power:999.0 ()) [ node 1 ] in
+  match Xml.of_string_on platform (Xml.to_string lying) with
+  | Error e ->
+      Alcotest.(check bool) "mentions mismatch" true
+        (Astring.String.is_infix ~affix:"mismatch" e)
+  | Ok _ -> Alcotest.fail "power mismatch should fail"
+
+let test_xml_malformed () =
+  List.iter
+    (fun text ->
+      match Xml.of_string text with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail ("should not parse: " ^ text))
+    [
+      "";
+      "<diet_hierarchy>";
+      "<diet_hierarchy></diet_hierarchy>";
+      "<diet_hierarchy><master_agent host=\"a\" power=\"1\"></master_agent></diet_hierarchy>";
+      "<diet_hierarchy><master_agent host=\"a\"><server host=\"b\" power=\"1\"/></master_agent></diet_hierarchy>";
+    ]
+
+let test_xml_file_io () =
+  let t = sample () in
+  let path = Filename.temp_file "adept_xml" ".xml" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Xml.save t path;
+      match Xml.load path with
+      | Ok t' -> Alcotest.(check int) "size" 5 (Tree.size t')
+      | Error e -> Alcotest.fail e)
+
+(* ---------- Dot ---------- *)
+
+let test_dot_output () =
+  let text = Dot.to_string (sample ()) in
+  Alcotest.(check bool) "digraph" true (Astring.String.is_prefix ~affix:"digraph" text);
+  Alcotest.(check bool) "edge 0->1" true (Astring.String.is_infix ~affix:"n0 -> n1" text);
+  Alcotest.(check bool) "box for agents" true (Astring.String.is_infix ~affix:"box" text);
+  Alcotest.(check bool) "ellipse for servers" true
+    (Astring.String.is_infix ~affix:"ellipse" text)
+
+(* ---------- Metrics ---------- *)
+
+let test_metrics () =
+  let m = Metrics.of_tree (sample ()) in
+  Alcotest.(check int) "nodes" 5 m.Metrics.nodes;
+  Alcotest.(check int) "agents" 2 m.Metrics.agents;
+  Alcotest.(check int) "depth" 2 m.Metrics.depth;
+  Alcotest.(check int) "max degree" 2 m.Metrics.max_degree;
+  Alcotest.(check (list int)) "levels" [ 1; 2; 2 ] m.Metrics.level_sizes
+
+let test_metrics_histogram () =
+  Alcotest.(check (list (pair int int))) "histogram" [ (2, 2) ]
+    (Metrics.degree_histogram (sample ()))
+
+let test_metrics_describe () =
+  Alcotest.(check bool) "describe non-empty" true
+    (String.length (Metrics.describe (sample ())) > 0)
+
+(* ---------- properties ---------- *)
+
+let random_tree_arb =
+  QCheck.make
+    ~print:(fun (seed, n) -> Printf.sprintf "seed=%d n=%d" seed n)
+    QCheck.Gen.(pair (0 -- 10_000) (2 -- 25))
+
+let random_tree (seed, n) =
+  let rng = Rng.create seed in
+  match Adept.Baselines.random ~rng (nodes n) with
+  | Ok t -> t
+  | Error e -> failwith e
+
+let prop_random_trees_valid =
+  QCheck.Test.make ~count:300 ~name:"random hierarchies validate" random_tree_arb
+    (fun input -> Validate.is_valid (random_tree input))
+
+let prop_adjacency_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"adjacency matrix round-trips" random_tree_arb
+    (fun ((_, n) as input) ->
+      let t = random_tree input in
+      let platform = Platform.create (nodes n) in
+      match Adjacency.to_tree platform (Adjacency.of_tree ~n t) with
+      | Ok t' ->
+          (* child order may change (ascending id), so compare as sets *)
+          let ids tree = List.sort Int.compare (List.map Node.id (Tree.nodes tree)) in
+          ids t = ids t'
+          && Tree.agent_count t = Tree.agent_count t'
+          && Tree.depth t = Tree.depth t'
+      | Error _ -> false)
+
+let prop_xml_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"xml round-trips on platform" random_tree_arb
+    (fun ((_, n) as input) ->
+      let t = random_tree input in
+      let platform = Platform.create (nodes n) in
+      match Xml.of_string_on platform (Xml.to_string t) with
+      | Ok t' -> Tree.equal t t'
+      | Error _ -> false)
+
+let prop_counts_consistent =
+  QCheck.Test.make ~count:300 ~name:"agents + servers = size" random_tree_arb
+    (fun input ->
+      let t = random_tree input in
+      Tree.agent_count t + Tree.server_count t = Tree.size t)
+
+let () =
+  Alcotest.run "hierarchy"
+    [
+      ( "tree",
+        [
+          Alcotest.test_case "counts" `Quick test_tree_counts;
+          Alcotest.test_case "preorder lists" `Quick test_tree_lists_preorder;
+          Alcotest.test_case "agents with degree" `Quick test_tree_agents_with_degree;
+          Alcotest.test_case "parent_of" `Quick test_tree_parent_of;
+          Alcotest.test_case "mem" `Quick test_tree_mem;
+          Alcotest.test_case "star" `Quick test_tree_star;
+          Alcotest.test_case "fold" `Quick test_tree_fold;
+          Alcotest.test_case "equal" `Quick test_tree_equal;
+          Alcotest.test_case "lone server depth" `Quick test_tree_single_server_depth;
+          Alcotest.test_case "normalize demotes" `Quick test_tree_normalize_demotes;
+          Alcotest.test_case "normalize idempotent" `Quick test_tree_normalize_idempotent;
+          Alcotest.test_case "normalize cascade" `Quick test_tree_normalize_cascade;
+        ] );
+      ( "validate",
+        [
+          Alcotest.test_case "valid sample" `Quick test_validate_ok;
+          Alcotest.test_case "root server" `Quick test_validate_root_server;
+          Alcotest.test_case "root without children" `Quick test_validate_root_no_children;
+          Alcotest.test_case "undersized agent" `Quick test_validate_undersized_agent;
+          Alcotest.test_case "duplicate node" `Quick test_validate_duplicate;
+          Alcotest.test_case "unknown node" `Quick test_validate_unknown_node;
+          Alcotest.test_case "platform match" `Quick test_validate_platform_match;
+          Alcotest.test_case "error strings" `Quick test_validate_error_strings;
+        ] );
+      ( "adjacency",
+        [
+          Alcotest.test_case "of_tree" `Quick test_adjacency_of_tree;
+          Alcotest.test_case "parents/used" `Quick test_adjacency_parents_used;
+          Alcotest.test_case "roundtrip" `Quick test_adjacency_roundtrip;
+          Alcotest.test_case "errors" `Quick test_adjacency_errors;
+          Alcotest.test_case "out of range" `Quick test_adjacency_out_of_range;
+        ] );
+      ( "xml",
+        [
+          Alcotest.test_case "roundtrip shape" `Quick test_xml_roundtrip_shape;
+          Alcotest.test_case "roundtrip on platform" `Quick test_xml_roundtrip_on_platform;
+          Alcotest.test_case "escaping" `Quick test_xml_escaping;
+          Alcotest.test_case "unknown host" `Quick test_xml_unknown_host;
+          Alcotest.test_case "power mismatch" `Quick test_xml_power_mismatch;
+          Alcotest.test_case "malformed inputs" `Quick test_xml_malformed;
+          Alcotest.test_case "file io" `Quick test_xml_file_io;
+        ] );
+      ("dot", [ Alcotest.test_case "output" `Quick test_dot_output ]);
+      ( "metrics",
+        [
+          Alcotest.test_case "basic" `Quick test_metrics;
+          Alcotest.test_case "histogram" `Quick test_metrics_histogram;
+          Alcotest.test_case "describe" `Quick test_metrics_describe;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_random_trees_valid;
+            prop_adjacency_roundtrip;
+            prop_xml_roundtrip;
+            prop_counts_consistent;
+          ] );
+    ]

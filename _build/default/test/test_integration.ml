@@ -1,0 +1,273 @@
+(* Cross-library integration tests: the full pipelines a user runs. *)
+
+module Params = Adept_model.Params
+module Demand = Adept_model.Demand
+module Platform = Adept_platform.Platform
+module Generator = Adept_platform.Generator
+module Catalog = Adept_platform.Catalog
+module Tree = Adept_hierarchy.Tree
+module Xml = Adept_hierarchy.Xml
+module Validate = Adept_hierarchy.Validate
+module Scenario = Adept_sim.Scenario
+module Rng = Adept_util.Rng
+
+let params = Params.diet_lyon
+
+let dgemm n = Adept_workload.Dgemm.(mflops (make n))
+
+(* Plan on a generated platform, serialize everything, reload, launch in
+   the simulator, and check the measurement agrees with the model. *)
+let test_full_pipeline () =
+  let rng = Rng.create 2024 in
+  let platform = Generator.grid5000_orsay ~rng ~n:25 () in
+  (* 1. catalog round-trip *)
+  let platform =
+    match Catalog.of_string (Catalog.to_string platform) with
+    | Ok p -> p
+    | Error e -> Alcotest.fail e
+  in
+  (* 2. plan *)
+  let wapp = dgemm 310 in
+  let tree =
+    match Adept.Heuristic.plan_tree params ~platform ~wapp ~demand:Demand.unbounded with
+    | Ok t -> t
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check bool) "plan validates" true (Validate.is_valid ~platform tree);
+  (* 3. hierarchy XML round-trip *)
+  let tree =
+    match Xml.of_string_on platform (Xml.to_string tree) with
+    | Ok t -> t
+    | Error e -> Alcotest.fail e
+  in
+  (* 4. GoDIET document and launch *)
+  let doc = Adept_godiet.Writer.document platform tree in
+  let engine = Adept_sim.Engine.create () in
+  let launched =
+    match
+      Adept_godiet.Launcher.launch_xml ~element_delay:0.0 ~engine ~params ~platform
+        (Adept_hierarchy.Xml.to_string
+           (match Adept_godiet.Writer.parse_document doc with
+           | Ok shape -> shape
+           | Error e -> Alcotest.fail e))
+    with
+    | Ok l -> l
+    | Error e -> Alcotest.fail e
+  in
+  ignore launched;
+  (* 5. measure through the scenario driver and compare to Eq. 16 *)
+  let job = Adept_workload.Job.of_dgemm (Adept_workload.Dgemm.make 310) in
+  let scenario =
+    Scenario.make ~params ~platform ~client:(Adept_workload.Client.closed_loop job) tree
+  in
+  let r = Scenario.run_fixed scenario ~clients:80 ~warmup:1.5 ~duration:3.0 in
+  let predicted = Adept.Evaluate.rho_on params ~platform ~wapp tree in
+  Alcotest.(check bool)
+    (Printf.sprintf "measured %.1f within 40%% of predicted %.1f" r.Scenario.throughput
+       predicted)
+    true
+    (r.Scenario.throughput > 0.6 *. predicted && r.Scenario.throughput < 1.1 *. predicted)
+
+(* The planner's ranking of deployments must agree with the simulator's
+   ranking at saturation (the paper's core validation claim). *)
+let test_model_ranking_matches_simulation () =
+  let rng = Rng.create 555 in
+  let platform = Generator.grid5000_orsay ~rng ~n:40 () in
+  let wapp = dgemm 310 in
+  let job = Adept_workload.Job.of_dgemm (Adept_workload.Dgemm.make 310) in
+  let sorted = Platform.sorted_by_power_desc platform in
+  let deployments =
+    [
+      ("star", Result.get_ok (Adept.Baselines.star sorted));
+      ("dary3", Result.get_ok (Adept.Baselines.dary ~degree:3 sorted));
+      ( "heuristic",
+        Result.get_ok
+          (Adept.Heuristic.plan_tree params ~platform ~wapp ~demand:Demand.unbounded) );
+    ]
+  in
+  let results =
+    List.map
+      (fun (name, tree) ->
+        let predicted = Adept.Evaluate.rho_on params ~platform ~wapp tree in
+        let scenario =
+          Scenario.make ~params ~platform
+            ~client:(Adept_workload.Client.closed_loop job) tree
+        in
+        let r = Scenario.run_fixed scenario ~clients:100 ~warmup:1.5 ~duration:3.0 in
+        (name, predicted, r.Scenario.throughput))
+      deployments
+  in
+  let best_predicted =
+    List.fold_left (fun (bn, bv) (n, p, _) -> if p > bv then (n, p) else (bn, bv))
+      ("", 0.0) results
+  in
+  let best_measured =
+    List.fold_left (fun (bn, bv) (n, _, m) -> if m > bv then (n, m) else (bn, bv))
+      ("", 0.0) results
+  in
+  (* Queueing lets near-ties flip order below full saturation, so the
+     model's winner must measure within 5% of the measured winner rather
+     than match it exactly. *)
+  let measured_of name =
+    let _, _, m = List.find (fun (n, _, _) -> n = name) results in
+    m
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "model winner %s measures within 5%% of sim winner %s"
+       (fst best_predicted) (fst best_measured))
+    true
+    (measured_of (fst best_predicted) >= 0.95 *. snd best_measured)
+
+(* Demand-bounded planning verified in the simulator: the minimal plan
+   really sustains the demanded rate under enough load. *)
+let test_demand_plan_sustains_rate () =
+  let platform = Generator.grid5000_lyon ~n:40 () in
+  let wapp = dgemm 310 in
+  let demand = 100.0 in
+  let plan =
+    match Adept.Heuristic.plan params ~platform ~wapp ~demand:(Demand.rate demand) with
+    | Ok p -> p
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check bool) "demand met in the model" true plan.Adept.Heuristic.demand_met;
+  let job = Adept_workload.Job.of_dgemm (Adept_workload.Dgemm.make 310) in
+  let scenario =
+    Scenario.make ~params ~platform ~client:(Adept_workload.Client.closed_loop job)
+      plan.Adept.Heuristic.tree
+  in
+  let r = Scenario.run_fixed scenario ~clients:60 ~warmup:1.5 ~duration:3.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "sustains %.0f req/s (measured %.1f)" demand r.Scenario.throughput)
+    true
+    (r.Scenario.throughput >= 0.9 *. demand)
+
+(* The same demand check under open-loop load: a Poisson stream at the
+   demanded rate must pass through the minimal plan with bounded latency. *)
+let test_demand_plan_survives_poisson () =
+  let platform = Generator.grid5000_lyon ~n:40 () in
+  let wapp = dgemm 310 in
+  let demand = 100.0 in
+  let plan =
+    match Adept.Heuristic.plan params ~platform ~wapp ~demand:(Demand.rate demand) with
+    | Ok p -> p
+    | Error e -> Alcotest.fail e
+  in
+  let job = Adept_workload.Job.of_dgemm (Adept_workload.Dgemm.make 310) in
+  let scenario =
+    Scenario.make ~params ~platform ~client:(Adept_workload.Client.closed_loop job)
+      plan.Adept.Heuristic.tree
+  in
+  let r = Scenario.run_open scenario ~rate:demand ~warmup:3.0 ~duration:8.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "passes %.0f req/s through (got %.1f)" demand r.Scenario.throughput)
+    true
+    (Float.abs (r.Scenario.throughput -. demand) /. demand < 0.1);
+  let p95 = Option.get r.Scenario.p95_response in
+  Alcotest.(check bool) (Printf.sprintf "p95 bounded (%.2fs)" p95) true (p95 < 2.0)
+
+(* Exhaustive oracle vs simulator on a tiny platform: the best tree by
+   Eq. 16 is also best (or tied) when actually executed. *)
+let test_exhaustive_agrees_with_simulation () =
+  let platform =
+    Platform.of_powers
+      ~link:(Adept_platform.Link.homogeneous ~bandwidth:100.0 ())
+      [ 730.0; 600.0; 500.0; 400.0 ]
+  in
+  let wapp = dgemm 200 in
+  let job = Adept_workload.Job.of_dgemm (Adept_workload.Dgemm.make 200) in
+  let best_tree, best_rho =
+    match Adept.Exhaustive.optimal params ~platform ~wapp () with
+    | Ok r -> r
+    | Error e -> Alcotest.fail e
+  in
+  let scenario =
+    Scenario.make ~params ~platform ~client:(Adept_workload.Client.closed_loop job)
+      best_tree
+  in
+  let r = Scenario.run_fixed scenario ~clients:20 ~warmup:1.0 ~duration:3.0 in
+  Alcotest.(check bool) "oracle's tree achieves its rho in simulation" true
+    (Float.abs (r.Scenario.throughput -. best_rho) /. best_rho < 0.1)
+
+(* Round-robin selection on a heterogeneous star must lose to
+   best-prediction (the weak server becomes a convoy under round-robin). *)
+let test_selection_policies_ranked () =
+  let platform =
+    Platform.of_powers
+      ~link:(Adept_platform.Link.homogeneous ~bandwidth:1000.0 ())
+      [ 730.0; 730.0; 180.0 ]
+  in
+  let nodes = Platform.nodes platform in
+  let tree = Tree.star (List.hd nodes) (List.tl nodes) in
+  let job = Adept_workload.Job.of_dgemm (Adept_workload.Dgemm.make 310) in
+  let measure selection =
+    let scenario =
+      Scenario.make ~selection ~params ~platform
+        ~client:(Adept_workload.Client.closed_loop job) tree
+    in
+    (Scenario.run_fixed scenario ~clients:30 ~warmup:2.0 ~duration:4.0)
+      .Scenario.throughput
+  in
+  let best = measure Adept_sim.Middleware.Best_prediction in
+  let rr = measure Adept_sim.Middleware.Round_robin in
+  Alcotest.(check bool)
+    (Printf.sprintf "best-prediction (%.1f) beats round-robin (%.1f)" best rr)
+    true (best > rr)
+
+(* The heterogeneous-links model validated in the simulator: on a two-site
+   platform the WAN-aware planner's choice must also win when executed
+   (the simulator charges every message at its own link's bandwidth). *)
+let test_multi_cluster_choice_wins_in_simulation () =
+  let make_platform () =
+    let rng = Rng.create 5 in
+    Generator.two_sites ~rng ~n_orsay:16 ~n_lyon:12 ~wan_bandwidth:0.5 ()
+  in
+  let platform = make_platform () in
+  let wapp = dgemm 310 in
+  let job = Adept_workload.Job.of_dgemm (Adept_workload.Dgemm.make 310) in
+  let measure tree =
+    let scenario =
+      Scenario.make ~params ~platform ~client:(Adept_workload.Client.closed_loop job)
+        tree
+    in
+    (Scenario.run_fixed scenario ~clients:120 ~warmup:2.0 ~duration:4.0)
+      .Scenario.throughput
+  in
+  let planned =
+    match Adept.Multi_cluster.plan params ~platform ~wapp ~demand:Demand.unbounded with
+    | Ok r -> r
+    | Error e -> Alcotest.fail e
+  in
+  (* the rejected arrangement: a WAN-spanning star *)
+  let spanning = Result.get_ok (Adept.Baselines.star (Platform.sorted_by_power_desc platform)) in
+  let chosen_rate = measure planned.Adept.Multi_cluster.tree in
+  let spanning_rate = measure spanning in
+  (match planned.Adept.Multi_cluster.arrangement with
+  | Adept.Multi_cluster.Single_site _ -> ()
+  | Adept.Multi_cluster.Federated _ ->
+      Alcotest.fail "0.5 Mbit/s WAN should force a single-site plan");
+  Alcotest.(check bool)
+    (Printf.sprintf "single-site %.1f beats WAN-spanning star %.1f" chosen_rate
+       spanning_rate)
+    true (chosen_rate > spanning_rate)
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "pipelines",
+        [
+          Alcotest.test_case "catalog -> plan -> xml -> launch -> measure" `Slow
+            test_full_pipeline;
+          Alcotest.test_case "model ranking matches simulation" `Slow
+            test_model_ranking_matches_simulation;
+          Alcotest.test_case "demand plan sustains rate" `Slow
+            test_demand_plan_sustains_rate;
+          Alcotest.test_case "demand plan survives poisson" `Slow
+            test_demand_plan_survives_poisson;
+          Alcotest.test_case "exhaustive agrees with simulation" `Slow
+            test_exhaustive_agrees_with_simulation;
+          Alcotest.test_case "selection policies ranked" `Quick
+            test_selection_policies_ranked;
+          Alcotest.test_case "multi-cluster choice wins in simulation" `Slow
+            test_multi_cluster_choice_wins_in_simulation;
+        ] );
+    ]

@@ -1,0 +1,306 @@
+(* Tests for Adept_model: Table 3 parameters, Eqs. 1-5 costs, Eqs. 10-16
+   throughput, demand, and the M(r,s,w) capability model. *)
+
+module Params = Adept_model.Params
+module Costs = Adept_model.Costs
+module Throughput = Adept_model.Throughput
+module Demand = Adept_model.Demand
+module Capability = Adept_model.Capability
+
+let p = Params.diet_lyon
+
+let check_close ?(eps = 1e-9) name expected got =
+  Alcotest.(check (float (eps *. Float.max 1.0 (Float.abs expected)))) name expected got
+
+(* ---------- Params ---------- *)
+
+let test_params_table3_values () =
+  check_close "Wreq" 0.17 p.Params.agent.wreq;
+  check_close "Wfix" 4.0e-3 p.Params.agent.wfix;
+  check_close "Wsel" 5.4e-3 p.Params.agent.wsel;
+  check_close "agent Sreq" 5.3e-3 p.Params.agent.sreq;
+  check_close "agent Srep" 5.4e-3 p.Params.agent.srep;
+  check_close "Wpre" 6.4e-3 p.Params.server.wpre;
+  check_close "server Sreq" 5.3e-5 p.Params.server.sreq;
+  check_close "server Srep" 6.4e-5 p.Params.server.srep
+
+let test_params_wrep_linear () =
+  check_close "Wrep(0)" 4.0e-3 (Params.wrep p ~degree:0);
+  check_close "Wrep(10)" (4.0e-3 +. (5.4e-3 *. 10.0)) (Params.wrep p ~degree:10);
+  Alcotest.check_raises "negative degree" (Invalid_argument "Params.wrep: negative degree")
+    (fun () -> ignore (Params.wrep p ~degree:(-1)))
+
+let test_params_validation () =
+  Alcotest.(check bool) "negative component rejected" true
+    (match
+       Params.make
+         ~agent:{ p.Params.agent with Params.wreq = -1.0 }
+         ~server:p.Params.server
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_params_scale () =
+  let scaled = Params.scale_agent_compute p 2.0 in
+  check_close "Wreq doubled" (2.0 *. p.Params.agent.wreq) scaled.Params.agent.wreq;
+  check_close "sizes unchanged" p.Params.agent.sreq scaled.Params.agent.sreq
+
+(* ---------- Costs (Eqs. 1-5) ---------- *)
+
+let b = 100.0
+
+let w = 730.0
+
+let test_eq1_agent_receive () =
+  (* (Sreq + d*Srep)/B *)
+  check_close "d=3" ((5.3e-3 +. (3.0 *. 5.4e-3)) /. 100.0)
+    (Costs.agent_receive_time p ~bandwidth:b ~degree:3)
+
+let test_eq2_agent_send () =
+  check_close "d=3" (((3.0 *. 5.3e-3) +. 5.4e-3) /. 100.0)
+    (Costs.agent_send_time p ~bandwidth:b ~degree:3)
+
+let test_eq3_eq4_server_messages () =
+  check_close "receive" (5.3e-5 /. 100.0) (Costs.server_receive_time p ~bandwidth:b);
+  check_close "send" (6.4e-5 /. 100.0) (Costs.server_send_time p ~bandwidth:b)
+
+let test_eq5_agent_compute () =
+  (* (Wreq + Wfix + Wsel*d)/w *)
+  check_close "d=5" ((0.17 +. 4.0e-3 +. (5.0 *. 5.4e-3)) /. 730.0)
+    (Costs.agent_comp_time p ~power:w ~degree:5)
+
+let test_server_times () =
+  check_close "prediction" (6.4e-3 /. 730.0) (Costs.server_prediction_time p ~power:w);
+  check_close "service" (16.0 /. 730.0) (Costs.server_service_time ~power:w ~wapp:16.0)
+
+let test_agent_request_time_is_sum () =
+  let d = 4 in
+  check_close "sum of eq1+eq5+eq2"
+    (Costs.agent_receive_time p ~bandwidth:b ~degree:d
+    +. Costs.agent_comp_time p ~power:w ~degree:d
+    +. Costs.agent_send_time p ~bandwidth:b ~degree:d)
+    (Costs.agent_request_time p ~bandwidth:b ~power:w ~degree:d)
+
+let test_costs_validation () =
+  Alcotest.(check bool) "bad bandwidth" true
+    (match Costs.agent_receive_time p ~bandwidth:0.0 ~degree:1 with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "bad degree" true
+    (match Costs.agent_send_time p ~bandwidth:1.0 ~degree:(-1) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* ---------- Throughput (Eqs. 10-16) ---------- *)
+
+let servers k = List.init k (fun _ -> { Throughput.power = w; wapp = 16.0 })
+
+let test_eq14_agent_term () =
+  (* hand-computed star degree 1 on Lyon: 1/(eq1+eq5+eq2) *)
+  let expected = 1.0 /. Costs.agent_request_time p ~bandwidth:b ~power:w ~degree:1 in
+  check_close "agent_sched d=1" expected
+    (Throughput.agent_sched p ~bandwidth:b ~power:w ~degree:1);
+  Alcotest.(check bool) "known value ~2175" true
+    (Float.abs (expected -. 2175.1) < 1.0)
+
+let test_eq14_server_term () =
+  let expected =
+    1.0 /. ((6.4e-3 /. 730.0) +. (5.3e-5 /. 100.0) +. (6.4e-5 /. 100.0))
+  in
+  check_close "server_sched" expected (Throughput.server_sched p ~bandwidth:b ~power:w)
+
+let test_eq10_service_comp_time () =
+  (* one server: (1 + Wpre/Wapp) / (w/Wapp) *)
+  let expected = (1.0 +. (6.4e-3 /. 16.0)) /. (730.0 /. 16.0) in
+  check_close "one server" expected (Throughput.service_comp_time p (servers 1))
+
+let test_eq15_service_scales_linearly () =
+  let s1 = Throughput.service p ~bandwidth:b (servers 1) in
+  let s2 = Throughput.service p ~bandwidth:b (servers 2) in
+  let s4 = Throughput.service p ~bandwidth:b (servers 4) in
+  Alcotest.(check bool) "2 servers ~2x" true (Float.abs ((s2 /. s1) -. 2.0) < 0.01);
+  Alcotest.(check bool) "4 servers ~4x" true (Float.abs ((s4 /. s1) -. 4.0) < 0.03)
+
+let test_eq15_heterogeneous () =
+  (* a server of double power contributes double rate *)
+  let hetero =
+    [ { Throughput.power = w; wapp = 16.0 }; { Throughput.power = 2.0 *. w; wapp = 16.0 } ]
+  in
+  let s = Throughput.service p ~bandwidth:b hetero in
+  let s3 = Throughput.service p ~bandwidth:b (servers 3) in
+  Alcotest.(check bool) "w + 2w ~ 3 servers" true (Float.abs ((s /. s3) -. 1.0) < 0.01)
+
+let test_eq16_platform_min () =
+  let spec = { Throughput.agents = [ (w, 2) ]; servers = servers 2 } in
+  let sched = Throughput.sched p ~bandwidth:b spec in
+  let service = Throughput.service p ~bandwidth:b spec.Throughput.servers in
+  check_close "rho = min" (Float.min sched service)
+    (Throughput.platform p ~bandwidth:b spec)
+
+let test_bottleneck_classification () =
+  (* DGEMM 10 star-2: agent-limited; DGEMM 200 star-2: service-limited *)
+  let tiny = { Throughput.agents = [ (w, 2) ];
+               servers = List.init 2 (fun _ -> { Throughput.power = w; wapp = 2.2e-3 }) } in
+  let big = { Throughput.agents = [ (w, 2) ]; servers = servers 2 } in
+  Alcotest.(check bool) "tiny jobs agent-limited" true
+    (Throughput.bottleneck p ~bandwidth:b tiny = `Agent_sched);
+  Alcotest.(check bool) "big jobs service-limited" true
+    (Throughput.bottleneck p ~bandwidth:b big = `Service)
+
+let test_completed_per_server () =
+  let set = servers 3 in
+  let t_one = Throughput.service_comp_time p set in
+  let horizon = 10.0 in
+  let counts = Throughput.completed_per_server p set ~horizon in
+  let total = List.fold_left ( +. ) 0.0 counts in
+  check_close ~eps:1e-6 "sums to N = T/t_one" (horizon /. t_one) total;
+  (* homogeneous servers complete equal shares *)
+  List.iter (fun n -> check_close ~eps:1e-6 "equal share" (total /. 3.0) n) counts
+
+let test_completed_per_server_weak_clamped () =
+  (* a hopelessly weak server is clamped at zero, not negative *)
+  let set =
+    [ { Throughput.power = 1e4; wapp = 1.0 }; { Throughput.power = 1e-4; wapp = 1.0 } ]
+  in
+  let counts = Throughput.completed_per_server p set ~horizon:1.0 in
+  List.iter (fun n -> Alcotest.(check bool) "non-negative" true (n >= 0.0)) counts
+
+let test_throughput_validation () =
+  Alcotest.(check bool) "no servers" true
+    (match Throughput.service_comp_time p [] with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "degree 0 agent" true
+    (match Throughput.agent_sched p ~bandwidth:b ~power:w ~degree:0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* ---------- Demand ---------- *)
+
+let test_demand () =
+  let d = Demand.rate 100.0 in
+  Alcotest.(check (float 0.0)) "cap" 100.0 (Demand.cap d 500.0);
+  Alcotest.(check (float 0.0)) "no cap below" 50.0 (Demand.cap d 50.0);
+  Alcotest.(check bool) "met" true (Demand.is_met d 100.0);
+  Alcotest.(check bool) "not met" false (Demand.is_met d 99.9);
+  Alcotest.(check bool) "unbounded never met" false (Demand.is_met Demand.unbounded 1e12);
+  Alcotest.(check (float 0.0)) "min_target rate" 100.0 (Demand.min_target d 200.0);
+  Alcotest.(check (float 0.0)) "min_target unbounded" 200.0
+    (Demand.min_target Demand.unbounded 200.0)
+
+let test_demand_validation () =
+  Alcotest.check_raises "zero rate"
+    (Invalid_argument "Demand.rate: rate must be positive and finite") (fun () ->
+      ignore (Demand.rate 0.0))
+
+let test_demand_equal () =
+  Alcotest.(check bool) "rate eq" true (Demand.equal (Demand.rate 5.0) (Demand.rate 5.0));
+  Alcotest.(check bool) "mixed neq" false (Demand.equal Demand.unbounded (Demand.rate 5.0))
+
+(* ---------- Capability ---------- *)
+
+let test_capability_durations () =
+  check_close "send" 0.05
+    (Capability.duration (Capability.Send 5.0) ~power:1.0 ~bandwidth:100.0);
+  check_close "compute" 2.0
+    (Capability.duration (Capability.Compute 1460.0) ~power:730.0 ~bandwidth:1.0)
+
+let test_capability_serial_total () =
+  let activities =
+    [ Capability.Receive 5.3e-3; Capability.Compute 0.17; Capability.Send 5.4e-3 ]
+  in
+  let total = Capability.total activities ~power:730.0 ~bandwidth:100.0 in
+  check_close "serial sum"
+    ((5.3e-3 /. 100.0) +. (0.17 /. 730.0) +. (5.4e-3 /. 100.0))
+    total
+
+(* ---------- properties ---------- *)
+
+let prop_agent_sched_decreasing_in_degree =
+  QCheck.Test.make ~count:200 ~name:"agent sched power strictly decreases with degree"
+    QCheck.(pair (int_range 1 100) (float_range 10.0 5000.0))
+    (fun (d, power) ->
+      Throughput.agent_sched p ~bandwidth:b ~power ~degree:d
+      > Throughput.agent_sched p ~bandwidth:b ~power ~degree:(d + 1))
+
+let prop_service_increasing_in_servers =
+  QCheck.Test.make ~count:100 ~name:"service power grows with each server"
+    QCheck.(pair (int_range 1 50) (float_range 1.0 1000.0))
+    (fun (k, wapp) ->
+      let mk k = List.init k (fun _ -> { Throughput.power = w; wapp }) in
+      Throughput.service p ~bandwidth:b (mk (k + 1))
+      > Throughput.service p ~bandwidth:b (mk k))
+
+let prop_rho_decreasing_in_bandwidth_drop =
+  QCheck.Test.make ~count:100 ~name:"rho never increases when bandwidth drops"
+    QCheck.(triple (int_range 1 30) (float_range 1.0 100.0) (float_range 1.0 1000.0))
+    (fun (d, b_low, wapp) ->
+      let spec = { Throughput.agents = [ (w, d) ];
+                   servers = List.init d (fun _ -> { Throughput.power = w; wapp }) } in
+      Throughput.platform p ~bandwidth:b_low spec
+      <= Throughput.platform p ~bandwidth:(b_low *. 2.0) spec +. 1e-9)
+
+let prop_rho_bounded_by_components =
+  QCheck.Test.make ~count:200 ~name:"rho <= every component throughput"
+    QCheck.(triple (int_range 1 40) (float_range 100.0 2000.0) (float_range 0.1 100.0))
+    (fun (d, power, wapp) ->
+      let spec = { Throughput.agents = [ (power, d) ];
+                   servers = List.init d (fun _ -> { Throughput.power = power; wapp }) } in
+      let rho = Throughput.platform p ~bandwidth:b spec in
+      rho <= Throughput.sched p ~bandwidth:b spec +. 1e-9
+      && rho <= Throughput.service p ~bandwidth:b spec.Throughput.servers +. 1e-9)
+
+let () =
+  Alcotest.run "model"
+    [
+      ( "params",
+        [
+          Alcotest.test_case "table 3 values" `Quick test_params_table3_values;
+          Alcotest.test_case "wrep linear" `Quick test_params_wrep_linear;
+          Alcotest.test_case "validation" `Quick test_params_validation;
+          Alcotest.test_case "scaling" `Quick test_params_scale;
+        ] );
+      ( "costs",
+        [
+          Alcotest.test_case "eq1 agent receive" `Quick test_eq1_agent_receive;
+          Alcotest.test_case "eq2 agent send" `Quick test_eq2_agent_send;
+          Alcotest.test_case "eq3/eq4 server messages" `Quick test_eq3_eq4_server_messages;
+          Alcotest.test_case "eq5 agent compute" `Quick test_eq5_agent_compute;
+          Alcotest.test_case "server times" `Quick test_server_times;
+          Alcotest.test_case "agent request time" `Quick test_agent_request_time_is_sum;
+          Alcotest.test_case "validation" `Quick test_costs_validation;
+        ] );
+      ( "throughput",
+        [
+          Alcotest.test_case "eq14 agent term" `Quick test_eq14_agent_term;
+          Alcotest.test_case "eq14 server term" `Quick test_eq14_server_term;
+          Alcotest.test_case "eq10 service comp time" `Quick test_eq10_service_comp_time;
+          Alcotest.test_case "eq15 linear scaling" `Quick test_eq15_service_scales_linearly;
+          Alcotest.test_case "eq15 heterogeneous" `Quick test_eq15_heterogeneous;
+          Alcotest.test_case "eq16 min" `Quick test_eq16_platform_min;
+          Alcotest.test_case "bottleneck classes" `Quick test_bottleneck_classification;
+          Alcotest.test_case "eq8 completed per server" `Quick test_completed_per_server;
+          Alcotest.test_case "eq8 weak server clamped" `Quick
+            test_completed_per_server_weak_clamped;
+          Alcotest.test_case "validation" `Quick test_throughput_validation;
+        ] );
+      ( "demand",
+        [
+          Alcotest.test_case "cap/met/min_target" `Quick test_demand;
+          Alcotest.test_case "validation" `Quick test_demand_validation;
+          Alcotest.test_case "equality" `Quick test_demand_equal;
+        ] );
+      ( "capability",
+        [
+          Alcotest.test_case "durations" `Quick test_capability_durations;
+          Alcotest.test_case "serial total" `Quick test_capability_serial_total;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_agent_sched_decreasing_in_degree;
+            prop_service_increasing_in_servers;
+            prop_rho_decreasing_in_bandwidth_drop;
+            prop_rho_bounded_by_components;
+          ] );
+    ]

@@ -1,0 +1,749 @@
+(* Tests for Adept_sim: event queue, engine, resources, network,
+   middleware request flow, stats, scenarios. *)
+
+module Event_queue = Adept_sim.Event_queue
+module Engine = Adept_sim.Engine
+module Resource = Adept_sim.Resource
+module Network = Adept_sim.Network
+module Trace = Adept_sim.Trace
+module Middleware = Adept_sim.Middleware
+module Run_stats = Adept_sim.Run_stats
+module Scenario = Adept_sim.Scenario
+module Params = Adept_model.Params
+module Platform = Adept_platform.Platform
+module Tree = Adept_hierarchy.Tree
+
+let params = Params.diet_lyon
+
+let check_close ?(eps = 1e-9) name expected got =
+  Alcotest.(check (float (eps *. Float.max 1.0 (Float.abs expected)))) name expected got
+
+(* ---------- Event_queue ---------- *)
+
+let test_queue_ordering () =
+  let q = Event_queue.create () in
+  Event_queue.add q ~time:3.0 "c";
+  Event_queue.add q ~time:1.0 "a";
+  Event_queue.add q ~time:2.0 "b";
+  let pop () = match Event_queue.pop_min q with Some (_, v) -> v | None -> "?" in
+  let first = pop () in
+  let second = pop () in
+  let third = pop () in
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] [ first; second; third ]
+
+let test_queue_fifo_ties () =
+  let q = Event_queue.create () in
+  Event_queue.add q ~time:1.0 "first";
+  Event_queue.add q ~time:1.0 "second";
+  Event_queue.add q ~time:1.0 "third";
+  let pop () = match Event_queue.pop_min q with Some (_, v) -> v | None -> "?" in
+  let first = pop () in
+  let second = pop () in
+  let third = pop () in
+  Alcotest.(check (list string)) "insertion order on ties" [ "first"; "second"; "third" ]
+    [ first; second; third ]
+
+let test_queue_size_empty () =
+  let q = Event_queue.create () in
+  Alcotest.(check bool) "empty" true (Event_queue.is_empty q);
+  Event_queue.add q ~time:0.0 ();
+  Alcotest.(check int) "size 1" 1 (Event_queue.size q);
+  ignore (Event_queue.pop_min q);
+  Alcotest.(check (option (pair (float 0.0) unit))) "pop empty" None (Event_queue.pop_min q)
+
+let test_queue_nan () =
+  let q = Event_queue.create () in
+  Alcotest.check_raises "nan" (Invalid_argument "Event_queue.add: NaN time") (fun () ->
+      Event_queue.add q ~time:Float.nan ())
+
+let test_queue_stress_sorted () =
+  let q = Event_queue.create () in
+  let rng = Adept_util.Rng.create 99 in
+  let times = Array.init 2000 (fun _ -> Adept_util.Rng.float rng 100.0) in
+  Array.iter (fun t -> Event_queue.add q ~time:t ()) times;
+  let out = ref [] in
+  let rec drain () =
+    match Event_queue.pop_min q with
+    | Some (t, ()) ->
+        out := t :: !out;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  let popped = Array.of_list (List.rev !out) in
+  Array.sort Float.compare times;
+  Alcotest.(check bool) "heap = sort" true (popped = times)
+
+(* ---------- Engine ---------- *)
+
+let test_engine_runs_in_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule_at e ~time:2.0 (fun () -> log := "b" :: !log);
+  Engine.schedule_at e ~time:1.0 (fun () -> log := "a" :: !log);
+  ignore (Engine.run e);
+  Alcotest.(check (list string)) "order" [ "a"; "b" ] (List.rev !log);
+  check_close "clock at last event" 2.0 (Engine.now e)
+
+let test_engine_horizon () =
+  let e = Engine.create () in
+  let fired = ref false in
+  Engine.schedule_at e ~time:10.0 (fun () -> fired := true);
+  let outcome = Engine.run ~until:5.0 e in
+  Alcotest.(check bool) "not fired" false !fired;
+  Alcotest.(check bool) "horizon outcome" true (outcome = Engine.Horizon_reached);
+  check_close "clock at horizon" 5.0 (Engine.now e);
+  Alcotest.(check int) "event still pending" 1 (Engine.pending e)
+
+let test_engine_event_limit () =
+  let e = Engine.create () in
+  let rec reschedule () = Engine.schedule e ~delay:1.0 reschedule in
+  reschedule ();
+  let outcome = Engine.run ~max_events:100 e in
+  Alcotest.(check bool) "limit outcome" true (outcome = Engine.Event_limit)
+
+let test_engine_past_schedule () =
+  let e = Engine.create () in
+  Engine.schedule_at e ~time:5.0 (fun () ->
+      Alcotest.(check bool) "past raises" true
+        (match Engine.schedule_at e ~time:1.0 (fun () -> ()) with
+        | exception Invalid_argument _ -> true
+        | _ -> false));
+  ignore (Engine.run e)
+
+let test_engine_nested_scheduling () =
+  let e = Engine.create () in
+  let total = ref 0 in
+  Engine.schedule_at e ~time:1.0 (fun () ->
+      incr total;
+      Engine.schedule e ~delay:0.5 (fun () -> incr total));
+  ignore (Engine.run e);
+  Alcotest.(check int) "both fired" 2 !total;
+  check_close "clock" 1.5 (Engine.now e)
+
+let test_engine_exhausted_advances_to_horizon () =
+  let e = Engine.create () in
+  let outcome = Engine.run ~until:3.0 e in
+  Alcotest.(check bool) "exhausted" true (outcome = Engine.Exhausted);
+  check_close "clock moved to horizon" 3.0 (Engine.now e)
+
+(* ---------- Resource ---------- *)
+
+let test_resource_serial_booking () =
+  let r = Resource.create ~name:"x" ~power:100.0 in
+  let s1, f1 = Resource.book r ~now:0.0 ~duration:2.0 in
+  check_close "starts now" 0.0 s1;
+  check_close "finish" 2.0 f1;
+  let s2, f2 = Resource.book r ~now:1.0 ~duration:1.0 in
+  check_close "queued behind" 2.0 s2;
+  check_close "finish 2" 3.0 f2;
+  let s3, _ = Resource.book r ~now:10.0 ~duration:1.0 in
+  check_close "idle gap" 10.0 s3
+
+let test_resource_backlog_busy () =
+  let r = Resource.create ~name:"x" ~power:1.0 in
+  ignore (Resource.book r ~now:0.0 ~duration:5.0);
+  check_close "backlog" 3.0 (Resource.backlog r ~now:2.0);
+  check_close "no backlog later" 0.0 (Resource.backlog r ~now:9.0);
+  check_close "busy total" 5.0 (Resource.busy_seconds r);
+  Alcotest.(check int) "bookings" 1 (Resource.bookings r)
+
+let test_resource_charge () =
+  let r = Resource.create ~name:"x" ~power:1.0 in
+  Resource.charge r ~now:0.0 ~duration:2.0;
+  check_close "charge extends free_at" 2.0 (Resource.free_at r);
+  check_close "charge counts busy" 2.0 (Resource.busy_seconds r)
+
+let test_resource_monotonic_now () =
+  let r = Resource.create ~name:"x" ~power:1.0 in
+  ignore (Resource.book r ~now:5.0 ~duration:1.0);
+  Alcotest.(check bool) "backwards now rejected" true
+    (match Resource.book r ~now:4.0 ~duration:1.0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_resource_utilization () =
+  let r = Resource.create ~name:"x" ~power:1.0 in
+  ignore (Resource.book r ~now:0.0 ~duration:4.0);
+  check_close "half busy" 0.5 (Resource.utilization r ~horizon:8.0)
+
+let test_resource_validation () =
+  Alcotest.(check bool) "zero power" true
+    (match Resource.create ~name:"x" ~power:0.0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  let r = Resource.create ~name:"x" ~power:1.0 in
+  Alcotest.(check bool) "negative duration" true
+    (match Resource.book r ~now:0.0 ~duration:(-1.0) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* ---------- Network ---------- *)
+
+let test_network_port_to_port () =
+  let e = Engine.create () in
+  let src = Resource.create ~name:"s" ~power:1.0 in
+  let dst = Resource.create ~name:"d" ~power:1.0 in
+  let delivered_at = ref Float.nan in
+  Network.transfer e ~bandwidth:10.0 ~src:(Network.Port src) ~src_size:5.0
+    ~dst:(Network.Port dst) ~dst_size:20.0
+    ~on_delivered:(fun () -> delivered_at := Engine.now e)
+    ();
+  ignore (Engine.run e);
+  (* send 0.5s, then receive 2.0s at the destination *)
+  check_close "delivery time" 2.5 !delivered_at;
+  check_close "src busy" 0.5 (Resource.busy_seconds src);
+  check_close "dst busy" 2.0 (Resource.busy_seconds dst)
+
+let test_network_latency () =
+  let e = Engine.create () in
+  let delivered_at = ref Float.nan in
+  Network.transfer e ~bandwidth:10.0 ~latency:0.25 ~src:Network.Instant ~src_size:0.0
+    ~dst:Network.Instant ~dst_size:0.0
+    ~on_delivered:(fun () -> delivered_at := Engine.now e)
+    ();
+  ignore (Engine.run e);
+  check_close "latency only" 0.25 !delivered_at
+
+let test_network_lane_charges_but_does_not_delay () =
+  let e = Engine.create () in
+  let dst = Resource.create ~name:"d" ~power:1.0 in
+  (* pre-load the destination with 10s of work *)
+  ignore (Resource.book dst ~now:0.0 ~duration:10.0);
+  let delivered_at = ref Float.nan in
+  Network.transfer e ~bandwidth:1.0 ~src:Network.Instant ~src_size:0.0
+    ~dst:(Network.Lane dst) ~dst_size:2.0
+    ~on_delivered:(fun () -> delivered_at := Engine.now e)
+    ();
+  ignore (Engine.run e);
+  check_close "delivered immediately" 0.0 !delivered_at;
+  check_close "capacity still charged" 12.0 (Resource.busy_seconds dst)
+
+let test_network_queueing_contention () =
+  let e = Engine.create () in
+  let src = Resource.create ~name:"s" ~power:1.0 in
+  let deliveries = ref [] in
+  for _ = 1 to 3 do
+    Network.transfer e ~bandwidth:1.0 ~src:(Network.Port src) ~src_size:1.0
+      ~dst:Network.Instant ~dst_size:0.0
+      ~on_delivered:(fun () -> deliveries := Engine.now e :: !deliveries)
+      ()
+  done;
+  ignore (Engine.run e);
+  Alcotest.(check (list (float 1e-9))) "serialized sends" [ 1.0; 2.0; 3.0 ]
+    (List.rev !deliveries)
+
+let test_network_validation () =
+  let e = Engine.create () in
+  Alcotest.(check bool) "zero bandwidth" true
+    (match
+       Network.transfer e ~bandwidth:0.0 ~src:Network.Instant ~src_size:0.0
+         ~dst:Network.Instant ~dst_size:0.0
+         ~on_delivered:(fun () -> ())
+         ()
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* ---------- Trace ---------- *)
+
+let test_trace_records () =
+  let t = Trace.create () in
+  Trace.record_message t ~kind:Trace.Sched_request ~role:Trace.Agent_end ~size:2.0;
+  Trace.record_message t ~kind:Trace.Sched_request ~role:Trace.Agent_end ~size:4.0;
+  Alcotest.(check int) "count" 2 (Trace.message_count t Trace.Sched_request Trace.Agent_end);
+  Alcotest.(check (option (float 1e-9))) "mean" (Some 3.0)
+    (Trace.mean_message_size t Trace.Sched_request Trace.Agent_end);
+  Alcotest.(check (option (float 1e-9))) "other bucket empty" None
+    (Trace.mean_message_size t Trace.Sched_reply Trace.Server_end);
+  check_close "total" 6.0 (Trace.total_mbit t)
+
+let test_trace_disabled () =
+  let t = Trace.disabled in
+  Trace.record_message t ~kind:Trace.Sched_request ~role:Trace.Agent_end ~size:2.0;
+  Trace.record_agent_reply_compute t ~degree:3 ~seconds:1.0;
+  Alcotest.(check int) "records nothing" 0
+    (Trace.message_count t Trace.Sched_request Trace.Agent_end);
+  Alcotest.(check int) "no samples" 0 (Array.length (Trace.reply_samples t));
+  Alcotest.(check bool) "flagged disabled" false (Trace.is_enabled t)
+
+let test_trace_samples () =
+  let t = Trace.create () in
+  Trace.record_agent_reply_compute t ~degree:2 ~seconds:0.5;
+  Trace.record_agent_request_compute t ~seconds:0.1;
+  Trace.record_server_prediction t ~seconds:0.2;
+  Alcotest.(check int) "reply samples" 1 (Array.length (Trace.reply_samples t));
+  Alcotest.(check (pair int (float 0.0))) "sample content" (2, 0.5)
+    (Trace.reply_samples t).(0);
+  Alcotest.(check int) "request computes" 1 (Array.length (Trace.agent_request_computes t));
+  Alcotest.(check int) "predictions" 1 (Array.length (Trace.server_predictions t))
+
+(* ---------- Middleware ---------- *)
+
+let star_platform n_servers =
+  Adept_platform.Generator.grid5000_lyon ~n:(n_servers + 1) ()
+
+let star_tree platform =
+  let nodes = Platform.nodes platform in
+  Tree.star (List.hd nodes) (List.tl nodes)
+
+let test_middleware_single_request_timing () =
+  (* Hand-check the full scheduling+service path of one request through a
+     1-agent 1-server star against the Eqs. 1-5 cost accounting. *)
+  let platform = star_platform 1 in
+  let tree = star_tree platform in
+  let engine = Engine.create () in
+  let m = Middleware.deploy ~engine ~params ~platform tree in
+  let wapp = 16.0 in
+  let b = 100.0 and w = 730.0 in
+  let done_at = ref Float.nan in
+  Middleware.submit m ~wapp ~on_scheduled:(fun ~server ->
+      Middleware.request_service m ~server ~wapp ~on_done:(fun () ->
+          done_at := Engine.now engine));
+  ignore (Engine.run engine);
+  let sched =
+    (params.Params.agent.sreq /. b) (* client -> root receive *)
+    +. (params.Params.agent.wreq /. w) (* Wreq *)
+    +. (params.Params.agent.sreq /. b) (* root -> server send *)
+    +. (params.Params.server.wpre /. w) (* prediction (lane) *)
+    +. (params.Params.server.srep /. b) (* server send (lane wire time) *)
+    +. (params.Params.agent.srep /. b) (* root receive reply *)
+    +. (Params.wrep params ~degree:1 /. w) (* Wrep(1) *)
+    +. (params.Params.agent.srep /. b) (* root -> client send *)
+  in
+  let service =
+    (params.Params.server.sreq /. b) +. (wapp /. w) +. (params.Params.server.srep /. b)
+  in
+  check_close ~eps:1e-9 "end-to-end latency" (sched +. service) !done_at
+
+let test_middleware_selects_stronger_server () =
+  (* heterogeneous star: the faster server should win the first request *)
+  let nodes =
+    [
+      Adept_platform.Node.make ~id:0 ~name:"agent" ~power:730.0 ();
+      Adept_platform.Node.make ~id:1 ~name:"slow" ~power:100.0 ();
+      Adept_platform.Node.make ~id:2 ~name:"fast" ~power:1000.0 ();
+    ]
+  in
+  let platform =
+    Platform.create ~link:(Adept_platform.Link.homogeneous ~bandwidth:100.0 ()) nodes
+  in
+  let tree = star_tree platform in
+  let engine = Engine.create () in
+  let m = Middleware.deploy ~engine ~params ~platform tree in
+  let chosen = ref (-1) in
+  Middleware.submit m ~wapp:16.0 ~on_scheduled:(fun ~server -> chosen := server);
+  ignore (Engine.run engine);
+  Alcotest.(check int) "fast server chosen" 2 !chosen
+
+let test_middleware_round_robin () =
+  let platform = star_platform 3 in
+  let tree = star_tree platform in
+  let engine = Engine.create () in
+  let m =
+    Middleware.deploy ~selection:Middleware.Round_robin ~engine ~params ~platform tree
+  in
+  let chosen = ref [] in
+  let rec submit k =
+    if k > 0 then
+      Middleware.submit m ~wapp:1.0 ~on_scheduled:(fun ~server ->
+          chosen := server :: !chosen;
+          submit (k - 1))
+  in
+  submit 6;
+  ignore (Engine.run engine);
+  let counts = List.sort_uniq Int.compare !chosen in
+  Alcotest.(check int) "all three servers used" 3 (List.length counts)
+
+let test_middleware_two_level_flow () =
+  (* root -> 2 agents -> 2 servers each; one request must reach all four
+     servers for prediction and come back *)
+  let powers = List.init 7 (fun _ -> 730.0) in
+  let platform = Platform.of_powers ~link:(Adept_platform.Link.homogeneous ~bandwidth:100.0 ()) powers in
+  let n i = Platform.node platform i in
+  let tree =
+    Tree.agent (n 0)
+      [
+        Tree.agent (n 1) [ Tree.server (n 3); Tree.server (n 4) ];
+        Tree.agent (n 2) [ Tree.server (n 5); Tree.server (n 6) ];
+      ]
+  in
+  let engine = Engine.create () in
+  let trace = Trace.create () in
+  let m = Middleware.deploy ~trace ~engine ~params ~platform tree in
+  let completed = ref false in
+  Middleware.submit m ~wapp:1.0 ~on_scheduled:(fun ~server ->
+      Alcotest.(check bool) "a server was chosen" true (server >= 3);
+      Middleware.request_service m ~server ~wapp:1.0 ~on_done:(fun () ->
+          completed := true));
+  ignore (Engine.run engine);
+  Alcotest.(check bool) "completed" true !completed;
+  Alcotest.(check int) "4 predictions" 4 (Array.length (Trace.server_predictions trace));
+  (* root computes one Wrep(2), each mid agent one Wrep(2) *)
+  Alcotest.(check int) "3 reply aggregations" 3 (Array.length (Trace.reply_samples trace))
+
+let test_middleware_database_selection () =
+  (* heterogeneous star under Database selection with fast reports: load
+     still lands and the system completes requests *)
+  let nodes =
+    [
+      Adept_platform.Node.make ~id:0 ~name:"agent" ~power:730.0 ();
+      Adept_platform.Node.make ~id:1 ~name:"s1" ~power:500.0 ();
+      Adept_platform.Node.make ~id:2 ~name:"s2" ~power:900.0 ();
+    ]
+  in
+  let platform =
+    Platform.create ~link:(Adept_platform.Link.homogeneous ~bandwidth:100.0 ()) nodes
+  in
+  let tree = star_tree platform in
+  let engine = Engine.create () in
+  let m =
+    Middleware.deploy ~selection:Middleware.Database ~monitoring_period:0.01 ~engine
+      ~params ~platform tree
+  in
+  let completed = ref 0 in
+  let rec loop k =
+    if k > 0 then
+      Middleware.submit m ~wapp:16.0 ~on_scheduled:(fun ~server ->
+          Middleware.request_service m ~server ~wapp:16.0 ~on_done:(fun () ->
+              incr completed;
+              loop (k - 1)))
+  in
+  loop 20;
+  ignore (Engine.run ~until:30.0 engine);
+  Alcotest.(check int) "all requests completed" 20 !completed
+
+let test_middleware_database_requires_period () =
+  let platform = star_platform 1 in
+  let tree = star_tree platform in
+  let engine = Engine.create () in
+  Alcotest.(check bool) "missing period rejected" true
+    (match
+       Middleware.deploy ~selection:Middleware.Database ~engine ~params ~platform tree
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "bad period rejected" true
+    (match
+       Middleware.deploy ~monitoring_period:0.0 ~engine ~params ~platform tree
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_middleware_deploy_validates () =
+  let platform = star_platform 1 in
+  let bad = Tree.server (Platform.node platform 0) in
+  let engine = Engine.create () in
+  Alcotest.(check bool) "invalid tree rejected" true
+    (match Middleware.deploy ~engine ~params ~platform bad with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_middleware_service_to_agent_rejected () =
+  let platform = star_platform 1 in
+  let tree = star_tree platform in
+  let engine = Engine.create () in
+  let m = Middleware.deploy ~engine ~params ~platform tree in
+  Alcotest.(check bool) "agent target rejected" true
+    (match Middleware.request_service m ~server:0 ~wapp:1.0 ~on_done:(fun () -> ()) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_middleware_ids () =
+  let platform = star_platform 2 in
+  let tree = star_tree platform in
+  let engine = Engine.create () in
+  let m = Middleware.deploy ~engine ~params ~platform tree in
+  Alcotest.(check int) "root" 0 (Middleware.root m);
+  Alcotest.(check (list int)) "servers" [ 1; 2 ] (Middleware.server_ids m);
+  Alcotest.(check (list int)) "agents" [ 0 ] (Middleware.agent_ids m)
+
+(* ---------- Run_stats ---------- *)
+
+let test_run_stats () =
+  let s = Run_stats.create () in
+  Run_stats.record_issue s ~time:0.0;
+  Run_stats.record_issue s ~time:0.5;
+  Run_stats.record_completion s ~issued_at:0.0 ~time:1.0 ~server:3;
+  Run_stats.record_completion s ~issued_at:0.5 ~time:2.0 ~server:3;
+  Alcotest.(check int) "issued" 2 (Run_stats.issued s);
+  Alcotest.(check int) "completed" 2 (Run_stats.completed s);
+  Alcotest.(check int) "window count" 1 (Run_stats.completions_in s ~t0:1.5 ~t1:2.5);
+  check_close "throughput" 1.0 (Run_stats.throughput s ~t0:1.5 ~t1:2.5);
+  Alcotest.(check (list (pair int int))) "per server" [ (3, 2) ] (Run_stats.per_server s);
+  check_close "mean response" 1.25 (Option.get (Run_stats.mean_response_time s))
+
+let test_run_stats_empty_window () =
+  let s = Run_stats.create () in
+  Alcotest.(check bool) "bad window" true
+    (match Run_stats.throughput s ~t0:1.0 ~t1:1.0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* ---------- Scenario ---------- *)
+
+let scenario ?selection ?(servers = 2) ?(dgemm = 200) () =
+  let platform = star_platform servers in
+  let tree = star_tree platform in
+  let job = Adept_workload.Job.of_dgemm (Adept_workload.Dgemm.make dgemm) in
+  Scenario.make ?selection ~params ~platform
+    ~client:(Adept_workload.Client.closed_loop job) tree
+
+let test_scenario_matches_model () =
+  let s = scenario () in
+  let r = Scenario.run_fixed s ~clients:20 ~warmup:1.0 ~duration:3.0 in
+  let platform = s.Scenario.platform in
+  let rho =
+    Adept.Evaluate.rho_on params ~platform ~wapp:Adept_workload.Dgemm.(mflops (make 200))
+      s.Scenario.tree
+  in
+  Alcotest.(check bool) "within 5% of Eq. 16" true
+    (Float.abs (r.Scenario.throughput -. rho) /. rho < 0.05)
+
+let test_scenario_deterministic () =
+  let r1 = Scenario.run_fixed (scenario ()) ~clients:10 ~warmup:0.5 ~duration:1.0 in
+  let r2 = Scenario.run_fixed (scenario ()) ~clients:10 ~warmup:0.5 ~duration:1.0 in
+  check_close "same throughput" r1.Scenario.throughput r2.Scenario.throughput;
+  Alcotest.(check int) "same completions" r1.Scenario.completed_total
+    r2.Scenario.completed_total
+
+let test_scenario_conservation () =
+  let r = Scenario.run_fixed (scenario ()) ~clients:15 ~warmup:0.5 ~duration:1.0 in
+  Alcotest.(check bool) "completed <= issued" true
+    (r.Scenario.completed_total <= r.Scenario.issued_total);
+  let per_server_total =
+    List.fold_left (fun acc (_, c) -> acc + c) 0 r.Scenario.per_server
+  in
+  Alcotest.(check int) "per-server sums to completed" r.Scenario.completed_total
+    per_server_total
+
+let test_scenario_series_monotone_until_saturation () =
+  let series =
+    Scenario.throughput_series (scenario ()) ~client_counts:[ 1; 4; 16 ] ~warmup:1.0
+      ~duration:2.0
+  in
+  match List.map snd series with
+  | [ t1; t4; t16 ] ->
+      Alcotest.(check bool) "1 < 4 clients" true (t1 < t4);
+      Alcotest.(check bool) "16 clients saturated >= 4 * 0.9" true (t16 >= t4 *. 0.9)
+  | _ -> Alcotest.fail "series shape"
+
+let test_scenario_saturation () =
+  let clients, throughput =
+    Scenario.saturation_throughput (scenario ()) ~warmup:0.5 ~duration:1.5
+  in
+  Alcotest.(check bool) "found saturation" true (clients >= 1);
+  Alcotest.(check bool) "near model" true (Float.abs (throughput -. 90.7) < 6.0)
+
+let test_scenario_validation () =
+  Alcotest.(check bool) "zero clients" true
+    (match Scenario.run_fixed (scenario ()) ~clients:0 ~warmup:0.0 ~duration:1.0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_scenario_open_loop_tracks_rate () =
+  (* star-2 sustains ~91 req/s; a 40 req/s Poisson stream must pass through *)
+  let s = scenario () in
+  let r = Scenario.run_open s ~rate:40.0 ~warmup:2.0 ~duration:8.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "throughput %.1f tracks the 40 req/s arrivals" r.Scenario.throughput)
+    true
+    (Float.abs (r.Scenario.throughput -. 40.0) < 5.0);
+  (* below saturation, responses stay near the no-load service time *)
+  let p95 = Option.get r.Scenario.p95_response in
+  Alcotest.(check bool) (Printf.sprintf "bounded p95 %.3f" p95) true (p95 < 0.5)
+
+let test_scenario_open_loop_overload_backlogs () =
+  (* 3x the capacity: completions cap at rho and latency keeps growing *)
+  let s = scenario () in
+  let r = Scenario.run_open s ~rate:270.0 ~warmup:2.0 ~duration:8.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "completions capped near capacity (got %.1f)" r.Scenario.throughput)
+    true
+    (r.Scenario.throughput < 110.0);
+  Alcotest.(check bool) "backlog builds" true
+    (r.Scenario.issued_total > r.Scenario.completed_total + 100)
+
+let test_scenario_open_loop_deterministic () =
+  let r1 = Scenario.run_open (scenario ()) ~rate:30.0 ~warmup:1.0 ~duration:3.0 in
+  let r2 = Scenario.run_open (scenario ()) ~rate:30.0 ~warmup:1.0 ~duration:3.0 in
+  Alcotest.(check int) "same issued" r1.Scenario.issued_total r2.Scenario.issued_total;
+  Alcotest.(check (float 1e-9)) "same throughput" r1.Scenario.throughput
+    r2.Scenario.throughput
+
+let test_scenario_percentiles_ordered () =
+  let r = Scenario.run_fixed (scenario ()) ~clients:20 ~warmup:1.0 ~duration:3.0 in
+  let mean = Option.get r.Scenario.mean_response in
+  let p95 = Option.get r.Scenario.p95_response in
+  Alcotest.(check bool) "p95 >= mean for right-skewed latencies" true (p95 >= mean *. 0.5);
+  Alcotest.(check bool) "both positive" true (mean > 0.0 && p95 > 0.0)
+
+let test_scenario_think_time_lowers_load () =
+  let platform = star_platform 1 in
+  let tree = star_tree platform in
+  let job = Adept_workload.Job.of_dgemm (Adept_workload.Dgemm.make 200) in
+  let lazy_client =
+    Adept_workload.Client.make ~think_time:1.0 (Adept_workload.Mix.single job)
+  in
+  let s = Scenario.make ~params ~platform ~client:lazy_client tree in
+  let r = Scenario.run_fixed s ~clients:5 ~warmup:1.0 ~duration:4.0 in
+  (* 5 clients with >= 1s cycle each can at most do ~5 req/s *)
+  Alcotest.(check bool) "throttled by think time" true (r.Scenario.throughput < 6.0)
+
+(* ---------- properties ---------- *)
+
+let prop_sim_conservation =
+  QCheck.Test.make ~count:25
+    ~name:"conservation laws hold on random deployments"
+    QCheck.(pair (int_range 0 10_000) (int_range 3 14))
+    (fun (seed, n) ->
+      let rng = Adept_util.Rng.create seed in
+      let platform =
+        Adept_platform.Generator.uniform_heterogeneous ~bandwidth:1000.0 ~rng ~n
+          ~power_min:100.0 ~power_max:1500.0 ()
+      in
+      let tree =
+        match Adept.Baselines.random ~rng (Adept_platform.Platform.nodes platform) with
+        | Ok t -> t
+        | Error _ -> QCheck.assume_fail ()
+      in
+      let job = Adept_workload.Job.of_dgemm (Adept_workload.Dgemm.make 200) in
+      let s =
+        Scenario.make ~seed ~params ~platform
+          ~client:(Adept_workload.Client.closed_loop job) tree
+      in
+      let r = Scenario.run_fixed s ~clients:6 ~warmup:0.5 ~duration:1.0 in
+      let per_server_total =
+        List.fold_left (fun acc (_, c) -> acc + c) 0 r.Scenario.per_server
+      in
+      let server_ids =
+        List.map Adept_platform.Node.id (Adept_hierarchy.Tree.servers tree)
+      in
+      r.Scenario.completed_total <= r.Scenario.issued_total
+      && per_server_total = r.Scenario.completed_total
+      && List.for_all (fun (id, _) -> List.mem id server_ids) r.Scenario.per_server
+      && r.Scenario.throughput >= 0.0)
+
+let prop_sim_busy_bounded =
+  QCheck.Test.make ~count:25 ~name:"no resource is busy longer than the run"
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let rng = Adept_util.Rng.create seed in
+      let platform =
+        Adept_platform.Generator.uniform_heterogeneous ~bandwidth:1000.0 ~rng ~n:8
+          ~power_min:200.0 ~power_max:1000.0 ()
+      in
+      let tree =
+        match Adept.Baselines.star (Adept_platform.Platform.nodes platform) with
+        | Ok t -> t
+        | Error _ -> QCheck.assume_fail ()
+      in
+      let engine = Engine.create () in
+      let m = Middleware.deploy ~engine ~params ~platform tree in
+      let horizon = 2.0 in
+      let rec loop () =
+        if Engine.now engine < horizon then
+          Middleware.submit m ~wapp:16.0 ~on_scheduled:(fun ~server ->
+              Middleware.request_service m ~server ~wapp:16.0 ~on_done:loop)
+      in
+      for i = 0 to 4 do
+        Engine.schedule_at engine ~time:(0.05 *. float_of_int i) loop
+      done;
+      ignore (Engine.run ~until:horizon engine);
+      (* bookings may extend past the horizon by at most the backlog each
+         port accepted; busy time is bounded by its own free_at *)
+      List.for_all
+        (fun id ->
+          let r = Middleware.resource m id in
+          Resource.busy_seconds r <= Resource.free_at r +. 1e-9)
+        (Middleware.root m :: Middleware.server_ids m))
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "event_queue",
+        [
+          Alcotest.test_case "ordering" `Quick test_queue_ordering;
+          Alcotest.test_case "fifo ties" `Quick test_queue_fifo_ties;
+          Alcotest.test_case "size/empty" `Quick test_queue_size_empty;
+          Alcotest.test_case "nan" `Quick test_queue_nan;
+          Alcotest.test_case "stress vs sort" `Quick test_queue_stress_sorted;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "runs in order" `Quick test_engine_runs_in_order;
+          Alcotest.test_case "horizon" `Quick test_engine_horizon;
+          Alcotest.test_case "event limit" `Quick test_engine_event_limit;
+          Alcotest.test_case "past schedule rejected" `Quick test_engine_past_schedule;
+          Alcotest.test_case "nested scheduling" `Quick test_engine_nested_scheduling;
+          Alcotest.test_case "exhausted advances" `Quick
+            test_engine_exhausted_advances_to_horizon;
+        ] );
+      ( "resource",
+        [
+          Alcotest.test_case "serial booking" `Quick test_resource_serial_booking;
+          Alcotest.test_case "backlog/busy" `Quick test_resource_backlog_busy;
+          Alcotest.test_case "charge" `Quick test_resource_charge;
+          Alcotest.test_case "monotonic now" `Quick test_resource_monotonic_now;
+          Alcotest.test_case "utilization" `Quick test_resource_utilization;
+          Alcotest.test_case "validation" `Quick test_resource_validation;
+        ] );
+      ( "network",
+        [
+          Alcotest.test_case "port to port" `Quick test_network_port_to_port;
+          Alcotest.test_case "latency" `Quick test_network_latency;
+          Alcotest.test_case "lane semantics" `Quick
+            test_network_lane_charges_but_does_not_delay;
+          Alcotest.test_case "send contention" `Quick test_network_queueing_contention;
+          Alcotest.test_case "validation" `Quick test_network_validation;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "records" `Quick test_trace_records;
+          Alcotest.test_case "disabled" `Quick test_trace_disabled;
+          Alcotest.test_case "samples" `Quick test_trace_samples;
+        ] );
+      ( "middleware",
+        [
+          Alcotest.test_case "single request timing" `Quick
+            test_middleware_single_request_timing;
+          Alcotest.test_case "selects stronger server" `Quick
+            test_middleware_selects_stronger_server;
+          Alcotest.test_case "round robin" `Quick test_middleware_round_robin;
+          Alcotest.test_case "two-level flow" `Quick test_middleware_two_level_flow;
+          Alcotest.test_case "database selection" `Quick
+            test_middleware_database_selection;
+          Alcotest.test_case "database requires period" `Quick
+            test_middleware_database_requires_period;
+          Alcotest.test_case "deploy validates" `Quick test_middleware_deploy_validates;
+          Alcotest.test_case "service to agent rejected" `Quick
+            test_middleware_service_to_agent_rejected;
+          Alcotest.test_case "ids" `Quick test_middleware_ids;
+        ] );
+      ( "run_stats",
+        [
+          Alcotest.test_case "accounting" `Quick test_run_stats;
+          Alcotest.test_case "empty window" `Quick test_run_stats_empty_window;
+        ] );
+      ( "scenario",
+        [
+          Alcotest.test_case "matches model" `Quick test_scenario_matches_model;
+          Alcotest.test_case "deterministic" `Quick test_scenario_deterministic;
+          Alcotest.test_case "conservation" `Quick test_scenario_conservation;
+          Alcotest.test_case "series monotone" `Quick
+            test_scenario_series_monotone_until_saturation;
+          Alcotest.test_case "saturation probe" `Quick test_scenario_saturation;
+          Alcotest.test_case "validation" `Quick test_scenario_validation;
+          Alcotest.test_case "think time" `Quick test_scenario_think_time_lowers_load;
+          Alcotest.test_case "open loop tracks rate" `Quick
+            test_scenario_open_loop_tracks_rate;
+          Alcotest.test_case "open loop overload" `Quick
+            test_scenario_open_loop_overload_backlogs;
+          Alcotest.test_case "open loop deterministic" `Quick
+            test_scenario_open_loop_deterministic;
+          Alcotest.test_case "percentiles" `Quick test_scenario_percentiles_ordered;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_sim_conservation; prop_sim_busy_bounded ] );
+    ]

@@ -1,0 +1,373 @@
+(* Unit and property tests for Adept_util. *)
+
+module Rng = Adept_util.Rng
+module Stats = Adept_util.Stats
+module Table = Adept_util.Table
+module Csv = Adept_util.Csv
+module Units = Adept_util.Units
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let check_close ?(eps = 1e-6) name expected got =
+  Alcotest.(check (float (eps *. Float.max 1.0 (Float.abs expected)))) name expected got
+
+(* ---------- Rng ---------- *)
+
+let test_rng_determinism () =
+  let a = Rng.create 123 and b = Rng.create 123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_different_seeds () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  Alcotest.(check bool) "different first output" false (Rng.bits64 a = Rng.bits64 b)
+
+let test_rng_copy_independent () =
+  let a = Rng.create 9 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.bits64 a) (Rng.bits64 b)
+
+let test_rng_split_diverges () =
+  let a = Rng.create 5 in
+  let b = Rng.split a in
+  Alcotest.(check bool) "split stream differs" false (Rng.bits64 a = Rng.bits64 b)
+
+let test_rng_int_bounds () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 17 in
+    Alcotest.(check bool) "0 <= v < 17" true (v >= 0 && v < 17)
+  done
+
+let test_rng_int_invalid () =
+  let rng = Rng.create 1 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_rng_int_in () =
+  let rng = Rng.create 11 in
+  for _ = 1 to 500 do
+    let v = Rng.int_in rng (-3) 4 in
+    Alcotest.(check bool) "-3 <= v <= 4" true (v >= -3 && v <= 4)
+  done
+
+let test_rng_int_covers_range () =
+  let rng = Rng.create 13 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 500 do
+    seen.(Rng.int rng 5) <- true
+  done;
+  Alcotest.(check bool) "all 5 values appear" true (Array.for_all Fun.id seen)
+
+let test_rng_float_bounds () =
+  let rng = Rng.create 21 in
+  for _ = 1 to 1000 do
+    let v = Rng.float rng 2.5 in
+    Alcotest.(check bool) "0 <= v < 2.5" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_rng_float_mean () =
+  let rng = Rng.create 31 in
+  let xs = Array.init 20_000 (fun _ -> Rng.float rng 1.0) in
+  let m = Stats.mean xs in
+  Alcotest.(check bool) "mean near 0.5" true (Float.abs (m -. 0.5) < 0.02)
+
+let test_rng_exponential_mean () =
+  let rng = Rng.create 41 in
+  let xs = Array.init 20_000 (fun _ -> Rng.exponential rng ~mean:3.0) in
+  let m = Stats.mean xs in
+  Alcotest.(check bool) "mean near 3" true (Float.abs (m -. 3.0) < 0.15);
+  Alcotest.(check bool) "all positive" true (Array.for_all (fun x -> x > 0.0) xs)
+
+let test_rng_normal_moments () =
+  let rng = Rng.create 51 in
+  let xs = Array.init 20_000 (fun _ -> Rng.normal rng ~mean:10.0 ~stddev:2.0) in
+  Alcotest.(check bool) "mean near 10" true (Float.abs (Stats.mean xs -. 10.0) < 0.1);
+  Alcotest.(check bool) "stddev near 2" true (Float.abs (Stats.stddev xs -. 2.0) < 0.1)
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 61 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort Int.compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 Fun.id) sorted
+
+let test_rng_pick_weighted () =
+  let rng = Rng.create 71 in
+  let counts = Hashtbl.create 3 in
+  for _ = 1 to 10_000 do
+    let v = Rng.pick_weighted rng [| ("a", 1.0); ("b", 3.0) |] in
+    Hashtbl.replace counts v (1 + Option.value ~default:0 (Hashtbl.find_opt counts v))
+  done;
+  let b = float_of_int (Hashtbl.find counts "b") in
+  Alcotest.(check bool) "b drawn ~75%" true (b /. 10_000.0 > 0.7 && b /. 10_000.0 < 0.8)
+
+let test_rng_pick_weighted_errors () =
+  let rng = Rng.create 1 in
+  Alcotest.check_raises "negative weight"
+    (Invalid_argument "Rng.pick_weighted: negative weight") (fun () ->
+      ignore (Rng.pick_weighted rng [| ("a", -1.0); ("b", 2.0) |]));
+  Alcotest.check_raises "zero weights"
+    (Invalid_argument "Rng.pick_weighted: weights sum to zero") (fun () ->
+      ignore (Rng.pick_weighted rng [| ("a", 0.0) |]))
+
+(* ---------- Stats ---------- *)
+
+let test_stats_mean () = check_float "mean" 2.5 (Stats.mean [| 1.0; 2.0; 3.0; 4.0 |])
+
+let test_stats_singleton () =
+  check_float "variance of singleton" 0.0 (Stats.variance [| 42.0 |])
+
+let test_stats_variance () =
+  (* sample variance of 2,4,4,4,5,5,7,9 is 32/7 *)
+  check_close "variance" (32.0 /. 7.0)
+    (Stats.variance [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |])
+
+let test_stats_min_max () =
+  let xs = [| 3.0; -1.0; 7.5; 0.0 |] in
+  check_float "min" (-1.0) (Stats.minimum xs);
+  check_float "max" 7.5 (Stats.maximum xs)
+
+let test_stats_empty () =
+  Alcotest.check_raises "empty mean" (Invalid_argument "Stats.mean: empty array")
+    (fun () -> ignore (Stats.mean [||]))
+
+let test_stats_percentile () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  check_float "median" 3.0 (Stats.median xs);
+  check_float "p0" 1.0 (Stats.percentile xs 0.0);
+  check_float "p100" 5.0 (Stats.percentile xs 100.0);
+  check_float "p25" 2.0 (Stats.percentile xs 25.0)
+
+let test_stats_percentile_interpolates () =
+  check_float "p50 of two" 1.5 (Stats.percentile [| 1.0; 2.0 |] 50.0)
+
+let test_stats_regression_exact () =
+  let samples = Array.init 10 (fun i ->
+      let x = float_of_int i in
+      (x, (3.0 *. x) +. 2.0))
+  in
+  let fit = Stats.linear_regression samples in
+  check_close "slope" 3.0 fit.Stats.slope;
+  check_close "intercept" 2.0 fit.Stats.intercept;
+  check_close "r" 1.0 fit.Stats.r
+
+let test_stats_regression_negative_r () =
+  let samples = Array.init 10 (fun i ->
+      let x = float_of_int i in
+      (x, 5.0 -. (2.0 *. x)))
+  in
+  let fit = Stats.linear_regression samples in
+  check_close "r = -1" (-1.0) fit.Stats.r
+
+let test_stats_regression_errors () =
+  Alcotest.check_raises "one sample"
+    (Invalid_argument "Stats.linear_regression: need at least two samples") (fun () ->
+      ignore (Stats.linear_regression [| (1.0, 1.0) |]));
+  Alcotest.check_raises "zero x variance"
+    (Invalid_argument "Stats.linear_regression: zero x variance") (fun () ->
+      ignore (Stats.linear_regression [| (1.0, 1.0); (1.0, 2.0) |]))
+
+let test_stats_kahan_sum () =
+  (* naive summation loses the small terms against the big one *)
+  let xs = Array.make 10_001 1e-8 in
+  xs.(0) <- 1e8;
+  check_close ~eps:1e-12 "compensated" (1e8 +. 1e-4) (Stats.sum xs)
+
+let test_stats_summary () =
+  let s = Stats.summarize [| 1.0; 2.0; 3.0 |] in
+  Alcotest.(check int) "n" 3 s.Stats.n;
+  check_float "mean" 2.0 s.Stats.smean
+
+let test_stats_ci () =
+  let m, half = Stats.confidence_interval_95 (Array.make 100 5.0) in
+  check_float "mean" 5.0 m;
+  check_float "zero width for constant data" 0.0 half
+
+(* ---------- Table ---------- *)
+
+let test_table_render () =
+  let t = Table.create [ "name"; "value" ] in
+  let t = Table.add_row t [ "x"; "1" ] in
+  let rendered = Table.render t in
+  Alcotest.(check bool) "contains header" true
+    (Astring.String.is_infix ~affix:"name" rendered)
+
+let test_table_arity () =
+  let t = Table.create [ "a"; "b" ] in
+  Alcotest.check_raises "arity" (Invalid_argument "Table.add_row: arity mismatch")
+    (fun () -> ignore (Table.add_row t [ "only-one" ]))
+
+let test_table_alignment_width () =
+  let t = Table.create [ "h" ] in
+  let t = Table.add_row t [ "wide-cell-content" ] in
+  let lines = String.split_on_char '\n' (Table.render t) in
+  let widths = List.filter_map (fun l -> if l = "" then None else Some (String.length l)) lines in
+  match widths with
+  | [] -> Alcotest.fail "no lines"
+  | w :: rest -> List.iter (fun w' -> Alcotest.(check int) "constant width" w w') rest
+
+let test_table_cells () =
+  Alcotest.(check string) "float" "3.14" (Table.cell_float 3.14159);
+  Alcotest.(check string) "percent" "89.0%" (Table.cell_percent 0.89);
+  Alcotest.(check bool) "tiny goes scientific" true
+    (Astring.String.is_infix ~affix:"e-" (Table.cell_float 1e-5))
+
+let test_table_separator () =
+  let t = Table.create [ "a" ] in
+  let t = Table.add_row t [ "1" ] in
+  let t = Table.add_separator t in
+  let t = Table.add_row t [ "2" ] in
+  let rendered = Table.render t in
+  let rules =
+    List.length
+      (List.filter
+         (fun l -> String.length l > 0 && l.[0] = '+')
+         (String.split_on_char '\n' rendered))
+  in
+  Alcotest.(check int) "four rules" 4 rules
+
+(* ---------- Csv ---------- *)
+
+let test_csv_basic () =
+  let c = Csv.create [ "a"; "b" ] in
+  let c = Csv.add_row c [ "1"; "2" ] in
+  Alcotest.(check string) "render" "a,b\n1,2\n" (Csv.to_string c)
+
+let test_csv_quoting () =
+  let c = Csv.create [ "x" ] in
+  let c = Csv.add_row c [ "has,comma" ] in
+  let c = Csv.add_row c [ "has\"quote" ] in
+  let text = Csv.to_string c in
+  Alcotest.(check bool) "comma quoted" true
+    (Astring.String.is_infix ~affix:"\"has,comma\"" text);
+  Alcotest.(check bool) "quote doubled" true
+    (Astring.String.is_infix ~affix:"\"has\"\"quote\"" text)
+
+let test_csv_floats_roundtrip () =
+  let v = 0.1 +. 0.2 in
+  let c = Csv.add_floats (Csv.create [ "v" ]) [ v ] in
+  let line = List.nth (String.split_on_char '\n' (Csv.to_string c)) 1 in
+  check_float "17g round-trips" v (float_of_string line)
+
+let test_csv_arity () =
+  Alcotest.check_raises "arity" (Invalid_argument "Csv.add_row: arity mismatch")
+    (fun () -> ignore (Csv.add_row (Csv.create [ "a" ]) [ "1"; "2" ]))
+
+(* ---------- Units ---------- *)
+
+let test_units_conversions () =
+  check_float "mflop" 1.0 (Units.mflop_of_flop 1e6);
+  check_float "roundtrip" 3.5 (Units.mflop_of_flop (Units.flop_of_mflop 3.5));
+  check_float "mbit of 125000 bytes" 1.0 (Units.mbit_of_byte 125_000.0);
+  check_float "byte roundtrip" 2.0 (Units.mbit_of_byte (Units.byte_of_mbit 2.0))
+
+let test_units_times () =
+  check_float "compute time" 2.0 (Units.seconds ~w:1460.0 ~power:730.0);
+  check_float "transfer time" 0.05 (Units.transfer_seconds ~size:5.0 ~bandwidth:100.0)
+
+let test_units_errors () =
+  Alcotest.check_raises "zero power"
+    (Invalid_argument "Units.seconds: power must be positive") (fun () ->
+      ignore (Units.seconds ~w:1.0 ~power:0.0))
+
+(* ---------- qcheck properties ---------- *)
+
+let prop_rng_int_in_range =
+  QCheck.Test.make ~count:500 ~name:"Rng.int always within bound"
+    QCheck.(pair small_int (int_bound 1000))
+    (fun (seed, bound) ->
+      let bound = bound + 1 in
+      let rng = Rng.create seed in
+      let v = Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let prop_percentile_between_min_max =
+  QCheck.Test.make ~count:300 ~name:"percentile within [min, max]"
+    QCheck.(pair (list_of_size Gen.(1 -- 50) (float_bound_exclusive 1000.0)) (float_bound_inclusive 100.0))
+    (fun (xs, p) ->
+      let xs = Array.of_list xs in
+      let v = Stats.percentile xs p in
+      v >= Stats.minimum xs -. 1e-9 && v <= Stats.maximum xs +. 1e-9)
+
+let prop_regression_recovers_line =
+  QCheck.Test.make ~count:200 ~name:"regression recovers synthetic line"
+    QCheck.(triple (float_range (-5.0) 5.0) (float_range (-10.0) 10.0) small_int)
+    (fun (slope, intercept, n) ->
+      let n = max 3 (n mod 30) in
+      let samples =
+        Array.init n (fun i ->
+            let x = float_of_int i in
+            (x, (slope *. x) +. intercept))
+      in
+      let fit = Stats.linear_regression samples in
+      Float.abs (fit.Stats.slope -. slope) < 1e-6
+      && Float.abs (fit.Stats.intercept -. intercept) < 1e-6)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_rng_int_in_range; prop_percentile_between_min_max; prop_regression_recovers_line ]
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "different seeds" `Quick test_rng_different_seeds;
+          Alcotest.test_case "copy is independent" `Quick test_rng_copy_independent;
+          Alcotest.test_case "split diverges" `Quick test_rng_split_diverges;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int invalid bound" `Quick test_rng_int_invalid;
+          Alcotest.test_case "int_in bounds" `Quick test_rng_int_in;
+          Alcotest.test_case "int covers range" `Quick test_rng_int_covers_range;
+          Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+          Alcotest.test_case "float mean" `Quick test_rng_float_mean;
+          Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+          Alcotest.test_case "normal moments" `Quick test_rng_normal_moments;
+          Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutation;
+          Alcotest.test_case "pick_weighted proportions" `Quick test_rng_pick_weighted;
+          Alcotest.test_case "pick_weighted errors" `Quick test_rng_pick_weighted_errors;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean" `Quick test_stats_mean;
+          Alcotest.test_case "singleton variance" `Quick test_stats_singleton;
+          Alcotest.test_case "variance" `Quick test_stats_variance;
+          Alcotest.test_case "min/max" `Quick test_stats_min_max;
+          Alcotest.test_case "empty raises" `Quick test_stats_empty;
+          Alcotest.test_case "percentiles" `Quick test_stats_percentile;
+          Alcotest.test_case "percentile interpolation" `Quick test_stats_percentile_interpolates;
+          Alcotest.test_case "regression exact" `Quick test_stats_regression_exact;
+          Alcotest.test_case "regression r=-1" `Quick test_stats_regression_negative_r;
+          Alcotest.test_case "regression errors" `Quick test_stats_regression_errors;
+          Alcotest.test_case "kahan sum" `Quick test_stats_kahan_sum;
+          Alcotest.test_case "summary" `Quick test_stats_summary;
+          Alcotest.test_case "confidence interval" `Quick test_stats_ci;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "arity" `Quick test_table_arity;
+          Alcotest.test_case "aligned widths" `Quick test_table_alignment_width;
+          Alcotest.test_case "cell formatting" `Quick test_table_cells;
+          Alcotest.test_case "separator" `Quick test_table_separator;
+        ] );
+      ( "csv",
+        [
+          Alcotest.test_case "basic" `Quick test_csv_basic;
+          Alcotest.test_case "quoting" `Quick test_csv_quoting;
+          Alcotest.test_case "float roundtrip" `Quick test_csv_floats_roundtrip;
+          Alcotest.test_case "arity" `Quick test_csv_arity;
+        ] );
+      ( "units",
+        [
+          Alcotest.test_case "conversions" `Quick test_units_conversions;
+          Alcotest.test_case "times" `Quick test_units_times;
+          Alcotest.test_case "errors" `Quick test_units_errors;
+        ] );
+      ("properties", qcheck_tests);
+    ]

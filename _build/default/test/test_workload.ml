@@ -1,0 +1,139 @@
+(* Tests for Adept_workload: DGEMM model, jobs, mixes, clients. *)
+
+module Dgemm = Adept_workload.Dgemm
+module Job = Adept_workload.Job
+module Mix = Adept_workload.Mix
+module Client = Adept_workload.Client
+module Rng = Adept_util.Rng
+
+let check_close ?(eps = 1e-9) name expected got =
+  Alcotest.(check (float (eps *. Float.max 1.0 (Float.abs expected)))) name expected got
+
+let test_dgemm_flops () =
+  let d = Dgemm.make 10 in
+  check_close "2n^3 + 2n^2" 2200.0 (Dgemm.flops d);
+  check_close "mflops" 2.2e-3 (Dgemm.mflops d)
+
+let test_dgemm_large () =
+  check_close "dgemm 1000" (2e9 +. 2e6) (Dgemm.flops (Dgemm.make 1000))
+
+let test_dgemm_validation () =
+  Alcotest.check_raises "zero order" (Invalid_argument "Dgemm.make: order must be positive")
+    (fun () -> ignore (Dgemm.make 0))
+
+let test_dgemm_paper_sizes () =
+  Alcotest.(check (list int)) "sizes" [ 10; 100; 200; 310; 1000 ]
+    (List.map Dgemm.order Dgemm.sizes_used_in_paper)
+
+let test_job_of_dgemm () =
+  let j = Job.of_dgemm (Dgemm.make 310) in
+  Alcotest.(check string) "name" "dgemm-310" (Job.app j);
+  check_close "wapp" (Dgemm.mflops (Dgemm.make 310)) (Job.wapp j)
+
+let test_job_validation () =
+  Alcotest.(check bool) "zero wapp" true
+    (match Job.make ~app:"x" ~wapp:0.0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "empty name" true
+    (match Job.make ~app:"" ~wapp:1.0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_mix_normalizes () =
+  let a = Job.make ~app:"a" ~wapp:1.0 and b = Job.make ~app:"b" ~wapp:3.0 in
+  let m = Mix.weighted [ (a, 2.0); (b, 6.0) ] in
+  let weights = List.map snd (Mix.jobs m) in
+  check_close "sums to 1" 1.0 (List.fold_left ( +. ) 0.0 weights);
+  check_close "first weight" 0.25 (List.nth weights 0)
+
+let test_mix_expected_wapp () =
+  let a = Job.make ~app:"a" ~wapp:1.0 and b = Job.make ~app:"b" ~wapp:3.0 in
+  let m = Mix.weighted [ (a, 1.0); (b, 1.0) ] in
+  check_close "arithmetic" 2.0 (Mix.expected_wapp m);
+  (* harmonic: 1 / (0.5/1 + 0.5/3) = 1.5 *)
+  check_close "harmonic" 1.5 (Mix.harmonic_expected_wapp m)
+
+let test_mix_single () =
+  let j = Job.make ~app:"x" ~wapp:5.0 in
+  let m = Mix.single j in
+  check_close "expected = wapp" 5.0 (Mix.expected_wapp m);
+  check_close "harmonic = wapp" 5.0 (Mix.harmonic_expected_wapp m)
+
+let test_mix_draw_distribution () =
+  let a = Job.make ~app:"a" ~wapp:1.0 and b = Job.make ~app:"b" ~wapp:2.0 in
+  let m = Mix.weighted [ (a, 1.0); (b, 9.0) ] in
+  let rng = Rng.create 17 in
+  let b_count = ref 0 in
+  for _ = 1 to 10_000 do
+    if Job.app (Mix.draw m rng) = "b" then incr b_count
+  done;
+  let frac = float_of_int !b_count /. 10_000.0 in
+  Alcotest.(check bool) "b around 90%" true (frac > 0.87 && frac < 0.93)
+
+let test_mix_validation () =
+  Alcotest.(check bool) "empty mix" true
+    (match Mix.weighted [] with exception Invalid_argument _ -> true | _ -> false);
+  let j = Job.make ~app:"x" ~wapp:1.0 in
+  Alcotest.(check bool) "zero weight" true
+    (match Mix.weighted [ (j, 0.0) ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_client () =
+  let j = Job.make ~app:"x" ~wapp:1.0 in
+  let c = Client.closed_loop j in
+  check_close "zero think time" 0.0 (Client.think_time c);
+  let c2 = Client.make ~think_time:0.5 (Mix.single j) in
+  check_close "think time" 0.5 (Client.think_time c2);
+  Alcotest.(check bool) "negative think time" true
+    (match Client.make ~think_time:(-1.0) (Mix.single j) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let prop_dgemm_monotone =
+  QCheck.Test.make ~count:200 ~name:"dgemm flops strictly increase with order"
+    QCheck.(int_range 1 2000)
+    (fun n -> Dgemm.flops (Dgemm.make (n + 1)) > Dgemm.flops (Dgemm.make n))
+
+let prop_mix_harmonic_le_arithmetic =
+  QCheck.Test.make ~count:200 ~name:"harmonic mean wapp <= arithmetic mean wapp"
+    QCheck.(list_of_size Gen.(1 -- 8) (pair (float_range 0.1 100.0) (float_range 0.1 10.0)))
+    (fun entries ->
+      let jobs =
+        List.mapi
+          (fun i (wapp, weight) ->
+            (Job.make ~app:(Printf.sprintf "j%d" i) ~wapp, weight))
+          entries
+      in
+      let m = Mix.weighted jobs in
+      Mix.harmonic_expected_wapp m <= Mix.expected_wapp m +. 1e-9)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "dgemm",
+        [
+          Alcotest.test_case "flops" `Quick test_dgemm_flops;
+          Alcotest.test_case "large" `Quick test_dgemm_large;
+          Alcotest.test_case "validation" `Quick test_dgemm_validation;
+          Alcotest.test_case "paper sizes" `Quick test_dgemm_paper_sizes;
+        ] );
+      ( "job",
+        [
+          Alcotest.test_case "of_dgemm" `Quick test_job_of_dgemm;
+          Alcotest.test_case "validation" `Quick test_job_validation;
+        ] );
+      ( "mix",
+        [
+          Alcotest.test_case "normalizes" `Quick test_mix_normalizes;
+          Alcotest.test_case "expected wapp" `Quick test_mix_expected_wapp;
+          Alcotest.test_case "single" `Quick test_mix_single;
+          Alcotest.test_case "draw distribution" `Quick test_mix_draw_distribution;
+          Alcotest.test_case "validation" `Quick test_mix_validation;
+        ] );
+      ("client", [ Alcotest.test_case "construction" `Quick test_client ]);
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_dgemm_monotone; prop_mix_harmonic_le_arithmetic ] );
+    ]
