@@ -133,6 +133,28 @@ let bench_plan_2000 =
            (Adept.Heuristic.plan params ~platform ~wapp:(dgemm 310)
               ~demand:Demand.unbounded)))
 
+let bench_fault_sweep =
+  (* fault-sweep kernel: one simulated point with an active crash/recovery
+     schedule — times the overhead of the supervised (timeout/retry)
+     request path against bench_fig4_5's fault-free twin. *)
+  let platform = lyon 3 in
+  let nodes = Adept_platform.Platform.nodes platform in
+  let tree = Adept_hierarchy.Tree.star (List.hd nodes) (List.tl nodes) in
+  let job = Adept_workload.Job.of_dgemm (Adept_workload.Dgemm.make 200) in
+  let faults =
+    Adept_sim.Faults.make ()
+    |> Adept_sim.Faults.seeded_crashes
+         ~rng:(Adept_util.Rng.create 11)
+         ~nodes:[ 1; 2 ] ~rate:0.5 ~mttr:0.3 ~horizon:1.5
+  in
+  let scenario =
+    Adept_sim.Scenario.make ~faults ~params ~platform
+      ~client:(Adept_workload.Client.closed_loop job) tree
+  in
+  Bechamel.Test.make ~name:"fault-sweep/simulate-point"
+    (Bechamel.Staged.stage (fun () ->
+         ignore (Adept_sim.Scenario.run_fixed scenario ~clients:10 ~warmup:0.5 ~duration:1.0)))
+
 let bench_event_queue =
   Bechamel.Test.make ~name:"substrate/event-queue-10k"
     (Bechamel.Staged.stage (fun () ->
@@ -169,7 +191,8 @@ let run_micro () =
     Test.make_grouped ~name:"adept"
       [
         bench_table3; bench_fig2_3; bench_fig4_5; bench_table4; bench_fig6;
-        bench_fig7; bench_plan_2000; bench_event_queue; bench_xml;
+        bench_fig7; bench_fault_sweep; bench_plan_2000; bench_event_queue;
+        bench_xml;
       ]
   in
   let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 1.5) ~kde:(Some 1000) () in

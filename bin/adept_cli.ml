@@ -195,7 +195,10 @@ let eval_cmd =
 
 let simulate_cmd =
   let run file n power bandwidth hetero seed dgemm demand strategy clients warmup
-      duration =
+      duration crash_rate mttr drop fault_seed =
+    if crash_rate < 0.0 then exit_err "--crash-rate must be >= 0";
+    if not (drop >= 0.0 && drop < 1.0) then exit_err "--drop must be in [0, 1)";
+    if mttr <= 0.0 then exit_err "--mttr must be > 0";
     let platform = build_platform file n power bandwidth hetero seed in
     let wapp = Adept_workload.Dgemm.(mflops (make dgemm)) in
     let strategy =
@@ -210,8 +213,35 @@ let simulate_cmd =
     | Ok plan ->
         Format.printf "%a@." Adept.Planner.pp_plan plan;
         let job = Adept_workload.Job.of_dgemm (Adept_workload.Dgemm.make dgemm) in
+        let faults =
+          if crash_rate <= 0.0 && drop <= 0.0 then Adept_sim.Faults.none
+          else begin
+            let tree = plan.Adept.Planner.tree in
+            let root = Adept_platform.Node.id (Adept_hierarchy.Tree.root_node tree) in
+            (* everything but the root agent is fair game for crashes *)
+            let crashable =
+              List.filter_map
+                (fun node ->
+                  let id = Adept_platform.Node.id node in
+                  if id = root then None else Some id)
+                (Adept_hierarchy.Tree.nodes tree)
+            in
+            let f = Adept_sim.Faults.make () in
+            let f =
+              if crash_rate > 0.0 then
+                Adept_sim.Faults.seeded_crashes
+                  ~rng:(Adept_util.Rng.create fault_seed)
+                  ~nodes:crashable ~rate:crash_rate ~mttr
+                  ~horizon:(warmup +. duration) f
+              else f
+            in
+            if drop > 0.0 then
+              Adept_sim.Faults.with_message_loss ~probability:drop ~seed:fault_seed f
+            else f
+          end
+        in
         let scenario =
-          Adept_sim.Scenario.make ~seed ~params ~platform
+          Adept_sim.Scenario.make ~faults ~seed ~params ~platform
             ~client:(Adept_workload.Client.closed_loop job)
             plan.Adept.Planner.tree
         in
@@ -221,7 +251,23 @@ let simulate_cmd =
            response %.4fs\n"
           clients r.Adept_sim.Scenario.throughput plan.Adept.Planner.predicted_rho
           r.Adept_sim.Scenario.completed_total
-          (Option.value ~default:Float.nan r.Adept_sim.Scenario.mean_response)
+          (Option.value ~default:Float.nan r.Adept_sim.Scenario.mean_response);
+        if not (Adept_sim.Faults.is_none faults) then begin
+          let f = r.Adept_sim.Scenario.faults in
+          Printf.printf
+            "faults: %d crash(es), %d recovery(ies), %d message(s) lost, %d \
+             timeout(s), %d request(s) abandoned, %d prune(s), %d rejoin(s)\n"
+            f.Adept_sim.Middleware.crashes f.Adept_sim.Middleware.recoveries
+            f.Adept_sim.Middleware.messages_lost f.Adept_sim.Middleware.timeouts
+            f.Adept_sim.Middleware.abandoned f.Adept_sim.Middleware.prunes
+            f.Adept_sim.Middleware.rejoins;
+          match f.Adept_sim.Middleware.recovery_latencies with
+          | [] -> ()
+          | ls ->
+              Printf.printf "mean recovery latency: %.3fs over %d prune(s)\n"
+                (List.fold_left ( +. ) 0.0 ls /. float_of_int (List.length ls))
+                (List.length ls)
+        end
   in
   let clients =
     Arg.(value & opt int 100 & info [ "clients" ] ~docv:"N"
@@ -235,11 +281,60 @@ let simulate_cmd =
     Arg.(value & opt float 4.0 & info [ "duration" ] ~docv:"SECONDS"
            ~doc:"Simulated measurement window.")
   in
+  let crash_rate =
+    Arg.(value & opt float 0.0 & info [ "crash-rate" ] ~docv:"RATE"
+           ~doc:"Fault injection: crashes per non-root node per simulated second \
+                 (Poisson; 0 disables).")
+  in
+  let mttr =
+    Arg.(value & opt float 2.0 & info [ "mttr" ] ~docv:"SECONDS"
+           ~doc:"Fault injection: mean time to repair after a crash.")
+  in
+  let drop =
+    Arg.(value & opt float 0.0 & info [ "drop" ] ~docv:"PROB"
+           ~doc:"Fault injection: per-message loss probability (0 disables).")
+  in
+  let fault_seed =
+    Arg.(value & opt int 7 & info [ "fault-seed" ] ~docv:"SEED"
+           ~doc:"Seed for the crash schedule and message-loss stream.")
+  in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Plan and measure a deployment in the simulator")
     Term.(const run $ platform_file $ nodes_arg $ power_arg $ bandwidth_arg
           $ hetero_arg $ seed_arg $ dgemm_arg $ demand_arg $ strategy_arg
-          $ clients $ warmup $ duration)
+          $ clients $ warmup $ duration $ crash_rate $ mttr $ drop $ fault_seed)
+
+(* ---------- replan ---------- *)
+
+let replan_cmd =
+  let run file n power bandwidth hetero seed dgemm demand strategy failed =
+    if failed = [] then exit_err "replan: pass at least one failed node id";
+    let platform = build_platform file n power bandwidth hetero seed in
+    let wapp = Adept_workload.Dgemm.(mflops (make dgemm)) in
+    let strategy =
+      match Adept.Planner.strategy_of_string strategy with
+      | Ok s -> s
+      | Error e -> exit_err e
+    in
+    match
+      Adept.Planner.replan strategy params ~platform ~wapp
+        ~demand:(demand_of demand) ~failed ()
+    with
+    | Error e -> exit_err e
+    | Ok r ->
+        Format.printf "%a@." Adept.Planner.pp_replan r;
+        Format.printf "%a@." Adept_hierarchy.Tree.pp_compact
+          r.Adept.Planner.replanned.Adept.Planner.tree
+  in
+  let failed =
+    Arg.(value & pos_all int [] & info [] ~docv:"NODE_ID"
+           ~doc:"Ids of the failed nodes to plan around.")
+  in
+  Cmd.v
+    (Cmd.info "replan"
+       ~doc:"Rebuild a deployment after node failures and report the throughput hit")
+    Term.(const run $ platform_file $ nodes_arg $ power_arg $ bandwidth_arg
+          $ hetero_arg $ seed_arg $ dgemm_arg $ demand_arg $ strategy_arg $ failed)
 
 (* ---------- compare ---------- *)
 
@@ -481,8 +576,8 @@ let main =
   Cmd.group
     (Cmd.info "adept" ~version:"1.0.0" ~doc)
     [
-      platform_cmd; plan_cmd; eval_cmd; simulate_cmd; compare_cmd; improve_cmd;
-      latency_cmd; experiment_cmd; bench_node_cmd;
+      platform_cmd; plan_cmd; eval_cmd; simulate_cmd; replan_cmd; compare_cmd;
+      improve_cmd; latency_cmd; experiment_cmd; bench_node_cmd;
     ]
 
 let () = exit (Cmd.eval main)

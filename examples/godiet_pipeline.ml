@@ -60,11 +60,14 @@ let () =
   let completed = ref 0 in
   let rec client_loop () =
     if Adept_sim.Engine.now engine < horizon then
-      Adept_sim.Middleware.submit middleware ~wapp ~on_scheduled:(fun ~server ->
+      Adept_sim.Middleware.submit middleware ~wapp
+        ~on_scheduled:(fun ~server ->
           Adept_sim.Middleware.request_service middleware ~server ~wapp
             ~on_done:(fun () ->
               if Adept_sim.Engine.now engine >= measure_from then incr completed;
-              client_loop ()))
+              client_loop ())
+            ())
+        ()
   in
   for i = 0 to 59 do
     Adept_sim.Engine.schedule_at engine

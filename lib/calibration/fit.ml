@@ -47,9 +47,12 @@ let star_reply_samples ~params ~platform ~degrees ~requests ~wapp =
          the previous one fully completed. *)
       let rec serial remaining =
         if remaining > 0 then
-          Adept_sim.Middleware.submit middleware ~wapp ~on_scheduled:(fun ~server ->
+          Adept_sim.Middleware.submit middleware ~wapp
+            ~on_scheduled:(fun ~server ->
               Adept_sim.Middleware.request_service middleware ~server ~wapp
-                ~on_done:(fun () -> serial (remaining - 1)))
+                ~on_done:(fun () -> serial (remaining - 1))
+                ())
+            ()
       in
       serial requests;
       ignore (Adept_sim.Engine.run engine);

@@ -36,9 +36,12 @@ let run ?(requests = 100) ?(fit_degrees = [ 1; 2; 3; 4; 5; 6; 7; 8 ]) ~reference
     in
     let rec serial remaining =
       if remaining > 0 then
-        Adept_sim.Middleware.submit middleware ~wapp ~on_scheduled:(fun ~server ->
+        Adept_sim.Middleware.submit middleware ~wapp
+          ~on_scheduled:(fun ~server ->
             Adept_sim.Middleware.request_service middleware ~server ~wapp
-              ~on_done:(fun () -> serial (remaining - 1)))
+              ~on_done:(fun () -> serial (remaining - 1))
+              ())
+          ()
     in
     serial requests;
     ignore (Adept_sim.Engine.run engine);

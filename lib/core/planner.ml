@@ -101,6 +101,109 @@ let run strategy params ~platform ~wapp ~demand =
       nodes_available = Platform.size platform;
     }
 
+type replan_result = {
+  replanned : plan;
+  failed : Node.id list;
+  survivors : int;
+  rho_before : float;
+  rho_after : float;
+  rho_drop : float;
+}
+
+(* Renumber the surviving nodes into a dense 0..n-1 sub-platform, keeping
+   names, powers and cluster labels.  The original link structure carries
+   over unchanged because bandwidths are keyed on cluster labels, not node
+   ids. *)
+let surviving_platform platform ~failed =
+  let is_failed = Array.make (Platform.size platform) false in
+  List.iter (fun id -> is_failed.(id) <- true) failed;
+  let members =
+    List.filter (fun n -> not is_failed.(Node.id n)) (Platform.nodes platform)
+  in
+  let mapping = Array.of_list members in
+  let renumbered =
+    List.mapi
+      (fun i n ->
+        Node.make ~id:i ~name:(Node.name n) ~power:(Node.power n)
+          ~cluster:(Node.cluster n) ())
+      members
+  in
+  (Platform.create ~link:(Platform.link platform) renumbered, mapping)
+
+let rec retranslate mapping = function
+  | Tree.Server n -> Tree.server mapping.(Node.id n)
+  | Tree.Agent (n, children) ->
+      Tree.agent mapping.(Node.id n) (List.map (retranslate mapping) children)
+
+let replan strategy params ~platform ~wapp ~demand ~failed ?reference () =
+  let n = Platform.size platform in
+  let* () = if failed = [] then Error "replan: no failed nodes given" else Ok () in
+  let* () =
+    match List.find_opt (fun id -> id < 0 || id >= n) failed with
+    | Some id -> Error (Printf.sprintf "replan: failed node %d is not on the platform" id)
+    | None -> Ok ()
+  in
+  let failed = List.sort_uniq Int.compare failed in
+  let* rho_before =
+    match reference with
+    | Some tree -> (
+        match Validate.check ~platform tree with
+        | Ok () -> Ok (Evaluate.rho_hetero params ~platform ~wapp tree)
+        | Error errs ->
+            Error
+              (Printf.sprintf "replan: invalid reference hierarchy: %s"
+                 (String.concat "; " (List.map Validate.error_to_string errs))))
+    | None ->
+        Result.map
+          (fun p -> p.predicted_rho)
+          (run strategy params ~platform ~wapp ~demand)
+  in
+  let sub, mapping = surviving_platform platform ~failed in
+  let* () =
+    if Platform.size sub < 2 then
+      Error
+        (Printf.sprintf "replan: only %d node(s) survive — need an agent and a server"
+           (Platform.size sub))
+    else Ok ()
+  in
+  let* sub_plan = run strategy params ~platform:sub ~wapp ~demand in
+  let tree = retranslate mapping sub_plan.tree in
+  let* () =
+    match Validate.check ~platform tree with
+    | Ok () -> Ok ()
+    | Error errs ->
+        Error
+          (Printf.sprintf "replan: retranslated hierarchy invalid: %s"
+             (String.concat "; " (List.map Validate.error_to_string errs)))
+  in
+  let rho_after = Evaluate.rho_hetero params ~platform ~wapp tree in
+  Ok
+    {
+      replanned =
+        {
+          strategy;
+          tree;
+          predicted_rho = rho_after;
+          demand_met = Demand.is_met demand rho_after;
+          nodes_used = Tree.size tree;
+          nodes_available = Platform.size sub;
+        };
+      failed;
+      survivors = Platform.size sub;
+      rho_before;
+      rho_after;
+      rho_drop =
+        (if rho_before > 0.0 then Float.max 0.0 (1.0 -. (rho_after /. rho_before))
+         else 0.0);
+    }
+
+let pp_replan ppf r =
+  Format.fprintf ppf
+    "%d node(s) down, %d survive: rho %.2f -> %.2f req/s (%.1f%% drop), %s"
+    (List.length r.failed) r.survivors r.rho_before r.rho_after
+    (100.0 *. r.rho_drop)
+    (Metrics.describe r.replanned.tree)
+
 let compare_strategies params ~platform ~wapp ~demand strategies =
   List.map (fun s -> (s, run s params ~platform ~wapp ~demand)) strategies
 

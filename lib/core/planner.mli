@@ -50,6 +50,39 @@ val run :
     (strategies whose algorithm needs a single bandwidth — the heuristic,
     the degree search, [Improved] — still error there). *)
 
+type replan_result = {
+  replanned : plan;  (** New plan over the survivors, on original node ids. *)
+  failed : Node.id list;  (** Sorted, deduplicated. *)
+  survivors : int;
+  rho_before : float;
+      (** Predicted throughput before the failures: the [?reference]
+          hierarchy's, or a fresh full-platform plan's. *)
+  rho_after : float;  (** The replanned hierarchy's predicted throughput. *)
+  rho_drop : float;
+      (** Relative throughput hit, [1 - after/before] clamped to [>= 0]. *)
+}
+
+val replan :
+  strategy ->
+  Adept_model.Params.t ->
+  platform:Platform.t ->
+  wapp:float ->
+  demand:Adept_model.Demand.t ->
+  failed:Node.id list ->
+  ?reference:Tree.t ->
+  unit ->
+  (replan_result, string) Stdlib.result
+(** Rebuild the hierarchy after [failed] nodes crash: plan with [strategy]
+    on the surviving sub-platform (same names, powers, clusters and link
+    structure, node ids renumbered internally and mapped back), validate
+    on the original platform, and report the predicted throughput hit
+    against [?reference] (default: what [strategy] achieves with every
+    node up).  Errors if [failed] is empty, a failed id is off-platform,
+    fewer than two nodes survive, or the strategy cannot plan the
+    remnant. *)
+
+val pp_replan : Format.formatter -> replan_result -> unit
+
 val compare_strategies :
   Adept_model.Params.t ->
   platform:Platform.t ->

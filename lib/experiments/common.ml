@@ -49,14 +49,14 @@ let orsay_bandwidth = 1000.0
 
 let params = Adept_model.Params.diet_lyon
 
-let star_scenario ~dgemm ~servers ~seed =
+let star_scenario ?faults ~dgemm ~servers ~seed () =
   let platform = Adept_platform.Generator.grid5000_lyon ~n:(servers + 1) () in
   let nodes = Adept_platform.Platform.nodes platform in
   let tree =
     Adept_hierarchy.Tree.star (List.hd nodes) (List.tl nodes)
   in
   let job = Adept_workload.Job.of_dgemm (Adept_workload.Dgemm.make dgemm) in
-  Adept_sim.Scenario.make ~seed ~params ~platform
+  Adept_sim.Scenario.make ?faults ~seed ~params ~platform
     ~client:(Adept_workload.Client.closed_loop job) tree
 
 let measure_series scenario ~clients ~warmup ~duration =

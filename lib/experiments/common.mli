@@ -45,12 +45,15 @@ val params : Adept_model.Params.t
 (** Table 3 constants. *)
 
 val star_scenario :
+  ?faults:Adept_sim.Faults.t ->
   dgemm:int ->
   servers:int ->
   seed:int ->
+  unit ->
   Adept_sim.Scenario.t
 (** Lyon star deployment with the given server count, closed-loop DGEMM
-    clients — the Section 5.2 validation setup. *)
+    clients — the Section 5.2 validation setup.  [faults] (default
+    {!Adept_sim.Faults.none}) installs a fault schedule. *)
 
 val measure_series :
   Adept_sim.Scenario.t ->

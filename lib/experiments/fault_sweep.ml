@@ -1,0 +1,180 @@
+module Table = Adept_util.Table
+module Csv = Adept_util.Csv
+module Rng = Adept_util.Rng
+module Faults = Adept_sim.Faults
+module Scenario = Adept_sim.Scenario
+
+type point = {
+  rate : float;  (* crashes per server per simulated second *)
+  throughput : float;
+  completed : int;
+  issued : int;
+  lost : int;
+  crashes : int;
+  prunes : int;
+  rejoins : int;
+  mean_recovery : float option;  (* crash -> prune latency, seconds *)
+}
+
+type result = {
+  points : point list;
+  mttr : float;
+  servers : int;
+  clients : int;
+  (* Planner.replan on the same star with one server down: predicted
+     rho before, after, and the relative drop. *)
+  replan : (float * float * float) option;
+}
+
+let dgemm = 310
+
+let mean = function
+  | [] -> None
+  | xs -> Some (List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs))
+
+let run (ctx : Common.context) =
+  let rates, servers, clients, warmup, duration =
+    match ctx.fidelity with
+    | Common.Quick -> ([ 0.0; 0.02; 0.1 ], 4, 12, 1.0, 3.0)
+    | Common.Full ->
+        ([ 0.0; 0.005; 0.01; 0.02; 0.05; 0.1 ], 6, 30, 1.0, 8.0)
+  in
+  let mttr = 2.0 in
+  let horizon = warmup +. duration in
+  (* Only servers crash: the MA host is treated as reliable here — losing
+     the root takes the whole service down and is the offline replanning
+     case, which the replan row below covers. *)
+  let crashable = List.init servers (fun i -> i + 1) in
+  let point index rate =
+    let faults =
+      if rate = 0.0 then Faults.none
+      else
+        Faults.make ()
+        |> Faults.seeded_crashes
+             ~rng:(Rng.create (ctx.seed + (1000 * (index + 1))))
+             ~nodes:crashable ~rate ~mttr ~horizon
+    in
+    let scenario =
+      Common.star_scenario ~faults ~dgemm ~servers ~seed:ctx.seed ()
+    in
+    let r = Scenario.run_fixed scenario ~clients ~warmup ~duration in
+    {
+      rate;
+      throughput = r.Scenario.throughput;
+      completed = r.Scenario.completed_total;
+      issued = r.Scenario.issued_total;
+      lost = r.Scenario.lost_total;
+      crashes = r.Scenario.faults.Adept_sim.Middleware.crashes;
+      prunes = r.Scenario.faults.Adept_sim.Middleware.prunes;
+      rejoins = r.Scenario.faults.Adept_sim.Middleware.rejoins;
+      mean_recovery =
+        mean r.Scenario.faults.Adept_sim.Middleware.recovery_latencies;
+    }
+  in
+  let points = List.mapi point rates in
+  let replan =
+    let platform = Adept_platform.Generator.grid5000_lyon ~n:(servers + 1) () in
+    let wapp = Adept_workload.Dgemm.(mflops (make dgemm)) in
+    match
+      Adept.Planner.replan Adept.Planner.Heuristic Common.params ~platform ~wapp
+        ~demand:Adept_model.Demand.unbounded ~failed:[ servers ] ()
+    with
+    | Error _ -> None
+    | Ok r ->
+        Some (r.Adept.Planner.rho_before, r.Adept.Planner.rho_after, r.Adept.Planner.rho_drop)
+  in
+  { points; mttr; servers; clients; replan }
+
+let report _ctx r =
+  let sweep =
+    List.fold_left
+      (fun table p ->
+        Table.add_row table
+          [
+            Printf.sprintf "%.3f" p.rate;
+            Table.cell_float p.throughput;
+            string_of_int p.completed;
+            string_of_int p.lost;
+            string_of_int p.crashes;
+            string_of_int p.prunes;
+            string_of_int p.rejoins;
+            (match p.mean_recovery with
+            | None -> "-"
+            | Some s -> Printf.sprintf "%.3f" s);
+          ])
+      (Table.create
+         [
+           "crash rate (/s)";
+           "rho (req/s)";
+           "completed";
+           "lost";
+           "crashes";
+           "prunes";
+           "rejoins";
+           "mean recovery (s)";
+         ])
+      r.points
+  in
+  let tables = [ ("Failure rate vs completed-request throughput", sweep) ] in
+  let tables =
+    match r.replan with
+    | None -> tables
+    | Some (before, after, drop) ->
+        let t =
+          Table.create [ "plan"; "predicted rho (req/s)" ]
+          |> (fun t -> Table.add_row t [ "all nodes up"; Table.cell_float before ])
+          |> fun t ->
+          Table.add_row t
+            [
+              Printf.sprintf "replanned, 1 of %d servers down (-%.1f%%)" r.servers
+                (100.0 *. drop);
+              Table.cell_float after;
+            ]
+        in
+        tables @ [ ("Planner.replan after a permanent server loss", t) ]
+  in
+  let csv =
+    List.fold_left
+      (fun csv p ->
+        Csv.add_floats csv
+          [
+            p.rate;
+            p.throughput;
+            float_of_int p.completed;
+            float_of_int p.lost;
+            float_of_int p.crashes;
+            float_of_int p.prunes;
+            Option.value ~default:Float.nan p.mean_recovery;
+          ])
+      (Csv.create
+         [ "rate"; "throughput"; "completed"; "lost"; "crashes"; "prunes"; "mean_recovery" ])
+      r.points
+  in
+  let baseline =
+    match r.points with p :: _ -> p.throughput | [] -> Float.nan
+  in
+  {
+    Common.id = "fault-sweep";
+    title =
+      Printf.sprintf
+        "Extension: failure rate vs throughput (star, %d servers, %d clients, MTTR %.1fs)"
+        r.servers r.clients r.mttr;
+    paper_reference =
+      "Beyond the paper: its model assumes every element stays up (Section 3); this \
+       sweep measures how the deployed hierarchy degrades when servers crash and \
+       recover, with client retries and agent-side failover";
+    tables;
+    notes =
+      (List.filter_map
+         (fun p ->
+           if p.rate > 0.0 && baseline > 0.0 then
+             Some
+               (Printf.sprintf
+                  "rate %.3f/s: throughput retained %.1f%%, %d request(s) lost"
+                  p.rate
+                  (100.0 *. p.throughput /. baseline)
+                  p.lost)
+           else None)
+         r.points);
+    series = [ ("sweep", csv) ];
+  }

@@ -1,0 +1,35 @@
+(** Extension experiment: failure rate vs completed-request throughput.
+
+    A Lyon star deployment under closed-loop DGEMM load, with servers
+    crashing and recovering as per-node Poisson processes
+    ({!Adept_sim.Faults.seeded_crashes}).  Sweeps the crash rate and
+    reports the throughput of completed requests, lost requests, failover
+    prunes/rejoins and the mean crash-to-prune recovery latency; a final
+    table shows {!Adept.Planner.replan}'s predicted throughput hit for a
+    permanent loss of one server. *)
+
+type point = {
+  rate : float;  (** Crashes per server per simulated second. *)
+  throughput : float;  (** Completions/s in the measurement window. *)
+  completed : int;
+  issued : int;
+  lost : int;  (** Requests abandoned after retries. *)
+  crashes : int;
+  prunes : int;
+  rejoins : int;
+  mean_recovery : float option;  (** Mean crash→prune latency, seconds. *)
+}
+
+type result = {
+  points : point list;  (** One per swept rate, rate 0 first (baseline). *)
+  mttr : float;
+  servers : int;
+  clients : int;
+  replan : (float * float * float) option;
+      (** (rho_before, rho_after, rho_drop) from {!Adept.Planner.replan}
+          with one server permanently failed. *)
+}
+
+val run : Common.context -> result
+
+val report : Common.context -> result -> Common.report

@@ -32,7 +32,7 @@ let run (ctx : Common.context) =
   in
   let series servers =
     Common.measure_series
-      (Common.star_scenario ~dgemm ~servers ~seed:ctx.seed)
+      (Common.star_scenario ~dgemm ~servers ~seed:ctx.seed ())
       ~clients ~warmup ~duration
   in
   let series_one = series 1 and series_two = series 2 in

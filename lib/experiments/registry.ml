@@ -72,6 +72,11 @@ let all =
       run = (fun ctx -> Ablation.report_latency ctx (Ablation.run_latency ctx));
     };
     {
+      id = "fault-sweep";
+      title = "Extension: failure rate vs completed-request throughput";
+      run = (fun ctx -> Fault_sweep.report ctx (Fault_sweep.run ctx));
+    };
+    {
       id = "ablation-monitoring";
       title = "Extension: monitoring-database staleness vs selection quality";
       run = (fun ctx -> Ablation.report_monitoring ctx (Ablation.run_monitoring ctx));

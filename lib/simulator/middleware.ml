@@ -9,19 +9,27 @@ type selection =
   | Database
 
 (* Per-request aggregation state at one agent: replies collected so far,
-   in arrival order, plus the request's service cost for selection. *)
+   in arrival order, plus the request's service cost for selection.
+   [targets] is the routing list snapshot the request was forwarded to;
+   failover may shrink the live children while replies are in flight. *)
 type pending = {
   mutable received : int;
+  expected : int;
+  targets : Node.id array;
+  mutable answered : Node.id list;
   mutable candidates : (Node.id * float) list;
   req_wapp : float;
 }
 
 type agent_state = {
   a_resource : Resource.t;
-  children : Node.id array;
+  mutable children : Node.id array;
+  original_children : Node.id array;
   a_parent : Node.id option;
   mutable rr : int;
   inflight : (int, pending) Hashtbl.t;
+  strikes : (Node.id, int) Hashtbl.t;
+      (* consecutive unanswered forwards per child; two strikes prune *)
 }
 
 type server_state = {
@@ -39,6 +47,29 @@ type server_state = {
 
 type element = Agent_el of agent_state | Server_el of server_state
 
+type fault_stats = {
+  crashes : int;
+  recoveries : int;
+  messages_lost : int;
+  timeouts : int;
+  abandoned : int;
+  prunes : int;
+  rejoins : int;
+  recovery_latencies : float list;
+}
+
+(* Mutable accumulator behind the immutable {!fault_stats} snapshot. *)
+type fault_counters = {
+  mutable c_crashes : int;
+  mutable c_recoveries : int;
+  mutable c_messages_lost : int;
+  mutable c_timeouts : int;
+  mutable c_abandoned : int;
+  mutable c_prunes : int;
+  mutable c_rejoins : int;
+  mutable c_recovery_latencies : float list;  (* newest first *)
+}
+
 type t = {
   engine : Engine.t;
   params : Params.t;
@@ -54,7 +85,18 @@ type t = {
   database : (Node.id, float * float) Hashtbl.t;
       (* monitoring database at the root: server id -> (reported backlog
          seconds, report arrival time) *)
+  faults : Faults.t;
+  active : bool;  (* some fault can fire; false => pre-fault code path *)
+  alive : bool array;
+  incarnation : int array;
+      (* bumped on every crash and recovery: a callback booked for an
+         earlier incarnation belongs to a dead process and is abandoned *)
+  crashed_at : float array;
+  loss_rng : Adept_util.Rng.t option;
+  counters : fault_counters;
 }
+
+let prune_strikes = 2
 
 let element t id =
   match t.elements.(id) with
@@ -73,6 +115,20 @@ let engine t = t.engine
 
 let trace t = t.trace
 
+let is_alive t id = t.alive.(id)
+
+let fault_stats t =
+  {
+    crashes = t.counters.c_crashes;
+    recoveries = t.counters.c_recoveries;
+    messages_lost = t.counters.c_messages_lost;
+    timeouts = t.counters.c_timeouts;
+    abandoned = t.counters.c_abandoned;
+    prunes = t.counters.c_prunes;
+    rejoins = t.counters.c_rejoins;
+    recovery_latencies = List.rev t.counters.c_recovery_latencies;
+  }
+
 let server_ids t =
   let ids = ref [] in
   Array.iteri
@@ -87,8 +143,114 @@ let agent_ids t =
     t.elements;
   List.rev !ids
 
+let record_failure t failure =
+  Trace.record_failure t.trace ~time:(Engine.now t.engine) failure
+
+let message_lost t =
+  t.counters.c_messages_lost <- t.counters.c_messages_lost + 1;
+  record_failure t Trace.Message_lost
+
+(* One independent draw per message from the dedicated loss stream; never
+   consulted (and never seeded) on fault-free runs. *)
+let message_dropped t =
+  match t.loss_rng with
+  | None -> false
+  | Some rng -> Adept_util.Rng.float rng 1.0 < t.faults.Faults.drop_probability
+
+let effective_bandwidth t base =
+  if t.active then base *. Faults.bandwidth_factor t.faults ~now:(Engine.now t.engine)
+  else base
+
+(* ---------- crash / recovery / failover machinery ---------- *)
+
+let reset_strikes (a : agent_state) child = Hashtbl.remove a.strikes child
+
+let rejoin_child t ~agent ~child =
+  match t.elements.(agent) with
+  | Some (Agent_el a) ->
+      if not (Array.exists (fun c -> c = child) a.children) then begin
+        a.children <- Array.append a.children [| child |];
+        reset_strikes a child;
+        t.counters.c_rejoins <- t.counters.c_rejoins + 1;
+        record_failure t (Trace.Child_rejoined (agent, child))
+      end
+  | Some (Server_el _) | None -> ()
+
+(* A silent child earns a strike; [prune_strikes] consecutive strikes
+   remove it from the routing tree (the parent-side failover).  A reply
+   clears the child's strikes, so transient message loss rarely prunes a
+   healthy child. *)
+let strike_child t ~agent ~child =
+  match t.elements.(agent) with
+  | Some (Agent_el a) when Array.exists (fun c -> c = child) a.children ->
+      let s = 1 + Option.value ~default:0 (Hashtbl.find_opt a.strikes child) in
+      Hashtbl.replace a.strikes child s;
+      if s >= prune_strikes then begin
+        a.children <-
+          Array.of_list (List.filter (fun c -> c <> child) (Array.to_list a.children));
+        Hashtbl.remove a.strikes child;
+        t.counters.c_prunes <- t.counters.c_prunes + 1;
+        record_failure t (Trace.Child_pruned (agent, child));
+        if not t.alive.(child) then begin
+          let latency = Engine.now t.engine -. t.crashed_at.(child) in
+          t.counters.c_recovery_latencies <-
+            latency :: t.counters.c_recovery_latencies;
+          Trace.record_recovery_latency t.trace ~seconds:latency
+        end
+      end
+  | Some _ | None -> ()
+
+let crash_node t id =
+  if t.alive.(id) then begin
+    let now = Engine.now t.engine in
+    t.alive.(id) <- false;
+    t.incarnation.(id) <- t.incarnation.(id) + 1;
+    t.crashed_at.(id) <- now;
+    (match t.elements.(id) with
+    | Some (Agent_el a) ->
+        Resource.interrupt a.a_resource ~now;
+        Hashtbl.reset a.inflight
+    | Some (Server_el s) ->
+        Resource.interrupt s.s_resource ~now;
+        s.reserved <- 0.0
+    | None -> ());
+    t.counters.c_crashes <- t.counters.c_crashes + 1;
+    record_failure t (Trace.Node_crash id)
+  end
+
+let recover_node t id =
+  if not t.alive.(id) then begin
+    let now = Engine.now t.engine in
+    t.alive.(id) <- true;
+    t.incarnation.(id) <- t.incarnation.(id) + 1;
+    (match t.elements.(id) with
+    | Some (Agent_el a) -> Resource.interrupt a.a_resource ~now
+    | Some (Server_el s) -> Resource.interrupt s.s_resource ~now
+    | None -> ());
+    t.counters.c_recoveries <- t.counters.c_recoveries + 1;
+    record_failure t (Trace.Node_recover id);
+    (* Re-registration: the recovered element reconnects to its parent,
+       and a recovered agent readopts whichever of its original children
+       are up (they may have been pruned while it was away). *)
+    let parent =
+      match t.elements.(id) with
+      | Some (Agent_el a) -> a.a_parent
+      | Some (Server_el s) -> Some s.s_parent
+      | None -> None
+    in
+    (match parent with
+    | Some p when t.alive.(p) -> rejoin_child t ~agent:p ~child:id
+    | Some _ | None -> ());
+    match t.elements.(id) with
+    | Some (Agent_el a) ->
+        Array.iter
+          (fun c -> if t.alive.(c) then rejoin_child t ~agent:id ~child:c)
+          a.original_children
+    | Some (Server_el _) | None -> ()
+  end
+
 let deploy ?(trace = Trace.disabled) ?(selection = Best_prediction) ?monitoring_period
-    ~engine ~params ~platform tree =
+    ?(faults = Faults.none) ~engine ~params ~platform tree =
   (match monitoring_period with
   | Some p when p <= 0.0 || not (Float.is_finite p) ->
       invalid_arg "Middleware.deploy: monitoring_period must be positive and finite"
@@ -126,13 +288,16 @@ let deploy ?(trace = Trace.disabled) ?(selection = Best_prediction) ?monitoring_
                {
                  a_resource = mk_resource node;
                  children = child_ids;
+                 original_children = Array.copy child_ids;
                  a_parent = parent;
                  rr = 0;
                  inflight = Hashtbl.create 64;
+                 strikes = Hashtbl.create 8;
                });
         List.iter (instantiate (Some (Node.id node))) children
   in
   instantiate None tree;
+  let active = not (Faults.is_none faults) in
   let t =
     {
       engine;
@@ -146,6 +311,26 @@ let deploy ?(trace = Trace.disabled) ?(selection = Best_prediction) ?monitoring_
       next_req = 0;
       continuations = Hashtbl.create 64;
       database = Hashtbl.create 64;
+      faults;
+      active;
+      alive = Array.make (Platform.size platform) true;
+      incarnation = Array.make (Platform.size platform) 0;
+      crashed_at = Array.make (Platform.size platform) 0.0;
+      loss_rng =
+        (if active && faults.Faults.drop_probability > 0.0 then
+           Some (Adept_util.Rng.create faults.Faults.loss_seed)
+         else None);
+      counters =
+        {
+          c_crashes = 0;
+          c_recoveries = 0;
+          c_messages_lost = 0;
+          c_timeouts = 0;
+          c_abandoned = 0;
+          c_prunes = 0;
+          c_rejoins = 0;
+          c_recovery_latencies = [];
+        };
     }
   in
   (* Periodic monitoring: every server reports its backlog to the root's
@@ -165,17 +350,19 @@ let deploy ?(trace = Trace.disabled) ?(selection = Best_prediction) ?monitoring_
           match el with
           | Some (Server_el s) ->
               let rec report () =
-                let backlog =
-                  Resource.backlog s.s_resource ~now:(Engine.now engine)
-                in
-                Network.transfer engine
-                  ~bandwidth:(Platform.bandwidth platform id t.root)
-                  ~latency:t.latency ~src:(Network.Lane s.s_resource)
-                  ~src_size:params.Params.server.srep ~dst:(Network.Port root_res)
-                  ~dst_size:params.Params.agent.srep
-                  ~on_delivered:(fun () ->
-                    Hashtbl.replace t.database id (backlog, Engine.now engine))
-                  ();
+                (if (not t.active) || (t.alive.(id) && t.alive.(t.root)) then
+                   let backlog =
+                     Resource.backlog s.s_resource ~now:(Engine.now engine)
+                   in
+                   Network.transfer engine
+                     ~bandwidth:
+                       (effective_bandwidth t (Platform.bandwidth platform id t.root))
+                     ~latency:t.latency ~src:(Network.Lane s.s_resource)
+                     ~src_size:params.Params.server.srep ~dst:(Network.Port root_res)
+                     ~dst_size:params.Params.agent.srep
+                     ~on_delivered:(fun () ->
+                       Hashtbl.replace t.database id (backlog, Engine.now engine))
+                     ());
                 Engine.schedule engine ~delay:period report
               in
               (* desynchronise first reports across servers *)
@@ -184,20 +371,36 @@ let deploy ?(trace = Trace.disabled) ?(selection = Best_prediction) ?monitoring_
                 report
           | Some (Agent_el _) | None -> ())
         elements);
+  (* Install the fault schedule.  Events aimed at nodes outside the
+     hierarchy are ignored (the platform may be larger than the tree). *)
+  if active then
+    List.iter
+      (fun { Faults.node; at; kind } ->
+        if node >= 0 && node < Array.length elements && elements.(node) <> None then
+          Engine.schedule_at engine ~time:at (fun () ->
+              match kind with
+              | Faults.Crash -> crash_node t node
+              | Faults.Recover -> recover_node t node))
+      faults.Faults.node_events;
   t
 
-let bandwidth_between t a b = Platform.bandwidth t.platform a b
+let bandwidth_between t a b = effective_bandwidth t (Platform.bandwidth t.platform a b)
 
 (* Bandwidth for messages between a platform node and a client machine:
    the node's intra-cluster bandwidth (clients are not modelled as
    bottlenecks, only the node-side port cost matters). *)
-let bandwidth_to_client t id = Platform.bandwidth t.platform id id
+let bandwidth_to_client t id = effective_bandwidth t (Platform.bandwidth t.platform id id)
 
-let book_compute t resource ~work k =
+(* Compute booked for [owner]'s current incarnation; a crash (or a crash
+   plus recovery) before the booking completes voids the continuation —
+   the process that asked for the work no longer exists. *)
+let book_compute t resource ~owner ~work k =
   let now = Engine.now t.engine in
   let duration = work /. Resource.power resource in
   let _, finish = Resource.book resource ~now ~duration in
-  Engine.schedule_at t.engine ~time:finish (fun () -> k duration)
+  let incarnation = t.incarnation.(owner) in
+  Engine.schedule_at t.engine ~time:finish (fun () ->
+      if (not t.active) || t.incarnation.(owner) = incarnation then k duration)
 
 let argmin_candidate candidates ~effective =
   Array.fold_left
@@ -227,12 +430,12 @@ let choose_candidate t (a : agent_state) pending =
       let now = Engine.now t.engine in
       let effective id =
         match t.elements.(id) with
-        | Some (Server_el s) ->
+        | Some (Server_el s) when t.alive.(id) ->
             let w = Resource.power s.s_resource in
             Resource.backlog s.s_resource ~now
             +. (s.reserved /. w)
             +. (pending.req_wapp /. w)
-        | Some (Agent_el _) | None -> Float.infinity
+        | Some _ | None -> Float.infinity
       in
       argmin_candidate candidates ~effective
   | Database ->
@@ -243,7 +446,7 @@ let choose_candidate t (a : agent_state) pending =
       let now = Engine.now t.engine in
       let effective id =
         match t.elements.(id) with
-        | Some (Server_el s) ->
+        | Some (Server_el s) when t.alive.(id) ->
             let w = Resource.power s.s_resource in
             let reported =
               match Hashtbl.find_opt t.database id with
@@ -251,7 +454,7 @@ let choose_candidate t (a : agent_state) pending =
               | None -> 0.0
             in
             reported +. (s.reserved /. w) +. (pending.req_wapp /. w)
-        | Some (Agent_el _) | None -> Float.infinity
+        | Some _ | None -> Float.infinity
       in
       argmin_candidate candidates ~effective
   | Round_robin ->
@@ -266,11 +469,31 @@ let choose_candidate t (a : agent_state) pending =
 let rec handle_request t ~req_id ~wapp id =
   match element t id with
   | Agent_el a ->
-      book_compute t a.a_resource ~work:t.params.Params.agent.wreq (fun seconds ->
+      book_compute t a.a_resource ~owner:id ~work:t.params.Params.agent.wreq
+        (fun seconds ->
           Trace.record_agent_request_compute t.trace ~seconds;
-          Hashtbl.replace a.inflight req_id
-            { received = 0; candidates = []; req_wapp = wapp };
-          Array.iter (fun child -> forward_down t ~req_id ~wapp ~from:id ~child) a.children)
+          let targets = Array.copy a.children in
+          if Array.length targets = 0 then
+            (* every child pruned: stay silent and let the upstream
+               patience (or the client's timeout) handle the hole *)
+            ()
+          else begin
+            Hashtbl.replace a.inflight req_id
+              {
+                received = 0;
+                expected = Array.length targets;
+                targets;
+                answered = [];
+                candidates = [];
+                req_wapp = wapp;
+              };
+            Array.iter
+              (fun child -> forward_down t ~req_id ~wapp ~from:id ~child)
+              targets;
+            if t.active then
+              Engine.schedule t.engine ~delay:t.faults.Faults.patience (fun () ->
+                  patience_expired t ~req_id ~agent:id)
+          end)
   | Server_el s ->
       (* Prediction work charges the port (it steals cycles from any
          running application) but the reply is not queued behind booked
@@ -287,8 +510,11 @@ let rec handle_request t ~req_id ~wapp id =
       let prediction =
         backlog +. wpre_duration +. (wapp /. Resource.power s.s_resource)
       in
+      let incarnation = t.incarnation.(id) in
       Engine.schedule t.engine ~delay:wpre_duration (fun () ->
-          send_reply_up t ~req_id ~from:id ~to_:s.s_parent ~candidate:(id, prediction))
+          if (not t.active) || t.incarnation.(id) = incarnation then
+            send_reply_up t ~req_id ~from:id ~to_:s.s_parent
+              ~candidate:(id, prediction))
 
 and forward_down t ~req_id ~wapp ~from ~child =
   let src_res = resource t from in
@@ -303,14 +529,28 @@ and forward_down t ~req_id ~wapp ~from ~child =
   in
   Trace.record_message t.trace ~kind:Trace.Sched_request ~role:Trace.Agent_end
     ~size:src_size;
-  Trace.record_message t.trace ~kind:Trace.Sched_request
-    ~role:(if dst_is_agent then Trace.Agent_end else Trace.Server_end)
-    ~size:dst_size;
-  Network.transfer t.engine
-    ~bandwidth:(bandwidth_between t from child)
-    ~latency:t.latency ~src:(Network.Port src_res) ~src_size ~dst ~dst_size
-    ~on_delivered:(fun () -> handle_request t ~req_id ~wapp child)
-    ()
+  if message_dropped t then begin
+    (* the sender still pays its port time; nothing arrives *)
+    message_lost t;
+    Network.transfer t.engine
+      ~bandwidth:(bandwidth_between t from child)
+      ~latency:t.latency ~src:(Network.Port src_res) ~src_size ~dst:Network.Instant
+      ~dst_size:0.0
+      ~on_delivered:(fun () -> ())
+      ()
+  end
+  else begin
+    Trace.record_message t.trace ~kind:Trace.Sched_request
+      ~role:(if dst_is_agent then Trace.Agent_end else Trace.Server_end)
+      ~size:dst_size;
+    Network.transfer t.engine
+      ~bandwidth:(bandwidth_between t from child)
+      ~latency:t.latency ~src:(Network.Port src_res) ~src_size ~dst ~dst_size
+      ~on_delivered:(fun () ->
+        if t.active && not t.alive.(child) then message_lost t
+        else handle_request t ~req_id ~wapp child)
+      ()
+  end
 
 and send_reply_up t ~req_id ~from ~to_ ~candidate =
   let src_is_agent, src =
@@ -330,71 +570,153 @@ and send_reply_up t ~req_id ~from ~to_ ~candidate =
   Trace.record_message t.trace ~kind:Trace.Sched_reply
     ~role:(if src_is_agent then Trace.Agent_end else Trace.Server_end)
     ~size:src_size;
-  Trace.record_message t.trace ~kind:Trace.Sched_reply ~role:Trace.Agent_end
-    ~size:dst_size;
-  Network.transfer t.engine
-    ~bandwidth:(bandwidth_between t from to_)
-    ~latency:t.latency ~src ~src_size ~dst:(Network.Port dst_res) ~dst_size
-    ~on_delivered:(fun () -> handle_reply t ~req_id ~agent:to_ ~candidate)
-    ()
+  if message_dropped t then begin
+    message_lost t;
+    Network.transfer t.engine
+      ~bandwidth:(bandwidth_between t from to_)
+      ~latency:t.latency ~src ~src_size ~dst:Network.Instant ~dst_size:0.0
+      ~on_delivered:(fun () -> ())
+      ()
+  end
+  else begin
+    Trace.record_message t.trace ~kind:Trace.Sched_reply ~role:Trace.Agent_end
+      ~size:dst_size;
+    Network.transfer t.engine
+      ~bandwidth:(bandwidth_between t from to_)
+      ~latency:t.latency ~src ~src_size ~dst:(Network.Port dst_res) ~dst_size
+      ~on_delivered:(fun () ->
+        if t.active && not t.alive.(to_) then message_lost t
+        else handle_reply t ~req_id ~agent:to_ ~child:from ~candidate)
+      ()
+  end
 
-and handle_reply t ~req_id ~agent ~candidate =
+and handle_reply t ~req_id ~agent ~child ~candidate =
   match element t agent with
   | Server_el _ -> invalid_arg "Middleware: reply delivered to a server"
   | Agent_el a -> (
       match Hashtbl.find_opt a.inflight req_id with
-      | None -> invalid_arg "Middleware: reply for unknown request"
+      | None ->
+          (* Fault runs produce stale replies: the request was finalised
+             by the patience timer, or the agent crashed and restarted. *)
+          if not t.active then invalid_arg "Middleware: reply for unknown request"
       | Some pending ->
           pending.received <- pending.received + 1;
+          pending.answered <- child :: pending.answered;
+          if t.active then reset_strikes a child;
           pending.candidates <- candidate :: pending.candidates;
-          if pending.received = Array.length a.children then begin
+          if pending.received = pending.expected then begin
             Hashtbl.remove a.inflight req_id;
-            let degree = Array.length a.children in
-            let work = Params.wrep t.params ~degree in
-            book_compute t a.a_resource ~work (fun seconds ->
-                Trace.record_agent_reply_compute t.trace ~degree ~seconds;
-                let chosen = choose_candidate t a pending in
-                match a.a_parent with
-                | Some parent ->
-                    send_reply_up t ~req_id ~from:agent ~to_:parent ~candidate:chosen
-                | None ->
-                    (* Root: answer the client. *)
-                    let src_size = t.params.Params.agent.srep in
-                    Trace.record_message t.trace ~kind:Trace.Sched_reply
-                      ~role:Trace.Agent_end ~size:src_size;
-                    let req_wapp, continuation =
-                      match Hashtbl.find_opt t.continuations req_id with
-                      | Some k -> k
-                      | None -> invalid_arg "Middleware: request has no continuation"
-                    in
-                    Hashtbl.remove t.continuations req_id;
-                    (match element t (fst chosen) with
-                    | Server_el s -> s.reserved <- s.reserved +. req_wapp
-                    | Agent_el _ -> invalid_arg "Middleware: chose an agent");
-                    Network.transfer t.engine
-                      ~bandwidth:(bandwidth_to_client t agent)
-                      ~latency:t.latency ~src:(Network.Port a.a_resource) ~src_size
-                      ~dst:Network.Instant ~dst_size:0.0
-                      ~on_delivered:(fun () -> continuation (fst chosen))
-                      ())
+            finalize_request t ~req_id ~agent a pending
           end)
 
-let submit t ~wapp ~on_scheduled =
-  let req_id = t.next_req in
-  t.next_req <- t.next_req + 1;
-  Hashtbl.replace t.continuations req_id (wapp, fun server -> on_scheduled ~server);
+and patience_expired t ~req_id ~agent =
+  match t.elements.(agent) with
+  | Some (Agent_el a) when t.alive.(agent) -> (
+      match Hashtbl.find_opt a.inflight req_id with
+      | None -> ()  (* all replies arrived in time *)
+      | Some pending ->
+          Hashtbl.remove a.inflight req_id;
+          Array.iter
+            (fun child ->
+              if not (List.mem child pending.answered) then
+                strike_child t ~agent ~child)
+            pending.targets;
+          (* answer with whatever arrived; with no candidate at all the
+             agent stays silent and the caller's own timeout handles it *)
+          if pending.candidates <> [] then finalize_request t ~req_id ~agent a pending)
+  | Some _ | None -> ()
+
+and finalize_request t ~req_id ~agent a pending =
+  let degree = pending.received in
+  let work = Params.wrep t.params ~degree in
+  book_compute t a.a_resource ~owner:agent ~work (fun seconds ->
+      Trace.record_agent_reply_compute t.trace ~degree ~seconds;
+      let chosen = choose_candidate t a pending in
+      match a.a_parent with
+      | Some parent -> send_reply_up t ~req_id ~from:agent ~to_:parent ~candidate:chosen
+      | None -> (
+          (* Root: answer the client. *)
+          match Hashtbl.find_opt t.continuations req_id with
+          | None ->
+              (* the client gave up on this round trip and re-submitted *)
+              if not t.active then
+                invalid_arg "Middleware: request has no continuation"
+          | Some (req_wapp, continuation) ->
+              let src_size = t.params.Params.agent.srep in
+              Trace.record_message t.trace ~kind:Trace.Sched_reply
+                ~role:Trace.Agent_end ~size:src_size;
+              Hashtbl.remove t.continuations req_id;
+              (match element t (fst chosen) with
+              | Server_el s -> s.reserved <- s.reserved +. req_wapp
+              | Agent_el _ -> invalid_arg "Middleware: chose an agent");
+              Network.transfer t.engine
+                ~bandwidth:(bandwidth_to_client t agent)
+                ~latency:t.latency ~src:(Network.Port a.a_resource) ~src_size
+                ~dst:Network.Instant ~dst_size:0.0
+                ~on_delivered:(fun () -> continuation (fst chosen))
+                ()))
+
+let submit_once t ~req_id ~wapp =
   let dst_size = t.params.Params.agent.sreq in
   let root_res = resource t t.root in
   Trace.record_message t.trace ~kind:Trace.Sched_request ~role:Trace.Agent_end
     ~size:dst_size;
-  Network.transfer t.engine
-    ~bandwidth:(bandwidth_to_client t t.root)
-    ~latency:t.latency ~src:Network.Instant ~src_size:0.0 ~dst:(Network.Port root_res)
-    ~dst_size
-    ~on_delivered:(fun () -> handle_request t ~req_id ~wapp t.root)
-    ()
+  if message_dropped t then begin
+    message_lost t;
+    Network.transfer t.engine
+      ~bandwidth:(bandwidth_to_client t t.root)
+      ~latency:t.latency ~src:Network.Instant ~src_size:0.0 ~dst:Network.Instant
+      ~dst_size:0.0
+      ~on_delivered:(fun () -> ())
+      ()
+  end
+  else
+    Network.transfer t.engine
+      ~bandwidth:(bandwidth_to_client t t.root)
+      ~latency:t.latency ~src:Network.Instant ~src_size:0.0
+      ~dst:(Network.Port root_res) ~dst_size
+      ~on_delivered:(fun () ->
+        if t.active && not t.alive.(t.root) then message_lost t
+        else handle_request t ~req_id ~wapp t.root)
+      ()
 
-let request_service t ~server ~wapp ~on_done =
+let submit t ~wapp ?on_failed ~on_scheduled () =
+  if not t.active then begin
+    let req_id = t.next_req in
+    t.next_req <- t.next_req + 1;
+    Hashtbl.replace t.continuations req_id (wapp, fun server -> on_scheduled ~server);
+    submit_once t ~req_id ~wapp
+  end
+  else begin
+    (* Round-trip supervision: if the scheduling reply does not arrive
+       within the timeout, abandon that round trip and re-submit with an
+       exponentially backed-off deadline; after [max_retries] extra
+       attempts the request is abandoned. *)
+    let rec attempt ~retries_left ~timeout =
+      let req_id = t.next_req in
+      t.next_req <- t.next_req + 1;
+      Hashtbl.replace t.continuations req_id (wapp, fun server -> on_scheduled ~server);
+      submit_once t ~req_id ~wapp;
+      Engine.schedule t.engine ~delay:timeout (fun () ->
+          if Hashtbl.mem t.continuations req_id then begin
+            Hashtbl.remove t.continuations req_id;
+            if retries_left > 0 then begin
+              t.counters.c_timeouts <- t.counters.c_timeouts + 1;
+              record_failure t Trace.Request_timeout;
+              attempt ~retries_left:(retries_left - 1)
+                ~timeout:(timeout *. t.faults.Faults.backoff)
+            end
+            else begin
+              t.counters.c_abandoned <- t.counters.c_abandoned + 1;
+              record_failure t Trace.Request_abandoned;
+              match on_failed with Some f -> f () | None -> ()
+            end
+          end)
+    in
+    attempt ~retries_left:t.faults.Faults.max_retries ~timeout:t.faults.Faults.timeout
+  end
+
+let request_service t ~server ?on_failed ~wapp ~on_done () =
   match element t server with
   | Agent_el _ -> invalid_arg "Middleware.request_service: target is an agent"
   | Server_el s ->
@@ -405,23 +727,53 @@ let request_service t ~server ~wapp ~on_done =
          server's booked backlog as soon as the request arrives, so the
          ledger entry drains here. *)
       s.reserved <- Float.max 0.0 (s.reserved -. wapp);
-      Network.transfer t.engine
-        ~bandwidth:(bandwidth_to_client t server)
-        ~latency:t.latency ~src:Network.Instant ~src_size:0.0
-        ~dst:(Network.Port s.s_resource) ~dst_size
-        ~on_delivered:(fun () ->
-          book_compute t s.s_resource ~work:wapp (fun _seconds ->
-              (* The response leaves as soon as the computation ends: the
-                 send charges port capacity but is not queued behind work
-                 booked after this job (a strict-FIFO send would trap every
-                 finished reply behind the whole compute backlog). *)
-              let src_size = t.params.Params.server.srep in
-              Trace.record_message t.trace ~kind:Trace.Service_reply
-                ~role:Trace.Server_end ~size:src_size;
-              Network.transfer t.engine
-                ~bandwidth:(bandwidth_to_client t server)
-                ~latency:t.latency ~src:(Network.Lane s.s_resource) ~src_size
-                ~dst:Network.Instant ~dst_size:0.0
-                ~on_delivered:(fun () -> on_done ())
-                ()))
-        ()
+      let settled = ref false in
+      let on_done () =
+        if not !settled then begin
+          settled := true;
+          on_done ()
+        end
+      in
+      let service_dropped = message_dropped t in
+      if service_dropped then message_lost t
+      else
+        Network.transfer t.engine
+          ~bandwidth:(bandwidth_to_client t server)
+          ~latency:t.latency ~src:Network.Instant ~src_size:0.0
+          ~dst:(Network.Port s.s_resource) ~dst_size
+          ~on_delivered:(fun () ->
+            if t.active && not t.alive.(server) then message_lost t
+            else
+              book_compute t s.s_resource ~owner:server ~work:wapp (fun _seconds ->
+                  (* The response leaves as soon as the computation ends: the
+                     send charges port capacity but is not queued behind work
+                     booked after this job (a strict-FIFO send would trap every
+                     finished reply behind the whole compute backlog). *)
+                  let src_size = t.params.Params.server.srep in
+                  Trace.record_message t.trace ~kind:Trace.Service_reply
+                    ~role:Trace.Server_end ~size:src_size;
+                  if message_dropped t then begin
+                    message_lost t;
+                    Network.transfer t.engine
+                      ~bandwidth:(bandwidth_to_client t server)
+                      ~latency:t.latency ~src:(Network.Lane s.s_resource) ~src_size
+                      ~dst:Network.Instant ~dst_size:0.0
+                      ~on_delivered:(fun () -> ())
+                      ()
+                  end
+                  else
+                    Network.transfer t.engine
+                      ~bandwidth:(bandwidth_to_client t server)
+                      ~latency:t.latency ~src:(Network.Lane s.s_resource) ~src_size
+                      ~dst:Network.Instant ~dst_size:0.0
+                      ~on_delivered:(fun () -> on_done ())
+                      ()))
+          ();
+      if t.active then
+        Engine.schedule t.engine ~delay:t.faults.Faults.service_timeout (fun () ->
+            if not !settled then begin
+              settled := true;
+              t.counters.c_abandoned <- t.counters.c_abandoned + 1;
+              record_failure t Trace.Request_abandoned;
+              match on_failed with Some f -> f () | None -> ()
+            end)

@@ -7,7 +7,17 @@
     with a performance prediction.  Service phase: the client contacts the
     selected server directly; the server books [Wapp] and responds.  Every
     computation and both ends of every message occupy the owning node's
-    single port (see {!Resource}). *)
+    single port (see {!Resource}).
+
+    Fault injection (optional, via {!Faults}): nodes crash and recover on
+    a schedule, messages drop, links degrade.  Crashed nodes lose queued
+    work and in-flight state; clients supervise the scheduling round trip
+    with timeout and exponential-backoff retries; agents wait out a
+    patience window per request, answer with the replies that arrived, and
+    prune children that stay silent (failover), re-adopting them when they
+    re-register after recovery.  With {!Faults.none} every fault code path
+    is bypassed and runs are bit-for-bit identical to pre-fault
+    behaviour. *)
 
 open Adept_platform
 
@@ -26,12 +36,28 @@ type selection =
           decayed by the time since — instead of fresh state.  Requires
           [monitoring_period]. *)
 
+type fault_stats = {
+  crashes : int;
+  recoveries : int;
+  messages_lost : int;  (** Dropped in transit or delivered to a corpse. *)
+  timeouts : int;  (** Scheduling round trips that timed out and retried. *)
+  abandoned : int;
+      (** Requests given up on: retry budget exhausted or the service
+          phase never answered. *)
+  prunes : int;  (** Children removed from the routing tree by failover. *)
+  rejoins : int;  (** Children re-adopted after recovery. *)
+  recovery_latencies : float list;
+      (** Seconds from each crash to its parent-side prune, in prune
+          order. *)
+}
+
 type t
 
 val deploy :
   ?trace:Trace.t ->
   ?selection:selection ->
   ?monitoring_period:float ->
+  ?faults:Faults.t ->
   engine:Engine.t ->
   params:Adept_model.Params.t ->
   platform:Platform.t ->
@@ -40,20 +66,45 @@ val deploy :
 (** Instantiate resources for every node of the hierarchy.  The hierarchy
     must validate against the platform.  [monitoring_period] (seconds,
     positive) starts the periodic load reports and is required by the
-    [Database] selection.
+    [Database] selection.  [faults] (default {!Faults.none}) installs the
+    crash/recovery schedule; fault events naming nodes outside the
+    hierarchy are ignored.
     @raise Invalid_argument otherwise. *)
 
 val submit :
-  t -> wapp:float -> on_scheduled:(server:Node.id -> unit) -> unit
+  t ->
+  wapp:float ->
+  ?on_failed:(unit -> unit) ->
+  on_scheduled:(server:Node.id -> unit) ->
+  unit ->
+  unit
 (** Inject one scheduling request at the root (from an [Instant] client
     endpoint); [on_scheduled] fires when the client receives the reply
-    naming the selected server. *)
+    naming the selected server.  Under fault injection the round trip is
+    supervised: on timeout the request is re-submitted with exponential
+    backoff up to [max_retries] times, then [on_failed] fires (exactly one
+    of the two callbacks runs).  Fault-free, [on_failed] never fires. *)
 
 val request_service :
-  t -> server:Node.id -> wapp:float -> on_done:(unit -> unit) -> unit
+  t ->
+  server:Node.id ->
+  ?on_failed:(unit -> unit) ->
+  wapp:float ->
+  on_done:(unit -> unit) ->
+  unit ->
+  unit
 (** The service phase: direct client→server request of [wapp] MFlop.
+    Under fault injection the phase is supervised by the schedule's
+    [service_timeout]; if the response has not arrived by then [on_failed]
+    fires and a late response is discarded (exactly one callback runs).
     @raise Invalid_argument if [server] is not a server of the
     hierarchy. *)
+
+val fault_stats : t -> fault_stats
+(** Snapshot of the fault counters (all zero on fault-free runs). *)
+
+val is_alive : t -> Node.id -> bool
+(** Whether the node is currently up (always [true] fault-free). *)
 
 val resource : t -> Node.id -> Resource.t
 (** The simulated port of a deployed node.

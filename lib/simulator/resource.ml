@@ -35,6 +35,13 @@ let charge t ~now ~duration = ignore (book t ~now ~duration)
 
 let backlog t ~now = Float.max 0.0 (t.free_at -. now)
 
+let interrupt t ~now =
+  if Float.is_nan now then invalid_arg "Resource.interrupt: NaN time";
+  (* Queued-but-unexecuted work vanishes with the process; already-counted
+     busy seconds stay counted (the port really was occupied until now). *)
+  if t.free_at > now then t.free_at <- now;
+  if t.last_request < now then t.last_request <- now
+
 let busy_seconds t = t.busy
 
 let bookings t = t.bookings

@@ -33,6 +33,12 @@ val backlog : t -> now:float -> float
     ([max 0 (free_at - now)]) — what a DIET server reports in its
     performance prediction. *)
 
+val interrupt : t -> now:float -> unit
+(** A crash at [now]: every queued-but-unexecuted booking is lost, so
+    [free_at] snaps back to [now] (never forward).  Busy accounting is
+    untouched — the port genuinely worked until the crash.  Subsequent
+    bookings may be requested from [now] on. *)
+
 val busy_seconds : t -> float
 (** Total booked activity time so far. *)
 

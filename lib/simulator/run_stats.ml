@@ -4,13 +4,16 @@ type t = {
   mutable issued : int;
   mutable completions : (float * float) list;  (* (completed_at, response_time), newest first *)
   mutable completed : int;
+  mutable lost : int;
   per_server : (Node.id, int) Hashtbl.t;
 }
 
 let create () =
-  { issued = 0; completions = []; completed = 0; per_server = Hashtbl.create 64 }
+  { issued = 0; completions = []; completed = 0; lost = 0; per_server = Hashtbl.create 64 }
 
 let record_issue t ~time:_ = t.issued <- t.issued + 1
+
+let record_lost t ~time:_ = t.lost <- t.lost + 1
 
 let record_completion t ~issued_at ~time ~server =
   t.completions <- (time, time -. issued_at) :: t.completions;
@@ -20,6 +23,7 @@ let record_completion t ~issued_at ~time ~server =
 
 let issued t = t.issued
 let completed t = t.completed
+let lost t = t.lost
 
 let completions_in t ~t0 ~t1 =
   List.fold_left
@@ -47,5 +51,6 @@ let response_percentile t p =
   | times -> Some (Adept_util.Stats.percentile times p)
 
 let pp ppf t =
-  Format.fprintf ppf "issued=%d completed=%d servers=%d" t.issued t.completed
+  Format.fprintf ppf "issued=%d completed=%d lost=%d servers=%d" t.issued t.completed
+    t.lost
     (Hashtbl.length t.per_server)

@@ -12,8 +12,15 @@ val record_issue : t -> time:float -> unit
 val record_completion : t -> issued_at:float -> time:float -> server:Node.id -> unit
 (** A client received the service response. *)
 
+val record_lost : t -> time:float -> unit
+(** A request was abandoned: every scheduling retry timed out, or the
+    service phase never answered (fault-injection runs only). *)
+
 val issued : t -> int
 val completed : t -> int
+
+val lost : t -> int
+(** Abandoned requests; 0 for fault-free runs. *)
 
 val completions_in : t -> t0:float -> t1:float -> int
 (** Completions with [t0 <= time < t1]. *)

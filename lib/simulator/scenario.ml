@@ -12,12 +12,13 @@ type t = {
   client : Client.t;
   selection : Middleware.selection;
   monitoring_period : float option;
+  faults : Faults.t;
   seed : int;
 }
 
-let make ?(selection = Middleware.Best_prediction) ?monitoring_period ?(seed = 1)
-    ~params ~platform ~client tree =
-  { params; platform; tree; client; selection; monitoring_period; seed }
+let make ?(selection = Middleware.Best_prediction) ?monitoring_period
+    ?(faults = Faults.none) ?(seed = 1) ~params ~platform ~client tree =
+  { params; platform; tree; client; selection; monitoring_period; faults; seed }
 
 type run_result = {
   clients : int;
@@ -26,14 +27,19 @@ type run_result = {
   throughput : float;
   completed_total : int;
   issued_total : int;
+  lost_total : int;
   mean_response : float option;
   p95_response : float option;
   per_server : (Node.id * int) list;
+  faults : Middleware.fault_stats;
   events : Engine.outcome;
 }
 
 (* Shared scaffolding of a run: deployed middleware, stats, and the
-   issue-one-request closure. *)
+   issue-one-request closure.  A failed request (both phases supervised
+   under fault injection) counts as lost and still fires [on_complete] so
+   closed-loop clients keep going rather than dying with their first lost
+   request. *)
 let prepare ?(trace = Trace.disabled) t =
   let engine = Engine.create () in
   let rng = Rng.create t.seed in
@@ -43,8 +49,8 @@ let prepare ?(trace = Trace.disabled) t =
     | other -> other
   in
   let middleware =
-    Middleware.deploy ~trace ~selection ?monitoring_period:t.monitoring_period ~engine
-      ~params:t.params ~platform:t.platform t.tree
+    Middleware.deploy ~trace ~selection ?monitoring_period:t.monitoring_period
+      ~faults:t.faults ~engine ~params:t.params ~platform:t.platform t.tree
   in
   let stats = Run_stats.create () in
   let mix = Client.mix t.client in
@@ -53,15 +59,23 @@ let prepare ?(trace = Trace.disabled) t =
     let job = Mix.draw mix rng in
     let wapp = Job.wapp job in
     Run_stats.record_issue stats ~time:issued_at;
-    Middleware.submit middleware ~wapp ~on_scheduled:(fun ~server ->
-        Middleware.request_service middleware ~server ~wapp ~on_done:(fun () ->
+    let on_failed () =
+      Run_stats.record_lost stats ~time:(Engine.now engine);
+      on_complete ()
+    in
+    Middleware.submit middleware ~wapp ~on_failed
+      ~on_scheduled:(fun ~server ->
+        Middleware.request_service middleware ~server ~on_failed ~wapp
+          ~on_done:(fun () ->
             Run_stats.record_completion stats ~issued_at ~time:(Engine.now engine)
               ~server;
-            on_complete ()))
+            on_complete ())
+          ())
+      ()
   in
-  (engine, rng, stats, issue_request)
+  (engine, rng, stats, middleware, issue_request)
 
-let finish ~clients ~warmup ~duration ~stats ~events =
+let finish ~clients ~warmup ~duration ~stats ~middleware ~events =
   let horizon = warmup +. duration in
   {
     clients;
@@ -70,9 +84,11 @@ let finish ~clients ~warmup ~duration ~stats ~events =
     throughput = Run_stats.throughput stats ~t0:warmup ~t1:horizon;
     completed_total = Run_stats.completed stats;
     issued_total = Run_stats.issued stats;
+    lost_total = Run_stats.lost stats;
     mean_response = Run_stats.mean_response_time stats;
     p95_response = Run_stats.response_percentile stats 95.0;
     per_server = Run_stats.per_server stats;
+    faults = Middleware.fault_stats middleware;
     events;
   }
 
@@ -80,7 +96,7 @@ let run_fixed ?trace ?max_events t ~clients ~warmup ~duration =
   if clients <= 0 then invalid_arg "Scenario.run_fixed: clients must be positive";
   if warmup < 0.0 || duration <= 0.0 then
     invalid_arg "Scenario.run_fixed: need warmup >= 0 and duration > 0";
-  let engine, _rng, stats, issue_request = prepare ?trace t in
+  let engine, _rng, stats, middleware, issue_request = prepare ?trace t in
   let horizon = warmup +. duration in
   let think = Client.think_time t.client in
   let rec client_loop () =
@@ -96,14 +112,14 @@ let run_fixed ?trace ?max_events t ~clients ~warmup ~duration =
     Engine.schedule_at engine ~time:(float_of_int i *. stagger) client_loop
   done;
   let events = Engine.run ~until:horizon ?max_events engine in
-  finish ~clients ~warmup ~duration ~stats ~events
+  finish ~clients ~warmup ~duration ~stats ~middleware ~events
 
 let run_open ?trace ?max_events t ~rate ~warmup ~duration =
   if rate <= 0.0 || not (Float.is_finite rate) then
     invalid_arg "Scenario.run_open: rate must be positive and finite";
   if warmup < 0.0 || duration <= 0.0 then
     invalid_arg "Scenario.run_open: need warmup >= 0 and duration > 0";
-  let engine, rng, stats, issue_request = prepare ?trace t in
+  let engine, rng, stats, middleware, issue_request = prepare ?trace t in
   let horizon = warmup +. duration in
   let rec arrival () =
     if Engine.now engine < horizon then begin
@@ -115,7 +131,7 @@ let run_open ?trace ?max_events t ~rate ~warmup ~duration =
   in
   Engine.schedule_at engine ~time:(Rng.exponential rng ~mean:(1.0 /. rate)) arrival;
   let events = Engine.run ~until:horizon ?max_events engine in
-  finish ~clients:0 ~warmup ~duration ~stats ~events
+  finish ~clients:0 ~warmup ~duration ~stats ~middleware ~events
 
 let throughput_series ?trace t ~client_counts ~warmup ~duration =
   List.map

@@ -17,20 +17,25 @@ type t = {
   client : Adept_workload.Client.t;
   selection : Middleware.selection;
   monitoring_period : float option;
+  faults : Faults.t;  (** Fault schedule; {!Faults.none} by default. *)
   seed : int;  (** Drives job draws from the mix (and Random selection). *)
 }
 
 val make :
   ?selection:Middleware.selection ->
   ?monitoring_period:float ->
+  ?faults:Faults.t ->
   ?seed:int ->
   params:Adept_model.Params.t ->
   platform:Platform.t ->
   client:Adept_workload.Client.t ->
   Tree.t ->
   t
-(** Default selection [Best_prediction], seed 1.  [monitoring_period] is
-    required by the [Database] selection (see {!Middleware.deploy}). *)
+(** Default selection [Best_prediction], seed 1, no faults.
+    [monitoring_period] is required by the [Database] selection (see
+    {!Middleware.deploy}).  [faults] installs the crash/recovery schedule;
+    with the default {!Faults.none} runs are bit-for-bit identical to the
+    fault-free simulator. *)
 
 type run_result = {
   clients : int;  (** Population, or 0 for open-loop runs. *)
@@ -39,9 +44,13 @@ type run_result = {
   throughput : float;  (** Completions/s inside the window. *)
   completed_total : int;
   issued_total : int;
+  lost_total : int;
+      (** Requests abandoned after retries (fault runs only; a closed-loop
+          client that loses a request goes on to its next one). *)
   mean_response : float option;
   p95_response : float option;
   per_server : (Node.id * int) list;
+  faults : Middleware.fault_stats;  (** All-zero on fault-free runs. *)
   events : Engine.outcome;
 }
 

@@ -21,6 +21,24 @@ let role_name = function
   | Server_end -> "server"
   | Client_end -> "client"
 
+type failure =
+  | Node_crash of int
+  | Node_recover of int
+  | Message_lost
+  | Request_timeout
+  | Request_abandoned
+  | Child_pruned of int * int
+  | Child_rejoined of int * int
+
+let failure_name = function
+  | Node_crash _ -> "node-crash"
+  | Node_recover _ -> "node-recover"
+  | Message_lost -> "message-lost"
+  | Request_timeout -> "request-timeout"
+  | Request_abandoned -> "request-abandoned"
+  | Child_pruned _ -> "child-pruned"
+  | Child_rejoined _ -> "child-rejoined"
+
 type t = {
   enabled : bool;
   counts : int array;  (* kind * role *)
@@ -28,6 +46,8 @@ type t = {
   mutable request_computes : float list;
   mutable reply_samples : (int * float) list;
   mutable predictions : float list;
+  mutable failures : (float * failure) list;
+  mutable recovery_latencies : float list;
 }
 
 let make enabled =
@@ -38,6 +58,8 @@ let make enabled =
     request_computes = [];
     reply_samples = [];
     predictions = [];
+    failures = [];
+    recovery_latencies = [];
   }
 
 let create () = make true
@@ -64,6 +86,12 @@ let record_agent_reply_compute t ~degree ~seconds =
 let record_server_prediction t ~seconds =
   if t.enabled then t.predictions <- seconds :: t.predictions
 
+let record_failure t ~time failure =
+  if t.enabled then t.failures <- (time, failure) :: t.failures
+
+let record_recovery_latency t ~seconds =
+  if t.enabled then t.recovery_latencies <- seconds :: t.recovery_latencies
+
 let message_count t kind role = t.counts.(cell ~kind ~role)
 
 let mean_message_size t kind role =
@@ -78,6 +106,12 @@ let reply_samples t = Array.of_list (List.rev t.reply_samples)
 
 let server_predictions t = Array.of_list (List.rev t.predictions)
 
+let failures t = List.rev t.failures
+
+let failure_count t = List.length t.failures
+
+let recovery_latencies t = Array.of_list (List.rev t.recovery_latencies)
+
 let pp_summary ppf t =
   List.iter
     (fun kind ->
@@ -90,4 +124,7 @@ let pp_summary ppf t =
                 (kind_name kind) (role_name role) (message_count t kind role) mean)
         [ Agent_end; Server_end; Client_end ])
     [ Sched_request; Sched_reply; Service_request; Service_reply ];
+  if t.failures <> [] then
+    Format.fprintf ppf "failure events: %d (last %s)@." (failure_count t)
+      (match t.failures with (_, f) :: _ -> failure_name f | [] -> "-");
   Format.fprintf ppf "total traffic: %.3f Mbit" (total_mbit t)

@@ -12,6 +12,19 @@ type message_kind = Sched_request | Sched_reply | Service_request | Service_repl
 
 type role = Agent_end | Server_end | Client_end
 
+type failure =
+  | Node_crash of int  (** The node with this id went down. *)
+  | Node_recover of int
+  | Message_lost  (** Dropped in transit or delivered to a dead node. *)
+  | Request_timeout  (** A client round trip timed out (retry follows). *)
+  | Request_abandoned  (** Retry budget exhausted; the request is lost. *)
+  | Child_pruned of int * int  (** [(agent, child)]: failover removed the
+                                   silent child from the routing tree. *)
+  | Child_rejoined of int * int  (** [(agent, child)]: re-registration
+                                     after recovery. *)
+
+val failure_name : failure -> string
+
 type t
 
 val create : unit -> t
@@ -35,6 +48,13 @@ val record_agent_reply_compute : t -> degree:int -> seconds:float -> unit
 val record_server_prediction : t -> seconds:float -> unit
 (** Duration of one server [Wpre] step. *)
 
+val record_failure : t -> time:float -> failure -> unit
+(** One fault-injection or recovery observation at simulated [time]. *)
+
+val record_recovery_latency : t -> seconds:float -> unit
+(** Time from a node's crash to the routing tree healing around it (its
+    parent pruning it after the reply timeout). *)
+
 val message_count : t -> message_kind -> role -> int
 val mean_message_size : t -> message_kind -> role -> float option
 (** Mbit; [None] when no such observation exists. *)
@@ -48,5 +68,13 @@ val reply_samples : t -> (int * float) array
 (** (degree, seconds) samples for the [Wrep] fit. *)
 
 val server_predictions : t -> float array
+
+val failures : t -> (float * failure) list
+(** Chronological failure events (empty for fault-free runs — the
+    determinism regression compares these streams). *)
+
+val failure_count : t -> int
+
+val recovery_latencies : t -> float array
 
 val pp_summary : Format.formatter -> t -> unit

@@ -679,6 +679,62 @@ let test_planner_compare () =
   in
   Alcotest.(check int) "two results" 2 (List.length results)
 
+let test_planner_replan_prunes_failed () =
+  let platform = Generator.grid5000_lyon ~n:12 () in
+  let wapp = dgemm 310 in
+  match
+    Planner.replan Planner.Heuristic params ~platform ~wapp ~demand:Demand.unbounded
+      ~failed:[ 5; 2; 5 ] ()
+  with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+      Alcotest.(check (list int)) "failed sorted and deduplicated" [ 2; 5 ]
+        r.Planner.failed;
+      Alcotest.(check int) "survivors" 10 r.Planner.survivors;
+      let tree = r.Planner.replanned.Planner.tree in
+      Alcotest.(check bool) "valid on the original platform" true
+        (Validate.is_valid ~platform tree);
+      Alcotest.(check bool) "failed nodes absent from the new hierarchy" true
+        (List.for_all (fun n -> not (List.mem (Node.id n) [ 2; 5 ])) (Tree.nodes tree));
+      Alcotest.(check bool) "losing nodes cannot help" true
+        (r.Planner.rho_after <= r.Planner.rho_before +. 1e-9);
+      check_close "rho_after is the replanned prediction"
+        r.Planner.replanned.Planner.predicted_rho r.Planner.rho_after;
+      Alcotest.(check bool) "drop in [0, 1]" true
+        (r.Planner.rho_drop >= 0.0 && r.Planner.rho_drop <= 1.0)
+
+let test_planner_replan_reference () =
+  (* against an explicit pre-failure hierarchy, the drop is measured from
+     that hierarchy's rho, not from a fresh plan *)
+  let platform = Generator.grid5000_lyon ~n:8 () in
+  let wapp = dgemm 310 in
+  let reference =
+    match Baselines.star (Platform.sorted_by_power_desc platform) with
+    | Ok t -> t
+    | Error e -> Alcotest.fail e
+  in
+  match
+    Planner.replan Planner.Heuristic params ~platform ~wapp ~demand:Demand.unbounded
+      ~failed:[ 3 ] ~reference ()
+  with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+      check_close "rho_before is the reference rho"
+        (Evaluate.rho_on params ~platform ~wapp reference)
+        r.Planner.rho_before
+
+let test_planner_replan_errors () =
+  let platform = Generator.grid5000_lyon ~n:4 () in
+  let wapp = dgemm 310 in
+  let replan failed =
+    Planner.replan Planner.Heuristic params ~platform ~wapp ~demand:Demand.unbounded
+      ~failed ()
+  in
+  Alcotest.(check bool) "off-platform id rejected" true (Result.is_error (replan [ 99 ]));
+  Alcotest.(check bool) "fewer than two survivors rejected" true
+    (Result.is_error (replan [ 0; 1; 2 ]));
+  Alcotest.(check bool) "empty failed list rejected" true (Result.is_error (replan []))
+
 (* ---------- properties ---------- *)
 
 let prop_heuristic_always_valid =
@@ -750,6 +806,47 @@ let prop_normalize_always_validates =
           let t' = Adept_hierarchy.Tree.normalize t in
           Validate.is_valid t'
           && Adept_hierarchy.Tree.size t' = Adept_hierarchy.Tree.size t)
+
+let prop_heuristic_bounded_by_oracle =
+  (* the exhaustive planner is the ground truth on small platforms: the
+     heuristic may tie it but must never claim a higher throughput, and
+     both must agree with Demand.is_met about whether a demand is
+     satisfied *)
+  QCheck.Test.make ~count:50
+    ~name:"oracle: heuristic never predicts above the exhaustive optimum"
+    QCheck.(pair (int_range 0 10_000) (int_range 2 Exhaustive.default_max_nodes))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let platform =
+        Generator.uniform_heterogeneous ~bandwidth:1000.0 ~rng ~n ~power_min:100.0
+          ~power_max:1500.0 ()
+      in
+      let wapp = dgemm 310 in
+      match Exhaustive.optimal params ~platform ~wapp () with
+      | Error _ -> false
+      | Ok (opt_tree, opt_rho) -> (
+          match Heuristic.plan params ~platform ~wapp ~demand:Demand.unbounded with
+          | Error _ -> false
+          | Ok heur ->
+              let bounded_by_oracle =
+                heur.Heuristic.predicted_rho <= opt_rho *. (1.0 +. 1e-9) +. 1e-9
+              in
+              (* a demand strictly below the optimum: the heuristic's
+                 demand_met flag must agree with Demand.is_met on its own
+                 prediction, and claiming the demand met implies the
+                 oracle meets it too *)
+              let feasible = Demand.rate (0.5 *. opt_rho) in
+              let demand_consistent =
+                match Heuristic.plan params ~platform ~wapp ~demand:feasible with
+                | Error _ -> false
+                | Ok h ->
+                    Bool.equal h.Heuristic.demand_met
+                      (Demand.is_met feasible h.Heuristic.predicted_rho)
+                    && ((not h.Heuristic.demand_met) || Demand.is_met feasible opt_rho)
+              in
+              Validate.is_valid ~platform opt_tree
+              && Validate.is_valid ~platform heur.Heuristic.tree
+              && opt_rho > 0.0 && bounded_by_oracle && demand_consistent))
 
 let prop_dary_valid_and_spanning =
   QCheck.Test.make ~count:150 ~name:"dary trees always validate and span"
@@ -860,6 +957,11 @@ let () =
           Alcotest.test_case "multi-cluster on two sites" `Quick
             test_planner_multi_cluster_on_two_sites;
           Alcotest.test_case "compare" `Quick test_planner_compare;
+          Alcotest.test_case "replan prunes failed nodes" `Quick
+            test_planner_replan_prunes_failed;
+          Alcotest.test_case "replan against reference" `Quick
+            test_planner_replan_reference;
+          Alcotest.test_case "replan errors" `Quick test_planner_replan_errors;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
@@ -868,6 +970,7 @@ let () =
             prop_heuristic_dominates_star;
             prop_improver_preserves_validity;
             prop_normalize_always_validates;
+            prop_heuristic_bounded_by_oracle;
             prop_dary_valid_and_spanning;
           ] );
     ]

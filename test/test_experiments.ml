@@ -173,7 +173,7 @@ let test_ablation_monitoring_staleness () =
   Alcotest.(check bool) "second-scale staleness collapses" true (slow < 0.5 *. fresh)
 
 let test_registry_complete () =
-  Alcotest.(check int) "fourteen experiments" 14 (List.length Registry.all);
+  Alcotest.(check int) "fifteen experiments" 15 (List.length Registry.all);
   List.iter
     (fun id ->
       Alcotest.(check bool) ("find " ^ id) true (Registry.find id <> None))

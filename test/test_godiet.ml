@@ -135,6 +135,33 @@ let test_writer_parse_garbage () =
     (Result.is_error (Writer.parse_document "<godiet_deployment></godiet_deployment>"));
   Alcotest.(check bool) "empty" true (Result.is_error (Writer.parse_document ""))
 
+(* ---------- golden files ----------
+
+   The serialized form of the fixed 5-node plan is pinned byte-for-byte in
+   test/golden/*.xml (declared as test deps in test/dune).  A mismatch
+   means the on-disk XML format changed: if intentional, regenerate the
+   goldens from Writer.document / Xml.to_string and mention the format
+   break in the changelog. *)
+
+let read_golden name =
+  (* dune materializes the golden deps next to the test executable; resolve
+     from there so `dune exec test/test_godiet.exe` works from any cwd *)
+  let path = Filename.concat (Filename.dirname Sys.executable_name) name in
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_writer_golden_deployment () =
+  Alcotest.(check string) "GoDIET deployment XML is byte-stable"
+    (read_golden "golden/deployment_5node.xml")
+    (Writer.document (platform ()) (sample ()))
+
+let test_hierarchy_xml_golden () =
+  Alcotest.(check string) "hierarchy XML is byte-stable"
+    (read_golden "golden/hierarchy_5node.xml")
+    (Adept_hierarchy.Xml.to_string (sample ()))
+
 (* ---------- Launcher ---------- *)
 
 let test_launcher_ready_time () =
@@ -155,9 +182,12 @@ let test_launcher_xml_end_to_end () =
   | Ok launched ->
       let m = launched.Launcher.middleware in
       let completed = ref false in
-      Adept_sim.Middleware.submit m ~wapp:16.0 ~on_scheduled:(fun ~server ->
-          Adept_sim.Middleware.request_service m ~server ~wapp:16.0 ~on_done:(fun () ->
-              completed := true));
+      Adept_sim.Middleware.submit m ~wapp:16.0
+        ~on_scheduled:(fun ~server ->
+          Adept_sim.Middleware.request_service m ~server ~wapp:16.0
+            ~on_done:(fun () -> completed := true)
+            ())
+        ();
       ignore (Adept_sim.Engine.run engine);
       Alcotest.(check bool) "request completed through launched hierarchy" true !completed
 
@@ -292,6 +322,8 @@ let () =
           Alcotest.test_case "hetero platform rejected" `Quick
             test_writer_hetero_platform_rejected;
           Alcotest.test_case "parse garbage" `Quick test_writer_parse_garbage;
+          Alcotest.test_case "golden deployment xml" `Quick test_writer_golden_deployment;
+          Alcotest.test_case "golden hierarchy xml" `Quick test_hierarchy_xml_golden;
         ] );
       ( "launcher",
         [

@@ -7,6 +7,7 @@ module Resource = Adept_sim.Resource
 module Network = Adept_sim.Network
 module Trace = Adept_sim.Trace
 module Middleware = Adept_sim.Middleware
+module Faults = Adept_sim.Faults
 module Run_stats = Adept_sim.Run_stats
 module Scenario = Adept_sim.Scenario
 module Params = Adept_model.Params
@@ -297,9 +298,12 @@ let test_middleware_single_request_timing () =
   let wapp = 16.0 in
   let b = 100.0 and w = 730.0 in
   let done_at = ref Float.nan in
-  Middleware.submit m ~wapp ~on_scheduled:(fun ~server ->
-      Middleware.request_service m ~server ~wapp ~on_done:(fun () ->
-          done_at := Engine.now engine));
+  Middleware.submit m ~wapp
+    ~on_scheduled:(fun ~server ->
+      Middleware.request_service m ~server ~wapp
+        ~on_done:(fun () -> done_at := Engine.now engine)
+        ())
+    ();
   ignore (Engine.run engine);
   let sched =
     (params.Params.agent.sreq /. b) (* client -> root receive *)
@@ -332,7 +336,7 @@ let test_middleware_selects_stronger_server () =
   let engine = Engine.create () in
   let m = Middleware.deploy ~engine ~params ~platform tree in
   let chosen = ref (-1) in
-  Middleware.submit m ~wapp:16.0 ~on_scheduled:(fun ~server -> chosen := server);
+  Middleware.submit m ~wapp:16.0 ~on_scheduled:(fun ~server -> chosen := server) ();
   ignore (Engine.run engine);
   Alcotest.(check int) "fast server chosen" 2 !chosen
 
@@ -346,9 +350,11 @@ let test_middleware_round_robin () =
   let chosen = ref [] in
   let rec submit k =
     if k > 0 then
-      Middleware.submit m ~wapp:1.0 ~on_scheduled:(fun ~server ->
+      Middleware.submit m ~wapp:1.0
+        ~on_scheduled:(fun ~server ->
           chosen := server :: !chosen;
           submit (k - 1))
+        ()
   in
   submit 6;
   ignore (Engine.run engine);
@@ -372,10 +378,13 @@ let test_middleware_two_level_flow () =
   let trace = Trace.create () in
   let m = Middleware.deploy ~trace ~engine ~params ~platform tree in
   let completed = ref false in
-  Middleware.submit m ~wapp:1.0 ~on_scheduled:(fun ~server ->
+  Middleware.submit m ~wapp:1.0
+    ~on_scheduled:(fun ~server ->
       Alcotest.(check bool) "a server was chosen" true (server >= 3);
-      Middleware.request_service m ~server ~wapp:1.0 ~on_done:(fun () ->
-          completed := true));
+      Middleware.request_service m ~server ~wapp:1.0
+        ~on_done:(fun () -> completed := true)
+        ())
+    ();
   ignore (Engine.run engine);
   Alcotest.(check bool) "completed" true !completed;
   Alcotest.(check int) "4 predictions" 4 (Array.length (Trace.server_predictions trace));
@@ -404,10 +413,14 @@ let test_middleware_database_selection () =
   let completed = ref 0 in
   let rec loop k =
     if k > 0 then
-      Middleware.submit m ~wapp:16.0 ~on_scheduled:(fun ~server ->
-          Middleware.request_service m ~server ~wapp:16.0 ~on_done:(fun () ->
+      Middleware.submit m ~wapp:16.0
+        ~on_scheduled:(fun ~server ->
+          Middleware.request_service m ~server ~wapp:16.0
+            ~on_done:(fun () ->
               incr completed;
-              loop (k - 1)))
+              loop (k - 1))
+            ())
+        ()
   in
   loop 20;
   ignore (Engine.run ~until:30.0 engine);
@@ -445,7 +458,7 @@ let test_middleware_service_to_agent_rejected () =
   let engine = Engine.create () in
   let m = Middleware.deploy ~engine ~params ~platform tree in
   Alcotest.(check bool) "agent target rejected" true
-    (match Middleware.request_service m ~server:0 ~wapp:1.0 ~on_done:(fun () -> ()) with
+    (match Middleware.request_service m ~server:0 ~wapp:1.0 ~on_done:(fun () -> ()) () with
     | exception Invalid_argument _ -> true
     | _ -> false)
 
@@ -590,6 +603,190 @@ let test_scenario_think_time_lowers_load () =
   (* 5 clients with >= 1s cycle each can at most do ~5 req/s *)
   Alcotest.(check bool) "throttled by think time" true (r.Scenario.throughput < 6.0)
 
+(* ---------- Faults ---------- *)
+
+let test_faults_none_inert () =
+  Alcotest.(check bool) "none is none" true (Faults.is_none Faults.none);
+  Alcotest.(check bool) "make () is none" true (Faults.is_none (Faults.make ()));
+  Alcotest.(check bool) "a crash is not none" false
+    (Faults.is_none (Faults.crash ~node:1 ~at:1.0 (Faults.make ())));
+  Alcotest.(check bool) "message loss is not none" false
+    (Faults.is_none
+       (Faults.with_message_loss ~probability:0.1 ~seed:3 (Faults.make ())))
+
+let test_faults_validation () =
+  let invalid f = match f () with exception Invalid_argument _ -> true | _ -> false in
+  Alcotest.(check bool) "recover before crash" true
+    (invalid (fun () -> Faults.crash ~node:1 ~at:2.0 ~recover_at:1.0 (Faults.make ())));
+  Alcotest.(check bool) "probability >= 1" true
+    (invalid (fun () ->
+         Faults.with_message_loss ~probability:1.0 ~seed:1 (Faults.make ())));
+  Alcotest.(check bool) "zero degradation factor" true
+    (invalid (fun () -> Faults.degrade ~from_:0.0 ~until:1.0 ~factor:0.0 (Faults.make ())));
+  Alcotest.(check bool) "backoff below 1" true
+    (invalid (fun () -> Faults.make ~backoff:0.5 ()))
+
+let test_faults_bandwidth_factor () =
+  let f =
+    Faults.make ()
+    |> Faults.degrade ~from_:1.0 ~until:2.0 ~factor:0.5
+    |> Faults.degrade ~from_:1.5 ~until:3.0 ~factor:0.5
+  in
+  check_close "outside all windows" 1.0 (Faults.bandwidth_factor f ~now:0.5);
+  check_close "inside one window" 0.5 (Faults.bandwidth_factor f ~now:1.2);
+  check_close "overlapping windows multiply" 0.25 (Faults.bandwidth_factor f ~now:1.7)
+
+let test_faults_seeded_crashes_deterministic () =
+  let gen seed =
+    Faults.seeded_crashes
+      ~rng:(Adept_util.Rng.create seed)
+      ~nodes:[ 1; 2; 3 ] ~rate:0.5 ~mttr:1.0 ~horizon:10.0 (Faults.make ())
+  in
+  let events seed =
+    List.map
+      (fun (e : Faults.node_event) -> (e.Faults.node, e.Faults.at, e.Faults.kind))
+      (Faults.events_before (gen seed) ~horizon:10.0)
+  in
+  Alcotest.(check bool) "same seed, same schedule" true (events 4 = events 4);
+  Alcotest.(check bool) "non-empty at rate 0.5 over 10s" true (events 4 <> []);
+  let times = List.map (fun (_, t, _) -> t) (events 4) in
+  Alcotest.(check bool) "chronological" true (List.sort Float.compare times = times)
+
+(* A structural fingerprint of everything a trace records; exact float
+   equality throughout — the determinism regression compares these. *)
+let trace_fingerprint tr =
+  let kinds =
+    [ Trace.Sched_request; Trace.Sched_reply; Trace.Service_request; Trace.Service_reply ]
+  in
+  let roles = [ Trace.Agent_end; Trace.Server_end; Trace.Client_end ] in
+  let counts =
+    List.concat_map (fun k -> List.map (fun r -> Trace.message_count tr k r) roles) kinds
+  in
+  ( counts,
+    Trace.total_mbit tr,
+    Trace.agent_request_computes tr,
+    Trace.reply_samples tr,
+    Trace.server_predictions tr,
+    Trace.failures tr )
+
+let fault_scenario ?faults ~seed () =
+  let platform = star_platform 3 in
+  let tree = star_tree platform in
+  let job = Adept_workload.Job.of_dgemm (Adept_workload.Dgemm.make 200) in
+  Scenario.make ?faults ~seed ~params ~platform
+    ~client:(Adept_workload.Client.closed_loop job) tree
+
+let test_scenario_empty_faults_bit_identical () =
+  (* the ISSUE's determinism regression: a run with no fault argument, one
+     with Faults.none and one with an empty Faults.make () must produce
+     identical traces and stats — the fault machinery may not perturb the
+     event stream at all when inert *)
+  let run faults =
+    let s = fault_scenario ?faults ~seed:5 () in
+    let trace = Trace.create () in
+    let r = Scenario.run_fixed ~trace s ~clients:12 ~warmup:0.5 ~duration:2.0 in
+    (r, trace_fingerprint trace)
+  in
+  let r0, f0 = run None in
+  let r1, f1 = run (Some Faults.none) in
+  let r2, f2 = run (Some (Faults.make ())) in
+  Alcotest.(check bool) "Faults.none: identical trace" true (f1 = f0);
+  Alcotest.(check bool) "Faults.make (): identical trace" true (f2 = f0);
+  List.iter
+    (fun (name, (r : Scenario.run_result)) ->
+      Alcotest.(check (float 0.0)) (name ^ ": throughput bit-identical")
+        r0.Scenario.throughput r.Scenario.throughput;
+      Alcotest.(check int) (name ^ ": completed") r0.Scenario.completed_total
+        r.Scenario.completed_total;
+      Alcotest.(check int) (name ^ ": issued") r0.Scenario.issued_total
+        r.Scenario.issued_total;
+      Alcotest.(check int) (name ^ ": nothing lost") 0 r.Scenario.lost_total;
+      Alcotest.(check (option (float 0.0))) (name ^ ": mean response")
+        r0.Scenario.mean_response r.Scenario.mean_response;
+      Alcotest.(check bool) (name ^ ": fault stats all zero") true
+        (r.Scenario.faults = r0.Scenario.faults
+        && r.Scenario.faults.Middleware.crashes = 0
+        && r.Scenario.faults.Middleware.messages_lost = 0
+        && r.Scenario.faults.Middleware.recovery_latencies = []))
+    [ ("Faults.none", r1); ("Faults.make ()", r2) ];
+  let _, _, _, _, _, failures = f0 in
+  Alcotest.(check int) "no failure events" 0 (List.length failures)
+
+let test_scenario_fault_run_deterministic () =
+  (* same non-trivial fault schedule + same seed => identical everything,
+     including the message-loss stream *)
+  let run () =
+    let faults =
+      Faults.make ~service_timeout:0.5 ~patience:0.2 ()
+      |> Faults.crash ~node:1 ~at:1.2 ~recover_at:2.6
+      |> Faults.with_message_loss ~probability:0.05 ~seed:9
+    in
+    let s = fault_scenario ~faults ~seed:5 () in
+    let trace = Trace.create () in
+    let r = Scenario.run_fixed ~trace s ~clients:12 ~warmup:0.5 ~duration:2.5 in
+    ( r.Scenario.throughput,
+      r.Scenario.completed_total,
+      r.Scenario.issued_total,
+      r.Scenario.lost_total,
+      r.Scenario.faults,
+      trace_fingerprint trace )
+  in
+  Alcotest.(check bool) "fault run replays identically" true (run () = run ())
+
+let test_scenario_crash_metrics_nonzero () =
+  (* the ISSUE's fault-path test: a server crash mid-run must surface in
+     every fault metric — lost requests, recovery latency, prune/rejoin *)
+  let platform = star_platform 2 in
+  let tree = star_tree platform in
+  let job = Adept_workload.Job.of_dgemm (Adept_workload.Dgemm.make 200) in
+  let faults =
+    Faults.make ~timeout:0.3 ~service_timeout:0.4 ~patience:0.2 ()
+    |> Faults.crash ~node:1 ~at:1.5 ~recover_at:3.5
+  in
+  let s =
+    Scenario.make ~faults ~seed:3 ~params ~platform
+      ~client:(Adept_workload.Client.closed_loop job) tree
+  in
+  let trace = Trace.create () in
+  let r = Scenario.run_fixed ~trace s ~clients:10 ~warmup:1.0 ~duration:4.0 in
+  let fs = r.Scenario.faults in
+  Alcotest.(check int) "one crash" 1 fs.Middleware.crashes;
+  Alcotest.(check int) "one recovery" 1 fs.Middleware.recoveries;
+  Alcotest.(check bool) "parent pruned the dead child" true (fs.Middleware.prunes >= 1);
+  Alcotest.(check bool) "child rejoined after recovery" true (fs.Middleware.rejoins >= 1);
+  Alcotest.(check bool) "lost requests recorded" true (r.Scenario.lost_total > 0);
+  Alcotest.(check bool) "recovery latencies recorded and positive" true
+    (fs.Middleware.recovery_latencies <> []
+    && List.for_all (fun l -> l > 0.0) fs.Middleware.recovery_latencies);
+  Alcotest.(check bool) "failure events traced" true (Trace.failure_count trace > 0);
+  Alcotest.(check bool) "crash event present" true
+    (List.exists (fun (_, f) -> f = Trace.Node_crash 1) (Trace.failures trace));
+  Alcotest.(check bool) "prune event names agent and child" true
+    (List.exists
+       (fun (_, f) -> match f with Trace.Child_pruned (0, 1) -> true | _ -> false)
+       (Trace.failures trace));
+  Alcotest.(check bool) "the surviving server keeps completing" true
+    (r.Scenario.completed_total > 0);
+  Alcotest.(check bool) "conservation with losses" true
+    (r.Scenario.completed_total + r.Scenario.lost_total <= r.Scenario.issued_total);
+  Alcotest.(check int) "trace latencies match middleware stats"
+    (List.length fs.Middleware.recovery_latencies)
+    (Array.length (Trace.recovery_latencies trace))
+
+let test_scenario_message_loss_metrics () =
+  let faults =
+    Faults.make ~timeout:0.3 ~service_timeout:0.5 ()
+    |> Faults.with_message_loss ~probability:0.15 ~seed:11
+  in
+  let s = fault_scenario ~faults ~seed:5 () in
+  let r = Scenario.run_fixed s ~clients:8 ~warmup:1.0 ~duration:3.0 in
+  let fs = r.Scenario.faults in
+  Alcotest.(check bool) "messages dropped" true (fs.Middleware.messages_lost > 0);
+  Alcotest.(check bool) "timeouts and retries happened" true (fs.Middleware.timeouts > 0);
+  Alcotest.(check int) "no crashes" 0 fs.Middleware.crashes;
+  Alcotest.(check bool) "the system still completes requests" true
+    (r.Scenario.completed_total > 0)
+
 (* ---------- properties ---------- *)
 
 let prop_sim_conservation =
@@ -643,8 +840,10 @@ let prop_sim_busy_bounded =
       let horizon = 2.0 in
       let rec loop () =
         if Engine.now engine < horizon then
-          Middleware.submit m ~wapp:16.0 ~on_scheduled:(fun ~server ->
-              Middleware.request_service m ~server ~wapp:16.0 ~on_done:loop)
+          Middleware.submit m ~wapp:16.0
+            ~on_scheduled:(fun ~server ->
+              Middleware.request_service m ~server ~wapp:16.0 ~on_done:loop ())
+            ()
       in
       for i = 0 to 4 do
         Engine.schedule_at engine ~time:(0.05 *. float_of_int i) loop
@@ -742,6 +941,22 @@ let () =
           Alcotest.test_case "open loop deterministic" `Quick
             test_scenario_open_loop_deterministic;
           Alcotest.test_case "percentiles" `Quick test_scenario_percentiles_ordered;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "none is inert" `Quick test_faults_none_inert;
+          Alcotest.test_case "validation" `Quick test_faults_validation;
+          Alcotest.test_case "bandwidth factor" `Quick test_faults_bandwidth_factor;
+          Alcotest.test_case "seeded crashes deterministic" `Quick
+            test_faults_seeded_crashes_deterministic;
+          Alcotest.test_case "empty schedule bit-identical" `Quick
+            test_scenario_empty_faults_bit_identical;
+          Alcotest.test_case "fault run deterministic" `Quick
+            test_scenario_fault_run_deterministic;
+          Alcotest.test_case "crash metrics non-zero" `Quick
+            test_scenario_crash_metrics_nonzero;
+          Alcotest.test_case "message loss metrics" `Quick
+            test_scenario_message_loss_metrics;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
