@@ -142,7 +142,7 @@ let bench_fault_sweep =
   let tree = Adept_hierarchy.Tree.star (List.hd nodes) (List.tl nodes) in
   let job = Adept_workload.Job.of_dgemm (Adept_workload.Dgemm.make 200) in
   let faults =
-    Adept_sim.Faults.make ()
+    Adept_sim.Faults.make_exn ()
     |> Adept_sim.Faults.seeded_crashes
          ~rng:(Adept_util.Rng.create 11)
          ~nodes:[ 1; 2 ] ~rate:0.5 ~mttr:0.3 ~horizon:1.5
@@ -152,6 +152,35 @@ let bench_fault_sweep =
       ~client:(Adept_workload.Client.closed_loop job) tree
   in
   Bechamel.Test.make ~name:"fault-sweep/simulate-point"
+    (Bechamel.Staged.stage (fun () ->
+         ignore (Adept_sim.Scenario.run_fixed scenario ~clients:10 ~warmup:0.5 ~duration:1.0)))
+
+let bench_self_heal =
+  (* self-heal kernel: the fault-sweep point with the hysteresis controller
+     sampling on top — times the supervision loop plus at most one online
+     redeployment against bench_fault_sweep's controller-free twin. *)
+  let platform = lyon 4 in
+  let nodes = Adept_platform.Platform.nodes platform in
+  let tree = Adept_hierarchy.Tree.star (List.hd nodes) (List.tl nodes) in
+  let job = Adept_workload.Job.of_dgemm (Adept_workload.Dgemm.make 200) in
+  let faults =
+    Adept_sim.Faults.make_exn ()
+    |> Adept_sim.Faults.crash ~node:1 ~at:0.4
+  in
+  let controller =
+    match
+      Adept_sim.Controller.config ~strategy:Adept.Planner.Star ~sample_period:0.1
+        ~window:0.5 ~threshold:0.6 ~hold_time:0.2 ~cooldown:0.5 ~min_gain:0.0
+        ~max_replans:1 ~restart_latency:0.05 Adept_sim.Controller.Hysteresis
+    with
+    | Ok cfg -> cfg
+    | Error e -> failwith (Adept.Error.to_string e)
+  in
+  let scenario =
+    Adept_sim.Scenario.make ~faults ~controller ~params ~platform
+      ~client:(Adept_workload.Client.closed_loop job) tree
+  in
+  Bechamel.Test.make ~name:"self-heal/simulate-point"
     (Bechamel.Staged.stage (fun () ->
          ignore (Adept_sim.Scenario.run_fixed scenario ~clients:10 ~warmup:0.5 ~duration:1.0)))
 
@@ -191,8 +220,8 @@ let run_micro () =
     Test.make_grouped ~name:"adept"
       [
         bench_table3; bench_fig2_3; bench_fig4_5; bench_table4; bench_fig6;
-        bench_fig7; bench_fault_sweep; bench_plan_2000; bench_event_queue;
-        bench_xml;
+        bench_fig7; bench_fault_sweep; bench_self_heal; bench_plan_2000;
+        bench_event_queue; bench_xml;
       ]
   in
   let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 1.5) ~kde:(Some 1000) () in

@@ -15,6 +15,10 @@ let exit_err msg =
   prerr_endline ("adept: " ^ msg);
   exit 1
 
+(* Typed errors from the planning/replanning pipeline become exit
+   diagnostics here, at the edge. *)
+let exit_error e = exit_err (Adept.Error.to_string e)
+
 let params = Adept_model.Params.diet_lyon
 
 (* ---------- shared arguments ---------- *)
@@ -128,12 +132,12 @@ let plan_cmd =
     let strategy =
       match Adept.Planner.strategy_of_string strategy with
       | Ok s -> s
-      | Error e -> exit_err e
+      | Error e -> exit_error e
     in
     match
       Adept.Planner.run strategy params ~platform ~wapp ~demand:(demand_of demand)
     with
-    | Error e -> exit_err e
+    | Error e -> exit_error e
     | Ok plan ->
         Format.printf "%a@." Adept.Planner.pp_plan plan;
         (match
@@ -195,7 +199,8 @@ let eval_cmd =
 
 let simulate_cmd =
   let run file n power bandwidth hetero seed dgemm demand strategy clients warmup
-      duration crash_rate mttr drop fault_seed =
+      duration crash_rate mttr drop fault_seed timeout service_timeout retries
+      backoff patience self_heal degrade_threshold cooldown max_replans =
     if crash_rate < 0.0 then exit_err "--crash-rate must be >= 0";
     if not (drop >= 0.0 && drop < 1.0) then exit_err "--drop must be in [0, 1)";
     if mttr <= 0.0 then exit_err "--mttr must be > 0";
@@ -204,12 +209,32 @@ let simulate_cmd =
     let strategy =
       match Adept.Planner.strategy_of_string strategy with
       | Ok s -> s
-      | Error e -> exit_err e
+      | Error e -> exit_error e
+    in
+    let controller =
+      match self_heal with
+      | None -> None
+      | Some policy_name -> (
+          let policy =
+            match policy_name with
+            | "off" -> Adept_sim.Controller.Off
+            | "eager" -> Adept_sim.Controller.Eager
+            | "hysteresis" -> Adept_sim.Controller.Hysteresis
+            | other ->
+                exit_err
+                  ("--self-heal must be off, eager or hysteresis, got " ^ other)
+          in
+          match
+            Adept_sim.Controller.config ~strategy ~threshold:degrade_threshold
+              ~cooldown ~max_replans policy
+          with
+          | Ok cfg -> Some cfg
+          | Error e -> exit_error e)
     in
     match
       Adept.Planner.run strategy params ~platform ~wapp ~demand:(demand_of demand)
     with
-    | Error e -> exit_err e
+    | Error e -> exit_error e
     | Ok plan ->
         Format.printf "%a@." Adept.Planner.pp_plan plan;
         let job = Adept_workload.Job.of_dgemm (Adept_workload.Dgemm.make dgemm) in
@@ -226,7 +251,14 @@ let simulate_cmd =
                   if id = root then None else Some id)
                 (Adept_hierarchy.Tree.nodes tree)
             in
-            let f = Adept_sim.Faults.make () in
+            let f =
+              match
+                Adept_sim.Faults.make ~timeout ~service_timeout
+                  ~max_retries:retries ~backoff ~patience ()
+              with
+              | Ok f -> f
+              | Error e -> exit_error e
+            in
             let f =
               if crash_rate > 0.0 then
                 Adept_sim.Faults.seeded_crashes
@@ -241,7 +273,7 @@ let simulate_cmd =
           end
         in
         let scenario =
-          Adept_sim.Scenario.make ~faults ~seed ~params ~platform
+          Adept_sim.Scenario.make ~faults ?controller ~seed ~params ~platform
             ~client:(Adept_workload.Client.closed_loop job)
             plan.Adept.Planner.tree
         in
@@ -261,12 +293,24 @@ let simulate_cmd =
             f.Adept_sim.Middleware.messages_lost f.Adept_sim.Middleware.timeouts
             f.Adept_sim.Middleware.abandoned f.Adept_sim.Middleware.prunes
             f.Adept_sim.Middleware.rejoins;
-          match f.Adept_sim.Middleware.recovery_latencies with
+          (match f.Adept_sim.Middleware.recovery_latencies with
           | [] -> ()
           | ls ->
               Printf.printf "mean recovery latency: %.3fs over %d prune(s)\n"
                 (List.fold_left ( +. ) 0.0 ls /. float_of_int (List.length ls))
-                (List.length ls)
+                (List.length ls))
+        end;
+        if controller <> None then begin
+          Printf.printf
+            "self-heal: %d replan(s) enacted, %.2fs degraded, %d request(s) lost \
+             mid-migration\n"
+            (List.length r.Adept_sim.Scenario.replans)
+            r.Adept_sim.Scenario.degraded_seconds
+            r.Adept_sim.Scenario.migration_lost;
+          List.iter
+            (fun record ->
+              Format.printf "  %a@." Adept_sim.Controller.pp_record record)
+            r.Adept_sim.Scenario.replans
         end
   in
   let clients =
@@ -298,11 +342,51 @@ let simulate_cmd =
     Arg.(value & opt int 7 & info [ "fault-seed" ] ~docv:"SEED"
            ~doc:"Seed for the crash schedule and message-loss stream.")
   in
+  let timeout =
+    Arg.(value & opt float 0.5 & info [ "timeout" ] ~docv:"SECONDS"
+           ~doc:"Fault reaction: client-side scheduling round-trip timeout.")
+  in
+  let service_timeout =
+    Arg.(value & opt float 5.0 & info [ "service-timeout" ] ~docv:"SECONDS"
+           ~doc:"Fault reaction: client-side service-phase timeout.")
+  in
+  let retries =
+    Arg.(value & opt int 3 & info [ "retries" ] ~docv:"N"
+           ~doc:"Fault reaction: scheduling retries after the first attempt.")
+  in
+  let backoff =
+    Arg.(value & opt float 2.0 & info [ "backoff" ] ~docv:"FACTOR"
+           ~doc:"Fault reaction: timeout multiplier per retry (>= 1).")
+  in
+  let patience =
+    Arg.(value & opt float 0.25 & info [ "patience" ] ~docv:"SECONDS"
+           ~doc:"Fault reaction: agent-side wait for child replies.")
+  in
+  let self_heal =
+    Arg.(value & opt (some string) None & info [ "self-heal" ] ~docv:"POLICY"
+           ~doc:"Attach the online redeployment controller: off (monitor only), \
+                 eager, or hysteresis.")
+  in
+  let degrade_threshold =
+    Arg.(value & opt float 0.5 & info [ "degrade-threshold" ] ~docv:"FRACTION"
+           ~doc:"Self-heal: degraded when observed throughput falls below this \
+                 fraction of the model's rho.")
+  in
+  let cooldown =
+    Arg.(value & opt float 20.0 & info [ "cooldown" ] ~docv:"SECONDS"
+           ~doc:"Self-heal: minimum time between enacted replans (hysteresis).")
+  in
+  let max_replans =
+    Arg.(value & opt int 3 & info [ "max-replans" ] ~docv:"N"
+           ~doc:"Self-heal: replan budget for the whole run.")
+  in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Plan and measure a deployment in the simulator")
     Term.(const run $ platform_file $ nodes_arg $ power_arg $ bandwidth_arg
           $ hetero_arg $ seed_arg $ dgemm_arg $ demand_arg $ strategy_arg
-          $ clients $ warmup $ duration $ crash_rate $ mttr $ drop $ fault_seed)
+          $ clients $ warmup $ duration $ crash_rate $ mttr $ drop $ fault_seed
+          $ timeout $ service_timeout $ retries $ backoff $ patience $ self_heal
+          $ degrade_threshold $ cooldown $ max_replans)
 
 (* ---------- replan ---------- *)
 
@@ -314,13 +398,13 @@ let replan_cmd =
     let strategy =
       match Adept.Planner.strategy_of_string strategy with
       | Ok s -> s
-      | Error e -> exit_err e
+      | Error e -> exit_error e
     in
     match
       Adept.Planner.replan strategy params ~platform ~wapp
         ~demand:(demand_of demand) ~failed ()
     with
-    | Error e -> exit_err e
+    | Error e -> exit_error e
     | Ok r ->
         Format.printf "%a@." Adept.Planner.pp_replan r;
         Format.printf "%a@." Adept_hierarchy.Tree.pp_compact
@@ -350,7 +434,7 @@ let compare_cmd =
         (fun s ->
           match Adept.Planner.strategy_of_string s with
           | Ok st -> st
-          | Error e -> exit_err e)
+          | Error e -> exit_error e)
         strategies
     in
     let results =
@@ -363,7 +447,8 @@ let compare_cmd =
           match outcome with
           | Error e ->
               Adept_util.Table.add_row table
-                [ Adept.Planner.strategy_name strategy; "error: " ^ e; "-"; "-" ]
+                [ Adept.Planner.strategy_name strategy;
+                  "error: " ^ Adept.Error.to_string e; "-"; "-" ]
           | Ok plan ->
               let measured =
                 if not simulate then "-"
@@ -472,12 +557,12 @@ let latency_cmd =
     let strategy =
       match Adept.Planner.strategy_of_string strategy with
       | Ok s -> s
-      | Error e -> exit_err e
+      | Error e -> exit_error e
     in
     match
       Adept.Planner.run strategy params ~platform ~wapp ~demand:(demand_of demand)
     with
-    | Error e -> exit_err e
+    | Error e -> exit_error e
     | Ok plan ->
         Format.printf "%a@." Adept.Planner.pp_plan plan;
         let rho = plan.Adept.Planner.predicted_rho in

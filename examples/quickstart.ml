@@ -26,7 +26,7 @@ let () =
         ~demand:Adept_model.Demand.unbounded
     with
     | Ok plan -> plan
-    | Error e -> failwith e
+    | Error e -> failwith (Adept.Error.to_string e)
   in
   Format.printf "plan: %a@.@." Adept.Planner.pp_plan plan;
   Format.printf "%s@.@."

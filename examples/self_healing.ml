@@ -1,0 +1,79 @@
+(* Self-healing deployments: the online redeployment controller.
+
+   The planner decides where agents and servers go before the run; the
+   controller watches the deployment afterwards.  This walkthrough runs
+   the same unlucky day three times — a middle agent dies for good at
+   t=1s, orphaning its two servers, while transient crashes churn the
+   remaining servers — under each supervision policy:
+
+     off         monitor only, never replan
+     eager       replan on the first degraded sample, no guards
+     hysteresis  hold time, cooldown and a minimum predicted gain
+
+     dune exec examples/self_healing.exe *)
+
+module Controller = Adept_sim.Controller
+module Faults = Adept_sim.Faults
+module Scenario = Adept_sim.Scenario
+module Tree = Adept_hierarchy.Tree
+
+let params = Adept_model.Params.diet_lyon
+
+let policy_config policy =
+  let mk =
+    Controller.config ~strategy:Adept.Planner.Heuristic ~sample_period:0.25
+      ~window:1.0 ~threshold:0.68 ~restart_latency:1.25 ~state_mbit:1.0
+      ~max_replans:8
+  in
+  let r =
+    match policy with
+    | Controller.Off -> mk Controller.Off
+    | Controller.Eager -> mk ~min_gain:0.0 Controller.Eager
+    | Controller.Hysteresis ->
+        mk ~hold_time:1.0 ~cooldown:2.5 ~min_gain:0.05 Controller.Hysteresis
+  in
+  match r with Ok c -> c | Error e -> failwith (Adept.Error.to_string e)
+
+let () =
+  let platform = Adept_platform.Generator.grid5000_lyon ~n:7 () in
+  let node = Adept_platform.Platform.node platform in
+  (* Root agent 0 fans out to middle agents 1 and 2, two servers each. *)
+  let tree =
+    Tree.agent (node 0)
+      [
+        Tree.agent (node 1) [ Tree.server (node 3); Tree.server (node 4) ];
+        Tree.agent (node 2) [ Tree.server (node 5); Tree.server (node 6) ];
+      ]
+  in
+  let job = Adept_workload.Job.of_dgemm (Adept_workload.Dgemm.make 310) in
+  let horizon = 16.0 in
+  let faults () =
+    (* Agent 1 never comes back; the middleware's failover prunes its whole
+       subtree, and only a redeployment can reattach the survivors.  The
+       servers additionally crash and recover at 0.5/s with a 0.5s MTTR —
+       damage the failover absorbs on its own. *)
+    Faults.make_exn ()
+    |> Faults.crash ~node:1 ~at:1.0
+    |> Faults.seeded_crashes
+         ~rng:(Adept_util.Rng.create 11)
+         ~nodes:[ 3; 4; 5; 6 ] ~rate:0.5 ~mttr:0.5 ~horizon
+  in
+  Printf.printf "%-12s %12s %10s %8s %15s %13s\n" "policy" "rho (req/s)"
+    "completed" "replans" "migration lost" "degraded (s)";
+  List.iter
+    (fun policy ->
+      let scenario =
+        Scenario.make ~faults:(faults ())
+          ~controller:(policy_config policy) ~seed:42 ~params ~platform
+          ~client:(Adept_workload.Client.closed_loop job) tree
+      in
+      let r = Scenario.run_fixed scenario ~clients:24 ~warmup:1.0 ~duration:15.0 in
+      Printf.printf "%-12s %12.2f %10d %8d %15d %13.2f\n"
+        (Controller.policy_name policy)
+        r.Scenario.throughput r.Scenario.completed_total
+        (List.length r.Scenario.replans)
+        r.Scenario.migration_lost r.Scenario.degraded_seconds;
+      List.iter
+        (fun rec_ -> Format.printf "  %a@." Controller.pp_record rec_)
+        r.Scenario.replans)
+    [ Controller.Off; Controller.Eager; Controller.Hysteresis ]

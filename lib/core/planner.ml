@@ -47,7 +47,7 @@ let rec strategy_of_string s =
           | None -> (
               match strip_prefix "improved:" s with
               | Some inner -> Result.map (fun i -> Improved i) (strategy_of_string inner)
-              | None -> Error (Printf.sprintf "unknown strategy %S" s))))
+              | None -> Error (Error.invalid_input "unknown strategy %S" s))))
 
 type plan = {
   strategy : strategy;
@@ -60,35 +60,47 @@ type plan = {
 
 let ( let* ) = Result.bind
 
+(* The strategy modules still speak [(_, string) result]; this is where
+   their prose becomes a typed [Error.t]. *)
 let rec plan_tree strategy params ~platform ~wapp ~demand =
   let nodes = Platform.sorted_by_power_desc platform in
+  let typed r =
+    Result.map_error
+      (fun reason -> Error.no_feasible ~strategy:(strategy_name strategy) "%s" reason)
+      r
+  in
   match strategy with
-  | Heuristic -> Heuristic.plan_tree params ~platform ~wapp ~demand
-  | Star -> Baselines.star nodes
-  | Balanced k -> Baselines.balanced ~agents:k nodes
-  | Dary d -> Baselines.dary ~degree:d nodes
+  | Heuristic -> typed (Heuristic.plan_tree params ~platform ~wapp ~demand)
+  | Star -> typed (Baselines.star nodes)
+  | Balanced k -> typed (Baselines.balanced ~agents:k nodes)
+  | Dary d -> typed (Baselines.dary ~degree:d nodes)
   | Homogeneous_optimal ->
-      Result.map (fun (r : Homogeneous.result) -> r.tree)
-        (Homogeneous.plan params ~platform ~wapp ~demand)
-  | Exhaustive -> Result.map fst (Exhaustive.optimal params ~platform ~wapp ())
+      typed
+        (Result.map (fun (r : Homogeneous.result) -> r.tree)
+           (Homogeneous.plan params ~platform ~wapp ~demand))
+  | Exhaustive -> typed (Result.map fst (Exhaustive.optimal params ~platform ~wapp ()))
   | Multi_cluster ->
-      Result.map (fun (r : Multi_cluster.result) -> r.Multi_cluster.tree)
-        (Multi_cluster.plan params ~platform ~wapp ~demand)
+      typed
+        (Result.map (fun (r : Multi_cluster.result) -> r.Multi_cluster.tree)
+           (Multi_cluster.plan params ~platform ~wapp ~demand))
   | Improved inner ->
       let* start = plan_tree inner params ~platform ~wapp ~demand in
-      Result.map (fun (r : Improver.result) -> r.Improver.tree)
-        (Improver.improve params ~platform ~wapp start)
+      typed
+        (Result.map (fun (r : Improver.result) -> r.Improver.tree)
+           (Improver.improve params ~platform ~wapp start))
+
+let validated ~context ~platform tree =
+  match Validate.check ~platform tree with
+  | Ok () -> Ok ()
+  | Error errs ->
+      Error
+        (Error.invalid_hierarchy ~context "%s"
+           (String.concat "; " (List.map Validate.error_to_string errs)))
 
 let run strategy params ~platform ~wapp ~demand =
   let* tree = plan_tree strategy params ~platform ~wapp ~demand in
   let* () =
-    match Validate.check ~platform tree with
-    | Ok () -> Ok ()
-    | Error errs ->
-        Error
-          (Printf.sprintf "strategy %s produced an invalid hierarchy: %s"
-             (strategy_name strategy)
-             (String.concat "; " (List.map Validate.error_to_string errs)))
+    validated ~context:("strategy " ^ strategy_name strategy) ~platform tree
   in
   let predicted_rho = Evaluate.rho_hetero params ~platform ~wapp tree in
   Ok
@@ -113,13 +125,9 @@ type replan_result = {
 (* Renumber the surviving nodes into a dense 0..n-1 sub-platform, keeping
    names, powers and cluster labels.  The original link structure carries
    over unchanged because bandwidths are keyed on cluster labels, not node
-   ids. *)
-let surviving_platform platform ~failed =
-  let is_failed = Array.make (Platform.size platform) false in
-  List.iter (fun id -> is_failed.(id) <- true) failed;
-  let members =
-    List.filter (fun n -> not is_failed.(Node.id n)) (Platform.nodes platform)
-  in
+   ids.  Guarded by the survivor-count checks in [replan]: never called
+   with fewer than two members ([Platform.create] would raise on zero). *)
+let surviving_platform platform ~members =
   let mapping = Array.of_list members in
   let renumbered =
     List.mapi
@@ -137,45 +145,46 @@ let rec retranslate mapping = function
 
 let replan strategy params ~platform ~wapp ~demand ~failed ?reference () =
   let n = Platform.size platform in
-  let* () = if failed = [] then Error "replan: no failed nodes given" else Ok () in
+  let* () =
+    if failed = [] then Error (Error.invalid_input "replan: no failed nodes given")
+    else Ok ()
+  in
   let* () =
     match List.find_opt (fun id -> id < 0 || id >= n) failed with
-    | Some id -> Error (Printf.sprintf "replan: failed node %d is not on the platform" id)
+    | Some id ->
+        Error (Error.invalid_input "replan: failed node %d is not on the platform" id)
     | None -> Ok ()
   in
   let failed = List.sort_uniq Int.compare failed in
   let* rho_before =
     match reference with
-    | Some tree -> (
-        match Validate.check ~platform tree with
-        | Ok () -> Ok (Evaluate.rho_hetero params ~platform ~wapp tree)
-        | Error errs ->
-            Error
-              (Printf.sprintf "replan: invalid reference hierarchy: %s"
-                 (String.concat "; " (List.map Validate.error_to_string errs))))
+    | Some tree ->
+        Result.map
+          (fun () -> Evaluate.rho_hetero params ~platform ~wapp tree)
+          (validated ~context:"replan reference" ~platform tree)
     | None ->
         Result.map
           (fun p -> p.predicted_rho)
           (run strategy params ~platform ~wapp ~demand)
   in
-  let sub, mapping = surviving_platform platform ~failed in
-  let* () =
-    if Platform.size sub < 2 then
-      Error
-        (Printf.sprintf "replan: only %d node(s) survive — need an agent and a server"
-           (Platform.size sub))
-    else Ok ()
+  let is_failed = Array.make n false in
+  List.iter (fun id -> is_failed.(id) <- true) failed;
+  let members =
+    List.filter (fun nd -> not is_failed.(Node.id nd)) (Platform.nodes platform)
   in
+  (* Any hierarchy needs at least an agent and a server; refuse before
+     building the sub-platform so these edge cases are typed errors, not
+     exceptions from deeper layers. *)
+  let* () =
+    match List.length members with
+    | 0 -> Error Error.No_survivors
+    | s when s < 2 -> Error (Error.Insufficient_survivors { survivors = s; required = 2 })
+    | _ -> Ok ()
+  in
+  let sub, mapping = surviving_platform platform ~members in
   let* sub_plan = run strategy params ~platform:sub ~wapp ~demand in
   let tree = retranslate mapping sub_plan.tree in
-  let* () =
-    match Validate.check ~platform tree with
-    | Ok () -> Ok ()
-    | Error errs ->
-        Error
-          (Printf.sprintf "replan: retranslated hierarchy invalid: %s"
-             (String.concat "; " (List.map Validate.error_to_string errs)))
-  in
+  let* () = validated ~context:"replan retranslation" ~platform tree in
   let rho_after = Evaluate.rho_hetero params ~platform ~wapp tree in
   Ok
     {

@@ -20,10 +20,10 @@ type strategy =
           bottleneck remover of refs [6]/[7]. *)
 
 val strategy_name : strategy -> string
-val strategy_of_string : string -> (strategy, string) Stdlib.result
+val strategy_of_string : string -> (strategy, Error.t) Stdlib.result
 (** Parse ["heuristic"], ["star"], ["balanced:<k>"], ["dary:<d>"],
     ["homogeneous"], ["exhaustive"], ["multi-cluster"], and
-    ["improved:<strategy>"]. *)
+    ["improved:<strategy>"].  Unknown names are [Error.Invalid_input]. *)
 
 type plan = {
   strategy : strategy;
@@ -40,10 +40,11 @@ val run :
   platform:Platform.t ->
   wapp:float ->
   demand:Adept_model.Demand.t ->
-  (plan, string) Stdlib.result
+  (plan, Error.t) Stdlib.result
 (** Plan and validate.  Every returned tree passes
     [Validate.check ~platform]; strategies that cannot satisfy the
-    platform (e.g. [Balanced] with too few nodes) return [Error].
+    platform (e.g. [Balanced] with too few nodes) return
+    [Error.No_feasible_hierarchy].
     Baseline strategies receive nodes strongest-first.  Predicted
     throughput is {!Evaluate.rho_hetero}, so baselines and
     [Multi_cluster] also score correctly on multi-site platforms
@@ -71,15 +72,19 @@ val replan :
   failed:Node.id list ->
   ?reference:Tree.t ->
   unit ->
-  (replan_result, string) Stdlib.result
+  (replan_result, Error.t) Stdlib.result
 (** Rebuild the hierarchy after [failed] nodes crash: plan with [strategy]
     on the surviving sub-platform (same names, powers, clusters and link
     structure, node ids renumbered internally and mapped back), validate
     on the original platform, and report the predicted throughput hit
     against [?reference] (default: what [strategy] achieves with every
-    node up).  Errors if [failed] is empty, a failed id is off-platform,
-    fewer than two nodes survive, or the strategy cannot plan the
-    remnant. *)
+    node up).  Never raises on degenerate remnants: an empty or
+    off-platform [failed] list is [Error.Invalid_input], zero survivors is
+    [Error.No_survivors], a single survivor is
+    [Error.Insufficient_survivors] (a hierarchy needs an agent and a
+    server), and a remnant the strategy cannot plan is
+    [Error.No_feasible_hierarchy] — the distinctions an online controller
+    needs to decide between giving up and waiting for recoveries. *)
 
 val pp_replan : Format.formatter -> replan_result -> unit
 
@@ -89,7 +94,7 @@ val compare_strategies :
   wapp:float ->
   demand:Adept_model.Demand.t ->
   strategy list ->
-  (strategy * (plan, string) Stdlib.result) list
+  (strategy * (plan, Error.t) Stdlib.result) list
 (** Run several strategies on the same problem (the Section 5.3
     experiment shape). *)
 

@@ -49,7 +49,7 @@ let run (ctx : Common.context) =
     let faults =
       if rate = 0.0 then Faults.none
       else
-        Faults.make ()
+        Faults.make_exn ()
         |> Faults.seeded_crashes
              ~rng:(Rng.create (ctx.seed + (1000 * (index + 1))))
              ~nodes:crashable ~rate ~mttr ~horizon

@@ -77,6 +77,11 @@ let all =
       run = (fun ctx -> Fault_sweep.report ctx (Fault_sweep.run ctx));
     };
     {
+      id = "self-heal";
+      title = "Extension: self-healing redeployment policies under churn";
+      run = (fun ctx -> Self_heal.report ctx (Self_heal.run ctx));
+    };
+    {
       id = "ablation-monitoring";
       title = "Extension: monitoring-database staleness vs selection quality";
       run = (fun ctx -> Ablation.report_monitoring ctx (Ablation.run_monitoring ctx));

@@ -1,0 +1,42 @@
+(** Extension experiment: self-healing redeployment policies.
+
+    A two-level Lyon hierarchy (root agent, two middle agents, three
+    servers each) loses one middle agent permanently — orphaning its
+    server subtree, a loss the middleware's failover can prune but never
+    repair — while transient crashes arrive on the remaining non-root
+    nodes at a swept Poisson rate.  Each (rate, policy) point runs the
+    same scenario under a {!Adept_sim.Controller} with policy [Off]
+    (monitor only), [Eager] (replan on the first degraded sample, no gain
+    guard) or [Hysteresis] (hold time, cooldown and minimum predicted
+    gain), and reports completed-request throughput, migration losses,
+    enacted replans and degraded time.
+
+    The headline result: at a nonzero transient rate, hysteresis beats
+    [Off] (which never reattaches the orphaned subtree) and [Eager]
+    (which burns replans and migration pauses on crashes that would have
+    recovered on their own). *)
+
+type point = {
+  rate : float;  (** Transient crashes per node per simulated second. *)
+  policy : Adept_sim.Controller.policy;
+  throughput : float;  (** Completions/s in the measurement window. *)
+  completed : int;
+  lost : int;  (** All lost requests, including migration losses. *)
+  migration_lost : int;  (** Requests dropped inside migration windows. *)
+  replans : int;  (** Enacted redeployments. *)
+  degraded_seconds : float;
+}
+
+type result = {
+  points : point list;
+      (** Rate-major, policy [Off]/[Eager]/[Hysteresis] within each rate. *)
+  servers : int;
+  clients : int;
+  mttr : float;  (** Mean transient repair time, seconds. *)
+  crash_at : float;  (** When the middle agent is lost for good. *)
+  horizon : float;
+}
+
+val run : Common.context -> result
+
+val report : Common.context -> result -> Common.report

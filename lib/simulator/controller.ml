@@ -1,0 +1,338 @@
+open Adept_platform
+open Adept_hierarchy
+module Planner = Adept.Planner
+module Error = Adept.Error
+module Params = Adept_model.Params
+module Demand = Adept_model.Demand
+
+type policy = Off | Eager | Hysteresis
+
+let policy_name = function
+  | Off -> "off"
+  | Eager -> "eager"
+  | Hysteresis -> "hysteresis"
+
+type config = {
+  policy : policy;
+  strategy : Planner.strategy;
+  sample_period : float;
+  window : float;
+  threshold : float;
+  hold_time : float;
+  cooldown : float;
+  min_gain : float;
+  max_replans : int;
+  restart_latency : float;
+  state_mbit : float;
+}
+
+let ( let* ) = Result.bind
+
+let positive name v =
+  if v <= 0.0 || not (Float.is_finite v) then
+    Error
+      (Error.invalid_input "Controller.config: %s must be positive and finite, got %g"
+         name v)
+  else Ok ()
+
+let non_negative name v =
+  if v < 0.0 || not (Float.is_finite v) then
+    Error
+      (Error.invalid_input
+         "Controller.config: %s must be non-negative and finite, got %g" name v)
+  else Ok ()
+
+let config ?(strategy = Planner.Heuristic) ?(sample_period = 1.0) ?(window = 5.0)
+    ?(threshold = 0.5) ?(hold_time = 3.0) ?(cooldown = 20.0) ?(min_gain = 0.05)
+    ?(max_replans = 3) ?(restart_latency = 0.5) ?(state_mbit = 1.0) policy =
+  let* () = positive "sample_period" sample_period in
+  let* () = positive "window" window in
+  let* () =
+    if window < sample_period then
+      Error
+        (Error.invalid_input
+           "Controller.config: window (%g) must cover at least one sample period (%g)"
+           window sample_period)
+    else Ok ()
+  in
+  let* () =
+    if threshold < 0.0 || threshold > 1.0 || Float.is_nan threshold then
+      Error
+        (Error.invalid_input "Controller.config: threshold must be in [0, 1], got %g"
+           threshold)
+    else Ok ()
+  in
+  let* () = non_negative "hold_time" hold_time in
+  let* () = non_negative "cooldown" cooldown in
+  let* () = non_negative "min_gain" min_gain in
+  let* () =
+    if max_replans < 0 then
+      Error
+        (Error.invalid_input "Controller.config: max_replans must be >= 0, got %d"
+           max_replans)
+    else Ok ()
+  in
+  let* () = non_negative "restart_latency" restart_latency in
+  let* () = non_negative "state_mbit" state_mbit in
+  Ok
+    {
+      policy;
+      strategy;
+      sample_period;
+      window;
+      threshold;
+      hold_time;
+      cooldown;
+      min_gain;
+      max_replans;
+      restart_latency;
+      state_mbit;
+    }
+
+type replan_record = {
+  at : float;
+  failed : Node.id list;
+  observed : float;
+  rho_before : float;
+  rho_after : float;
+  migration_cost : float;
+}
+
+type t = {
+  cfg : config;
+  engine : Engine.t;
+  params : Params.t;
+  platform : Platform.t;
+  wapp : float;
+  demand : Demand.t;
+  selection : Middleware.selection;
+  monitoring_period : float option;
+  faults : Faults.t;
+  stats : Run_stats.t;
+  trace : Trace.t;
+  horizon : float;
+  mutable middleware : Middleware.t;
+  mutable retired : Middleware.t list;
+  mutable tree : Tree.t;
+  dead_since : (Node.id, float) Hashtbl.t;
+      (* When each currently-dead tree node was first sampled dead;
+         entries disappear on recovery and on generation swaps. *)
+  mutable predicted_rho : float;
+  mutable degraded_since : float option;
+  mutable last_enact : float;
+  mutable migration_until : float option;
+  mutable enacted : replan_record list;  (* newest first *)
+}
+
+let middleware t = t.middleware
+
+let records t = List.rev t.enacted
+
+let replan_count t = List.length t.enacted
+
+let predicted_rho t = t.predicted_rho
+
+let is_migrating t =
+  match t.migration_until with
+  | Some until -> Engine.now t.engine < until
+  | None -> false
+
+let migration_ends t =
+  match t.migration_until with
+  | Some until -> until
+  | None -> Engine.now t.engine
+
+let fault_stats t =
+  List.fold_left
+    (fun acc mw -> Middleware.merge_fault_stats acc (Middleware.fault_stats mw))
+    (Middleware.fault_stats t.middleware)
+    t.retired
+
+(* Agents and servers restart in parallel and each pulls its state over
+   the link to its new parent, so the pause the clients see is the restart
+   latency plus the slowest single transfer — not the sum.  The root has
+   no parent and restarts from local state. *)
+let migration_cost t tree =
+  let link_latency = Link.latency (Platform.link t.platform) in
+  let xfer parent node =
+    match parent with
+    | None -> 0.0
+    | Some p ->
+        link_latency
+        +. (t.cfg.state_mbit
+            /. Platform.bandwidth t.platform (Node.id p) (Node.id node))
+  in
+  let rec walk parent acc = function
+    | Tree.Server n -> Float.max acc (xfer parent n)
+    | Tree.Agent (n, children) ->
+        List.fold_left (walk (Some n)) (Float.max acc (xfer parent n)) children
+  in
+  t.cfg.restart_latency +. walk None 0.0 tree
+
+let record_suppressed t reason =
+  Trace.record_failure t.trace ~time:(Engine.now t.engine)
+    (Trace.Replan_suppressed reason)
+
+(* Migration finished: swap generations — unless an agent the new
+   hierarchy is built around died while it was being set up, in which
+   case the migration is abandoned (its disruption was already paid) and
+   the old hierarchy stays in charge.  A server that died meanwhile is
+   not fatal: the fresh generation's failover strikes it out and rejoins
+   it on recovery, exactly as it would mid-run. *)
+let enact t (r : Planner.replan_result) ~observed ~cost () =
+  let now = Engine.now t.engine in
+  t.migration_until <- None;
+  let new_tree = r.Planner.replanned.Planner.tree in
+  let structural =
+    match Tree.agents new_tree with
+    | [] -> [ Tree.root_node new_tree ]
+    | agents -> agents
+  in
+  let dead_agent =
+    List.exists
+      (fun n -> not (Middleware.is_alive t.middleware (Node.id n)))
+      structural
+  in
+  if dead_agent then record_suppressed t "agent-died-mid-migration"
+  else begin
+    Hashtbl.reset t.dead_since;
+    Middleware.retire t.middleware;
+    t.retired <- t.middleware :: t.retired;
+    t.middleware <-
+      Middleware.deploy ~trace:t.trace ~selection:t.selection
+        ?monitoring_period:t.monitoring_period ~faults:t.faults ~engine:t.engine
+        ~params:t.params ~platform:t.platform new_tree;
+    t.tree <- new_tree;
+    t.predicted_rho <- r.Planner.rho_after;
+    t.last_enact <- now;
+    t.degraded_since <- None;
+    Run_stats.record_replan t.stats;
+    Trace.record_failure t.trace ~time:now (Trace.Replan_enacted r.Planner.failed);
+    t.enacted <-
+      {
+        at = now;
+        failed = r.Planner.failed;
+        observed;
+        rho_before = r.Planner.rho_before;
+        rho_after = r.Planner.rho_after;
+        migration_cost = cost;
+      }
+      :: t.enacted
+  end
+
+(* A sustained-degradation trigger survived the policy's timing guards;
+   decide whether a replan is worth enacting.  Every veto leaves a
+   [Replan_suppressed] breadcrumb in the trace. *)
+let consider t ~now ~observed =
+  Trace.record_failure t.trace ~time:now Trace.Replan_triggered;
+  if replan_count t >= t.cfg.max_replans then
+    record_suppressed t "replan-budget-exhausted"
+  else if t.cfg.policy = Hysteresis && now -. t.last_enact < t.cfg.cooldown then
+    record_suppressed t "cooldown"
+  else begin
+    (* Which dead nodes count as failed is itself policy: [Eager] writes
+       off whatever is down at this instant, [Hysteresis] only nodes that
+       stayed dead through the whole hold — a node mid-repair is not worth
+       excluding from the next hierarchy. *)
+    let node_hold =
+      match t.cfg.policy with Hysteresis -> t.cfg.hold_time | Off | Eager -> 0.0
+    in
+    let failed =
+      List.filter_map
+        (fun n ->
+          let id = Node.id n in
+          if Middleware.is_alive t.middleware id then None
+          else
+            match Hashtbl.find_opt t.dead_since id with
+            | Some since when now -. since >= node_hold -. 1e-9 -> Some id
+            | Some _ | None -> None)
+        (Tree.nodes t.tree)
+    in
+    if failed = [] then record_suppressed t "no-dead-nodes"
+    else
+      match
+        Planner.replan t.cfg.strategy t.params ~platform:t.platform ~wapp:t.wapp
+          ~demand:t.demand ~failed ~reference:t.tree ()
+      with
+      | Error e -> record_suppressed t (Error.to_string e)
+      | Ok r ->
+          (* The gain guard compares the replanned hierarchy's model
+             throughput against what is actually being observed: replacing
+             a limping deployment is only worth the migration pause if the
+             model predicts a real improvement. *)
+          if r.Planner.rho_after <= observed *. (1.0 +. t.cfg.min_gain) then
+            record_suppressed t "insufficient-gain"
+          else begin
+            let cost = migration_cost t r.Planner.replanned.Planner.tree in
+            t.migration_until <- Some (now +. cost);
+            Engine.schedule t.engine ~delay:cost (enact t r ~observed ~cost)
+          end
+  end
+
+let note_node_states t ~now =
+  List.iter
+    (fun n ->
+      let id = Node.id n in
+      if Middleware.is_alive t.middleware id then Hashtbl.remove t.dead_since id
+      else if not (Hashtbl.mem t.dead_since id) then Hashtbl.replace t.dead_since id now)
+    (Tree.nodes t.tree)
+
+let rec tick t () =
+  let now = Engine.now t.engine in
+  (if not (is_migrating t) then begin
+     note_node_states t ~now;
+     let t0 = Float.max 0.0 (now -. t.cfg.window) in
+     if now > t0 then begin
+       let observed = Run_stats.throughput t.stats ~t0 ~t1:now in
+       if observed < t.cfg.threshold *. t.predicted_rho then begin
+         Run_stats.record_degraded t.stats ~seconds:t.cfg.sample_period;
+         (if t.degraded_since = None then t.degraded_since <- Some now);
+         match t.cfg.policy with
+         | Off -> ()
+         | Eager -> consider t ~now ~observed
+         | Hysteresis ->
+             (match t.degraded_since with
+             | Some since when now -. since >= t.cfg.hold_time -. 1e-9 ->
+                 consider t ~now ~observed
+             | Some _ | None -> ())
+       end
+       else t.degraded_since <- None
+     end
+   end);
+  if now +. t.cfg.sample_period <= t.horizon then
+    Engine.schedule t.engine ~delay:t.cfg.sample_period (tick t)
+
+let create cfg ~engine ~params ~platform ~wapp ~demand ~selection
+    ?monitoring_period ~faults ~stats ~trace ~horizon ~middleware tree =
+  let t =
+    {
+      cfg;
+      engine;
+      params;
+      platform;
+      wapp;
+      demand;
+      selection;
+      monitoring_period;
+      faults;
+      stats;
+      trace;
+      horizon;
+      middleware;
+      retired = [];
+      tree;
+      predicted_rho = Adept.Evaluate.rho_hetero params ~platform ~wapp tree;
+      degraded_since = None;
+      last_enact = Float.neg_infinity;
+      migration_until = None;
+      enacted = [];
+      dead_since = Hashtbl.create 16;
+    }
+  in
+  Engine.schedule engine ~delay:cfg.sample_period (tick t);
+  t
+
+let pp_record ppf r =
+  Format.fprintf ppf
+    "t=%.2fs: %d node(s) out, observed %.2f req/s, rho %.2f -> %.2f, migration %.3fs"
+    r.at (List.length r.failed) r.observed r.rho_before r.rho_after r.migration_cost

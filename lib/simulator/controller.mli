@@ -1,0 +1,150 @@
+(** Online redeployment: the self-healing supervision loop.
+
+    The planner (Section 4) decides where agents and servers go before the
+    run; the controller watches the deployment afterwards.  Every
+    [sample_period] seconds it compares the completed-request throughput
+    over a sliding [window] against the current hierarchy's model
+    throughput (Eq. 16).  When the observed rate stays below [threshold]
+    of the prediction, the deployment is degraded; a degraded deployment
+    that the policy decides to heal is replanned with {!Adept.Planner.replan}
+    over the surviving nodes and the new hierarchy is enacted online.
+
+    Enacting is not free.  The migration pays an explicit cost — agent
+    restart latency plus the slowest parallel state transfer over the
+    platform's links — during which newly issued requests are dropped
+    (recorded as {!Run_stats.migration_lost}); in-flight requests keep
+    draining through the old hierarchy, which stays deployed until its
+    work finishes.
+
+    Three policies bound how trigger-happy the loop is:
+    - [Off] only monitors: degraded time is measured, nothing is enacted.
+    - [Eager] replans on the first degraded sample — the strawman that
+      pays migration cost for every transient blip.
+    - [Hysteresis] waits out [hold_time] of sustained degradation,
+      enforces a [cooldown] between enactments, and requires the
+      replanned hierarchy's predicted throughput to beat the observed
+      rate by at least [min_gain] (relative).
+
+    Which dead nodes the replan writes off is itself policy.  [Eager]
+    excludes whatever is down at the trigger instant; [Hysteresis] only
+    nodes that have been dead for a full [hold_time] — a node mid-repair
+    keeps its place in the next hierarchy.  If an {e agent} of the new
+    hierarchy dies while the migration is in flight the enactment is
+    abandoned (the pause was already paid, a [Replan_suppressed
+    "agent-died-mid-migration"] breadcrumb is traced) and the old
+    hierarchy stays in charge; a dead {e server} is not fatal — the new
+    generation's failover strikes it out and readopts it on recovery,
+    exactly as it would mid-run.
+
+    All policies respect [max_replans] and the [min_gain] guard (for
+    [Eager] the default guard is whatever the config says — set it to 0
+    to reproduce a guard-free strawman), so the invariant the property
+    tests pin down holds universally: {b no enacted replan ever has a
+    predicted gain below the configured minimum}. *)
+
+open Adept_platform
+open Adept_hierarchy
+
+type policy = Off | Eager | Hysteresis
+
+val policy_name : policy -> string
+
+type config = private {
+  policy : policy;
+  strategy : Adept.Planner.strategy;  (** Used by every replan. *)
+  sample_period : float;  (** Seconds between throughput samples. *)
+  window : float;  (** Sliding measurement window, seconds. *)
+  threshold : float;
+      (** Degraded when observed < threshold * predicted rho; 0 never
+          degrades (the determinism regression uses this). *)
+  hold_time : float;  (** Sustained degradation before a trigger
+                          ([Hysteresis] only). *)
+  cooldown : float;  (** Minimum seconds between enactments
+                         ([Hysteresis] only). *)
+  min_gain : float;
+      (** Required relative improvement of predicted rho over observed
+          throughput; enact only if
+          [rho_after > observed * (1 + min_gain)]. *)
+  max_replans : int;  (** Enactment budget for the whole run. *)
+  restart_latency : float;  (** Seconds to restart the agent processes. *)
+  state_mbit : float;
+      (** Per-element state shipped to its new parent during migration. *)
+}
+
+val config :
+  ?strategy:Adept.Planner.strategy ->
+  ?sample_period:float ->
+  ?window:float ->
+  ?threshold:float ->
+  ?hold_time:float ->
+  ?cooldown:float ->
+  ?min_gain:float ->
+  ?max_replans:int ->
+  ?restart_latency:float ->
+  ?state_mbit:float ->
+  policy ->
+  (config, Adept.Error.t) result
+(** Validated construction (defaults: strategy [Heuristic], sample 1 s,
+    window 5 s, threshold 0.5, hold 3 s, cooldown 20 s, min_gain 0.05,
+    3 replans, restart 0.5 s, 1 Mbit of state).  Violations — non-positive
+    periods, a window shorter than the sample period, a threshold outside
+    [0, 1], negative guards — are [Error.Invalid_input]. *)
+
+type replan_record = {
+  at : float;  (** Enactment time (end of the migration window). *)
+  failed : Node.id list;  (** The dead nodes the new hierarchy excludes. *)
+  observed : float;  (** Windowed throughput at trigger time, req/s. *)
+  rho_before : float;  (** Model throughput of the replaced hierarchy. *)
+  rho_after : float;  (** Model throughput of the enacted hierarchy. *)
+  migration_cost : float;  (** Seconds of migration pause paid. *)
+}
+
+type t
+
+val create :
+  config ->
+  engine:Engine.t ->
+  params:Adept_model.Params.t ->
+  platform:Platform.t ->
+  wapp:float ->
+  demand:Adept_model.Demand.t ->
+  selection:Middleware.selection ->
+  ?monitoring_period:float ->
+  faults:Faults.t ->
+  stats:Run_stats.t ->
+  trace:Trace.t ->
+  horizon:float ->
+  middleware:Middleware.t ->
+  Tree.t ->
+  t
+(** Attach the loop to a freshly deployed [middleware] running [tree]:
+    the first sample fires one [sample_period] after the current engine
+    time, and sampling stops at [horizon].  [selection],
+    [monitoring_period] and [faults] are reused verbatim for every
+    hierarchy the controller deploys (fault events already in the past
+    are skipped by {!Middleware.deploy}). *)
+
+val middleware : t -> Middleware.t
+(** The hierarchy currently in charge — changes after each enactment;
+    request issuers must re-read it per request. *)
+
+val is_migrating : t -> bool
+(** True inside a migration window: the old hierarchy is being torn down
+    and requests issued now are lost. *)
+
+val migration_ends : t -> float
+(** End of the current migration window ([Engine.now] when not
+    migrating) — where a dropped request's client should resume. *)
+
+val records : t -> replan_record list
+(** Enacted replans, chronological. *)
+
+val replan_count : t -> int
+
+val predicted_rho : t -> float
+(** Model throughput of the hierarchy currently in charge. *)
+
+val fault_stats : t -> Middleware.fault_stats
+(** Counters merged across every generation (current plus retired). *)
+
+val pp_record : Format.formatter -> replan_record -> unit

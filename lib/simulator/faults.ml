@@ -35,20 +35,37 @@ let none =
 let is_none t =
   t.node_events = [] && t.degradations = [] && t.drop_probability = 0.0
 
+module Error = Adept.Error
+
+let ( let* ) = Result.bind
+
 let positive_finite name v =
   if v <= 0.0 || not (Float.is_finite v) then
-    invalid_arg (Printf.sprintf "Faults.make: %s must be positive and finite" name)
+    Error (Error.invalid_input "Faults.make: %s must be positive and finite, got %g" name v)
+  else Ok ()
 
 let make ?(timeout = none.timeout) ?(service_timeout = none.service_timeout)
     ?(max_retries = none.max_retries) ?(backoff = none.backoff)
     ?(patience = none.patience) () =
-  positive_finite "timeout" timeout;
-  positive_finite "service_timeout" service_timeout;
-  positive_finite "patience" patience;
-  if max_retries < 0 then invalid_arg "Faults.make: max_retries must be >= 0";
-  if backoff < 1.0 || not (Float.is_finite backoff) then
-    invalid_arg "Faults.make: backoff must be >= 1";
-  { none with timeout; service_timeout; max_retries; backoff; patience }
+  let* () = positive_finite "timeout" timeout in
+  let* () = positive_finite "service_timeout" service_timeout in
+  let* () = positive_finite "patience" patience in
+  let* () =
+    if max_retries < 0 then
+      Error (Error.invalid_input "Faults.make: max_retries must be >= 0, got %d" max_retries)
+    else Ok ()
+  in
+  let* () =
+    if backoff < 1.0 || not (Float.is_finite backoff) then
+      Error (Error.invalid_input "Faults.make: backoff must be >= 1, got %g" backoff)
+    else Ok ()
+  in
+  Ok { none with timeout; service_timeout; max_retries; backoff; patience }
+
+let make_exn ?timeout ?service_timeout ?max_retries ?backoff ?patience () =
+  match make ?timeout ?service_timeout ?max_retries ?backoff ?patience () with
+  | Ok t -> t
+  | Error e -> invalid_arg (Error.to_string e)
 
 (* Stable chronology: time, then node id, then Crash before Recover, so
    schedules built in any insertion order replay identically. *)

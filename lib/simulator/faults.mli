@@ -55,12 +55,24 @@ val make :
   ?backoff:float ->
   ?patience:float ->
   unit ->
-  t
+  (t, Adept.Error.t) result
 (** An empty schedule with explicit reaction parameters (defaults:
     timeout 0.5 s, service_timeout 5 s, 3 retries, backoff 2.0,
-    patience 0.25 s).
-    @raise Invalid_argument on non-positive times, [max_retries < 0] or
-    [backoff < 1]. *)
+    patience 0.25 s), validated at construction: every time must be
+    positive and finite, [max_retries >= 0], [backoff >= 1].  Violations
+    are reported as [Error.Invalid_input] instead of raising, so a CLI can
+    surface them as exit diagnostics. *)
+
+val make_exn :
+  ?timeout:float ->
+  ?service_timeout:float ->
+  ?max_retries:int ->
+  ?backoff:float ->
+  ?patience:float ->
+  unit ->
+  t
+(** {!make} for static, known-good parameters (tests, benches).
+    @raise Invalid_argument where {!make} returns [Error]. *)
 
 val crash : ?recover_at:float -> node:Node.id -> at:float -> t -> t
 (** Add a crash of [node] at time [at], with an optional later recovery.

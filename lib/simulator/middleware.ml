@@ -87,6 +87,11 @@ type t = {
          seconds, report arrival time) *)
   faults : Faults.t;
   active : bool;  (* some fault can fire; false => pre-fault code path *)
+  mutable retired : bool;
+      (* a superseded generation: still drains in-flight requests and
+         tracks liveness, but stops recording topology events (its
+         successor records them — once per event, not once per
+         generation) *)
   alive : bool array;
   incarnation : int array;
       (* bumped on every crash and recovery: a callback booked for an
@@ -97,6 +102,13 @@ type t = {
 }
 
 let prune_strikes = 2
+
+(* An element that is alive when the prune lands was struck out unfairly:
+   its recovery raced the strike window, or (for an agent) every child
+   below it happened to be down at once.  A real element notices on its
+   next heartbeat that the parent dropped it and re-registers; this is
+   how long that takes.  Dead elements instead rejoin on recovery. *)
+let re_register_delay = 0.5
 
 let element t id =
   match t.elements.(id) with
@@ -117,6 +129,8 @@ let trace t = t.trace
 
 let is_alive t id = t.alive.(id)
 
+let retire t = t.retired <- true
+
 let fault_stats t =
   {
     crashes = t.counters.c_crashes;
@@ -127,6 +141,20 @@ let fault_stats t =
     prunes = t.counters.c_prunes;
     rejoins = t.counters.c_rejoins;
     recovery_latencies = List.rev t.counters.c_recovery_latencies;
+  }
+
+(* Aggregate counters across hierarchy generations: a self-healing run
+   retires middlewares and the per-run totals must cover all of them. *)
+let merge_fault_stats a b =
+  {
+    crashes = a.crashes + b.crashes;
+    recoveries = a.recoveries + b.recoveries;
+    messages_lost = a.messages_lost + b.messages_lost;
+    timeouts = a.timeouts + b.timeouts;
+    abandoned = a.abandoned + b.abandoned;
+    prunes = a.prunes + b.prunes;
+    rejoins = a.rejoins + b.rejoins;
+    recovery_latencies = a.recovery_latencies @ b.recovery_latencies;
   }
 
 let server_ids t =
@@ -171,8 +199,10 @@ let rejoin_child t ~agent ~child =
       if not (Array.exists (fun c -> c = child) a.children) then begin
         a.children <- Array.append a.children [| child |];
         reset_strikes a child;
-        t.counters.c_rejoins <- t.counters.c_rejoins + 1;
-        record_failure t (Trace.Child_rejoined (agent, child))
+        if not t.retired then begin
+          t.counters.c_rejoins <- t.counters.c_rejoins + 1;
+          record_failure t (Trace.Child_rejoined (agent, child))
+        end
       end
   | Some (Server_el _) | None -> ()
 
@@ -189,13 +219,21 @@ let strike_child t ~agent ~child =
         a.children <-
           Array.of_list (List.filter (fun c -> c <> child) (Array.to_list a.children));
         Hashtbl.remove a.strikes child;
-        t.counters.c_prunes <- t.counters.c_prunes + 1;
-        record_failure t (Trace.Child_pruned (agent, child));
-        if not t.alive.(child) then begin
-          let latency = Engine.now t.engine -. t.crashed_at.(child) in
-          t.counters.c_recovery_latencies <-
-            latency :: t.counters.c_recovery_latencies;
-          Trace.record_recovery_latency t.trace ~seconds:latency
+        if not t.retired then begin
+          t.counters.c_prunes <- t.counters.c_prunes + 1;
+          record_failure t (Trace.Child_pruned (agent, child));
+          if not t.alive.(child) then begin
+            let latency = Engine.now t.engine -. t.crashed_at.(child) in
+            t.counters.c_recovery_latencies <-
+              latency :: t.counters.c_recovery_latencies;
+            Trace.record_recovery_latency t.trace ~seconds:latency
+          end
+        end;
+        if t.alive.(child) then begin
+          let inc = t.incarnation.(child) in
+          Engine.schedule t.engine ~delay:re_register_delay (fun () ->
+              if t.alive.(child) && t.incarnation.(child) = inc then
+                rejoin_child t ~agent ~child)
         end
       end
   | Some _ | None -> ()
@@ -214,8 +252,10 @@ let crash_node t id =
         Resource.interrupt s.s_resource ~now;
         s.reserved <- 0.0
     | None -> ());
-    t.counters.c_crashes <- t.counters.c_crashes + 1;
-    record_failure t (Trace.Node_crash id)
+    if not t.retired then begin
+      t.counters.c_crashes <- t.counters.c_crashes + 1;
+      record_failure t (Trace.Node_crash id)
+    end
   end
 
 let recover_node t id =
@@ -227,8 +267,10 @@ let recover_node t id =
     | Some (Agent_el a) -> Resource.interrupt a.a_resource ~now
     | Some (Server_el s) -> Resource.interrupt s.s_resource ~now
     | None -> ());
-    t.counters.c_recoveries <- t.counters.c_recoveries + 1;
-    record_failure t (Trace.Node_recover id);
+    if not t.retired then begin
+      t.counters.c_recoveries <- t.counters.c_recoveries + 1;
+      record_failure t (Trace.Node_recover id)
+    end;
     (* Re-registration: the recovered element reconnects to its parent,
        and a recovered agent readopts whichever of its original children
        are up (they may have been pruned while it was away). *)
@@ -313,6 +355,7 @@ let deploy ?(trace = Trace.disabled) ?(selection = Best_prediction) ?monitoring_
       database = Hashtbl.create 64;
       faults;
       active;
+      retired = false;
       alive = Array.make (Platform.size platform) true;
       incarnation = Array.make (Platform.size platform) 0;
       crashed_at = Array.make (Platform.size platform) 0.0;
@@ -372,16 +415,23 @@ let deploy ?(trace = Trace.disabled) ?(selection = Best_prediction) ?monitoring_
           | Some (Agent_el _) | None -> ())
         elements);
   (* Install the fault schedule.  Events aimed at nodes outside the
-     hierarchy are ignored (the platform may be larger than the tree). *)
-  if active then
-    List.iter
-      (fun { Faults.node; at; kind } ->
-        if node >= 0 && node < Array.length elements && elements.(node) <> None then
-          Engine.schedule_at engine ~time:at (fun () ->
-              match kind with
-              | Faults.Crash -> crash_node t node
-              | Faults.Recover -> recover_node t node))
-      faults.Faults.node_events;
+     hierarchy are ignored (the platform may be larger than the tree), and
+     so are events already in the past — a hierarchy deployed mid-run by
+     the controller only sees what is still to come. *)
+  (if active then
+     let now = Engine.now engine in
+     List.iter
+       (fun { Faults.node; at; kind } ->
+         if
+           at >= now && node >= 0
+           && node < Array.length elements
+           && elements.(node) <> None
+         then
+           Engine.schedule_at engine ~time:at (fun () ->
+               match kind with
+               | Faults.Crash -> crash_node t node
+               | Faults.Recover -> recover_node t node))
+       faults.Faults.node_events);
   t
 
 let bandwidth_between t a b = effective_bandwidth t (Platform.bandwidth t.platform a b)

@@ -15,9 +15,13 @@
     with timeout and exponential-backoff retries; agents wait out a
     patience window per request, answer with the replies that arrived, and
     prune children that stay silent (failover), re-adopting them when they
-    re-register after recovery.  With {!Faults.none} every fault code path
-    is bypassed and runs are bit-for-bit identical to pre-fault
-    behaviour. *)
+    re-register after recovery.  A child pruned while it is alive — its
+    recovery raced the strike window, or an agent was struck out because
+    every child below it was down at once — notices on its next heartbeat
+    and re-registers after a short fixed delay, so failover never
+    permanently detaches a living element.  With {!Faults.none} every
+    fault code path is bypassed and runs are bit-for-bit identical to
+    pre-fault behaviour. *)
 
 open Adept_platform
 
@@ -68,7 +72,8 @@ val deploy :
     positive) starts the periodic load reports and is required by the
     [Database] selection.  [faults] (default {!Faults.none}) installs the
     crash/recovery schedule; fault events naming nodes outside the
-    hierarchy are ignored.
+    hierarchy, or scheduled before the engine's current time (a redeploy
+    mid-run only sees what is still to come), are ignored.
     @raise Invalid_argument otherwise. *)
 
 val submit :
@@ -103,8 +108,23 @@ val request_service :
 val fault_stats : t -> fault_stats
 (** Snapshot of the fault counters (all zero on fault-free runs). *)
 
+val merge_fault_stats : fault_stats -> fault_stats -> fault_stats
+(** Componentwise sum (latency lists concatenated in argument order) —
+    aggregates the counters of successive hierarchy generations when a
+    controller redeploys mid-run. *)
+
 val is_alive : t -> Node.id -> bool
 (** Whether the node is currently up (always [true] fault-free). *)
+
+val retire : t -> unit
+(** Mark this hierarchy as superseded by a newer generation.  A retired
+    middleware keeps draining its in-flight requests and keeps tracking
+    node liveness (fault events still update it), but stops recording
+    topology events — crashes, recoveries, prunes, rejoins — in its
+    counters and trace, so that a run with several generations counts each
+    event exactly once (in the generation that was current when it
+    fired).  Request-outcome events (timeouts, abandons) of its own
+    in-flight work are still recorded. *)
 
 val resource : t -> Node.id -> Resource.t
 (** The simulated port of a deployed node.

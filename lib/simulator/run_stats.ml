@@ -6,10 +6,22 @@ type t = {
   mutable completed : int;
   mutable lost : int;
   per_server : (Node.id, int) Hashtbl.t;
+  mutable degraded_seconds : float;
+  mutable migration_lost : int;
+  mutable replans : int;
 }
 
 let create () =
-  { issued = 0; completions = []; completed = 0; lost = 0; per_server = Hashtbl.create 64 }
+  {
+    issued = 0;
+    completions = [];
+    completed = 0;
+    lost = 0;
+    per_server = Hashtbl.create 64;
+    degraded_seconds = 0.0;
+    migration_lost = 0;
+    replans = 0;
+  }
 
 let record_issue t ~time:_ = t.issued <- t.issued + 1
 
@@ -21,9 +33,19 @@ let record_completion t ~issued_at ~time ~server =
   Hashtbl.replace t.per_server server
     (1 + Option.value ~default:0 (Hashtbl.find_opt t.per_server server))
 
+let record_degraded t ~seconds =
+  if seconds > 0.0 then t.degraded_seconds <- t.degraded_seconds +. seconds
+
+let record_migration_lost t = t.migration_lost <- t.migration_lost + 1
+
+let record_replan t = t.replans <- t.replans + 1
+
 let issued t = t.issued
 let completed t = t.completed
 let lost t = t.lost
+let degraded_seconds t = t.degraded_seconds
+let migration_lost t = t.migration_lost
+let replans t = t.replans
 
 let completions_in t ~t0 ~t1 =
   List.fold_left

@@ -22,6 +22,27 @@ val completed : t -> int
 val lost : t -> int
 (** Abandoned requests; 0 for fault-free runs. *)
 
+val record_degraded : t -> seconds:float -> unit
+(** Accumulate time spent below the controller's degradation threshold
+    (non-positive durations are ignored). *)
+
+val record_migration_lost : t -> unit
+(** A request was issued during a migration window and dropped. *)
+
+val record_replan : t -> unit
+(** The controller enacted one replanned hierarchy. *)
+
+val degraded_seconds : t -> float
+(** Total simulated time the controller observed throughput below its
+    threshold; 0 without a controller. *)
+
+val migration_lost : t -> int
+(** Requests dropped because they arrived mid-migration; 0 without a
+    controller. *)
+
+val replans : t -> int
+(** Replanned hierarchies enacted; 0 without a controller. *)
+
 val completions_in : t -> t0:float -> t1:float -> int
 (** Completions with [t0 <= time < t1]. *)
 

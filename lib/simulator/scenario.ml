@@ -13,12 +13,13 @@ type t = {
   selection : Middleware.selection;
   monitoring_period : float option;
   faults : Faults.t;
+  controller : Controller.config option;
   seed : int;
 }
 
 let make ?(selection = Middleware.Best_prediction) ?monitoring_period
-    ?(faults = Faults.none) ?(seed = 1) ~params ~platform ~client tree =
-  { params; platform; tree; client; selection; monitoring_period; faults; seed }
+    ?(faults = Faults.none) ?controller ?(seed = 1) ~params ~platform ~client tree =
+  { params; platform; tree; client; selection; monitoring_period; faults; controller; seed }
 
 type run_result = {
   clients : int;
@@ -33,14 +34,21 @@ type run_result = {
   per_server : (Node.id * int) list;
   faults : Middleware.fault_stats;
   events : Engine.outcome;
+  degraded_seconds : float;
+  migration_lost : int;
+  replans : Controller.replan_record list;
 }
 
 (* Shared scaffolding of a run: deployed middleware, stats, and the
    issue-one-request closure.  A failed request (both phases supervised
    under fault injection) counts as lost and still fires [on_complete] so
    closed-loop clients keep going rather than dying with their first lost
-   request. *)
-let prepare ?(trace = Trace.disabled) t =
+   request.  With a controller attached, each request goes to whichever
+   hierarchy generation is current at issue time, and requests arriving
+   inside a migration window are dropped with the client resumed when the
+   window closes (an immediate resume would spin a zero-think client
+   without advancing the clock). *)
+let prepare ?(trace = Trace.disabled) ~horizon t =
   let engine = Engine.create () in
   let rng = Rng.create t.seed in
   let selection =
@@ -54,28 +62,48 @@ let prepare ?(trace = Trace.disabled) t =
   in
   let stats = Run_stats.create () in
   let mix = Client.mix t.client in
+  let controller =
+    Option.map
+      (fun cfg ->
+        Controller.create cfg ~engine ~params:t.params ~platform:t.platform
+          ~wapp:(Mix.expected_wapp mix) ~demand:Adept_model.Demand.unbounded
+          ~selection ?monitoring_period:t.monitoring_period ~faults:t.faults
+          ~stats ~trace ~horizon ~middleware t.tree)
+      t.controller
+  in
   let issue_request ~on_complete =
     let issued_at = Engine.now engine in
-    let job = Mix.draw mix rng in
-    let wapp = Job.wapp job in
     Run_stats.record_issue stats ~time:issued_at;
-    let on_failed () =
-      Run_stats.record_lost stats ~time:(Engine.now engine);
-      on_complete ()
-    in
-    Middleware.submit middleware ~wapp ~on_failed
-      ~on_scheduled:(fun ~server ->
-        Middleware.request_service middleware ~server ~on_failed ~wapp
-          ~on_done:(fun () ->
-            Run_stats.record_completion stats ~issued_at ~time:(Engine.now engine)
-              ~server;
-            on_complete ())
-          ())
-      ()
+    match controller with
+    | Some c when Controller.is_migrating c ->
+        Run_stats.record_lost stats ~time:issued_at;
+        Run_stats.record_migration_lost stats;
+        Engine.schedule_at engine ~time:(Controller.migration_ends c) on_complete
+    | _ ->
+        let middleware =
+          match controller with
+          | Some c -> Controller.middleware c
+          | None -> middleware
+        in
+        let job = Mix.draw mix rng in
+        let wapp = Job.wapp job in
+        let on_failed () =
+          Run_stats.record_lost stats ~time:(Engine.now engine);
+          on_complete ()
+        in
+        Middleware.submit middleware ~wapp ~on_failed
+          ~on_scheduled:(fun ~server ->
+            Middleware.request_service middleware ~server ~on_failed ~wapp
+              ~on_done:(fun () ->
+                Run_stats.record_completion stats ~issued_at
+                  ~time:(Engine.now engine) ~server;
+                on_complete ())
+              ())
+          ()
   in
-  (engine, rng, stats, middleware, issue_request)
+  (engine, rng, stats, middleware, controller, issue_request)
 
-let finish ~clients ~warmup ~duration ~stats ~middleware ~events =
+let finish ~clients ~warmup ~duration ~stats ~middleware ~controller ~events =
   let horizon = warmup +. duration in
   {
     clients;
@@ -88,16 +116,24 @@ let finish ~clients ~warmup ~duration ~stats ~middleware ~events =
     mean_response = Run_stats.mean_response_time stats;
     p95_response = Run_stats.response_percentile stats 95.0;
     per_server = Run_stats.per_server stats;
-    faults = Middleware.fault_stats middleware;
+    faults =
+      (match controller with
+      | Some c -> Controller.fault_stats c
+      | None -> Middleware.fault_stats middleware);
     events;
+    degraded_seconds = Run_stats.degraded_seconds stats;
+    migration_lost = Run_stats.migration_lost stats;
+    replans = (match controller with Some c -> Controller.records c | None -> []);
   }
 
 let run_fixed ?trace ?max_events t ~clients ~warmup ~duration =
   if clients <= 0 then invalid_arg "Scenario.run_fixed: clients must be positive";
   if warmup < 0.0 || duration <= 0.0 then
     invalid_arg "Scenario.run_fixed: need warmup >= 0 and duration > 0";
-  let engine, _rng, stats, middleware, issue_request = prepare ?trace t in
   let horizon = warmup +. duration in
+  let engine, _rng, stats, middleware, controller, issue_request =
+    prepare ?trace ~horizon t
+  in
   let think = Client.think_time t.client in
   let rec client_loop () =
     if Engine.now engine < horizon then
@@ -112,15 +148,17 @@ let run_fixed ?trace ?max_events t ~clients ~warmup ~duration =
     Engine.schedule_at engine ~time:(float_of_int i *. stagger) client_loop
   done;
   let events = Engine.run ~until:horizon ?max_events engine in
-  finish ~clients ~warmup ~duration ~stats ~middleware ~events
+  finish ~clients ~warmup ~duration ~stats ~middleware ~controller ~events
 
 let run_open ?trace ?max_events t ~rate ~warmup ~duration =
   if rate <= 0.0 || not (Float.is_finite rate) then
     invalid_arg "Scenario.run_open: rate must be positive and finite";
   if warmup < 0.0 || duration <= 0.0 then
     invalid_arg "Scenario.run_open: need warmup >= 0 and duration > 0";
-  let engine, rng, stats, middleware, issue_request = prepare ?trace t in
   let horizon = warmup +. duration in
+  let engine, rng, stats, middleware, controller, issue_request =
+    prepare ?trace ~horizon t
+  in
   let rec arrival () =
     if Engine.now engine < horizon then begin
       issue_request ~on_complete:(fun () -> ());
@@ -131,7 +169,7 @@ let run_open ?trace ?max_events t ~rate ~warmup ~duration =
   in
   Engine.schedule_at engine ~time:(Rng.exponential rng ~mean:(1.0 /. rate)) arrival;
   let events = Engine.run ~until:horizon ?max_events engine in
-  finish ~clients:0 ~warmup ~duration ~stats ~middleware ~events
+  finish ~clients:0 ~warmup ~duration ~stats ~middleware ~controller ~events
 
 let throughput_series ?trace t ~client_counts ~warmup ~duration =
   List.map

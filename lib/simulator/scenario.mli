@@ -18,6 +18,9 @@ type t = {
   selection : Middleware.selection;
   monitoring_period : float option;
   faults : Faults.t;  (** Fault schedule; {!Faults.none} by default. *)
+  controller : Controller.config option;
+      (** Self-healing supervision loop; [None] (default) runs without
+          one. *)
   seed : int;  (** Drives job draws from the mix (and Random selection). *)
 }
 
@@ -25,17 +28,21 @@ val make :
   ?selection:Middleware.selection ->
   ?monitoring_period:float ->
   ?faults:Faults.t ->
+  ?controller:Controller.config ->
   ?seed:int ->
   params:Adept_model.Params.t ->
   platform:Platform.t ->
   client:Adept_workload.Client.t ->
   Tree.t ->
   t
-(** Default selection [Best_prediction], seed 1, no faults.
-    [monitoring_period] is required by the [Database] selection (see
-    {!Middleware.deploy}).  [faults] installs the crash/recovery schedule;
-    with the default {!Faults.none} runs are bit-for-bit identical to the
-    fault-free simulator. *)
+(** Default selection [Best_prediction], seed 1, no faults, no
+    controller.  [monitoring_period] is required by the [Database]
+    selection (see {!Middleware.deploy}).  [faults] installs the
+    crash/recovery schedule; with the default {!Faults.none} runs are
+    bit-for-bit identical to the fault-free simulator.  [controller]
+    attaches an online redeployment loop (see {!Controller}): requests
+    are routed to whichever hierarchy generation is current, and requests
+    issued inside a migration window count as lost. *)
 
 type run_result = {
   clients : int;  (** Population, or 0 for open-loop runs. *)
@@ -50,8 +57,19 @@ type run_result = {
   mean_response : float option;
   p95_response : float option;
   per_server : (Node.id * int) list;
-  faults : Middleware.fault_stats;  (** All-zero on fault-free runs. *)
+  faults : Middleware.fault_stats;
+      (** All-zero on fault-free runs; merged across hierarchy
+          generations when a controller redeployed. *)
   events : Engine.outcome;
+  degraded_seconds : float;
+      (** Simulated time the controller sampled throughput below its
+          threshold; 0 without a controller. *)
+  migration_lost : int;
+      (** Requests dropped inside migration windows (also counted in
+          [lost_total]); 0 without a controller. *)
+  replans : Controller.replan_record list;
+      (** Enacted redeployments, chronological; [] without a
+          controller. *)
 }
 
 val run_fixed :

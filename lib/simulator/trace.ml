@@ -29,6 +29,9 @@ type failure =
   | Request_abandoned
   | Child_pruned of int * int
   | Child_rejoined of int * int
+  | Replan_triggered
+  | Replan_enacted of int list
+  | Replan_suppressed of string
 
 let failure_name = function
   | Node_crash _ -> "node-crash"
@@ -38,6 +41,9 @@ let failure_name = function
   | Request_abandoned -> "request-abandoned"
   | Child_pruned _ -> "child-pruned"
   | Child_rejoined _ -> "child-rejoined"
+  | Replan_triggered -> "replan-triggered"
+  | Replan_enacted _ -> "replan-enacted"
+  | Replan_suppressed _ -> "replan-suppressed"
 
 type t = {
   enabled : bool;

@@ -22,6 +22,15 @@ type failure =
                                    silent child from the routing tree. *)
   | Child_rejoined of int * int  (** [(agent, child)]: re-registration
                                      after recovery. *)
+  | Replan_triggered  (** The controller saw sustained degradation and
+                          asked the planner for a new hierarchy. *)
+  | Replan_enacted of int list  (** A replanned hierarchy went live; the
+                                    list is the failed node ids it
+                                    excludes. *)
+  | Replan_suppressed of string  (** A trigger was vetoed (cooldown,
+                                     insufficient predicted gain, replan
+                                     budget, planner error); the string
+                                     names the reason. *)
 
 val failure_name : failure -> string
 

@@ -620,7 +620,7 @@ let test_planner_strategy_strings () =
     (fun s ->
       match Planner.strategy_of_string s with
       | Ok st -> Alcotest.(check string) "roundtrip" s (Planner.strategy_name st)
-      | Error e -> Alcotest.fail e)
+      | Error e -> Alcotest.fail (Error.to_string e))
     [
       "heuristic"; "star"; "balanced:14"; "dary:3"; "homogeneous"; "exhaustive";
       "multi-cluster"; "improved:star"; "improved:dary:3";
@@ -644,7 +644,7 @@ let test_planner_run_all () =
           Alcotest.(check bool) "positive rho" true (plan.Planner.predicted_rho > 0.0);
           Alcotest.(check bool) "uses <= available" true
             (plan.Planner.nodes_used <= plan.Planner.nodes_available)
-      | Error e -> Alcotest.fail (Planner.strategy_name s ^ ": " ^ e))
+      | Error e -> Alcotest.fail (Planner.strategy_name s ^ ": " ^ Error.to_string e))
     strategies
 
 let test_planner_improved_strategy () =
@@ -654,7 +654,7 @@ let test_planner_improved_strategy () =
   let rho s =
     match Planner.run s params ~platform ~wapp ~demand:Demand.unbounded with
     | Ok p -> p.Planner.predicted_rho
-    | Error e -> Alcotest.fail e
+    | Error e -> Alcotest.fail (Error.to_string e)
   in
   Alcotest.(check bool) "improved dary:2 >= dary:2" true
     (rho (Planner.Improved (Planner.Dary 2)) >= rho (Planner.Dary 2) -. 1e-9)
@@ -665,7 +665,7 @@ let test_planner_multi_cluster_on_two_sites () =
   let wapp = dgemm 310 in
   (match Planner.run Planner.Multi_cluster params ~platform ~wapp ~demand:Demand.unbounded with
   | Ok p -> Alcotest.(check bool) "positive rho" true (p.Planner.predicted_rho > 0.0)
-  | Error e -> Alcotest.fail e);
+  | Error e -> Alcotest.fail (Error.to_string e));
   (* the plain heuristic cannot handle heterogeneous connectivity *)
   Alcotest.(check bool) "heuristic errors on two sites" true
     (Result.is_error
@@ -686,7 +686,7 @@ let test_planner_replan_prunes_failed () =
     Planner.replan Planner.Heuristic params ~platform ~wapp ~demand:Demand.unbounded
       ~failed:[ 5; 2; 5 ] ()
   with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Error.to_string e)
   | Ok r ->
       Alcotest.(check (list int)) "failed sorted and deduplicated" [ 2; 5 ]
         r.Planner.failed;
@@ -717,23 +717,57 @@ let test_planner_replan_reference () =
     Planner.replan Planner.Heuristic params ~platform ~wapp ~demand:Demand.unbounded
       ~failed:[ 3 ] ~reference ()
   with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Error.to_string e)
   | Ok r ->
       check_close "rho_before is the reference rho"
         (Evaluate.rho_on params ~platform ~wapp reference)
         r.Planner.rho_before
 
 let test_planner_replan_errors () =
+  (* Degenerate remnants must come back as typed errors, never as
+     exceptions — this is the contract the online controller leans on. *)
   let platform = Generator.grid5000_lyon ~n:4 () in
   let wapp = dgemm 310 in
-  let replan failed =
-    Planner.replan Planner.Heuristic params ~platform ~wapp ~demand:Demand.unbounded
+  let replan ?(strategy = Planner.Heuristic) failed =
+    Planner.replan strategy params ~platform ~wapp ~demand:Demand.unbounded
       ~failed ()
   in
-  Alcotest.(check bool) "off-platform id rejected" true (Result.is_error (replan [ 99 ]));
-  Alcotest.(check bool) "fewer than two survivors rejected" true
-    (Result.is_error (replan [ 0; 1; 2 ]));
-  Alcotest.(check bool) "empty failed list rejected" true (Result.is_error (replan []))
+  (match replan [ 99 ] with
+  | Error (Error.Invalid_input _) -> ()
+  | Error e -> Alcotest.fail ("off-platform id: wrong error " ^ Error.to_string e)
+  | Ok _ -> Alcotest.fail "off-platform id accepted");
+  (match replan [] with
+  | Error (Error.Invalid_input _) -> ()
+  | Error e -> Alcotest.fail ("empty failed: wrong error " ^ Error.to_string e)
+  | Ok _ -> Alcotest.fail "empty failed list accepted");
+  (match replan [ 0; 1; 2; 3 ] with
+  | Error Error.No_survivors -> ()
+  | Error e -> Alcotest.fail ("zero survivors: wrong error " ^ Error.to_string e)
+  | Ok _ -> Alcotest.fail "zero survivors accepted");
+  (match replan [ 0; 1; 2 ] with
+  | Error (Error.Insufficient_survivors { survivors = 1; required = 2 }) -> ()
+  | Error e -> Alcotest.fail ("one survivor: wrong error " ^ Error.to_string e)
+  | Ok _ -> Alcotest.fail "one survivor accepted");
+  (* Two survivors are enough for a hierarchy in principle, but not for a
+     balanced graph with three middle agents: the strategy itself cannot
+     plan the remnant. *)
+  (match replan ~strategy:(Planner.Balanced 3) [ 0; 1 ] with
+  | Error (Error.No_feasible_hierarchy _) -> ()
+  | Error e ->
+      Alcotest.fail ("infeasible remnant: wrong error " ^ Error.to_string e)
+  | Ok _ -> Alcotest.fail "balanced:3 planned on two survivors")
+
+let test_planner_replan_never_raises () =
+  let platform = Generator.grid5000_lyon ~n:5 () in
+  let wapp = dgemm 310 in
+  (* Every subset of failed ids, including all-failed and out-of-range
+     spreads, must return Ok or Error without raising. *)
+  for mask = 0 to 63 do
+    let failed = List.filter (fun i -> mask land (1 lsl i) <> 0) [ 0; 1; 2; 3; 4; 5 ] in
+    ignore
+      (Planner.replan Planner.Heuristic params ~platform ~wapp
+         ~demand:Demand.unbounded ~failed ())
+  done
 
 (* ---------- properties ---------- *)
 
@@ -962,6 +996,8 @@ let () =
           Alcotest.test_case "replan against reference" `Quick
             test_planner_replan_reference;
           Alcotest.test_case "replan errors" `Quick test_planner_replan_errors;
+          Alcotest.test_case "replan never raises" `Quick
+            test_planner_replan_never_raises;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest

@@ -172,8 +172,42 @@ let test_ablation_monitoring_staleness () =
   Alcotest.(check bool) "fast monitoring close to fresh" true (fast > 0.8 *. fresh);
   Alcotest.(check bool) "second-scale staleness collapses" true (slow < 0.5 *. fresh)
 
+let test_self_heal_policies () =
+  (* the headline claim of the self-heal extension: under real churn the
+     hysteresis policy beats both never replanning and guard-free
+     replanning; without churn, any healing beats monitoring alone *)
+  let module SH = Adept_experiments.Self_heal in
+  let module C = Adept_sim.Controller in
+  let r = SH.run ctx in
+  let get rate policy =
+    List.find (fun (p : SH.point) -> p.SH.rate = rate && p.SH.policy = policy) r.SH.points
+  in
+  let off0 = get 0.0 C.Off in
+  Alcotest.(check int) "off never replans" 0 off0.SH.replans;
+  Alcotest.(check bool) "healing the orphan beats monitoring alone" true
+    ((get 0.0 C.Eager).SH.throughput > off0.SH.throughput
+    && (get 0.0 C.Hysteresis).SH.throughput > off0.SH.throughput);
+  let churn = 0.5 in
+  let off = get churn C.Off in
+  let eager = get churn C.Eager in
+  let hyst = get churn C.Hysteresis in
+  Alcotest.(check bool)
+    (Printf.sprintf "hysteresis (%.1f) beats off (%.1f) under churn"
+       hyst.SH.throughput off.SH.throughput)
+    true
+    (hyst.SH.throughput > off.SH.throughput);
+  Alcotest.(check bool)
+    (Printf.sprintf "hysteresis (%.1f) beats eager (%.1f) under churn"
+       hyst.SH.throughput eager.SH.throughput)
+    true
+    (hyst.SH.throughput > eager.SH.throughput);
+  Alcotest.(check bool) "hysteresis enacts fewer replans than eager" true
+    (hyst.SH.replans <= eager.SH.replans);
+  Alcotest.(check bool) "hysteresis loses fewer requests to migration" true
+    (hyst.SH.migration_lost <= eager.SH.migration_lost)
+
 let test_registry_complete () =
-  Alcotest.(check int) "fifteen experiments" 15 (List.length Registry.all);
+  Alcotest.(check int) "sixteen experiments" 16 (List.length Registry.all);
   List.iter
     (fun id ->
       Alcotest.(check bool) ("find " ^ id) true (Registry.find id <> None))
@@ -235,6 +269,7 @@ let () =
           Alcotest.test_case "mix ablation" `Quick test_ablation_mix_arithmetic_wins;
           Alcotest.test_case "monitoring staleness" `Quick
             test_ablation_monitoring_staleness;
+          Alcotest.test_case "self-heal policies" `Slow test_self_heal_policies;
         ] );
       ( "harness",
         [

@@ -286,6 +286,22 @@ let test_dot_output () =
   Alcotest.(check bool) "ellipse for servers" true
     (Astring.String.is_infix ~affix:"ellipse" text)
 
+(* The DOT rendering of the fixed 5-node plan is pinned byte-for-byte in
+   test/golden/hierarchy_5node.dot (a test dep in test/dune).  A mismatch
+   means the Graphviz export changed shape: if intentional, regenerate the
+   golden from Dot.to_string and mention it in the changelog. *)
+let read_golden name =
+  let path = Filename.concat (Filename.dirname Sys.executable_name) name in
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_dot_golden () =
+  Alcotest.(check string) "DOT export is byte-stable"
+    (read_golden "golden/hierarchy_5node.dot")
+    (Dot.to_string (sample ()))
+
 (* ---------- Metrics ---------- *)
 
 let test_metrics () =
@@ -397,7 +413,11 @@ let () =
           Alcotest.test_case "malformed inputs" `Quick test_xml_malformed;
           Alcotest.test_case "file io" `Quick test_xml_file_io;
         ] );
-      ("dot", [ Alcotest.test_case "output" `Quick test_dot_output ]);
+      ( "dot",
+        [
+          Alcotest.test_case "output" `Quick test_dot_output;
+          Alcotest.test_case "golden" `Quick test_dot_golden;
+        ] );
       ( "metrics",
         [
           Alcotest.test_case "basic" `Quick test_metrics;

@@ -607,28 +607,43 @@ let test_scenario_think_time_lowers_load () =
 
 let test_faults_none_inert () =
   Alcotest.(check bool) "none is none" true (Faults.is_none Faults.none);
-  Alcotest.(check bool) "make () is none" true (Faults.is_none (Faults.make ()));
+  Alcotest.(check bool) "make () is none" true (Faults.is_none (Faults.make_exn ()));
   Alcotest.(check bool) "a crash is not none" false
-    (Faults.is_none (Faults.crash ~node:1 ~at:1.0 (Faults.make ())));
+    (Faults.is_none (Faults.crash ~node:1 ~at:1.0 (Faults.make_exn ())));
   Alcotest.(check bool) "message loss is not none" false
     (Faults.is_none
-       (Faults.with_message_loss ~probability:0.1 ~seed:3 (Faults.make ())))
+       (Faults.with_message_loss ~probability:0.1 ~seed:3 (Faults.make_exn ())))
 
 let test_faults_validation () =
   let invalid f = match f () with exception Invalid_argument _ -> true | _ -> false in
   Alcotest.(check bool) "recover before crash" true
-    (invalid (fun () -> Faults.crash ~node:1 ~at:2.0 ~recover_at:1.0 (Faults.make ())));
+    (invalid (fun () -> Faults.crash ~node:1 ~at:2.0 ~recover_at:1.0 (Faults.make_exn ())));
   Alcotest.(check bool) "probability >= 1" true
     (invalid (fun () ->
-         Faults.with_message_loss ~probability:1.0 ~seed:1 (Faults.make ())));
+         Faults.with_message_loss ~probability:1.0 ~seed:1 (Faults.make_exn ())));
   Alcotest.(check bool) "zero degradation factor" true
-    (invalid (fun () -> Faults.degrade ~from_:0.0 ~until:1.0 ~factor:0.0 (Faults.make ())));
+    (invalid (fun () -> Faults.degrade ~from_:0.0 ~until:1.0 ~factor:0.0 (Faults.make_exn ())));
   Alcotest.(check bool) "backoff below 1" true
-    (invalid (fun () -> Faults.make ~backoff:0.5 ()))
+    (invalid (fun () -> Faults.make_exn ~backoff:0.5 ()));
+  (* Faults.make itself never raises: each bad parameter is a typed
+     Invalid_input naming the offender. *)
+  let invalid_input label = function
+    | Error (Adept.Error.Invalid_input _) -> ()
+    | Error e ->
+        Alcotest.fail (label ^ ": wrong error " ^ Adept.Error.to_string e)
+    | Ok _ -> Alcotest.fail (label ^ ": accepted")
+  in
+  invalid_input "zero timeout" (Faults.make ~timeout:0.0 ());
+  invalid_input "negative service_timeout" (Faults.make ~service_timeout:(-1.0) ());
+  invalid_input "negative retries" (Faults.make ~max_retries:(-1) ());
+  invalid_input "backoff below 1" (Faults.make ~backoff:0.5 ());
+  invalid_input "nan patience" (Faults.make ~patience:Float.nan ());
+  Alcotest.(check bool) "good parameters accepted" true
+    (Result.is_ok (Faults.make ~timeout:1.0 ~backoff:1.0 ~max_retries:0 ()))
 
 let test_faults_bandwidth_factor () =
   let f =
-    Faults.make ()
+    Faults.make_exn ()
     |> Faults.degrade ~from_:1.0 ~until:2.0 ~factor:0.5
     |> Faults.degrade ~from_:1.5 ~until:3.0 ~factor:0.5
   in
@@ -640,7 +655,7 @@ let test_faults_seeded_crashes_deterministic () =
   let gen seed =
     Faults.seeded_crashes
       ~rng:(Adept_util.Rng.create seed)
-      ~nodes:[ 1; 2; 3 ] ~rate:0.5 ~mttr:1.0 ~horizon:10.0 (Faults.make ())
+      ~nodes:[ 1; 2; 3 ] ~rate:0.5 ~mttr:1.0 ~horizon:10.0 (Faults.make_exn ())
   in
   let events seed =
     List.map
@@ -689,9 +704,9 @@ let test_scenario_empty_faults_bit_identical () =
   in
   let r0, f0 = run None in
   let r1, f1 = run (Some Faults.none) in
-  let r2, f2 = run (Some (Faults.make ())) in
+  let r2, f2 = run (Some (Faults.make_exn ())) in
   Alcotest.(check bool) "Faults.none: identical trace" true (f1 = f0);
-  Alcotest.(check bool) "Faults.make (): identical trace" true (f2 = f0);
+  Alcotest.(check bool) "Faults.make_exn (): identical trace" true (f2 = f0);
   List.iter
     (fun (name, (r : Scenario.run_result)) ->
       Alcotest.(check (float 0.0)) (name ^ ": throughput bit-identical")
@@ -708,7 +723,7 @@ let test_scenario_empty_faults_bit_identical () =
         && r.Scenario.faults.Middleware.crashes = 0
         && r.Scenario.faults.Middleware.messages_lost = 0
         && r.Scenario.faults.Middleware.recovery_latencies = []))
-    [ ("Faults.none", r1); ("Faults.make ()", r2) ];
+    [ ("Faults.none", r1); ("Faults.make_exn ()", r2) ];
   let _, _, _, _, _, failures = f0 in
   Alcotest.(check int) "no failure events" 0 (List.length failures)
 
@@ -717,7 +732,7 @@ let test_scenario_fault_run_deterministic () =
      including the message-loss stream *)
   let run () =
     let faults =
-      Faults.make ~service_timeout:0.5 ~patience:0.2 ()
+      Faults.make_exn ~service_timeout:0.5 ~patience:0.2 ()
       |> Faults.crash ~node:1 ~at:1.2 ~recover_at:2.6
       |> Faults.with_message_loss ~probability:0.05 ~seed:9
     in
@@ -740,7 +755,7 @@ let test_scenario_crash_metrics_nonzero () =
   let tree = star_tree platform in
   let job = Adept_workload.Job.of_dgemm (Adept_workload.Dgemm.make 200) in
   let faults =
-    Faults.make ~timeout:0.3 ~service_timeout:0.4 ~patience:0.2 ()
+    Faults.make_exn ~timeout:0.3 ~service_timeout:0.4 ~patience:0.2 ()
     |> Faults.crash ~node:1 ~at:1.5 ~recover_at:3.5
   in
   let s =
@@ -775,7 +790,7 @@ let test_scenario_crash_metrics_nonzero () =
 
 let test_scenario_message_loss_metrics () =
   let faults =
-    Faults.make ~timeout:0.3 ~service_timeout:0.5 ()
+    Faults.make_exn ~timeout:0.3 ~service_timeout:0.5 ()
     |> Faults.with_message_loss ~probability:0.15 ~seed:11
   in
   let s = fault_scenario ~faults ~seed:5 () in
@@ -787,7 +802,107 @@ let test_scenario_message_loss_metrics () =
   Alcotest.(check bool) "the system still completes requests" true
     (r.Scenario.completed_total > 0)
 
+(* ---------- Controller ---------- *)
+
+module Controller = Adept_sim.Controller
+
+let controller_config ?(policy = Controller.Hysteresis) ?(threshold = 0.6)
+    ?(min_gain = 0.05) () =
+  match
+    Controller.config ~sample_period:0.25 ~window:1.0 ~threshold ~hold_time:0.5
+      ~cooldown:1.0 ~min_gain ~max_replans:4 ~restart_latency:0.3 ~state_mbit:1.0
+      policy
+  with
+  | Ok c -> c
+  | Error e -> Alcotest.fail (Adept.Error.to_string e)
+
+let controller_scenario ?controller ~faults ~seed () =
+  let platform = star_platform 3 in
+  let tree = star_tree platform in
+  (* 310x310 keeps the servers (not the agent) the binding resource, so
+     losing one of three servers visibly degrades the observed rate *)
+  let job = Adept_workload.Job.of_dgemm (Adept_workload.Dgemm.make 310) in
+  Scenario.make ?controller ~faults ~seed ~params ~platform
+    ~client:(Adept_workload.Client.closed_loop job) tree
+
+let test_controller_threshold_zero_bit_identical () =
+  (* the ISSUE's determinism regression: a controller that can never see
+     degradation (threshold 0) must not perturb the event stream — its
+     sampling ticks ride along without touching any visible state *)
+  let faults () =
+    Faults.make_exn ~service_timeout:0.5 ~patience:0.2 ()
+    |> Faults.crash ~node:1 ~at:1.2 ~recover_at:2.6
+  in
+  let run controller =
+    let s = controller_scenario ?controller ~faults:(faults ()) ~seed:5 () in
+    let trace = Trace.create () in
+    let r = Scenario.run_fixed ~trace s ~clients:12 ~warmup:0.5 ~duration:3.0 in
+    (r, trace_fingerprint trace)
+  in
+  let r0, f0 = run None in
+  let r1, f1 = run (Some (controller_config ~threshold:0.0 ())) in
+  Alcotest.(check bool) "identical trace" true (f1 = f0);
+  Alcotest.(check (float 0.0)) "throughput bit-identical" r0.Scenario.throughput
+    r1.Scenario.throughput;
+  Alcotest.(check int) "completed" r0.Scenario.completed_total r1.Scenario.completed_total;
+  Alcotest.(check int) "issued" r0.Scenario.issued_total r1.Scenario.issued_total;
+  Alcotest.(check int) "lost" r0.Scenario.lost_total r1.Scenario.lost_total;
+  Alcotest.(check (option (float 0.0))) "mean response" r0.Scenario.mean_response
+    r1.Scenario.mean_response;
+  Alcotest.(check int) "no replans" 0 (List.length r1.Scenario.replans);
+  Alcotest.(check int) "no migration losses" 0 r1.Scenario.migration_lost;
+  Alcotest.(check (float 0.0)) "no degraded time" 0.0 r1.Scenario.degraded_seconds
+
+let test_controller_enacts_on_permanent_crash () =
+  (* a server lost for good degrades a 3-server star below threshold; the
+     controller must replan around it and pay a real migration cost *)
+  let faults =
+    Faults.make_exn ~service_timeout:0.5 ~patience:0.2 ()
+    |> Faults.crash ~node:1 ~at:1.0
+  in
+  let s = controller_scenario ~controller:(controller_config ()) ~faults ~seed:7 () in
+  let r = Scenario.run_fixed s ~clients:12 ~warmup:0.5 ~duration:6.0 in
+  Alcotest.(check bool) "replanned at least once" true (r.Scenario.replans <> []);
+  let first = List.hd r.Scenario.replans in
+  Alcotest.(check bool) "the dead node is written off" true
+    (List.mem 1 first.Controller.failed);
+  Alcotest.(check bool) "predicted gain over the observed rate" true
+    (first.Controller.rho_after > first.Controller.observed);
+  Alcotest.(check bool) "the new hierarchy predicts less than the old" true
+    (first.Controller.rho_after < first.Controller.rho_before);
+  Alcotest.(check bool) "migration cost is real" true
+    (first.Controller.migration_cost > 0.0);
+  Alcotest.(check bool) "degraded time recorded" true (r.Scenario.degraded_seconds > 0.0);
+  Alcotest.(check bool) "requests keep completing after the heal" true
+    (r.Scenario.completed_total > 0)
+
 (* ---------- properties ---------- *)
+
+let prop_controller_min_gain =
+  QCheck.Test.make ~count:12
+    ~name:"no enacted replan has predicted gain below the configured minimum"
+    QCheck.(triple (int_range 0 10_000) (int_range 0 40) bool)
+    (fun (seed, gain_pct, eager) ->
+      let min_gain = float_of_int gain_pct /. 100.0 in
+      let faults =
+        Faults.make_exn ~service_timeout:0.5 ~patience:0.2 ()
+        |> Faults.crash ~node:1 ~at:1.0
+        |> Faults.seeded_crashes
+             ~rng:(Adept_util.Rng.create seed)
+             ~nodes:[ 2; 3 ] ~rate:0.4 ~mttr:0.6 ~horizon:5.0
+      in
+      let controller =
+        controller_config
+          ~policy:(if eager then Controller.Eager else Controller.Hysteresis)
+          ~min_gain ()
+      in
+      let s = controller_scenario ~controller ~faults ~seed () in
+      let r = Scenario.run_fixed s ~clients:8 ~warmup:0.5 ~duration:4.5 in
+      List.for_all
+        (fun (rec_ : Controller.replan_record) ->
+          rec_.Controller.rho_after
+          > (rec_.Controller.observed *. (1.0 +. min_gain)) -. 1e-9)
+        r.Scenario.replans)
 
 let prop_sim_conservation =
   QCheck.Test.make ~count:25
@@ -958,7 +1073,14 @@ let () =
           Alcotest.test_case "message loss metrics" `Quick
             test_scenario_message_loss_metrics;
         ] );
+      ( "controller",
+        [
+          Alcotest.test_case "threshold 0 bit-identical" `Quick
+            test_controller_threshold_zero_bit_identical;
+          Alcotest.test_case "enacts on permanent crash" `Quick
+            test_controller_enacts_on_permanent_crash;
+        ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_sim_conservation; prop_sim_busy_bounded ] );
+          [ prop_sim_conservation; prop_sim_busy_bounded; prop_controller_min_gain ] );
     ]
