@@ -273,7 +273,8 @@ let simulate_cmd =
           end
         in
         let scenario =
-          Adept_sim.Scenario.make ~faults ?controller ~seed ~params ~platform
+          Adept_sim.Scenario.make ~faults ?controller
+            ~demand:(demand_of demand) ~seed ~params ~platform
             ~client:(Adept_workload.Client.closed_loop job)
             plan.Adept.Planner.tree
         in

@@ -116,7 +116,9 @@ type t = {
   mutable tree : Tree.t;
   dead_since : (Node.id, float) Hashtbl.t;
       (* When each currently-dead tree node was first sampled dead;
-         entries disappear on recovery and on generation swaps. *)
+         entries disappear on recovery.  Generation swaps keep the
+         entries of nodes still dead in the new tree (seeded from the
+         crash time when sampling missed the death). *)
   mutable predicted_rho : float;
   mutable degraded_since : float option;
   mutable last_enact : float;
@@ -195,13 +197,38 @@ let enact t (r : Planner.replan_result) ~observed ~cost () =
   in
   if dead_agent then record_suppressed t "agent-died-mid-migration"
   else begin
+    (* Liveness carries across the swap: a node kept in the new tree
+       despite being down right now (dead for less than the hold under
+       [Hysteresis], or crashed during the migration window) must start
+       the new generation dead — otherwise it would serve requests for
+       the rest of its downtime and its pending recovery event would be a
+       no-op.  Its [dead_since] clock survives too, timestamped at the
+       first sample that saw it dead (or its actual crash time if it died
+       while sampling was paused by the migration), so the next replan's
+       hold does not restart at migration end. *)
+    let inherited_dead =
+      List.filter_map
+        (fun n ->
+          let id = Node.id n in
+          if Middleware.is_alive t.middleware id then None
+          else Some (id, Middleware.crash_time t.middleware id))
+        (Tree.nodes new_tree)
+    in
+    let dead_since =
+      List.map
+        (fun (id, crashed) ->
+          (id, Option.value ~default:crashed (Hashtbl.find_opt t.dead_since id)))
+        inherited_dead
+    in
     Hashtbl.reset t.dead_since;
+    List.iter (fun (id, since) -> Hashtbl.replace t.dead_since id since) dead_since;
     Middleware.retire t.middleware;
     t.retired <- t.middleware :: t.retired;
     t.middleware <-
       Middleware.deploy ~trace:t.trace ~selection:t.selection
         ?monitoring_period:t.monitoring_period ~faults:t.faults ~engine:t.engine
-        ~params:t.params ~platform:t.platform new_tree;
+        ~params:t.params ~platform:t.platform ~initial_dead:inherited_dead
+        new_tree;
     t.tree <- new_tree;
     t.predicted_rho <- r.Planner.rho_after;
     t.last_enact <- now;

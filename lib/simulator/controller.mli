@@ -32,9 +32,13 @@
     hierarchy dies while the migration is in flight the enactment is
     abandoned (the pause was already paid, a [Replan_suppressed
     "agent-died-mid-migration"] breadcrumb is traced) and the old
-    hierarchy stays in charge; a dead {e server} is not fatal — the new
-    generation's failover strikes it out and readopts it on recovery,
-    exactly as it would mid-run.
+    hierarchy stays in charge; a dead {e server} is not fatal — it starts
+    the new generation dead (liveness is inherited across the swap, see
+    {!Middleware.deploy}'s [initial_dead]), the new generation's failover
+    strikes it out and readopts it on recovery, exactly as it would
+    mid-run.  Degradation clocks survive the swap too: a node still dead
+    after an enactment keeps its original death time, so the next
+    replan's hold does not restart at migration end.
 
     All policies respect [max_replans] and the [min_gain] guard (for
     [Eager] the default guard is whatever the config says — set it to 0

@@ -291,8 +291,10 @@ let recover_node t id =
     | Some (Server_el _) | None -> ()
   end
 
+let crash_time t id = t.crashed_at.(id)
+
 let deploy ?(trace = Trace.disabled) ?(selection = Best_prediction) ?monitoring_period
-    ?(faults = Faults.none) ~engine ~params ~platform tree =
+    ?(faults = Faults.none) ?(initial_dead = []) ~engine ~params ~platform tree =
   (match monitoring_period with
   | Some p when p <= 0.0 || not (Float.is_finite p) ->
       invalid_arg "Middleware.deploy: monitoring_period must be positive and finite"
@@ -376,6 +378,20 @@ let deploy ?(trace = Trace.disabled) ?(selection = Best_prediction) ?monitoring_
         };
     }
   in
+  (* Liveness inherited from a superseded generation: a node kept in the
+     hierarchy despite being down right now starts dead, with its original
+     crash time, so failover strikes it out and its pending recovery event
+     genuinely revives it.  The crash itself is not re-counted — the
+     generation that witnessed it already did. *)
+  (if initial_dead <> [] && not active then
+     invalid_arg "Middleware.deploy: initial_dead requires fault injection");
+  List.iter
+    (fun (id, crashed_at) ->
+      if id >= 0 && id < Array.length elements && elements.(id) <> None then begin
+        t.alive.(id) <- false;
+        t.crashed_at.(id) <- crashed_at
+      end)
+    initial_dead;
   (* Periodic monitoring: every server reports its backlog to the root's
      database, paying the message at both ends (lane at the server, port
      at the root — monitoring traffic really does contend with

@@ -62,6 +62,7 @@ val deploy :
   ?selection:selection ->
   ?monitoring_period:float ->
   ?faults:Faults.t ->
+  ?initial_dead:(Node.id * float) list ->
   engine:Engine.t ->
   params:Adept_model.Params.t ->
   platform:Platform.t ->
@@ -74,6 +75,12 @@ val deploy :
     crash/recovery schedule; fault events naming nodes outside the
     hierarchy, or scheduled before the engine's current time (a redeploy
     mid-run only sees what is still to come), are ignored.
+    [initial_dead] (default empty; requires fault injection) seeds
+    liveness for a hierarchy deployed mid-run: each [(node, crashed_at)]
+    starts dead as of [crashed_at] — failover strikes it out, a pending
+    recovery event revives it — without re-counting the crash the
+    previous generation already recorded.  Entries naming nodes outside
+    the hierarchy are ignored.
     @raise Invalid_argument otherwise. *)
 
 val submit :
@@ -115,6 +122,10 @@ val merge_fault_stats : fault_stats -> fault_stats -> fault_stats
 
 val is_alive : t -> Node.id -> bool
 (** Whether the node is currently up (always [true] fault-free). *)
+
+val crash_time : t -> Node.id -> float
+(** When the node last went down (inherited across generations via
+    [initial_dead]); meaningful only while [is_alive] is [false]. *)
 
 val retire : t -> unit
 (** Mark this hierarchy as superseded by a newer generation.  A retired

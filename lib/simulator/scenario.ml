@@ -14,12 +14,25 @@ type t = {
   monitoring_period : float option;
   faults : Faults.t;
   controller : Controller.config option;
+  demand : Adept_model.Demand.t;
   seed : int;
 }
 
 let make ?(selection = Middleware.Best_prediction) ?monitoring_period
-    ?(faults = Faults.none) ?controller ?(seed = 1) ~params ~platform ~client tree =
-  { params; platform; tree; client; selection; monitoring_period; faults; controller; seed }
+    ?(faults = Faults.none) ?controller ?(demand = Adept_model.Demand.unbounded)
+    ?(seed = 1) ~params ~platform ~client tree =
+  {
+    params;
+    platform;
+    tree;
+    client;
+    selection;
+    monitoring_period;
+    faults;
+    controller;
+    demand;
+    seed;
+  }
 
 type run_result = {
   clients : int;
@@ -66,9 +79,9 @@ let prepare ?(trace = Trace.disabled) ~horizon t =
     Option.map
       (fun cfg ->
         Controller.create cfg ~engine ~params:t.params ~platform:t.platform
-          ~wapp:(Mix.expected_wapp mix) ~demand:Adept_model.Demand.unbounded
-          ~selection ?monitoring_period:t.monitoring_period ~faults:t.faults
-          ~stats ~trace ~horizon ~middleware t.tree)
+          ~wapp:(Mix.expected_wapp mix) ~demand:t.demand ~selection
+          ?monitoring_period:t.monitoring_period ~faults:t.faults ~stats ~trace
+          ~horizon ~middleware t.tree)
       t.controller
   in
   let issue_request ~on_complete =

@@ -21,6 +21,9 @@ type t = {
   controller : Controller.config option;
       (** Self-healing supervision loop; [None] (default) runs without
           one. *)
+  demand : Adept_model.Demand.t;
+      (** The demand the hierarchy was planned under; controller replans
+          are produced and scored against it.  [Unbounded] by default. *)
   seed : int;  (** Drives job draws from the mix (and Random selection). *)
 }
 
@@ -29,6 +32,7 @@ val make :
   ?monitoring_period:float ->
   ?faults:Faults.t ->
   ?controller:Controller.config ->
+  ?demand:Adept_model.Demand.t ->
   ?seed:int ->
   params:Adept_model.Params.t ->
   platform:Platform.t ->
@@ -42,7 +46,10 @@ val make :
     bit-for-bit identical to the fault-free simulator.  [controller]
     attaches an online redeployment loop (see {!Controller}): requests
     are routed to whichever hierarchy generation is current, and requests
-    issued inside a migration window count as lost. *)
+    issued inside a migration window count as lost.  [demand] (default
+    {!Adept_model.Demand.unbounded}) is passed through to the
+    controller's replans so a hierarchy planned under a bounded demand is
+    replaced under the same demand. *)
 
 type run_result = {
   clients : int;  (** Population, or 0 for open-loop runs. *)

@@ -802,6 +802,42 @@ let test_scenario_message_loss_metrics () =
   Alcotest.(check bool) "the system still completes requests" true
     (r.Scenario.completed_total > 0)
 
+let test_middleware_initial_dead_not_resurrected () =
+  (* REVIEW regression: a generation deployed mid-run must inherit the
+     previous generation's liveness — a node dead at enactment but kept
+     in the new tree starts dead (it must not serve during its remaining
+     downtime), its pending Recover event genuinely revives it, and the
+     crash the old generation already counted is not re-counted. *)
+  let platform = star_platform 3 in
+  let tree = star_tree platform in
+  let engine = Engine.create () in
+  let faults =
+    Faults.make_exn ~service_timeout:0.5 ~patience:0.2 ()
+    |> Faults.crash ~node:1 ~at:0.5 ~recover_at:3.0
+  in
+  let m0 = Middleware.deploy ~faults ~engine ~params ~platform tree in
+  ignore (Engine.run ~until:1.0 engine);
+  Alcotest.(check bool) "gen 0 saw the crash" false (Middleware.is_alive m0 1);
+  Alcotest.(check (float 1e-9)) "crash time recorded" 0.5 (Middleware.crash_time m0 1);
+  Middleware.retire m0;
+  let m1 =
+    Middleware.deploy ~faults ~engine ~params ~platform
+      ~initial_dead:[ (1, Middleware.crash_time m0 1) ]
+      tree
+  in
+  Alcotest.(check bool) "gen 1 starts with the node dead" false
+    (Middleware.is_alive m1 1);
+  Alcotest.(check (float 1e-9)) "crash time inherited" 0.5 (Middleware.crash_time m1 1);
+  Alcotest.(check int) "the crash is not re-counted" 0
+    (Middleware.fault_stats m1).Middleware.crashes;
+  ignore (Engine.run ~until:4.0 engine);
+  Alcotest.(check bool) "the pending Recover revives it in gen 1" true
+    (Middleware.is_alive m1 1);
+  Alcotest.(check int) "recovery counted once, in gen 1" 1
+    (Middleware.fault_stats m1).Middleware.recoveries;
+  Alcotest.(check int) "retired gen 0 counts no recovery" 0
+    (Middleware.fault_stats m0).Middleware.recoveries
+
 (* ---------- Controller ---------- *)
 
 module Controller = Adept_sim.Controller
@@ -1072,6 +1108,8 @@ let () =
             test_scenario_crash_metrics_nonzero;
           Alcotest.test_case "message loss metrics" `Quick
             test_scenario_message_loss_metrics;
+          Alcotest.test_case "initial dead not resurrected" `Quick
+            test_middleware_initial_dead_not_resurrected;
         ] );
       ( "controller",
         [
