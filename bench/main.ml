@@ -184,6 +184,52 @@ let bench_self_heal =
     (Bechamel.Staged.stage (fun () ->
          ignore (Adept_sim.Scenario.run_fixed scenario ~clients:10 ~warmup:0.5 ~duration:1.0)))
 
+(* The ring-buffer payoff behind Run_stats.completions_in: the loop a
+   controller run performs — a steady completion stream with a sliding
+   window query every 100 completions.  The naive twin is the pre-ring
+   implementation (every completion kept forever, every query a full
+   scan), quadratic in run length where the ring stays flat. *)
+let window_completions = 20_000
+let window_span = 5.0
+
+let bench_window_ring =
+  Bechamel.Test.make ~name:"substrate/run-stats-window-ring"
+    (Bechamel.Staged.stage (fun () ->
+         let stats =
+           Adept_sim.Run_stats.create ~retention:(window_span +. 1.0) ()
+         in
+         let acc = ref 0 in
+         for i = 1 to window_completions do
+           let time = float_of_int i *. 0.01 in
+           Adept_sim.Run_stats.record_issue stats ~time;
+           Adept_sim.Run_stats.record_completion stats ~issued_at:time ~time
+             ~server:0;
+           if i mod 100 = 0 then
+             acc :=
+               !acc
+               + Adept_sim.Run_stats.completions_in stats
+                   ~t0:(time -. window_span) ~t1:time
+         done;
+         ignore !acc))
+
+let bench_window_naive =
+  Bechamel.Test.make ~name:"substrate/run-stats-window-naive"
+    (Bechamel.Staged.stage (fun () ->
+         let times = ref [] in
+         let acc = ref 0 in
+         for i = 1 to window_completions do
+           let time = float_of_int i *. 0.01 in
+           times := time :: !times;
+           if i mod 100 = 0 then
+             acc :=
+               !acc
+               + List.length
+                   (List.filter
+                      (fun t -> time -. window_span <= t && t < time)
+                      !times)
+         done;
+         ignore !acc))
+
 let bench_event_queue =
   Bechamel.Test.make ~name:"substrate/event-queue-10k"
     (Bechamel.Staged.stage (fun () ->
@@ -214,6 +260,23 @@ let bench_xml =
          | Ok _ -> ()
          | Error e -> failwith e))
 
+(* Machine-readable snapshot of the micro results, for CI artifacts and
+   cross-commit comparison. *)
+let write_bench_json path entries =
+  let entries = List.sort compare entries in
+  let oc = open_out path in
+  output_string oc "{\n  \"schema\": \"adept-bench/v1\",\n  \"results\": [\n";
+  let last = List.length entries - 1 in
+  List.iteri
+    (fun i (name, mean_ns, runs) ->
+      Printf.fprintf oc "    {\"name\": %S, \"mean_ns\": %.1f, \"runs\": %d}%s\n"
+        name mean_ns runs
+        (if i = last then "" else ","))
+    entries;
+  output_string oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
 let run_micro () =
   let open Bechamel in
   let benchmarks =
@@ -221,7 +284,7 @@ let run_micro () =
       [
         bench_table3; bench_fig2_3; bench_fig4_5; bench_table4; bench_fig6;
         bench_fig7; bench_fault_sweep; bench_self_heal; bench_plan_2000;
-        bench_event_queue; bench_xml;
+        bench_window_ring; bench_window_naive; bench_event_queue; bench_xml;
       ]
   in
   let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 1.5) ~kde:(Some 1000) () in
@@ -236,16 +299,25 @@ let run_micro () =
       ~predictors:[| Measure.run |]) instances results in
   (* plain-text report: nanoseconds per run for each benchmark *)
   print_endline "Bechamel microbenches (time per run):";
+  let entries = ref [] in
   Hashtbl.iter
     (fun label by_bench ->
       if label = Measure.label Toolkit.Instance.monotonic_clock then
         Hashtbl.iter
           (fun name ols ->
             match Bechamel.Analyze.OLS.estimates ols with
-            | Some [ est ] -> Printf.printf "  %-40s %12.0f ns/run\n" name est
+            | Some [ est ] ->
+                Printf.printf "  %-40s %12.0f ns/run\n" name est;
+                let runs =
+                  match Hashtbl.find_opt raw name with
+                  | Some (b : Benchmark.t) -> b.Benchmark.stats.Benchmark.samples
+                  | None -> 0
+                in
+                entries := (name, est, runs) :: !entries
             | _ -> Printf.printf "  %-40s (no estimate)\n" name)
           by_bench)
-    results
+    results;
+  write_bench_json "BENCH_sim.json" !entries
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

@@ -389,6 +389,123 @@ let simulate_cmd =
           $ timeout $ service_timeout $ retries $ backoff $ patience $ self_heal
           $ degrade_threshold $ cooldown $ max_replans)
 
+(* ---------- observe ---------- *)
+
+let observe_cmd =
+  let run file n power bandwidth hetero seed dgemm demand strategy clients warmup
+      duration prom_out jsonl_out csv_out max_dev =
+    let platform = build_platform file n power bandwidth hetero seed in
+    let wapp = Adept_workload.Dgemm.(mflops (make dgemm)) in
+    let strategy =
+      match Adept.Planner.strategy_of_string strategy with
+      | Ok s -> s
+      | Error e -> exit_error e
+    in
+    match
+      Adept.Planner.run strategy params ~platform ~wapp ~demand:(demand_of demand)
+    with
+    | Error e -> exit_error e
+    | Ok plan ->
+        let tree = plan.Adept.Planner.tree in
+        Format.printf "%a@." Adept.Planner.pp_plan plan;
+        let job = Adept_workload.Job.of_dgemm (Adept_workload.Dgemm.make dgemm) in
+        let registry = Adept_obs.Registry.create () in
+        let strategy_labels =
+          Adept_obs.Label.v
+            [ (Adept_obs.Semconv.l_strategy, Adept.Planner.strategy_name strategy) ]
+        in
+        Adept_obs.Counter.inc
+          (Adept_obs.Registry.counter registry ~labels:strategy_labels
+             Adept_obs.Semconv.planner_plans_total);
+        Adept_obs.Counter.inc
+          ~by:(float_of_int plan.Adept.Planner.evaluations)
+          (Adept_obs.Registry.counter registry ~labels:strategy_labels
+             Adept_obs.Semconv.planner_evaluations_total);
+        let scenario =
+          Adept_sim.Scenario.make ~seed ~params ~platform
+            ~client:(Adept_workload.Client.closed_loop job)
+            tree
+        in
+        let r =
+          Adept_sim.Scenario.run_fixed ~registry scenario ~clients ~warmup ~duration
+        in
+        Printf.printf
+          "simulated: %d clients -> %.2f req/s over %.1fs after %.1fs warm-up\n\n"
+          clients r.Adept_sim.Scenario.throughput duration warmup;
+        let report = Adept_obs.Report.build ~registry ~params ~platform ~wapp ~tree in
+        print_string (Adept_obs.Report.render report);
+        let families = Adept_obs.Registry.snapshot registry in
+        let write path text =
+          Out_channel.with_open_text path (fun oc ->
+              Out_channel.output_string oc text)
+        in
+        Option.iter
+          (fun path ->
+            write path (Adept_obs.Export.prometheus families);
+            Printf.printf "wrote Prometheus text to %s\n" path)
+          prom_out;
+        Option.iter
+          (fun path ->
+            write path (Adept_obs.Export.jsonl families);
+            Printf.printf "wrote JSON lines to %s\n" path)
+          jsonl_out;
+        Option.iter
+          (fun path ->
+            Adept_util.Csv.save (Adept_obs.Export.csv families) path;
+            Printf.printf "wrote CSV to %s\n" path)
+          csv_out;
+        (match max_dev with
+        | None -> ()
+        | Some tol -> (
+            match Adept_obs.Report.max_deviation report with
+            | None -> exit_err "observe: nothing measured, cannot gate on deviation"
+            | Some d when d > tol ->
+                exit_err
+                  (Printf.sprintf
+                     "observe: max model-vs-measured deviation %.2f%% exceeds \
+                      tolerance %.2f%%"
+                     (100.0 *. d) (100.0 *. tol))
+            | Some d ->
+                Printf.printf "deviation gate passed: %.2f%% <= %.2f%%\n"
+                  (100.0 *. d) (100.0 *. tol)))
+  in
+  let clients =
+    Arg.(value & opt int 100 & info [ "clients" ] ~docv:"N"
+           ~doc:"Closed-loop client population (saturate for a meaningful rho \
+                 comparison).")
+  in
+  let warmup =
+    Arg.(value & opt float 2.0 & info [ "warmup" ] ~docv:"SECONDS"
+           ~doc:"Simulated warm-up before measurement.")
+  in
+  let duration =
+    Arg.(value & opt float 4.0 & info [ "duration" ] ~docv:"SECONDS"
+           ~doc:"Simulated measurement window.")
+  in
+  let prom_out =
+    Arg.(value & opt (some string) None & info [ "prom" ] ~docv:"FILE"
+           ~doc:"Export all metrics in Prometheus text format.")
+  in
+  let jsonl_out =
+    Arg.(value & opt (some string) None & info [ "jsonl" ] ~docv:"FILE"
+           ~doc:"Export all metrics as JSON lines.")
+  in
+  let csv_out =
+    Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE"
+           ~doc:"Export all metrics as a flat CSV table.")
+  in
+  let max_dev =
+    Arg.(value & opt (some float) None & info [ "max-deviation" ] ~docv:"FRACTION"
+           ~doc:"Fail (exit 1) if any model-vs-measured relative deviation \
+                 exceeds this fraction — the CI fidelity gate.")
+  in
+  Cmd.v
+    (Cmd.info "observe"
+       ~doc:"Run an instrumented simulation and report model-vs-measured costs")
+    Term.(const run $ platform_file $ nodes_arg $ power_arg $ bandwidth_arg
+          $ hetero_arg $ seed_arg $ dgemm_arg $ demand_arg $ strategy_arg
+          $ clients $ warmup $ duration $ prom_out $ jsonl_out $ csv_out $ max_dev)
+
 (* ---------- replan ---------- *)
 
 let replan_cmd =
@@ -662,8 +779,8 @@ let main =
   Cmd.group
     (Cmd.info "adept" ~version:"1.0.0" ~doc)
     [
-      platform_cmd; plan_cmd; eval_cmd; simulate_cmd; replan_cmd; compare_cmd;
-      improve_cmd; latency_cmd; experiment_cmd; bench_node_cmd;
+      platform_cmd; plan_cmd; eval_cmd; simulate_cmd; observe_cmd; replan_cmd;
+      compare_cmd; improve_cmd; latency_cmd; experiment_cmd; bench_node_cmd;
     ]
 
 let () = exit (Cmd.eval main)

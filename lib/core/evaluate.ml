@@ -86,6 +86,57 @@ let rho_hetero (params : Adept_model.Params.t) ~platform ~wapp tree =
   let service = 1.0 /. (comm_mean +. ((1.0 +. ratio_sum) /. rate_sum)) in
   Float.min (sched_min ~parent:None tree) service
 
+type element_cost = {
+  ec_node : Node.t;
+  ec_level : int;
+  ec_role : [ `Agent | `Server ];
+  ec_degree : int;
+  ec_wreq_s : float;
+  ec_wrep_s : float;
+  ec_wpre_s : float;
+  ec_service_s : float;
+}
+
+let element_costs (params : Adept_model.Params.t) ~wapp tree =
+  if wapp <= 0.0 || not (Float.is_finite wapp) then
+    invalid_arg "Evaluate.element_costs: wapp must be positive and finite";
+  let ag = params.Adept_model.Params.agent in
+  let srv = params.Adept_model.Params.server in
+  let rec walk level acc tree =
+    match tree with
+    | Tree.Server node ->
+        let w = Node.power node in
+        {
+          ec_node = node;
+          ec_level = level;
+          ec_role = `Server;
+          ec_degree = 0;
+          ec_wreq_s = 0.0;
+          ec_wrep_s = 0.0;
+          ec_wpre_s = srv.wpre /. w;
+          ec_service_s = wapp /. w;
+        }
+        :: acc
+    | Tree.Agent (node, children) ->
+        let w = Node.power node in
+        let degree = List.length children in
+        let cost =
+          {
+            ec_node = node;
+            ec_level = level;
+            ec_role = `Agent;
+            ec_degree = degree;
+            ec_wreq_s = ag.wreq /. w;
+            ec_wrep_s = Adept_model.Params.wrep params ~degree /. w;
+            ec_wpre_s = 0.0;
+            ec_service_s = 0.0;
+          }
+        in
+        List.fold_left (fun acc child -> walk (level + 1) acc child) (cost :: acc) children
+  in
+  walk 0 [] tree
+  |> List.sort (fun a b -> Int.compare (Node.id a.ec_node) (Node.id b.ec_node))
+
 let report params ~bandwidth ~wapp tree =
   let spec = spec_of_tree ~wapp tree in
   let sched = Throughput.sched params ~bandwidth spec in

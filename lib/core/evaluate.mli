@@ -43,6 +43,24 @@ val rho_hetero :
 
     With a uniform bandwidth this reduces exactly to {!rho} (tested). *)
 
+type element_cost = {
+  ec_node : Node.t;
+  ec_level : int;  (** Depth in the hierarchy, root = 0. *)
+  ec_role : [ `Agent | `Server ];
+  ec_degree : int;  (** Children for agents, 0 for servers. *)
+  ec_wreq_s : float;  (** Agent request processing [Wreq / w], seconds. *)
+  ec_wrep_s : float;  (** Agent reply aggregation [Wrep(d) / w], seconds. *)
+  ec_wpre_s : float;  (** Server prediction [Wpre / w], seconds. *)
+  ec_service_s : float;  (** Server execution [Wapp / w], seconds. *)
+}
+
+val element_costs :
+  Adept_model.Params.t -> wapp:float -> Tree.t -> element_cost list
+(** The per-element compute components of Eqs. 1–5, per node of the
+    hierarchy (sorted by node id): what each element should charge per
+    request, to set against measured per-element timings.  Fields that
+    do not apply to the element's role are 0. *)
+
 val report :
   Adept_model.Params.t -> bandwidth:float -> wapp:float -> Tree.t -> string
 (** Multi-line human summary: shape, throughputs, bottleneck. *)

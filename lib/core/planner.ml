@@ -56,12 +56,15 @@ type plan = {
   demand_met : bool;
   nodes_used : int;
   nodes_available : int;
+  evaluations : int;
 }
 
 let ( let* ) = Result.bind
 
 (* The strategy modules still speak [(_, string) result]; this is where
-   their prose becomes a typed [Error.t]. *)
+   their prose becomes a typed [Error.t].  Each arm also reports how many
+   candidate hierarchies the strategy evaluated, for the observability
+   layer. *)
 let rec plan_tree strategy params ~platform ~wapp ~demand =
   let nodes = Platform.sorted_by_power_desc platform in
   let typed r =
@@ -70,23 +73,37 @@ let rec plan_tree strategy params ~platform ~wapp ~demand =
       r
   in
   match strategy with
-  | Heuristic -> typed (Heuristic.plan_tree params ~platform ~wapp ~demand)
-  | Star -> typed (Baselines.star nodes)
-  | Balanced k -> typed (Baselines.balanced ~agents:k nodes)
-  | Dary d -> typed (Baselines.dary ~degree:d nodes)
+  | Heuristic ->
+      typed
+        (Result.map
+           (fun (r : Heuristic.result) -> (r.tree, List.length r.probes))
+           (Heuristic.plan params ~platform ~wapp ~demand))
+  | Star -> typed (Result.map (fun t -> (t, 1)) (Baselines.star nodes))
+  | Balanced k ->
+      typed (Result.map (fun t -> (t, 1)) (Baselines.balanced ~agents:k nodes))
+  | Dary d -> typed (Result.map (fun t -> (t, 1)) (Baselines.dary ~degree:d nodes))
   | Homogeneous_optimal ->
       typed
-        (Result.map (fun (r : Homogeneous.result) -> r.tree)
+        (Result.map
+           (fun (r : Homogeneous.result) -> (r.tree, List.length r.per_degree))
            (Homogeneous.plan params ~platform ~wapp ~demand))
-  | Exhaustive -> typed (Result.map fst (Exhaustive.optimal params ~platform ~wapp ()))
+  | Exhaustive ->
+      typed
+        (Result.map
+           (fun (tree, _rho) -> (tree, Exhaustive.count (Platform.nodes platform)))
+           (Exhaustive.optimal params ~platform ~wapp ()))
   | Multi_cluster ->
       typed
-        (Result.map (fun (r : Multi_cluster.result) -> r.Multi_cluster.tree)
+        (Result.map
+           (fun (r : Multi_cluster.result) ->
+             (r.Multi_cluster.tree, List.length r.Multi_cluster.candidates))
            (Multi_cluster.plan params ~platform ~wapp ~demand))
   | Improved inner ->
-      let* start = plan_tree inner params ~platform ~wapp ~demand in
+      let* start, inner_evaluations = plan_tree inner params ~platform ~wapp ~demand in
       typed
-        (Result.map (fun (r : Improver.result) -> r.Improver.tree)
+        (Result.map
+           (fun (r : Improver.result) ->
+             (r.Improver.tree, inner_evaluations + List.length r.Improver.steps))
            (Improver.improve params ~platform ~wapp start))
 
 let validated ~context ~platform tree =
@@ -98,7 +115,7 @@ let validated ~context ~platform tree =
            (String.concat "; " (List.map Validate.error_to_string errs)))
 
 let run strategy params ~platform ~wapp ~demand =
-  let* tree = plan_tree strategy params ~platform ~wapp ~demand in
+  let* tree, evaluations = plan_tree strategy params ~platform ~wapp ~demand in
   let* () =
     validated ~context:("strategy " ^ strategy_name strategy) ~platform tree
   in
@@ -111,6 +128,7 @@ let run strategy params ~platform ~wapp ~demand =
       demand_met = Demand.is_met demand predicted_rho;
       nodes_used = Tree.size tree;
       nodes_available = Platform.size platform;
+      evaluations;
     }
 
 type replan_result = {
@@ -196,6 +214,7 @@ let replan strategy params ~platform ~wapp ~demand ~failed ?reference () =
           demand_met = Demand.is_met demand rho_after;
           nodes_used = Tree.size tree;
           nodes_available = Platform.size sub;
+          evaluations = sub_plan.evaluations;
         };
       failed;
       survivors = Platform.size sub;

@@ -32,6 +32,12 @@ type plan = {
   demand_met : bool;  (** Always false under unbounded demand. *)
   nodes_used : int;
   nodes_available : int;
+  evaluations : int;
+      (** Candidate hierarchies the strategy evaluated: bisection probes
+          for the heuristic, degrees tried for the homogeneous search,
+          enumerated trees for [Exhaustive], inner evaluations plus climb
+          steps for [Improved]; 1 for the fixed-shape baselines.  Feeds
+          the [adept_planner_evaluations_total] metric. *)
 }
 
 val run :

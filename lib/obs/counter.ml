@@ -1,0 +1,12 @@
+(* Monotone counters.  [inc] with a negative amount is rejected so the
+   exported series stay monotone, as Prometheus requires. *)
+
+type t = { mutable value : float }
+
+let create () = { value = 0. }
+
+let inc ?(by = 1.) t =
+  if by < 0. then invalid_arg "Counter.inc: negative increment";
+  t.value <- t.value +. by
+
+let value t = t.value

@@ -1,0 +1,11 @@
+(** Monotonically increasing counters. *)
+
+type t
+
+val create : unit -> t
+
+val inc : ?by:float -> t -> unit
+(** Default increment 1.  @raise Invalid_argument on a negative
+    increment (counters are monotone). *)
+
+val value : t -> float

@@ -1,0 +1,168 @@
+let float_repr v =
+  if v = infinity then "+Inf"
+  else if v = neg_infinity then "-Inf"
+  else if Float.is_nan v then "NaN"
+  else if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.12g" v
+
+let family_help (f : Registry.family) =
+  if f.help <> "" then f.help else Semconv.help f.name
+
+let kind_of_family (f : Registry.family) =
+  match f.series with
+  | (_, Registry.Counter _) :: _ -> "counter"
+  | (_, Registry.Gauge _) :: _ -> "gauge"
+  | (_, Registry.Histogram _) :: _ -> "histogram"
+  | [] -> "untyped"
+
+let escape_help s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let with_le labels bound =
+  Label.v (("le", float_repr bound) :: (Label.pairs labels : (string * string) list))
+
+let prometheus families =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (f : Registry.family) ->
+      if f.series <> [] then begin
+        let help = family_help f in
+        if help <> "" then
+          Buffer.add_string buf
+            (Printf.sprintf "# HELP %s %s\n" f.name (escape_help help));
+        Buffer.add_string buf
+          (Printf.sprintf "# TYPE %s %s\n" f.name (kind_of_family f));
+        List.iter
+          (fun (labels, value) ->
+            match (value : Registry.value) with
+            | Registry.Counter v | Registry.Gauge v ->
+                Buffer.add_string buf
+                  (Printf.sprintf "%s%s %s\n" f.name (Label.to_prometheus labels)
+                     (float_repr v))
+            | Registry.Histogram snap ->
+                List.iter
+                  (fun (bound, cumulative) ->
+                    Buffer.add_string buf
+                      (Printf.sprintf "%s_bucket%s %d\n" f.name
+                         (Label.to_prometheus (with_le labels bound))
+                         cumulative))
+                  (Histogram.cumulative_buckets snap);
+                if Histogram.count snap = 0 then
+                  (* an empty histogram still exports its zero count *)
+                  Buffer.add_string buf
+                    (Printf.sprintf "%s_bucket%s 0\n" f.name
+                       (Label.to_prometheus (with_le labels infinity)));
+                Buffer.add_string buf
+                  (Printf.sprintf "%s_sum%s %s\n" f.name
+                     (Label.to_prometheus labels)
+                     (float_repr (Histogram.sum snap)));
+                Buffer.add_string buf
+                  (Printf.sprintf "%s_count%s %d\n" f.name
+                     (Label.to_prometheus labels) (Histogram.count snap)))
+          f.series
+      end)
+    families;
+  Buffer.contents buf
+
+let json_float v =
+  if v = infinity || v = neg_infinity || Float.is_nan v then
+    Label.json_string (float_repr v)
+  else float_repr v
+
+let jsonl families =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (f : Registry.family) ->
+      List.iter
+        (fun (labels, value) ->
+          let common kind =
+            Printf.sprintf "\"metric\":%s,\"type\":%s,\"labels\":%s"
+              (Label.json_string f.name) (Label.json_string kind)
+              (Label.to_json labels)
+          in
+          (match (value : Registry.value) with
+          | Registry.Counter v ->
+              Buffer.add_string buf
+                (Printf.sprintf "{%s,\"value\":%s}" (common "counter")
+                   (json_float v))
+          | Registry.Gauge v ->
+              Buffer.add_string buf
+                (Printf.sprintf "{%s,\"value\":%s}" (common "gauge")
+                   (json_float v))
+          | Registry.Histogram snap ->
+              let buckets =
+                Histogram.cumulative_buckets snap
+                |> List.map (fun (bound, c) ->
+                       Printf.sprintf "{\"le\":%s,\"count\":%d}" (json_float bound) c)
+                |> String.concat ","
+              in
+              let opt = function Some v -> json_float v | None -> "null" in
+              Buffer.add_string buf
+                (Printf.sprintf
+                   "{%s,\"count\":%d,\"sum\":%s,\"min\":%s,\"max\":%s,\"buckets\":[%s]}"
+                   (common "histogram") (Histogram.count snap)
+                   (json_float (Histogram.sum snap))
+                   (opt (Histogram.min_recorded snap))
+                   (opt (Histogram.max_recorded snap))
+                   buckets));
+          Buffer.add_char buf '\n')
+        f.series)
+    families;
+  Buffer.contents buf
+
+let csv families =
+  let table = ref (Adept_util.Csv.create [ "metric"; "labels"; "stat"; "value" ]) in
+  let row metric labels stat value =
+    table :=
+      Adept_util.Csv.add_row !table
+        [ metric; Label.to_string labels; stat; float_repr value ]
+  in
+  List.iter
+    (fun (f : Registry.family) ->
+      List.iter
+        (fun (labels, value) ->
+          match (value : Registry.value) with
+          | Registry.Counter v | Registry.Gauge v -> row f.name labels "value" v
+          | Registry.Histogram snap ->
+              row f.name labels "count" (float_of_int (Histogram.count snap));
+              row f.name labels "sum" (Histogram.sum snap);
+              let opt stat = function
+                | Some v -> row f.name labels stat v
+                | None -> ()
+              in
+              opt "mean" (Histogram.mean snap);
+              opt "p50" (Histogram.quantile snap 50.);
+              opt "p95" (Histogram.quantile snap 95.);
+              opt "p99" (Histogram.quantile snap 99.);
+              opt "max" (Histogram.max_recorded snap))
+        f.series)
+    families;
+  !table
+
+let tracer_jsonl tracer =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun item ->
+      (match (item : Tracer.item) with
+      | Tracer.Event { at; name; labels } ->
+          Buffer.add_string buf
+            (Printf.sprintf "{\"type\":\"event\",\"at\":%s,\"name\":%s,\"labels\":%s}"
+               (json_float at) (Label.json_string name) (Label.to_json labels))
+      | Tracer.Span { name; labels; start_at; end_at } ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "{\"type\":\"span\",\"start\":%s,\"end\":%s,\"name\":%s,\"labels\":%s}"
+               (json_float start_at)
+               (match end_at with Some e -> json_float e | None -> "null")
+               (Label.json_string name) (Label.to_json labels)));
+      Buffer.add_char buf '\n')
+    (Tracer.items tracer);
+  Buffer.contents buf

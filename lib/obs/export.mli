@@ -1,0 +1,30 @@
+(** Exporters: render a registry snapshot in standard formats.
+
+    All three renderers are deterministic — families sorted by name,
+    series by label set, histogram buckets by bound, floats formatted
+    with a stable scheme — so identical runs export byte-identical
+    documents (relied on by the golden tests). *)
+
+val float_repr : float -> string
+(** Stable float rendering: integers as ["42"], everything else with
+    [%.12g]; [infinity] as ["+Inf"] (Prometheus spelling). *)
+
+val prometheus : Registry.family list -> string
+(** Prometheus text exposition format (version 0.0.4): [# HELP] /
+    [# TYPE] headers, histograms as cumulative [_bucket{le="..."}]
+    series plus [_sum] and [_count]. *)
+
+val jsonl : Registry.family list -> string
+(** One JSON object per line per series.  Counters and gauges carry
+    ["value"]; histograms carry ["count"], ["sum"], ["min"], ["max"]
+    and ["buckets"] (cumulative [{"le": ..., "count": ...}]). *)
+
+val csv : Registry.family list -> Adept_util.Csv.t
+(** Flat table [metric,labels,stat,value]: counters/gauges get one
+    [value] row; histograms get [count], [sum], [mean], [p50], [p95],
+    [p99] and [max] rows. *)
+
+val tracer_jsonl : Tracer.t -> string
+(** One JSON object per trace item: events as
+    [{"type":"event","at":...,"name":...,"labels":{...}}], spans with
+    ["start"] / ["end"] (null while open). *)

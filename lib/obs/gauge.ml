@@ -1,0 +1,9 @@
+type t = { mutable value : float }
+
+let create () = { value = 0. }
+
+let set t v = t.value <- v
+
+let add t v = t.value <- t.value +. v
+
+let value t = t.value

@@ -1,0 +1,12 @@
+(** Gauges: values that can go up and down (queue depth, utilization). *)
+
+type t
+
+val create : unit -> t
+
+val set : t -> float -> unit
+
+val add : t -> float -> unit
+(** Signed increment, for occupancy-style gauges. *)
+
+val value : t -> float

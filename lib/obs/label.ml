@@ -1,0 +1,99 @@
+type t = (string * string) list
+
+let empty = []
+
+let valid_name s =
+  s <> ""
+  && (match s.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true | _ -> false)
+       s
+
+let valid_key s = valid_name s && not (String.contains s ':')
+
+let v pairs =
+  List.iter
+    (fun (k, _) ->
+      if not (valid_key k) then invalid_arg ("Label.v: malformed label key " ^ k))
+    pairs;
+  let sorted = List.sort (fun (a, _) (b, _) -> String.compare a b) pairs in
+  let rec check = function
+    | (a, _) :: ((b, _) :: _ as rest) ->
+        if a = b then invalid_arg ("Label.v: duplicate label key " ^ a);
+        check rest
+    | [ _ ] | [] -> ()
+  in
+  check sorted;
+  sorted
+
+let compare = List.compare (fun (k1, v1) (k2, v2) ->
+    match String.compare k1 k2 with 0 -> String.compare v1 v2 | c -> c)
+
+let equal a b = compare a b = 0
+
+let pairs t = t
+
+let find t key = List.assoc_opt key t
+
+let escape buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s
+
+let to_prometheus = function
+  | [] -> ""
+  | pairs ->
+      let buf = Buffer.create 32 in
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, value) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf k;
+          Buffer.add_string buf "=\"";
+          escape buf value;
+          Buffer.add_char buf '"')
+        pairs;
+      Buffer.add_char buf '}';
+      Buffer.contents buf
+
+(* JSON string escaping: control characters beyond \n also need \u form. *)
+let json_escape buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let json_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  json_escape buf s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let to_json t =
+  let buf = Buffer.create 32 in
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i (k, value) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (json_string k);
+      Buffer.add_char buf ':';
+      Buffer.add_string buf (json_string value))
+    t;
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let to_string t = String.concat "," (List.map (fun (k, value) -> k ^ "=" ^ value) t)

@@ -1,0 +1,39 @@
+(** Label sets: the dimensions of a metric series.
+
+    A label set is a canonically sorted list of [key = value] pairs, so
+    two series with the same pairs in any order are the same series.  Key
+    syntax follows Prometheus ([\[a-zA-Z_\]\[a-zA-Z0-9_\]*]); values are
+    arbitrary strings (escaped on export). *)
+
+type t = private (string * string) list
+
+val empty : t
+
+val v : (string * string) list -> t
+(** Canonicalise: sort by key.  @raise Invalid_argument on a malformed
+    key or a duplicate key. *)
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val pairs : t -> (string * string) list
+
+val find : t -> string -> string option
+
+val valid_name : string -> bool
+(** Shared with metric names: [\[a-zA-Z_:\]\[a-zA-Z0-9_:\]*] (the colon
+    is reserved for recording rules but accepted, as Prometheus does). *)
+
+val to_prometheus : t -> string
+(** [{k="v",k2="v2"}] with ["\\"], ["\""] and newlines escaped; the empty
+    set renders as [""]. *)
+
+val to_json : t -> string
+(** A JSON object, [{"k":"v"}]; the empty set renders as [{}]. *)
+
+val json_string : string -> string
+(** A quoted, escaped JSON string literal (shared by the exporters). *)
+
+val to_string : t -> string
+(** Human rendering [k=v,k2=v2] (no escaping) for tables and errors. *)

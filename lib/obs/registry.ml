@@ -1,0 +1,98 @@
+type instrument =
+  | I_counter of Counter.t
+  | I_gauge of Gauge.t
+  | I_histogram of Histogram.t
+
+type kind = K_counter | K_gauge | K_histogram
+
+let kind_name = function
+  | K_counter -> "counter"
+  | K_gauge -> "gauge"
+  | K_histogram -> "histogram"
+
+type fam = {
+  f_kind : kind;
+  f_help : string;
+  mutable f_series : (Label.t * instrument) list;
+}
+
+type t = { families : (string, fam) Hashtbl.t }
+
+let create () = { families = Hashtbl.create 32 }
+
+let family t ~name ~help ~kind =
+  if not (Label.valid_name name) then
+    invalid_arg ("Registry: malformed metric name " ^ name);
+  match Hashtbl.find_opt t.families name with
+  | Some f ->
+      if f.f_kind <> kind then
+        invalid_arg
+          (Printf.sprintf "Registry: %s already registered as a %s, not a %s"
+             name (kind_name f.f_kind) (kind_name kind));
+      f
+  | None ->
+      let f = { f_kind = kind; f_help = help; f_series = [] } in
+      Hashtbl.add t.families name f;
+      f
+
+let series f ~labels ~make =
+  match List.find_opt (fun (l, _) -> Label.equal l labels) f.f_series with
+  | Some (_, i) -> i
+  | None ->
+      let i = make () in
+      f.f_series <- (labels, i) :: f.f_series;
+      i
+
+let counter t ?(help = "") ?(labels = Label.empty) name =
+  let f = family t ~name ~help ~kind:K_counter in
+  match series f ~labels ~make:(fun () -> I_counter (Counter.create ())) with
+  | I_counter c -> c
+  | _ -> assert false
+
+let gauge t ?(help = "") ?(labels = Label.empty) name =
+  let f = family t ~name ~help ~kind:K_gauge in
+  match series f ~labels ~make:(fun () -> I_gauge (Gauge.create ())) with
+  | I_gauge g -> g
+  | _ -> assert false
+
+let histogram t ?(help = "") ?(labels = Label.empty) ?alpha ?min_value ?max_value
+    name =
+  let f = family t ~name ~help ~kind:K_histogram in
+  let make () =
+    I_histogram (Histogram.create ?alpha ?min_value ?max_value ())
+  in
+  match series f ~labels ~make with I_histogram h -> h | _ -> assert false
+
+type value =
+  | Counter of float
+  | Gauge of float
+  | Histogram of Histogram.snapshot
+
+type family = {
+  name : string;
+  help : string;
+  series : (Label.t * value) list;
+}
+
+let snapshot_instrument = function
+  | I_counter c -> Counter (Counter.value c)
+  | I_gauge g -> Gauge (Gauge.value g)
+  | I_histogram h -> Histogram (Histogram.snapshot h)
+
+let snapshot_family name f =
+  let series =
+    f.f_series
+    |> List.map (fun (l, i) -> (l, snapshot_instrument i))
+    |> List.sort (fun (a, _) (b, _) -> Label.compare a b)
+  in
+  { name; help = f.f_help; series }
+
+let snapshot t =
+  Hashtbl.fold (fun name f acc -> snapshot_family name f :: acc) t.families []
+  |> List.sort (fun a b -> String.compare a.name b.name)
+
+let find t name =
+  Option.map (snapshot_family name) (Hashtbl.find_opt t.families name)
+
+let num_series t =
+  Hashtbl.fold (fun _ f acc -> acc + List.length f.f_series) t.families 0

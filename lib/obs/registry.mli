@@ -1,0 +1,50 @@
+(** The metrics registry: named families of labeled series.
+
+    Instrument accessors are get-or-create on the [(name, labels)]
+    pair, so call sites can be re-entered freely (a redeployed
+    middleware generation keeps accumulating into the same series).
+    A name is bound to one instrument kind for the registry's
+    lifetime; re-registering under a different kind raises. *)
+
+type t
+
+val create : unit -> t
+
+val counter : t -> ?help:string -> ?labels:Label.t -> string -> Counter.t
+
+val gauge : t -> ?help:string -> ?labels:Label.t -> string -> Gauge.t
+
+val histogram :
+  t ->
+  ?help:string ->
+  ?labels:Label.t ->
+  ?alpha:float ->
+  ?min_value:float ->
+  ?max_value:float ->
+  string ->
+  Histogram.t
+(** Histogram options apply on first creation of the family and are
+    ignored on later lookups of existing series. *)
+
+(** {1 Snapshots for export} *)
+
+type value =
+  | Counter of float
+  | Gauge of float
+  | Histogram of Histogram.snapshot
+
+type family = {
+  name : string;
+  help : string;
+  series : (Label.t * value) list;  (** sorted by label set *)
+}
+
+val snapshot : t -> family list
+(** Families sorted by name; series sorted by label set — stable,
+    deterministic export order. *)
+
+val find : t -> string -> family option
+(** Snapshot of a single family, if registered. *)
+
+val num_series : t -> int
+(** Total number of live series across all families (memory proxy). *)

@@ -1,0 +1,150 @@
+module Evaluate = Adept.Evaluate
+
+type row = {
+  r_node : int;
+  r_level : int;
+  r_role : [ `Agent | `Server ];
+  r_component : string;
+  r_metric : string;
+  r_predicted : float;
+  r_measured : float option;
+  r_samples : int;
+  r_deviation : float option;
+}
+
+type t = {
+  rows : row list;
+  predicted_rho : float;
+  measured_rho : float option;
+  rho_deviation : float option;
+  max_deviation : float option;
+}
+
+(* Mean and count of the node's series in the named histogram family;
+   None if the family or series is missing or empty. *)
+let measured_mean registry ~metric ~node =
+  match Registry.find registry metric with
+  | None -> None
+  | Some family ->
+      let node_value = string_of_int node in
+      List.find_map
+        (fun (labels, value) ->
+          match (Label.find labels Semconv.l_node, value) with
+          | Some v, Registry.Histogram snap when String.equal v node_value -> (
+              match Histogram.mean snap with
+              | Some m -> Some (m, Histogram.count snap)
+              | None -> None)
+          | _ -> None)
+        family.Registry.series
+
+let deviation ~predicted ~measured =
+  if predicted > 0.0 then Some (Float.abs (measured -. predicted) /. predicted)
+  else if measured = 0.0 then Some 0.0
+  else None
+
+let row_of_component registry ~node ~level ~role ~component ~metric ~predicted =
+  let measured, samples =
+    match measured_mean registry ~metric ~node with
+    | Some (m, n) -> (Some m, n)
+    | None -> (None, 0)
+  in
+  {
+    r_node = node;
+    r_level = level;
+    r_role = role;
+    r_component = component;
+    r_metric = metric;
+    r_predicted = predicted;
+    r_measured = measured;
+    r_samples = samples;
+    r_deviation =
+      Option.bind measured (fun m -> deviation ~predicted ~measured:m);
+  }
+
+let build ~registry ~params ~platform ~wapp ~tree =
+  let costs = Evaluate.element_costs params ~wapp tree in
+  let rows =
+    List.concat_map
+      (fun (ec : Evaluate.element_cost) ->
+        let node = Adept_platform.Node.id ec.ec_node in
+        let mk = row_of_component registry ~node ~level:ec.ec_level in
+        match ec.ec_role with
+        | `Agent ->
+            [
+              mk ~role:`Agent ~component:"wreq/w"
+                ~metric:Semconv.agent_request_compute_seconds
+                ~predicted:ec.ec_wreq_s;
+              mk ~role:`Agent ~component:"wrep/w"
+                ~metric:Semconv.agent_reply_compute_seconds
+                ~predicted:ec.ec_wrep_s;
+            ]
+        | `Server ->
+            [
+              mk ~role:`Server ~component:"wpre/w"
+                ~metric:Semconv.server_prediction_seconds
+                ~predicted:ec.ec_wpre_s;
+              mk ~role:`Server ~component:"wapp/w"
+                ~metric:Semconv.server_service_seconds
+                ~predicted:ec.ec_service_s;
+            ])
+      costs
+  in
+  let predicted_rho = Evaluate.rho_hetero params ~platform ~wapp tree in
+  let measured_rho =
+    match Registry.find registry Semconv.run_measured_throughput with
+    | Some { Registry.series = (_, Registry.Gauge v) :: _; _ } -> Some v
+    | _ -> None
+  in
+  let rho_deviation =
+    Option.bind measured_rho (fun m ->
+        deviation ~predicted:predicted_rho ~measured:m)
+  in
+  let max_deviation =
+    List.fold_left
+      (fun acc r ->
+        match (acc, r.r_deviation) with
+        | None, d -> d
+        | d, None -> d
+        | Some a, Some d -> Some (Float.max a d))
+      rho_deviation rows
+  in
+  { rows; predicted_rho; measured_rho; rho_deviation; max_deviation }
+
+let max_deviation t = t.max_deviation
+
+let role_name = function `Agent -> "agent" | `Server -> "server"
+
+let render t =
+  let buf = Buffer.create 1024 in
+  let pct = function
+    | None -> "      -"
+    | Some d -> Printf.sprintf "%6.2f%%" (100.0 *. d)
+  in
+  let opt = function
+    | None -> "        -"
+    | Some v -> Printf.sprintf "%9.6f" v
+  in
+  Buffer.add_string buf
+    "node  lvl  role    component  predicted  measured   samples  deviation\n";
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "%4d  %3d  %-6s  %-9s  %9.6f  %s  %7d  %s\n" r.r_node
+           r.r_level (role_name r.r_role) r.r_component r.r_predicted
+           (opt r.r_measured) r.r_samples (pct r.r_deviation)))
+    t.rows;
+  Buffer.add_string buf
+    (Printf.sprintf "throughput (Eq. 16): predicted %.4f req/s, measured %s"
+       t.predicted_rho
+       (match t.measured_rho with
+       | None -> "-"
+       | Some m -> Printf.sprintf "%.4f req/s" m));
+  Buffer.add_string buf
+    (match t.rho_deviation with
+    | None -> "\n"
+    | Some d -> Printf.sprintf " (%.2f%% off)\n" (100.0 *. d));
+  Buffer.add_string buf
+    (match t.max_deviation with
+    | None -> "max deviation: - (nothing measured)\n"
+    | Some d -> Printf.sprintf "max deviation: %.2f%%\n" (100.0 *. d));
+  Buffer.contents buf

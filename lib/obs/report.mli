@@ -1,0 +1,53 @@
+(** Model-vs-measured fidelity report.
+
+    Sets the per-element compute components the model charges (Eqs. 1–5,
+    via {!Adept.Evaluate.element_costs}) against the per-node timing
+    histograms the instrumented middleware recorded, and the Eq. 16
+    throughput prediction against the measured run throughput.  The
+    resulting deviations are both a human-readable table and a CI gate:
+    {!max_deviation} is the worst relative error across every compared
+    quantity. *)
+
+type row = {
+  r_node : int;
+  r_level : int;  (** Hierarchy depth, root = 0. *)
+  r_role : [ `Agent | `Server ];
+  r_component : string;  (** ["wreq/w"], ["wrep/w"], ["wpre/w"], ["wapp/w"]. *)
+  r_metric : string;  (** The {!Semconv} histogram backing the measurement. *)
+  r_predicted : float;  (** Model seconds per request. *)
+  r_measured : float option;  (** Measured mean seconds; [None] if the
+                                  series is absent or empty. *)
+  r_samples : int;  (** Recorded observations behind the mean. *)
+  r_deviation : float option;
+      (** [|measured - predicted| / predicted]; [None] without a
+          measurement. *)
+}
+
+type t = {
+  rows : row list;  (** Sorted by node id, then component. *)
+  predicted_rho : float;  (** Eq. 16 via {!Adept.Evaluate.rho_hetero}. *)
+  measured_rho : float option;
+      (** The run's {!Semconv.run_measured_throughput} gauge. *)
+  rho_deviation : float option;
+  max_deviation : float option;
+      (** Worst relative error over all rows and the throughput;
+          [None] when nothing was measured. *)
+}
+
+val build :
+  registry:Registry.t ->
+  params:Adept_model.Params.t ->
+  platform:Adept_platform.Platform.t ->
+  wapp:float ->
+  tree:Adept_hierarchy.Tree.t ->
+  t
+(** Compare the model's predictions for [tree] against whatever the
+    [registry] holds after an instrumented run.  Nodes never observed
+    (e.g. a server that received no request) produce rows with
+    [r_measured = None] and do not count against {!max_deviation}. *)
+
+val max_deviation : t -> float option
+
+val render : t -> string
+(** Multi-line human table: one line per element component, then the
+    throughput comparison and the worst deviation. *)

@@ -1,0 +1,73 @@
+let l_node = "node"
+let l_level = "level"
+let l_kind = "kind"
+let l_role = "role"
+let l_reason = "reason"
+let l_strategy = "strategy"
+
+let node_label id = (l_node, string_of_int id)
+let level_label depth = (l_level, string_of_int depth)
+
+let messages_total = "adept_messages_total"
+let message_mbit_total = "adept_message_mbit_total"
+let agent_request_compute_seconds = "adept_agent_request_compute_seconds"
+let agent_reply_compute_seconds = "adept_agent_reply_compute_seconds"
+let server_prediction_seconds = "adept_server_prediction_seconds"
+let server_service_seconds = "adept_server_service_seconds"
+let server_backlog_seconds = "adept_server_backlog_seconds"
+let agent_inflight_requests = "adept_agent_inflight_requests"
+
+let sched_latency_seconds = "adept_sched_latency_seconds"
+let response_seconds = "adept_response_seconds"
+let requests_issued_total = "adept_requests_issued_total"
+let requests_completed_total = "adept_requests_completed_total"
+let requests_lost_total = "adept_requests_lost_total"
+let node_utilization_ratio = "adept_node_utilization_ratio"
+let run_duration_seconds = "adept_run_duration_seconds"
+let run_measured_throughput = "adept_run_measured_throughput"
+
+let controller_replans_total = "adept_controller_replans_total"
+let controller_suppressed_total = "adept_controller_suppressed_total"
+let controller_migration_seconds = "adept_controller_migration_seconds"
+let controller_window_throughput = "adept_controller_window_throughput"
+let controller_degraded_samples_total = "adept_controller_degraded_samples_total"
+
+let planner_evaluations_total = "adept_planner_evaluations_total"
+let planner_plans_total = "adept_planner_plans_total"
+
+let help_table =
+  [
+    (messages_total, "Middleware messages sent, by kind and endpoint role.");
+    (message_mbit_total, "Middleware payload volume in Mbit, by kind and role.");
+    ( agent_request_compute_seconds,
+      "Agent request-processing compute time per message (Eq. 3 wreq/w)." );
+    ( agent_reply_compute_seconds,
+      "Agent reply-aggregation compute time per message (Eq. 3 wrep(d)/w)." );
+    ( server_prediction_seconds,
+      "Server performance-prediction compute time per request (Eq. 4 wpre/w)." );
+    ( server_service_seconds,
+      "Server application service time per job (Eq. 5 wapp/w)." );
+    (server_backlog_seconds, "Server queue backlog observed at dispatch time.");
+    (agent_inflight_requests, "Scheduling requests currently held by the agent.");
+    (sched_latency_seconds, "End-to-end scheduling latency per completed request.");
+    (response_seconds, "End-to-end response time per completed request.");
+    (requests_issued_total, "Requests issued by clients.");
+    (requests_completed_total, "Requests whose reply reached the client.");
+    (requests_lost_total, "Requests lost to faults, timeouts or abandonment.");
+    (node_utilization_ratio, "Busy-time fraction of the run horizon, per node.");
+    (run_duration_seconds, "Measured portion of the run (horizon - warmup).");
+    ( run_measured_throughput,
+      "Completed requests/s over the measured portion (compare Eq. 16 rho)." );
+    (controller_replans_total, "Redeployments enacted by the controller.");
+    ( controller_suppressed_total,
+      "Replan decisions suppressed, by guard reason." );
+    (controller_migration_seconds, "Migration cost per enacted redeployment.");
+    ( controller_window_throughput,
+      "Latest sliding-window throughput sample seen by the controller." );
+    ( controller_degraded_samples_total,
+      "Controller samples below the degradation threshold." );
+    (planner_evaluations_total, "Candidate hierarchies evaluated while planning.");
+    (planner_plans_total, "Planning passes, by strategy.");
+  ]
+
+let help name = match List.assoc_opt name help_table with Some h -> h | None -> ""

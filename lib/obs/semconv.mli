@@ -1,0 +1,66 @@
+(** Semantic conventions: the metric names and label keys every
+    instrumented layer shares, so exporters, the report and dashboards
+    agree on spelling.  All durations are in seconds, all sizes in
+    Mbit, matching the paper's units. *)
+
+(** {1 Label keys} *)
+
+val l_node : string
+(** ["node"] — node id as a decimal string. *)
+
+val l_level : string
+(** ["level"] — hierarchy depth, root = 0. *)
+
+val l_kind : string
+(** ["kind"] — message kind: [sched_request] etc. *)
+
+val l_role : string
+(** ["role"] — element or endpoint role: [agent] / [server] / [client]. *)
+
+val l_reason : string
+(** ["reason"] — controller suppression reason. *)
+
+val l_strategy : string
+(** ["strategy"] — planner strategy name. *)
+
+val node_label : int -> string * string
+
+val level_label : int -> string * string
+
+(** {1 Middleware} *)
+
+val messages_total : string
+val message_mbit_total : string
+val agent_request_compute_seconds : string
+val agent_reply_compute_seconds : string
+val server_prediction_seconds : string
+val server_service_seconds : string
+val server_backlog_seconds : string
+val agent_inflight_requests : string
+
+(** {1 Run-level} *)
+
+val sched_latency_seconds : string
+val response_seconds : string
+val requests_issued_total : string
+val requests_completed_total : string
+val requests_lost_total : string
+val node_utilization_ratio : string
+val run_duration_seconds : string
+val run_measured_throughput : string
+
+(** {1 Controller} *)
+
+val controller_replans_total : string
+val controller_suppressed_total : string
+val controller_migration_seconds : string
+val controller_window_throughput : string
+val controller_degraded_samples_total : string
+
+(** {1 Planner} *)
+
+val planner_evaluations_total : string
+val planner_plans_total : string
+
+val help : string -> string
+(** One-line HELP text for a known metric name; [""] otherwise. *)

@@ -1,0 +1,63 @@
+type span = {
+  sp_name : string;
+  sp_labels : Label.t;
+  sp_start : float;
+  mutable sp_end : float option;
+}
+
+type stored = S_event of { at : float; name : string; labels : Label.t } | S_span of span
+
+type item =
+  | Event of { at : float; name : string; labels : Label.t }
+  | Span of {
+      name : string;
+      labels : Label.t;
+      start_at : float;
+      end_at : float option;
+    }
+
+type t = {
+  max_items : int;
+  mutable items : stored list; (* newest first *)
+  mutable length : int;
+  mutable dropped : int;
+}
+
+let create ?(max_items = 10_000) () =
+  if max_items < 0 then invalid_arg "Tracer.create: negative max_items";
+  { max_items; items = []; length = 0; dropped = 0 }
+
+let store t s =
+  if t.length >= t.max_items then t.dropped <- t.dropped + 1
+  else begin
+    t.items <- s :: t.items;
+    t.length <- t.length + 1
+  end
+
+let event t ~at ?(labels = Label.empty) name =
+  store t (S_event { at; name; labels })
+
+let span_start t ~at ?(labels = Label.empty) name =
+  let sp = { sp_name = name; sp_labels = labels; sp_start = at; sp_end = None } in
+  store t (S_span sp);
+  sp
+
+let span_end _t ~at sp = if sp.sp_end = None then sp.sp_end <- Some at
+
+let items t =
+  List.rev_map
+    (function
+      | S_event { at; name; labels } -> Event { at; name; labels }
+      | S_span sp ->
+          Span
+            {
+              name = sp.sp_name;
+              labels = sp.sp_labels;
+              start_at = sp.sp_start;
+              end_at = sp.sp_end;
+            })
+    t.items
+
+let length t = t.length
+
+let dropped t = t.dropped

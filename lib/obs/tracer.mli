@@ -1,0 +1,39 @@
+(** A lightweight span/event tracer.
+
+    Events are point-in-time breadcrumbs (node crash, replan
+    suppressed); spans are intervals with a start and an optional end
+    (a migration, a planning pass).  The buffer is bounded: past
+    [max_events] items, new ones are dropped and counted, so a tracer
+    attached to a long run cannot grow without bound. *)
+
+type t
+
+type span
+(** Handle returned by [span_start], closed by [span_end]. *)
+
+type item =
+  | Event of { at : float; name : string; labels : Label.t }
+  | Span of {
+      name : string;
+      labels : Label.t;
+      start_at : float;
+      end_at : float option;  (** [None] while still open *)
+    }
+
+val create : ?max_items:int -> unit -> t
+(** Default [max_items] is 10_000. *)
+
+val event : t -> at:float -> ?labels:Label.t -> string -> unit
+
+val span_start : t -> at:float -> ?labels:Label.t -> string -> span
+
+val span_end : t -> at:float -> span -> unit
+(** Idempotent: closing a closed span keeps the first end time. *)
+
+val items : t -> item list
+(** In recording order (events by time, spans by start time). *)
+
+val length : t -> int
+
+val dropped : t -> int
+(** Items discarded after the buffer filled. *)

@@ -98,6 +98,28 @@ type replan_record = {
   migration_cost : float;
 }
 
+(* Pre-resolved controller instruments (suppression counters are
+   resolved per reason at suppression time — reasons are open-ended). *)
+type ctrl_obs = {
+  co_registry : Adept_obs.Registry.t;
+  co_replans : Adept_obs.Counter.t;
+  co_migration : Adept_obs.Histogram.t;
+  co_window : Adept_obs.Gauge.t;
+  co_degraded : Adept_obs.Counter.t;
+}
+
+let make_ctrl_obs registry =
+  let module Obs = Adept_obs in
+  {
+    co_registry = registry;
+    co_replans = Obs.Registry.counter registry Obs.Semconv.controller_replans_total;
+    co_migration =
+      Obs.Registry.histogram registry Obs.Semconv.controller_migration_seconds;
+    co_window = Obs.Registry.gauge registry Obs.Semconv.controller_window_throughput;
+    co_degraded =
+      Obs.Registry.counter registry Obs.Semconv.controller_degraded_samples_total;
+  }
+
 type t = {
   cfg : config;
   engine : Engine.t;
@@ -124,6 +146,7 @@ type t = {
   mutable last_enact : float;
   mutable migration_until : float option;
   mutable enacted : replan_record list;  (* newest first *)
+  obs : ctrl_obs option;
 }
 
 let middleware t = t.middleware
@@ -173,7 +196,14 @@ let migration_cost t tree =
 
 let record_suppressed t reason =
   Trace.record_failure t.trace ~time:(Engine.now t.engine)
-    (Trace.Replan_suppressed reason)
+    (Trace.Replan_suppressed reason);
+  match t.obs with
+  | Some o ->
+      Adept_obs.Counter.inc
+        (Adept_obs.Registry.counter o.co_registry
+           ~labels:(Adept_obs.Label.v [ (Adept_obs.Semconv.l_reason, reason) ])
+           Adept_obs.Semconv.controller_suppressed_total)
+  | None -> ()
 
 (* Migration finished: swap generations — unless an agent the new
    hierarchy is built around died while it was being set up, in which
@@ -225,15 +255,21 @@ let enact t (r : Planner.replan_result) ~observed ~cost () =
     Middleware.retire t.middleware;
     t.retired <- t.middleware :: t.retired;
     t.middleware <-
-      Middleware.deploy ~trace:t.trace ~selection:t.selection
-        ?monitoring_period:t.monitoring_period ~faults:t.faults ~engine:t.engine
-        ~params:t.params ~platform:t.platform ~initial_dead:inherited_dead
-        new_tree;
+      Middleware.deploy ~trace:t.trace
+        ?obs:(Option.map (fun o -> o.co_registry) t.obs)
+        ~selection:t.selection ?monitoring_period:t.monitoring_period
+        ~faults:t.faults ~engine:t.engine ~params:t.params ~platform:t.platform
+        ~initial_dead:inherited_dead new_tree;
     t.tree <- new_tree;
     t.predicted_rho <- r.Planner.rho_after;
     t.last_enact <- now;
     t.degraded_since <- None;
     Run_stats.record_replan t.stats;
+    (match t.obs with
+    | Some o ->
+        Adept_obs.Counter.inc o.co_replans;
+        Adept_obs.Histogram.record o.co_migration cost
+    | None -> ());
     Trace.record_failure t.trace ~time:now (Trace.Replan_enacted r.Planner.failed);
     t.enacted <-
       {
@@ -292,7 +328,27 @@ let consider t ~now ~observed =
           else begin
             let cost = migration_cost t r.Planner.replanned.Planner.tree in
             t.migration_until <- Some (now +. cost);
-            Engine.schedule t.engine ~delay:cost (enact t r ~observed ~cost)
+            (* The migration window as a span in the run's trace. *)
+            let span =
+              Option.map
+                (fun tracer ->
+                  ( tracer,
+                    Adept_obs.Tracer.span_start tracer ~at:now
+                      ~labels:
+                        (Adept_obs.Label.v
+                           [
+                             ( "failed",
+                               String.concat " " (List.map string_of_int failed) );
+                           ])
+                      "migration" ))
+                (Trace.tracer t.trace)
+            in
+            Engine.schedule t.engine ~delay:cost (fun () ->
+                (match span with
+                | Some (tracer, sp) ->
+                    Adept_obs.Tracer.span_end tracer ~at:(Engine.now t.engine) sp
+                | None -> ());
+                enact t r ~observed ~cost ())
           end
   end
 
@@ -311,8 +367,14 @@ let rec tick t () =
      let t0 = Float.max 0.0 (now -. t.cfg.window) in
      if now > t0 then begin
        let observed = Run_stats.throughput t.stats ~t0 ~t1:now in
+       (match t.obs with
+       | Some o -> Adept_obs.Gauge.set o.co_window observed
+       | None -> ());
        if observed < t.cfg.threshold *. t.predicted_rho then begin
          Run_stats.record_degraded t.stats ~seconds:t.cfg.sample_period;
+         (match t.obs with
+         | Some o -> Adept_obs.Counter.inc o.co_degraded
+         | None -> ());
          (if t.degraded_since = None then t.degraded_since <- Some now);
          match t.cfg.policy with
          | Off -> ()
@@ -330,7 +392,7 @@ let rec tick t () =
     Engine.schedule t.engine ~delay:t.cfg.sample_period (tick t)
 
 let create cfg ~engine ~params ~platform ~wapp ~demand ~selection
-    ?monitoring_period ~faults ~stats ~trace ~horizon ~middleware tree =
+    ?monitoring_period ~faults ~stats ~trace ?obs ~horizon ~middleware tree =
   let t =
     {
       cfg;
@@ -354,6 +416,7 @@ let create cfg ~engine ~params ~platform ~wapp ~demand ~selection
       migration_until = None;
       enacted = [];
       dead_since = Hashtbl.create 16;
+      obs = Option.map make_ctrl_obs obs;
     }
   in
   Engine.schedule engine ~delay:cfg.sample_period (tick t);

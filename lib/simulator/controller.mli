@@ -117,6 +117,7 @@ val create :
   faults:Faults.t ->
   stats:Run_stats.t ->
   trace:Trace.t ->
+  ?obs:Adept_obs.Registry.t ->
   horizon:float ->
   middleware:Middleware.t ->
   Tree.t ->
@@ -126,7 +127,12 @@ val create :
     time, and sampling stops at [horizon].  [selection],
     [monitoring_period] and [faults] are reused verbatim for every
     hierarchy the controller deploys (fault events already in the past
-    are skipped by {!Middleware.deploy}). *)
+    are skipped by {!Middleware.deploy}).  [obs] records the control
+    loop into the registry — window-throughput gauge, degraded-sample
+    and replan counters, per-reason suppression counters, migration-cost
+    histogram — passes it on to every hierarchy it deploys, and (when
+    [trace] carries a tracer) brackets each migration window in a
+    ["migration"] span. *)
 
 val middleware : t -> Middleware.t
 (** The hierarchy currently in charge — changes after each enactment;

@@ -47,6 +47,22 @@ type server_state = {
 
 type element = Agent_el of agent_state | Server_el of server_state
 
+(* Pre-resolved observability instruments: one registry lookup per series
+   at deploy time, O(1) array reads on the hot paths.  Per-node slots are
+   [None] for nodes outside the hierarchy (or of the other role).  The
+   registry get-or-create semantics make series survive generation swaps:
+   a redeployed hierarchy accumulates into the same counters. *)
+type obs_state = {
+  o_msg : Adept_obs.Counter.t array;  (* kind * role, as in Trace *)
+  o_msg_mbit : Adept_obs.Counter.t array;
+  o_wreq : Adept_obs.Histogram.t option array;
+  o_wrep : Adept_obs.Histogram.t option array;
+  o_wpre : Adept_obs.Histogram.t option array;
+  o_service : Adept_obs.Histogram.t option array;
+  o_backlog : Adept_obs.Histogram.t option array;
+  o_inflight : Adept_obs.Gauge.t option array;
+}
+
 type fault_stats = {
   crashes : int;
   recoveries : int;
@@ -99,6 +115,7 @@ type t = {
   crashed_at : float array;
   loss_rng : Adept_util.Rng.t option;
   counters : fault_counters;
+  obs : obs_state option;
 }
 
 let prune_strikes = 2
@@ -174,6 +191,103 @@ let agent_ids t =
 let record_failure t failure =
   Trace.record_failure t.trace ~time:(Engine.now t.engine) failure
 
+(* ---------- observability plumbing ---------- *)
+
+let all_kinds =
+  [| Trace.Sched_request; Trace.Sched_reply; Trace.Service_request; Trace.Service_reply |]
+
+let all_roles = [| Trace.Agent_end; Trace.Server_end; Trace.Client_end |]
+
+let kind_index = function
+  | Trace.Sched_request -> 0
+  | Trace.Sched_reply -> 1
+  | Trace.Service_request -> 2
+  | Trace.Service_reply -> 3
+
+let role_index = function
+  | Trace.Agent_end -> 0
+  | Trace.Server_end -> 1
+  | Trace.Client_end -> 2
+
+let obs_cell ~kind ~role = (kind_index kind * 3) + role_index role
+
+let make_obs_state registry ~elements ~tree =
+  let module Obs = Adept_obs in
+  let n = Array.length elements in
+  let levels = Array.make n 0 in
+  let rec depths d = function
+    | Tree.Server node -> levels.(Node.id node) <- d
+    | Tree.Agent (node, children) ->
+        levels.(Node.id node) <- d;
+        List.iter (depths (d + 1)) children
+  in
+  depths 0 tree;
+  let message_counter name cell =
+    let kind = all_kinds.(cell / 3) and role = all_roles.(cell mod 3) in
+    Obs.Registry.counter registry
+      ~labels:
+        (Obs.Label.v
+           [
+             (Obs.Semconv.l_kind, Trace.kind_name kind);
+             (Obs.Semconv.l_role, Trace.role_name role);
+           ])
+      name
+  in
+  let node_labels id =
+    Obs.Label.v [ Obs.Semconv.node_label id; Obs.Semconv.level_label levels.(id) ]
+  in
+  let per_node ~agent name =
+    Array.init n (fun id ->
+        match elements.(id) with
+        | Some (Agent_el _) when agent ->
+            Some (Obs.Registry.histogram registry ~labels:(node_labels id) name)
+        | Some (Server_el _) when not agent ->
+            Some (Obs.Registry.histogram registry ~labels:(node_labels id) name)
+        | Some _ | None -> None)
+  in
+  {
+    o_msg = Array.init 12 (message_counter Obs.Semconv.messages_total);
+    o_msg_mbit = Array.init 12 (message_counter Obs.Semconv.message_mbit_total);
+    o_wreq = per_node ~agent:true Obs.Semconv.agent_request_compute_seconds;
+    o_wrep = per_node ~agent:true Obs.Semconv.agent_reply_compute_seconds;
+    o_wpre = per_node ~agent:false Obs.Semconv.server_prediction_seconds;
+    o_service = per_node ~agent:false Obs.Semconv.server_service_seconds;
+    o_backlog = per_node ~agent:false Obs.Semconv.server_backlog_seconds;
+    o_inflight =
+      Array.init n (fun id ->
+          match elements.(id) with
+          | Some (Agent_el _) ->
+              Some
+                (Obs.Registry.gauge registry ~labels:(node_labels id)
+                   Obs.Semconv.agent_inflight_requests)
+          | Some (Server_el _) | None -> None);
+  }
+
+let record_msg t ~kind ~role ~size =
+  Trace.record_message t.trace ~kind ~role ~size;
+  match t.obs with
+  | Some o ->
+      let cell = obs_cell ~kind ~role in
+      Adept_obs.Counter.inc o.o_msg.(cell);
+      Adept_obs.Counter.inc ~by:size o.o_msg_mbit.(cell)
+  | None -> ()
+
+let record_node_hist t sel ~node v =
+  match t.obs with
+  | Some o -> (
+      match (sel o).(node) with
+      | Some h -> Adept_obs.Histogram.record h v
+      | None -> ())
+  | None -> ()
+
+let inflight_add t ~node delta =
+  match t.obs with
+  | Some o -> (
+      match o.o_inflight.(node) with
+      | Some g -> Adept_obs.Gauge.add g delta
+      | None -> ())
+  | None -> ()
+
 let message_lost t =
   t.counters.c_messages_lost <- t.counters.c_messages_lost + 1;
   record_failure t Trace.Message_lost
@@ -247,6 +361,7 @@ let crash_node t id =
     (match t.elements.(id) with
     | Some (Agent_el a) ->
         Resource.interrupt a.a_resource ~now;
+        inflight_add t ~node:id (-.float_of_int (Hashtbl.length a.inflight));
         Hashtbl.reset a.inflight
     | Some (Server_el s) ->
         Resource.interrupt s.s_resource ~now;
@@ -293,8 +408,9 @@ let recover_node t id =
 
 let crash_time t id = t.crashed_at.(id)
 
-let deploy ?(trace = Trace.disabled) ?(selection = Best_prediction) ?monitoring_period
-    ?(faults = Faults.none) ?(initial_dead = []) ~engine ~params ~platform tree =
+let deploy ?(trace = Trace.disabled) ?obs ?(selection = Best_prediction)
+    ?monitoring_period ?(faults = Faults.none) ?(initial_dead = []) ~engine ~params
+    ~platform tree =
   (match monitoring_period with
   | Some p when p <= 0.0 || not (Float.is_finite p) ->
       invalid_arg "Middleware.deploy: monitoring_period must be positive and finite"
@@ -376,6 +492,7 @@ let deploy ?(trace = Trace.disabled) ?(selection = Best_prediction) ?monitoring_
           c_rejoins = 0;
           c_recovery_latencies = [];
         };
+      obs = Option.map (fun registry -> make_obs_state registry ~elements ~tree) obs;
     }
   in
   (* Liveness inherited from a superseded generation: a node kept in the
@@ -538,6 +655,7 @@ let rec handle_request t ~req_id ~wapp id =
       book_compute t a.a_resource ~owner:id ~work:t.params.Params.agent.wreq
         (fun seconds ->
           Trace.record_agent_request_compute t.trace ~seconds;
+          record_node_hist t (fun o -> o.o_wreq) ~node:id seconds;
           let targets = Array.copy a.children in
           if Array.length targets = 0 then
             (* every child pruned: stay silent and let the upstream
@@ -553,6 +671,7 @@ let rec handle_request t ~req_id ~wapp id =
                 candidates = [];
                 req_wapp = wapp;
               };
+            inflight_add t ~node:id 1.0;
             Array.iter
               (fun child -> forward_down t ~req_id ~wapp ~from:id ~child)
               targets;
@@ -573,6 +692,8 @@ let rec handle_request t ~req_id ~wapp id =
       in
       Resource.charge s.s_resource ~now ~duration:wpre_duration;
       Trace.record_server_prediction t.trace ~seconds:wpre_duration;
+      record_node_hist t (fun o -> o.o_wpre) ~node:id wpre_duration;
+      record_node_hist t (fun o -> o.o_backlog) ~node:id backlog;
       let prediction =
         backlog +. wpre_duration +. (wapp /. Resource.power s.s_resource)
       in
@@ -593,7 +714,7 @@ and forward_down t ~req_id ~wapp ~from ~child =
   let dst_size =
     if dst_is_agent then t.params.Params.agent.sreq else t.params.Params.server.sreq
   in
-  Trace.record_message t.trace ~kind:Trace.Sched_request ~role:Trace.Agent_end
+  record_msg t ~kind:Trace.Sched_request ~role:Trace.Agent_end
     ~size:src_size;
   if message_dropped t then begin
     (* the sender still pays its port time; nothing arrives *)
@@ -606,7 +727,7 @@ and forward_down t ~req_id ~wapp ~from ~child =
       ()
   end
   else begin
-    Trace.record_message t.trace ~kind:Trace.Sched_request
+    record_msg t ~kind:Trace.Sched_request
       ~role:(if dst_is_agent then Trace.Agent_end else Trace.Server_end)
       ~size:dst_size;
     Network.transfer t.engine
@@ -633,7 +754,7 @@ and send_reply_up t ~req_id ~from ~to_ ~candidate =
     | Server_el _ -> invalid_arg "Middleware: reply sent to a server"
   in
   let dst_size = t.params.Params.agent.srep in
-  Trace.record_message t.trace ~kind:Trace.Sched_reply
+  record_msg t ~kind:Trace.Sched_reply
     ~role:(if src_is_agent then Trace.Agent_end else Trace.Server_end)
     ~size:src_size;
   if message_dropped t then begin
@@ -645,7 +766,7 @@ and send_reply_up t ~req_id ~from ~to_ ~candidate =
       ()
   end
   else begin
-    Trace.record_message t.trace ~kind:Trace.Sched_reply ~role:Trace.Agent_end
+    record_msg t ~kind:Trace.Sched_reply ~role:Trace.Agent_end
       ~size:dst_size;
     Network.transfer t.engine
       ~bandwidth:(bandwidth_between t from to_)
@@ -672,6 +793,7 @@ and handle_reply t ~req_id ~agent ~child ~candidate =
           pending.candidates <- candidate :: pending.candidates;
           if pending.received = pending.expected then begin
             Hashtbl.remove a.inflight req_id;
+            inflight_add t ~node:agent (-1.0);
             finalize_request t ~req_id ~agent a pending
           end)
 
@@ -682,6 +804,7 @@ and patience_expired t ~req_id ~agent =
       | None -> ()  (* all replies arrived in time *)
       | Some pending ->
           Hashtbl.remove a.inflight req_id;
+          inflight_add t ~node:agent (-1.0);
           Array.iter
             (fun child ->
               if not (List.mem child pending.answered) then
@@ -697,6 +820,7 @@ and finalize_request t ~req_id ~agent a pending =
   let work = Params.wrep t.params ~degree in
   book_compute t a.a_resource ~owner:agent ~work (fun seconds ->
       Trace.record_agent_reply_compute t.trace ~degree ~seconds;
+      record_node_hist t (fun o -> o.o_wrep) ~node:agent seconds;
       let chosen = choose_candidate t a pending in
       match a.a_parent with
       | Some parent -> send_reply_up t ~req_id ~from:agent ~to_:parent ~candidate:chosen
@@ -709,7 +833,7 @@ and finalize_request t ~req_id ~agent a pending =
                 invalid_arg "Middleware: request has no continuation"
           | Some (req_wapp, continuation) ->
               let src_size = t.params.Params.agent.srep in
-              Trace.record_message t.trace ~kind:Trace.Sched_reply
+              record_msg t ~kind:Trace.Sched_reply
                 ~role:Trace.Agent_end ~size:src_size;
               Hashtbl.remove t.continuations req_id;
               (match element t (fst chosen) with
@@ -725,7 +849,7 @@ and finalize_request t ~req_id ~agent a pending =
 let submit_once t ~req_id ~wapp =
   let dst_size = t.params.Params.agent.sreq in
   let root_res = resource t t.root in
-  Trace.record_message t.trace ~kind:Trace.Sched_request ~role:Trace.Agent_end
+  record_msg t ~kind:Trace.Sched_request ~role:Trace.Agent_end
     ~size:dst_size;
   if message_dropped t then begin
     message_lost t;
@@ -787,7 +911,7 @@ let request_service t ~server ?on_failed ~wapp ~on_done () =
   | Agent_el _ -> invalid_arg "Middleware.request_service: target is an agent"
   | Server_el s ->
       let dst_size = t.params.Params.server.sreq in
-      Trace.record_message t.trace ~kind:Trace.Service_request ~role:Trace.Server_end
+      record_msg t ~kind:Trace.Service_request ~role:Trace.Server_end
         ~size:dst_size;
       (* The promised work is now being submitted; it will appear in the
          server's booked backlog as soon as the request arrives, so the
@@ -810,13 +934,14 @@ let request_service t ~server ?on_failed ~wapp ~on_done () =
           ~on_delivered:(fun () ->
             if t.active && not t.alive.(server) then message_lost t
             else
-              book_compute t s.s_resource ~owner:server ~work:wapp (fun _seconds ->
+              book_compute t s.s_resource ~owner:server ~work:wapp (fun seconds ->
+                  record_node_hist t (fun o -> o.o_service) ~node:server seconds;
                   (* The response leaves as soon as the computation ends: the
                      send charges port capacity but is not queued behind work
                      booked after this job (a strict-FIFO send would trap every
                      finished reply behind the whole compute backlog). *)
                   let src_size = t.params.Params.server.srep in
-                  Trace.record_message t.trace ~kind:Trace.Service_reply
+                  record_msg t ~kind:Trace.Service_reply
                     ~role:Trace.Server_end ~size:src_size;
                   if message_dropped t then begin
                     message_lost t;

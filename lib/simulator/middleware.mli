@@ -59,6 +59,7 @@ type t
 
 val deploy :
   ?trace:Trace.t ->
+  ?obs:Adept_obs.Registry.t ->
   ?selection:selection ->
   ?monitoring_period:float ->
   ?faults:Faults.t ->
@@ -69,7 +70,15 @@ val deploy :
   Adept_hierarchy.Tree.t ->
   t
 (** Instantiate resources for every node of the hierarchy.  The hierarchy
-    must validate against the platform.  [monitoring_period] (seconds,
+    must validate against the platform.  [obs] attaches the metrics
+    registry: message counters by kind/role, per-node histograms of the
+    booked compute steps ([Wreq], [Wrep(d)], [Wpre], service), observed
+    server backlog at prediction time, and per-agent in-flight gauges —
+    labeled by node id and hierarchy level.  Instrumentation only
+    observes work the simulation already performs (it schedules no
+    events), so runs are bit-identical with and without it; series are
+    get-or-create, so a redeployed generation keeps accumulating into
+    the same series.  [monitoring_period] (seconds,
     positive) starts the periodic load reports and is required by the
     [Database] selection.  [faults] (default {!Faults.none}) installs the
     crash/recovery schedule; fault events naming nodes outside the

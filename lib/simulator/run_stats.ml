@@ -1,22 +1,28 @@
 open Adept_platform
+module Ring = Adept_obs.Ring
+module Histogram = Adept_obs.Histogram
 
 type t = {
   mutable issued : int;
-  mutable completions : (float * float) list;  (* (completed_at, response_time), newest first *)
+  ring : Ring.t; (* completion time -> response time *)
+  responses : Histogram.t;
   mutable completed : int;
   mutable lost : int;
+  mutable response_sum : float;
   per_server : (Node.id, int) Hashtbl.t;
   mutable degraded_seconds : float;
   mutable migration_lost : int;
   mutable replans : int;
 }
 
-let create () =
+let create ?(retention = infinity) () =
   {
     issued = 0;
-    completions = [];
+    ring = Ring.create ~retention ();
+    responses = Histogram.create ();
     completed = 0;
     lost = 0;
+    response_sum = 0.0;
     per_server = Hashtbl.create 64;
     degraded_seconds = 0.0;
     migration_lost = 0;
@@ -28,7 +34,10 @@ let record_issue t ~time:_ = t.issued <- t.issued + 1
 let record_lost t ~time:_ = t.lost <- t.lost + 1
 
 let record_completion t ~issued_at ~time ~server =
-  t.completions <- (time, time -. issued_at) :: t.completions;
+  let response = time -. issued_at in
+  Ring.push t.ring ~time response;
+  Histogram.record t.responses response;
+  t.response_sum <- t.response_sum +. response;
   t.completed <- t.completed + 1;
   Hashtbl.replace t.per_server server
     (1 + Option.value ~default:0 (Hashtbl.find_opt t.per_server server))
@@ -47,10 +56,7 @@ let degraded_seconds t = t.degraded_seconds
 let migration_lost t = t.migration_lost
 let replans t = t.replans
 
-let completions_in t ~t0 ~t1 =
-  List.fold_left
-    (fun acc (time, _) -> if time >= t0 && time < t1 then acc + 1 else acc)
-    0 t.completions
+let completions_in t ~t0 ~t1 = Ring.count_in t.ring ~t0 ~t1
 
 let throughput t ~t0 ~t1 =
   if t1 <= t0 then invalid_arg "Run_stats.throughput: empty window";
@@ -60,17 +66,15 @@ let per_server t =
   Hashtbl.fold (fun id count acc -> (id, count) :: acc) t.per_server []
   |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
 
-let response_times t = Array.of_list (List.rev_map snd t.completions)
-
 let mean_response_time t =
-  match response_times t with
-  | [||] -> None
-  | times -> Some (Adept_util.Stats.mean times)
+  if t.completed = 0 then None else Some (t.response_sum /. float_of_int t.completed)
 
 let response_percentile t p =
-  match response_times t with
-  | [||] -> None
-  | times -> Some (Adept_util.Stats.percentile times p)
+  Histogram.quantile (Histogram.snapshot t.responses) p
+
+let response_snapshot t = Histogram.snapshot t.responses
+
+let retained_completions t = Ring.length t.ring
 
 let pp ppf t =
   Format.fprintf ppf "issued=%d completed=%d lost=%d servers=%d" t.issued t.completed

@@ -52,6 +52,28 @@ type run_result = {
   replans : Controller.replan_record list;
 }
 
+(* Run-level instruments, resolved once per run. *)
+type run_obs = {
+  ro_registry : Adept_obs.Registry.t;
+  ro_issued : Adept_obs.Counter.t;
+  ro_completed : Adept_obs.Counter.t;
+  ro_lost : Adept_obs.Counter.t;
+  ro_sched_latency : Adept_obs.Histogram.t;
+  ro_response : Adept_obs.Histogram.t;
+}
+
+let make_run_obs registry =
+  let module Obs = Adept_obs in
+  {
+    ro_registry = registry;
+    ro_issued = Obs.Registry.counter registry Obs.Semconv.requests_issued_total;
+    ro_completed = Obs.Registry.counter registry Obs.Semconv.requests_completed_total;
+    ro_lost = Obs.Registry.counter registry Obs.Semconv.requests_lost_total;
+    ro_sched_latency =
+      Obs.Registry.histogram registry Obs.Semconv.sched_latency_seconds;
+    ro_response = Obs.Registry.histogram registry Obs.Semconv.response_seconds;
+  }
+
 (* Shared scaffolding of a run: deployed middleware, stats, and the
    issue-one-request closure.  A failed request (both phases supervised
    under fault injection) counts as lost and still fires [on_complete] so
@@ -60,8 +82,16 @@ type run_result = {
    hierarchy generation is current at issue time, and requests arriving
    inside a migration window are dropped with the client resumed when the
    window closes (an immediate resume would spin a zero-think client
-   without advancing the clock). *)
-let prepare ?(trace = Trace.disabled) ~horizon t =
+   without advancing the clock).
+
+   Two zero-cost probe events capture the completion count as of [warmup]
+   and [horizon]: the final throughput is their difference over the
+   duration, which lets [Run_stats] prune its completion ring to the
+   controller's window instead of retaining the whole run.  A probe
+   scheduled here (before any workload event exists) fires ahead of
+   completions landing at exactly the same instant, so the window keeps
+   its historical [t0 <= time < t1] semantics. *)
+let prepare ?(trace = Trace.disabled) ?registry ~warmup ~horizon t =
   let engine = Engine.create () in
   let rng = Rng.create t.seed in
   let selection =
@@ -70,10 +100,32 @@ let prepare ?(trace = Trace.disabled) ~horizon t =
     | other -> other
   in
   let middleware =
-    Middleware.deploy ~trace ~selection ?monitoring_period:t.monitoring_period
-      ~faults:t.faults ~engine ~params:t.params ~platform:t.platform t.tree
+    Middleware.deploy ~trace ?obs:registry ~selection
+      ?monitoring_period:t.monitoring_period ~faults:t.faults ~engine
+      ~params:t.params ~platform:t.platform t.tree
   in
-  let stats = Run_stats.create () in
+  let retention =
+    match t.controller with
+    | Some cfg -> cfg.Controller.window +. cfg.Controller.sample_period
+    | None -> 0.0
+  in
+  let stats = Run_stats.create ~retention () in
+  let completed_at_warmup = ref None in
+  let completed_at_horizon = ref None in
+  Engine.schedule_at engine ~time:warmup (fun () ->
+      completed_at_warmup := Some (Run_stats.completed stats));
+  Engine.schedule_at engine ~time:horizon (fun () ->
+      completed_at_horizon := Some (Run_stats.completed stats));
+  let window_completions () =
+    (* A probe that never fired means the run stopped (event limit or
+       queue exhaustion) before its time: every completion so far counts
+       as "before" it. *)
+    let upto probe =
+      match !probe with Some c -> c | None -> Run_stats.completed stats
+    in
+    upto completed_at_horizon - upto completed_at_warmup
+  in
+  let obs = Option.map make_run_obs registry in
   let mix = Client.mix t.client in
   let controller =
     Option.map
@@ -81,16 +133,18 @@ let prepare ?(trace = Trace.disabled) ~horizon t =
         Controller.create cfg ~engine ~params:t.params ~platform:t.platform
           ~wapp:(Mix.expected_wapp mix) ~demand:t.demand ~selection
           ?monitoring_period:t.monitoring_period ~faults:t.faults ~stats ~trace
-          ~horizon ~middleware t.tree)
+          ?obs:registry ~horizon ~middleware t.tree)
       t.controller
   in
   let issue_request ~on_complete =
     let issued_at = Engine.now engine in
     Run_stats.record_issue stats ~time:issued_at;
+    (match obs with Some o -> Adept_obs.Counter.inc o.ro_issued | None -> ());
     match controller with
     | Some c when Controller.is_migrating c ->
         Run_stats.record_lost stats ~time:issued_at;
         Run_stats.record_migration_lost stats;
+        (match obs with Some o -> Adept_obs.Counter.inc o.ro_lost | None -> ());
         Engine.schedule_at engine ~time:(Controller.migration_ends c) on_complete
     | _ ->
         let middleware =
@@ -102,27 +156,66 @@ let prepare ?(trace = Trace.disabled) ~horizon t =
         let wapp = Job.wapp job in
         let on_failed () =
           Run_stats.record_lost stats ~time:(Engine.now engine);
+          (match obs with Some o -> Adept_obs.Counter.inc o.ro_lost | None -> ());
           on_complete ()
         in
         Middleware.submit middleware ~wapp ~on_failed
           ~on_scheduled:(fun ~server ->
+            (match obs with
+            | Some o ->
+                Adept_obs.Histogram.record o.ro_sched_latency
+                  (Engine.now engine -. issued_at)
+            | None -> ());
             Middleware.request_service middleware ~server ~on_failed ~wapp
               ~on_done:(fun () ->
-                Run_stats.record_completion stats ~issued_at
-                  ~time:(Engine.now engine) ~server;
+                let now = Engine.now engine in
+                Run_stats.record_completion stats ~issued_at ~time:now ~server;
+                (match obs with
+                | Some o ->
+                    Adept_obs.Counter.inc o.ro_completed;
+                    Adept_obs.Histogram.record o.ro_response (now -. issued_at)
+                | None -> ());
                 on_complete ())
               ())
           ()
   in
-  (engine, rng, stats, middleware, controller, issue_request)
+  (engine, rng, stats, middleware, controller, issue_request, window_completions, obs)
 
-let finish ~clients ~warmup ~duration ~stats ~middleware ~controller ~events =
+(* Final utilization/run gauges, set once from the end-of-run state. *)
+let finish_obs obs ~middleware ~controller ~horizon ~duration ~throughput =
+  match obs with
+  | None -> ()
+  | Some o ->
+      let module Obs = Adept_obs in
+      let reg = o.ro_registry in
+      let current =
+        match controller with Some c -> Controller.middleware c | None -> middleware
+      in
+      let set_util role id =
+        let labels =
+          Obs.Label.v [ Obs.Semconv.node_label id; (Obs.Semconv.l_role, role) ]
+        in
+        let g = Obs.Registry.gauge reg ~labels Obs.Semconv.node_utilization_ratio in
+        Obs.Gauge.set g
+          (Resource.utilization (Middleware.resource current id) ~horizon)
+      in
+      List.iter (set_util "agent") (Middleware.agent_ids current);
+      List.iter (set_util "server") (Middleware.server_ids current);
+      Obs.Gauge.set (Obs.Registry.gauge reg Obs.Semconv.run_duration_seconds) duration;
+      Obs.Gauge.set
+        (Obs.Registry.gauge reg Obs.Semconv.run_measured_throughput)
+        throughput
+
+let finish ~clients ~warmup ~duration ~stats ~middleware ~controller ~events
+    ~window_completions ~obs =
   let horizon = warmup +. duration in
+  let throughput = float_of_int (window_completions ()) /. duration in
+  finish_obs obs ~middleware ~controller ~horizon ~duration ~throughput;
   {
     clients;
     warmup;
     duration;
-    throughput = Run_stats.throughput stats ~t0:warmup ~t1:horizon;
+    throughput;
     completed_total = Run_stats.completed stats;
     issued_total = Run_stats.issued stats;
     lost_total = Run_stats.lost stats;
@@ -139,13 +232,14 @@ let finish ~clients ~warmup ~duration ~stats ~middleware ~controller ~events =
     replans = (match controller with Some c -> Controller.records c | None -> []);
   }
 
-let run_fixed ?trace ?max_events t ~clients ~warmup ~duration =
+let run_fixed ?trace ?registry ?max_events t ~clients ~warmup ~duration =
   if clients <= 0 then invalid_arg "Scenario.run_fixed: clients must be positive";
   if warmup < 0.0 || duration <= 0.0 then
     invalid_arg "Scenario.run_fixed: need warmup >= 0 and duration > 0";
   let horizon = warmup +. duration in
-  let engine, _rng, stats, middleware, controller, issue_request =
-    prepare ?trace ~horizon t
+  let engine, _rng, stats, middleware, controller, issue_request, window_completions, obs
+      =
+    prepare ?trace ?registry ~warmup ~horizon t
   in
   let think = Client.think_time t.client in
   let rec client_loop () =
@@ -162,15 +256,17 @@ let run_fixed ?trace ?max_events t ~clients ~warmup ~duration =
   done;
   let events = Engine.run ~until:horizon ?max_events engine in
   finish ~clients ~warmup ~duration ~stats ~middleware ~controller ~events
+    ~window_completions ~obs
 
-let run_open ?trace ?max_events t ~rate ~warmup ~duration =
+let run_open ?trace ?registry ?max_events t ~rate ~warmup ~duration =
   if rate <= 0.0 || not (Float.is_finite rate) then
     invalid_arg "Scenario.run_open: rate must be positive and finite";
   if warmup < 0.0 || duration <= 0.0 then
     invalid_arg "Scenario.run_open: need warmup >= 0 and duration > 0";
   let horizon = warmup +. duration in
-  let engine, rng, stats, middleware, controller, issue_request =
-    prepare ?trace ~horizon t
+  let engine, rng, stats, middleware, controller, issue_request, window_completions, obs
+      =
+    prepare ?trace ?registry ~warmup ~horizon t
   in
   let rec arrival () =
     if Engine.now engine < horizon then begin
@@ -183,6 +279,7 @@ let run_open ?trace ?max_events t ~rate ~warmup ~duration =
   Engine.schedule_at engine ~time:(Rng.exponential rng ~mean:(1.0 /. rate)) arrival;
   let events = Engine.run ~until:horizon ?max_events engine in
   finish ~clients:0 ~warmup ~duration ~stats ~middleware ~controller ~events
+    ~window_completions ~obs
 
 let throughput_series ?trace t ~client_counts ~warmup ~duration =
   List.map

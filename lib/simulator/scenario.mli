@@ -81,6 +81,7 @@ type run_result = {
 
 val run_fixed :
   ?trace:Trace.t ->
+  ?registry:Adept_obs.Registry.t ->
   ?max_events:int ->
   t ->
   clients:int ->
@@ -90,6 +91,15 @@ val run_fixed :
 (** Launch [clients] closed-loop clients (start times staggered across the
     first simulated second, like the paper's one-per-second ramp compressed)
     and measure throughput on [\[warmup, warmup + duration\]].
+
+    [registry] turns on metrics for the run: it is threaded to the
+    middleware (per-node compute histograms, message counters — see
+    {!Middleware.deploy}) and the controller, and the run itself records
+    issued/completed/lost counters, response-time and scheduling-latency
+    histograms, end-of-run per-node utilization gauges, and run
+    duration/throughput gauges.  Instrumentation observes work the
+    simulation already performs, so results are identical with and
+    without it.
     @raise Invalid_argument on non-positive clients/durations. *)
 
 val throughput_series :
@@ -104,6 +114,7 @@ val throughput_series :
 
 val run_open :
   ?trace:Trace.t ->
+  ?registry:Adept_obs.Registry.t ->
   ?max_events:int ->
   t ->
   rate:float ->

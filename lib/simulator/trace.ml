@@ -47,6 +47,7 @@ let failure_name = function
 
 type t = {
   enabled : bool;
+  tracer : Adept_obs.Tracer.t option;
   counts : int array;  (* kind * role *)
   sizes : float array;
   mutable request_computes : float list;
@@ -56,9 +57,10 @@ type t = {
   mutable recovery_latencies : float list;
 }
 
-let make enabled =
+let make ?tracer enabled =
   {
     enabled;
+    tracer;
     counts = Array.make 12 0;
     sizes = Array.make 12 0.0;
     request_computes = [];
@@ -68,11 +70,13 @@ let make enabled =
     recovery_latencies = [];
   }
 
-let create () = make true
+let create ?tracer () = make ?tracer true
 
 let disabled = make false
 
 let is_enabled t = t.enabled
+
+let tracer t = t.tracer
 
 let cell ~kind ~role = (kind_index kind * 3) + role_index role
 
@@ -92,8 +96,25 @@ let record_agent_reply_compute t ~degree ~seconds =
 let record_server_prediction t ~seconds =
   if t.enabled then t.predictions <- seconds :: t.predictions
 
+let failure_labels = function
+  | Node_crash id | Node_recover id -> [ ("node", string_of_int id) ]
+  | Child_pruned (agent, child) | Child_rejoined (agent, child) ->
+      [ ("agent", string_of_int agent); ("child", string_of_int child) ]
+  | Replan_enacted failed ->
+      [ ("failed", String.concat " " (List.map string_of_int failed)) ]
+  | Replan_suppressed reason -> [ ("reason", reason) ]
+  | Message_lost | Request_timeout | Request_abandoned | Replan_triggered -> []
+
 let record_failure t ~time failure =
-  if t.enabled then t.failures <- (time, failure) :: t.failures
+  if t.enabled then begin
+    t.failures <- (time, failure) :: t.failures;
+    match t.tracer with
+    | Some tracer ->
+        Adept_obs.Tracer.event tracer ~at:time
+          ~labels:(Adept_obs.Label.v (failure_labels failure))
+          (failure_name failure)
+    | None -> ()
+  end
 
 let record_recovery_latency t ~seconds =
   if t.enabled then t.recovery_latencies <- seconds :: t.recovery_latencies

@@ -12,6 +12,13 @@ type message_kind = Sched_request | Sched_reply | Service_request | Service_repl
 
 type role = Agent_end | Server_end | Client_end
 
+val kind_name : message_kind -> string
+(** ["sched-request"] etc. — the label values the observability layer
+    uses for the [kind] dimension. *)
+
+val role_name : role -> string
+(** ["agent"] / ["server"] / ["client"]. *)
+
 type failure =
   | Node_crash of int  (** The node with this id went down. *)
   | Node_recover of int
@@ -36,13 +43,21 @@ val failure_name : failure -> string
 
 type t
 
-val create : unit -> t
+val create : ?tracer:Adept_obs.Tracer.t -> unit -> t
+(** [?tracer] mirrors every {!record_failure} breadcrumb into the
+    bounded observability tracer as a labeled event, so fault
+    timelines export as JSON-lines without retaining this trace's
+    unbounded sample lists. *)
 
 val disabled : t
 (** A shared sink that records nothing — used by performance-sensitive
     runs. *)
 
 val is_enabled : t -> bool
+
+val tracer : t -> Adept_obs.Tracer.t option
+(** The attached observability tracer, for other layers (the
+    controller's migration spans) to record into. *)
 
 val record_message : t -> kind:message_kind -> role:role -> size:float -> unit
 (** One message observation at one endpoint, size in Mbit. *)

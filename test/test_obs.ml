@@ -1,0 +1,447 @@
+(* Tests for Adept_obs: labels, histograms (incl. the quantile error
+   bound and merge algebra), ring buffers, the registry, exporters,
+   tracer, the bounded-memory Run_stats, the model-vs-measured report,
+   and the Prometheus golden export of a deterministic run. *)
+
+module Label = Adept_obs.Label
+module Histogram = Adept_obs.Histogram
+module Counter = Adept_obs.Counter
+module Gauge = Adept_obs.Gauge
+module Ring = Adept_obs.Ring
+module Registry = Adept_obs.Registry
+module Tracer = Adept_obs.Tracer
+module Semconv = Adept_obs.Semconv
+module Export = Adept_obs.Export
+module Report = Adept_obs.Report
+module Run_stats = Adept_sim.Run_stats
+module Scenario = Adept_sim.Scenario
+module Tree = Adept_hierarchy.Tree
+module Platform = Adept_platform.Platform
+
+let params = Adept_model.Params.diet_lyon
+
+(* ---------- Label ---------- *)
+
+let test_label_canonical () =
+  let a = Label.v [ ("b", "2"); ("a", "1") ] in
+  let b = Label.v [ ("a", "1"); ("b", "2") ] in
+  Alcotest.(check bool) "order-insensitive equality" true (Label.equal a b);
+  Alcotest.(check (list (pair string string)))
+    "sorted pairs" [ ("a", "1"); ("b", "2") ] (Label.pairs a);
+  Alcotest.(check (option string)) "find" (Some "2") (Label.find a "b");
+  Alcotest.(check bool) "duplicate key rejected" true
+    (match Label.v [ ("a", "1"); ("a", "2") ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "bad key rejected" true
+    (match Label.v [ ("0bad", "1") ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_label_prometheus_escaping () =
+  let l = Label.v [ ("k", "a\"b\\c\nd") ] in
+  Alcotest.(check string) "escaped" "{k=\"a\\\"b\\\\c\\nd\"}" (Label.to_prometheus l);
+  Alcotest.(check string) "empty renders empty" "" (Label.to_prometheus Label.empty)
+
+(* ---------- Histogram ---------- *)
+
+let test_histogram_exact_stats () =
+  let h = Histogram.create () in
+  List.iter (Histogram.record h) [ 1.0; 2.0; 3.0; 4.0 ];
+  let s = Histogram.snapshot h in
+  Alcotest.(check int) "count" 4 (Histogram.count s);
+  Alcotest.(check (float 1e-12)) "sum" 10.0 (Histogram.sum s);
+  Alcotest.(check (float 1e-12)) "min" 1.0 (Option.get (Histogram.min_recorded s));
+  Alcotest.(check (float 1e-12)) "max" 4.0 (Option.get (Histogram.max_recorded s));
+  Alcotest.(check (float 1e-12)) "mean" 2.5 (Option.get (Histogram.mean s))
+
+let test_histogram_edge_values () =
+  let h = Histogram.create ~min_value:1e-6 ~max_value:1e6 () in
+  Histogram.record h Float.nan;
+  (* ignored *)
+  Histogram.record h (-5.0);
+  (* underflow bucket *)
+  Histogram.record h 0.0;
+  (* underflow bucket *)
+  Histogram.record h 1e12;
+  (* clamped to max_value *)
+  let s = Histogram.snapshot h in
+  Alcotest.(check int) "NaN ignored" 3 (Histogram.count s);
+  Alcotest.(check bool) "quantile of underflow is min_value" true
+    (Option.get (Histogram.quantile s 10.0) <= 1e-6);
+  Alcotest.(check bool) "clamped stays below max" true
+    (Option.get (Histogram.quantile s 100.0) <= 1e6 *. 1.02)
+
+(* The documented guarantee: every quantile estimate is within alpha
+   relative error of the exact percentile of the recorded stream. *)
+let exact_percentile values q =
+  let sorted = List.sort compare values in
+  let n = List.length sorted in
+  let rank = max 1 (int_of_float (Float.ceil (q /. 100.0 *. float_of_int n))) in
+  List.nth sorted (rank - 1)
+
+let prop_histogram_quantile_bound =
+  QCheck.Test.make ~count:200 ~name:"histogram quantile within alpha bound"
+    QCheck.(list_of_size Gen.(int_range 1 200) (float_range 1e-6 1e6))
+    (fun values ->
+      let alpha = 0.01 in
+      let h = Histogram.create ~alpha () in
+      List.iter (Histogram.record h) values;
+      let s = Histogram.snapshot h in
+      List.for_all
+        (fun q ->
+          let exact = exact_percentile values q in
+          let est = Option.get (Histogram.quantile s q) in
+          Float.abs (est -. exact) <= (alpha *. exact *. 1.000001) +. 1e-12)
+        [ 0.0; 25.0; 50.0; 75.0; 90.0; 95.0; 99.0; 100.0 ])
+
+(* Merge algebra: merging shard snapshots is the same as recording the
+   concatenated stream, and merge is commutative/associative. *)
+let snapshot_of values =
+  let h = Histogram.create () in
+  List.iter (Histogram.record h) values;
+  Histogram.snapshot h
+
+let same_snapshot a b =
+  (* sums are accumulated in different orders, so compare them to fp
+     round-off; counts, extrema and buckets must agree exactly *)
+  Histogram.count a = Histogram.count b
+  && Float.abs (Histogram.sum a -. Histogram.sum b)
+     <= 1e-9 *. Float.max 1.0 (Float.abs (Histogram.sum a))
+  && Histogram.min_recorded a = Histogram.min_recorded b
+  && Histogram.max_recorded a = Histogram.max_recorded b
+  && Histogram.cumulative_buckets a = Histogram.cumulative_buckets b
+
+let prop_histogram_merge_is_concat =
+  QCheck.Test.make ~count:200 ~name:"merge of shards = single-stream recording"
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 0 100) (float_range 1e-6 1e6))
+        (list_of_size Gen.(int_range 0 100) (float_range 1e-6 1e6)))
+    (fun (xs, ys) ->
+      same_snapshot
+        (Histogram.merge (snapshot_of xs) (snapshot_of ys))
+        (snapshot_of (xs @ ys)))
+
+let prop_histogram_merge_commutes =
+  QCheck.Test.make ~count:200 ~name:"merge commutative and associative"
+    QCheck.(
+      triple
+        (list_of_size Gen.(int_range 0 60) (float_range 1e-6 1e6))
+        (list_of_size Gen.(int_range 0 60) (float_range 1e-6 1e6))
+        (list_of_size Gen.(int_range 0 60) (float_range 1e-6 1e6)))
+    (fun (xs, ys, zs) ->
+      let a = snapshot_of xs and b = snapshot_of ys and c = snapshot_of zs in
+      same_snapshot (Histogram.merge a b) (Histogram.merge b a)
+      && same_snapshot
+           (Histogram.merge (Histogram.merge a b) c)
+           (Histogram.merge a (Histogram.merge b c)))
+
+let test_histogram_merge_alpha_mismatch () =
+  let a = Histogram.snapshot (Histogram.create ~alpha:0.01 ()) in
+  let b = Histogram.snapshot (Histogram.create ~alpha:0.02 ()) in
+  Alcotest.(check bool) "mismatched alpha rejected" true
+    (match Histogram.merge a b with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_histogram_bounded_buckets () =
+  let h = Histogram.create () in
+  let rng = Adept_util.Rng.create 5 in
+  for _ = 1 to 100_000 do
+    Histogram.record h (Adept_util.Rng.float rng 1000.0 +. 1e-9)
+  done;
+  let s = Histogram.snapshot h in
+  Alcotest.(check int) "count" 100_000 (Histogram.count s);
+  Alcotest.(check bool)
+    (Printf.sprintf "buckets bounded (%d)" (Histogram.num_buckets s))
+    true
+    (Histogram.num_buckets s < 2500)
+
+(* ---------- Ring ---------- *)
+
+let test_ring_window_exact () =
+  let r = Ring.create ~retention:infinity () in
+  List.iter (fun t -> Ring.push r ~time:t t) [ 0.0; 1.0; 1.0; 2.5; 4.0 ];
+  Alcotest.(check int) "half-open window" 3 (Ring.count_in r ~t0:1.0 ~t1:4.0);
+  Alcotest.(check int) "everything" 5 (Ring.count_in r ~t0:0.0 ~t1:5.0);
+  Alcotest.(check int) "empty window" 0 (Ring.count_in r ~t0:5.0 ~t1:9.0)
+
+let test_ring_prunes_and_guards () =
+  let r = Ring.create ~capacity:4 ~retention:2.0 () in
+  for i = 0 to 99 do
+    Ring.push r ~time:(float_of_int i) 0.0
+  done;
+  Alcotest.(check bool) "bounded length" true (Ring.length r <= 4);
+  Alcotest.(check int) "recent window intact" 2 (Ring.count_in r ~t0:98.0 ~t1:100.0);
+  Alcotest.(check bool) "pre-retention query rejected" true
+    (match Ring.count_in r ~t0:10.0 ~t1:20.0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "time must not decrease" true
+    (match Ring.push r ~time:0.0 0.0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* ---------- Registry ---------- *)
+
+let test_registry_get_or_create () =
+  let reg = Registry.create () in
+  let c1 = Registry.counter reg "adept_test_total" in
+  let c2 = Registry.counter reg "adept_test_total" in
+  Counter.inc c1;
+  Counter.inc c2;
+  Alcotest.(check (float 0.0)) "same series" 2.0 (Counter.value c1);
+  let labels = Label.v [ ("node", "1") ] in
+  let _ = Registry.counter reg ~labels "adept_test_total" in
+  Alcotest.(check int) "two series" 2 (Registry.num_series reg);
+  Alcotest.(check bool) "kind conflict rejected" true
+    (match Registry.gauge reg "adept_test_total" with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* ---------- Tracer ---------- *)
+
+let test_tracer_spans_and_bound () =
+  let tr = Tracer.create ~max_items:3 () in
+  let sp = Tracer.span_start tr ~at:1.0 "migration" in
+  Tracer.event tr ~at:1.5 "crash";
+  Tracer.span_end tr ~at:2.0 sp;
+  Tracer.span_end tr ~at:9.0 sp;
+  (* idempotent *)
+  Tracer.event tr ~at:2.5 "a";
+  Tracer.event tr ~at:3.0 "b";
+  Alcotest.(check int) "bounded" 3 (Tracer.length tr);
+  Alcotest.(check int) "drops counted" 1 (Tracer.dropped tr);
+  match Tracer.items tr with
+  | Tracer.Span { end_at; _ } :: _ ->
+      Alcotest.(check (option (float 0.0))) "span closed once" (Some 2.0) end_at
+  | _ -> Alcotest.fail "expected leading span"
+
+(* ---------- Exporters ---------- *)
+
+let small_registry () =
+  let reg = Registry.create () in
+  Counter.inc ~by:3.0 (Registry.counter reg ~help:"Things counted." "adept_things_total");
+  Gauge.set (Registry.gauge reg "adept_level") 0.5;
+  let h = Registry.histogram reg ~labels:(Label.v [ ("node", "1") ]) "adept_time_seconds" in
+  Histogram.record h 0.5;
+  Histogram.record h 2.0;
+  reg
+
+let test_export_prometheus_format () =
+  let text = Export.prometheus (Registry.snapshot (small_registry ())) in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("contains " ^ needle) true
+        (Astring.String.is_infix ~affix:needle text))
+    [
+      "# HELP adept_things_total Things counted.";
+      "# TYPE adept_things_total counter";
+      "adept_things_total 3";
+      "adept_level 0.5";
+      "# TYPE adept_time_seconds histogram";
+      "adept_time_seconds_bucket{le=\"+Inf\",node=\"1\"} 2";
+      "adept_time_seconds_sum{node=\"1\"} 2.5";
+      "adept_time_seconds_count{node=\"1\"} 2";
+    ]
+
+let test_export_jsonl_and_csv () =
+  let families = Registry.snapshot (small_registry ()) in
+  let jsonl = Export.jsonl families in
+  Alcotest.(check int) "one line per series" 3
+    (List.length (String.split_on_char '\n' (String.trim jsonl)));
+  Alcotest.(check bool) "json objects" true
+    (List.for_all
+       (fun l -> String.length l > 1 && l.[0] = '{')
+       (String.split_on_char '\n' (String.trim jsonl)));
+  let csv = Adept_util.Csv.to_string (Export.csv families) in
+  Alcotest.(check bool) "csv header" true
+    (Astring.String.is_prefix ~affix:"metric,labels,stat,value" csv);
+  Alcotest.(check bool) "csv p95 row" true
+    (Astring.String.is_infix ~affix:"adept_time_seconds" csv)
+
+let test_export_deterministic () =
+  let render () = Export.prometheus (Registry.snapshot (small_registry ())) in
+  Alcotest.(check string) "identical across registries" (render ()) (render ())
+
+(* ---------- Run_stats bounded memory ---------- *)
+
+let test_run_stats_bounded_memory () =
+  let s = Run_stats.create ~retention:5.0 () in
+  let n = 1_000_000 in
+  for i = 1 to n do
+    let time = float_of_int i *. 0.001 in
+    Run_stats.record_issue s ~time;
+    Run_stats.record_completion s ~issued_at:(time -. 0.0005) ~time ~server:0
+  done;
+  Alcotest.(check int) "all counted" n (Run_stats.completed s);
+  (* retention is 5 s at 1000 completions/s: the ring holds the window,
+     not the run *)
+  Alcotest.(check bool)
+    (Printf.sprintf "ring bounded (%d)" (Run_stats.retained_completions s))
+    true
+    (Run_stats.retained_completions s < 10_000);
+  Alcotest.(check bool) "histogram bounded" true
+    (Adept_obs.Histogram.num_buckets (Run_stats.response_snapshot s) < 2500);
+  Alcotest.(check int) "window query exact" 5000
+    (Run_stats.completions_in s ~t0:995.0 ~t1:1000.0);
+  Alcotest.(check bool) "percentile still served" true
+    (Run_stats.response_percentile s 95.0 <> None)
+
+(* ---------- instrumented scenario ---------- *)
+
+let star_platform n_servers =
+  Adept_platform.Generator.grid5000_lyon ~n:(n_servers + 1) ()
+
+let star_tree platform =
+  let nodes = Platform.nodes platform in
+  Tree.star (List.hd nodes) (List.tl nodes)
+
+let observed_scenario () =
+  let platform = star_platform 3 in
+  let tree = star_tree platform in
+  let job = Adept_workload.Job.of_dgemm (Adept_workload.Dgemm.make 200) in
+  ( platform,
+    tree,
+    Scenario.make ~seed:11 ~params ~platform
+      ~client:(Adept_workload.Client.closed_loop job)
+      tree )
+
+let test_scenario_obs_bit_identical () =
+  let _, _, s = observed_scenario () in
+  let plain = Scenario.run_fixed s ~clients:8 ~warmup:1.0 ~duration:2.0 in
+  let registry = Registry.create () in
+  let observed =
+    Scenario.run_fixed ~registry s ~clients:8 ~warmup:1.0 ~duration:2.0
+  in
+  Alcotest.(check (float 0.0)) "throughput identical" plain.Scenario.throughput
+    observed.Scenario.throughput;
+  Alcotest.(check int) "completions identical" plain.Scenario.completed_total
+    observed.Scenario.completed_total;
+  Alcotest.(check (option (float 0.0))) "mean response identical"
+    plain.Scenario.mean_response observed.Scenario.mean_response;
+  Alcotest.(check bool) "series recorded" true (Registry.num_series registry > 10)
+
+let test_scenario_obs_counters_consistent () =
+  let _, _, s = observed_scenario () in
+  let registry = Registry.create () in
+  let r = Scenario.run_fixed ~registry s ~clients:8 ~warmup:1.0 ~duration:2.0 in
+  let counter_value name =
+    match Registry.find registry name with
+    | Some { Registry.series = [ (_, Registry.Counter v) ]; _ } -> int_of_float v
+    | _ -> -1
+  in
+  Alcotest.(check int) "issued counter" r.Scenario.issued_total
+    (counter_value Semconv.requests_issued_total);
+  Alcotest.(check int) "completed counter" r.Scenario.completed_total
+    (counter_value Semconv.requests_completed_total)
+
+let test_report_low_deviation () =
+  let platform, tree, s = observed_scenario () in
+  let registry = Registry.create () in
+  let _ = Scenario.run_fixed ~registry s ~clients:30 ~warmup:2.0 ~duration:4.0 in
+  let wapp = Adept_workload.Dgemm.(mflops (make 200)) in
+  let report = Report.build ~registry ~params ~platform ~wapp ~tree in
+  Alcotest.(check bool) "rows for every element" true
+    (List.length report.Report.rows = 2 + (3 * 2));
+  match Report.max_deviation report with
+  | None -> Alcotest.fail "nothing measured"
+  | Some d ->
+      Alcotest.(check bool)
+        (Printf.sprintf "max deviation %.4f below 5%%" d)
+        true (d < 0.05);
+      Alcotest.(check bool) "render mentions it" true
+        (Astring.String.is_infix ~affix:"max deviation"
+           (Report.render report))
+
+(* ---------- golden Prometheus export ----------
+
+   The Prometheus text export of a fixed-seed star run is pinned
+   byte-for-byte in test/golden/observe_star.prom.  A mismatch means the
+   exporter's format or the simulation's accounting changed: if
+   intentional, regenerate with
+     OBS_GOLDEN_OUT=test/golden/observe_star.prom dune exec test/test_obs.exe
+   and mention the format break in the changelog. *)
+
+let golden_export () =
+  let _, _, s = observed_scenario () in
+  let registry = Registry.create () in
+  let _ = Scenario.run_fixed ~registry s ~clients:8 ~warmup:1.0 ~duration:2.0 in
+  Export.prometheus (Registry.snapshot registry)
+
+let read_golden name =
+  (* dune materializes the golden deps next to the test executable *)
+  let path = Filename.concat (Filename.dirname Sys.executable_name) name in
+  In_channel.with_open_bin path In_channel.input_all
+
+let test_golden_prometheus () =
+  let got = golden_export () in
+  Alcotest.(check string) "byte-identical across runs" got (golden_export ());
+  Alcotest.(check string) "matches golden file"
+    (read_golden "golden/observe_star.prom") got
+
+let () =
+  match Sys.getenv_opt "OBS_GOLDEN_OUT" with
+  | Some path ->
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc (golden_export ()));
+      Printf.printf "regenerated %s\n" path;
+      exit 0
+  | None -> ()
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "label",
+        [
+          Alcotest.test_case "canonical" `Quick test_label_canonical;
+          Alcotest.test_case "prometheus escaping" `Quick
+            test_label_prometheus_escaping;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "exact stats" `Quick test_histogram_exact_stats;
+          Alcotest.test_case "edge values" `Quick test_histogram_edge_values;
+          Alcotest.test_case "merge alpha mismatch" `Quick
+            test_histogram_merge_alpha_mismatch;
+          Alcotest.test_case "bounded buckets" `Quick test_histogram_bounded_buckets;
+        ] );
+      ( "ring",
+        [
+          Alcotest.test_case "window exact" `Quick test_ring_window_exact;
+          Alcotest.test_case "prunes and guards" `Quick test_ring_prunes_and_guards;
+        ] );
+      ( "registry",
+        [ Alcotest.test_case "get-or-create" `Quick test_registry_get_or_create ] );
+      ( "tracer",
+        [ Alcotest.test_case "spans and bound" `Quick test_tracer_spans_and_bound ] );
+      ( "export",
+        [
+          Alcotest.test_case "prometheus format" `Quick test_export_prometheus_format;
+          Alcotest.test_case "jsonl and csv" `Quick test_export_jsonl_and_csv;
+          Alcotest.test_case "deterministic" `Quick test_export_deterministic;
+        ] );
+      ( "run-stats",
+        [
+          Alcotest.test_case "bounded memory at 10^6" `Quick
+            test_run_stats_bounded_memory;
+        ] );
+      ( "scenario",
+        [
+          Alcotest.test_case "bit-identical with obs" `Quick
+            test_scenario_obs_bit_identical;
+          Alcotest.test_case "counters consistent" `Quick
+            test_scenario_obs_counters_consistent;
+          Alcotest.test_case "report low deviation" `Quick test_report_low_deviation;
+        ] );
+      ( "golden",
+        [ Alcotest.test_case "prometheus export" `Quick test_golden_prometheus ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_histogram_quantile_bound;
+            prop_histogram_merge_is_concat;
+            prop_histogram_merge_commutes;
+          ] );
+    ]
