@@ -184,6 +184,26 @@ let bench_self_heal =
     (Bechamel.Staged.stage (fun () ->
          ignore (Adept_sim.Scenario.run_fixed scenario ~clients:10 ~warmup:0.5 ~duration:1.0)))
 
+let bench_traced =
+  (* fig4-5's point with full observability attached — metrics registry
+     plus a rate-1.0 request-trace store — so the bounded overhead of
+     per-request causal tracing is visible against its untraced twin. *)
+  let platform = lyon 3 in
+  let nodes = Adept_platform.Platform.nodes platform in
+  let tree = Adept_hierarchy.Tree.star (List.hd nodes) (List.tl nodes) in
+  let job = Adept_workload.Job.of_dgemm (Adept_workload.Dgemm.make 200) in
+  let scenario =
+    Adept_sim.Scenario.make ~params ~platform
+      ~client:(Adept_workload.Client.closed_loop job) tree
+  in
+  Bechamel.Test.make ~name:"obs/simulate-point-traced"
+    (Bechamel.Staged.stage (fun () ->
+         let registry = Adept_obs.Registry.create () in
+         let rtrace = Adept_obs.Request_trace.create () in
+         ignore
+           (Adept_sim.Scenario.run_fixed ~registry ~rtrace scenario ~clients:10
+              ~warmup:0.5 ~duration:1.0)))
+
 (* The ring-buffer payoff behind Run_stats.completions_in: the loop a
    controller run performs — a steady completion stream with a sliding
    window query every 100 completions.  The naive twin is the pre-ring
@@ -277,14 +297,64 @@ let write_bench_json path entries =
   close_out oc;
   Printf.printf "wrote %s\n" path
 
+(* Reads only the format write_bench_json produces (one result object per
+   line) — good enough without a JSON dependency. *)
+let read_bench_json path =
+  let ic =
+    try open_in path
+    with Sys_error e ->
+      prerr_endline ("bench: cannot read baseline: " ^ e);
+      exit 2
+  in
+  let entries = ref [] in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       try
+         Scanf.sscanf line "{%S: %S, %S: %f, %S: %d"
+           (fun k1 name k2 mean k3 runs ->
+             if k1 = "name" && k2 = "mean_ns" && k3 = "runs" then
+               entries := (name, mean, runs) :: !entries)
+       with Scanf.Scan_failure _ | Failure _ | End_of_file -> ()
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !entries
+
+(* The perf trajectory gate: fresh micro results against a committed
+   snapshot.  Only benchmarks present in both are compared; a mean more
+   than [tolerance] (relative) above the baseline is a regression and
+   the process exits non-zero so CI actually enforces it. *)
+let compare_against ~baseline_path ~baseline ~tolerance fresh =
+  Printf.printf "\nregression guard vs %s (tolerance %.0f%%):\n" baseline_path
+    (100.0 *. tolerance);
+  let regressions = ref 0 in
+  List.iter
+    (fun (name, mean, _) ->
+      match List.find_opt (fun (n, _, _) -> n = name) baseline with
+      | None -> Printf.printf "  %-44s %12.0f ns/run      (new, no baseline)\n" name mean
+      | Some (_, base_mean, _) ->
+          let delta = 100.0 *. ((mean /. base_mean) -. 1.0) in
+          let regressed = mean > base_mean *. (1.0 +. tolerance) in
+          if regressed then incr regressions;
+          Printf.printf "  %-44s %12.0f ns/run  %+7.1f%%  %s\n" name mean delta
+            (if regressed then "REGRESSION" else "ok"))
+    (List.sort compare fresh);
+  if !regressions > 0 then begin
+    Printf.printf "bench: %d benchmark(s) regressed beyond tolerance\n" !regressions;
+    exit 1
+  end
+  else print_endline "bench: no regressions beyond tolerance"
+
 let run_micro () =
   let open Bechamel in
   let benchmarks =
     Test.make_grouped ~name:"adept"
       [
         bench_table3; bench_fig2_3; bench_fig4_5; bench_table4; bench_fig6;
-        bench_fig7; bench_fault_sweep; bench_self_heal; bench_plan_2000;
-        bench_window_ring; bench_window_naive; bench_event_queue; bench_xml;
+        bench_fig7; bench_fault_sweep; bench_self_heal; bench_traced;
+        bench_plan_2000; bench_window_ring; bench_window_naive;
+        bench_event_queue; bench_xml;
       ]
   in
   let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 1.5) ~kde:(Some 1000) () in
@@ -317,13 +387,44 @@ let run_micro () =
             | _ -> Printf.printf "  %-40s (no estimate)\n" name)
           by_bench)
     results;
-  write_bench_json "BENCH_sim.json" !entries
+  write_bench_json "BENCH_sim.json" !entries;
+  !entries
 
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  let micro = List.mem "micro" args in
+  let rec parse args against tolerance rest =
+    match args with
+    | "--against" :: file :: tl -> parse tl (Some file) tolerance rest
+    | "--against" :: [] ->
+        prerr_endline "bench: --against needs a file argument";
+        exit 2
+    | "--tolerance" :: t :: tl -> (
+        match float_of_string_opt t with
+        | Some t when t >= 0.0 -> parse tl against t rest
+        | _ ->
+            prerr_endline "bench: --tolerance needs a non-negative number";
+            exit 2)
+    | "--tolerance" :: [] ->
+        prerr_endline "bench: --tolerance needs a number";
+        exit 2
+    | a :: tl -> parse tl against tolerance (a :: rest)
+    | [] -> (against, tolerance, List.rev rest)
+  in
+  let against, tolerance, args =
+    parse (List.tl (Array.to_list Sys.argv)) None 0.25 []
+  in
+  let micro = List.mem "micro" args || against <> None in
   let ids = List.filter (fun a -> a <> "micro" && a <> "all") args in
   let run_all = args = [] || List.mem "all" args || (ids = [] && not micro) in
   if run_all then run_experiments []
   else if ids <> [] then run_experiments ids;
-  if micro then run_micro ()
+  if micro then begin
+    (* Read the baseline before run_micro overwrites BENCH_sim.json —
+       the CI invocation gates against the committed copy of the same
+       file it regenerates. *)
+    let baseline = Option.map (fun p -> (p, read_bench_json p)) against in
+    let fresh = run_micro () in
+    match baseline with
+    | Some (baseline_path, baseline) ->
+        compare_against ~baseline_path ~baseline ~tolerance fresh
+    | None -> ()
+  end

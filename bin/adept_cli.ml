@@ -6,6 +6,8 @@
      plan       plan a deployment and print/export it
      eval       evaluate a hierarchy XML against the model
      simulate   measure a deployment in the discrete-event simulator
+     observe    instrumented run + model-vs-measured report / exports
+     trace      per-request causal traces, critical-path attribution
      experiment run paper reproductions by id
      bench-node measure this machine's MFlop/s (Linpack mini-benchmark)  *)
 
@@ -426,12 +428,18 @@ let observe_cmd =
             ~client:(Adept_workload.Client.closed_loop job)
             tree
         in
+        let tracer = Adept_obs.Tracer.create () in
+        let trace = Adept_sim.Trace.create ~tracer () in
         let r =
-          Adept_sim.Scenario.run_fixed ~registry scenario ~clients ~warmup ~duration
+          Adept_sim.Scenario.run_fixed ~trace ~registry scenario ~clients ~warmup
+            ~duration
         in
         Printf.printf
-          "simulated: %d clients -> %.2f req/s over %.1fs after %.1fs warm-up\n\n"
+          "simulated: %d clients -> %.2f req/s over %.1fs after %.1fs warm-up\n"
           clients r.Adept_sim.Scenario.throughput duration warmup;
+        Printf.printf "trace buffer: %d item(s), %d dropped\n\n"
+          (Adept_obs.Tracer.length tracer)
+          (Adept_obs.Tracer.dropped tracer);
         let report = Adept_obs.Report.build ~registry ~params ~platform ~wapp ~tree in
         print_string (Adept_obs.Report.render report);
         let families = Adept_obs.Registry.snapshot registry in
@@ -505,6 +513,149 @@ let observe_cmd =
     Term.(const run $ platform_file $ nodes_arg $ power_arg $ bandwidth_arg
           $ hetero_arg $ seed_arg $ dgemm_arg $ demand_arg $ strategy_arg
           $ clients $ warmup $ duration $ prom_out $ jsonl_out $ csv_out $ max_dev)
+
+(* ---------- trace ---------- *)
+
+let trace_cmd =
+  let run file n power bandwidth hetero seed dgemm demand strategy clients warmup
+      duration sample_rate slowest chrome_out dot_out assert_match =
+    if not (sample_rate >= 0.0 && sample_rate <= 1.0) then
+      exit_err "--trace-sample-rate must be in [0, 1]";
+    if slowest < 1 then exit_err "--slowest must be >= 1";
+    let platform = build_platform file n power bandwidth hetero seed in
+    let wapp = Adept_workload.Dgemm.(mflops (make dgemm)) in
+    let strategy =
+      match Adept.Planner.strategy_of_string strategy with
+      | Ok s -> s
+      | Error e -> exit_error e
+    in
+    match
+      Adept.Planner.run strategy params ~platform ~wapp ~demand:(demand_of demand)
+    with
+    | Error e -> exit_error e
+    | Ok plan ->
+        let tree = plan.Adept.Planner.tree in
+        Format.printf "%a@." Adept.Planner.pp_plan plan;
+        let job = Adept_workload.Job.of_dgemm (Adept_workload.Dgemm.make dgemm) in
+        let registry = Adept_obs.Registry.create () in
+        let store =
+          Adept_obs.Request_trace.create ~sample_rate ~max_traces:slowest ()
+        in
+        let scenario =
+          Adept_sim.Scenario.make ~seed ~params ~platform
+            ~client:(Adept_workload.Client.closed_loop job)
+            tree
+        in
+        let r =
+          Adept_sim.Scenario.run_fixed ~registry ~rtrace:store scenario ~clients
+            ~warmup ~duration
+        in
+        Printf.printf
+          "simulated: %d clients -> %.2f req/s over %.1fs after %.1fs warm-up\n\n"
+          clients r.Adept_sim.Scenario.throughput duration warmup;
+        let utilization =
+          match
+            Adept_obs.Registry.find registry Adept_obs.Semconv.node_utilization_ratio
+          with
+          | None -> []
+          | Some fam ->
+              List.filter_map
+                (fun (labels, value) ->
+                  match
+                    ( Option.bind
+                        (Adept_obs.Label.find labels Adept_obs.Semconv.l_node)
+                        int_of_string_opt,
+                      value )
+                  with
+                  | Some id, Adept_obs.Registry.Gauge u -> Some (id, u)
+                  | _ -> None)
+                fam.Adept_obs.Registry.series
+        in
+        let predicted =
+          Adept.Evaluate.bottleneck_element params
+            ~bandwidth:(Adept_platform.Platform.uniform_bandwidth platform)
+            ~wapp tree
+        in
+        let attribution =
+          Adept_obs.Attribution.build ~store ~tree ~utilization ~predicted ()
+        in
+        print_string (Adept_obs.Attribution.render attribution);
+        (match Adept_obs.Request_trace.exemplars store with
+        | [] -> ()
+        | worst :: _ ->
+            Printf.printf "\nslowest request (trace %d, %.4fs):\n%s"
+              worst.Adept_obs.Request_trace.tr_id
+              (Adept_obs.Request_trace.duration worst)
+              (Adept_obs.Critical_path.render worst));
+        let write path text =
+          Out_channel.with_open_text path (fun oc ->
+              Out_channel.output_string oc text)
+        in
+        Option.iter
+          (fun path ->
+            write path (Adept_obs.Export.chrome_trace store);
+            Printf.printf "wrote Chrome trace JSON to %s\n" path)
+          chrome_out;
+        Option.iter
+          (fun path ->
+            write path (Adept_obs.Attribution.heat_dot attribution ~tree);
+            Printf.printf "wrote utilization-heat DOT to %s\n" path)
+          dot_out;
+        if assert_match then
+          match Adept_obs.Attribution.matches attribution with
+          | Some true ->
+              Printf.printf "bottleneck gate passed: measurement matches the model\n"
+          | Some false ->
+              exit_err
+                "trace: measured bottleneck disagrees with the model prediction"
+          | None ->
+              exit_err "trace: nothing measured (or no prediction), cannot gate"
+  in
+  let clients =
+    Arg.(value & opt int 100 & info [ "clients" ] ~docv:"N"
+           ~doc:"Closed-loop client population (saturate for a meaningful \
+                 bottleneck).")
+  in
+  let warmup =
+    Arg.(value & opt float 2.0 & info [ "warmup" ] ~docv:"SECONDS"
+           ~doc:"Simulated warm-up before measurement.")
+  in
+  let duration =
+    Arg.(value & opt float 4.0 & info [ "duration" ] ~docv:"SECONDS"
+           ~doc:"Simulated measurement window.")
+  in
+  let sample_rate =
+    Arg.(value & opt float 1.0 & info [ "trace-sample-rate" ] ~docv:"FRACTION"
+           ~doc:"Fraction of requests traced, decided by a deterministic hash \
+                 of the trace id (0 disables tracing, 1 traces everything).")
+  in
+  let slowest =
+    Arg.(value & opt int 16 & info [ "slowest" ] ~docv:"N"
+           ~doc:"Retain the N slowest traces as exemplars (evictions are \
+                 counted as dropped).")
+  in
+  let chrome_out =
+    Arg.(value & opt (some string) None & info [ "chrome" ] ~docv:"FILE"
+           ~doc:"Export retained traces as Chrome trace-event JSON \
+                 (chrome://tracing, Perfetto).")
+  in
+  let dot_out =
+    Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"FILE"
+           ~doc:"Export the hierarchy as Graphviz DOT with elements shaded by \
+                 critical-path share.")
+  in
+  let assert_match =
+    Arg.(value & flag & info [ "assert-match" ]
+           ~doc:"Fail (exit 1) unless the measured bottleneck element matches \
+                 the model's Eqs. 6-14 prediction — the CI smoke gate.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Trace per-request critical paths and attribute the bottleneck")
+    Term.(const run $ platform_file $ nodes_arg $ power_arg $ bandwidth_arg
+          $ hetero_arg $ seed_arg $ dgemm_arg $ demand_arg $ strategy_arg
+          $ clients $ warmup $ duration $ sample_rate $ slowest $ chrome_out
+          $ dot_out $ assert_match)
 
 (* ---------- replan ---------- *)
 
@@ -779,8 +930,9 @@ let main =
   Cmd.group
     (Cmd.info "adept" ~version:"1.0.0" ~doc)
     [
-      platform_cmd; plan_cmd; eval_cmd; simulate_cmd; observe_cmd; replan_cmd;
-      compare_cmd; improve_cmd; latency_cmd; experiment_cmd; bench_node_cmd;
+      platform_cmd; plan_cmd; eval_cmd; simulate_cmd; observe_cmd; trace_cmd;
+      replan_cmd; compare_cmd; improve_cmd; latency_cmd; experiment_cmd;
+      bench_node_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -52,7 +52,52 @@ let () =
   Out_channel.with_open_text "observability_metrics.prom" (fun oc ->
       Out_channel.output_string oc (Adept_obs.Export.prometheus families));
   print_endline "wrote observability_metrics.prom";
-  Printf.printf "metrics: %d series across %d families; jsonl is %d bytes\n"
+  Printf.printf "metrics: %d series across %d families; jsonl is %d bytes\n\n"
     (Adept_obs.Registry.num_series registry)
     (List.length families)
-    (String.length (Adept_obs.Export.jsonl families))
+    (String.length (Adept_obs.Export.jsonl families));
+
+  (* 6. Per-request causal traces: re-run with a request-trace store
+     attached.  Sampled requests record their Figure-1 span chain; the
+     parent walk back from the last span is the critical path, and
+     cross-trace attribution names the measured bottleneck — checked
+     against which side of Eq. 16 the model says binds.  The same
+     pipeline backs the `adept trace` subcommand and its CI gate. *)
+  let store = Adept_obs.Request_trace.create ~max_traces:8 () in
+  let registry2 = Adept_obs.Registry.create () in
+  let _ : Adept_sim.Scenario.run_result =
+    Adept_sim.Scenario.run_fixed ~registry:registry2 ~rtrace:store scenario
+      ~clients:40 ~warmup:2.0 ~duration:4.0
+  in
+  let utilization =
+    match
+      Adept_obs.Registry.find registry2 Adept_obs.Semconv.node_utilization_ratio
+    with
+    | None -> []
+    | Some fam ->
+        List.filter_map
+          (fun (labels, value) ->
+            match
+              ( Option.bind
+                  (Adept_obs.Label.find labels Adept_obs.Semconv.l_node)
+                  int_of_string_opt,
+                value )
+            with
+            | Some id, Adept_obs.Registry.Gauge u -> Some (id, u)
+            | _ -> None)
+          fam.Adept_obs.Registry.series
+  in
+  let predicted =
+    Adept.Evaluate.bottleneck_element params
+      ~bandwidth:(Adept_platform.Platform.uniform_bandwidth platform)
+      ~wapp tree
+  in
+  let attribution =
+    Adept_obs.Attribution.build ~store ~tree ~utilization ~predicted ()
+  in
+  print_string (Adept_obs.Attribution.render attribution);
+  (match Adept_obs.Request_trace.exemplars store with
+  | [] -> ()
+  | slowest :: _ ->
+      print_newline ();
+      print_string (Adept_obs.Critical_path.render slowest))

@@ -28,6 +28,87 @@ let rho_on params ~platform ~wapp tree =
 let bottleneck params ~bandwidth ~wapp tree =
   Throughput.bottleneck params ~bandwidth (spec_of_tree ~wapp tree)
 
+type bottleneck_element = {
+  be_side : [ `Sched | `Service ];
+  be_role : [ `Agent | `Server ];
+  be_node : Node.t option;
+  be_rho_sched : float;
+  be_rho_service : float;
+  be_element_rho : float;
+}
+
+let bottleneck_element params ~bandwidth ~wapp tree =
+  if wapp <= 0.0 || not (Float.is_finite wapp) then
+    invalid_arg "Evaluate.bottleneck_element: wapp must be positive and finite";
+  let spec = spec_of_tree ~wapp tree in
+  let sched = Throughput.sched params ~bandwidth spec in
+  let service = Throughput.service params ~bandwidth spec.Throughput.servers in
+  (* Locate the Eq. 14 argmin.  Ties resolve to the element first reached
+     by a pre-order walk (agents before their subtrees), matching the
+     agent-before-server tie order of {!Throughput.bottleneck}. *)
+  let best = ref None in
+  let consider node role term =
+    match !best with
+    | Some (_, _, t) when t <= term -> ()
+    | Some _ | None -> best := Some (node, role, term)
+  in
+  let rec walk = function
+    | Tree.Server node ->
+        consider node `Server
+          (Throughput.server_sched params ~bandwidth ~power:(Node.power node))
+    | Tree.Agent (node, children) ->
+        consider node `Agent
+          (Throughput.agent_sched params ~bandwidth ~power:(Node.power node)
+             ~degree:(List.length children));
+        List.iter walk children
+  in
+  walk tree;
+  let node, role, element_rho =
+    match !best with
+    | Some b -> b
+    | None -> invalid_arg "Evaluate.bottleneck_element: empty hierarchy"
+  in
+  if service < sched then
+    (* The collective Eqs. 6-13 service capacity binds: under the load
+       split every server saturates together, so no single server is
+       singled out. *)
+    {
+      be_side = `Service;
+      be_role = `Server;
+      be_node = None;
+      be_rho_sched = sched;
+      be_rho_service = service;
+      be_element_rho = service;
+    }
+  else
+    {
+      be_side = `Sched;
+      be_role = role;
+      be_node = Some node;
+      be_rho_sched = sched;
+      be_rho_service = service;
+      be_element_rho = element_rho;
+    }
+
+let describe_bottleneck_element be =
+  let side =
+    match be.be_side with
+    | `Sched -> "scheduling (Eq. 14)"
+    | `Service -> "service (Eq. 15)"
+  in
+  let element =
+    match (be.be_side, be.be_node) with
+    | `Service, _ -> "the server set collectively"
+    | `Sched, Some node ->
+        Printf.sprintf "%s %s (node %d)"
+          (match be.be_role with `Agent -> "agent" | `Server -> "server")
+          (Node.name node) (Node.id node)
+    | `Sched, None -> "unknown element"
+  in
+  Printf.sprintf
+    "%s side binds at %.2f req/s (rho_sched %.2f, rho_service %.2f): %s" side
+    be.be_element_rho be.be_rho_sched be.be_rho_service element
+
 let rho_hetero (params : Adept_model.Params.t) ~platform ~wapp tree =
   if wapp <= 0.0 || not (Float.is_finite wapp) then
     invalid_arg "Evaluate.rho_hetero: wapp must be positive and finite";

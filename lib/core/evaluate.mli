@@ -27,6 +27,37 @@ val bottleneck :
   [ `Agent_sched | `Server_sched | `Service ]
 (** Which side of Eq. 16 limits the deployment. *)
 
+type bottleneck_element = {
+  be_side : [ `Sched | `Service ];
+      (** Which side of [rho = min(rho_sched, rho_service)] attains the
+          minimum (ties go to the scheduling side, like {!bottleneck}). *)
+  be_role : [ `Agent | `Server ];
+  be_node : Node.t option;
+      (** The saturating element of Eq. 14 when the scheduling side
+          binds.  [None] when the service side binds: under the Eqs. 6–9
+          load split every server saturates together, so no single
+          element is singled out. *)
+  be_rho_sched : float;  (** Eq. 14, req/s. *)
+  be_rho_service : float;  (** Eq. 15, req/s. *)
+  be_element_rho : float;  (** The binding element's (or side's) own term. *)
+}
+
+val bottleneck_element :
+  Adept_model.Params.t ->
+  bandwidth:float ->
+  wapp:float ->
+  Tree.t ->
+  bottleneck_element
+(** {!bottleneck} refined to a concrete element: which node's Eq. 14 term
+    (or the collective Eq. 15 service capacity) limits the deployment —
+    the model-side prediction that measured critical-path attribution
+    ({!Adept_obs} [Attribution]) is checked against.
+    @raise Invalid_argument on a non-positive [wapp] or a tree without
+    servers. *)
+
+val describe_bottleneck_element : bottleneck_element -> string
+(** One-line human rendering of the prediction. *)
+
 val rho_hetero :
   Adept_model.Params.t -> platform:Platform.t -> wapp:float -> Tree.t -> float
 (** Eq. 16 generalised to heterogeneous connectivity — the paper's "we

@@ -1,0 +1,198 @@
+open Adept_platform
+open Adept_hierarchy
+module Rt = Request_trace
+module Evaluate = Adept.Evaluate
+
+type row = {
+  at_node : int;
+  at_name : string;
+  at_role : string;
+  at_seconds : float;
+  at_share : float;
+  at_recv : float;
+  at_send : float;
+  at_compute : float;
+  at_wire : float;
+  at_utilization : float option;
+}
+
+type t = {
+  rows : row list;
+  traces : int;
+  requests : int;
+  dropped : int;
+  dropped_spans : int;
+  measured : row option;
+  predicted : Evaluate.bottleneck_element option;
+}
+
+let build ~store ~tree ?(utilization = []) ?predicted () =
+  let roles = Hashtbl.create 16 in
+  List.iter (fun n -> Hashtbl.replace roles (Node.id n) (Node.name n, "agent")) (Tree.agents tree);
+  List.iter
+    (fun n -> Hashtbl.replace roles (Node.id n) (Node.name n, "server"))
+    (Tree.servers tree);
+  (* Fold the sorted per-(node, kind) aggregates into per-node rows; the
+     store lists a node's kinds contiguously. *)
+  let rows = ref [] in
+  let current = ref None in
+  let flush () =
+    match !current with Some r -> rows := r :: !rows; current := None | None -> ()
+  in
+  List.iter
+    (fun (a : Rt.agg) ->
+      let r =
+        match !current with
+        | Some r when r.at_node = a.Rt.ag_node -> r
+        | _ ->
+            flush ();
+            let name, role =
+              if a.Rt.ag_node < 0 then ("client/net", "client/net")
+              else
+                Option.value
+                  ~default:(Printf.sprintf "n%d" a.Rt.ag_node, "?")
+                  (Hashtbl.find_opt roles a.Rt.ag_node)
+            in
+            {
+              at_node = a.Rt.ag_node;
+              at_name = name;
+              at_role = role;
+              at_seconds = 0.0;
+              at_share = 0.0;
+              at_recv = 0.0;
+              at_send = 0.0;
+              at_compute = 0.0;
+              at_wire = 0.0;
+              at_utilization =
+                (if a.Rt.ag_node < 0 then None
+                 else List.assoc_opt a.Rt.ag_node utilization);
+            }
+      in
+      let s = a.Rt.ag_seconds in
+      let r = { r with at_seconds = r.at_seconds +. s } in
+      let r =
+        match a.Rt.ag_kind with
+        | Rt.Send _ -> { r with at_send = r.at_send +. s }
+        | Rt.Wire _ -> { r with at_wire = r.at_wire +. s }
+        | Rt.Recv _ -> { r with at_recv = r.at_recv +. s }
+        | Rt.Compute _ -> { r with at_compute = r.at_compute +. s }
+      in
+      current := Some r)
+    (Rt.aggregates store);
+  flush ();
+  let total = List.fold_left (fun acc r -> acc +. r.at_seconds) 0.0 !rows in
+  let rows =
+    List.map
+      (fun r ->
+        { r with at_share = (if total > 0.0 then r.at_seconds /. total else 0.0) })
+      !rows
+    |> List.sort (fun a b ->
+           match Float.compare b.at_seconds a.at_seconds with
+           | 0 -> Int.compare a.at_node b.at_node
+           | c -> c)
+  in
+  let measured = List.find_opt (fun r -> r.at_node >= 0) rows in
+  {
+    rows;
+    traces = Rt.finished store;
+    requests = Rt.requests_seen store;
+    dropped = Rt.dropped store;
+    dropped_spans = Rt.dropped_spans store;
+    measured;
+    predicted;
+  }
+
+let matches t =
+  match (t.predicted, t.measured) with
+  | None, _ | _, None -> None
+  | Some be, Some top -> (
+      match be.Evaluate.be_side with
+      | `Service -> Some (top.at_role = "server")
+      | `Sched ->
+          Some
+            (match be.Evaluate.be_node with
+            | Some node -> top.at_node = Node.id node
+            | None -> false))
+
+let render t =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "critical-path attribution: %d traces over %d requests (dropped %d traces, %d spans)\n"
+       t.traces t.requests t.dropped t.dropped_spans);
+  Buffer.add_string buf
+    "rank element      role        cp seconds  share   recv      send      compute   util\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string buf
+        (Printf.sprintf "%4d %-12s %-10s %11.4f %5.1f%%  %9.4f %9.4f %9.4f  %s\n"
+           (i + 1) r.at_name r.at_role r.at_seconds (100.0 *. r.at_share) r.at_recv
+           r.at_send r.at_compute
+           (match r.at_utilization with
+           | Some u -> Printf.sprintf "%.2f" u
+           | None -> "-")))
+    t.rows;
+  (match t.measured with
+  | Some top ->
+      Buffer.add_string buf
+        (Printf.sprintf "measured bottleneck: %s %s (node %d), %.4f s on critical paths (%.1f%%)\n"
+           top.at_role top.at_name top.at_node top.at_seconds (100.0 *. top.at_share))
+  | None -> Buffer.add_string buf "measured bottleneck: none (no traces finished)\n");
+  (match t.predicted with
+  | Some be ->
+      Buffer.add_string buf
+        (Printf.sprintf "model prediction:    %s\n"
+           (Evaluate.describe_bottleneck_element be))
+  | None -> ());
+  (match matches t with
+  | Some true -> Buffer.add_string buf "verdict: MATCH — measured top element agrees with the model's saturating element\n"
+  | Some false -> Buffer.add_string buf "verdict: MISMATCH — measured top element differs from the model's saturating element\n"
+  | None -> ());
+  Buffer.contents buf
+
+(* White -> red heat by critical-path share, as an HSV fill: hue 0,
+   saturation scaled by share relative to the hottest element (so the
+   top element is always fully saturated and the scale is comparable
+   across runs). *)
+let heat_dot ?(name = "attribution") t ~tree =
+  let share_of = Hashtbl.create 16 in
+  List.iter (fun r -> Hashtbl.replace share_of r.at_node r) t.rows;
+  let max_share =
+    List.fold_left (fun acc r -> Float.max acc r.at_share) 0.0 t.rows
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n" name);
+  Buffer.add_string buf "  rankdir=TB;\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  label=\"critical-path heat (%d traces)\";\n" t.traces);
+  let node_decl node shape =
+    let id = Node.id node in
+    let share, util =
+      match Hashtbl.find_opt share_of id with
+      | Some r -> (r.at_share, r.at_utilization)
+      | None -> (0.0, None)
+    in
+    let sat = if max_share > 0.0 then share /. max_share else 0.0 in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  n%d [shape=%s, style=filled, fillcolor=\"0.000 %.3f 1.000\", label=\"%s\\ncp %.1f%%%s\"];\n"
+         id shape sat (Node.name node) (100.0 *. share)
+         (match util with
+         | Some u -> Printf.sprintf " · util %.2f" u
+         | None -> ""))
+  in
+  let rec go = function
+    | Tree.Server node -> node_decl node "ellipse"
+    | Tree.Agent (node, children) ->
+        node_decl node "box";
+        List.iter
+          (fun child ->
+            Buffer.add_string buf
+              (Printf.sprintf "  n%d -> n%d;\n" (Node.id node)
+                 (Node.id (Tree.root_node child)));
+            go child)
+          children
+  in
+  go tree;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

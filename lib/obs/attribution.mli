@@ -1,0 +1,63 @@
+(** Cross-trace bottleneck attribution: rank hierarchy elements by their
+    time on sampled critical paths and set the measured top element
+    against the model's predicted saturating element (Eqs. 6–14 via
+    {!Adept.Evaluate.bottleneck_element}).
+
+    This is the per-request counterpart of {!Report}: where the report
+    compares aggregate means against Eqs. 1–5, attribution compares
+    {e where the time went} against {e which element the model says
+    saturates} — the cross-validation of analytic bottleneck predictions
+    against per-request traces that the tentpole targets. *)
+
+open Adept_hierarchy
+
+type row = {
+  at_node : int;  (** Platform node id; -1 = client machine / wire. *)
+  at_name : string;  (** Node name, or ["client/net"]. *)
+  at_role : string;  (** ["agent"], ["server"] or ["client/net"]. *)
+  at_seconds : float;  (** Critical-path seconds across sampled traces. *)
+  at_share : float;  (** Fraction of all critical-path time. *)
+  at_recv : float;
+  at_send : float;
+  at_compute : float;
+  at_wire : float;
+  at_utilization : float option;  (** End-of-run port utilization. *)
+}
+
+type t = {
+  rows : row list;  (** Ranked by [at_seconds] descending. *)
+  traces : int;  (** Finished sampled traces aggregated. *)
+  requests : int;  (** Trace ids assigned (sampled or not). *)
+  dropped : int;  (** Reservoir/overflow drops (see {!Request_trace}). *)
+  dropped_spans : int;
+  measured : row option;  (** Top platform element (node id >= 0). *)
+  predicted : Adept.Evaluate.bottleneck_element option;
+}
+
+val build :
+  store:Request_trace.t ->
+  tree:Tree.t ->
+  ?utilization:(int * float) list ->
+  ?predicted:Adept.Evaluate.bottleneck_element ->
+  unit ->
+  t
+(** Aggregate the store's per-element critical-path totals into ranked
+    rows.  [tree] supplies names and roles; [utilization] attaches
+    end-of-run port utilizations by node id; [predicted] attaches the
+    model's saturating element for the verdict. *)
+
+val matches : t -> bool option
+(** Does the measurement confirm the model?  [None] without a prediction
+    or a measurement.  When the service side binds, any server as
+    measured top element confirms it (under the Eqs. 6–9 split all
+    servers saturate together); when the scheduling side binds, the
+    measured top element must be the predicted node. *)
+
+val render : t -> string
+(** The attribution table plus measured/predicted bottleneck lines, the
+    verdict, and the dropped counters. *)
+
+val heat_dot : ?name:string -> t -> tree:Tree.t -> string
+(** The hierarchy as a DOT digraph with each element filled by its
+    critical-path share (white → red) and labeled with share and
+    utilization — deterministic, golden-pinned. *)

@@ -1,0 +1,75 @@
+module Rt = Request_trace
+
+type share = {
+  s_node : int;
+  s_recv : float;
+  s_send : float;
+  s_wire : float;
+  s_compute : float;
+}
+
+let seconds s = s.s_recv +. s.s_send +. s.s_wire +. s.s_compute
+
+let segments = Rt.critical_path
+
+let empty node =
+  { s_node = node; s_recv = 0.0; s_send = 0.0; s_wire = 0.0; s_compute = 0.0 }
+
+let add share (sp : Rt.span) =
+  let d = sp.Rt.sp_stop -. sp.Rt.sp_start in
+  match sp.Rt.sp_kind with
+  | Rt.Send _ -> { share with s_send = share.s_send +. d }
+  | Rt.Wire _ -> { share with s_wire = share.s_wire +. d }
+  | Rt.Recv _ -> { share with s_recv = share.s_recv +. d }
+  | Rt.Compute _ -> { share with s_compute = share.s_compute +. d }
+
+let by_element tr =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (sp : Rt.span) ->
+      let node = sp.Rt.sp_node in
+      let share = Option.value ~default:(empty node) (Hashtbl.find_opt tbl node) in
+      Hashtbl.replace tbl node (add share sp))
+    (segments tr);
+  Hashtbl.fold (fun _ share acc -> share :: acc) tbl []
+  |> List.sort (fun a b -> Int.compare a.s_node b.s_node)
+
+let eq_label = function
+  | Rt.Compute Rt.Wreq -> "Wreq/w (Eq. 3)"
+  | Rt.Compute Rt.Wrep -> "Wrep(d)/w (Eq. 3)"
+  | Rt.Compute Rt.Wpre -> "Wpre/w (Eq. 4)"
+  | Rt.Compute Rt.Service -> "Wapp/w (Eq. 5)"
+  | Rt.Wire _ -> "link latency"
+  | (Rt.Send m | Rt.Recv m) -> (
+      match m with
+      | Rt.Submit | Rt.Forward -> "sreq/B (Eqs. 1-2)"
+      | Rt.Reply | Rt.Answer -> "srep/B (Eqs. 1-2)"
+      | Rt.Service_request -> "sreq/B (Eq. 5)"
+      | Rt.Service_reply -> "srep/B (Eq. 5)")
+
+let node_name = function -1 -> "client/net" | id -> Printf.sprintf "node %d" id
+
+let render tr =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "trace %d: %.6f s end-to-end, %d spans (%d on critical path)\n"
+       tr.Rt.tr_id (Rt.duration tr)
+       (Array.length tr.Rt.tr_spans)
+       (List.length (segments tr)));
+  List.iter
+    (fun (sp : Rt.span) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-22s %-10s %10.6f s  [%s]\n"
+           (Rt.kind_name sp.Rt.sp_kind) (node_name sp.Rt.sp_node)
+           (sp.Rt.sp_stop -. sp.Rt.sp_start)
+           (eq_label sp.Rt.sp_kind)))
+    (segments tr);
+  Buffer.add_string buf "  per element:\n";
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    %-10s total %.6f s (recv %.6f, send %.6f, compute %.6f, wire %.6f)\n"
+           (node_name s.s_node) (seconds s) s.s_recv s.s_send s.s_compute s.s_wire))
+    (by_element tr);
+  Buffer.contents buf

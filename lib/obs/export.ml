@@ -149,6 +149,11 @@ let csv families =
 
 let tracer_jsonl tracer =
   let buf = Buffer.create 1024 in
+  (* Truncation made visible: a bounded buffer that overflowed says so
+     up front instead of silently exporting a prefix. *)
+  if Tracer.dropped tracer > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf "{\"type\":\"meta\",\"dropped\":%d}\n" (Tracer.dropped tracer));
   List.iter
     (fun item ->
       (match (item : Tracer.item) with
@@ -166,3 +171,74 @@ let tracer_jsonl tracer =
       Buffer.add_char buf '\n')
     (Tracer.items tracer);
   Buffer.contents buf
+
+(* Chrome trace-event JSON (catapult format, Perfetto-loadable): every
+   retained exemplar trace becomes a process, every element a thread,
+   every span a complete ("X") event with microsecond timestamps.
+   Deterministic: traces slowest-first as the reservoir keeps them,
+   spans by id, stable float formatting. *)
+let chrome_trace store =
+  let module Rt = Request_trace in
+  let buf = Buffer.create 4096 in
+  let us v = Printf.sprintf "%.3f" (v *. 1e6) in
+  let first = ref true in
+  let emit line =
+    if !first then first := false else Buffer.add_string buf ",\n";
+    Buffer.add_string buf line
+  in
+  Buffer.add_string buf "{\"traceEvents\":[\n";
+  List.iter
+    (fun (tr : Rt.trace) ->
+      let pid = tr.Rt.tr_id in
+      emit
+        (Printf.sprintf
+           "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"args\":{\"name\":\"request %d (%s s)\"}}"
+           pid pid (float_repr (Rt.duration tr)));
+      let named_tids = Hashtbl.create 8 in
+      let on_path =
+        let set = Hashtbl.create 32 in
+        List.iter
+          (fun (sp : Rt.span) -> Hashtbl.replace set sp.Rt.sp_id ())
+          (Rt.critical_path tr);
+        fun id -> Hashtbl.mem set id
+      in
+      Array.iter
+        (fun (sp : Rt.span) ->
+          let tid = sp.Rt.sp_node + 1 in
+          if not (Hashtbl.mem named_tids tid) then begin
+            Hashtbl.replace named_tids tid ();
+            emit
+              (Printf.sprintf
+                 "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"args\":{\"name\":%s}}"
+                 pid tid
+                 (Label.json_string
+                    (if sp.Rt.sp_node < 0 then "client/net"
+                     else Printf.sprintf "node %d" sp.Rt.sp_node)))
+          end;
+          let cat =
+            match sp.Rt.sp_kind with
+            | Rt.Compute Rt.Service
+            | Rt.Send (Rt.Service_request | Rt.Service_reply)
+            | Rt.Wire (Rt.Service_request | Rt.Service_reply)
+            | Rt.Recv (Rt.Service_request | Rt.Service_reply) ->
+                "service"
+            | _ -> "sched"
+          in
+          emit
+            (Printf.sprintf
+               "{\"name\":%s,\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%s,\"dur\":%s,\"pid\":%d,\"tid\":%d,\"args\":{\"span\":%d,\"parent\":%d,\"cp\":%d}}"
+               (Label.json_string (Rt.kind_name sp.Rt.sp_kind))
+               cat
+               (us sp.Rt.sp_start)
+               (us (sp.Rt.sp_stop -. sp.Rt.sp_start))
+               pid tid sp.Rt.sp_id sp.Rt.sp_parent
+               (if on_path sp.Rt.sp_id then 1 else 0)))
+        tr.Rt.tr_spans)
+    (Rt.exemplars store);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"requests\":%d,\"sampled\":%d,\"finished\":%d,\"dropped\":%d,\"dropped_spans\":%d}}\n"
+       (Rt.requests_seen store) (Rt.sampled store) (Rt.finished store)
+       (Rt.dropped store) (Rt.dropped_spans store));
+  Buffer.contents buf
+

@@ -27,4 +27,15 @@ val csv : Registry.family list -> Adept_util.Csv.t
 val tracer_jsonl : Tracer.t -> string
 (** One JSON object per trace item: events as
     [{"type":"event","at":...,"name":...,"labels":{...}}], spans with
-    ["start"] / ["end"] (null while open). *)
+    ["start"] / ["end"] (null while open).  If the bounded buffer
+    overflowed, the first line is [{"type":"meta","dropped":N}] so the
+    truncation is visible in the export. *)
+
+val chrome_trace : Request_trace.t -> string
+(** The store's exemplar traces as Chrome trace-event JSON
+    (Perfetto-loadable): one process per retained request, one thread
+    per element ([tid 0] = client machine / wire), one complete ["X"]
+    event per span with microsecond timestamps, tagged with its parent
+    and critical-path membership; [otherData] carries the request,
+    sample and dropped counters.  Deterministic — identical stores
+    export byte-identical documents (golden-pinned). *)

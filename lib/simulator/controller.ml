@@ -96,6 +96,7 @@ type replan_record = {
   rho_before : float;
   rho_after : float;
   migration_cost : float;
+  bottleneck : (Node.id * float) option;
 }
 
 (* Pre-resolved controller instruments (suppression counters are
@@ -147,6 +148,7 @@ type t = {
   mutable migration_until : float option;
   mutable enacted : replan_record list;  (* newest first *)
   obs : ctrl_obs option;
+  rtrace : Adept_obs.Request_trace.t option;
 }
 
 let middleware t = t.middleware
@@ -211,7 +213,7 @@ let record_suppressed t reason =
    the old hierarchy stays in charge.  A server that died meanwhile is
    not fatal: the fresh generation's failover strikes it out and rejoins
    it on recovery, exactly as it would mid-run. *)
-let enact t (r : Planner.replan_result) ~observed ~cost () =
+let enact t (r : Planner.replan_result) ~observed ~cost ~bottleneck () =
   let now = Engine.now t.engine in
   t.migration_until <- None;
   let new_tree = r.Planner.replanned.Planner.tree in
@@ -257,7 +259,8 @@ let enact t (r : Planner.replan_result) ~observed ~cost () =
     t.middleware <-
       Middleware.deploy ~trace:t.trace
         ?obs:(Option.map (fun o -> o.co_registry) t.obs)
-        ~selection:t.selection ?monitoring_period:t.monitoring_period
+        ?rtrace:t.rtrace ~selection:t.selection
+        ?monitoring_period:t.monitoring_period
         ~faults:t.faults ~engine:t.engine ~params:t.params ~platform:t.platform
         ~initial_dead:inherited_dead new_tree;
     t.tree <- new_tree;
@@ -279,6 +282,7 @@ let enact t (r : Planner.replan_result) ~observed ~cost () =
         rho_before = r.Planner.rho_before;
         rho_after = r.Planner.rho_after;
         migration_cost = cost;
+        bottleneck;
       }
       :: t.enacted
   end
@@ -327,6 +331,24 @@ let consider t ~now ~observed =
             record_suppressed t "insufficient-gain"
           else begin
             let cost = migration_cost t r.Planner.replanned.Planner.tree in
+            (* Where the time actually went: the element carrying the most
+               critical-path seconds across the traces collected so far.
+               Purely a breadcrumb — the replan itself is driven by the
+               model, but the record shows what the measurement blamed. *)
+            let bottleneck =
+              Option.bind t.rtrace Adept_obs.Request_trace.hottest_element
+            in
+            (match (bottleneck, Trace.tracer t.trace) with
+            | Some (node, seconds), Some tracer ->
+                Adept_obs.Tracer.event tracer ~at:now
+                  ~labels:
+                    (Adept_obs.Label.v
+                       [
+                         ("node", string_of_int node);
+                         ("critical_path_seconds", Printf.sprintf "%.6f" seconds);
+                       ])
+                  "replan-bottleneck"
+            | _ -> ());
             t.migration_until <- Some (now +. cost);
             (* The migration window as a span in the run's trace. *)
             let span =
@@ -348,7 +370,7 @@ let consider t ~now ~observed =
                 | Some (tracer, sp) ->
                     Adept_obs.Tracer.span_end tracer ~at:(Engine.now t.engine) sp
                 | None -> ());
-                enact t r ~observed ~cost ())
+                enact t r ~observed ~cost ~bottleneck ())
           end
   end
 
@@ -392,7 +414,7 @@ let rec tick t () =
     Engine.schedule t.engine ~delay:t.cfg.sample_period (tick t)
 
 let create cfg ~engine ~params ~platform ~wapp ~demand ~selection
-    ?monitoring_period ~faults ~stats ~trace ?obs ~horizon ~middleware tree =
+    ?monitoring_period ~faults ~stats ~trace ?obs ?rtrace ~horizon ~middleware tree =
   let t =
     {
       cfg;
@@ -417,6 +439,7 @@ let create cfg ~engine ~params ~platform ~wapp ~demand ~selection
       enacted = [];
       dead_since = Hashtbl.create 16;
       obs = Option.map make_ctrl_obs obs;
+      rtrace;
     }
   in
   Engine.schedule engine ~delay:cfg.sample_period (tick t);
@@ -425,4 +448,8 @@ let create cfg ~engine ~params ~platform ~wapp ~demand ~selection
 let pp_record ppf r =
   Format.fprintf ppf
     "t=%.2fs: %d node(s) out, observed %.2f req/s, rho %.2f -> %.2f, migration %.3fs"
-    r.at (List.length r.failed) r.observed r.rho_before r.rho_after r.migration_cost
+    r.at (List.length r.failed) r.observed r.rho_before r.rho_after r.migration_cost;
+  match r.bottleneck with
+  | Some (node, seconds) ->
+      Format.fprintf ppf ", bottleneck node %d (%.3fs on critical path)" node seconds
+  | None -> ()

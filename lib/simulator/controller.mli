@@ -101,6 +101,12 @@ type replan_record = {
   rho_before : float;  (** Model throughput of the replaced hierarchy. *)
   rho_after : float;  (** Model throughput of the enacted hierarchy. *)
   migration_cost : float;  (** Seconds of migration pause paid. *)
+  bottleneck : (Node.id * float) option;
+      (** Measured bottleneck at trigger time — the node carrying the
+          most critical-path seconds across the request traces collected
+          so far, with that total (see
+          {!Adept_obs.Request_trace.hottest_element}); [None] without a
+          request-trace store or before any trace finished. *)
 }
 
 type t
@@ -118,6 +124,7 @@ val create :
   stats:Run_stats.t ->
   trace:Trace.t ->
   ?obs:Adept_obs.Registry.t ->
+  ?rtrace:Adept_obs.Request_trace.t ->
   horizon:float ->
   middleware:Middleware.t ->
   Tree.t ->
@@ -132,7 +139,11 @@ val create :
     and replan counters, per-reason suppression counters, migration-cost
     histogram — passes it on to every hierarchy it deploys, and (when
     [trace] carries a tracer) brackets each migration window in a
-    ["migration"] span. *)
+    ["migration"] span.  [rtrace] is likewise passed to every hierarchy
+    the controller deploys, so sampled requests keep tracing across
+    generations; each enacted replan records the store's hottest element
+    at trigger time as its [bottleneck] breadcrumb (and, with a tracer,
+    emits a ["replan-bottleneck"] event). *)
 
 val middleware : t -> Middleware.t
 (** The hierarchy currently in charge — changes after each enactment;

@@ -1,6 +1,7 @@
 open Adept_platform
 open Adept_hierarchy
 module Params = Adept_model.Params
+module Rt = Adept_obs.Request_trace
 
 type selection =
   | Best_prediction
@@ -116,7 +117,14 @@ type t = {
   loss_rng : Adept_util.Rng.t option;
   counters : fault_counters;
   obs : obs_state option;
+  rtrace : Rt.t option;
 }
+
+(* The causal-chain position of a sampled request: its trace handle and
+   the span id the next span links to.  [None] for unsampled requests
+   (and everywhere when no store is attached) — every recording helper
+   is a no-op then. *)
+type rt_ctx = (Rt.handle * int) option
 
 let prune_strikes = 2
 
@@ -408,7 +416,7 @@ let recover_node t id =
 
 let crash_time t id = t.crashed_at.(id)
 
-let deploy ?(trace = Trace.disabled) ?obs ?(selection = Best_prediction)
+let deploy ?(trace = Trace.disabled) ?obs ?rtrace ?(selection = Best_prediction)
     ?monitoring_period ?(faults = Faults.none) ?(initial_dead = []) ~engine ~params
     ~platform tree =
   (match monitoring_period with
@@ -493,6 +501,7 @@ let deploy ?(trace = Trace.disabled) ?obs ?(selection = Best_prediction)
           c_recovery_latencies = [];
         };
       obs = Option.map (fun registry -> make_obs_state registry ~elements ~tree) obs;
+      rtrace;
     }
   in
   (* Liveness inherited from a superseded generation: a node kept in the
@@ -585,6 +594,63 @@ let book_compute t resource ~owner ~work k =
   Engine.schedule_at t.engine ~time:finish (fun () ->
       if (not t.active) || t.incarnation.(owner) = incarnation then k duration)
 
+(* ---------- request tracing ---------- *)
+
+(* A computation on a sampled request's causal chain: the span runs from
+   when the element could start ([start], the triggering delivery) to
+   now (the booked finish), so queue wait behind earlier work is
+   included and consecutive spans tile exactly. *)
+let record_compute t ~(rt : rt_ctx) ~step ~node ~start : rt_ctx =
+  match (t.rtrace, rt) with
+  | Some store, Some (h, parent) ->
+      let id =
+        Rt.add_span store h ~parent ~kind:(Rt.Compute step) ~node ~start
+          ~stop:(Engine.now t.engine)
+      in
+      Some (h, id)
+  | _ -> rt
+
+(* A traced message: its three legs — sender port time (queue wait
+   included), wire latency, receiver port time — are recorded on the
+   chain and [on_delivered] receives the chain advanced past the receive
+   leg.  Tracing only attaches an observation callback to the transfer,
+   so the scheduled events are identical to an untraced run. *)
+let transfer_traced t ~(rt : rt_ctx) ~msg ~src_node ~dst_node ~bandwidth ~src
+    ~src_size ~dst ~dst_size ~on_delivered =
+  match (t.rtrace, rt) with
+  | Some store, Some (h, parent) ->
+      let handoff = Engine.now t.engine in
+      let times = ref None in
+      Network.transfer t.engine ~bandwidth ~latency:t.latency
+        ~on_times:(fun ~sent_at ~arrival -> times := Some (sent_at, arrival))
+        ~src ~src_size ~dst ~dst_size
+        ~on_delivered:(fun () ->
+          let rt =
+            match !times with
+            | None -> rt
+            | Some (sent_at, arrival) ->
+                let s =
+                  Rt.add_span store h ~parent ~kind:(Rt.Send msg) ~node:src_node
+                    ~start:handoff ~stop:sent_at
+                in
+                let w =
+                  Rt.add_span store h ~parent:s ~kind:(Rt.Wire msg) ~node:(-1)
+                    ~start:sent_at ~stop:arrival
+                in
+                let r =
+                  Rt.add_span store h ~parent:w ~kind:(Rt.Recv msg) ~node:dst_node
+                    ~start:arrival ~stop:(Engine.now t.engine)
+                in
+                Some (h, r)
+          in
+          on_delivered rt)
+        ()
+  | _ ->
+      Network.transfer t.engine ~bandwidth ~latency:t.latency ~src ~src_size ~dst
+        ~dst_size
+        ~on_delivered:(fun () -> on_delivered None)
+        ()
+
 let argmin_candidate candidates ~effective =
   Array.fold_left
     (fun best (id, _) ->
@@ -649,13 +715,15 @@ let choose_candidate t (a : agent_state) pending =
 (* The scheduling phase, message by message.  [handle_request] runs when a
    request has been fully received at [id]; [handle_reply] when a child's
    reply has been fully received at agent [id]. *)
-let rec handle_request t ~req_id ~wapp id =
+let rec handle_request t ~rt ~req_id ~wapp id =
   match element t id with
   | Agent_el a ->
+      let arrived = Engine.now t.engine in
       book_compute t a.a_resource ~owner:id ~work:t.params.Params.agent.wreq
         (fun seconds ->
           Trace.record_agent_request_compute t.trace ~seconds;
           record_node_hist t (fun o -> o.o_wreq) ~node:id seconds;
+          let rt = record_compute t ~rt ~step:Rt.Wreq ~node:id ~start:arrived in
           let targets = Array.copy a.children in
           if Array.length targets = 0 then
             (* every child pruned: stay silent and let the upstream
@@ -673,7 +741,7 @@ let rec handle_request t ~req_id ~wapp id =
               };
             inflight_add t ~node:id 1.0;
             Array.iter
-              (fun child -> forward_down t ~req_id ~wapp ~from:id ~child)
+              (fun child -> forward_down t ~rt ~req_id ~wapp ~from:id ~child)
               targets;
             if t.active then
               Engine.schedule t.engine ~delay:t.faults.Faults.patience (fun () ->
@@ -699,11 +767,13 @@ let rec handle_request t ~req_id ~wapp id =
       in
       let incarnation = t.incarnation.(id) in
       Engine.schedule t.engine ~delay:wpre_duration (fun () ->
-          if (not t.active) || t.incarnation.(id) = incarnation then
-            send_reply_up t ~req_id ~from:id ~to_:s.s_parent
-              ~candidate:(id, prediction))
+          if (not t.active) || t.incarnation.(id) = incarnation then begin
+            let rt = record_compute t ~rt ~step:Rt.Wpre ~node:id ~start:now in
+            send_reply_up t ~rt ~req_id ~from:id ~to_:s.s_parent
+              ~candidate:(id, prediction)
+          end)
 
-and forward_down t ~req_id ~wapp ~from ~child =
+and forward_down t ~rt ~req_id ~wapp ~from ~child =
   let src_res = resource t from in
   let dst_is_agent, dst =
     match element t child with
@@ -730,16 +800,15 @@ and forward_down t ~req_id ~wapp ~from ~child =
     record_msg t ~kind:Trace.Sched_request
       ~role:(if dst_is_agent then Trace.Agent_end else Trace.Server_end)
       ~size:dst_size;
-    Network.transfer t.engine
+    transfer_traced t ~rt ~msg:Rt.Forward ~src_node:from ~dst_node:child
       ~bandwidth:(bandwidth_between t from child)
-      ~latency:t.latency ~src:(Network.Port src_res) ~src_size ~dst ~dst_size
-      ~on_delivered:(fun () ->
+      ~src:(Network.Port src_res) ~src_size ~dst ~dst_size
+      ~on_delivered:(fun rt ->
         if t.active && not t.alive.(child) then message_lost t
-        else handle_request t ~req_id ~wapp child)
-      ()
+        else handle_request t ~rt ~req_id ~wapp child)
   end
 
-and send_reply_up t ~req_id ~from ~to_ ~candidate =
+and send_reply_up t ~rt ~req_id ~from ~to_ ~candidate =
   let src_is_agent, src =
     match element t from with
     | Agent_el a -> (true, Network.Port a.a_resource)
@@ -768,16 +837,15 @@ and send_reply_up t ~req_id ~from ~to_ ~candidate =
   else begin
     record_msg t ~kind:Trace.Sched_reply ~role:Trace.Agent_end
       ~size:dst_size;
-    Network.transfer t.engine
+    transfer_traced t ~rt ~msg:Rt.Reply ~src_node:from ~dst_node:to_
       ~bandwidth:(bandwidth_between t from to_)
-      ~latency:t.latency ~src ~src_size ~dst:(Network.Port dst_res) ~dst_size
-      ~on_delivered:(fun () ->
+      ~src ~src_size ~dst:(Network.Port dst_res) ~dst_size
+      ~on_delivered:(fun rt ->
         if t.active && not t.alive.(to_) then message_lost t
-        else handle_reply t ~req_id ~agent:to_ ~child:from ~candidate)
-      ()
+        else handle_reply t ~rt ~req_id ~agent:to_ ~child:from ~candidate)
   end
 
-and handle_reply t ~req_id ~agent ~child ~candidate =
+and handle_reply t ~rt ~req_id ~agent ~child ~candidate =
   match element t agent with
   | Server_el _ -> invalid_arg "Middleware: reply delivered to a server"
   | Agent_el a -> (
@@ -794,7 +862,10 @@ and handle_reply t ~req_id ~agent ~child ~candidate =
           if pending.received = pending.expected then begin
             Hashtbl.remove a.inflight req_id;
             inflight_add t ~node:agent (-1.0);
-            finalize_request t ~req_id ~agent a pending
+            (* The chain continues from the reply that completed the set:
+               the last-arriving child is the aggregation's causal
+               trigger, so the [Wrep] span links to its receive leg. *)
+            finalize_request t ~rt ~req_id ~agent a pending
           end)
 
 and patience_expired t ~req_id ~agent =
@@ -811,19 +882,25 @@ and patience_expired t ~req_id ~agent =
                 strike_child t ~agent ~child)
             pending.targets;
           (* answer with whatever arrived; with no candidate at all the
-             agent stays silent and the caller's own timeout handles it *)
-          if pending.candidates <> [] then finalize_request t ~req_id ~agent a pending)
+             agent stays silent and the caller's own timeout handles it.
+             No causal reply triggered this, so the trace chain breaks
+             here (fault runs only — critical paths are exact fault-free). *)
+          if pending.candidates <> [] then
+            finalize_request t ~rt:None ~req_id ~agent a pending)
   | Some _ | None -> ()
 
-and finalize_request t ~req_id ~agent a pending =
+and finalize_request t ~rt ~req_id ~agent a pending =
+  let triggered = Engine.now t.engine in
   let degree = pending.received in
   let work = Params.wrep t.params ~degree in
   book_compute t a.a_resource ~owner:agent ~work (fun seconds ->
       Trace.record_agent_reply_compute t.trace ~degree ~seconds;
       record_node_hist t (fun o -> o.o_wrep) ~node:agent seconds;
+      let rt = record_compute t ~rt ~step:Rt.Wrep ~node:agent ~start:triggered in
       let chosen = choose_candidate t a pending in
       match a.a_parent with
-      | Some parent -> send_reply_up t ~req_id ~from:agent ~to_:parent ~candidate:chosen
+      | Some parent ->
+          send_reply_up t ~rt ~req_id ~from:agent ~to_:parent ~candidate:chosen
       | None -> (
           (* Root: answer the client. *)
           match Hashtbl.find_opt t.continuations req_id with
@@ -839,14 +916,20 @@ and finalize_request t ~req_id ~agent a pending =
               (match element t (fst chosen) with
               | Server_el s -> s.reserved <- s.reserved +. req_wapp
               | Agent_el _ -> invalid_arg "Middleware: chose an agent");
-              Network.transfer t.engine
+              transfer_traced t ~rt ~msg:Rt.Answer ~src_node:agent ~dst_node:(-1)
                 ~bandwidth:(bandwidth_to_client t agent)
-                ~latency:t.latency ~src:(Network.Port a.a_resource) ~src_size
-                ~dst:Network.Instant ~dst_size:0.0
-                ~on_delivered:(fun () -> continuation (fst chosen))
-                ()))
+                ~src:(Network.Port a.a_resource) ~src_size ~dst:Network.Instant
+                ~dst_size:0.0
+                ~on_delivered:(fun rt ->
+                  (* Park the chain position on the handle: the service
+                     phase is initiated by the client (a separate call)
+                     and resumes the chain from here. *)
+                  (match rt with
+                  | Some (h, tl) -> Rt.set_tail h tl
+                  | None -> ());
+                  continuation (fst chosen))))
 
-let submit_once t ~req_id ~wapp =
+let submit_once t ~rt ~req_id ~wapp =
   let dst_size = t.params.Params.agent.sreq in
   let root_res = resource t t.root in
   record_msg t ~kind:Trace.Sched_request ~role:Trace.Agent_end
@@ -861,21 +944,21 @@ let submit_once t ~req_id ~wapp =
       ()
   end
   else
-    Network.transfer t.engine
+    transfer_traced t ~rt ~msg:Rt.Submit ~src_node:(-1) ~dst_node:t.root
       ~bandwidth:(bandwidth_to_client t t.root)
-      ~latency:t.latency ~src:Network.Instant ~src_size:0.0
-      ~dst:(Network.Port root_res) ~dst_size
-      ~on_delivered:(fun () ->
+      ~src:Network.Instant ~src_size:0.0 ~dst:(Network.Port root_res) ~dst_size
+      ~on_delivered:(fun rt ->
         if t.active && not t.alive.(t.root) then message_lost t
-        else handle_request t ~req_id ~wapp t.root)
-      ()
+        else handle_request t ~rt ~req_id ~wapp t.root)
 
-let submit t ~wapp ?on_failed ~on_scheduled () =
+let submit t ~wapp ?rt ?on_failed ~on_scheduled () =
+  (* Each (re-)submission opens a fresh chain head (parent -1). *)
+  let rt : rt_ctx = Option.map (fun h -> (h, -1)) rt in
   if not t.active then begin
     let req_id = t.next_req in
     t.next_req <- t.next_req + 1;
     Hashtbl.replace t.continuations req_id (wapp, fun server -> on_scheduled ~server);
-    submit_once t ~req_id ~wapp
+    submit_once t ~rt ~req_id ~wapp
   end
   else begin
     (* Round-trip supervision: if the scheduling reply does not arrive
@@ -886,7 +969,7 @@ let submit t ~wapp ?on_failed ~on_scheduled () =
       let req_id = t.next_req in
       t.next_req <- t.next_req + 1;
       Hashtbl.replace t.continuations req_id (wapp, fun server -> on_scheduled ~server);
-      submit_once t ~req_id ~wapp;
+      submit_once t ~rt ~req_id ~wapp;
       Engine.schedule t.engine ~delay:timeout (fun () ->
           if Hashtbl.mem t.continuations req_id then begin
             Hashtbl.remove t.continuations req_id;
@@ -906,10 +989,12 @@ let submit t ~wapp ?on_failed ~on_scheduled () =
     attempt ~retries_left:t.faults.Faults.max_retries ~timeout:t.faults.Faults.timeout
   end
 
-let request_service t ~server ?on_failed ~wapp ~on_done () =
+let request_service t ~server ?rt ?on_failed ~wapp ~on_done () =
   match element t server with
   | Agent_el _ -> invalid_arg "Middleware.request_service: target is an agent"
   | Server_el s ->
+      (* Resume the chain where the scheduling answer parked it. *)
+      let rt : rt_ctx = Option.map (fun h -> (h, Rt.tail h)) rt in
       let dst_size = t.params.Params.server.sreq in
       record_msg t ~kind:Trace.Service_request ~role:Trace.Server_end
         ~size:dst_size;
@@ -927,15 +1012,20 @@ let request_service t ~server ?on_failed ~wapp ~on_done () =
       let service_dropped = message_dropped t in
       if service_dropped then message_lost t
       else
-        Network.transfer t.engine
+        transfer_traced t ~rt ~msg:Rt.Service_request ~src_node:(-1)
+          ~dst_node:server
           ~bandwidth:(bandwidth_to_client t server)
-          ~latency:t.latency ~src:Network.Instant ~src_size:0.0
-          ~dst:(Network.Port s.s_resource) ~dst_size
-          ~on_delivered:(fun () ->
+          ~src:Network.Instant ~src_size:0.0 ~dst:(Network.Port s.s_resource)
+          ~dst_size
+          ~on_delivered:(fun rt ->
             if t.active && not t.alive.(server) then message_lost t
-            else
+            else begin
+              let arrived = Engine.now t.engine in
               book_compute t s.s_resource ~owner:server ~work:wapp (fun seconds ->
                   record_node_hist t (fun o -> o.o_service) ~node:server seconds;
+                  let rt =
+                    record_compute t ~rt ~step:Rt.Service ~node:server ~start:arrived
+                  in
                   (* The response leaves as soon as the computation ends: the
                      send charges port capacity but is not queued behind work
                      booked after this job (a strict-FIFO send would trap every
@@ -953,13 +1043,13 @@ let request_service t ~server ?on_failed ~wapp ~on_done () =
                       ()
                   end
                   else
-                    Network.transfer t.engine
+                    transfer_traced t ~rt ~msg:Rt.Service_reply ~src_node:server
+                      ~dst_node:(-1)
                       ~bandwidth:(bandwidth_to_client t server)
-                      ~latency:t.latency ~src:(Network.Lane s.s_resource) ~src_size
+                      ~src:(Network.Lane s.s_resource) ~src_size
                       ~dst:Network.Instant ~dst_size:0.0
-                      ~on_delivered:(fun () -> on_done ())
-                      ()))
-          ();
+                      ~on_delivered:(fun _rt -> on_done ()))
+            end);
       if t.active then
         Engine.schedule t.engine ~delay:t.faults.Faults.service_timeout (fun () ->
             if not !settled then begin

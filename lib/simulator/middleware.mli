@@ -60,6 +60,7 @@ type t
 val deploy :
   ?trace:Trace.t ->
   ?obs:Adept_obs.Registry.t ->
+  ?rtrace:Adept_obs.Request_trace.t ->
   ?selection:selection ->
   ?monitoring_period:float ->
   ?faults:Faults.t ->
@@ -90,11 +91,18 @@ val deploy :
     recovery event revives it — without re-counting the crash the
     previous generation already recorded.  Entries naming nodes outside
     the hierarchy are ignored.
+    [rtrace] attaches the per-request causal trace store: on sampled
+    requests (see {!Adept_obs.Request_trace}) every Figure-1 hand-off —
+    the three legs of each message, [Wreq], [Wpre], [Wrep(d)] and the
+    service execution — is recorded as a parent-linked span.  Like
+    [obs], tracing schedules no events and draws no random state, so
+    runs are bit-identical with it attached, sampled at 0, or absent.
     @raise Invalid_argument otherwise. *)
 
 val submit :
   t ->
   wapp:float ->
+  ?rt:Adept_obs.Request_trace.handle ->
   ?on_failed:(unit -> unit) ->
   on_scheduled:(server:Node.id -> unit) ->
   unit ->
@@ -104,11 +112,15 @@ val submit :
     naming the selected server.  Under fault injection the round trip is
     supervised: on timeout the request is re-submitted with exponential
     backoff up to [max_retries] times, then [on_failed] fires (exactly one
-    of the two callbacks runs).  Fault-free, [on_failed] never fires. *)
+    of the two callbacks runs).  Fault-free, [on_failed] never fires.
+    [rt] (meaningful only with the deploy-time [rtrace]) is the request's
+    open trace handle; the scheduling phase records its spans on it and
+    parks the chain position for {!request_service} to resume. *)
 
 val request_service :
   t ->
   server:Node.id ->
+  ?rt:Adept_obs.Request_trace.handle ->
   ?on_failed:(unit -> unit) ->
   wapp:float ->
   on_done:(unit -> unit) ->
@@ -118,6 +130,8 @@ val request_service :
     Under fault injection the phase is supervised by the schedule's
     [service_timeout]; if the response has not arrived by then [on_failed]
     fires and a late response is discarded (exactly one callback runs).
+    [rt] continues the causal chain of the same handle passed to
+    {!submit}.
     @raise Invalid_argument if [server] is not a server of the
     hierarchy. *)
 

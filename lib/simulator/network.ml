@@ -1,7 +1,7 @@
 type endpoint = Instant | Port of Resource.t | Lane of Resource.t
 
-let transfer engine ~bandwidth ?(latency = 0.0) ~src ~src_size ~dst ~dst_size
-    ~on_delivered () =
+let transfer engine ~bandwidth ?(latency = 0.0) ?on_times ~src ~src_size ~dst
+    ~dst_size ~on_delivered () =
   if bandwidth <= 0.0 then invalid_arg "Network.transfer: bandwidth must be positive";
   if src_size < 0.0 || dst_size < 0.0 then
     invalid_arg "Network.transfer: negative message size";
@@ -18,6 +18,7 @@ let transfer engine ~bandwidth ?(latency = 0.0) ~src ~src_size ~dst ~dst_size
         now +. (src_size /. bandwidth)
   in
   let arrival = sent_at +. latency in
+  (match on_times with Some f -> f ~sent_at ~arrival | None -> ());
   Engine.schedule_at engine ~time:arrival (fun () ->
       match dst with
       | Instant -> on_delivered ()

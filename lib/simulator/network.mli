@@ -24,6 +24,7 @@ val transfer :
   Engine.t ->
   bandwidth:float ->
   ?latency:float ->
+  ?on_times:(sent_at:float -> arrival:float -> unit) ->
   src:endpoint ->
   src_size:float ->
   dst:endpoint ->
@@ -33,6 +34,12 @@ val transfer :
   unit
 (** Book/charge the send on [src] now, schedule arrival, book/charge the
     receive on [dst], and call [on_delivered] once the receive completes
-    (for a [Port]) or at arrival (otherwise).
+    (for a [Port]) or at arrival (otherwise).  [on_times] (observation
+    only, called synchronously before the arrival is scheduled) reports
+    when the message leaves the sender's port and when it reaches the
+    receiver — together with the call time and the delivery time these
+    bound the send/wire/receive legs that request tracing records; it
+    must not schedule events or the run would diverge from an untraced
+    one.
     @raise Invalid_argument on non-positive bandwidth, negative sizes or
     negative latency. *)

@@ -91,7 +91,7 @@ let make_run_obs registry =
    scheduled here (before any workload event exists) fires ahead of
    completions landing at exactly the same instant, so the window keeps
    its historical [t0 <= time < t1] semantics. *)
-let prepare ?(trace = Trace.disabled) ?registry ~warmup ~horizon t =
+let prepare ?(trace = Trace.disabled) ?registry ?rtrace ~warmup ~horizon t =
   let engine = Engine.create () in
   let rng = Rng.create t.seed in
   let selection =
@@ -100,7 +100,7 @@ let prepare ?(trace = Trace.disabled) ?registry ~warmup ~horizon t =
     | other -> other
   in
   let middleware =
-    Middleware.deploy ~trace ?obs:registry ~selection
+    Middleware.deploy ~trace ?obs:registry ?rtrace ~selection
       ?monitoring_period:t.monitoring_period ~faults:t.faults ~engine
       ~params:t.params ~platform:t.platform t.tree
   in
@@ -133,7 +133,7 @@ let prepare ?(trace = Trace.disabled) ?registry ~warmup ~horizon t =
         Controller.create cfg ~engine ~params:t.params ~platform:t.platform
           ~wapp:(Mix.expected_wapp mix) ~demand:t.demand ~selection
           ?monitoring_period:t.monitoring_period ~faults:t.faults ~stats ~trace
-          ?obs:registry ~horizon ~middleware t.tree)
+          ?obs:registry ?rtrace ~horizon ~middleware t.tree)
       t.controller
   in
   let issue_request ~on_complete =
@@ -154,19 +154,30 @@ let prepare ?(trace = Trace.disabled) ?registry ~warmup ~horizon t =
         in
         let job = Mix.draw mix rng in
         let wapp = Job.wapp job in
+        (* Every request draws a trace id (so the sampled set depends only
+           on the rate); a handle opens only for sampled ids. *)
+        let rt =
+          match rtrace with
+          | Some store ->
+              Adept_obs.Request_trace.begin_request store ~now:issued_at
+          | None -> None
+        in
         let on_failed () =
           Run_stats.record_lost stats ~time:(Engine.now engine);
           (match obs with Some o -> Adept_obs.Counter.inc o.ro_lost | None -> ());
+          (match (rtrace, rt) with
+          | Some store, Some h -> Adept_obs.Request_trace.abandon store h
+          | _ -> ());
           on_complete ()
         in
-        Middleware.submit middleware ~wapp ~on_failed
+        Middleware.submit middleware ~wapp ?rt ~on_failed
           ~on_scheduled:(fun ~server ->
             (match obs with
             | Some o ->
                 Adept_obs.Histogram.record o.ro_sched_latency
                   (Engine.now engine -. issued_at)
             | None -> ());
-            Middleware.request_service middleware ~server ~on_failed ~wapp
+            Middleware.request_service middleware ~server ?rt ~on_failed ~wapp
               ~on_done:(fun () ->
                 let now = Engine.now engine in
                 Run_stats.record_completion stats ~issued_at ~time:now ~server;
@@ -175,6 +186,10 @@ let prepare ?(trace = Trace.disabled) ?registry ~warmup ~horizon t =
                     Adept_obs.Counter.inc o.ro_completed;
                     Adept_obs.Histogram.record o.ro_response (now -. issued_at)
                 | None -> ());
+                (match (rtrace, rt) with
+                | Some store, Some h ->
+                    Adept_obs.Request_trace.finish store h ~now
+                | _ -> ());
                 on_complete ())
               ())
           ()
@@ -232,14 +247,14 @@ let finish ~clients ~warmup ~duration ~stats ~middleware ~controller ~events
     replans = (match controller with Some c -> Controller.records c | None -> []);
   }
 
-let run_fixed ?trace ?registry ?max_events t ~clients ~warmup ~duration =
+let run_fixed ?trace ?registry ?rtrace ?max_events t ~clients ~warmup ~duration =
   if clients <= 0 then invalid_arg "Scenario.run_fixed: clients must be positive";
   if warmup < 0.0 || duration <= 0.0 then
     invalid_arg "Scenario.run_fixed: need warmup >= 0 and duration > 0";
   let horizon = warmup +. duration in
   let engine, _rng, stats, middleware, controller, issue_request, window_completions, obs
       =
-    prepare ?trace ?registry ~warmup ~horizon t
+    prepare ?trace ?registry ?rtrace ~warmup ~horizon t
   in
   let think = Client.think_time t.client in
   let rec client_loop () =
@@ -258,7 +273,7 @@ let run_fixed ?trace ?registry ?max_events t ~clients ~warmup ~duration =
   finish ~clients ~warmup ~duration ~stats ~middleware ~controller ~events
     ~window_completions ~obs
 
-let run_open ?trace ?registry ?max_events t ~rate ~warmup ~duration =
+let run_open ?trace ?registry ?rtrace ?max_events t ~rate ~warmup ~duration =
   if rate <= 0.0 || not (Float.is_finite rate) then
     invalid_arg "Scenario.run_open: rate must be positive and finite";
   if warmup < 0.0 || duration <= 0.0 then
@@ -266,7 +281,7 @@ let run_open ?trace ?registry ?max_events t ~rate ~warmup ~duration =
   let horizon = warmup +. duration in
   let engine, rng, stats, middleware, controller, issue_request, window_completions, obs
       =
-    prepare ?trace ?registry ~warmup ~horizon t
+    prepare ?trace ?registry ?rtrace ~warmup ~horizon t
   in
   let rec arrival () =
     if Engine.now engine < horizon then begin

@@ -82,6 +82,7 @@ type run_result = {
 val run_fixed :
   ?trace:Trace.t ->
   ?registry:Adept_obs.Registry.t ->
+  ?rtrace:Adept_obs.Request_trace.t ->
   ?max_events:int ->
   t ->
   clients:int ->
@@ -100,6 +101,15 @@ val run_fixed :
     duration/throughput gauges.  Instrumentation observes work the
     simulation already performs, so results are identical with and
     without it.
+
+    [rtrace] turns on per-request causal tracing: every issued request
+    draws a trace id from the store, sampled requests record their
+    Figure-1 span chain through the middleware (and through every
+    generation a controller deploys), completed requests are finalised
+    into the store's critical-path aggregates and slowest-N reservoir,
+    failed requests are counted as abandoned.  Like [registry], the
+    store only observes — results are identical with it attached,
+    sampled at 0, or absent.
     @raise Invalid_argument on non-positive clients/durations. *)
 
 val throughput_series :
@@ -115,6 +125,7 @@ val throughput_series :
 val run_open :
   ?trace:Trace.t ->
   ?registry:Adept_obs.Registry.t ->
+  ?rtrace:Adept_obs.Request_trace.t ->
   ?max_events:int ->
   t ->
   rate:float ->

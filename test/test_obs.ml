@@ -17,6 +17,9 @@ module Run_stats = Adept_sim.Run_stats
 module Scenario = Adept_sim.Scenario
 module Tree = Adept_hierarchy.Tree
 module Platform = Adept_platform.Platform
+module Rt = Adept_obs.Request_trace
+module Critical_path = Adept_obs.Critical_path
+module Attribution = Adept_obs.Attribution
 
 let params = Adept_model.Params.diet_lyon
 
@@ -355,6 +358,190 @@ let test_report_low_deviation () =
         (Astring.String.is_infix ~affix:"max deviation"
            (Report.render report))
 
+(* ---------- request traces: store mechanics ---------- *)
+
+(* One synthetic finished trace of the given duration. *)
+let synthetic_trace store ~duration =
+  match Rt.begin_request store ~now:0.0 with
+  | None -> ()
+  | Some h ->
+      let _ =
+        Rt.add_span store h ~parent:(-1) ~kind:(Rt.Compute Rt.Service) ~node:0
+          ~start:0.0 ~stop:duration
+      in
+      Rt.finish store h ~now:duration
+
+let test_rtrace_reservoir_top_n () =
+  let store = Rt.create ~max_traces:3 () in
+  List.iter
+    (fun d -> synthetic_trace store ~duration:d)
+    [ 4.0; 1.0; 6.0; 3.0; 5.0; 2.0 ];
+  Alcotest.(check int) "all finished" 6 (Rt.finished store);
+  Alcotest.(check int) "evictions counted as dropped" 3 (Rt.dropped store);
+  Alcotest.(check (list (float 1e-12)))
+    "true top-3, slowest first" [ 6.0; 5.0; 4.0 ]
+    (List.map Rt.duration (Rt.exemplars store))
+
+let test_rtrace_sampling_deterministic () =
+  let sampled_set rate =
+    let store = Rt.create ~sample_rate:rate () in
+    List.filter_map
+      (fun _ -> Option.map Rt.trace_id (Rt.begin_request store ~now:0.0))
+      (List.init 400 Fun.id)
+  in
+  Alcotest.(check (list int)) "same rate, same sampled id set"
+    (sampled_set 0.35) (sampled_set 0.35);
+  let at_035 = List.length (sampled_set 0.35) in
+  Alcotest.(check bool)
+    (Printf.sprintf "rate 0.35 samples a strict subset (%d of 400)" at_035)
+    true
+    (at_035 > 0 && at_035 < 400);
+  Alcotest.(check int) "rate 0 samples nothing" 0 (List.length (sampled_set 0.0));
+  Alcotest.(check int) "rate 1 samples everything" 400
+    (List.length (sampled_set 1.0));
+  (* the decision is a pure function of the trace id *)
+  let store = Rt.create ~sample_rate:0.35 () in
+  List.iter
+    (fun id ->
+      Alcotest.(check bool)
+        (Printf.sprintf "would_sample %d stable" id)
+        (Rt.would_sample store id) (Rt.would_sample store id))
+    [ 0; 1; 17; 123456 ]
+
+let test_rtrace_span_overflow_drops () =
+  let store = Rt.create ~max_spans:2 () in
+  (match Rt.begin_request store ~now:0.0 with
+  | None -> Alcotest.fail "rate 1 must sample"
+  | Some h ->
+      let p = ref (-1) in
+      for i = 1 to 3 do
+        p :=
+          Rt.add_span store h ~parent:!p ~kind:(Rt.Compute Rt.Wreq) ~node:0
+            ~start:(float_of_int (i - 1))
+            ~stop:(float_of_int i)
+      done;
+      Rt.finish store h ~now:3.0);
+  Alcotest.(check int) "overflowing span discarded" 1 (Rt.dropped_spans store);
+  Alcotest.(check int) "poisoned trace dropped at finish" 1 (Rt.dropped store);
+  Alcotest.(check (list (float 0.0))) "not retained" []
+    (List.map Rt.duration (Rt.exemplars store))
+
+(* ---------- request traces: a simulated star run ---------- *)
+
+let traced_run ?(max_traces = 4) ?(clients = 8) () =
+  let platform, tree, s = observed_scenario () in
+  let registry = Registry.create () in
+  let store = Rt.create ~max_traces () in
+  let r =
+    Scenario.run_fixed ~registry ~rtrace:store s ~clients ~warmup:1.0
+      ~duration:2.0
+  in
+  (platform, tree, registry, store, r)
+
+let utilization_of registry =
+  match Registry.find registry Semconv.node_utilization_ratio with
+  | None -> []
+  | Some fam ->
+      List.filter_map
+        (fun (labels, value) ->
+          match
+            (Option.bind (Label.find labels Semconv.l_node) int_of_string_opt, value)
+          with
+          | Some id, Registry.Gauge u -> Some (id, u)
+          | _ -> None)
+        fam.Registry.series
+
+let test_rtrace_critical_path_tiles () =
+  let _, _, _, store, _ = traced_run () in
+  Alcotest.(check bool) "exemplars retained" true (Rt.exemplars store <> []);
+  List.iter
+    (fun tr ->
+      let cp = Rt.critical_path tr in
+      (match cp with
+      | [] -> Alcotest.fail "empty critical path"
+      | first :: _ ->
+          Alcotest.(check (float 0.0)) "chain starts at issue"
+            tr.Rt.tr_issued first.Rt.sp_start);
+      (* spans are recorded at completion from the same engine instants,
+         so adjacent segments must meet exactly — no tolerance *)
+      let rec tiles = function
+        | a :: (b :: _ as rest) ->
+            Alcotest.(check (float 0.0)) "adjacent segments meet" a.Rt.sp_stop
+              b.Rt.sp_start;
+            tiles rest
+        | [ last ] ->
+            Alcotest.(check (float 0.0)) "chain ends at completion"
+              tr.Rt.tr_finished last.Rt.sp_stop
+        | [] -> ()
+      in
+      tiles cp)
+    (Rt.exemplars store)
+
+let test_rtrace_attribution_matches_model () =
+  let platform, tree, registry, store, _ = traced_run () in
+  let wapp = Adept_workload.Dgemm.(mflops (make 200)) in
+  let predicted =
+    Adept.Evaluate.bottleneck_element params
+      ~bandwidth:(Platform.uniform_bandwidth platform) ~wapp tree
+  in
+  let attribution =
+    Attribution.build ~store ~tree ~utilization:(utilization_of registry)
+      ~predicted ()
+  in
+  Alcotest.(check bool) "service side predicted" true
+    (predicted.Adept.Evaluate.be_side = `Service);
+  Alcotest.(check (option bool)) "measurement confirms the model" (Some true)
+    (Attribution.matches attribution);
+  Alcotest.(check bool) "render carries the verdict" true
+    (Astring.String.is_infix ~affix:"verdict: MATCH"
+       (Attribution.render attribution))
+
+let test_rtrace_observation_only () =
+  let _, _, s = observed_scenario () in
+  let plain = Scenario.run_fixed s ~clients:8 ~warmup:1.0 ~duration:2.0 in
+  let traced =
+    Scenario.run_fixed ~rtrace:(Rt.create ()) s ~clients:8 ~warmup:1.0
+      ~duration:2.0
+  in
+  Alcotest.(check (float 0.0)) "throughput bit-identical" plain.Scenario.throughput
+    traced.Scenario.throughput;
+  Alcotest.(check int) "completions bit-identical" plain.Scenario.completed_total
+    traced.Scenario.completed_total;
+  Alcotest.(check (option (float 0.0))) "mean response bit-identical"
+    plain.Scenario.mean_response traced.Scenario.mean_response
+
+(* Satellite property: fault-free critical paths account for the whole
+   response, and no element is attributed more than the wall time. *)
+let prop_critical_path_accounts_response =
+  QCheck.Test.make ~count:20 ~name:"critical path sums to end-to-end response"
+    QCheck.(pair (int_range 1 1000) (int_range 2 10))
+    (fun (seed, clients) ->
+      let platform = star_platform 3 in
+      let tree = star_tree platform in
+      let job = Adept_workload.Job.of_dgemm (Adept_workload.Dgemm.make 200) in
+      let s =
+        Scenario.make ~seed ~params ~platform
+          ~client:(Adept_workload.Client.closed_loop job)
+          tree
+      in
+      let store = Rt.create ~max_traces:8 () in
+      let _ = Scenario.run_fixed ~rtrace:store s ~clients ~warmup:0.5 ~duration:1.0 in
+      Rt.exemplars store <> []
+      && List.for_all
+           (fun tr ->
+             let wall = Rt.duration tr in
+             let sum =
+               List.fold_left
+                 (fun acc sp -> acc +. (sp.Rt.sp_stop -. sp.Rt.sp_start))
+                 0.0 (Rt.critical_path tr)
+             in
+             Float.abs (sum -. wall) <= 1e-9 *. Float.max 1.0 wall
+             && List.for_all
+                  (fun share ->
+                    Critical_path.seconds share <= wall *. (1.0 +. 1e-9))
+                  (Critical_path.by_element tr))
+           (Rt.exemplars store))
+
 (* ---------- golden Prometheus export ----------
 
    The Prometheus text export of a fixed-seed star run is pinned
@@ -381,12 +568,53 @@ let test_golden_prometheus () =
   Alcotest.(check string) "matches golden file"
     (read_golden "golden/observe_star.prom") got
 
+(* The Chrome trace-event JSON and utilization-heat DOT of the same
+   fixed-seed star run, pinned byte-for-byte.  Regenerate with
+     OBS_GOLDEN_TRACE_DIR=test/golden dune exec test/test_obs.exe *)
+
+let golden_trace_exports () =
+  let platform, tree, registry, store, _ = traced_run () in
+  let wapp = Adept_workload.Dgemm.(mflops (make 200)) in
+  let predicted =
+    Adept.Evaluate.bottleneck_element params
+      ~bandwidth:(Platform.uniform_bandwidth platform) ~wapp tree
+  in
+  let attribution =
+    Attribution.build ~store ~tree ~utilization:(utilization_of registry)
+      ~predicted ()
+  in
+  (Export.chrome_trace store, Attribution.heat_dot attribution ~tree)
+
+let test_golden_trace_exports () =
+  let chrome, dot = golden_trace_exports () in
+  let chrome', dot' = golden_trace_exports () in
+  Alcotest.(check string) "chrome byte-identical across runs" chrome chrome';
+  Alcotest.(check string) "heat dot byte-identical across runs" dot dot';
+  Alcotest.(check string) "chrome matches golden"
+    (read_golden "golden/trace_star.json") chrome;
+  Alcotest.(check string) "heat dot matches golden"
+    (read_golden "golden/trace_star_heat.dot") dot
+
 let () =
   match Sys.getenv_opt "OBS_GOLDEN_OUT" with
   | Some path ->
       Out_channel.with_open_bin path (fun oc ->
           Out_channel.output_string oc (golden_export ()));
       Printf.printf "regenerated %s\n" path;
+      exit 0
+  | None -> ()
+
+let () =
+  match Sys.getenv_opt "OBS_GOLDEN_TRACE_DIR" with
+  | Some dir ->
+      let chrome, dot = golden_trace_exports () in
+      List.iter
+        (fun (name, text) ->
+          let path = Filename.concat dir name in
+          Out_channel.with_open_bin path (fun oc ->
+              Out_channel.output_string oc text);
+          Printf.printf "regenerated %s\n" path)
+        [ ("trace_star.json", chrome); ("trace_star_heat.dot", dot) ];
       exit 0
   | None -> ()
 
@@ -435,13 +663,31 @@ let () =
             test_scenario_obs_counters_consistent;
           Alcotest.test_case "report low deviation" `Quick test_report_low_deviation;
         ] );
+      ( "request-trace",
+        [
+          Alcotest.test_case "reservoir keeps true top-N" `Quick
+            test_rtrace_reservoir_top_n;
+          Alcotest.test_case "sampling deterministic" `Quick
+            test_rtrace_sampling_deterministic;
+          Alcotest.test_case "span overflow drops" `Quick
+            test_rtrace_span_overflow_drops;
+          Alcotest.test_case "critical path tiles" `Quick
+            test_rtrace_critical_path_tiles;
+          Alcotest.test_case "attribution matches model" `Quick
+            test_rtrace_attribution_matches_model;
+          Alcotest.test_case "observation-only" `Quick test_rtrace_observation_only;
+        ] );
       ( "golden",
-        [ Alcotest.test_case "prometheus export" `Quick test_golden_prometheus ] );
+        [
+          Alcotest.test_case "prometheus export" `Quick test_golden_prometheus;
+          Alcotest.test_case "trace exports" `Quick test_golden_trace_exports;
+        ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
           [
             prop_histogram_quantile_bound;
             prop_histogram_merge_is_concat;
             prop_histogram_merge_commutes;
+            prop_critical_path_accounts_response;
           ] );
     ]

@@ -727,6 +727,32 @@ let test_scenario_empty_faults_bit_identical () =
   let _, _, _, _, _, failures = f0 in
   Alcotest.(check int) "no failure events" 0 (List.length failures)
 
+let test_scenario_rtrace_rate_zero_bit_identical () =
+  (* the ISSUE's determinism regression, extended to request tracing: a
+     run with no trace store, one with a rate-0 store and one with a
+     rate-1 store must replay the exact same event stream — tracing is
+     observation-only *)
+  let run rtrace =
+    let s = fault_scenario ~seed:5 () in
+    let trace = Trace.create () in
+    let r = Scenario.run_fixed ~trace ?rtrace s ~clients:12 ~warmup:0.5 ~duration:2.0 in
+    (r.Scenario.throughput, r.Scenario.completed_total, r.Scenario.issued_total,
+     r.Scenario.mean_response, trace_fingerprint trace)
+  in
+  let off = Adept_obs.Request_trace.create ~sample_rate:0.0 () in
+  let on = Adept_obs.Request_trace.create ~sample_rate:1.0 () in
+  let plain = run None in
+  Alcotest.(check bool) "rate 0 bit-identical to no store" true
+    (run (Some off) = plain);
+  Alcotest.(check bool) "rate 1 bit-identical to no store" true
+    (run (Some on) = plain);
+  Alcotest.(check int) "rate 0 sampled nothing" 0
+    (Adept_obs.Request_trace.sampled off);
+  Alcotest.(check bool) "rate 0 still assigned ids" true
+    (Adept_obs.Request_trace.requests_seen off > 0);
+  Alcotest.(check bool) "rate 1 finished traces" true
+    (Adept_obs.Request_trace.finished on > 0)
+
 let test_scenario_fault_run_deterministic () =
   (* same non-trivial fault schedule + same seed => identical everything,
      including the message-loss stream *)
@@ -1102,6 +1128,8 @@ let () =
             test_faults_seeded_crashes_deterministic;
           Alcotest.test_case "empty schedule bit-identical" `Quick
             test_scenario_empty_faults_bit_identical;
+          Alcotest.test_case "rtrace rate 0 bit-identical" `Quick
+            test_scenario_rtrace_rate_zero_bit_identical;
           Alcotest.test_case "fault run deterministic" `Quick
             test_scenario_fault_run_deterministic;
           Alcotest.test_case "crash metrics non-zero" `Quick
