@@ -204,6 +204,33 @@ let bench_traced =
            (Adept_sim.Scenario.run_fixed ~registry ~rtrace scenario ~clients:10
               ~warmup:0.5 ~duration:1.0)))
 
+let bench_scrape =
+  (* the monitor's per-tick cost at dashboard scale: one scrape of a
+     registry holding ~1k series into a time-series store watching 16 of
+     them — what `adept monitor --scrape-interval` pays 4×/simulated
+     second.  Setup (registry population) is outside the staged thunk. *)
+  let registry = Adept_obs.Registry.create () in
+  for shard = 0 to 999 do
+    let g =
+      Adept_obs.Registry.gauge registry
+        ~labels:(Adept_obs.Label.v [ ("shard", string_of_int shard) ])
+        "adept_bench_gauge"
+    in
+    Adept_obs.Gauge.set g (float_of_int shard)
+  done;
+  let selectors =
+    List.init 16 (fun i ->
+        Adept_obs.Rule.selector
+          ~labels:(Adept_obs.Label.v [ ("shard", string_of_int (i * 61)) ])
+          "adept_bench_gauge")
+  in
+  let store = Adept_obs.Timeseries.create ~retention:10.0 selectors in
+  let now = ref 0.0 in
+  Bechamel.Test.make ~name:"obs/scrape-1k-series"
+    (Bechamel.Staged.stage (fun () ->
+         now := !now +. 0.25;
+         Adept_obs.Timeseries.scrape store ~registry ~now:!now))
+
 (* The ring-buffer payoff behind Run_stats.completions_in: the loop a
    controller run performs — a steady completion stream with a sliding
    window query every 100 completions.  The naive twin is the pre-ring
@@ -353,7 +380,7 @@ let run_micro () =
       [
         bench_table3; bench_fig2_3; bench_fig4_5; bench_table4; bench_fig6;
         bench_fig7; bench_fault_sweep; bench_self_heal; bench_traced;
-        bench_plan_2000; bench_window_ring; bench_window_naive;
+        bench_scrape; bench_plan_2000; bench_window_ring; bench_window_naive;
         bench_event_queue; bench_xml;
       ]
   in

@@ -8,6 +8,7 @@
      simulate   measure a deployment in the discrete-event simulator
      observe    instrumented run + model-vs-measured report / exports
      trace      per-request causal traces, critical-path attribution
+     monitor    continuous monitoring: scrapes, alert rules, model drift
      experiment run paper reproductions by id
      bench-node measure this machine's MFlop/s (Linpack mini-benchmark)  *)
 
@@ -657,6 +658,372 @@ let trace_cmd =
           $ clients $ warmup $ duration $ sample_rate $ slowest $ chrome_out
           $ dot_out $ assert_match)
 
+(* ---------- monitor ---------- *)
+
+(* "NODE:AT" or "NODE:AT:RECOVER" -> (node, at, recover_at option) *)
+let parse_crash spec =
+  let fail () = exit_err ("--crash expects NODE:AT[:RECOVER], got " ^ spec) in
+  let int_ s = match int_of_string_opt s with Some v -> v | None -> fail () in
+  let float_ s =
+    match float_of_string_opt s with Some v -> v | None -> fail ()
+  in
+  match String.split_on_char ':' spec with
+  | [ node; at ] -> (int_ node, float_ at, None)
+  | [ node; at; recover ] -> (int_ node, float_ at, Some (float_ recover))
+  | _ -> fail ()
+
+let monitor_cmd =
+  let run file n power bandwidth hetero seed dgemm demand strategy clients warmup
+      duration scrape_interval retention rules_file crashes crash_rate mttr drop
+      fault_seed
+      timeout service_timeout retries backoff patience self_heal degrade_threshold
+      sample_period window hold_time cooldown max_replans drift_tolerance
+      drift_hold rule_window timeline_out alerts_out html_out =
+    if scrape_interval < 0.0 then exit_err "--scrape-interval must be >= 0";
+    if crash_rate < 0.0 then exit_err "--crash-rate must be >= 0";
+    if not (drop >= 0.0 && drop < 1.0) then exit_err "--drop must be in [0, 1)";
+    if mttr <= 0.0 then exit_err "--mttr must be > 0";
+    let platform = build_platform file n power bandwidth hetero seed in
+    let wapp = Adept_workload.Dgemm.(mflops (make dgemm)) in
+    let strategy =
+      match Adept.Planner.strategy_of_string strategy with
+      | Ok s -> s
+      | Error e -> exit_error e
+    in
+    let crashes = List.map parse_crash crashes in
+    match
+      Adept.Planner.run strategy params ~platform ~wapp ~demand:(demand_of demand)
+    with
+    | Error e -> exit_error e
+    | Ok plan ->
+        let tree = plan.Adept.Planner.tree in
+        Format.printf "%a@." Adept.Planner.pp_plan plan;
+        let root = Adept_platform.Node.id (Adept_hierarchy.Tree.root_node tree) in
+        let deployed =
+          List.map Adept_platform.Node.id (Adept_hierarchy.Tree.nodes tree)
+        in
+        List.iter
+          (fun (node, _, _) ->
+            if node = root then exit_err "--crash: cannot crash the root agent";
+            if not (List.mem node deployed) then
+              exit_err
+                (Printf.sprintf "--crash: node %d is not part of the deployment"
+                   node))
+          crashes;
+        let job = Adept_workload.Job.of_dgemm (Adept_workload.Dgemm.make dgemm) in
+        let faults =
+          if crashes = [] && crash_rate <= 0.0 && drop <= 0.0 then
+            Adept_sim.Faults.none
+          else begin
+            let f =
+              match
+                Adept_sim.Faults.make ~timeout ~service_timeout
+                  ~max_retries:retries ~backoff ~patience ()
+              with
+              | Ok f -> f
+              | Error e -> exit_error e
+            in
+            let f =
+              List.fold_left
+                (fun f (node, at, recover_at) ->
+                  match Adept_sim.Faults.crash ?recover_at ~node ~at f with
+                  | f -> f
+                  | exception Invalid_argument m -> exit_err m)
+                f crashes
+            in
+            let f =
+              if crash_rate > 0.0 then
+                let crashable = List.filter (fun id -> id <> root) deployed in
+                Adept_sim.Faults.seeded_crashes
+                  ~rng:(Adept_util.Rng.create fault_seed)
+                  ~nodes:crashable ~rate:crash_rate ~mttr
+                  ~horizon:(warmup +. duration) f
+              else f
+            in
+            if drop > 0.0 then
+              Adept_sim.Faults.with_message_loss ~probability:drop ~seed:fault_seed f
+            else f
+          end
+        in
+        let controller =
+          match self_heal with
+          | None -> None
+          | Some policy_name -> (
+              let policy =
+                match policy_name with
+                | "off" -> Adept_sim.Controller.Off
+                | "eager" -> Adept_sim.Controller.Eager
+                | "hysteresis" -> Adept_sim.Controller.Hysteresis
+                | other ->
+                    exit_err
+                      ("--self-heal must be off, eager or hysteresis, got " ^ other)
+              in
+              match
+                Adept_sim.Controller.config ~strategy ~sample_period ~window
+                  ~threshold:degrade_threshold ~hold_time ~cooldown ~max_replans
+                  policy
+              with
+              | Ok cfg -> Some cfg
+              | Error e -> exit_error e)
+        in
+        let rules =
+          let model =
+            Adept_sim.Monitor.model_rules ~tolerance:drift_tolerance
+              ~hold:drift_hold ~window:rule_window ~params ~wapp tree
+          in
+          let extra =
+            match rules_file with
+            | None -> []
+            | Some path -> (
+                let text =
+                  match In_channel.with_open_text path In_channel.input_all with
+                  | t -> t
+                  | exception Sys_error e -> exit_err e
+                in
+                match Adept_obs.Rule.parse text with
+                | Ok rs -> rs
+                | Error m -> exit_err ("cannot parse " ^ path ^ ": " ^ m))
+          in
+          model @ extra
+        in
+        let monitor =
+          match
+            Adept_sim.Monitor.create ~interval:scrape_interval ?retention
+              ~selectors:(Adept_sim.Monitor.default_selectors tree)
+              rules
+          with
+          | Ok m -> m
+          | Error e -> exit_error e
+        in
+        let scenario =
+          Adept_sim.Scenario.make ~faults ?controller
+            ~demand:(demand_of demand) ~seed ~params ~platform
+            ~client:(Adept_workload.Client.closed_loop job)
+            tree
+        in
+        let r = Adept_sim.Scenario.run_fixed ~monitor scenario ~clients ~warmup ~duration in
+        Printf.printf
+          "simulated: %d clients -> %.2f req/s (model %.2f), %d completed, %d lost\n"
+          clients r.Adept_sim.Scenario.throughput plan.Adept.Planner.predicted_rho
+          r.Adept_sim.Scenario.completed_total r.Adept_sim.Scenario.lost_total;
+        let alerts = Adept_sim.Monitor.alerts monitor in
+        let transitions = Adept_obs.Alert.transitions alerts in
+        Printf.printf "monitor: %d scrape(s) at %gs intervals, %d rule(s), %d \
+                       alert transition(s)\n"
+          (Adept_sim.Monitor.scrapes monitor)
+          scrape_interval (List.length rules) (List.length transitions);
+        List.iter
+          (fun (tr : Adept_obs.Alert.transition) ->
+            Printf.printf "  %8.3fs %-8s %s (%s)%s\n" tr.Adept_obs.Alert.at
+              (match tr.Adept_obs.Alert.edge with
+              | Adept_obs.Alert.To_pending -> "pending"
+              | Adept_obs.Alert.To_firing -> "FIRING"
+              | Adept_obs.Alert.To_resolved -> "resolved")
+              tr.Adept_obs.Alert.rule.Adept_obs.Rule.name
+              (Adept_obs.Rule.severity_name
+                 tr.Adept_obs.Alert.rule.Adept_obs.Rule.severity)
+              (if Float.is_nan tr.Adept_obs.Alert.value then ""
+               else Printf.sprintf ", value %.3f" tr.Adept_obs.Alert.value))
+          transitions;
+        (match Adept_obs.Alert.firing_names alerts with
+        | [] -> ()
+        | names ->
+            Printf.printf "still firing at end of run: %s\n"
+              (String.concat ", " names));
+        if not (Adept_sim.Faults.is_none faults) then begin
+          let f = r.Adept_sim.Scenario.faults in
+          Printf.printf
+            "faults: %d crash(es), %d recovery(ies), %d message(s) lost, %d \
+             timeout(s), %d request(s) abandoned\n"
+            f.Adept_sim.Middleware.crashes f.Adept_sim.Middleware.recoveries
+            f.Adept_sim.Middleware.messages_lost f.Adept_sim.Middleware.timeouts
+            f.Adept_sim.Middleware.abandoned
+        end;
+        if controller <> None then begin
+          Printf.printf
+            "self-heal: %d replan(s) enacted, %.2fs degraded, %d request(s) \
+             lost mid-migration\n"
+            (List.length r.Adept_sim.Scenario.replans)
+            r.Adept_sim.Scenario.degraded_seconds
+            r.Adept_sim.Scenario.migration_lost;
+          List.iter
+            (fun record ->
+              Format.printf "  %a@." Adept_sim.Controller.pp_record record)
+            r.Adept_sim.Scenario.replans
+        end;
+        let write path text =
+          Out_channel.with_open_text path (fun oc ->
+              Out_channel.output_string oc text)
+        in
+        Option.iter
+          (fun path ->
+            write path (Adept_obs.Export.alert_timeline_jsonl alerts);
+            Printf.printf "wrote alert timeline to %s\n" path)
+          timeline_out;
+        Option.iter
+          (fun path ->
+            write path (Adept_obs.Export.alerts_prom alerts);
+            Printf.printf "wrote ALERTS samples to %s\n" path)
+          alerts_out;
+        Option.iter
+          (fun path ->
+            write path
+              (Adept_obs.Dashboard.render
+                 ~timeseries:(Adept_sim.Monitor.timeseries monitor)
+                 ~alerts
+                 (Adept_sim.Monitor.default_panels tree ~window:rule_window));
+            Printf.printf "wrote dashboard to %s\n" path)
+          html_out
+  in
+  let clients =
+    Arg.(value & opt int 100 & info [ "clients" ] ~docv:"N"
+           ~doc:"Closed-loop client population.")
+  in
+  let warmup =
+    Arg.(value & opt float 2.0 & info [ "warmup" ] ~docv:"SECONDS"
+           ~doc:"Simulated warm-up before measurement.")
+  in
+  let duration =
+    Arg.(value & opt float 4.0 & info [ "duration" ] ~docv:"SECONDS"
+           ~doc:"Simulated measurement window.")
+  in
+  let scrape_interval =
+    Arg.(value & opt float 0.25 & info [ "scrape-interval" ] ~docv:"SECONDS"
+           ~doc:"Seconds between registry scrapes and alert evaluations \
+                 (0 disables the monitor).")
+  in
+  let retention =
+    Arg.(value & opt (some float) None & info [ "retention" ] ~docv:"SECONDS"
+           ~doc:"Time-series retention window (default: sized from the \
+                 longest rule window; set to the run length to keep every \
+                 scrape for the dashboard).")
+  in
+  let rules_file =
+    Arg.(value & opt (some string) None & info [ "rules" ] ~docv:"FILE"
+           ~doc:"Alert-rule file evaluated alongside the built-in model rules \
+                 (one rule per line; see the OBSERVABILITY notes for the \
+                 grammar).")
+  in
+  let crashes =
+    Arg.(value & opt_all string [] & info [ "crash" ] ~docv:"NODE:AT[:RECOVER]"
+           ~doc:"Crash a specific node at a specific simulated time, with an \
+                 optional recovery time (repeatable; deterministic, unlike \
+                 --crash-rate).")
+  in
+  let crash_rate =
+    Arg.(value & opt float 0.0 & info [ "crash-rate" ] ~docv:"RATE"
+           ~doc:"Fault injection: crashes per non-root node per simulated \
+                 second (Poisson; 0 disables).")
+  in
+  let mttr =
+    Arg.(value & opt float 2.0 & info [ "mttr" ] ~docv:"SECONDS"
+           ~doc:"Fault injection: mean time to repair after a crash.")
+  in
+  let drop =
+    Arg.(value & opt float 0.0 & info [ "drop" ] ~docv:"PROB"
+           ~doc:"Fault injection: per-message loss probability (0 disables).")
+  in
+  let fault_seed =
+    Arg.(value & opt int 7 & info [ "fault-seed" ] ~docv:"SEED"
+           ~doc:"Seed for the crash schedule and message-loss stream.")
+  in
+  let timeout =
+    Arg.(value & opt float 0.5 & info [ "timeout" ] ~docv:"SECONDS"
+           ~doc:"Fault reaction: client-side scheduling round-trip timeout.")
+  in
+  let service_timeout =
+    Arg.(value & opt float 5.0 & info [ "service-timeout" ] ~docv:"SECONDS"
+           ~doc:"Fault reaction: client-side service-phase timeout.")
+  in
+  let retries =
+    Arg.(value & opt int 3 & info [ "retries" ] ~docv:"N"
+           ~doc:"Fault reaction: scheduling retries after the first attempt.")
+  in
+  let backoff =
+    Arg.(value & opt float 2.0 & info [ "backoff" ] ~docv:"FACTOR"
+           ~doc:"Fault reaction: timeout multiplier per retry (>= 1).")
+  in
+  let patience =
+    Arg.(value & opt float 0.25 & info [ "patience" ] ~docv:"SECONDS"
+           ~doc:"Fault reaction: agent-side wait for child replies.")
+  in
+  let self_heal =
+    Arg.(value & opt (some string) None & info [ "self-heal" ] ~docv:"POLICY"
+           ~doc:"Attach the online redeployment controller: off (monitor \
+                 only), eager, or hysteresis.  Enacted replans cite the \
+                 alerts firing at trigger time.")
+  in
+  let degrade_threshold =
+    Arg.(value & opt float 0.5 & info [ "degrade-threshold" ] ~docv:"FRACTION"
+           ~doc:"Self-heal: degraded when observed throughput falls below \
+                 this fraction of the model's rho.")
+  in
+  let sample_period =
+    Arg.(value & opt float 0.5 & info [ "sample-period" ] ~docv:"SECONDS"
+           ~doc:"Self-heal: seconds between controller throughput samples.")
+  in
+  let window =
+    Arg.(value & opt float 2.0 & info [ "window" ] ~docv:"SECONDS"
+           ~doc:"Self-heal: sliding throughput measurement window.")
+  in
+  let hold_time =
+    Arg.(value & opt float 1.0 & info [ "hold-time" ] ~docv:"SECONDS"
+           ~doc:"Self-heal: sustained degradation before a hysteresis \
+                 trigger.")
+  in
+  let cooldown =
+    Arg.(value & opt float 5.0 & info [ "cooldown" ] ~docv:"SECONDS"
+           ~doc:"Self-heal: minimum time between enacted replans \
+                 (hysteresis).")
+  in
+  let max_replans =
+    Arg.(value & opt int 3 & info [ "max-replans" ] ~docv:"N"
+           ~doc:"Self-heal: replan budget for the whole run.")
+  in
+  let drift_tolerance =
+    Arg.(value & opt float 0.25 & info [ "drift-tolerance" ] ~docv:"FRACTION"
+           ~doc:"model-drift rule: relative deviation of measured throughput \
+                 from the Eq. 16 prediction that counts as drift.")
+  in
+  let drift_hold =
+    Arg.(value & opt float 1.0 & info [ "drift-hold" ] ~docv:"SECONDS"
+           ~doc:"Built-in rules: how long a deviation must hold before the \
+                 alert fires (Prometheus for: semantics).")
+  in
+  let rule_window =
+    Arg.(value & opt float 2.0 & info [ "rule-window" ] ~docv:"SECONDS"
+           ~doc:"Built-in rules: trailing measurement window for rates and \
+                 means.")
+  in
+  let timeline_out =
+    Arg.(value & opt (some string) None & info [ "timeline" ] ~docv:"FILE"
+           ~doc:"Export the chronological alert timeline as JSON lines \
+                 (deterministic; golden-diffed in CI).")
+  in
+  let alerts_out =
+    Arg.(value & opt (some string) None & info [ "alerts-prom" ] ~docv:"FILE"
+           ~doc:"Export the alert transitions as Prometheus ALERTS-style \
+                 samples.")
+  in
+  let html_out =
+    Arg.(value & opt (some string) None & info [ "html" ] ~docv:"FILE"
+           ~doc:"Write a self-contained static HTML dashboard (inline SVG \
+                 sparklines, alert bands, no JavaScript).")
+  in
+  Cmd.v
+    (Cmd.info "monitor"
+       ~doc:"Run under continuous monitoring: scrapes, alert rules, \
+             model-drift detection")
+    Term.(const run $ platform_file $ nodes_arg $ power_arg $ bandwidth_arg
+          $ hetero_arg $ seed_arg $ dgemm_arg $ demand_arg $ strategy_arg
+          $ clients $ warmup $ duration $ scrape_interval $ retention
+          $ rules_file $ crashes
+          $ crash_rate $ mttr $ drop $ fault_seed $ timeout $ service_timeout
+          $ retries $ backoff $ patience $ self_heal $ degrade_threshold
+          $ sample_period $ window $ hold_time $ cooldown $ max_replans
+          $ drift_tolerance $ drift_hold $ rule_window $ timeline_out
+          $ alerts_out $ html_out)
+
 (* ---------- replan ---------- *)
 
 let replan_cmd =
@@ -931,8 +1298,8 @@ let main =
     (Cmd.info "adept" ~version:"1.0.0" ~doc)
     [
       platform_cmd; plan_cmd; eval_cmd; simulate_cmd; observe_cmd; trace_cmd;
-      replan_cmd; compare_cmd; improve_cmd; latency_cmd; experiment_cmd;
-      bench_node_cmd;
+      monitor_cmd; replan_cmd; compare_cmd; improve_cmd; latency_cmd;
+      experiment_cmd; bench_node_cmd;
     ]
 
 let () = exit (Cmd.eval main)

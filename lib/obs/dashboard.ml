@@ -1,0 +1,214 @@
+type panel = { title : string; unit_ : string; series : (string * Rule.expr) list }
+
+let panel ?(unit_ = "") title series = { title; unit_; series }
+
+(* Plot geometry (viewBox units): a fixed frame so documents from
+   different runs line up and the golden test can pin structure. *)
+let vw = 720.
+let vh = 170.
+let px0 = 10.
+let px1 = 640.
+let py0 = 12.
+let py1 = 120.
+
+let palette =
+  [| "#1f77b4"; "#d62728"; "#2ca02c"; "#9467bd"; "#ff7f0e"; "#8c564b" |]
+
+let html_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let coord v = Printf.sprintf "%.2f" v
+
+let short v =
+  if Float.is_nan v then "-"
+  else if Float.is_integer v && Float.abs v < 1e9 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.4g" v
+
+let style =
+  {|<style>
+body { font-family: monospace; margin: 1.2em; background: #fff; color: #222; }
+h1 { font-size: 1.2em; } h2 { font-size: 1em; margin: 0 0 .2em 0; }
+.unit { color: #777; font-weight: normal; }
+.panel { margin-bottom: 1.2em; }
+table { border-collapse: collapse; margin-top: .4em; }
+td, th { border: 1px solid #ccc; padding: .2em .6em; text-align: left; }
+.sev-critical { color: #d62728; } .sev-warning { color: #b8860b; }
+.sev-info { color: #1f77b4; }
+.state-firing { color: #d62728; font-weight: bold; }
+.state-pending { color: #b8860b; } .state-inactive { color: #777; }
+</style>
+|}
+
+let render_panel buf ~timeseries ~xs ~xmin ~xspan ~bands p =
+  Buffer.add_string buf
+    (Printf.sprintf "<div class=\"panel\"><h2>%s%s</h2>\n"
+       (html_escape p.title)
+       (if p.unit_ = "" then ""
+        else
+          Printf.sprintf " <span class=\"unit\">(%s)</span>"
+            (html_escape p.unit_)));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<svg viewBox=\"0 0 %s %s\" width=\"%s\" height=\"%s\" role=\"img\">\n"
+       (coord vw) (coord vh) (coord vw) (coord vh));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<rect x=\"%s\" y=\"%s\" width=\"%s\" height=\"%s\" fill=\"#fafafa\" \
+        stroke=\"#ccc\"/>\n"
+       (coord px0) (coord py0)
+       (coord (px1 -. px0))
+       (coord (py1 -. py0)));
+  let x_of t = px0 +. ((t -. xmin) /. xspan *. (px1 -. px0)) in
+  (* translucent alert bands under the data *)
+  List.iter
+    (fun (fired, resolved) ->
+      let xa = Float.max px0 (x_of fired) in
+      let xb = Float.min px1 (x_of resolved) in
+      if xb > xa then
+        Buffer.add_string buf
+          (Printf.sprintf
+             "<rect class=\"alert-band\" x=\"%s\" y=\"%s\" width=\"%s\" \
+              height=\"%s\" fill=\"#d62728\" fill-opacity=\"0.12\"/>\n"
+             (coord xa) (coord py0)
+             (coord (xb -. xa))
+             (coord (py1 -. py0))))
+    bands;
+  (* evaluate every series over the scrape instants; share one y range *)
+  let evaluated =
+    List.map
+      (fun (legend, expr) ->
+        let pts =
+          List.filter_map
+            (fun x ->
+              match Timeseries.eval timeseries ~now:x expr with
+              | Some v when (not (Float.is_nan v)) && Float.abs v < infinity ->
+                  Some (x, v)
+              | _ -> None)
+            xs
+        in
+        (legend, pts))
+      p.series
+  in
+  let ymin, ymax =
+    List.fold_left
+      (fun (lo, hi) (_, pts) ->
+        List.fold_left
+          (fun (lo, hi) (_, v) -> (Float.min lo v, Float.max hi v))
+          (lo, hi) pts)
+      (infinity, neg_infinity) evaluated
+  in
+  let ymin = if ymin = infinity then 0. else Float.min ymin 0. in
+  let ymax = if ymax = neg_infinity then 1. else ymax in
+  let yspan = if ymax -. ymin > 0. then ymax -. ymin else 1. in
+  let y_of v = py1 -. ((v -. ymin) /. yspan *. (py1 -. py0)) in
+  List.iteri
+    (fun i (_, pts) ->
+      if pts <> [] then begin
+        let color = palette.(i mod Array.length palette) in
+        let points =
+          List.map (fun (x, v) -> coord (x_of x) ^ "," ^ coord (y_of v)) pts
+          |> String.concat " "
+        in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "<polyline fill=\"none\" stroke=\"%s\" stroke-width=\"1.5\" \
+              points=\"%s\"/>\n"
+             color points)
+      end)
+    evaluated;
+  (* y-range labels and a per-series legend with last values *)
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<text x=\"%s\" y=\"%s\" font-size=\"10\" fill=\"#777\">%s</text>\n"
+       (coord (px1 +. 6.)) (coord (py0 +. 8.)) (short ymax));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<text x=\"%s\" y=\"%s\" font-size=\"10\" fill=\"#777\">%s</text>\n"
+       (coord (px1 +. 6.)) (coord py1) (short ymin));
+  List.iteri
+    (fun i (legend, pts) ->
+      let color = palette.(i mod Array.length palette) in
+      let last =
+        match List.rev pts with (_, v) :: _ -> short v | [] -> "-"
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<text x=\"%s\" y=\"%s\" font-size=\"10\" fill=\"%s\">%s = %s</text>\n"
+           (coord (px0 +. (float_of_int i *. 160.)))
+           (coord (py1 +. 14.))
+           color (html_escape legend) last))
+    evaluated;
+  Buffer.add_string buf "</svg></div>\n"
+
+let alert_table buf alerts =
+  Buffer.add_string buf "<h2>alerts</h2>\n<table class=\"alerts\">\n";
+  Buffer.add_string buf
+    "<tr><th>rule</th><th>severity</th><th>state</th><th>since</th>\
+     <th>transitions</th></tr>\n";
+  let count_transitions name =
+    List.length
+      (List.filter
+         (fun (tr : Alert.transition) -> tr.Alert.rule.Rule.name = name)
+         (Alert.transitions alerts))
+  in
+  List.iter
+    (fun ((rule : Rule.t), state) ->
+      let state_name, since =
+        match (state : Alert.state) with
+        | Alert.Inactive -> ("inactive", "-")
+        | Alert.Pending s -> ("pending", short s)
+        | Alert.Firing s -> ("firing", short s)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<tr><td>%s</td><td class=\"sev-%s\">%s</td><td \
+            class=\"state-%s\">%s</td><td>%s</td><td>%d</td></tr>\n"
+           (html_escape rule.Rule.name)
+           (Rule.severity_name rule.Rule.severity)
+           (Rule.severity_name rule.Rule.severity)
+           state_name state_name since
+           (count_transitions rule.Rule.name)))
+    (Alert.states alerts);
+  Buffer.add_string buf "</table>\n"
+
+let render ?(title = "adept monitor") ~timeseries ?alerts panels =
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\"/>\n";
+  Buffer.add_string buf
+    (Printf.sprintf "<title>%s</title>\n" (html_escape title));
+  Buffer.add_string buf style;
+  Buffer.add_string buf "</head><body>\n";
+  Buffer.add_string buf (Printf.sprintf "<h1>%s</h1>\n" (html_escape title));
+  let xs = Timeseries.scrape_times timeseries in
+  (match xs with
+  | [] -> Buffer.add_string buf "<p>no scrapes recorded</p>\n"
+  | x0 :: _ ->
+      let xmin = x0 in
+      let xmax = List.fold_left Float.max xmin xs in
+      let xspan = if xmax -. xmin > 0. then xmax -. xmin else 1. in
+      let bands =
+        match alerts with
+        | None -> []
+        | Some a ->
+            List.map
+              (fun (_, fired, resolved) ->
+                (fired, Option.value resolved ~default:xmax))
+              (Alert.firing_intervals a)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "<p>%d scrapes over [%s, %s] s</p>\n" (List.length xs)
+           (short xmin) (short xmax));
+      List.iter (render_panel buf ~timeseries ~xs ~xmin ~xspan ~bands) panels);
+  (match alerts with None -> () | Some a -> alert_table buf a);
+  Buffer.add_string buf "</body></html>\n";
+  Buffer.contents buf

@@ -1,0 +1,23 @@
+(** A self-contained static HTML dashboard.
+
+    Panels of sparklines are rendered as inline SVG polylines — no
+    JavaScript, no external stylesheets, fonts or images — so the
+    emitted document is a single portable artifact (CI uploads it
+    as-is).  Each panel evaluates a set of {!Rule.expr} series at every
+    retained scrape instant of a {!Timeseries} store; when an {!Alert}
+    engine is supplied, its firing intervals are drawn as translucent
+    bands across every panel and its current states listed in a table.
+
+    Rendering is deterministic: identical stores produce byte-identical
+    documents (relied on by the structural golden test). *)
+
+type panel
+
+val panel : ?unit_:string -> string -> (string * Rule.expr) list -> panel
+(** [panel ?unit_ title series] — [series] pairs a legend string with
+    the expression to plot. *)
+
+val render :
+  ?title:string -> timeseries:Timeseries.t -> ?alerts:Alert.t ->
+  panel list -> string
+(** The complete HTML document. *)

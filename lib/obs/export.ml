@@ -172,6 +172,55 @@ let tracer_jsonl tracer =
     (Tracer.items tracer);
   Buffer.contents buf
 
+let alert_timeline_jsonl alerts =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (tr : Alert.transition) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"at\":%s,\"alert\":%s,\"severity\":%s,\"state\":%s,\"value\":%s}\n"
+           (json_float tr.Alert.at)
+           (Label.json_string tr.Alert.rule.Rule.name)
+           (Label.json_string (Rule.severity_name tr.Alert.rule.Rule.severity))
+           (Label.json_string
+              (match tr.Alert.edge with
+              | Alert.To_pending -> "pending"
+              | Alert.To_firing -> "firing"
+              | Alert.To_resolved -> "resolved"))
+           (json_float tr.Alert.value)))
+    (Alert.transitions alerts);
+  Buffer.contents buf
+
+let alerts_prom alerts =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "# HELP %s %s\n# TYPE %s gauge\n" Semconv.alerts_series
+       (escape_help (Semconv.help Semconv.alerts_series))
+       Semconv.alerts_series);
+  let sample ~at ~state ~value (rule : Rule.t) =
+    Buffer.add_string buf
+      (Printf.sprintf "%s%s %d %.0f\n" Semconv.alerts_series
+         (Label.to_prometheus
+            (Label.v
+               [
+                 (Semconv.l_alertname, rule.Rule.name);
+                 (Semconv.l_alertstate, state);
+                 (Semconv.l_severity, Rule.severity_name rule.Rule.severity);
+               ]))
+         value (at *. 1000.))
+  in
+  List.iter
+    (fun (tr : Alert.transition) ->
+      match tr.Alert.edge with
+      | Alert.To_pending ->
+          sample ~at:tr.Alert.at ~state:"pending" ~value:1 tr.Alert.rule
+      | Alert.To_firing ->
+          sample ~at:tr.Alert.at ~state:"firing" ~value:1 tr.Alert.rule
+      | Alert.To_resolved ->
+          sample ~at:tr.Alert.at ~state:"firing" ~value:0 tr.Alert.rule)
+    (Alert.transitions alerts);
+  Buffer.contents buf
+
 (* Chrome trace-event JSON (catapult format, Perfetto-loadable): every
    retained exemplar trace becomes a process, every element a thread,
    every span a complete ("X") event with microsecond timestamps.

@@ -31,6 +31,18 @@ val tracer_jsonl : Tracer.t -> string
     overflowed, the first line is [{"type":"meta","dropped":N}] so the
     truncation is visible in the export. *)
 
+val alert_timeline_jsonl : Alert.t -> string
+(** The chronological alert transition log, one JSON object per line:
+    [{"at":...,"alert":...,"severity":...,"state":"pending"|"firing"|
+    "resolved","value":...}].  Deterministic — identical runs export
+    byte-identical timelines (golden-pinned). *)
+
+val alerts_prom : Alert.t -> string
+(** The transition log as Prometheus [ALERTS]-style samples with
+    millisecond timestamps: value [1] on entering a state, [0] on
+    leaving [firing], labelled [alertname] / [alertstate] /
+    [severity]. *)
+
 val chrome_trace : Request_trace.t -> string
 (** The store's exemplar traces as Chrome trace-event JSON
     (Perfetto-loadable): one process per retained request, one thread

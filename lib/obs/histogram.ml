@@ -93,6 +93,13 @@ let empty_snapshot ?alpha ?min_value ?max_value () =
 let merge a b =
   if a.s_alpha <> b.s_alpha then
     invalid_arg "Histogram.merge: snapshots have different alpha";
+  (* Merging an empty snapshot is the identity: an empty side carries no
+     samples, only its clamp bounds, and letting those widen the result's
+     [s_min_value]/[s_max_value] would shift the underflow bucket bound of
+     a snapshot whose recorded data never saw them. *)
+  if b.s_count = 0 then a
+  else if a.s_count = 0 then b
+  else
   let tbl = Hashtbl.create (Array.length a.s_buckets + Array.length b.s_buckets) in
   let add (i, c) =
     match Hashtbl.find_opt tbl i with

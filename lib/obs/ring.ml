@@ -78,6 +78,19 @@ let lower_bound t x =
   done;
   !lo
 
+(* Smallest logical index [i] with [get_time t i > x], or [t.len]. *)
+let upper_bound t x =
+  let lo = ref 0 and hi = ref t.len in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if get_time t mid <= x then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let find_at_or_before t ~time =
+  let i = upper_bound t time in
+  if i = 0 then None else Some (get_time t (i - 1), get_value t (i - 1))
+
 let count_in t ~t0 ~t1 =
   if t0 <= t.pruned_before then
     invalid_arg

@@ -28,6 +28,12 @@ val oldest_time : t -> float option
 
 val latest_time : t -> float option
 
+val find_at_or_before : t -> time:float -> (float * float) option
+(** Latest retained sample [(time', value)] with [time' <= time], by
+    binary search.  [None] when every such sample has been pruned (or
+    none was ever pushed) — callers treat that as "insufficient
+    history" rather than an error. *)
+
 val count_in : t -> t0:float -> t1:float -> int
 (** Number of retained samples with [t0 <= time < t1] (half-open, the
     usual window convention), by binary search.

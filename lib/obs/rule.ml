@@ -1,0 +1,516 @@
+type severity = Info | Warning | Critical
+
+let severity_name = function
+  | Info -> "info"
+  | Warning -> "warning"
+  | Critical -> "critical"
+
+type stat = Value | Count | Sum | Quantile of float
+
+let stat_suffix = function
+  | Value -> ""
+  | Count -> "/count"
+  | Sum -> "/sum"
+  | Quantile q -> Printf.sprintf "/q%g" q
+
+type selector = { sel_metric : string; sel_labels : Label.t; sel_stat : stat }
+
+let selector ?(labels = Label.empty) ?(stat = Value) metric =
+  if not (Label.valid_name metric) then
+    invalid_arg (Printf.sprintf "Rule.selector: invalid metric name %S" metric);
+  (match stat with
+  | Quantile q when not (q >= 0. && q <= 100.) ->
+      invalid_arg "Rule.selector: quantile must be in [0, 100]"
+  | _ -> ());
+  { sel_metric = metric; sel_labels = labels; sel_stat = stat }
+
+let with_stat s stat = { s with sel_stat = stat }
+
+let selector_key s =
+  Printf.sprintf "%s%s%s" s.sel_metric
+    (Label.to_prometheus s.sel_labels)
+    (stat_suffix s.sel_stat)
+
+type expr =
+  | Const of float
+  | Last of selector
+  | Rate of selector * float
+  | Delta of selector * float
+  | Window_mean of selector * float
+  | Abs of expr
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of expr * expr
+  | Div of expr * expr
+  | Min of expr * expr
+  | Max of expr * expr
+
+type cmp = Gt | Lt
+
+type t = {
+  name : string;
+  severity : severity;
+  for_duration : float;
+  lhs : expr;
+  cmp : cmp;
+  rhs : expr;
+}
+
+(* Alert names are freer than metric names: hyphens, dots, slashes and
+   colons let built-in rules spell e.g. [cost-drift/node-3/service]. *)
+let valid_rule_name s =
+  let ok_first c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' in
+  let ok c =
+    ok_first c || (c >= '0' && c <= '9') || c = '.' || c = ':' || c = '/'
+    || c = '-'
+  in
+  String.length s > 0
+  && ok_first s.[0]
+  && String.for_all ok s
+
+let rec check_windows = function
+  | Const _ | Last _ -> ()
+  | Rate (_, w) | Delta (_, w) | Window_mean (_, w) ->
+      if not (w > 0.) then
+        invalid_arg "Rule.v: expression window must be > 0"
+  | Abs e -> check_windows e
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) | Min (a, b) | Max (a, b)
+    ->
+      check_windows a;
+      check_windows b
+
+let v ?(severity = Warning) ?(for_duration = 0.) name lhs cmp rhs =
+  if not (valid_rule_name name) then
+    invalid_arg (Printf.sprintf "Rule.v: invalid rule name %S" name);
+  if Float.is_nan for_duration || for_duration < 0. then
+    invalid_arg "Rule.v: for_duration must be >= 0";
+  check_windows lhs;
+  check_windows rhs;
+  { name; severity; for_duration; lhs; cmp; rhs }
+
+let threshold ?severity ?for_duration name sel cmp bound =
+  v ?severity ?for_duration name (Last sel) cmp (Const bound)
+
+let deviation ?severity ?for_duration name ~measured ~reference ~tolerance =
+  v ?severity ?for_duration name
+    (Abs (Sub (Div (measured, reference), Const 1.)))
+    Gt (Const tolerance)
+
+let burn_rate ?severity name sel ~short ~long ~bound =
+  if not (0. < short && short < long) then
+    invalid_arg "Rule.burn_rate: need 0 < short < long";
+  v ?severity name (Min (Rate (sel, short), Rate (sel, long))) Gt (Const bound)
+
+let selectors rule =
+  let seen = Hashtbl.create 8 in
+  let acc = ref [] in
+  let add s =
+    let key = selector_key s in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      acc := s :: !acc
+    end
+  in
+  let rec walk = function
+    | Const _ -> ()
+    | Last s | Rate (s, _) | Delta (s, _) -> add s
+    | Window_mean (s, _) ->
+        add { s with sel_stat = Sum };
+        add { s with sel_stat = Count }
+    | Abs e -> walk e
+    | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) | Min (a, b)
+    | Max (a, b) ->
+        walk a;
+        walk b
+  in
+  walk rule.lhs;
+  walk rule.rhs;
+  List.rev !acc
+
+let max_window rule =
+  let rec walk = function
+    | Const _ | Last _ -> 0.
+    | Rate (_, w) | Delta (_, w) | Window_mean (_, w) -> w
+    | Abs e -> walk e
+    | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) | Min (a, b)
+    | Max (a, b) ->
+        Float.max (walk a) (walk b)
+  in
+  Float.max (walk rule.lhs) (walk rule.rhs)
+
+(* ------------------------------------------------------------------ *)
+(* Rendering (the same concrete syntax [parse] accepts)               *)
+
+let num_to_string v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.12g" v
+
+let sel_to_string s =
+  let base = Printf.sprintf "%s%s" s.sel_metric (Label.to_prometheus s.sel_labels) in
+  match s.sel_stat with
+  | Value -> Printf.sprintf "last(%s)" base
+  | Count -> Printf.sprintf "count(%s)" base
+  | Sum -> Printf.sprintf "sum(%s)" base
+  | Quantile q -> Printf.sprintf "quantile(%s, %s)" base (num_to_string q)
+
+let windowed fn s w =
+  Printf.sprintf "%s(%s%s[%s])" fn s.sel_metric
+    (Label.to_prometheus s.sel_labels)
+    (num_to_string w)
+
+let rec expr_to_string = function
+  | Const v -> num_to_string v
+  | Last s | Rate (s, _) | Delta (s, _) | Window_mean (s, _) as e -> (
+      match e with
+      | Last _ -> sel_to_string s
+      | Rate (_, w) -> windowed "rate" s w
+      | Delta (_, w) -> windowed "delta" s w
+      | Window_mean (_, w) -> windowed "mean" s w
+      | _ -> assert false)
+  | Abs e -> Printf.sprintf "abs(%s)" (expr_to_string e)
+  | Min (a, b) ->
+      Printf.sprintf "min(%s, %s)" (expr_to_string a) (expr_to_string b)
+  | Max (a, b) ->
+      Printf.sprintf "max(%s, %s)" (expr_to_string a) (expr_to_string b)
+  | Add (a, b) ->
+      Printf.sprintf "(%s + %s)" (expr_to_string a) (expr_to_string b)
+  | Sub (a, b) ->
+      Printf.sprintf "(%s - %s)" (expr_to_string a) (expr_to_string b)
+  | Mul (a, b) ->
+      Printf.sprintf "(%s * %s)" (expr_to_string a) (expr_to_string b)
+  | Div (a, b) ->
+      Printf.sprintf "(%s / %s)" (expr_to_string a) (expr_to_string b)
+
+let to_string rule =
+  let opts =
+    (if rule.severity = Warning then ""
+     else Printf.sprintf " severity=%s" (severity_name rule.severity))
+    ^
+    if rule.for_duration = 0. then ""
+    else Printf.sprintf " for=%s" (num_to_string rule.for_duration)
+  in
+  Printf.sprintf "alert %s%s when %s %s %s" rule.name opts
+    (expr_to_string rule.lhs)
+    (match rule.cmp with Gt -> ">" | Lt -> "<")
+    (expr_to_string rule.rhs)
+
+(* ------------------------------------------------------------------ *)
+(* Parser: a hand-rolled lexer + recursive descent over one line      *)
+
+type token =
+  | Tident of string
+  | Tnum of float
+  | Tstr of string
+  | Tlparen
+  | Trparen
+  | Tlbrace
+  | Trbrace
+  | Tlbracket
+  | Trbracket
+  | Tcomma
+  | Teq
+  | Tgt
+  | Tlt
+  | Tplus
+  | Tminus
+  | Tstar
+  | Tslash
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt
+
+let lex line =
+  let n = String.length line in
+  let toks = ref [] in
+  let i = ref 0 in
+  let is_ident c =
+    (c >= 'a' && c <= 'z')
+    || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9')
+    || c = '_' || c = ':' || c = '.' || c = '-'
+  in
+  let is_num c = (c >= '0' && c <= '9') || c = '.' in
+  while !i < n do
+    let c = line.[!i] in
+    if c = ' ' || c = '\t' then incr i
+    else if c = '"' then begin
+      (* quoted label value; backslash escapes the next char, [\n] newline *)
+      let buf = Buffer.create 8 in
+      incr i;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        (match line.[!i] with
+        | '"' -> closed := true
+        | '\\' when !i + 1 < n ->
+            incr i;
+            Buffer.add_char buf
+              (match line.[!i] with 'n' -> '\n' | c -> c)
+        | c -> Buffer.add_char buf c);
+        incr i
+      done;
+      if not !closed then fail "unterminated string literal";
+      toks := Tstr (Buffer.contents buf) :: !toks
+    end
+    else if is_num c then begin
+      let start = !i in
+      while !i < n && (is_num line.[!i] || line.[!i] = 'e' || line.[!i] = 'E'
+                       || ((line.[!i] = '+' || line.[!i] = '-')
+                          && !i > start
+                          && (line.[!i - 1] = 'e' || line.[!i - 1] = 'E')))
+      do
+        incr i
+      done;
+      let s = String.sub line start (!i - start) in
+      match float_of_string_opt s with
+      | Some v -> toks := Tnum v :: !toks
+      | None -> fail "malformed number %S" s
+    end
+    else if is_ident c && c <> '-' then begin
+      (* '-' may continue an identifier (rule names like model-drift) but
+         never start one, so a spaced-out minus still lexes as Tminus *)
+      let start = !i in
+      while !i < n && (is_ident line.[!i] || line.[!i] = '/') do
+        incr i
+      done;
+      toks := Tident (String.sub line start (!i - start)) :: !toks
+    end
+    else begin
+      (match c with
+      | '(' -> toks := Tlparen :: !toks
+      | ')' -> toks := Trparen :: !toks
+      | '{' -> toks := Tlbrace :: !toks
+      | '}' -> toks := Trbrace :: !toks
+      | '[' -> toks := Tlbracket :: !toks
+      | ']' -> toks := Trbracket :: !toks
+      | ',' -> toks := Tcomma :: !toks
+      | '=' -> toks := Teq :: !toks
+      | '>' -> toks := Tgt :: !toks
+      | '<' -> toks := Tlt :: !toks
+      | '+' -> toks := Tplus :: !toks
+      | '-' -> toks := Tminus :: !toks
+      | '*' -> toks := Tstar :: !toks
+      | '/' -> toks := Tslash :: !toks
+      | c -> fail "unexpected character %C" c);
+      incr i
+    end
+  done;
+  List.rev !toks
+
+(* A mutable token cursor. *)
+type cursor = { mutable toks : token list }
+
+let peek cur = match cur.toks with [] -> None | t :: _ -> Some t
+
+let advance cur =
+  match cur.toks with [] -> fail "unexpected end of line" | _ :: rest ->
+    cur.toks <- rest
+
+let expect cur tok what =
+  match cur.toks with
+  | t :: rest when t = tok -> cur.toks <- rest
+  | _ -> fail "expected %s" what
+
+let parse_labels cur =
+  (* after Tlbrace: k="v" ("," k="v")* "}" *)
+  let pairs = ref [] in
+  let rec loop () =
+    match peek cur with
+    | Some (Tident k) -> (
+        advance cur;
+        expect cur Teq "'=' in label matcher";
+        match peek cur with
+        | Some (Tstr v) -> (
+            advance cur;
+            pairs := (k, v) :: !pairs;
+            match peek cur with
+            | Some Tcomma ->
+                advance cur;
+                loop ()
+            | _ -> ())
+        | _ -> fail "expected quoted label value for %S" k)
+    | _ -> ()
+  in
+  loop ();
+  expect cur Trbrace "'}' closing label matcher";
+  try Label.v (List.rev !pairs)
+  with Invalid_argument m -> fail "%s" m
+
+let parse_selector cur =
+  match peek cur with
+  | Some (Tident metric) ->
+      advance cur;
+      let labels =
+        match peek cur with
+        | Some Tlbrace ->
+            advance cur;
+            parse_labels cur
+        | _ -> Label.empty
+      in
+      (metric, labels)
+  | _ -> fail "expected a metric name"
+
+let parse_window cur =
+  expect cur Tlbracket "'[' opening window";
+  match peek cur with
+  | Some (Tnum w) ->
+      advance cur;
+      expect cur Trbracket "']' closing window";
+      w
+  | _ -> fail "expected window length in seconds"
+
+let mk_selector ?stat (metric, labels) =
+  try selector ~labels ?stat metric
+  with Invalid_argument m -> fail "%s" m
+
+let rec parse_expr cur =
+  let lhs = ref (parse_term cur) in
+  let rec loop () =
+    match peek cur with
+    | Some Tplus ->
+        advance cur;
+        lhs := Add (!lhs, parse_term cur);
+        loop ()
+    | Some Tminus ->
+        advance cur;
+        lhs := Sub (!lhs, parse_term cur);
+        loop ()
+    | _ -> ()
+  in
+  loop ();
+  !lhs
+
+and parse_term cur =
+  let lhs = ref (parse_factor cur) in
+  let rec loop () =
+    match peek cur with
+    | Some Tstar ->
+        advance cur;
+        lhs := Mul (!lhs, parse_factor cur);
+        loop ()
+    | Some Tslash ->
+        advance cur;
+        lhs := Div (!lhs, parse_factor cur);
+        loop ()
+    | _ -> ()
+  in
+  loop ();
+  !lhs
+
+and parse_factor cur =
+  match peek cur with
+  | Some (Tnum v) ->
+      advance cur;
+      Const v
+  | Some Tminus ->
+      advance cur;
+      Sub (Const 0., parse_factor cur)
+  | Some Tlparen ->
+      advance cur;
+      let e = parse_expr cur in
+      expect cur Trparen "')'";
+      e
+  | Some (Tident fn) -> (
+      advance cur;
+      expect cur Tlparen (Printf.sprintf "'(' after %s" fn);
+      let finish e =
+        expect cur Trparen "')'";
+        e
+      in
+      match fn with
+      | "last" -> finish (Last (mk_selector (parse_selector cur)))
+      | "count" -> finish (Last (mk_selector ~stat:Count (parse_selector cur)))
+      | "sum" -> finish (Last (mk_selector ~stat:Sum (parse_selector cur)))
+      | "p50" | "p95" | "p99" ->
+          let q = float_of_string (String.sub fn 1 2) in
+          finish (Last (mk_selector ~stat:(Quantile q) (parse_selector cur)))
+      | "quantile" -> (
+          let sel = parse_selector cur in
+          expect cur Tcomma "',' before quantile rank";
+          match peek cur with
+          | Some (Tnum q) ->
+              advance cur;
+              finish (Last (mk_selector ~stat:(Quantile q) sel))
+          | _ -> fail "expected quantile rank")
+      | "rate" | "delta" | "mean" ->
+          let sel = parse_selector cur in
+          let w = parse_window cur in
+          let sel = mk_selector sel in
+          finish
+            (match fn with
+            | "rate" -> Rate (sel, w)
+            | "delta" -> Delta (sel, w)
+            | _ -> Window_mean (sel, w))
+      | "abs" -> finish (Abs (parse_expr cur))
+      | "min" | "max" ->
+          let a = parse_expr cur in
+          expect cur Tcomma "','";
+          let b = parse_expr cur in
+          finish (if fn = "min" then Min (a, b) else Max (a, b))
+      | fn -> fail "unknown function %S" fn)
+  | _ -> fail "expected an expression"
+
+let parse_rule_line line =
+  let cur = { toks = lex line } in
+  (match peek cur with
+  | Some (Tident "alert") -> advance cur
+  | _ -> fail "rule must start with 'alert'");
+  let name =
+    match peek cur with
+    | Some (Tident n) ->
+        advance cur;
+        n
+    | _ -> fail "expected alert name"
+  in
+  let severity = ref Warning and for_duration = ref 0. in
+  let rec opts () =
+    match cur.toks with
+    | Tident "severity" :: Teq :: Tident s :: rest ->
+        (severity :=
+           match s with
+           | "info" -> Info
+           | "warning" -> Warning
+           | "critical" -> Critical
+           | s -> fail "unknown severity %S" s);
+        cur.toks <- rest;
+        opts ()
+    | Tident "for" :: Teq :: Tnum d :: rest ->
+        for_duration := d;
+        cur.toks <- rest;
+        opts ()
+    | _ -> ()
+  in
+  opts ();
+  (match peek cur with
+  | Some (Tident "when") -> advance cur
+  | _ -> fail "expected 'when'");
+  let lhs = parse_expr cur in
+  let cmp =
+    match peek cur with
+    | Some Tgt ->
+        advance cur;
+        Gt
+    | Some Tlt ->
+        advance cur;
+        Lt
+    | _ -> fail "expected '>' or '<'"
+  in
+  let rhs = parse_expr cur in
+  if cur.toks <> [] then fail "trailing tokens after rule";
+  try v ~severity:!severity ~for_duration:!for_duration name lhs cmp rhs
+  with Invalid_argument m -> fail "%s" m
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let rec loop lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+        let stripped = String.trim line in
+        if stripped = "" || stripped.[0] = '#' then loop (lineno + 1) acc rest
+        else
+          match parse_rule_line stripped with
+          | rule -> loop (lineno + 1) (rule :: acc) rest
+          | exception Parse_error m ->
+              Error (Printf.sprintf "line %d: %s" lineno m))
+  in
+  loop 1 [] lines

@@ -4,6 +4,10 @@ let l_kind = "kind"
 let l_role = "role"
 let l_reason = "reason"
 let l_strategy = "strategy"
+let l_alertname = "alertname"
+let l_alertstate = "alertstate"
+let l_severity = "severity"
+let l_component = "component"
 
 let node_label id = (l_node, string_of_int id)
 let level_label depth = (l_level, string_of_int depth)
@@ -34,6 +38,13 @@ let controller_degraded_samples_total = "adept_controller_degraded_samples_total
 
 let planner_evaluations_total = "adept_planner_evaluations_total"
 let planner_plans_total = "adept_planner_plans_total"
+
+let model_predicted_rho = "adept_model_predicted_rho"
+let model_rho_sched = "adept_model_rho_sched"
+let model_rho_service = "adept_model_rho_service"
+let alive_nodes = "adept_alive_nodes"
+let monitor_scrapes_total = "adept_monitor_scrapes_total"
+let alerts_series = "ALERTS"
 
 let help_table =
   [
@@ -68,6 +79,13 @@ let help_table =
       "Controller samples below the degradation threshold." );
     (planner_evaluations_total, "Candidate hierarchies evaluated while planning.");
     (planner_plans_total, "Planning passes, by strategy.");
+    ( model_predicted_rho,
+      "Eq. 16 throughput predicted for the currently deployed tree." );
+    (model_rho_sched, "Scheduling-side capacity of Eq. 16 (Eqs. 6-11).");
+    (model_rho_service, "Service-side capacity of Eq. 16 (Eqs. 12-14).");
+    (alive_nodes, "Deployed nodes currently alive (not crashed).");
+    (monitor_scrapes_total, "Registry scrapes taken by the monitor.");
+    (alerts_series, "Alert-rule state transitions (1 = entered, 0 = left).");
   ]
 
 let help name = match List.assoc_opt name help_table with Some h -> h | None -> ""

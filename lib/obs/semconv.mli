@@ -23,6 +23,18 @@ val l_reason : string
 val l_strategy : string
 (** ["strategy"] — planner strategy name. *)
 
+val l_alertname : string
+(** ["alertname"] — alert-rule name on [alerts_series] samples. *)
+
+val l_alertstate : string
+(** ["alertstate"] — [pending] / [firing] on [alerts_series] samples. *)
+
+val l_severity : string
+(** ["severity"] — alert severity: [info] / [warning] / [critical]. *)
+
+val l_component : string
+(** ["component"] — Eqs. 1-5 cost component a drift rule watches. *)
+
 val node_label : int -> string * string
 
 val level_label : int -> string * string
@@ -61,6 +73,17 @@ val controller_degraded_samples_total : string
 
 val planner_evaluations_total : string
 val planner_plans_total : string
+
+(** {1 Monitor} *)
+
+val model_predicted_rho : string
+val model_rho_sched : string
+val model_rho_service : string
+val alive_nodes : string
+val monitor_scrapes_total : string
+
+val alerts_series : string
+(** ["ALERTS"] — the Prometheus convention for alert-state series. *)
 
 val help : string -> string
 (** One-line HELP text for a known metric name; [""] otherwise. *)

@@ -97,6 +97,7 @@ type replan_record = {
   rho_after : float;
   migration_cost : float;
   bottleneck : (Node.id * float) option;
+  alerts : string list;
 }
 
 (* Pre-resolved controller instruments (suppression counters are
@@ -149,9 +150,12 @@ type t = {
   mutable enacted : replan_record list;  (* newest first *)
   obs : ctrl_obs option;
   rtrace : Adept_obs.Request_trace.t option;
+  alerts : Adept_obs.Alert.t option;
 }
 
 let middleware t = t.middleware
+
+let tree t = t.tree
 
 let records t = List.rev t.enacted
 
@@ -213,7 +217,7 @@ let record_suppressed t reason =
    the old hierarchy stays in charge.  A server that died meanwhile is
    not fatal: the fresh generation's failover strikes it out and rejoins
    it on recovery, exactly as it would mid-run. *)
-let enact t (r : Planner.replan_result) ~observed ~cost ~bottleneck () =
+let enact t (r : Planner.replan_result) ~observed ~cost ~bottleneck ~alerts () =
   let now = Engine.now t.engine in
   t.migration_until <- None;
   let new_tree = r.Planner.replanned.Planner.tree in
@@ -283,6 +287,7 @@ let enact t (r : Planner.replan_result) ~observed ~cost ~bottleneck () =
         rho_after = r.Planner.rho_after;
         migration_cost = cost;
         bottleneck;
+        alerts;
       }
       :: t.enacted
   end
@@ -338,6 +343,14 @@ let consider t ~now ~observed =
             let bottleneck =
               Option.bind t.rtrace Adept_obs.Request_trace.hottest_element
             in
+            (* The monitor's view of why: whatever alert rules are firing
+               at the trigger instant go into the record, so a replan can
+               cite e.g. [model-drift] as its observable cause. *)
+            let alerts =
+              match t.alerts with
+              | Some a -> Adept_obs.Alert.firing_names a
+              | None -> []
+            in
             (match (bottleneck, Trace.tracer t.trace) with
             | Some (node, seconds), Some tracer ->
                 Adept_obs.Tracer.event tracer ~at:now
@@ -370,7 +383,7 @@ let consider t ~now ~observed =
                 | Some (tracer, sp) ->
                     Adept_obs.Tracer.span_end tracer ~at:(Engine.now t.engine) sp
                 | None -> ());
-                enact t r ~observed ~cost ~bottleneck ())
+                enact t r ~observed ~cost ~bottleneck ~alerts ())
           end
   end
 
@@ -414,7 +427,8 @@ let rec tick t () =
     Engine.schedule t.engine ~delay:t.cfg.sample_period (tick t)
 
 let create cfg ~engine ~params ~platform ~wapp ~demand ~selection
-    ?monitoring_period ~faults ~stats ~trace ?obs ?rtrace ~horizon ~middleware tree =
+    ?monitoring_period ~faults ~stats ~trace ?obs ?rtrace ?alerts ~horizon
+    ~middleware tree =
   let t =
     {
       cfg;
@@ -440,6 +454,7 @@ let create cfg ~engine ~params ~platform ~wapp ~demand ~selection
       dead_since = Hashtbl.create 16;
       obs = Option.map make_ctrl_obs obs;
       rtrace;
+      alerts;
     }
   in
   Engine.schedule engine ~delay:cfg.sample_period (tick t);
@@ -449,7 +464,10 @@ let pp_record ppf r =
   Format.fprintf ppf
     "t=%.2fs: %d node(s) out, observed %.2f req/s, rho %.2f -> %.2f, migration %.3fs"
     r.at (List.length r.failed) r.observed r.rho_before r.rho_after r.migration_cost;
-  match r.bottleneck with
+  (match r.bottleneck with
   | Some (node, seconds) ->
       Format.fprintf ppf ", bottleneck node %d (%.3fs on critical path)" node seconds
-  | None -> ()
+  | None -> ());
+  match r.alerts with
+  | [] -> ()
+  | alerts -> Format.fprintf ppf ", alerts [%s]" (String.concat "; " alerts)

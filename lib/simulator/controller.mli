@@ -107,6 +107,10 @@ type replan_record = {
           so far, with that total (see
           {!Adept_obs.Request_trace.hottest_element}); [None] without a
           request-trace store or before any trace finished. *)
+  alerts : string list;
+      (** Alert rules firing at trigger time (see {!Adept_obs.Alert}) —
+          the monitor's citation for why this replan happened; [[]]
+          without an attached alert engine. *)
 }
 
 type t
@@ -125,6 +129,7 @@ val create :
   trace:Trace.t ->
   ?obs:Adept_obs.Registry.t ->
   ?rtrace:Adept_obs.Request_trace.t ->
+  ?alerts:Adept_obs.Alert.t ->
   horizon:float ->
   middleware:Middleware.t ->
   Tree.t ->
@@ -143,11 +148,18 @@ val create :
     the controller deploys, so sampled requests keep tracing across
     generations; each enacted replan records the store's hottest element
     at trigger time as its [bottleneck] breadcrumb (and, with a tracer,
-    emits a ["replan-bottleneck"] event). *)
+    emits a ["replan-bottleneck"] event).  [alerts] is an alert engine
+    (typically the {!Monitor}'s) consulted read-only at each trigger:
+    whatever rules are firing at that instant are cited in the enacted
+    record's [alerts] field. *)
 
 val middleware : t -> Middleware.t
 (** The hierarchy currently in charge — changes after each enactment;
     request issuers must re-read it per request. *)
+
+val tree : t -> Tree.t
+(** The hierarchy currently in charge as a tree — what the monitor's
+    model rules should be predicting against. *)
 
 val is_migrating : t -> bool
 (** True inside a migration window: the old hierarchy is being torn down

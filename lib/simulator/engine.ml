@@ -16,6 +16,17 @@ let schedule t ~delay callback =
     invalid_arg "Engine.schedule: negative or NaN delay";
   schedule_at t ~time:(t.clock +. delay) callback
 
+let schedule_every t ~interval ~until callback =
+  if interval <= 0.0 || Float.is_nan interval then
+    invalid_arg "Engine.schedule_every: interval must be > 0";
+  let rec arm time =
+    if time <= until then
+      schedule_at t ~time (fun () ->
+          callback ~now:time;
+          arm (time +. interval))
+  in
+  arm (t.clock +. interval)
+
 let pending t = Event_queue.size t.queue
 
 type outcome = Exhausted | Horizon_reached | Event_limit

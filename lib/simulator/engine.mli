@@ -19,6 +19,13 @@ val schedule : t -> delay:float -> (unit -> unit) -> unit
 (** [schedule_at ~time:(now + delay)].  @raise Invalid_argument on a
     negative delay. *)
 
+val schedule_every : t -> interval:float -> until:float -> (now:float -> unit) -> unit
+(** Self-rescheduling periodic callback at [now + interval],
+    [now + 2*interval], ... while the tick time is [<= until].  Only one
+    event sits in the queue at a time; the next tick is armed after the
+    callback runs, so a tick that itself advances past [until] stops the
+    chain.  @raise Invalid_argument unless [interval > 0]. *)
+
 val pending : t -> int
 
 type outcome = Exhausted  (** No events left. *)

@@ -154,6 +154,15 @@ let trace t = t.trace
 
 let is_alive t id = t.alive.(id)
 
+(* Deployed elements (agents + servers) currently alive. *)
+let alive_count t =
+  let n = ref 0 in
+  Array.iteri
+    (fun id el ->
+      match el with Some _ when t.alive.(id) -> incr n | _ -> ())
+    t.elements;
+  !n
+
 let retire t = t.retired <- true
 
 let fault_stats t =

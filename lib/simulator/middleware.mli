@@ -146,6 +146,10 @@ val merge_fault_stats : fault_stats -> fault_stats -> fault_stats
 val is_alive : t -> Node.id -> bool
 (** Whether the node is currently up (always [true] fault-free). *)
 
+val alive_count : t -> int
+(** Deployed elements (agents + servers) currently alive — the
+    monitor's [adept_alive_nodes] gauge. *)
+
 val crash_time : t -> Node.id -> float
 (** When the node last went down (inherited across generations via
     [initial_dead]); meaningful only while [is_alive] is [false]. *)

@@ -91,7 +91,15 @@ let make_run_obs registry =
    scheduled here (before any workload event exists) fires ahead of
    completions landing at exactly the same instant, so the window keeps
    its historical [t0 <= time < t1] semantics. *)
-let prepare ?(trace = Trace.disabled) ?registry ?rtrace ~warmup ~horizon t =
+let prepare ?(trace = Trace.disabled) ?registry ?rtrace ?monitor ~warmup ~horizon t =
+  (* A monitor needs a registry to scrape; runs monitored without an
+     explicit one get a private registry (instrumentation is
+     observation-only, so this cannot perturb the simulation). *)
+  let registry =
+    match (registry, monitor) with
+    | None, Some _ -> Some (Adept_obs.Registry.create ())
+    | registry, _ -> registry
+  in
   let engine = Engine.create () in
   let rng = Rng.create t.seed in
   let selection =
@@ -133,9 +141,19 @@ let prepare ?(trace = Trace.disabled) ?registry ?rtrace ~warmup ~horizon t =
         Controller.create cfg ~engine ~params:t.params ~platform:t.platform
           ~wapp:(Mix.expected_wapp mix) ~demand:t.demand ~selection
           ?monitoring_period:t.monitoring_period ~faults:t.faults ~stats ~trace
-          ?obs:registry ?rtrace ~horizon ~middleware t.tree)
+          ?obs:registry ?rtrace
+          ?alerts:(Option.map Monitor.alerts monitor)
+          ~horizon ~middleware t.tree)
       t.controller
   in
+  (match (monitor, registry) with
+  | Some m, Some registry ->
+      let provider () =
+        Monitor.signals_of ~params:t.params ~platform:t.platform
+          ~wapp:(Mix.expected_wapp mix) ~tree:t.tree ~middleware ?controller ()
+      in
+      Monitor.attach m ~engine ~registry ~provider ~horizon ()
+  | _ -> ());
   let issue_request ~on_complete =
     let issued_at = Engine.now engine in
     Run_stats.record_issue stats ~time:issued_at;
@@ -247,14 +265,15 @@ let finish ~clients ~warmup ~duration ~stats ~middleware ~controller ~events
     replans = (match controller with Some c -> Controller.records c | None -> []);
   }
 
-let run_fixed ?trace ?registry ?rtrace ?max_events t ~clients ~warmup ~duration =
+let run_fixed ?trace ?registry ?rtrace ?monitor ?max_events t ~clients ~warmup
+    ~duration =
   if clients <= 0 then invalid_arg "Scenario.run_fixed: clients must be positive";
   if warmup < 0.0 || duration <= 0.0 then
     invalid_arg "Scenario.run_fixed: need warmup >= 0 and duration > 0";
   let horizon = warmup +. duration in
   let engine, _rng, stats, middleware, controller, issue_request, window_completions, obs
       =
-    prepare ?trace ?registry ?rtrace ~warmup ~horizon t
+    prepare ?trace ?registry ?rtrace ?monitor ~warmup ~horizon t
   in
   let think = Client.think_time t.client in
   let rec client_loop () =
@@ -273,7 +292,8 @@ let run_fixed ?trace ?registry ?rtrace ?max_events t ~clients ~warmup ~duration 
   finish ~clients ~warmup ~duration ~stats ~middleware ~controller ~events
     ~window_completions ~obs
 
-let run_open ?trace ?registry ?rtrace ?max_events t ~rate ~warmup ~duration =
+let run_open ?trace ?registry ?rtrace ?monitor ?max_events t ~rate ~warmup
+    ~duration =
   if rate <= 0.0 || not (Float.is_finite rate) then
     invalid_arg "Scenario.run_open: rate must be positive and finite";
   if warmup < 0.0 || duration <= 0.0 then
@@ -281,7 +301,7 @@ let run_open ?trace ?registry ?rtrace ?max_events t ~rate ~warmup ~duration =
   let horizon = warmup +. duration in
   let engine, rng, stats, middleware, controller, issue_request, window_completions, obs
       =
-    prepare ?trace ?registry ?rtrace ~warmup ~horizon t
+    prepare ?trace ?registry ?rtrace ?monitor ~warmup ~horizon t
   in
   let rec arrival () =
     if Engine.now engine < horizon then begin

@@ -83,6 +83,7 @@ val run_fixed :
   ?trace:Trace.t ->
   ?registry:Adept_obs.Registry.t ->
   ?rtrace:Adept_obs.Request_trace.t ->
+  ?monitor:Monitor.t ->
   ?max_events:int ->
   t ->
   clients:int ->
@@ -110,6 +111,15 @@ val run_fixed :
     failed requests are counted as abandoned.  Like [registry], the
     store only observes — results are identical with it attached,
     sampled at 0, or absent.
+
+    [monitor] attaches a continuous-monitoring probe chain (see
+    {!Monitor}): periodic registry scrapes into its time-series store,
+    model gauges refreshed from the hierarchy currently in charge, and
+    alert-rule evaluation; when a controller is configured it is handed
+    the monitor's alert engine so enacted replans cite the alerts firing
+    at trigger time.  A monitored run without an explicit [registry]
+    creates a private one.  Monitoring, too, only observes — results
+    are identical with it attached, detached, or at interval 0.
     @raise Invalid_argument on non-positive clients/durations. *)
 
 val throughput_series :
@@ -126,6 +136,7 @@ val run_open :
   ?trace:Trace.t ->
   ?registry:Adept_obs.Registry.t ->
   ?rtrace:Adept_obs.Request_trace.t ->
+  ?monitor:Monitor.t ->
   ?max_events:int ->
   t ->
   rate:float ->

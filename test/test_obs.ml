@@ -542,6 +542,385 @@ let prop_critical_path_accounts_response =
                   (Critical_path.by_element tr))
            (Rt.exemplars store))
 
+(* ---------- continuous monitoring: rules, time series, alerts ---------- *)
+
+module Rule = Adept_obs.Rule
+module Timeseries = Adept_obs.Timeseries
+module Alert = Adept_obs.Alert
+module Dashboard = Adept_obs.Dashboard
+
+(* The regression satellite: merging an empty snapshot used to widen the
+   clamp bounds to the empty histogram's configuration, shifting the
+   underflow bucket — merge with empty must be the identity. *)
+let test_histogram_merge_empty_identity () =
+  let h = Histogram.create ~min_value:1e-3 ~max_value:1e3 () in
+  List.iter (Histogram.record h) [ 0.0; 0.5; 2.0 ] (* 0.0 underflows *);
+  let s = Histogram.snapshot h in
+  let empty =
+    Histogram.snapshot (Histogram.create ~min_value:1e-9 ~max_value:1e9 ())
+  in
+  let check_same tag m =
+    Alcotest.(check bool) (tag ^ " identical") true (same_snapshot m s);
+    Alcotest.(check (option (float 0.0)))
+      (tag ^ " underflow quantile unchanged")
+      (Histogram.quantile s 10.0) (Histogram.quantile m 10.0)
+  in
+  check_same "s+empty" (Histogram.merge s empty);
+  check_same "empty+s" (Histogram.merge empty s);
+  let e2 = Histogram.merge empty empty in
+  Alcotest.(check int) "empty+empty stays empty" 0 (Histogram.count e2)
+
+let test_ring_retention_boundary () =
+  let r = Ring.create ~retention:2.0 () in
+  List.iter (fun t -> Ring.push r ~time:t t) [ 0.0; 1.0; 2.0; 3.0 ];
+  (* prune drops time < latest - retention: the sample exactly at the
+     cutoff stays *)
+  Alcotest.(check (option (float 0.0))) "boundary sample retained" (Some 1.0)
+    (Ring.oldest_time r);
+  Alcotest.(check int) "window starting at the cutoff is answerable" 3
+    (Ring.count_in r ~t0:1.0 ~t1:3.5);
+  (* the guard is precise: a window that only misses never-pushed times
+     is answerable, one that reaches a pruned sample is refused *)
+  Alcotest.(check int) "window over never-pushed times answerable" 3
+    (Ring.count_in r ~t0:0.5 ~t1:3.5);
+  Alcotest.(check bool) "window reaching a pruned sample rejected" true
+    (match Ring.count_in r ~t0:0.0 ~t1:3.5 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_ring_find_at_or_before () =
+  let check_opt = Alcotest.(check (option (pair (float 0.0) (float 0.0)))) in
+  let r = Ring.create ~retention:2.0 () in
+  List.iter (fun t -> Ring.push r ~time:t (t *. 10.)) [ 0.0; 1.0; 2.0; 3.0 ];
+  check_opt "exact hit" (Some (2.0, 20.0)) (Ring.find_at_or_before r ~time:2.0);
+  check_opt "between samples" (Some (2.0, 20.0))
+    (Ring.find_at_or_before r ~time:2.5);
+  check_opt "after the latest" (Some (3.0, 30.0))
+    (Ring.find_at_or_before r ~time:9.0);
+  check_opt "pruned history is None" None (Ring.find_at_or_before r ~time:0.5);
+  check_opt "empty ring is None" None
+    (Ring.find_at_or_before (Ring.create ~retention:1.0 ()) ~time:1.0)
+
+(* The exposition-format escaping satellite, pinned through the whole
+   export path: backslash, double quote and newline in a label value. *)
+let test_export_prometheus_escaping_pinned () =
+  let reg = Registry.create () in
+  let labels = Label.v [ ("path", "C:\\tmp\n\"x\"") ] in
+  Counter.inc (Registry.counter reg ~labels "adept_escape_total");
+  let text = Export.prometheus (Registry.snapshot reg) in
+  Alcotest.(check bool) "escaped label value pinned" true
+    (Astring.String.is_infix
+       ~affix:"adept_escape_total{path=\"C:\\\\tmp\\n\\\"x\\\"\"}" text)
+
+let test_rule_parse_roundtrip () =
+  let text =
+    "# comment lines and blanks are skipped\n\n\
+     alert high-loss severity=critical for=2 when \
+     rate(adept_requests_lost_total[5]) > 0.5\n\
+     alert burn severity=warning when min(rate(m_total[1]), rate(m_total[10])) \
+     > 2\n\
+     alert mean-drift when abs(mean(adept_server_service_seconds{node=\"3\"}[4]) \
+     / 0.25 - 1) > 0.5\n"
+  in
+  match Rule.parse text with
+  | Error e -> Alcotest.fail e
+  | Ok rules -> (
+      Alcotest.(check int) "three rules" 3 (List.length rules);
+      Alcotest.(check (list string)) "names"
+        [ "high-loss"; "burn"; "mean-drift" ]
+        (List.map (fun (r : Rule.t) -> r.Rule.name) rules);
+      let printed = String.concat "\n" (List.map Rule.to_string rules) in
+      match Rule.parse printed with
+      | Error e -> Alcotest.fail ("reparse of printed rules: " ^ e)
+      | Ok rules' ->
+          Alcotest.(check (list string)) "print-parse fixpoint"
+            (List.map Rule.to_string rules)
+            (List.map Rule.to_string rules'))
+
+let test_rule_parse_errors () =
+  let bad s =
+    match Rule.parse s with
+    | Error e -> e
+    | Ok _ -> Alcotest.fail ("accepted: " ^ s)
+  in
+  Alcotest.(check bool) "truncated rule names its line" true
+    (Astring.String.is_infix ~affix:"line 1" (bad "alert a when last(x) >"));
+  Alcotest.(check bool) "error after a comment names line 2" true
+    (Astring.String.is_infix ~affix:"line 2"
+       (bad "# fine\nalert b last(x) > 0"));
+  Alcotest.(check bool) "unknown severity rejected" true
+    (bad "alert a severity=loud when last(x) > 0" <> "");
+  Alcotest.(check bool) "burn_rate wants short < long" true
+    (match
+       Rule.burn_rate "b" (Rule.selector "m_total") ~short:5.0 ~long:1.0
+         ~bound:1.0
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_rule_selectors_dedup () =
+  let sel = Rule.selector "adept_test_seconds" in
+  let r =
+    Rule.v "mean-vs-mean"
+      (Rule.Window_mean (sel, 2.0))
+      Rule.Gt
+      (Rule.Window_mean (sel, 4.0))
+  in
+  (* Window_mean expands to Sum and Count sub-selectors, deduplicated
+     across both windows *)
+  Alcotest.(check int) "two sub-selectors" 2 (List.length (Rule.selectors r));
+  Alcotest.(check (float 0.0)) "max window" 4.0 (Rule.max_window r)
+
+let test_timeseries_scrape_and_eval () =
+  let reg = Registry.create () in
+  let c = Registry.counter reg "adept_flow_total" in
+  let sel = Rule.selector "adept_flow_total" in
+  let ts = Timeseries.create ~retention:10.0 [ sel ] in
+  (* family missing entirely: gap, not zero *)
+  let missing = Timeseries.create ~retention:10.0 [ Rule.selector "adept_nope" ] in
+  Timeseries.scrape missing ~registry:reg ~now:0.0;
+  Alcotest.(check (option (pair (float 0.0) (float 0.0))))
+    "missing family records no sample" None
+    (Timeseries.last missing (Rule.selector "adept_nope"));
+  (* 2 req/s: +1 every 0.5 s *)
+  for i = 0 to 10 do
+    let now = 0.5 *. float_of_int i in
+    if i > 0 then Counter.inc c;
+    Timeseries.scrape ts ~registry:reg ~now
+  done;
+  Alcotest.(check int) "scrape count" 11 (Timeseries.scrapes ts);
+  Alcotest.(check (option (float 1e-9))) "last value" (Some 10.0)
+    (Option.map snd (Timeseries.last ts sel));
+  Alcotest.(check (option (float 1e-9))) "rate over 2 s" (Some 2.0)
+    (Timeseries.eval ts ~now:5.0 (Rule.Rate (sel, 2.0)));
+  Alcotest.(check (option (float 1e-9))) "delta over 2 s" (Some 4.0)
+    (Timeseries.eval ts ~now:5.0 (Rule.Delta (sel, 2.0)));
+  Alcotest.(check (option (float 1e-9))) "window past history is None" None
+    (Timeseries.eval ts ~now:0.0 (Rule.Rate (sel, 2.0)));
+  Alcotest.(check (option (float 1e-9))) "division by zero is None" None
+    (Timeseries.eval ts ~now:5.0 (Rule.Div (Rule.Const 1.0, Rule.Const 0.0)));
+  Alcotest.(check (option (float 1e-9))) "arithmetic lifts" (Some 7.0)
+    (Timeseries.eval ts ~now:5.0
+       (Rule.Add (Rule.Rate (sel, 2.0), Rule.Const 5.0)))
+
+let test_timeseries_label_subset_and_merge () =
+  let reg = Registry.create () in
+  let h node =
+    Registry.histogram reg
+      ~labels:(Label.v [ ("node", string_of_int node) ])
+      "adept_part_seconds"
+  in
+  List.iter (Histogram.record (h 1)) [ 1.0; 1.0 ];
+  List.iter (Histogram.record (h 2)) [ 5.0; 5.0 ];
+  let one =
+    Rule.selector ~stat:Rule.Count
+      ~labels:(Label.v [ ("node", "1") ])
+      "adept_part_seconds"
+  in
+  let all = Rule.selector ~stat:Rule.Count "adept_part_seconds" in
+  let sum_all = Rule.selector ~stat:Rule.Sum "adept_part_seconds" in
+  let ts = Timeseries.create ~retention:10.0 [ one; all; sum_all ] in
+  Timeseries.scrape ts ~registry:reg ~now:0.0;
+  Alcotest.(check (option (float 1e-9))) "subset matches one series" (Some 2.0)
+    (Option.map snd (Timeseries.last ts one));
+  Alcotest.(check (option (float 1e-9))) "empty matcher merges all" (Some 4.0)
+    (Option.map snd (Timeseries.last ts all));
+  Alcotest.(check (option (float 1e-9))) "merged sum" (Some 12.0)
+    (Option.map snd (Timeseries.last ts sum_all))
+
+(* A tiny synthetic loop: one gauge, one threshold rule with a 1 s hold.
+   Exercises the full Inactive -> Pending -> Firing -> resolved cycle and
+   the silent Pending reset. *)
+let synthetic_alert () =
+  let reg = Registry.create () in
+  let g = Registry.gauge reg "adept_test_gauge" in
+  let sel = Rule.selector "adept_test_gauge" in
+  let rule =
+    Rule.threshold ~severity:Rule.Critical ~for_duration:1.0 "hot" sel Rule.Gt
+      10.0
+  in
+  let ts = Timeseries.create ~retention:10.0 (Rule.selectors rule) in
+  let alerts =
+    match Alert.create ~timeseries:ts [ rule ] with
+    | Ok a -> a
+    | Error e -> Alcotest.fail e
+  in
+  let step now v =
+    Gauge.set g v;
+    Timeseries.scrape ts ~registry:reg ~now;
+    Alert.eval alerts ~now
+  in
+  (alerts, step)
+
+let drive_synthetic step =
+  step 0.0 5.0;
+  step 0.5 20.0;
+  step 1.0 20.0;
+  step 1.5 20.0;
+  (* held for 1.0 s -> fires *)
+  step 2.0 5.0;
+  (* resolves *)
+  step 2.5 20.0;
+  (* pending again ... *)
+  step 3.0 5.0
+(* ... and resets silently *)
+
+let test_alert_state_machine () =
+  let alerts, step = synthetic_alert () in
+  step 0.0 5.0;
+  Alcotest.(check bool) "inactive below bound" true
+    (Alert.state alerts "hot" = Some Alert.Inactive);
+  step 0.5 20.0;
+  Alcotest.(check bool) "pending on first true" true
+    (match Alert.state alerts "hot" with
+    | Some (Alert.Pending since) -> since = 0.5
+    | _ -> false);
+  step 1.0 20.0;
+  Alcotest.(check bool) "still pending under the hold" true
+    (match Alert.state alerts "hot" with
+    | Some (Alert.Pending _) -> true
+    | _ -> false);
+  Alcotest.(check (list string)) "no firing yet" []
+    (Alert.firing_names alerts);
+  step 1.5 20.0;
+  Alcotest.(check bool) "fires once held for for_duration" true
+    (match Alert.state alerts "hot" with
+    | Some (Alert.Firing _) -> true
+    | _ -> false);
+  Alcotest.(check (list string)) "firing listed" [ "hot" ]
+    (Alert.firing_names alerts);
+  step 2.0 5.0;
+  Alcotest.(check bool) "resolves when false" true
+    (Alert.state alerts "hot" = Some Alert.Inactive);
+  step 2.5 20.0;
+  step 3.0 5.0;
+  let edges =
+    List.map
+      (fun (tr : Alert.transition) ->
+        match tr.Alert.edge with
+        | Alert.To_pending -> "pending"
+        | Alert.To_firing -> "firing"
+        | Alert.To_resolved -> "resolved")
+      (Alert.transitions alerts)
+  in
+  (* the second pending resets silently: no resolved edge for it *)
+  Alcotest.(check (list string)) "edge log"
+    [ "pending"; "firing"; "resolved"; "pending" ]
+    edges;
+  match Alert.firing_intervals alerts with
+  | [ (r, fired, Some resolved) ] ->
+      Alcotest.(check string) "interval rule" "hot" r.Rule.name;
+      Alcotest.(check (float 0.0)) "fired at" 1.5 fired;
+      Alcotest.(check (float 0.0)) "resolved at" 2.0 resolved
+  | _ -> Alcotest.fail "expected exactly one closed firing interval"
+
+let test_alert_burn_rate_two_windows () =
+  let reg = Registry.create () in
+  let c = Registry.counter reg "adept_burn_total" in
+  let sel = Rule.selector "adept_burn_total" in
+  let rule = Rule.burn_rate "burn" sel ~short:1.0 ~long:4.0 ~bound:5.0 in
+  let ts = Timeseries.create ~retention:20.0 (Rule.selectors rule) in
+  let alerts =
+    match Alert.create ~timeseries:ts [ rule ] with
+    | Ok a -> a
+    | Error e -> Alcotest.fail e
+  in
+  let step now by =
+    Counter.inc ~by c;
+    Timeseries.scrape ts ~registry:reg ~now;
+    Alert.eval alerts ~now
+  in
+  (* flat, then one short spike: the long window disagrees, no fire *)
+  List.iter (fun i -> step (0.5 *. float_of_int i) 0.5) [ 0; 1; 2; 3; 4; 5; 6; 7 ];
+  step 4.0 10.0;
+  step 4.5 0.5;
+  Alcotest.(check (list string)) "short spike rides out" []
+    (Alert.firing_names alerts);
+  (* sustained burn: both windows agree, fires *)
+  List.iter
+    (fun i -> step (5.0 +. (0.5 *. float_of_int i)) 10.0)
+    [ 0; 1; 2; 3; 4; 5; 6; 7 ];
+  Alcotest.(check (list string)) "sustained burn fires" [ "burn" ]
+    (Alert.firing_names alerts)
+
+let test_alert_create_validation () =
+  let sel = Rule.selector "adept_test_gauge" in
+  let ts = Timeseries.create ~retention:1.0 [ sel ] in
+  (match
+     Alert.create ~timeseries:ts
+       [ Rule.threshold "a" sel Rule.Gt 1.0; Rule.threshold "a" sel Rule.Lt 0.0 ]
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "duplicate rule names accepted");
+  match
+    Alert.create ~timeseries:ts [ Rule.v "w" (Rule.Rate (sel, 5.0)) Rule.Gt (Rule.Const 0.) ]
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "rule window beyond retention accepted"
+
+(* Timeline exporters, pinned on the synthetic loop (deterministic). *)
+let test_export_alert_timeline () =
+  let alerts, step = synthetic_alert () in
+  drive_synthetic step;
+  let jsonl = Export.alert_timeline_jsonl alerts in
+  let lines = String.split_on_char '\n' (String.trim jsonl) in
+  Alcotest.(check int) "four transitions" 4 (List.length lines);
+  Alcotest.(check string) "first line"
+    "{\"at\":0.5,\"alert\":\"hot\",\"severity\":\"critical\",\"state\":\"pending\",\"value\":20}"
+    (List.nth lines 0);
+  Alcotest.(check string) "firing line"
+    "{\"at\":1.5,\"alert\":\"hot\",\"severity\":\"critical\",\"state\":\"firing\",\"value\":20}"
+    (List.nth lines 1);
+  Alcotest.(check string) "resolved line"
+    "{\"at\":2,\"alert\":\"hot\",\"severity\":\"critical\",\"state\":\"resolved\",\"value\":5}"
+    (List.nth lines 2);
+  let prom = Export.alerts_prom alerts in
+  Alcotest.(check bool) "ALERTS firing sample" true
+    (Astring.String.is_infix
+       ~affix:
+         "ALERTS{alertname=\"hot\",alertstate=\"firing\",severity=\"critical\"} 1 1500"
+       prom);
+  Alcotest.(check bool) "ALERTS resolved sample" true
+    (Astring.String.is_infix
+       ~affix:
+         "ALERTS{alertname=\"hot\",alertstate=\"firing\",severity=\"critical\"} 0 2000"
+       prom)
+
+let test_dashboard_structural () =
+  let alerts, step = synthetic_alert () in
+  drive_synthetic step;
+  let ts = Alert.timeseries alerts in
+  let html =
+    Dashboard.render ~timeseries:ts ~alerts
+      [
+        Dashboard.panel ~unit_:"units" "test gauge"
+          [ ("gauge", Rule.Last (Rule.selector "adept_test_gauge")) ];
+      ]
+  in
+  let has affix = Astring.String.is_infix ~affix html in
+  Alcotest.(check bool) "full document" true
+    (Astring.String.is_prefix ~affix:"<!DOCTYPE html>" html);
+  Alcotest.(check bool) "inline svg" true (has "<svg");
+  Alcotest.(check bool) "sparkline polyline" true (has "<polyline");
+  Alcotest.(check bool) "alert band drawn" true (has "alert-band");
+  Alcotest.(check bool) "alert table" true (has "class=\"alerts\"");
+  Alcotest.(check bool) "no scripts" true (not (has "<script"));
+  Alcotest.(check bool) "no external references" true (not (has "http"));
+  Alcotest.(check string) "byte-identical re-render" html
+    (Dashboard.render ~timeseries:ts ~alerts
+       [
+         Dashboard.panel ~unit_:"units" "test gauge"
+           [ ("gauge", Rule.Last (Rule.selector "adept_test_gauge")) ];
+       ]);
+  (* an empty store still renders a complete document *)
+  let empty =
+    Dashboard.render
+      ~timeseries:(Timeseries.create ~retention:1.0 [])
+      [ Dashboard.panel "empty" [] ]
+  in
+  Alcotest.(check bool) "empty store renders" true
+    (Astring.String.is_infix ~affix:"no scrapes recorded" empty)
+
 (* ---------- golden Prometheus export ----------
 
    The Prometheus text export of a fixed-seed star run is pinned
@@ -633,12 +1012,18 @@ let () =
           Alcotest.test_case "edge values" `Quick test_histogram_edge_values;
           Alcotest.test_case "merge alpha mismatch" `Quick
             test_histogram_merge_alpha_mismatch;
+          Alcotest.test_case "merge empty identity" `Quick
+            test_histogram_merge_empty_identity;
           Alcotest.test_case "bounded buckets" `Quick test_histogram_bounded_buckets;
         ] );
       ( "ring",
         [
           Alcotest.test_case "window exact" `Quick test_ring_window_exact;
           Alcotest.test_case "prunes and guards" `Quick test_ring_prunes_and_guards;
+          Alcotest.test_case "retention boundary" `Quick
+            test_ring_retention_boundary;
+          Alcotest.test_case "find at-or-before" `Quick
+            test_ring_find_at_or_before;
         ] );
       ( "registry",
         [ Alcotest.test_case "get-or-create" `Quick test_registry_get_or_create ] );
@@ -649,7 +1034,33 @@ let () =
           Alcotest.test_case "prometheus format" `Quick test_export_prometheus_format;
           Alcotest.test_case "jsonl and csv" `Quick test_export_jsonl_and_csv;
           Alcotest.test_case "deterministic" `Quick test_export_deterministic;
+          Alcotest.test_case "prometheus escaping pinned" `Quick
+            test_export_prometheus_escaping_pinned;
+          Alcotest.test_case "alert timeline" `Quick test_export_alert_timeline;
         ] );
+      ( "rule",
+        [
+          Alcotest.test_case "parse roundtrip" `Quick test_rule_parse_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_rule_parse_errors;
+          Alcotest.test_case "selectors dedup" `Quick test_rule_selectors_dedup;
+        ] );
+      ( "timeseries",
+        [
+          Alcotest.test_case "scrape and eval" `Quick
+            test_timeseries_scrape_and_eval;
+          Alcotest.test_case "label subset and merge" `Quick
+            test_timeseries_label_subset_and_merge;
+        ] );
+      ( "alert",
+        [
+          Alcotest.test_case "state machine" `Quick test_alert_state_machine;
+          Alcotest.test_case "burn rate two windows" `Quick
+            test_alert_burn_rate_two_windows;
+          Alcotest.test_case "create validation" `Quick
+            test_alert_create_validation;
+        ] );
+      ( "dashboard",
+        [ Alcotest.test_case "structural" `Quick test_dashboard_structural ] );
       ( "run-stats",
         [
           Alcotest.test_case "bounded memory at 10^6" `Quick

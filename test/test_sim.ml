@@ -938,6 +938,201 @@ let test_controller_enacts_on_permanent_crash () =
   Alcotest.(check bool) "requests keep completing after the heal" true
     (r.Scenario.completed_total > 0)
 
+(* ---------- Monitor ---------- *)
+
+module Monitor = Adept_sim.Monitor
+module Alert = Adept_obs.Alert
+module Rule = Adept_obs.Rule
+
+let test_engine_schedule_every () =
+  let engine = Engine.create () in
+  let ticks = ref [] in
+  Engine.schedule_every engine ~interval:0.5 ~until:2.2 (fun ~now ->
+      ticks := now :: !ticks);
+  ignore (Engine.run engine);
+  Alcotest.(check (list (float 1e-12)))
+    "ticks at each interval up to the horizon" [ 0.5; 1.0; 1.5; 2.0 ]
+    (List.rev !ticks);
+  Alcotest.(check bool) "non-positive interval rejected" true
+    (match
+       Engine.schedule_every engine ~interval:0.0 ~until:1.0 (fun ~now:_ -> ())
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let star_monitor ~interval =
+  let platform = star_platform 3 in
+  let tree = star_tree platform in
+  let wapp = Adept_workload.Dgemm.(mflops (make 310)) in
+  match
+    Monitor.create ~interval
+      ~selectors:(Monitor.default_selectors tree)
+      (Monitor.model_rules ~params ~wapp tree)
+  with
+  | Ok m -> m
+  | Error e -> Alcotest.fail (Adept.Error.to_string e)
+
+let test_monitor_observation_only () =
+  (* the tentpole's determinism regression: attaching the monitor (at any
+     interval, 0 included) must not perturb the simulation — scrapes and
+     alert evaluations only read sim state *)
+  let faults () =
+    Faults.make_exn ~service_timeout:0.5 ~patience:0.2 ()
+    |> Faults.crash ~node:1 ~at:1.0
+  in
+  let run interval =
+    let s =
+      controller_scenario ~controller:(controller_config ())
+        ~faults:(faults ()) ~seed:7 ()
+    in
+    let trace = Trace.create () in
+    let monitor = Option.map (fun i -> star_monitor ~interval:i) interval in
+    let r =
+      Scenario.run_fixed ~trace ?monitor s ~clients:12 ~warmup:0.5 ~duration:6.0
+    in
+    ( ( r.Scenario.throughput,
+        r.Scenario.completed_total,
+        r.Scenario.issued_total,
+        r.Scenario.lost_total,
+        r.Scenario.mean_response,
+        r.Scenario.migration_lost,
+        r.Scenario.degraded_seconds ),
+      (* replan records minus the alerts field, which is the monitor's
+         one intended (and observation-only) contribution *)
+      List.map
+        (fun (rec_ : Controller.replan_record) ->
+          ( rec_.Controller.at,
+            rec_.Controller.failed,
+            rec_.Controller.observed,
+            rec_.Controller.rho_before,
+            rec_.Controller.rho_after,
+            rec_.Controller.migration_cost ))
+        r.Scenario.replans,
+      trace_fingerprint trace,
+      monitor )
+  in
+  let core0, reps0, fp0, _ = run None in
+  let core1, reps1, fp1, m1 = run (Some 0.25) in
+  let core2, reps2, fp2, m2 = run (Some 0.0) in
+  Alcotest.(check bool) "interval 0.25 bit-identical" true
+    (core1 = core0 && reps1 = reps0 && fp1 = fp0);
+  Alcotest.(check bool) "interval 0 bit-identical" true
+    (core2 = core0 && reps2 = reps0 && fp2 = fp0);
+  Alcotest.(check bool) "monitored run scraped" true
+    (match m1 with Some m -> Monitor.scrapes m > 0 | None -> false);
+  Alcotest.(check bool) "interval 0 never scrapes" true
+    (match m2 with Some m -> Monitor.scrapes m = 0 | None -> false);
+  Alcotest.(check bool) "replans happened (the regression is non-trivial)"
+    true (reps0 <> [])
+
+(* The acceptance scenario: a 10-node dary:3 hierarchy where crashing a
+   mid-level agent orphans its three servers.  The measured rate drops
+   well below Eq. 16, model-drift fires, the controller replans around
+   the dead agent citing the alert, throughput recovers toward the new
+   prediction, and the alert resolves. *)
+let drift_scenario () =
+  let platform =
+    Adept_platform.Generator.homogeneous ~bandwidth:1000.0 ~n:10 ~power:730.0 ()
+  in
+  let wapp = Adept_workload.Dgemm.(mflops (make 310)) in
+  let strategy =
+    match Adept.Planner.strategy_of_string "dary:3" with
+    | Ok s -> s
+    | Error e -> Alcotest.fail (Adept.Error.to_string e)
+  in
+  let plan =
+    match
+      Adept.Planner.run strategy params ~platform ~wapp
+        ~demand:Adept_model.Demand.unbounded
+    with
+    | Ok p -> p
+    | Error e -> Alcotest.fail (Adept.Error.to_string e)
+  in
+  let tree = plan.Adept.Planner.tree in
+  let faults =
+    Faults.make_exn ~service_timeout:2.0 ~patience:0.2 ()
+    |> Faults.crash ~node:1 ~at:1.5
+  in
+  let controller =
+    match
+      Controller.config ~strategy ~sample_period:0.5 ~window:2.0 ~threshold:0.75
+        ~hold_time:1.0 ~cooldown:2.0 ~max_replans:3 Controller.Hysteresis
+    with
+    | Ok c -> c
+    | Error e -> Alcotest.fail (Adept.Error.to_string e)
+  in
+  let monitor =
+    match
+      Monitor.create ~interval:0.25
+        ~selectors:(Monitor.default_selectors tree)
+        (Monitor.model_rules ~hold:0.5 ~params ~wapp tree)
+    with
+    | Ok m -> m
+    | Error e -> Alcotest.fail (Adept.Error.to_string e)
+  in
+  let job = Adept_workload.Job.of_dgemm (Adept_workload.Dgemm.make 310) in
+  let s =
+    Scenario.make ~faults ~controller ~seed:42 ~params ~platform
+      ~client:(Adept_workload.Client.closed_loop job) tree
+  in
+  (s, monitor)
+
+let run_drift_scenario () =
+  let s, monitor = drift_scenario () in
+  let r = Scenario.run_fixed ~monitor s ~clients:16 ~warmup:0.5 ~duration:12.0 in
+  (r, monitor)
+
+let test_monitor_drift_cycle () =
+  let r, monitor = run_drift_scenario () in
+  let alerts = Monitor.alerts monitor in
+  let edge_times edge =
+    List.filter_map
+      (fun (tr : Alert.transition) ->
+        if tr.Alert.rule.Rule.name = "model-drift" && tr.Alert.edge = edge then
+          Some tr.Alert.at
+        else None)
+      (Alert.transitions alerts)
+  in
+  let fired = edge_times Alert.To_firing in
+  let resolved = edge_times Alert.To_resolved in
+  Alcotest.(check int) "model-drift fires exactly once" 1 (List.length fired);
+  let t_fire = List.hd fired in
+  Alcotest.(check bool) "fires after the crash" true (t_fire > 1.5);
+  Alcotest.(check int) "one replan" 1 (List.length r.Scenario.replans);
+  let rep = List.hd r.Scenario.replans in
+  Alcotest.(check bool) "the dead agent is written off" true
+    (List.mem 1 rep.Controller.failed);
+  Alcotest.(check bool) "replan enacted after the alert fired" true
+    (rep.Controller.at > t_fire);
+  Alcotest.(check (list string)) "replan cites the firing alert"
+    [ "model-drift" ] rep.Controller.alerts;
+  Alcotest.(check int) "drift resolves exactly once" 1 (List.length resolved);
+  Alcotest.(check bool) "resolves after the replan" true
+    (List.hd resolved > rep.Controller.at);
+  Alcotest.(check bool) "throughput recovered" true
+    (r.Scenario.completed_total > 0 && Alert.firing_names alerts = [])
+
+(* The alert timeline of that scenario, pinned byte-for-byte in
+   test/golden/monitor_drift.jsonl.  A mismatch means the alert engine,
+   the exporter or the simulation's accounting changed: if intentional,
+   regenerate with
+     MONITOR_GOLDEN_OUT=test/golden/monitor_drift.jsonl dune exec test/test_sim.exe
+   and mention the break in the changelog. *)
+
+let drift_timeline () =
+  let _, monitor = run_drift_scenario () in
+  Adept_obs.Export.alert_timeline_jsonl (Monitor.alerts monitor)
+
+let read_golden name =
+  let path = Filename.concat (Filename.dirname Sys.executable_name) name in
+  In_channel.with_open_bin path In_channel.input_all
+
+let test_monitor_golden_timeline () =
+  let got = drift_timeline () in
+  Alcotest.(check string) "byte-identical across runs" got (drift_timeline ());
+  Alcotest.(check string) "matches golden"
+    (read_golden "golden/monitor_drift.jsonl") got
+
 (* ---------- properties ---------- *)
 
 let prop_controller_min_gain =
@@ -1035,6 +1230,15 @@ let prop_sim_busy_bounded =
         (Middleware.root m :: Middleware.server_ids m))
 
 let () =
+  (* regenerate the pinned alert timeline:
+       MONITOR_GOLDEN_OUT=test/golden/monitor_drift.jsonl dune exec test/test_sim.exe *)
+  (match Sys.getenv_opt "MONITOR_GOLDEN_OUT" with
+  | Some path ->
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc (drift_timeline ()));
+      Printf.printf "wrote %s\n%!" path;
+      exit 0
+  | None -> ());
   Alcotest.run "sim"
     [
       ( "event_queue",
@@ -1054,6 +1258,16 @@ let () =
           Alcotest.test_case "nested scheduling" `Quick test_engine_nested_scheduling;
           Alcotest.test_case "exhausted advances" `Quick
             test_engine_exhausted_advances_to_horizon;
+          Alcotest.test_case "schedule_every" `Quick test_engine_schedule_every;
+        ] );
+      ( "monitor",
+        [
+          Alcotest.test_case "observation only" `Slow
+            test_monitor_observation_only;
+          Alcotest.test_case "drift fire/replan/resolve" `Slow
+            test_monitor_drift_cycle;
+          Alcotest.test_case "golden timeline" `Slow
+            test_monitor_golden_timeline;
         ] );
       ( "resource",
         [
