@@ -133,6 +133,58 @@ let bench_plan_2000 =
            (Adept.Heuristic.plan params ~platform ~wapp:(dgemm 310)
               ~demand:Demand.unbounded)))
 
+let bench_plan_100k =
+  (* the pooled planner's headline: Algorithm 1 on 100 000 nodes.  The
+     node pool's prefix sums and capacity classes keep each bisection
+     probe near-linear, so the whole plan lands in well under a second —
+     the pre-pool implementation was quadratic in the candidate scans and
+     unusable at this scale. *)
+  let platform = lazy (orsay 1 100_000) in
+  Bechamel.Test.make ~name:"scale/plan-100k-nodes"
+    (Bechamel.Staged.stage (fun () ->
+         ignore
+           (Adept.Heuristic.plan params ~platform:(Lazy.force platform)
+              ~wapp:(dgemm 310) ~demand:Demand.unbounded)))
+
+(* Twin pair: patching a 200-node hierarchy around a dead server versus
+   replanning it from scratch — the wall-clock gap the controller's
+   incremental-first policy banks on every enactment. *)
+let bench_replan_pair =
+  let platform = orsay 42 200 in
+  let wapp = dgemm 310 in
+  let previous =
+    match
+      Adept.Planner.run Adept.Planner.Heuristic params ~platform ~wapp
+        ~demand:Demand.unbounded
+    with
+    | Ok p -> p.Adept.Planner.tree
+    | Error e -> failwith (Adept.Error.to_string e)
+  in
+  let failed =
+    let servers = Adept_hierarchy.Tree.servers previous in
+    [ Adept_platform.Node.id (List.nth servers (List.length servers - 1)) ]
+  in
+  ( Bechamel.Test.make ~name:"replan/incremental-200-nodes"
+      (Bechamel.Staged.stage (fun () ->
+           match
+             Adept.Planner.replan_incremental Adept.Planner.Heuristic params
+               ~platform ~wapp ~demand:Demand.unbounded ~failed ~previous ()
+           with
+           | Ok (_, Adept.Planner.Incremental) -> ()
+           | Ok (_, Adept.Planner.Full reason) -> failwith ("fell back: " ^ reason)
+           | Error e -> failwith (Adept.Error.to_string e))),
+    Bechamel.Test.make ~name:"replan/full-200-nodes"
+      (Bechamel.Staged.stage (fun () ->
+           match
+             Adept.Planner.replan Adept.Planner.Heuristic params ~platform ~wapp
+               ~demand:Demand.unbounded ~failed ~reference:previous ()
+           with
+           | Ok _ -> ()
+           | Error e -> failwith (Adept.Error.to_string e))) )
+
+let bench_replan_incremental = fst bench_replan_pair
+let bench_replan_full = snd bench_replan_pair
+
 let bench_fault_sweep =
   (* fault-sweep kernel: one simulated point with an active crash/recovery
      schedule — times the overhead of the supervised (timeout/retry)
@@ -382,6 +434,7 @@ let run_micro () =
         bench_fig7; bench_fault_sweep; bench_self_heal; bench_traced;
         bench_scrape; bench_plan_2000; bench_window_ring; bench_window_naive;
         bench_event_queue; bench_xml;
+        bench_plan_100k; bench_replan_incremental; bench_replan_full;
       ]
   in
   let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 1.5) ~kde:(Some 1000) () in

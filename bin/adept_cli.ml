@@ -68,6 +68,19 @@ let strategy_arg =
   in
   Arg.(value & opt string "heuristic" & info [ "strategy" ] ~docv:"NAME" ~doc)
 
+let replan_mode_arg =
+  let doc =
+    "Self-heal: how replans are planned — incremental (patch the running \
+     hierarchy, falling back to a from-scratch plan when the patch is not \
+     good enough) or full (always replan from scratch)."
+  in
+  Arg.(value & opt string "incremental" & info [ "replan-mode" ] ~docv:"MODE" ~doc)
+
+let prefer_incremental_of_mode = function
+  | "incremental" -> true
+  | "full" -> false
+  | other -> exit_err ("--replan-mode must be incremental or full, got " ^ other)
+
 let build_platform file n power bandwidth hetero seed =
   match file with
   | Some path -> (
@@ -203,10 +216,13 @@ let eval_cmd =
 let simulate_cmd =
   let run file n power bandwidth hetero seed dgemm demand strategy clients warmup
       duration crash_rate mttr drop fault_seed timeout service_timeout retries
-      backoff patience self_heal degrade_threshold cooldown max_replans =
+      backoff patience self_heal degrade_threshold cooldown max_replans
+      replan_mode =
     if crash_rate < 0.0 then exit_err "--crash-rate must be >= 0";
     if not (drop >= 0.0 && drop < 1.0) then exit_err "--drop must be in [0, 1)";
     if mttr <= 0.0 then exit_err "--mttr must be > 0";
+    (* validate even when --self-heal is absent: a typo must not pass silently *)
+    let prefer_incremental = prefer_incremental_of_mode replan_mode in
     let platform = build_platform file n power bandwidth hetero seed in
     let wapp = Adept_workload.Dgemm.(mflops (make dgemm)) in
     let strategy =
@@ -229,7 +245,8 @@ let simulate_cmd =
           in
           match
             Adept_sim.Controller.config ~strategy ~threshold:degrade_threshold
-              ~cooldown ~max_replans policy
+              ~cooldown ~max_replans
+              ~prefer_incremental policy
           with
           | Ok cfg -> Some cfg
           | Error e -> exit_error e)
@@ -390,7 +407,7 @@ let simulate_cmd =
           $ hetero_arg $ seed_arg $ dgemm_arg $ demand_arg $ strategy_arg
           $ clients $ warmup $ duration $ crash_rate $ mttr $ drop $ fault_seed
           $ timeout $ service_timeout $ retries $ backoff $ patience $ self_heal
-          $ degrade_threshold $ cooldown $ max_replans)
+          $ degrade_threshold $ cooldown $ max_replans $ replan_mode_arg)
 
 (* ---------- observe ---------- *)
 
@@ -677,12 +694,14 @@ let monitor_cmd =
       duration scrape_interval retention rules_file crashes crash_rate mttr drop
       fault_seed
       timeout service_timeout retries backoff patience self_heal degrade_threshold
-      sample_period window hold_time cooldown max_replans drift_tolerance
-      drift_hold rule_window timeline_out alerts_out html_out =
+      sample_period window hold_time cooldown max_replans replan_mode
+      drift_tolerance drift_hold rule_window timeline_out alerts_out html_out =
     if scrape_interval < 0.0 then exit_err "--scrape-interval must be >= 0";
     if crash_rate < 0.0 then exit_err "--crash-rate must be >= 0";
     if not (drop >= 0.0 && drop < 1.0) then exit_err "--drop must be in [0, 1)";
     if mttr <= 0.0 then exit_err "--mttr must be > 0";
+    (* validate even when --self-heal is absent: a typo must not pass silently *)
+    let prefer_incremental = prefer_incremental_of_mode replan_mode in
     let platform = build_platform file n power bandwidth hetero seed in
     let wapp = Adept_workload.Dgemm.(mflops (make dgemm)) in
     let strategy =
@@ -761,7 +780,7 @@ let monitor_cmd =
               match
                 Adept_sim.Controller.config ~strategy ~sample_period ~window
                   ~threshold:degrade_threshold ~hold_time ~cooldown ~max_replans
-                  policy
+                  ~prefer_incremental policy
               with
               | Ok cfg -> Some cfg
               | Error e -> exit_error e)
@@ -1021,8 +1040,8 @@ let monitor_cmd =
           $ crash_rate $ mttr $ drop $ fault_seed $ timeout $ service_timeout
           $ retries $ backoff $ patience $ self_heal $ degrade_threshold
           $ sample_period $ window $ hold_time $ cooldown $ max_replans
-          $ drift_tolerance $ drift_hold $ rule_window $ timeline_out
-          $ alerts_out $ html_out)
+          $ replan_mode_arg $ drift_tolerance $ drift_hold $ rule_window
+          $ timeline_out $ alerts_out $ html_out)
 
 (* ---------- replan ---------- *)
 

@@ -3,14 +3,6 @@ open Adept_hierarchy
 module Params = Adept_model.Params
 module Demand = Adept_model.Demand
 
-(* This module is the pooled/prefix-sum reimplementation of the seed
-   planner kept verbatim in {!Heuristic_reference}.  Every optimization
-   below is decision-identical: the same floating-point values reach the
-   same comparisons in the same order, so the produced tree and rho are
-   bit-identical to the reference (the QCheck equivalence property in
-   test_core.ml enforces this).  Only work that cannot change a decision
-   is skipped — see DESIGN.md "Planner internals". *)
-
 type probe = { target : float; feasible : bool; achieved_rho : float; nodes_used : int }
 
 type result = {
@@ -20,9 +12,8 @@ type result = {
   demand_met : bool;
 }
 
-(* Working representation during the level-by-level build.  [nkids]
-   mirrors [List.length kids] so capacity checks are O(1). *)
-type ag = { anode : Node.t; cap : int; mutable kids : kid list; mutable nkids : int }
+(* Working representation during the level-by-level build. *)
+type ag = { anode : Node.t; cap : int; mutable kids : kid list }
 and kid = Kagent of ag | Kserver of Node.t
 
 let rec tree_of_ag a =
@@ -45,108 +36,85 @@ let rec tree_of_ag a =
    middleware) pays it dearly on long-running services. *)
 let lighten_slack = 4.0
 
-(* The reference re-sorts both role lists and rewrites the whole tree for
-   every swap.  Here the two sorted orders are maintained as arrays
-   across swaps and the node substitution is applied once at the end; the
-   swap sequence is identical because both comparators are total orders
-   (ties break on the node id), the feasibility predicate is monotone
-   along the servers' power-ascending order (so a binary search finds the
-   same first candidate a linear scan would), and a swap only exchanges
-   the occupants of two positions — the degrees attached to agent
-   positions never change. *)
 let lighten_agents params ~bandwidth ~target tree =
-  let fuel = Tree.size tree in
-  let cmp_agent (a, _) (b, _) = Node.compare_by_power_desc a b in
-  let cmp_server a b = Node.compare_by_power_desc b a in
-  let agents = Array.of_list (Tree.agents_with_degree tree) in
-  let servers = Array.of_list (Tree.servers tree) in
-  Array.sort cmp_agent agents;
-  Array.sort cmp_server servers;
-  let feasible_power power degree =
-    Adept_model.Throughput.agent_sched params ~bandwidth ~power ~degree
-    >= lighten_slack *. target
+  let swap_once tree =
+    let agents =
+      List.sort
+        (fun (a, _) (b, _) -> Node.compare_by_power_desc a b)
+        (Tree.agents_with_degree tree)
+    in
+    let servers =
+      List.sort (fun a b -> Node.compare_by_power_desc b a) (Tree.servers tree)
+    in
+    let feasible server degree =
+      Sched_power.agent params ~bandwidth ~node:server ~children:degree
+      >= lighten_slack *. target
+    in
+    let rec find_swap = function
+      | [] -> None
+      | (agent, degree) :: rest ->
+          let candidate =
+            List.find_opt
+              (fun server ->
+                Node.power server < Node.power agent && feasible server degree)
+              servers
+          in
+          (match candidate with
+          | Some server -> Some (agent, server)
+          | None -> find_swap rest)
+    in
+    match find_swap agents with
+    | None -> None
+    | Some (agent, server) ->
+        let substitute node =
+          if Node.id node = Node.id agent then server
+          else if Node.id node = Node.id server then agent
+          else node
+        in
+        let rec rewrite = function
+          | Tree.Server n -> Tree.server (substitute n)
+          | Tree.Agent (n, children) ->
+              Tree.agent (substitute n) (List.map rewrite children)
+        in
+        Some (rewrite tree)
   in
-  (* First server (power-ascending) clearing the scheduling floor at
-     [degree]: the predicate is FP-monotone in power, so it holds on a
-     suffix and the boundary is binary-searchable. *)
-  let first_feasible degree =
-    let n = Array.length servers in
-    let lo = ref 0 and hi = ref n in
-    while !lo < !hi do
-      let mid = (!lo + !hi) / 2 in
-      if feasible_power (Node.power servers.(mid)) degree then hi := mid
-      else lo := mid + 1
-    done;
-    !lo
+  let rec loop tree fuel =
+    if fuel = 0 then tree
+    else match swap_once tree with None -> tree | Some tree' -> loop tree' (fuel - 1)
   in
-  let find_swap () =
-    let n_agents = Array.length agents in
-    let rec go i =
-      if i >= n_agents then None
+  loop tree (Tree.size tree)
+
+(* Smallest prefix of [sorted.(from..)] whose Eq. 15 service power reaches
+   [target], skipping nodes whose own prediction throughput is below the
+   target.  Returns the server nodes, or None if even all of them fall
+   short. *)
+let min_servers params ~bandwidth ~wapp ~target sorted ~from =
+  let comm =
+    (params.Params.server.sreq +. params.Params.server.srep) /. bandwidth
+  in
+  let budget = (1.0 /. target) -. comm in
+  if budget <= 0.0 then None
+  else begin
+    (* service >= target  <=>  (1 + Wpre * sum 1/wapp) / sum (w/wapp) <= budget *)
+    let n = Array.length sorted in
+    let rec scan i sum_rate sum_inv acc =
+      let numer = 1.0 +. (params.Params.server.wpre *. sum_inv) in
+      if sum_rate > 0.0 && numer /. sum_rate <= budget then Some (List.rev acc)
+      else if i >= n then None
       else
-        let agent, degree = agents.(i) in
-        let j = first_feasible degree in
-        if j < Array.length servers && Node.power servers.(j) < Node.power agent
-        then Some (i, j)
-        else go (i + 1)
+        let node = sorted.(i) in
+        let usable =
+          Sched_power.server params ~bandwidth ~node >= target
+        in
+        if usable then
+          scan (i + 1)
+            (sum_rate +. (Node.power node /. wapp))
+            (sum_inv +. (1.0 /. wapp))
+            (node :: acc)
+        else scan (i + 1) sum_rate sum_inv acc
     in
-    go 0
-  in
-  (* Remove index [i], insert [x] at its sorted position (total order ⇒
-     the position is unique, matching a full re-sort). *)
-  let replace_sorted arr cmp i x =
-    let n = Array.length arr in
-    let y = arr.(i) in
-    if cmp x y < 0 then begin
-      (* move left: shift (pos..i-1) right *)
-      let pos = ref 0 in
-      while cmp arr.(!pos) x < 0 do incr pos done;
-      Array.blit arr !pos arr (!pos + 1) (i - !pos);
-      arr.(!pos) <- x
-    end
-    else begin
-      (* move right: shift (i+1..pos-1) left *)
-      let pos = ref n in
-      while !pos > i + 1 && cmp x arr.(!pos - 1) < 0 do decr pos done;
-      Array.blit arr (i + 1) arr i (!pos - 1 - (i + 1) + 1);
-      arr.(!pos - 1) <- x
-    end
-  in
-  (* occupant.(original node id at a tree position) = node now holding it *)
-  let occupant = Hashtbl.create 16 in
-  let position = Hashtbl.create 16 in
-  let pos_of node =
-    Option.value ~default:(Node.id node) (Hashtbl.find_opt position (Node.id node))
-  in
-  let rec loop fuel swapped =
-    if fuel = 0 then swapped
-    else
-      match find_swap () with
-      | None -> swapped
-      | Some (i, j) ->
-          let agent, degree = agents.(i) in
-          let server = servers.(j) in
-          let pa = pos_of agent and ps = pos_of server in
-          Hashtbl.replace occupant pa server;
-          Hashtbl.replace occupant ps agent;
-          Hashtbl.replace position (Node.id server) pa;
-          Hashtbl.replace position (Node.id agent) ps;
-          replace_sorted agents cmp_agent i (server, degree);
-          replace_sorted servers cmp_server j agent;
-          loop (fuel - 1) true
-  in
-  if not (loop fuel false) then tree
-  else
-    let substitute node =
-      match Hashtbl.find_opt occupant (Node.id node) with
-      | Some n -> n
-      | None -> node
-    in
-    let rec rewrite = function
-      | Tree.Server n -> Tree.server (substitute n)
-      | Tree.Agent (n, children) -> Tree.agent (substitute n) (List.map rewrite children)
-    in
-    rewrite tree
+    scan from 0.0 0.0 []
+  end
 
 (* Round-robin children into open slots (frontier remainder + new agents),
    never exceeding an agent's capacity. *)
@@ -159,85 +127,59 @@ let distribute ~slots children =
       if tried >= n then invalid_arg "Heuristic.distribute: no capacity left";
       let a = open_slots.(!cursor) in
       cursor := (!cursor + 1) mod n;
-      if a.nkids < a.cap then begin
-        a.kids <- kid :: a.kids;
-        a.nkids <- a.nkids + 1
-      end
-      else seek (tried + 1)
+      if List.length a.kids < a.cap then a.kids <- kid :: a.kids else seek (tried + 1)
     in
     seek 0
   in
   List.iter place children
 
-let build params pool ~target =
-  let n = Node_pool.size pool in
-  let bandwidth = Node_pool.bandwidth pool in
-  let sorted = Node_pool.nodes pool in
-  (* Capacity depends on a node only through its power: memoize per
-     power class (the generators produce a handful of discrete levels,
-     so this collapses the per-node capacity scans of the reference). *)
-  let cap_cache = Array.make (max 1 (Node_pool.class_count pool)) (-1) in
-  let cap_at i =
-    let c = Node_pool.class_of pool i in
-    let cached = cap_cache.(c) in
-    if cached >= 0 then cached
-    else begin
-      let v =
-        Sched_power.supported_children params ~bandwidth ~node:sorted.(i)
-          ~floor:target ~max_children:(n - 1)
-      in
-      cap_cache.(c) <- v;
-      v
-    end
+let build params ~bandwidth ~wapp ~target sorted =
+  let n = Array.length sorted in
+  let cap_of ~node =
+    Sched_power.supported_children params ~bandwidth ~node ~floor:target
+      ~max_children:(n - 1)
   in
-  let usable = Node_pool.usable_until pool ~target in
-  let root_cap = cap_at 0 in
+  let root_cap = cap_of ~node:sorted.(0) in
   if root_cap < 1 then None
-  else if not (Node_pool.feasible pool ~target ~usable) then
-    (* No usable prefix from any start index reaches the target service
-       power, so every [min_servers] the level build could issue fails
-       and the build bottoms out at [None] — skip the whole cascade. *)
-    None
   else begin
-    let root = { anode = sorted.(0); cap = root_cap; kids = []; nkids = 0 } in
+    let root = { anode = sorted.(0); cap = root_cap; kids = [] } in
     (* [q] is the next unused index in the sorted order. *)
     let rec level frontier q =
-      let slots = List.fold_left (fun acc a -> acc + (a.cap - a.nkids)) 0 frontier in
+      let slots =
+        List.fold_left (fun acc a -> acc + (a.cap - List.length a.kids)) 0 frontier
+      in
       if slots <= 0 || q >= n then None
       else begin
         (* Scan j = number of frontier slots converted into new agents
-           (the shift_nodes move); j = 0 is the all-servers finish.
-           [deep] carries the running capacity sum of the j new agents so
-           each step is O(1) bookkeeping plus the capped server scan. *)
-        let max_j = min slots (n - q) in
-        let rec try_j j deep =
-          if j > max_j then `No_finish
+           (the shift_nodes move); j = 0 is the all-servers finish. *)
+        let rec try_j j =
+          if j > min slots (n - q) then `No_finish
           else begin
-            let last_cap = if j = 0 then max_int else cap_at (q + j - 1) in
+            let agent_nodes = Array.sub sorted q j in
+            let caps = Array.map (fun node -> cap_of ~node) agent_nodes in
             (* A new non-root agent is useless below two children; the
                sorted order makes capacity non-increasing, so stop. *)
-            if j > 0 && last_cap < 2 then `No_finish
+            if j > 0 && caps.(j - 1) < 2 then `No_finish
             else begin
-              let deep = if j = 0 then 0 else deep + last_cap in
+              let deep = Array.fold_left ( + ) 0 caps in
               let direct = slots - j in
               match
-                Node_pool.min_servers pool ~target ~usable ~from:(q + j)
-                  ~cap:(direct + deep)
+                min_servers params ~bandwidth ~wapp ~target sorted ~from:(q + j)
               with
-              | Node_pool.Servers servers
+              | Some servers
                 when List.length servers <= direct + deep
                      && (j = 0 || List.length servers >= 2 * j) ->
-                  `Finish (j, servers)
-              | Node_pool.Servers _ | Node_pool.Overflow | Node_pool.Infeasible ->
-                  try_j (j + 1) deep
+                  `Finish (Array.to_list agent_nodes, caps, servers)
+              | Some _ | None -> try_j (j + 1)
             end
           end
         in
-        match try_j 0 0 with
-        | `Finish (j, servers) ->
+        match try_j 0 with
+        | `Finish (agent_nodes, caps, servers) ->
             let new_agents =
-              List.init j (fun i ->
-                  { anode = sorted.(q + i); cap = cap_at (q + i); kids = []; nkids = 0 })
+              List.mapi
+                (fun i node -> { anode = node; cap = caps.(i); kids = [] })
+                agent_nodes
             in
             distribute ~slots:frontier (List.map (fun a -> Kagent a) new_agents);
             (* Guarantee two servers per new agent before balancing the rest. *)
@@ -246,7 +188,6 @@ let build params pool ~target =
               | [], rest -> rest
               | a :: more, s1 :: s2 :: rest ->
                   a.kids <- Kserver s2 :: Kserver s1 :: a.kids;
-                  a.nkids <- a.nkids + 2;
                   seed more rest
               | _ :: _, _ -> invalid_arg "Heuristic.build: seeding underflow"
             in
@@ -254,7 +195,7 @@ let build params pool ~target =
             distribute ~slots:(frontier @ new_agents)
               (List.map (fun s -> Kserver s) rest);
             Some root
-        | `No_finish ->
+          | `No_finish ->
             (* Commit a full level: every remaining slot becomes an agent,
                then grow the next level (nodes without capacity for two
                children cannot anchor a subtree, and capacity is monotone
@@ -262,7 +203,7 @@ let build params pool ~target =
             let takeable =
               let rec count i acc =
                 if acc >= slots || q + i >= n then acc
-                else if cap_at (q + i) >= 2 then count (i + 1) (acc + 1)
+                else if cap_of ~node:sorted.(q + i) >= 2 then count (i + 1) (acc + 1)
                 else acc
               in
               count 0 0
@@ -271,8 +212,8 @@ let build params pool ~target =
             else begin
               let new_agents =
                 List.init takeable (fun i ->
-                    let idx = q + i in
-                    { anode = sorted.(idx); cap = cap_at idx; kids = []; nkids = 0 })
+                    let node = sorted.(q + i) in
+                    { anode = node; cap = cap_of ~node; kids = [] })
               in
               distribute ~slots:frontier (List.map (fun a -> Kagent a) new_agents);
               level new_agents (q + takeable)
@@ -289,8 +230,10 @@ let build params pool ~target =
 
 let build_for_target params ~platform ~wapp ~target =
   let bandwidth = Platform.uniform_bandwidth platform in
-  let pool = Node_pool.create params ~bandwidth ~wapp (Platform.nodes platform) in
-  if Node_pool.size pool < 2 then None else build params pool ~target
+  let sorted =
+    Array.of_list (Sched_power.sort_nodes params ~bandwidth (Platform.nodes platform))
+  in
+  if Array.length sorted < 2 then None else build params ~bandwidth ~wapp ~target sorted
 
 let plan params ~platform ~wapp ~demand =
   let n = Platform.size platform in
@@ -302,11 +245,14 @@ let plan params ~platform ~wapp ~demand =
     | None ->
         Error "heuristic: the model requires homogeneous connectivity (a single B)"
     | Some bandwidth ->
-        let pool = Node_pool.create params ~bandwidth ~wapp (Platform.nodes platform) in
+        let sorted =
+          Array.of_list
+            (Sched_power.sort_nodes params ~bandwidth (Platform.nodes platform))
+        in
         let probes = ref [] in
         let candidates = ref [] in
         let try_target target =
-          match build params pool ~target with
+          match build params ~bandwidth ~wapp ~target sorted with
           | None ->
               probes :=
                 { target; feasible = false; achieved_rho = 0.0; nodes_used = 0 }
@@ -323,11 +269,15 @@ let plan params ~platform ~wapp ~demand =
         in
         (* Upper bound on any achievable rho: the strongest agent with a
            single child, the service power of everything else, and the
-           fastest possible server prediction rate — all O(1) pool
-           lookups, bit-identical to the reference's rest-list folds. *)
-        let hi_sched = Node_pool.hi_sched pool in
-        let hi_service = Node_pool.hi_service pool in
-        let hi_predict = Node_pool.hi_predict pool in
+           fastest possible server prediction rate. *)
+        let rest = List.tl (Array.to_list sorted) in
+        let hi_sched = Sched_power.agent params ~bandwidth ~node:sorted.(0) ~children:1 in
+        let hi_service = Service_power.of_servers params ~bandwidth ~wapp rest in
+        let hi_predict =
+          List.fold_left
+            (fun acc node -> Float.max acc (Sched_power.server params ~bandwidth ~node))
+            0.0 rest
+        in
         let hi = Float.min hi_sched (Float.min hi_service hi_predict) in
         let search_hi = Demand.min_target demand hi in
         (* Bisection for the largest feasible target; feasibility is
@@ -350,10 +300,8 @@ let plan params ~platform ~wapp ~demand =
             (try_target
                (0.9
                *. Float.min
-                    (Sched_power.agent params ~bandwidth ~node:(Node_pool.node pool 0)
-                       ~children:1)
-                    (Service_power.of_servers params ~bandwidth ~wapp
-                       [ Node_pool.node pool 1 ])));
+                    (Sched_power.agent params ~bandwidth ~node:sorted.(0) ~children:1)
+                    (Service_power.of_servers params ~bandwidth ~wapp [ sorted.(1) ])));
         match !candidates with
         | [] -> Error "heuristic: could not build any feasible hierarchy"
         | cands ->

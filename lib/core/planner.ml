@@ -4,6 +4,7 @@ module Demand = Adept_model.Demand
 
 type strategy =
   | Heuristic
+  | Reference
   | Star
   | Balanced of int
   | Dary of int
@@ -14,6 +15,7 @@ type strategy =
 
 let rec strategy_name = function
   | Heuristic -> "heuristic"
+  | Reference -> "reference"
   | Star -> "star"
   | Balanced k -> Printf.sprintf "balanced:%d" k
   | Dary d -> Printf.sprintf "dary:%d" d
@@ -34,6 +36,7 @@ let rec strategy_of_string s =
   in
   match s with
   | "heuristic" -> Ok Heuristic
+  | "reference" -> Ok Reference
   | "star" -> Ok Star
   | "homogeneous" -> Ok Homogeneous_optimal
   | "exhaustive" -> Ok Exhaustive
@@ -78,6 +81,11 @@ let rec plan_tree strategy params ~platform ~wapp ~demand =
         (Result.map
            (fun (r : Heuristic.result) -> (r.tree, List.length r.probes))
            (Heuristic.plan params ~platform ~wapp ~demand))
+  | Reference ->
+      typed
+        (Result.map
+           (fun (r : Heuristic_reference.result) -> (r.tree, List.length r.probes))
+           (Heuristic_reference.plan params ~platform ~wapp ~demand))
   | Star -> typed (Result.map (fun t -> (t, 1)) (Baselines.star nodes))
   | Balanced k ->
       typed (Result.map (fun t -> (t, 1)) (Baselines.balanced ~agents:k nodes))
@@ -224,6 +232,167 @@ let replan strategy params ~platform ~wapp ~demand ~failed ?reference () =
         (if rho_before > 0.0 then Float.max 0.0 (1.0 -. (rho_after /. rho_before))
          else 0.0);
     }
+
+type replan_mode = Incremental | Full of string
+
+let replan_mode_name = function Incremental -> "incremental" | Full _ -> "full"
+let replan_fallback_reason = function Incremental -> None | Full r -> Some r
+
+(* Remove the failed nodes from a hierarchy, reusing untouched subtrees by
+   structural sharing (a branch with no casualties is returned physically
+   unchanged).  A dead server just disappears; a dead agent dissolves and
+   its strongest surviving child takes its place — an agent child absorbs
+   the orphaned siblings, a server child is promoted to an agent over
+   them.  Returns [None] when nothing below survives. *)
+let rec drop_first_phys x = function
+  | [] -> []
+  | t :: rest -> if t == x then rest else t :: drop_first_phys x rest
+
+let promote_strongest kids =
+  let best =
+    List.fold_left
+      (fun best t ->
+        if Node.compare_by_power_desc (Tree.root_node t) (Tree.root_node best) < 0
+        then t
+        else best)
+      (List.hd kids) (List.tl kids)
+  in
+  match drop_first_phys best kids with
+  | [] -> best
+  | rest -> (
+      match best with
+      | Tree.Agent (n, c) -> Tree.agent n (c @ rest)
+      | Tree.Server n -> Tree.agent n rest)
+
+let rec patch_out is_failed tree =
+  match tree with
+  | Tree.Server n -> if is_failed.(Node.id n) then None else Some tree
+  | Tree.Agent (n, children) ->
+      let patched = List.filter_map (patch_out is_failed) children in
+      if is_failed.(Node.id n) then
+        match patched with [] -> None | kids -> Some (promote_strongest kids)
+      else if
+        List.length patched = List.length children
+        && List.for_all2 ( == ) patched children
+      then Some tree
+      else Some (Tree.agent n patched)
+
+(* Upper bound (Eq. 16) on the throughput any hierarchy over [survivors]
+   can reach — the same three-way bound the heuristic bisects under,
+   computed on a survivor pool: strongest agent at degree one, service
+   power of everything but the strongest node, fastest server prediction
+   rate.  Any tree's rho is below it, so a patch within [slack] of it is
+   provably within [slack] of whatever a from-scratch replan could do. *)
+let survivor_bound params ~bandwidth ~wapp ~demand survivors =
+  let pool = Node_pool.create params ~bandwidth ~wapp survivors in
+  let hi =
+    Float.min (Node_pool.hi_sched pool)
+      (Float.min (Node_pool.hi_service pool) (Node_pool.hi_predict pool))
+  in
+  Demand.min_target demand hi
+
+let replan_incremental strategy params ~platform ~wapp ~demand ~failed ~previous
+    ?(slack = 0.15) () =
+  let n = Platform.size platform in
+  let* () =
+    if slack < 0.0 || slack >= 1.0 || not (Float.is_finite slack) then
+      Error (Error.invalid_input "replan_incremental: slack must be in [0, 1)")
+    else Ok ()
+  in
+  let* () =
+    match List.find_opt (fun id -> id < 0 || id >= n) failed with
+    | Some id ->
+        Error (Error.invalid_input "replan: failed node %d is not on the platform" id)
+    | None -> Ok ()
+  in
+  let failed = List.sort_uniq Int.compare failed in
+  let* rho_before =
+    Result.map
+      (fun () -> Evaluate.rho_hetero params ~platform ~wapp previous)
+      (validated ~context:"replan reference" ~platform previous)
+  in
+  if failed = [] then
+    (* Nothing died: the previous hierarchy is returned verbatim
+       (physically shared), with zero candidate evaluations. *)
+    Ok
+      ( {
+          replanned =
+            {
+              strategy;
+              tree = previous;
+              predicted_rho = rho_before;
+              demand_met = Demand.is_met demand rho_before;
+              nodes_used = Tree.size previous;
+              nodes_available = n;
+              evaluations = 0;
+            };
+          failed = [];
+          survivors = n;
+          rho_before;
+          rho_after = rho_before;
+          rho_drop = 0.0;
+        },
+        Incremental )
+  else
+    let is_failed = Array.make n false in
+    List.iter (fun id -> is_failed.(id) <- true) failed;
+    let members =
+      List.filter (fun nd -> not is_failed.(Node.id nd)) (Platform.nodes platform)
+    in
+    let* () =
+      match List.length members with
+      | 0 -> Error Error.No_survivors
+      | s when s < 2 ->
+          Error (Error.Insufficient_survivors { survivors = s; required = 2 })
+      | _ -> Ok ()
+    in
+    let survivors = List.length members in
+    let full reason =
+      Result.map
+        (fun r -> (r, Full reason))
+        (replan strategy params ~platform ~wapp ~demand ~failed ~reference:previous ())
+    in
+    let accept tree rho_after =
+      Ok
+        ( {
+            replanned =
+              {
+                strategy;
+                tree;
+                predicted_rho = rho_after;
+                demand_met = Demand.is_met demand rho_after;
+                nodes_used = Tree.size tree;
+                nodes_available = survivors;
+                evaluations = 1;
+              };
+            failed;
+            survivors;
+            rho_before;
+            rho_after;
+            rho_drop =
+              (if rho_before > 0.0 then
+                 Float.max 0.0 (1.0 -. (rho_after /. rho_before))
+               else 0.0);
+          },
+          Incremental )
+    in
+    if is_failed.(Node.id (Tree.root_node previous)) then full "root-died"
+    else
+      match patch_out is_failed previous with
+      | None -> full "no-survivors-in-tree"
+      | Some patched -> (
+          let patched = Tree.normalize patched in
+          if Tree.size patched < 2 || Validate.check ~platform patched <> Ok ()
+          then full "invalid-patch"
+          else
+            match Link.uniform_bandwidth (Platform.link platform) with
+            | None -> full "non-uniform-bandwidth"
+            | Some bandwidth ->
+                let rho_patched = Evaluate.rho_hetero params ~platform ~wapp patched in
+                let bound = survivor_bound params ~bandwidth ~wapp ~demand members in
+                if rho_patched >= (1.0 -. slack) *. bound then
+                  accept patched rho_patched
+                else full "rho-below-bound")
 
 let pp_replan ppf r =
   Format.fprintf ppf

@@ -9,6 +9,11 @@ open Adept_hierarchy
 
 type strategy =
   | Heuristic  (** The paper's Algorithm 1 (heterogeneous heuristic). *)
+  | Reference
+      (** The frozen pre-{!Node_pool} implementation of Algorithm 1
+          ({!Heuristic_reference}) — the oracle the property-test
+          equivalence harness checks {!Heuristic} against.  Same
+          decisions, quadratic scans; do not use it for large platforms. *)
   | Star  (** One agent, every other node a server. *)
   | Balanced of int  (** The paper's balanced graph with this many middle agents. *)
   | Dary of int  (** Complete spanning d-ary tree of fixed degree. *)
@@ -21,8 +26,8 @@ type strategy =
 
 val strategy_name : strategy -> string
 val strategy_of_string : string -> (strategy, Error.t) Stdlib.result
-(** Parse ["heuristic"], ["star"], ["balanced:<k>"], ["dary:<d>"],
-    ["homogeneous"], ["exhaustive"], ["multi-cluster"], and
+(** Parse ["heuristic"], ["reference"], ["star"], ["balanced:<k>"],
+    ["dary:<d>"], ["homogeneous"], ["exhaustive"], ["multi-cluster"], and
     ["improved:<strategy>"].  Unknown names are [Error.Invalid_input]. *)
 
 type plan = {
@@ -93,6 +98,50 @@ val replan :
     needs to decide between giving up and waiting for recoveries. *)
 
 val pp_replan : Format.formatter -> replan_result -> unit
+
+type replan_mode =
+  | Incremental  (** The previous hierarchy was patched in place. *)
+  | Full of string
+      (** Replanned from scratch; the payload says why the patch was not
+          good enough (e.g. ["root-died"], ["rho-below-bound"]). *)
+
+val replan_mode_name : replan_mode -> string
+(** ["incremental"] or ["full"] — the [replan-mode] breadcrumb value. *)
+
+val replan_fallback_reason : replan_mode -> string option
+(** The [Full] payload, [None] for [Incremental]. *)
+
+val replan_incremental :
+  strategy ->
+  Adept_model.Params.t ->
+  platform:Platform.t ->
+  wapp:float ->
+  demand:Adept_model.Demand.t ->
+  failed:Node.id list ->
+  previous:Tree.t ->
+  ?slack:float ->
+  unit ->
+  (replan_result * replan_mode, Error.t) Stdlib.result
+(** Patch [previous] instead of replanning from scratch when the patch is
+    good enough: dead servers are dropped, a dead agent's position is
+    taken by its strongest surviving child (an agent child absorbs the
+    orphaned siblings; a server child is promoted over them), and
+    untouched subtrees are reused by structural sharing.  The patched
+    hierarchy is accepted — [Incremental] — when its predicted throughput
+    (Eq. 16) is at least [(1 - slack)] of the survivor-platform upper
+    bound the heuristic bisects under (so it provably trails whatever a
+    from-scratch replan could achieve by at most [slack]); otherwise the
+    call falls back to {!replan} with [previous] as the reference and
+    reports [Full reason].  Fallback reasons: ["root-died"],
+    ["no-survivors-in-tree"], ["invalid-patch"],
+    ["non-uniform-bandwidth"], ["rho-below-bound"].
+
+    Unlike {!replan}, an empty [failed] list is not an error: the result
+    is the input plan verbatim (the tree physically shared, zero
+    evaluations, zero drop) — the determinism anchor the property tests
+    pin.  Off-platform ids, zero survivors and a single survivor are the
+    same typed errors as {!replan}.  [slack] defaults to [0.15]; it must
+    lie in [\[0, 1)]. *)
 
 val compare_strategies :
   Adept_model.Params.t ->

@@ -23,11 +23,32 @@ let sort_nodes params ~bandwidth nodes =
       List.map snd (List.sort compare keyed)
 
 let supported_children params ~bandwidth ~node ~floor ~max_children =
-  (* agent sched power is strictly decreasing in the degree, so a linear
-     scan from 1 is exact; max_children is at most n and keeps this cheap. *)
-  let rec go d =
-    if d > max_children then max_children
-    else if agent params ~bandwidth ~node ~children:d < floor then d - 1
-    else go (d + 1)
-  in
-  if max_children < 1 then 0 else go 1
+  (* Agent sched power is FP-monotone non-increasing in the degree (every
+     cost term is a rounded sum/product of non-negative parameters with
+     the degree), so the usable degrees form a prefix and a gallop +
+     binary search lands on exactly the boundary a linear scan from 1
+     would find — at O(log d) instead of O(d) model evaluations, which
+     matters when capacities reach the platform size. *)
+  let ok d = agent params ~bandwidth ~node ~children:d >= floor in
+  if max_children < 1 then 0
+  else if not (ok 1) then 0
+  else begin
+    (* Gallop to the first failing degree (or the cap). *)
+    let rec gallop lo hi =
+      (* invariant: ok lo; lo < hi <= max_children + 1 *)
+      if ok (hi - 1) then
+        if hi > max_children then max_children
+        else gallop (hi - 1) (min (max_children + 1) (((hi - 1) * 2) + 1))
+      else begin
+        (* first failure lies in (lo, hi - 1]; binary search for it *)
+        let lo = ref lo and hi = ref (hi - 1) in
+        (* invariant: ok !lo, not (ok !hi) *)
+        while !hi - !lo > 1 do
+          let mid = (!lo + !hi) / 2 in
+          if ok mid then lo := mid else hi := mid
+        done;
+        !lo
+      end
+    in
+    gallop 1 (min (max_children + 1) 3)
+  end

@@ -10,5 +10,19 @@ let of_powers params ~bandwidth ~wapp powers =
 let of_servers params ~bandwidth ~wapp nodes =
   of_powers params ~bandwidth ~wapp (List.map Node.power nodes)
 
+(* Must mirror [Throughput.service]'s arithmetic operation for operation:
+   comm, then (1 + ratio_sum) / rate_sum, then the reciprocal — callers
+   feed prefix sums accumulated in the same fold order and rely on the
+   result being bit-identical to the list-based path. *)
+let of_sums (params : Adept_model.Params.t) ~bandwidth ~ratio_sum ~rate_sum =
+  if bandwidth <= 0.0 || not (Float.is_finite bandwidth) then
+    invalid_arg "Service_power.of_sums: bandwidth must be positive and finite";
+  if rate_sum <= 0.0 || not (Float.is_finite rate_sum) then
+    invalid_arg "Service_power.of_sums: rate_sum must be positive and finite";
+  if ratio_sum < 0.0 || not (Float.is_finite ratio_sum) then
+    invalid_arg "Service_power.of_sums: ratio_sum must be non-negative and finite";
+  let comm = (params.server.sreq +. params.server.srep) /. bandwidth in
+  1.0 /. (comm +. ((1.0 +. ratio_sum) /. rate_sum))
+
 let marginal params ~bandwidth ~wapp servers candidate =
   of_servers params ~bandwidth ~wapp (candidate :: servers)

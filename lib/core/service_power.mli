@@ -16,6 +16,20 @@ val of_powers :
   Adept_model.Params.t -> bandwidth:float -> wapp:float -> float list -> float
 (** Same, from raw powers. *)
 
+val of_sums :
+  Adept_model.Params.t ->
+  bandwidth:float ->
+  ratio_sum:float ->
+  rate_sum:float ->
+  float
+(** Eq. 15 from pre-accumulated sums: [ratio_sum] is the fold of
+    [Wpre / wapp] over the servers, [rate_sum] the fold of
+    [power / wapp] — what {!Node_pool} keeps as prefix arrays.  When the
+    sums were accumulated in the same order as the server list, the
+    result is bit-identical to {!of_servers}.
+    @raise Invalid_argument on non-positive [bandwidth]/[rate_sum] or a
+    negative [ratio_sum]. *)
+
 val marginal :
   Adept_model.Params.t -> bandwidth:float -> wapp:float -> Node.t list -> Node.t -> float
 (** [marginal params ~bandwidth ~wapp servers candidate] is the service

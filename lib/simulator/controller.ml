@@ -24,6 +24,8 @@ type config = {
   max_replans : int;
   restart_latency : float;
   state_mbit : float;
+  prefer_incremental : bool;
+  replan_slack : float;
 }
 
 let ( let* ) = Result.bind
@@ -44,7 +46,8 @@ let non_negative name v =
 
 let config ?(strategy = Planner.Heuristic) ?(sample_period = 1.0) ?(window = 5.0)
     ?(threshold = 0.5) ?(hold_time = 3.0) ?(cooldown = 20.0) ?(min_gain = 0.05)
-    ?(max_replans = 3) ?(restart_latency = 0.5) ?(state_mbit = 1.0) policy =
+    ?(max_replans = 3) ?(restart_latency = 0.5) ?(state_mbit = 1.0)
+    ?(prefer_incremental = true) ?(replan_slack = 0.15) policy =
   let* () = positive "sample_period" sample_period in
   let* () = positive "window" window in
   let* () =
@@ -74,6 +77,13 @@ let config ?(strategy = Planner.Heuristic) ?(sample_period = 1.0) ?(window = 5.0
   in
   let* () = non_negative "restart_latency" restart_latency in
   let* () = non_negative "state_mbit" state_mbit in
+  let* () =
+    if replan_slack < 0.0 || replan_slack >= 1.0 || Float.is_nan replan_slack then
+      Error
+        (Error.invalid_input "Controller.config: replan_slack must be in [0, 1), got %g"
+           replan_slack)
+    else Ok ()
+  in
   Ok
     {
       policy;
@@ -87,6 +97,8 @@ let config ?(strategy = Planner.Heuristic) ?(sample_period = 1.0) ?(window = 5.0
       max_replans;
       restart_latency;
       state_mbit;
+      prefer_incremental;
+      replan_slack;
     }
 
 type replan_record = {
@@ -98,6 +110,7 @@ type replan_record = {
   migration_cost : float;
   bottleneck : (Node.id * float) option;
   alerts : string list;
+  mode : Planner.replan_mode;
 }
 
 (* Pre-resolved controller instruments (suppression counters are
@@ -217,7 +230,7 @@ let record_suppressed t reason =
    the old hierarchy stays in charge.  A server that died meanwhile is
    not fatal: the fresh generation's failover strikes it out and rejoins
    it on recovery, exactly as it would mid-run. *)
-let enact t (r : Planner.replan_result) ~observed ~cost ~bottleneck ~alerts () =
+let enact t (r : Planner.replan_result) ~mode ~observed ~cost ~bottleneck ~alerts () =
   let now = Engine.now t.engine in
   t.migration_until <- None;
   let new_tree = r.Planner.replanned.Planner.tree in
@@ -288,6 +301,7 @@ let enact t (r : Planner.replan_result) ~observed ~cost ~bottleneck ~alerts () =
         migration_cost = cost;
         bottleneck;
         alerts;
+        mode;
       }
       :: t.enacted
   end
@@ -322,12 +336,24 @@ let consider t ~now ~observed =
     in
     if failed = [] then record_suppressed t "no-dead-nodes"
     else
+      (* The planner first tries to patch the running hierarchy in place
+         (cheap, structure-preserving) and only replans from scratch when
+         the patch's predicted throughput trails the survivor bound by
+         more than the configured slack — unless incremental planning is
+         switched off, in which case every replan is a full one. *)
       match
-        Planner.replan t.cfg.strategy t.params ~platform:t.platform ~wapp:t.wapp
-          ~demand:t.demand ~failed ~reference:t.tree ()
+        if t.cfg.prefer_incremental then
+          Planner.replan_incremental t.cfg.strategy t.params ~platform:t.platform
+            ~wapp:t.wapp ~demand:t.demand ~failed ~previous:t.tree
+            ~slack:t.cfg.replan_slack ()
+        else
+          Result.map
+            (fun r -> (r, Planner.Full "incremental-disabled"))
+            (Planner.replan t.cfg.strategy t.params ~platform:t.platform ~wapp:t.wapp
+               ~demand:t.demand ~failed ~reference:t.tree ())
       with
       | Error e -> record_suppressed t (Error.to_string e)
-      | Ok r ->
+      | Ok (r, mode) ->
           (* The gain guard compares the replanned hierarchy's model
              throughput against what is actually being observed: replacing
              a limping deployment is only worth the migration pause if the
@@ -351,6 +377,20 @@ let consider t ~now ~observed =
               | Some a -> Adept_obs.Alert.firing_names a
               | None -> []
             in
+            (* How this replan was planned: patched in place or rebuilt
+               from scratch (and why the patch was rejected, if so). *)
+            (match Trace.tracer t.trace with
+            | Some tracer ->
+                Adept_obs.Tracer.event tracer ~at:now
+                  ~labels:
+                    (Adept_obs.Label.v
+                       (("mode", Planner.replan_mode_name mode)
+                       ::
+                       (match Planner.replan_fallback_reason mode with
+                       | Some reason -> [ ("reason", reason) ]
+                       | None -> [])))
+                  "replan-mode"
+            | None -> ());
             (match (bottleneck, Trace.tracer t.trace) with
             | Some (node, seconds), Some tracer ->
                 Adept_obs.Tracer.event tracer ~at:now
@@ -383,7 +423,7 @@ let consider t ~now ~observed =
                 | Some (tracer, sp) ->
                     Adept_obs.Tracer.span_end tracer ~at:(Engine.now t.engine) sp
                 | None -> ());
-                enact t r ~observed ~cost ~bottleneck ~alerts ())
+                enact t r ~mode ~observed ~cost ~bottleneck ~alerts ())
           end
   end
 
@@ -462,8 +502,12 @@ let create cfg ~engine ~params ~platform ~wapp ~demand ~selection
 
 let pp_record ppf r =
   Format.fprintf ppf
-    "t=%.2fs: %d node(s) out, observed %.2f req/s, rho %.2f -> %.2f, migration %.3fs"
-    r.at (List.length r.failed) r.observed r.rho_before r.rho_after r.migration_cost;
+    "t=%.2fs: %d node(s) out, observed %.2f req/s, rho %.2f -> %.2f, migration %.3fs, %s%s"
+    r.at (List.length r.failed) r.observed r.rho_before r.rho_after r.migration_cost
+    (Planner.replan_mode_name r.mode)
+    (match Planner.replan_fallback_reason r.mode with
+    | Some reason -> " (" ^ reason ^ ")"
+    | None -> "");
   (match r.bottleneck with
   | Some (node, seconds) ->
       Format.fprintf ppf ", bottleneck node %d (%.3fs on critical path)" node seconds

@@ -73,6 +73,14 @@ type config = private {
   restart_latency : float;  (** Seconds to restart the agent processes. *)
   state_mbit : float;
       (** Per-element state shipped to its new parent during migration. *)
+  prefer_incremental : bool;
+      (** Try {!Adept.Planner.replan_incremental} first (the default);
+          [false] forces every replan through the from-scratch path and
+          records [Full "incremental-disabled"]. *)
+  replan_slack : float;
+      (** Acceptance slack handed to the incremental planner: the patch
+          is kept when its predicted rho is within this fraction of the
+          survivor-platform bound. *)
 }
 
 val config :
@@ -86,13 +94,17 @@ val config :
   ?max_replans:int ->
   ?restart_latency:float ->
   ?state_mbit:float ->
+  ?prefer_incremental:bool ->
+  ?replan_slack:float ->
   policy ->
   (config, Adept.Error.t) result
 (** Validated construction (defaults: strategy [Heuristic], sample 1 s,
     window 5 s, threshold 0.5, hold 3 s, cooldown 20 s, min_gain 0.05,
-    3 replans, restart 0.5 s, 1 Mbit of state).  Violations — non-positive
-    periods, a window shorter than the sample period, a threshold outside
-    [0, 1], negative guards — are [Error.Invalid_input]. *)
+    3 replans, restart 0.5 s, 1 Mbit of state, incremental replans
+    preferred with slack 0.15).  Violations — non-positive periods, a
+    window shorter than the sample period, a threshold outside [0, 1],
+    negative guards, a slack outside [0, 1) — are
+    [Error.Invalid_input]. *)
 
 type replan_record = {
   at : float;  (** Enactment time (end of the migration window). *)
@@ -111,6 +123,12 @@ type replan_record = {
       (** Alert rules firing at trigger time (see {!Adept_obs.Alert}) —
           the monitor's citation for why this replan happened; [[]]
           without an attached alert engine. *)
+  mode : Adept.Planner.replan_mode;
+      (** How the enacted hierarchy was planned: [Incremental] when the
+          previous tree was patched in place, [Full reason] when the
+          planner fell back to (or was configured for) a from-scratch
+          replan.  Also traced as a ["replan-mode"] event at trigger
+          time. *)
 }
 
 type t

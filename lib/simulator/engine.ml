@@ -42,17 +42,26 @@ let step t =
 let run ?until ?max_events t =
   let horizon = Option.value ~default:Float.infinity until in
   let limit = Option.value ~default:max_int max_events in
+  (* Allocation-free spin: [next_time]/[pop_min_exn] instead of the
+     option-returning peek/pop pair — this loop runs once per simulated
+     event, and the two [Some (time, payload)] boxes per event were a
+     measurable slice of the simulator's minor-heap churn. *)
   let rec go executed =
     if executed >= limit then Event_limit
-    else
-      match Event_queue.peek_min t.queue with
-      | None -> Exhausted
-      | Some (time, _) when time > horizon ->
-          t.clock <- horizon;
-          Horizon_reached
-      | Some _ ->
-          ignore (step t);
-          go (executed + 1)
+    else if Event_queue.is_empty t.queue then Exhausted
+    else begin
+      let time = Event_queue.next_time t.queue in
+      if time > horizon then begin
+        t.clock <- horizon;
+        Horizon_reached
+      end
+      else begin
+        let callback = Event_queue.pop_min_exn t.queue in
+        t.clock <- time;
+        callback ();
+        go (executed + 1)
+      end
+    end
   in
   let outcome = go 0 in
   (match (outcome, until) with

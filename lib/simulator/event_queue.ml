@@ -66,6 +66,18 @@ let pop_min t =
 
 let peek_min t = if t.size = 0 then None else Some (t.heap.(0).time, t.heap.(0).payload)
 
+let next_time t = if t.size = 0 then Float.infinity else t.heap.(0).time
+
+let pop_min_exn t =
+  if t.size = 0 then invalid_arg "Event_queue.pop_min_exn: empty queue";
+  let top = t.heap.(0) in
+  t.size <- t.size - 1;
+  if t.size > 0 then begin
+    t.heap.(0) <- t.heap.(t.size);
+    sift_down t 0
+  end;
+  top.payload
+
 let size t = t.size
 let is_empty t = t.size = 0
 

@@ -16,6 +16,15 @@ val pop_min : 'a t -> (float * 'a) option
 
 val peek_min : 'a t -> (float * 'a) option
 
+val next_time : 'a t -> float
+(** Time of the earliest event without removing it, [Float.infinity] when
+    the queue is empty — the allocation-free [peek_min] the simulation
+    loop spins on. *)
+
+val pop_min_exn : 'a t -> 'a
+(** Remove and return the earliest event's payload (its time is
+    [next_time], read first).  @raise Invalid_argument when empty. *)
+
 val size : 'a t -> int
 val is_empty : 'a t -> bool
 val clear : 'a t -> unit

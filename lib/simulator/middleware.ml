@@ -598,7 +598,7 @@ let bandwidth_to_client t id = effective_bandwidth t (Platform.bandwidth t.platf
 let book_compute t resource ~owner ~work k =
   let now = Engine.now t.engine in
   let duration = work /. Resource.power resource in
-  let _, finish = Resource.book resource ~now ~duration in
+  let finish = Resource.book resource ~now ~duration in
   let incarnation = t.incarnation.(owner) in
   Engine.schedule_at t.engine ~time:finish (fun () ->
       if (not t.active) || t.incarnation.(owner) = incarnation then k duration)
@@ -661,17 +661,20 @@ let transfer_traced t ~(rt : rt_ctx) ~msg ~src_node ~dst_node ~bandwidth ~src
         ()
 
 let argmin_candidate candidates ~effective =
-  Array.fold_left
-    (fun best (id, _) ->
-      let adjusted = effective id in
-      match best with
-      | Some (bid, bp) when bp < adjusted || (bp = adjusted && bid <= id) -> best
-      | Some _ | None -> Some (id, adjusted))
-    None candidates
-  |> Option.get
-  |> fun (id, _) ->
-  (* report the chosen server with its raw prediction upward *)
-  (id, List.assoc id (Array.to_list candidates))
+  (* One fold carrying the winner's raw prediction along, so reporting it
+     upward needs no second lookup over the candidate list. *)
+  match
+    Array.fold_left
+      (fun best (id, raw) ->
+        let adjusted = effective id in
+        match best with
+        | Some (bid, _, bp) when bp < adjusted || (bp = adjusted && bid <= id) ->
+            best
+        | Some _ | None -> Some (id, raw, adjusted))
+      None candidates
+  with
+  | Some (id, raw, _) -> (id, raw)
+  | None -> invalid_arg "Middleware.argmin_candidate: no candidates"
 
 let choose_candidate t (a : agent_state) pending =
   let candidates = Array.of_list (List.rev pending.candidates) in

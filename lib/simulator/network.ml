@@ -11,8 +11,7 @@ let transfer engine ~bandwidth ?(latency = 0.0) ?on_times ~src ~src_size ~dst
     match src with
     | Instant -> now
     | Port resource ->
-        let _, finish = Resource.book resource ~now ~duration:(src_size /. bandwidth) in
-        finish
+        Resource.book resource ~now ~duration:(src_size /. bandwidth)
     | Lane resource ->
         Resource.charge resource ~now ~duration:(src_size /. bandwidth);
         now +. (src_size /. bandwidth)
@@ -23,7 +22,7 @@ let transfer engine ~bandwidth ?(latency = 0.0) ?on_times ~src ~src_size ~dst
       match dst with
       | Instant -> on_delivered ()
       | Port resource ->
-          let _, finish =
+          let finish =
             Resource.book resource ~now:arrival ~duration:(dst_size /. bandwidth)
           in
           Engine.schedule_at engine ~time:finish on_delivered

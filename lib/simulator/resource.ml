@@ -24,12 +24,11 @@ let book t ~now ~duration =
       (Printf.sprintf "Resource.book(%s): request at %g after one at %g" t.name now
          t.last_request);
   t.last_request <- now;
-  let start = Float.max now t.free_at in
-  let finish = start +. duration in
+  let finish = Float.max now t.free_at +. duration in
   t.free_at <- finish;
   t.busy <- t.busy +. duration;
   t.bookings <- t.bookings + 1;
-  (start, finish)
+  finish
 
 let charge t ~now ~duration = ignore (book t ~now ~duration)
 

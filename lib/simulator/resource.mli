@@ -14,9 +14,9 @@ val power : t -> float
 val free_at : t -> float
 (** When the port next becomes idle (0 initially). *)
 
-val book : t -> now:float -> duration:float -> float * float
-(** [(start, finish)] of the newly queued activity; extends [free_at] to
-    [finish].  @raise Invalid_argument on a negative duration or a [now]
+val book : t -> now:float -> duration:float -> float
+(** Finish time of the newly queued activity (it starts at
+    [max now (free_at t)]); extends [free_at] to the returned finish.  @raise Invalid_argument on a negative duration or a [now]
     that moves backwards past an already granted booking's request time
     (bookings must be requested in non-decreasing [now] order, which the
     engine's ordered event execution guarantees). *)

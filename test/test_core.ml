@@ -622,8 +622,8 @@ let test_planner_strategy_strings () =
       | Ok st -> Alcotest.(check string) "roundtrip" s (Planner.strategy_name st)
       | Error e -> Alcotest.fail (Error.to_string e))
     [
-      "heuristic"; "star"; "balanced:14"; "dary:3"; "homogeneous"; "exhaustive";
-      "multi-cluster"; "improved:star"; "improved:dary:3";
+      "heuristic"; "reference"; "star"; "balanced:14"; "dary:3"; "homogeneous";
+      "exhaustive"; "multi-cluster"; "improved:star"; "improved:dary:3";
     ];
   Alcotest.(check bool) "unknown" true
     (Result.is_error (Planner.strategy_of_string "nonsense"));
@@ -633,8 +633,8 @@ let test_planner_strategy_strings () =
 let test_planner_run_all () =
   let platform = Generator.grid5000_lyon ~n:12 () in
   let strategies =
-    [ Planner.Heuristic; Planner.Star; Planner.Balanced 2; Planner.Dary 3;
-      Planner.Homogeneous_optimal; Planner.Multi_cluster;
+    [ Planner.Heuristic; Planner.Reference; Planner.Star; Planner.Balanced 2;
+      Planner.Dary 3; Planner.Homogeneous_optimal; Planner.Multi_cluster;
       Planner.Improved Planner.Star ]
   in
   List.iter
@@ -769,6 +769,151 @@ let test_planner_replan_never_raises () =
          ~demand:Demand.unbounded ~failed ())
   done
 
+(* ---------- pooled/reference equivalence ---------- *)
+
+(* The pooled planner must be *decision-identical* to the frozen seed
+   implementation (Heuristic_reference): not approximately equal — the
+   same floats through the same comparisons, hence bit-identical rho,
+   structurally equal trees and field-identical probe logs. *)
+
+let check_equivalent ?(msg = "") platform wapp demand =
+  match
+    ( Heuristic.plan params ~platform ~wapp ~demand,
+      Heuristic_reference.plan params ~platform ~wapp ~demand )
+  with
+  | Error a, Error b -> Alcotest.(check string) (msg ^ "same error") b a
+  | Ok _, Error e -> Alcotest.fail (msg ^ "pooled ok, reference error: " ^ e)
+  | Error e, Ok _ -> Alcotest.fail (msg ^ "pooled error, reference ok: " ^ e)
+  | Ok fast, Ok slow ->
+      Alcotest.(check bool)
+        (msg ^ "trees structurally equal")
+        true
+        (Tree.equal fast.Heuristic.tree slow.Heuristic_reference.tree);
+      Alcotest.(check bool)
+        (msg ^ "rho bit-identical")
+        true
+        (fast.Heuristic.predicted_rho = slow.Heuristic_reference.predicted_rho);
+      Alcotest.(check bool)
+        (msg ^ "demand flag identical")
+        true
+        (fast.Heuristic.demand_met = slow.Heuristic_reference.demand_met);
+      Alcotest.(check int)
+        (msg ^ "same probe count")
+        (List.length slow.Heuristic_reference.probes)
+        (List.length fast.Heuristic.probes);
+      List.iter2
+        (fun (a : Heuristic.probe) (b : Heuristic_reference.probe) ->
+          Alcotest.(check bool)
+            (msg ^ "probe bit-identical")
+            true
+            (a.Heuristic.target = b.Heuristic_reference.target
+            && a.Heuristic.feasible = b.Heuristic_reference.feasible
+            && a.Heuristic.achieved_rho = b.Heuristic_reference.achieved_rho
+            && a.Heuristic.nodes_used = b.Heuristic_reference.nodes_used))
+        fast.Heuristic.probes slow.Heuristic_reference.probes
+
+let test_equivalence_orsay () =
+  let rng = Rng.create 42 in
+  let platform = Generator.grid5000_orsay ~rng ~n:200 () in
+  check_equivalent ~msg:"dgemm310 " platform (dgemm 310) Demand.unbounded;
+  check_equivalent ~msg:"dgemm1000 " platform (dgemm 1000) Demand.unbounded;
+  check_equivalent ~msg:"demand " platform (dgemm 310) (Demand.rate 200.0)
+
+let test_equivalence_two_node_boundary () =
+  (* the smallest planable platform: [rest] is a single server, so every
+     prefix-sum lookup sits on the array boundary (hi_service over one
+     element, hi_predict = server_sched of index 1) *)
+  let platform = Generator.grid5000_lyon ~n:2 () in
+  check_equivalent ~msg:"lyon2 " platform (dgemm 310) Demand.unbounded;
+  let hetero =
+    Platform.create
+      ~link:(Adept_platform.Link.homogeneous ~bandwidth:1000.0 ())
+      [ node ~power:900.0 0; node ~power:150.0 1 ]
+  in
+  check_equivalent ~msg:"hetero2 " hetero (dgemm 310) Demand.unbounded;
+  match Heuristic.plan params ~platform:hetero ~wapp:(dgemm 310) ~demand:Demand.unbounded with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+      Alcotest.(check int) "both nodes used" 2 (Tree.size r.Heuristic.tree);
+      (* lighten_agents parks the agent on the weaker node whenever that
+         still meets the target, freeing the strong node to serve *)
+      Alcotest.(check bool) "one agent, one server" true
+        (Tree.agent_count r.Heuristic.tree = 1
+        && Tree.server_count r.Heuristic.tree = 1);
+      Alcotest.(check bool) "validates" true
+        (Validate.is_valid ~platform:hetero r.Heuristic.tree)
+
+(* ---------- incremental replans ---------- *)
+
+let lyon_star_plan n =
+  let platform = Generator.grid5000_lyon ~n () in
+  let wapp = dgemm 310 in
+  match Planner.run Planner.Star params ~platform ~wapp ~demand:Demand.unbounded with
+  | Ok p -> (platform, wapp, p)
+  | Error e -> Alcotest.fail (Error.to_string e)
+
+let test_replan_incremental_empty_crash () =
+  (* determinism anchor: no crashes in, the very same plan out *)
+  let platform, wapp, p = lyon_star_plan 4 in
+  match
+    Planner.replan_incremental Planner.Star params ~platform ~wapp
+      ~demand:Demand.unbounded ~failed:[] ~previous:p.Planner.tree ()
+  with
+  | Error e -> Alcotest.fail (Error.to_string e)
+  | Ok (r, mode) ->
+      Alcotest.(check string) "mode" "incremental" (Planner.replan_mode_name mode);
+      Alcotest.(check bool) "tree physically shared" true
+        (r.Planner.replanned.Planner.tree == p.Planner.tree);
+      Alcotest.(check bool) "rho bit-identical" true
+        (r.Planner.rho_after = p.Planner.predicted_rho
+        && r.Planner.rho_before = r.Planner.rho_after);
+      Alcotest.(check int) "zero evaluations" 0
+        r.Planner.replanned.Planner.evaluations;
+      Alcotest.(check (float 0.0)) "zero drop" 0.0 r.Planner.rho_drop
+
+let test_replan_incremental_modes () =
+  let platform, wapp, p = lyon_star_plan 6 in
+  let previous = p.Planner.tree in
+  let root = Node.id (Tree.root_node previous) in
+  let incr failed =
+    Planner.replan_incremental Planner.Star params ~platform ~wapp
+      ~demand:Demand.unbounded ~failed ~previous ()
+  in
+  (match incr [ 1 ] with
+  | Error e -> Alcotest.fail (Error.to_string e)
+  | Ok (r, mode) ->
+      Alcotest.(check string) "server crash patches in place" "incremental"
+        (Planner.replan_mode_name mode);
+      Alcotest.(check (option string)) "no fallback reason" None
+        (Planner.replan_fallback_reason mode);
+      Alcotest.(check bool) "dead node written out" true
+        (not (Tree.mem r.Planner.replanned.Planner.tree 1));
+      Alcotest.(check bool) "validates" true
+        (Validate.is_valid ~platform r.Planner.replanned.Planner.tree);
+      Alcotest.(check int) "one evaluation" 1
+        r.Planner.replanned.Planner.evaluations);
+  (match incr [ root ] with
+  | Error e -> Alcotest.fail (Error.to_string e)
+  | Ok (_, mode) ->
+      Alcotest.(check string) "root death falls back" "full"
+        (Planner.replan_mode_name mode);
+      Alcotest.(check (option string)) "with its reason" (Some "root-died")
+        (Planner.replan_fallback_reason mode));
+  (* error paths mirror [replan]'s typed errors *)
+  Alcotest.(check bool) "off-platform id rejected" true
+    (match incr [ 99 ] with Error (Error.Invalid_input _) -> true | _ -> false);
+  Alcotest.(check bool) "bad slack rejected" true
+    (match
+       Planner.replan_incremental Planner.Star params ~platform ~wapp
+         ~demand:Demand.unbounded ~failed:[ 1 ] ~previous ~slack:1.5 ()
+     with
+    | Error (Error.Invalid_input _) -> true
+    | _ -> false);
+  Alcotest.(check bool) "too few survivors" true
+    (match incr [ 0; 1; 2; 3; 4 ] with
+    | Error (Error.Insufficient_survivors _) -> true
+    | _ -> false)
+
 (* ---------- properties ---------- *)
 
 let prop_heuristic_always_valid =
@@ -890,6 +1035,107 @@ let prop_dary_valid_and_spanning =
       | Error _ -> false
       | Ok t -> Validate.is_valid t && Tree.size t = n)
 
+let prop_pooled_matches_reference =
+  (* the equivalence harness gating the pooled planner: across every
+     generator family (smooth heterogeneous, clustered power classes,
+     fully homogeneous) and both demand regimes, [Heuristic] must be
+     bit-identical to the frozen [Heuristic_reference] oracle — same
+     trees, same rho floats, same probe log *)
+  QCheck.Test.make ~count:30
+    ~name:"pooled heuristic bit-identical to the reference oracle"
+    QCheck.(triple (int_range 0 10_000) (int_range 2 300) (int_range 0 2))
+    (fun (seed, n, kind) ->
+      let rng = Rng.create seed in
+      let platform =
+        match kind with
+        | 0 ->
+            Generator.uniform_heterogeneous ~bandwidth:1000.0 ~rng ~n
+              ~power_min:100.0 ~power_max:1000.0 ()
+        | 1 -> Generator.grid5000_orsay ~rng ~n ()
+        | _ -> Generator.homogeneous ~bandwidth:1000.0 ~n ~power:730.0 ()
+      in
+      let wapp = dgemm (100 + (seed mod 900)) in
+      let demand =
+        if seed mod 3 = 0 then Demand.rate (float_of_int ((seed mod 400) + 50))
+        else Demand.unbounded
+      in
+      match
+        ( Heuristic.plan params ~platform ~wapp ~demand,
+          Heuristic_reference.plan params ~platform ~wapp ~demand )
+      with
+      | Ok f, Ok s ->
+          Tree.equal f.Heuristic.tree s.Heuristic_reference.tree
+          && f.Heuristic.predicted_rho = s.Heuristic_reference.predicted_rho
+          && f.Heuristic.demand_met = s.Heuristic_reference.demand_met
+          && List.length f.Heuristic.probes
+             = List.length s.Heuristic_reference.probes
+          && List.for_all2
+               (fun (a : Heuristic.probe) (b : Heuristic_reference.probe) ->
+                 a.Heuristic.target = b.Heuristic_reference.target
+                 && a.Heuristic.feasible = b.Heuristic_reference.feasible
+                 && a.Heuristic.achieved_rho = b.Heuristic_reference.achieved_rho
+                 && a.Heuristic.nodes_used = b.Heuristic_reference.nodes_used)
+               f.Heuristic.probes s.Heuristic_reference.probes
+      | Error a, Error b -> a = b
+      | Ok _, Error _ | Error _, Ok _ -> false)
+
+let prop_replan_incremental_within_slack =
+  (* an accepted patch is within the configured slack of the
+     survivor-platform upper bound, hence of anything a from-scratch
+     replan can achieve; a rejected patch IS the from-scratch replan —
+     either way the incremental path never trails the full one by more
+     than slack *)
+  QCheck.Test.make ~count:25
+    ~name:"incremental replan within slack of the full replan"
+    QCheck.(triple (int_range 0 10_000) (int_range 4 120) (int_range 1 3))
+    (fun (seed, n, crashes) ->
+      let rng = Rng.create seed in
+      let platform =
+        Generator.uniform_heterogeneous ~bandwidth:1000.0 ~rng ~n
+          ~power_min:100.0 ~power_max:1000.0 ()
+      in
+      let wapp = dgemm 310 in
+      let slack = 0.15 in
+      match
+        Planner.run Planner.Heuristic params ~platform ~wapp ~demand:Demand.unbounded
+      with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok p ->
+          let previous = p.Planner.tree in
+          let root = Node.id (Tree.root_node previous) in
+          let candidates =
+            List.filter (fun i -> i <> root) (List.map Node.id (Tree.nodes previous))
+          in
+          if candidates = [] then QCheck.assume_fail ()
+          else
+            let failed =
+              List.sort_uniq Int.compare
+                (List.init (min crashes (List.length candidates)) (fun _ ->
+                     List.nth candidates (Rng.int rng (List.length candidates))))
+            in
+            let incr =
+              Planner.replan_incremental Planner.Heuristic params ~platform ~wapp
+                ~demand:Demand.unbounded ~failed ~previous ~slack ()
+            in
+            let full =
+              Planner.replan Planner.Heuristic params ~platform ~wapp
+                ~demand:Demand.unbounded ~failed ~reference:previous ()
+            in
+            (match (incr, full) with
+            | Ok (ri, _), Ok rf ->
+                ri.Planner.rho_after
+                >= (1.0 -. slack) *. rf.Planner.rho_after *. (1.0 -. 1e-9)
+                && Validate.is_valid ~platform ri.Planner.replanned.Planner.tree
+                && List.for_all
+                     (fun id -> not (Tree.mem ri.Planner.replanned.Planner.tree id))
+                     failed
+            | Error _, Error _ -> true
+            | Ok (_, _), Error _ ->
+                (* the patch can survive a remnant the full planner gives
+                   up on — strictly better availability *)
+                true
+            | Error _, Ok _ -> false))
+
 let () =
   Alcotest.run "core"
     [
@@ -999,6 +1245,19 @@ let () =
           Alcotest.test_case "replan never raises" `Quick
             test_planner_replan_never_raises;
         ] );
+      ( "equivalence",
+        [
+          Alcotest.test_case "orsay 200" `Quick test_equivalence_orsay;
+          Alcotest.test_case "two-node boundary" `Quick
+            test_equivalence_two_node_boundary;
+        ] );
+      ( "replan_incremental",
+        [
+          Alcotest.test_case "empty crash set is identity" `Quick
+            test_replan_incremental_empty_crash;
+          Alcotest.test_case "modes and errors" `Quick
+            test_replan_incremental_modes;
+        ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
           [
@@ -1008,5 +1267,7 @@ let () =
             prop_normalize_always_validates;
             prop_heuristic_bounded_by_oracle;
             prop_dary_valid_and_spanning;
+            prop_pooled_matches_reference;
+            prop_replan_incremental_within_slack;
           ] );
     ]

@@ -132,14 +132,12 @@ let test_engine_exhausted_advances_to_horizon () =
 
 let test_resource_serial_booking () =
   let r = Resource.create ~name:"x" ~power:100.0 in
-  let s1, f1 = Resource.book r ~now:0.0 ~duration:2.0 in
-  check_close "starts now" 0.0 s1;
+  let f1 = Resource.book r ~now:0.0 ~duration:2.0 in
   check_close "finish" 2.0 f1;
-  let s2, f2 = Resource.book r ~now:1.0 ~duration:1.0 in
-  check_close "queued behind" 2.0 s2;
-  check_close "finish 2" 3.0 f2;
-  let s3, _ = Resource.book r ~now:10.0 ~duration:1.0 in
-  check_close "idle gap" 10.0 s3
+  let f2 = Resource.book r ~now:1.0 ~duration:1.0 in
+  check_close "queued behind" 3.0 f2;
+  let f3 = Resource.book r ~now:10.0 ~duration:1.0 in
+  check_close "idle gap start" 11.0 f3
 
 let test_resource_backlog_busy () =
   let r = Resource.create ~name:"x" ~power:1.0 in
@@ -934,6 +932,11 @@ let test_controller_enacts_on_permanent_crash () =
     (first.Controller.rho_after < first.Controller.rho_before);
   Alcotest.(check bool) "migration cost is real" true
     (first.Controller.migration_cost > 0.0);
+  (* a dead star server is the simple-crash path: striking it out of the
+     running hierarchy is within slack of any from-scratch star, so the
+     controller must cite an incremental replan *)
+  Alcotest.(check string) "planned incrementally" "incremental"
+    (Adept.Planner.replan_mode_name first.Controller.mode);
   Alcotest.(check bool) "degraded time recorded" true (r.Scenario.degraded_seconds > 0.0);
   Alcotest.(check bool) "requests keep completing after the heal" true
     (r.Scenario.completed_total > 0)
@@ -1106,6 +1109,14 @@ let test_monitor_drift_cycle () =
     (rep.Controller.at > t_fire);
   Alcotest.(check (list string)) "replan cites the firing alert"
     [ "model-drift" ] rep.Controller.alerts;
+  (* losing a mid-level agent orphans its whole subtree: the patched
+     hierarchy trails the survivor bound, so the controller must fall
+     back to a from-scratch replan and say why *)
+  Alcotest.(check string) "fell back to a full replan" "full"
+    (Adept.Planner.replan_mode_name rep.Controller.mode);
+  Alcotest.(check (option string)) "with the fallback reason"
+    (Some "rho-below-bound")
+    (Adept.Planner.replan_fallback_reason rep.Controller.mode);
   Alcotest.(check int) "drift resolves exactly once" 1 (List.length resolved);
   Alcotest.(check bool) "resolves after the replan" true
     (List.hd resolved > rep.Controller.at);
@@ -1132,6 +1143,38 @@ let test_monitor_golden_timeline () =
   Alcotest.(check string) "byte-identical across runs" got (drift_timeline ());
   Alcotest.(check string) "matches golden"
     (read_golden "golden/monitor_drift.jsonl") got
+
+(* The replan-mode breadcrumbs of the same run, pinned byte-for-byte in
+   test/golden/replan_mode.jsonl: one line per enacted replan with how it
+   was planned and, for a fallback, why the patch was rejected.  A
+   mismatch means the incremental planner's acceptance decisions changed:
+   if intentional, regenerate with
+     REPLAN_GOLDEN_OUT=test/golden/replan_mode.jsonl dune exec test/test_sim.exe
+   and mention the break in the changelog. *)
+
+let replan_mode_jsonl (records : Controller.replan_record list) =
+  let line (r : Controller.replan_record) =
+    Printf.sprintf
+      "{\"at\":%.6f,\"failed\":[%s],\"mode\":%S%s,\"rho_before\":%.6f,\"rho_after\":%.6f}\n"
+      r.Controller.at
+      (String.concat "," (List.map string_of_int r.Controller.failed))
+      (Adept.Planner.replan_mode_name r.Controller.mode)
+      (match Adept.Planner.replan_fallback_reason r.Controller.mode with
+      | Some reason -> Printf.sprintf ",\"reason\":%S" reason
+      | None -> "")
+      r.Controller.rho_before r.Controller.rho_after
+  in
+  String.concat "" (List.map line records)
+
+let drift_replan_modes () =
+  let r, _ = run_drift_scenario () in
+  replan_mode_jsonl r.Scenario.replans
+
+let test_replan_mode_golden () =
+  let got = drift_replan_modes () in
+  Alcotest.(check string) "byte-identical across runs" got (drift_replan_modes ());
+  Alcotest.(check string) "matches golden"
+    (read_golden "golden/replan_mode.jsonl") got
 
 (* ---------- properties ---------- *)
 
@@ -1239,6 +1282,15 @@ let () =
       Printf.printf "wrote %s\n%!" path;
       exit 0
   | None -> ());
+  (* regenerate the pinned replan-mode breadcrumbs:
+       REPLAN_GOLDEN_OUT=test/golden/replan_mode.jsonl dune exec test/test_sim.exe *)
+  (match Sys.getenv_opt "REPLAN_GOLDEN_OUT" with
+  | Some path ->
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc (drift_replan_modes ()));
+      Printf.printf "wrote %s\n%!" path;
+      exit 0
+  | None -> ());
   Alcotest.run "sim"
     [
       ( "event_queue",
@@ -1268,6 +1320,8 @@ let () =
             test_monitor_drift_cycle;
           Alcotest.test_case "golden timeline" `Slow
             test_monitor_golden_timeline;
+          Alcotest.test_case "golden replan modes" `Slow
+            test_replan_mode_golden;
         ] );
       ( "resource",
         [
