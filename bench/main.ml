@@ -236,6 +236,48 @@ let bench_self_heal =
     (Bechamel.Staged.stage (fun () ->
          ignore (Adept_sim.Scenario.run_fixed scenario ~clients:10 ~warmup:0.5 ~duration:1.0)))
 
+let bench_rollout =
+  (* rollout kernel: bench_self_heal's point with the replacement staged
+     through a canary generation instead of swapped directly — times the
+     split-routing bake window plus the promote migration.  No monitor is
+     attached, so no watched alert can fire and the canary always promotes
+     at the end of its bake; the kernel measures rollout machinery, not
+     alert evaluation (bench_scrape covers that). *)
+  let platform = lyon 4 in
+  let nodes = Adept_platform.Platform.nodes platform in
+  let tree = Adept_hierarchy.Tree.star (List.hd nodes) (List.tl nodes) in
+  let job = Adept_workload.Job.of_dgemm (Adept_workload.Dgemm.make 200) in
+  let faults =
+    Adept_sim.Faults.make_exn () |> Adept_sim.Faults.crash ~node:1 ~at:0.4
+  in
+  let rollout =
+    match
+      Adept_sim.Rollout.config ~canary_fraction:0.25 ~bake_window:0.3
+        Adept_sim.Rollout.Canary
+    with
+    | Ok cfg -> cfg
+    | Error e -> failwith (Adept.Error.to_string e)
+  in
+  let controller =
+    match
+      Adept_sim.Controller.config ~strategy:Adept.Planner.Star
+        ~sample_period:0.1 ~window:0.5 ~threshold:0.6 ~hold_time:0.2
+        ~cooldown:0.5 ~min_gain:0.0 ~max_replans:1 ~restart_latency:0.05
+        ~rollout Adept_sim.Controller.Hysteresis
+    with
+    | Ok cfg -> cfg
+    | Error e -> failwith (Adept.Error.to_string e)
+  in
+  let scenario =
+    Adept_sim.Scenario.make ~faults ~controller ~params ~platform
+      ~client:(Adept_workload.Client.closed_loop job) tree
+  in
+  Bechamel.Test.make ~name:"rollout/simulate-point"
+    (Bechamel.Staged.stage (fun () ->
+         ignore
+           (Adept_sim.Scenario.run_fixed scenario ~clients:10 ~warmup:0.5
+              ~duration:1.0)))
+
 let bench_traced =
   (* fig4-5's point with full observability attached — metrics registry
      plus a rate-1.0 request-trace store — so the bounded overhead of
@@ -431,7 +473,8 @@ let run_micro () =
     Test.make_grouped ~name:"adept"
       [
         bench_table3; bench_fig2_3; bench_fig4_5; bench_table4; bench_fig6;
-        bench_fig7; bench_fault_sweep; bench_self_heal; bench_traced;
+        bench_fig7; bench_fault_sweep; bench_self_heal; bench_rollout;
+        bench_traced;
         bench_scrape; bench_plan_2000; bench_window_ring; bench_window_naive;
         bench_event_queue; bench_xml;
         bench_plan_100k; bench_replan_incremental; bench_replan_full;

@@ -81,6 +81,29 @@ let prefer_incremental_of_mode = function
   | "full" -> false
   | other -> exit_err ("--replan-mode must be incremental or full, got " ^ other)
 
+let rollout_mode_arg =
+  let doc =
+    "Self-heal: how accepted replans are enacted — off (one-shot swap, the \
+     default), direct (one-shot swap recorded as a decision trail), or canary \
+     (stage on a client fraction, bake against the alert rules, then promote \
+     or roll back)."
+  in
+  Arg.(value & opt string "off" & info [ "rollout" ] ~docv:"MODE" ~doc)
+
+let canary_fraction_arg =
+  let doc =
+    "Canary rollout: fraction of clients routed to the staged hierarchy \
+     during the bake (deterministic hash of the client id)."
+  in
+  Arg.(value & opt float 0.25 & info [ "canary-fraction" ] ~docv:"FRACTION" ~doc)
+
+let bake_window_arg =
+  let doc =
+    "Canary rollout: simulated seconds the canary is observed before the \
+     promote-or-rollback verdict."
+  in
+  Arg.(value & opt float 2.0 & info [ "bake-window" ] ~docv:"SECONDS" ~doc)
+
 let build_platform file n power bandwidth hetero seed =
   match file with
   | Some path -> (
@@ -217,12 +240,22 @@ let simulate_cmd =
   let run file n power bandwidth hetero seed dgemm demand strategy clients warmup
       duration crash_rate mttr drop fault_seed timeout service_timeout retries
       backoff patience self_heal degrade_threshold cooldown max_replans
-      replan_mode =
+      replan_mode rollout_mode canary_fraction bake_window =
     if crash_rate < 0.0 then exit_err "--crash-rate must be >= 0";
     if not (drop >= 0.0 && drop < 1.0) then exit_err "--drop must be in [0, 1)";
     if mttr <= 0.0 then exit_err "--mttr must be > 0";
     (* validate even when --self-heal is absent: a typo must not pass silently *)
     let prefer_incremental = prefer_incremental_of_mode replan_mode in
+    let rollout =
+      match Adept_sim.Rollout.mode_of_string rollout_mode with
+      | Error e -> exit_error e
+      | Ok mode -> (
+          match
+            Adept_sim.Rollout.config ~canary_fraction ~bake_window mode
+          with
+          | Ok r -> r
+          | Error e -> exit_error e)
+    in
     let platform = build_platform file n power bandwidth hetero seed in
     let wapp = Adept_workload.Dgemm.(mflops (make dgemm)) in
     let strategy =
@@ -246,7 +279,7 @@ let simulate_cmd =
           match
             Adept_sim.Controller.config ~strategy ~threshold:degrade_threshold
               ~cooldown ~max_replans
-              ~prefer_incremental policy
+              ~prefer_incremental ~rollout policy
           with
           | Ok cfg -> Some cfg
           | Error e -> exit_error e)
@@ -407,7 +440,8 @@ let simulate_cmd =
           $ hetero_arg $ seed_arg $ dgemm_arg $ demand_arg $ strategy_arg
           $ clients $ warmup $ duration $ crash_rate $ mttr $ drop $ fault_seed
           $ timeout $ service_timeout $ retries $ backoff $ patience $ self_heal
-          $ degrade_threshold $ cooldown $ max_replans $ replan_mode_arg)
+          $ degrade_threshold $ cooldown $ max_replans $ replan_mode_arg
+          $ rollout_mode_arg $ canary_fraction_arg $ bake_window_arg)
 
 (* ---------- observe ---------- *)
 
@@ -1075,6 +1109,130 @@ let replan_cmd =
     Term.(const run $ platform_file $ nodes_arg $ power_arg $ bandwidth_arg
           $ hetero_arg $ seed_arg $ dgemm_arg $ demand_arg $ strategy_arg $ failed)
 
+(* ---------- rollout ---------- *)
+
+let rollout_cmd =
+  let run flavor mode canary_fraction bake_window timeline_out html_out expect =
+    let module SH = Adept_experiments.Self_heal in
+    let flavor =
+      match SH.rollout_flavor_of_string flavor with
+      | Ok f -> f
+      | Error e -> exit_error e
+    in
+    let mode =
+      match Adept_sim.Rollout.mode_of_string mode with
+      | Ok m -> m
+      | Error e -> exit_error e
+    in
+    let r, monitor, tree =
+      match
+        SH.run_rollout ~mode ~canary_fraction ~bake_window ~flavor ()
+      with
+      | r -> r
+      | exception Invalid_argument m -> exit_err m
+    in
+    let alerts = Adept_sim.Monitor.alerts monitor in
+    Printf.printf
+      "rollout demo (%s flavor, %s mode): %.2f req/s, %d completed, %d lost \
+       (%d in migration pauses)\n"
+      (SH.rollout_flavor_name flavor)
+      (Adept_sim.Rollout.mode_name mode)
+      r.Adept_sim.Scenario.throughput r.Adept_sim.Scenario.completed_total
+      r.Adept_sim.Scenario.lost_total r.Adept_sim.Scenario.migration_lost;
+    List.iter
+      (fun record -> Format.printf "  %a@." Adept_sim.Controller.pp_record record)
+      r.Adept_sim.Scenario.replans;
+    let trail =
+      List.concat_map
+        (fun (rep : Adept_sim.Controller.replan_record) ->
+          match rep.Adept_sim.Controller.rollout with
+          | Some ro -> ro.Adept_sim.Rollout.trail
+          | None -> [])
+        r.Adept_sim.Scenario.replans
+    in
+    List.iter
+      (fun (e : Adept_sim.Rollout.event) ->
+        Printf.printf "  %8.3fs %-16s%s\n" e.Adept_sim.Rollout.at
+          (Adept_sim.Rollout.step_name e.Adept_sim.Rollout.step)
+          (match e.Adept_sim.Rollout.alerts with
+          | [] -> ""
+          | names -> " [" ^ String.concat "; " names ^ "]"))
+      trail;
+    let write path text =
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc text)
+    in
+    Option.iter
+      (fun path ->
+        write path (Adept_sim.Rollout.timeline_jsonl ~alerts trail);
+        Printf.printf "wrote rollout timeline to %s\n" path)
+      timeline_out;
+    Option.iter
+      (fun path ->
+        let spans =
+          List.concat_map
+            (fun (rep : Adept_sim.Controller.replan_record) ->
+              match rep.Adept_sim.Controller.rollout with
+              | Some ro -> Adept_sim.Rollout.phase_spans ro.Adept_sim.Rollout.trail
+              | None -> [])
+            r.Adept_sim.Scenario.replans
+        in
+        write path
+          (Adept_obs.Dashboard.render ~title:"adept rollout"
+             ~timeseries:(Adept_sim.Monitor.timeseries monitor)
+             ~alerts ~spans
+             (Adept_sim.Monitor.default_panels tree ~window:2.0));
+        Printf.printf "wrote dashboard to %s\n" path)
+      html_out;
+    match expect with
+    | None -> ()
+    | Some expected ->
+        let outcomes =
+          List.filter_map
+            (fun (rep : Adept_sim.Controller.replan_record) ->
+              Option.map
+                (fun (ro : Adept_sim.Rollout.record) ->
+                  Adept_sim.Rollout.outcome_name ro.Adept_sim.Rollout.outcome)
+                rep.Adept_sim.Controller.rollout)
+            r.Adept_sim.Scenario.replans
+        in
+        if not (List.mem expected outcomes) then
+          exit_err
+            (Printf.sprintf "expected rollout outcome %s, got [%s]" expected
+               (String.concat "; " outcomes))
+  in
+  let flavor =
+    Arg.(value & opt string "drift" & info [ "flavor" ] ~docv:"FLAVOR"
+           ~doc:"Demo flavor: drift (a second crash mid-bake condemns the \
+                 canary) or healthy (the canary promotes).")
+  in
+  let timeline =
+    Arg.(value & opt (some string) None & info [ "timeline" ] ~docv:"FILE"
+           ~doc:"Write the merged alert + rollout decision timeline (JSON \
+                 lines) to $(docv).")
+  in
+  let html =
+    Arg.(value & opt (some string) None & info [ "html" ] ~docv:"FILE"
+           ~doc:"Render the monitor dashboard with rollout phase bands to \
+                 $(docv) (SVG).")
+  in
+  let expect =
+    Arg.(value & opt (some string) None & info [ "expect" ] ~docv:"OUTCOME"
+           ~doc:"Exit non-zero unless some rollout finished with $(docv) \
+                 (promoted, rolled-back or direct) — the CI gate.")
+  in
+  let mode =
+    Arg.(value & opt string "canary" & info [ "rollout" ] ~docv:"MODE"
+           ~doc:"Enactment mode for the demo: canary (the default here), \
+                 direct or off.")
+  in
+  Cmd.v
+    (Cmd.info "rollout"
+       ~doc:"Run the canonical staged-rollout demo: canary, bake, promote or \
+             roll back")
+    Term.(const run $ flavor $ mode $ canary_fraction_arg
+          $ bake_window_arg $ timeline $ html $ expect)
+
 (* ---------- compare ---------- *)
 
 let compare_cmd =
@@ -1317,8 +1475,8 @@ let main =
     (Cmd.info "adept" ~version:"1.0.0" ~doc)
     [
       platform_cmd; plan_cmd; eval_cmd; simulate_cmd; observe_cmd; trace_cmd;
-      monitor_cmd; replan_cmd; compare_cmd; improve_cmd; latency_cmd;
-      experiment_cmd; bench_node_cmd;
+      monitor_cmd; replan_cmd; rollout_cmd; compare_cmd; improve_cmd;
+      latency_cmd; experiment_cmd; bench_node_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -5,6 +5,8 @@ module Tree = Adept_hierarchy.Tree
 module Faults = Adept_sim.Faults
 module Scenario = Adept_sim.Scenario
 module Controller = Adept_sim.Controller
+module Monitor = Adept_sim.Monitor
+module Rollout = Adept_sim.Rollout
 
 type point = {
   rate : float;
@@ -17,8 +19,32 @@ type point = {
   degraded_seconds : float;
 }
 
+type rollout_flavor = Drift | Healthy
+
+let rollout_flavor_name = function Drift -> "drift" | Healthy -> "healthy"
+
+let rollout_flavor_of_string = function
+  | "drift" -> Ok Drift
+  | "healthy" -> Ok Healthy
+  | other ->
+      Error
+        (Adept.Error.invalid_input
+           "rollout flavor must be drift or healthy, got %s" other)
+
+type rollout_point = {
+  r_flavor : rollout_flavor;
+  r_mode : Rollout.mode;
+  r_outcome : string;
+  r_deploy_time : float option;
+  r_swap_error_rate : float;
+  r_rollback_time : float option;
+  r_throughput : float;
+  r_alerts : string list;
+}
+
 type result = {
   points : point list;
+  rollout_points : rollout_point list;
   servers : int;
   clients : int;
   mttr : float;
@@ -68,6 +94,179 @@ let controller_config policy =
   match r with
   | Ok cfg -> cfg
   | Error e -> invalid_arg (Adept.Error.to_string e)
+
+(* ---------- staged-rollout demo ----------
+
+   The canonical scenario for canary rollouts, shared verbatim by the
+   [adept rollout] CLI command, the golden-pinned timeline test and this
+   experiment's direct-vs-canary comparison: ten homogeneous nodes, a
+   d-ary-3 hierarchy, agent 1 lost at t=1.5s.  The monitor's model-drift
+   rule fires, the controller replans citing it, and the enactment is
+   staged per the configured rollout.  [Healthy]: nothing else goes
+   wrong, the canary's bake sees the drift resolve against the blended
+   forecast, and the rollout promotes.  [Drift]: a second node is lost
+   mid-bake, the watched rule is still firing at the deadline, and the
+   rollout rolls the canary back onto the untouched old generation. *)
+
+let rollout_crash_at = 1.5
+let rollout_second_crash_at = 5.2
+let rollout_clients = 16
+let rollout_warmup = 0.5
+let rollout_duration = 12.0
+
+let rollout_scenario ~flavor ~rollout =
+  let platform =
+    Adept_platform.Generator.homogeneous ~bandwidth:1000.0 ~n:10 ~power:730.0 ()
+  in
+  let wapp = Adept_workload.Dgemm.(mflops (make dgemm)) in
+  let strategy =
+    match Adept.Planner.strategy_of_string "dary:3" with
+    | Ok s -> s
+    | Error e -> invalid_arg (Adept.Error.to_string e)
+  in
+  let tree =
+    match
+      Adept.Planner.run strategy Common.params ~platform ~wapp
+        ~demand:Adept_model.Demand.unbounded
+    with
+    | Ok p -> p.Adept.Planner.tree
+    | Error e -> invalid_arg (Adept.Error.to_string e)
+  in
+  let faults =
+    let base =
+      Faults.make_exn ~service_timeout:2.0 ~patience:0.2 ()
+      |> Faults.crash ~node:1 ~at:rollout_crash_at
+    in
+    match flavor with
+    | Healthy -> base
+    | Drift ->
+        (* Node 9 is a plain server in both generations, so its death
+           mid-bake condemns the canary through the watched alert rules
+           rather than the structural canary-agent-died short circuit. *)
+        Faults.crash ~node:9 ~at:rollout_second_crash_at base
+  in
+  let controller =
+    match
+      Controller.config ~strategy ~sample_period:0.5 ~window:2.0 ~threshold:0.75
+        ~hold_time:1.0 ~cooldown:2.0 ~max_replans:3 ~rollout
+        Controller.Hysteresis
+    with
+    | Ok c -> c
+    | Error e -> invalid_arg (Adept.Error.to_string e)
+  in
+  let rules =
+    (* Not [Monitor.model_rules]: its drift rule is a symmetric deviation,
+       and during a bake the split fleet legitimately OVER-performs the
+       blended forecast (the canary's closed-loop clients are unsaturated
+       on the staged hierarchy), which would condemn a healthy canary.
+       The demo watches one-sided under-performance plus fleet size — a
+       node lost mid-bake means the plan under promotion was computed for
+       a platform that no longer exists. *)
+    let open Adept_obs.Rule in
+    let sel = selector in
+    [
+      v ~severity:Critical ~for_duration:0.5 "model-drift"
+        (Sub
+           ( Const 1.,
+             Div
+               ( Rate (sel Adept_obs.Semconv.requests_completed_total, 2.0),
+                 Last (sel Adept_obs.Semconv.model_predicted_rho) ) ))
+        Gt (Const 0.25);
+      (* The scenario expects exactly one node down (the trigger); any
+         further shrink while the canary bakes is disqualifying news. *)
+      v ~severity:Critical ~for_duration:0.5 "fleet-size"
+        (Last (sel Adept_obs.Semconv.alive_nodes))
+        Lt (Const 9.);
+    ]
+  in
+  let monitor =
+    match
+      Monitor.create ~interval:0.25
+        ~selectors:(Monitor.default_selectors tree)
+        rules
+    with
+    | Ok m -> m
+    | Error e -> invalid_arg (Adept.Error.to_string e)
+  in
+  let job = Adept_workload.Job.of_dgemm (Adept_workload.Dgemm.make dgemm) in
+  let s =
+    Scenario.make ~faults ~controller ~seed:42 ~params:Common.params ~platform
+      ~client:(Adept_workload.Client.closed_loop job) tree
+  in
+  (s, monitor, tree)
+
+let run_rollout ?(mode = Rollout.Canary) ?canary_fraction ?bake_window ~flavor ()
+    =
+  let rollout =
+    match
+      Rollout.config ?canary_fraction ?bake_window
+        ~watch:[ "model-drift"; "fleet-size" ] mode
+    with
+    | Ok r -> r
+    | Error e -> invalid_arg (Adept.Error.to_string e)
+  in
+  let s, monitor, tree = rollout_scenario ~flavor ~rollout in
+  let r =
+    Scenario.run_fixed ~monitor s ~clients:rollout_clients
+      ~warmup:rollout_warmup ~duration:rollout_duration
+  in
+  (r, monitor, tree)
+
+(* The decisive replan of a rollout run: the last record carrying a
+   rollout trail. *)
+let rollout_record (r : Scenario.run_result) =
+  List.fold_left
+    (fun acc (rep : Controller.replan_record) ->
+      match rep.Controller.rollout with Some ro -> Some (rep, ro) | None -> acc)
+    None r.Scenario.replans
+
+let rollout_point ~flavor ~mode (r : Scenario.run_result) =
+  let step_at step trail =
+    List.find_map
+      (fun (e : Rollout.event) ->
+        if e.Rollout.step = step then Some e.Rollout.at else None)
+      trail
+  in
+  let outcome, deploy, rollback_time, alerts =
+    match rollout_record r with
+    | None -> ("none", None, None, [])
+    | Some (rep, ro) ->
+        let trail = ro.Rollout.trail in
+        let span a b =
+          match (step_at a trail, step_at b trail) with
+          | Some t0, Some t1 -> Some (t1 -. t0)
+          | _ -> None
+        in
+        let deploy =
+          match ro.Rollout.outcome with
+          | Rollout.Direct_enacted -> Some rep.Controller.migration_cost
+          | Rollout.Promoted ->
+              span Rollout.Canary_started Rollout.Promote_finished
+          | Rollout.Rolled_back -> None
+        in
+        let rollback_time =
+          span Rollout.Rollback_started Rollout.Rollback_finished
+        in
+        let cited =
+          List.concat_map (fun (e : Rollout.event) -> e.Rollout.alerts) trail
+          |> List.sort_uniq compare
+        in
+        (Rollout.outcome_name ro.Rollout.outcome, deploy, rollback_time, cited)
+  in
+  {
+    r_flavor = flavor;
+    r_mode = mode;
+    r_outcome = outcome;
+    r_deploy_time = deploy;
+    r_swap_error_rate =
+      (if r.Scenario.issued_total = 0 then 0.0
+       else
+         float_of_int r.Scenario.migration_lost
+         /. float_of_int r.Scenario.issued_total);
+    r_rollback_time = rollback_time;
+    r_throughput = r.Scenario.throughput;
+    r_alerts = alerts;
+  }
 
 let run (ctx : Common.context) =
   let rates, clients, warmup, duration =
@@ -131,7 +330,21 @@ let run (ctx : Common.context) =
              [ Controller.Off; Controller.Eager; Controller.Hysteresis ])
          rates)
   in
-  { points; servers; clients; mttr; crash_at; horizon }
+  (* The staged-rollout comparison runs the canonical demo scenario — in
+     both flavors, under both enactment modes — so the same report shows
+     a bake window catching a bad plan (drift -> rolled back) and
+     waving a good one through (healthy -> promoted). *)
+  let rollout_points =
+    List.concat_map
+      (fun flavor ->
+        List.map
+          (fun mode ->
+            let r, _monitor, _tree = run_rollout ~mode ~flavor () in
+            rollout_point ~flavor ~mode r)
+          [ Rollout.Direct; Rollout.Canary ])
+      [ Healthy; Drift ]
+  in
+  { points; rollout_points; servers; clients; mttr; crash_at; horizon }
 
 let find points ~rate ~policy =
   List.find_opt (fun p -> p.rate = rate && p.policy = policy) points
@@ -194,6 +407,62 @@ let report _ctx r =
          ])
       r.points
   in
+  let rollout_table =
+    let opt = function
+      | Some v -> Printf.sprintf "%.3f" v
+      | None -> "n/a"
+    in
+    List.fold_left
+      (fun table p ->
+        Table.add_row table
+          [
+            rollout_flavor_name p.r_flavor;
+            Rollout.mode_name p.r_mode;
+            p.r_outcome;
+            opt p.r_deploy_time;
+            Printf.sprintf "%.2f%%" (100.0 *. p.r_swap_error_rate);
+            opt p.r_rollback_time;
+            Table.cell_float p.r_throughput;
+            String.concat "; " p.r_alerts;
+          ])
+      (Table.create
+         [
+           "flavor";
+           "rollout";
+           "outcome";
+           "deploy time (s)";
+           "swap error rate";
+           "rollback (s)";
+           "rho (req/s)";
+           "alerts cited";
+         ])
+      r.rollout_points
+  in
+  let rollout_notes =
+    List.filter_map
+      (fun flavor ->
+        let get mode =
+          List.find_opt
+            (fun p -> p.r_flavor = flavor && p.r_mode = mode)
+            r.rollout_points
+        in
+        match (get Rollout.Direct, get Rollout.Canary) with
+        | Some d, Some c ->
+            Some
+              (Printf.sprintf
+                 "%s flavor: direct swap %s (%.2f req/s), canary %s (%.2f \
+                  req/s)%s"
+                 (rollout_flavor_name flavor)
+                 d.r_outcome d.r_throughput c.r_outcome c.r_throughput
+                 (match c.r_rollback_time with
+                 | Some t ->
+                     Printf.sprintf ", rolled back in %.3fs with the old \
+                                     generation untouched"
+                       t
+                 | None -> ""))
+        | _ -> None)
+      [ Healthy; Drift ]
+  in
   let notes =
     List.filter_map
       (fun rate ->
@@ -229,7 +498,11 @@ let report _ctx r =
        subtree) while transient crashes arrive at the swept rate, and compares \
        never replanning (off), replanning on the first degraded sample (eager), \
        and replanning with hysteresis + migration-cost guards";
-    tables = [ ("Crash rate x policy", sweep) ];
-    notes;
+    tables =
+      [
+        ("Crash rate x policy", sweep);
+        ("Staged rollout: direct vs canary", rollout_table);
+      ];
+    notes = notes @ rollout_notes;
     series = [ ("sweep", csv) ];
   }

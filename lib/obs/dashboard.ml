@@ -49,7 +49,7 @@ td, th { border: 1px solid #ccc; padding: .2em .6em; text-align: left; }
 </style>
 |}
 
-let render_panel buf ~timeseries ~xs ~xmin ~xspan ~bands p =
+let render_panel buf ~timeseries ~xs ~xmin ~xspan ~bands ~spans p =
   Buffer.add_string buf
     (Printf.sprintf "<div class=\"panel\"><h2>%s%s</h2>\n"
        (html_escape p.title)
@@ -83,6 +83,29 @@ let render_panel buf ~timeseries ~xs ~xmin ~xspan ~bands p =
              (coord (xb -. xa))
              (coord (py1 -. py0))))
     bands;
+  (* labeled rollout-phase bands, visually distinct from alert bands *)
+  List.iter
+    (fun (label, start, stop) ->
+      let xa = Float.max px0 (x_of start) in
+      let xb = Float.min px1 (x_of stop) in
+      if xb > xa then begin
+        Buffer.add_string buf
+          (Printf.sprintf
+             "<rect class=\"phase-band\" x=\"%s\" y=\"%s\" width=\"%s\" \
+              height=\"%s\" fill=\"#1f77b4\" fill-opacity=\"0.08\" \
+              stroke=\"#1f77b4\" stroke-opacity=\"0.35\" \
+              stroke-dasharray=\"3,2\"/>\n"
+             (coord xa) (coord py0)
+             (coord (xb -. xa))
+             (coord (py1 -. py0)));
+        Buffer.add_string buf
+          (Printf.sprintf
+             "<text x=\"%s\" y=\"%s\" font-size=\"8\" fill=\"#1f77b4\">%s</text>\n"
+             (coord (xa +. 2.))
+             (coord (py0 +. 8.))
+             (html_escape label))
+      end)
+    spans;
   (* evaluate every series over the scrape instants; share one y range *)
   let evaluated =
     List.map
@@ -181,7 +204,7 @@ let alert_table buf alerts =
     (Alert.states alerts);
   Buffer.add_string buf "</table>\n"
 
-let render ?(title = "adept monitor") ~timeseries ?alerts panels =
+let render ?(title = "adept monitor") ~timeseries ?alerts ?(spans = []) panels =
   let buf = Buffer.create 8192 in
   Buffer.add_string buf "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\"/>\n";
   Buffer.add_string buf
@@ -205,10 +228,18 @@ let render ?(title = "adept monitor") ~timeseries ?alerts panels =
                 (fired, Option.value resolved ~default:xmax))
               (Alert.firing_intervals a)
       in
+      let spans =
+        List.map
+          (fun (label, start, stop) ->
+            (label, start, Option.value stop ~default:xmax))
+          spans
+      in
       Buffer.add_string buf
         (Printf.sprintf "<p>%d scrapes over [%s, %s] s</p>\n" (List.length xs)
            (short xmin) (short xmax));
-      List.iter (render_panel buf ~timeseries ~xs ~xmin ~xspan ~bands) panels);
+      List.iter
+        (render_panel buf ~timeseries ~xs ~xmin ~xspan ~bands ~spans)
+        panels);
   (match alerts with None -> () | Some a -> alert_table buf a);
   Buffer.add_string buf "</body></html>\n";
   Buffer.contents buf

@@ -19,5 +19,10 @@ val panel : ?unit_:string -> string -> (string * Rule.expr) list -> panel
 
 val render :
   ?title:string -> timeseries:Timeseries.t -> ?alerts:Alert.t ->
+  ?spans:(string * float * float option) list ->
   panel list -> string
-(** The complete HTML document. *)
+(** The complete HTML document.  [spans] draws labeled phase bands
+    (label, start, end) across every panel — visually distinct from the
+    alert bands — e.g. a staged rollout's canary-migration / bake /
+    promote / rollback intervals; an open span ([None]) extends to the
+    last scrape. *)

@@ -8,6 +8,7 @@ let l_alertname = "alertname"
 let l_alertstate = "alertstate"
 let l_severity = "severity"
 let l_component = "component"
+let l_step = "step"
 
 let node_label id = (l_node, string_of_int id)
 let level_label depth = (l_level, string_of_int depth)
@@ -35,6 +36,7 @@ let controller_suppressed_total = "adept_controller_suppressed_total"
 let controller_migration_seconds = "adept_controller_migration_seconds"
 let controller_window_throughput = "adept_controller_window_throughput"
 let controller_degraded_samples_total = "adept_controller_degraded_samples_total"
+let rollout_transitions_total = "adept_rollout_transitions_total"
 
 let planner_evaluations_total = "adept_planner_evaluations_total"
 let planner_plans_total = "adept_planner_plans_total"
@@ -77,6 +79,8 @@ let help_table =
       "Latest sliding-window throughput sample seen by the controller." );
     ( controller_degraded_samples_total,
       "Controller samples below the degradation threshold." );
+    ( rollout_transitions_total,
+      "Staged-rollout state-machine transitions, by step." );
     (planner_evaluations_total, "Candidate hierarchies evaluated while planning.");
     (planner_plans_total, "Planning passes, by strategy.");
     ( model_predicted_rho,

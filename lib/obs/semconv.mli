@@ -35,6 +35,10 @@ val l_severity : string
 val l_component : string
 (** ["component"] — Eqs. 1-5 cost component a drift rule watches. *)
 
+val l_step : string
+(** ["step"] — staged-rollout transition name on
+    [rollout_transitions_total]. *)
+
 val node_label : int -> string * string
 
 val level_label : int -> string * string
@@ -68,6 +72,7 @@ val controller_suppressed_total : string
 val controller_migration_seconds : string
 val controller_window_throughput : string
 val controller_degraded_samples_total : string
+val rollout_transitions_total : string
 
 (** {1 Planner} *)
 

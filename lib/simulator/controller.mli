@@ -44,7 +44,20 @@
     [Eager] the default guard is whatever the config says — set it to 0
     to reproduce a guard-free strawman), so the invariant the property
     tests pin down holds universally: {b no enacted replan ever has a
-    predicted gain below the configured minimum}. *)
+    predicted gain below the configured minimum}.
+
+    {e How} an accepted replan is enacted is a separate choice (see
+    {!Rollout}).  The default ([Off]) is the one-shot swap described
+    above.  [Canary] mode stages it: a deterministic fraction of clients
+    migrates to the new hierarchy first, both generations serve while
+    the monitor's alert rules judge the canary over a bake window, and
+    the rollout then promotes (the rest of the fleet migrates, the old
+    generation retires) or rolls back (the canary clients pay the
+    reverse hop back onto the old generation, which was never paused or
+    retired and is therefore restored bit-identically).  Every
+    transition is pushed to the run's tracer, counted in
+    [adept_rollout_transitions_total], and attached to the finished
+    {!replan_record} as a typed decision trail. *)
 
 open Adept_platform
 open Adept_hierarchy
@@ -81,6 +94,11 @@ type config = private {
       (** Acceptance slack handed to the incremental planner: the patch
           is kept when its predicted rho is within this fraction of the
           survivor-platform bound. *)
+  rollout : Rollout.config;
+      (** How enactments are staged (see {!Rollout}): [Off] (the
+          default) is the legacy one-shot swap with no rollout machinery,
+          [Direct] the same swap recorded as a decision trail, [Canary] a
+          staged enactment with a bake window and automatic rollback. *)
 }
 
 val config :
@@ -96,6 +114,7 @@ val config :
   ?state_mbit:float ->
   ?prefer_incremental:bool ->
   ?replan_slack:float ->
+  ?rollout:Rollout.config ->
   policy ->
   (config, Adept.Error.t) result
 (** Validated construction (defaults: strategy [Heuristic], sample 1 s,
@@ -129,6 +148,16 @@ type replan_record = {
           planner fell back to (or was configured for) a from-scratch
           replan.  Also traced as a ["replan-mode"] event at trigger
           time. *)
+  rollout : Rollout.record option;
+      (** How the enactment was staged: [None] in [Off] mode, the
+          finished decision trail otherwise.  A [Rolled_back] record
+          means the staged hierarchy was {e rejected} — the old
+          generation is still in charge, the record's [at] is the end of
+          the reverse migration, and [migration_cost] is the total
+          disruption the canary clients paid (forward hop plus reverse
+          hop).  Rolled-back rollouts still consume a [max_replans]
+          budget slot and start the cooldown, so a bad plan is not
+          immediately retried. *)
 }
 
 type t
@@ -186,6 +215,35 @@ val is_migrating : t -> bool
 val migration_ends : t -> float
 (** End of the current migration window ([Engine.now] when not
     migrating) — where a dropped request's client should resume. *)
+
+val route : t -> client:int -> Middleware.t
+(** The generation serving this client right now.  Only a canary client
+    during the bake (or the promote window) sees the staged generation;
+    with rollout [Off]/[Direct] this is always {!middleware}.  Request
+    issuers must re-read it per request. *)
+
+val blocked_until : t -> client:int -> float option
+(** When this client may issue again ([None]: free to go now).  The
+    legacy full-fleet migration pause blocks every client — exactly
+    {!is_migrating}/{!migration_ends} — while canary phases pause only
+    the side of the split that is moving: canary clients during the
+    forward hop and the rollback, the rest of the fleet during the
+    promote, nobody while the canary bakes. *)
+
+val rollout_phase : t -> Rollout.phase
+(** Where the staged rollout currently stands ([Idle] outside canary
+    enactments and always in [Off]/[Direct] mode). *)
+
+val rollout_active : t -> bool
+(** True while a canary rollout is in flight ([rollout_phase <> Idle]);
+    degradation sampling is paused for its duration. *)
+
+val monitor_rho : t -> float
+(** The model throughput the monitor's rules should predict against.
+    Equal to {!predicted_rho} except while a canary bakes, when the
+    fleet is split and the forecast blends the staged hierarchy's model
+    throughput (weighted by the canary fraction) with what the old
+    generation was actually observed delivering at the trigger. *)
 
 val records : t -> replan_record list
 (** Enacted replans, chronological. *)

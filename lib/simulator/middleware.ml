@@ -165,6 +165,14 @@ let alive_count t =
 
 let retire t = t.retired <- true
 
+(* The recording flag is the same bit [retire] sets: a provisional canary
+   generation deploys muted (its crashes and prunes are already being
+   witnessed by the generation still in charge) and is flipped to
+   recording when it is promoted. *)
+let set_recording t recording = t.retired <- not recording
+
+let is_deployed t id = id >= 0 && id < Array.length t.elements && t.elements.(id) <> None
+
 let fault_stats t =
   {
     crashes = t.counters.c_crashes;

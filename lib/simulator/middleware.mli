@@ -164,6 +164,20 @@ val retire : t -> unit
     fired).  Request-outcome events (timeouts, abandons) of its own
     in-flight work are still recorded. *)
 
+val set_recording : t -> bool -> unit
+(** Flip the topology-event recording bit {!retire} clears.  A canary
+    generation deploys and is immediately muted with
+    [set_recording t false] — while it bakes, the generation still in
+    charge is the one witness of every crash/recovery — and is flipped
+    back on when the rollout promotes it. *)
+
+val is_deployed : t -> Node.id -> bool
+(** Whether the node is part of this hierarchy (has a deployed element).
+    {!is_alive} and {!crash_time} are only meaningful for deployed nodes:
+    a node outside the hierarchy is invisible to this generation's fault
+    handling, so its liveness must be derived from the fault schedule
+    instead. *)
+
 val resource : t -> Node.id -> Resource.t
 (** The simulated port of a deployed node.
     @raise Not_found for nodes outside the hierarchy. *)

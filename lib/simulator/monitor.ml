@@ -107,8 +107,12 @@ let signals_of ~params ~platform ~wapp ~tree ~middleware ?controller () =
     | None -> (tree, middleware)
   in
   let predicted_rho =
+    (* [monitor_rho], not [predicted_rho]: while a canary bakes the fleet
+       is split across two generations and the controller publishes the
+       blended forecast the drift rule should judge against (outside a
+       bake the two are equal). *)
     match controller with
-    | Some c -> Controller.predicted_rho c
+    | Some c -> Controller.monitor_rho c
     | None -> Adept.Evaluate.rho_hetero params ~platform ~wapp tree
   in
   let rho_sched, rho_service =

@@ -50,6 +50,7 @@ type run_result = {
   degraded_seconds : float;
   migration_lost : int;
   replans : Controller.replan_record list;
+  final_tree : Tree.t;
 }
 
 (* Run-level instruments, resolved once per run. *)
@@ -154,20 +155,30 @@ let prepare ?(trace = Trace.disabled) ?registry ?rtrace ?monitor ~warmup ~horizo
       in
       Monitor.attach m ~engine ~registry ~provider ~horizon ()
   | _ -> ());
-  let issue_request ~on_complete =
+  let issue_request ~client ~on_complete =
     let issued_at = Engine.now engine in
     Run_stats.record_issue stats ~time:issued_at;
     (match obs with Some o -> Adept_obs.Counter.inc o.ro_issued | None -> ());
-    match controller with
-    | Some c when Controller.is_migrating c ->
+    (* With a controller attached, which generation serves — and whether
+       this client is paused by a migration window at all — depends on
+       the client id: a staged rollout moves only one side of the canary
+       split at a time (with rollout off both calls reduce to the old
+       fleet-wide is_migrating / current-middleware logic). *)
+    let blocked =
+      match controller with
+      | Some c -> Controller.blocked_until c ~client
+      | None -> None
+    in
+    match blocked with
+    | Some until ->
         Run_stats.record_lost stats ~time:issued_at;
         Run_stats.record_migration_lost stats;
         (match obs with Some o -> Adept_obs.Counter.inc o.ro_lost | None -> ());
-        Engine.schedule_at engine ~time:(Controller.migration_ends c) on_complete
-    | _ ->
+        Engine.schedule_at engine ~time:until on_complete
+    | None ->
         let middleware =
           match controller with
-          | Some c -> Controller.middleware c
+          | Some c -> Controller.route c ~client
           | None -> middleware
         in
         let job = Mix.draw mix rng in
@@ -240,7 +251,7 @@ let finish_obs obs ~middleware ~controller ~horizon ~duration ~throughput =
         throughput
 
 let finish ~clients ~warmup ~duration ~stats ~middleware ~controller ~events
-    ~window_completions ~obs =
+    ~window_completions ~obs ~tree =
   let horizon = warmup +. duration in
   let throughput = float_of_int (window_completions ()) /. duration in
   finish_obs obs ~middleware ~controller ~horizon ~duration ~throughput;
@@ -263,6 +274,8 @@ let finish ~clients ~warmup ~duration ~stats ~middleware ~controller ~events
     degraded_seconds = Run_stats.degraded_seconds stats;
     migration_lost = Run_stats.migration_lost stats;
     replans = (match controller with Some c -> Controller.records c | None -> []);
+    final_tree =
+      (match controller with Some c -> Controller.tree c | None -> tree);
   }
 
 let run_fixed ?trace ?registry ?rtrace ?monitor ?max_events t ~clients ~warmup
@@ -276,21 +289,22 @@ let run_fixed ?trace ?registry ?rtrace ?monitor ?max_events t ~clients ~warmup
     prepare ?trace ?registry ?rtrace ?monitor ~warmup ~horizon t
   in
   let think = Client.think_time t.client in
-  let rec client_loop () =
+  let rec client_loop client () =
     if Engine.now engine < horizon then
-      issue_request ~on_complete:(fun () ->
-          if think > 0.0 then Engine.schedule engine ~delay:think client_loop
-          else client_loop ())
+      issue_request ~client ~on_complete:(fun () ->
+          if think > 0.0 then
+            Engine.schedule engine ~delay:think (client_loop client)
+          else client_loop client ())
   in
   (* Stagger the client starts across the first simulated second so the
      hierarchy does not see a synchronised burst at t=0. *)
   let stagger = 1.0 /. float_of_int clients in
   for i = 0 to clients - 1 do
-    Engine.schedule_at engine ~time:(float_of_int i *. stagger) client_loop
+    Engine.schedule_at engine ~time:(float_of_int i *. stagger) (client_loop i)
   done;
   let events = Engine.run ~until:horizon ?max_events engine in
   finish ~clients ~warmup ~duration ~stats ~middleware ~controller ~events
-    ~window_completions ~obs
+    ~window_completions ~obs ~tree:t.tree
 
 let run_open ?trace ?registry ?rtrace ?monitor ?max_events t ~rate ~warmup
     ~duration =
@@ -303,9 +317,15 @@ let run_open ?trace ?registry ?rtrace ?monitor ?max_events t ~rate ~warmup
       =
     prepare ?trace ?registry ?rtrace ?monitor ~warmup ~horizon t
   in
+  (* Open-loop arrivals are one-shot, so the client id is just the
+     arrival index — still deterministic, so the canary split partitions
+     the Poisson stream reproducibly. *)
+  let next_client = ref 0 in
   let rec arrival () =
     if Engine.now engine < horizon then begin
-      issue_request ~on_complete:(fun () -> ());
+      let client = !next_client in
+      incr next_client;
+      issue_request ~client ~on_complete:(fun () -> ());
       Engine.schedule engine
         ~delay:(Rng.exponential rng ~mean:(1.0 /. rate))
         arrival
@@ -314,7 +334,7 @@ let run_open ?trace ?registry ?rtrace ?monitor ?max_events t ~rate ~warmup
   Engine.schedule_at engine ~time:(Rng.exponential rng ~mean:(1.0 /. rate)) arrival;
   let events = Engine.run ~until:horizon ?max_events engine in
   finish ~clients:0 ~warmup ~duration ~stats ~middleware ~controller ~events
-    ~window_completions ~obs
+    ~window_completions ~obs ~tree:t.tree
 
 let throughput_series ?trace t ~client_counts ~warmup ~duration =
   List.map

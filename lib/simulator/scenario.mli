@@ -77,6 +77,10 @@ type run_result = {
   replans : Controller.replan_record list;
       (** Enacted redeployments, chronological; [] without a
           controller. *)
+  final_tree : Tree.t;
+      (** The hierarchy generation in charge when the run ended: the
+          original tree unless a controller promoted a replacement — a
+          rolled-back canary leaves it untouched. *)
 }
 
 val run_fixed :

@@ -1176,6 +1176,215 @@ let test_replan_mode_golden () =
   Alcotest.(check string) "matches golden"
     (read_golden "golden/replan_mode.jsonl") got
 
+(* ---------- Rollout ---------- *)
+
+module Rollout = Adept_sim.Rollout
+module SH = Adept_experiments.Self_heal
+
+let rollout_config ?canary_fraction ?bake_window ?watch mode =
+  match Rollout.config ?canary_fraction ?bake_window ?watch mode with
+  | Ok c -> c
+  | Error e -> Alcotest.fail (Adept.Error.to_string e)
+
+let test_rollout_config_validation () =
+  Alcotest.(check bool) "fraction 0 rejected" true
+    (Result.is_error (Rollout.config ~canary_fraction:0.0 Rollout.Canary));
+  Alcotest.(check bool) "fraction 1 rejected" true
+    (Result.is_error (Rollout.config ~canary_fraction:1.0 Rollout.Canary));
+  Alcotest.(check bool) "non-positive bake rejected" true
+    (Result.is_error (Rollout.config ~bake_window:0.0 Rollout.Canary));
+  Alcotest.(check bool) "off ignores bad parameters" true
+    (Rollout.config ~canary_fraction:7.0 Rollout.Off = Ok Rollout.off);
+  List.iter
+    (fun m ->
+      Alcotest.(check bool)
+        ("mode name roundtrips: " ^ Rollout.mode_name m)
+        true
+        (Rollout.mode_of_string (Rollout.mode_name m) = Ok m))
+    [ Rollout.Off; Rollout.Direct; Rollout.Canary ];
+  (* deterministic membership, and a fraction that actually splits *)
+  let cfg = rollout_config ~canary_fraction:0.25 Rollout.Canary in
+  let members = List.init 64 (fun c -> Rollout.is_canary cfg ~client:c) in
+  Alcotest.(check bool) "membership is deterministic" true
+    (members = List.init 64 (fun c -> Rollout.is_canary cfg ~client:c));
+  let n = List.length (List.filter Fun.id members) in
+  Alcotest.(check bool) "some but not all clients are canary" true
+    (n > 0 && n < 64);
+  Alcotest.(check bool) "off mode has no canaries" true
+    (List.for_all not (List.init 64 (fun c -> Rollout.is_canary Rollout.off ~client:c)))
+
+(* The determinism regression for the two non-staged modes: [Off] must be
+   bit-identical to a controller run with no rollout argument at all, and
+   [Direct] bit-identical to [Off] — its decision trail is Tracer-only
+   observation riding on the same event stream. *)
+let test_rollout_direct_bit_identical () =
+  let run rollout =
+    let faults =
+      Faults.make_exn ~service_timeout:0.5 ~patience:0.2 ()
+      |> Faults.crash ~node:1 ~at:1.0
+    in
+    let controller =
+      match
+        Controller.config ~sample_period:0.25 ~window:1.0 ~threshold:0.6
+          ~hold_time:0.5 ~cooldown:1.0 ~min_gain:0.0 ~max_replans:4
+          ~restart_latency:0.3 ~state_mbit:1.0 ?rollout Controller.Hysteresis
+      with
+      | Ok c -> c
+      | Error e -> Alcotest.fail (Adept.Error.to_string e)
+    in
+    let s = controller_scenario ~controller ~faults ~seed:7 () in
+    let trace = Trace.create () in
+    let r = Scenario.run_fixed ~trace s ~clients:12 ~warmup:0.5 ~duration:6.0 in
+    (r, trace_fingerprint trace)
+  in
+  let core ((r : Scenario.run_result), fp) =
+    ( r.Scenario.throughput,
+      r.Scenario.completed_total,
+      r.Scenario.issued_total,
+      r.Scenario.lost_total,
+      r.Scenario.mean_response,
+      r.Scenario.migration_lost,
+      r.Scenario.degraded_seconds,
+      List.map
+        (fun (rec_ : Controller.replan_record) ->
+          ( rec_.Controller.at,
+            rec_.Controller.failed,
+            rec_.Controller.observed,
+            rec_.Controller.rho_before,
+            rec_.Controller.rho_after,
+            rec_.Controller.migration_cost ))
+        r.Scenario.replans,
+      fp )
+  in
+  let base = run None in
+  let off = run (Some Rollout.off) in
+  let direct = run (Some (rollout_config Rollout.Direct)) in
+  Alcotest.(check bool) "replans happened (the regression is non-trivial)"
+    true ((fst base).Scenario.replans <> []);
+  Alcotest.(check bool) "explicit Off bit-identical to default" true
+    (core off = core base);
+  Alcotest.(check bool) "Direct bit-identical to Off" true
+    (core direct = core base);
+  Alcotest.(check bool) "Off records carry no rollout" true
+    (List.for_all
+       (fun (rec_ : Controller.replan_record) -> rec_.Controller.rollout = None)
+       (fst off).Scenario.replans);
+  List.iter
+    (fun (rec_ : Controller.replan_record) ->
+      match rec_.Controller.rollout with
+      | Some ro ->
+          Alcotest.(check string) "Direct outcome" "direct"
+            (Rollout.outcome_name ro.Rollout.outcome);
+          Alcotest.(check (list string)) "Direct trail is one swap"
+            [ "direct-enacted" ]
+            (List.map
+               (fun (e : Rollout.event) -> Rollout.step_name e.Rollout.step)
+               ro.Rollout.trail)
+      | None -> Alcotest.fail "Direct record carries no rollout trail")
+    (fst direct).Scenario.replans
+
+(* Satellite regression: a node that died, was written out by a replan and
+   then recovered must be threaded back into the next replan's candidate
+   platform, while off-tree nodes that are still dead stay excluded. *)
+let test_rollout_readmission () =
+  let faults =
+    Faults.make_exn ~service_timeout:0.5 ~patience:0.2 ()
+    |> Faults.crash ~node:1 ~at:1.0 ~recover_at:6.0
+    |> Faults.crash ~node:3 ~at:1.0
+    |> Faults.crash ~node:2 ~at:7.0
+  in
+  let s =
+    controller_scenario
+      ~controller:(controller_config ~min_gain:0.0 ())
+      ~faults ~seed:7 ()
+  in
+  let r = Scenario.run_fixed s ~clients:12 ~warmup:0.5 ~duration:10.0 in
+  Alcotest.(check bool) "the write-off and the re-admission both happened"
+    true
+    (List.length r.Scenario.replans >= 2);
+  let first = List.hd r.Scenario.replans in
+  let last = List.nth r.Scenario.replans (List.length r.Scenario.replans - 1) in
+  Alcotest.(check bool) "first replan writes off both dead servers" true
+    (List.mem 1 first.Controller.failed && List.mem 3 first.Controller.failed);
+  Alcotest.(check bool) "second replan excludes the new corpse" true
+    (List.mem 2 last.Controller.failed);
+  Alcotest.(check bool) "still-dead off-tree node stays excluded" true
+    (List.mem 3 last.Controller.failed);
+  Alcotest.(check bool) "recovered node is no longer written off" true
+    (not (List.mem 1 last.Controller.failed));
+  Alcotest.(check bool) "recovered node serves in the final hierarchy" true
+    (Tree.mem r.Scenario.final_tree 1);
+  Alcotest.(check bool) "corpses are not in the final hierarchy" true
+    (not (Tree.mem r.Scenario.final_tree 2)
+    && not (Tree.mem r.Scenario.final_tree 3))
+
+(* The canonical demo reaches both verdicts: nothing further goes wrong
+   and the canary promotes; a node dies mid-bake and the canary rolls
+   back, citing the alert that condemned it. *)
+let test_rollout_demo_outcomes () =
+  let run flavor = SH.run_rollout ~flavor () in
+  let outcomes (r : Scenario.run_result) =
+    List.filter_map
+      (fun (rec_ : Controller.replan_record) ->
+        Option.map
+          (fun (ro : Rollout.record) -> Rollout.outcome_name ro.Rollout.outcome)
+          rec_.Controller.rollout)
+      r.Scenario.replans
+  in
+  let healthy, _, tree = run SH.Healthy in
+  Alcotest.(check (list string)) "healthy promotes" [ "promoted" ]
+    (outcomes healthy);
+  Alcotest.(check bool) "promotion swapped the serving hierarchy" true
+    (not (Tree.equal healthy.Scenario.final_tree tree));
+  Alcotest.(check bool) "the dead agent is gone from the promoted tree" true
+    (not (Tree.mem healthy.Scenario.final_tree 1));
+  let drift, _, _ = run SH.Drift in
+  Alcotest.(check (list string)) "drift rolls back" [ "rolled-back" ]
+    (outcomes drift);
+  let ro =
+    match
+      List.filter_map
+        (fun (rec_ : Controller.replan_record) -> rec_.Controller.rollout)
+        drift.Scenario.replans
+    with
+    | [ ro ] -> ro
+    | _ -> Alcotest.fail "expected exactly one finished rollout"
+  in
+  let cited =
+    List.concat_map
+      (fun (e : Rollout.event) ->
+        if e.Rollout.step = Rollout.Rollback_started then e.Rollout.alerts
+        else [])
+      ro.Rollout.trail
+  in
+  Alcotest.(check (list string)) "rollback cites the condemning alert"
+    [ "fleet-size" ] cited
+
+(* The merged alert + rollout-decision timeline of the drift flavor,
+   pinned byte-for-byte in test/golden/rollout_timeline.jsonl.  A
+   mismatch means the rollout state machine, the alert engine or the
+   simulation's accounting changed: if intentional, regenerate with
+     ROLLOUT_GOLDEN_OUT=test/golden/rollout_timeline.jsonl dune exec test/test_sim.exe
+   and mention the break in the changelog. *)
+
+let rollout_timeline () =
+  let r, monitor, _ = SH.run_rollout ~flavor:SH.Drift () in
+  let trail =
+    List.concat_map
+      (fun (rec_ : Controller.replan_record) ->
+        match rec_.Controller.rollout with
+        | Some ro -> ro.Rollout.trail
+        | None -> [])
+      r.Scenario.replans
+  in
+  Rollout.timeline_jsonl ~alerts:(Monitor.alerts monitor) trail
+
+let test_rollout_golden_timeline () =
+  let got = rollout_timeline () in
+  Alcotest.(check string) "byte-identical across runs" got (rollout_timeline ());
+  Alcotest.(check string) "matches golden"
+    (read_golden "golden/rollout_timeline.jsonl") got
+
 (* ---------- properties ---------- *)
 
 let prop_controller_min_gain =
@@ -1203,6 +1412,63 @@ let prop_controller_min_gain =
           rec_.Controller.rho_after
           > (rec_.Controller.observed *. (1.0 +. min_gain)) -. 1e-9)
         r.Scenario.replans)
+
+(* Rollback must restore the prior generation bit-identically: the serving
+   tree is physically the same value (never re-planned, re-deployed or
+   resurrected), every finished rollout in the drift flavor is a rollback
+   (the fleet-size alert never clears), the record prices forward plus
+   reverse migration, and successive rollouts respect the cooldown — a
+   rollback may not reset the clocks and thrash. *)
+let prop_rollout_rollback_restores =
+  QCheck.Test.make ~count:6
+    ~name:"a rolled-back canary restores the prior generation exactly"
+    QCheck.(pair (int_range 5 60) (int_range 0 9))
+    (fun (fraction_pct, bake_step) ->
+      let canary_fraction = float_of_int fraction_pct /. 100.0 in
+      let bake_window = 1.5 +. (0.2 *. float_of_int bake_step) in
+      let r, _monitor, tree =
+        SH.run_rollout ~canary_fraction ~bake_window ~flavor:SH.Drift ()
+      in
+      let rollouts =
+        List.filter_map
+          (fun (rec_ : Controller.replan_record) ->
+            Option.map (fun ro -> (rec_, ro)) rec_.Controller.rollout)
+          r.Scenario.replans
+      in
+      let step_at (ro : Rollout.record) step =
+        List.find_map
+          (fun (e : Rollout.event) ->
+            if e.Rollout.step = step then Some e.Rollout.at else None)
+          ro.Rollout.trail
+      in
+      let well_priced ((rec_ : Controller.replan_record), ro) =
+        ro.Rollout.outcome = Rollout.Rolled_back
+        &&
+        match
+          ( step_at ro Rollout.Canary_started,
+            step_at ro Rollout.Canary_enacted,
+            step_at ro Rollout.Rollback_started,
+            step_at ro Rollout.Rollback_finished )
+        with
+        | Some t0, Some t1, Some t2, Some t3 ->
+            t0 <= t1 && t1 <= t2 && t2 <= t3
+            && Float.abs
+                 (rec_.Controller.migration_cost -. (t1 -. t0 +. (t3 -. t2)))
+               < 1e-6
+            && Float.abs (rec_.Controller.at -. t3) < 1e-9
+        | _ -> false
+      in
+      let rec cooldown_spaced = function
+        | ((rec_ : Controller.replan_record), _) :: (((_, ro2) :: _) as rest) ->
+            (match step_at ro2 Rollout.Canary_started with
+            | Some s2 -> s2 >= rec_.Controller.at +. 2.0 -. 1e-6 && cooldown_spaced rest
+            | None -> false)
+        | _ -> true
+      in
+      rollouts <> []
+      && r.Scenario.final_tree == tree
+      && List.for_all well_priced rollouts
+      && cooldown_spaced rollouts)
 
 let prop_sim_conservation =
   QCheck.Test.make ~count:25
@@ -1288,6 +1554,15 @@ let () =
   | Some path ->
       Out_channel.with_open_bin path (fun oc ->
           Out_channel.output_string oc (drift_replan_modes ()));
+      Printf.printf "wrote %s\n%!" path;
+      exit 0
+  | None -> ());
+  (* regenerate the pinned rollout timeline:
+       ROLLOUT_GOLDEN_OUT=test/golden/rollout_timeline.jsonl dune exec test/test_sim.exe *)
+  (match Sys.getenv_opt "ROLLOUT_GOLDEN_OUT" with
+  | Some path ->
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc (rollout_timeline ()));
       Printf.printf "wrote %s\n%!" path;
       exit 0
   | None -> ());
@@ -1414,7 +1689,23 @@ let () =
           Alcotest.test_case "enacts on permanent crash" `Quick
             test_controller_enacts_on_permanent_crash;
         ] );
+      ( "rollout",
+        [
+          Alcotest.test_case "config validation" `Quick
+            test_rollout_config_validation;
+          Alcotest.test_case "direct bit-identical" `Slow
+            test_rollout_direct_bit_identical;
+          Alcotest.test_case "node re-admission" `Slow test_rollout_readmission;
+          Alcotest.test_case "demo outcomes" `Slow test_rollout_demo_outcomes;
+          Alcotest.test_case "golden timeline" `Slow
+            test_rollout_golden_timeline;
+        ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_sim_conservation; prop_sim_busy_bounded; prop_controller_min_gain ] );
+          [
+            prop_sim_conservation;
+            prop_sim_busy_bounded;
+            prop_controller_min_gain;
+            prop_rollout_rollback_restores;
+          ] );
     ]
