@@ -18,6 +18,11 @@
 module Common = Adept_experiments.Common
 module Registry = Adept_experiments.Registry
 module Demand = Adept_model.Demand
+module Sproto = Adept_serve.Protocol
+module Scache = Adept_serve.Cache
+module Srender = Adept_serve.Render
+module Sserver = Adept_serve.Server
+module Sclient = Adept_serve.Client
 
 let params = Adept_model.Params.diet_lyon
 
@@ -401,22 +406,63 @@ let bench_xml =
          | Ok _ -> ()
          | Error e -> failwith e))
 
-(* Machine-readable snapshot of the micro results, for CI artifacts and
-   cross-commit comparison. *)
-let write_bench_json path entries =
-  let entries = List.sort compare entries in
-  let oc = open_out path in
-  output_string oc "{\n  \"schema\": \"adept-bench/v1\",\n  \"results\": [\n";
-  let last = List.length entries - 1 in
-  List.iteri
-    (fun i (name, mean_ns, runs) ->
-      Printf.fprintf oc "    {\"name\": %S, \"mean_ns\": %.1f, \"runs\": %d}%s\n"
-        name mean_ns runs
-        (if i = last then "" else ","))
-    entries;
-  output_string oc "  ]\n}\n";
-  close_out oc;
-  Printf.printf "wrote %s\n" path
+(* ---------- serve micros ---------- *)
+
+(* The plan request the serve micros and the closed-loop driver share:
+   the CLI's default synthetic platform. *)
+let serve_spec =
+  Sproto.Synthetic
+    { nodes = 50; power = 730.0; bandwidth = 1000.0; heterogeneous = false; seed = 42 }
+
+let serve_plan_params =
+  {
+    Sproto.spec = serve_spec;
+    dgemm = 310;
+    demand = None;
+    strategy = "heuristic";
+    use_cache = true;
+  }
+
+let bench_serve_plan_cold =
+  (* a cache-missing plan request with the socket excluded: platform
+     build + Algorithm 1 + CLI-identical rendering *)
+  Bechamel.Test.make ~name:"serve/plan-cold"
+    (Bechamel.Staged.stage (fun () ->
+         match Srender.plan serve_plan_params with
+         | Ok (_text, _rho, _nodes_used) -> ()
+         | Error e -> failwith e))
+
+let bench_serve_plan_cached =
+  (* the same request answered from the plan-fragment cache: lookup plus
+     reply encoding — the fast path a warm server serves at rate *)
+  let digest = Sproto.spec_digest serve_spec in
+  let wapp = dgemm 310 in
+  let cache = Scache.create () in
+  let () =
+    match Srender.plan serve_plan_params with
+    | Ok (text, rho, nodes_used) ->
+        Scache.add cache ~digest ~strategy:"heuristic" ~wapp ~demand:None
+          { Scache.text; rho; nodes_used }
+    | Error e -> failwith e
+  in
+  Bechamel.Test.make ~name:"serve/plan-cached"
+    (Bechamel.Staged.stage (fun () ->
+         match Scache.find cache ~digest ~strategy:"heuristic" ~wapp ~demand:None with
+         | Some e ->
+             ignore
+               (Sproto.encode_reply
+                  {
+                    Sproto.reply_id = 1;
+                    response =
+                      Sproto.Plan_ok
+                        {
+                          text = e.Scache.text;
+                          rho = e.Scache.rho;
+                          nodes_used = e.Scache.nodes_used;
+                          cached = true;
+                        };
+                  })
+         | None -> failwith "serve/plan-cached: unexpected cache miss"))
 
 (* Reads only the format write_bench_json produces (one result object per
    line) — good enough without a JSON dependency. *)
@@ -441,6 +487,192 @@ let read_bench_json path =
    with End_of_file -> ());
   close_in ic;
   List.rev !entries
+
+(* Machine-readable snapshot of the micro results, for CI artifacts and
+   cross-commit comparison.  MERGES: `bench micro` and `bench serve` own
+   disjoint entry names, and each run must leave the other's rows in
+   BENCH_sim.json intact — existing rows survive unless rewritten. *)
+let write_bench_json path entries =
+  let keep =
+    if Sys.file_exists path then
+      List.filter
+        (fun (name, _, _) ->
+          not (List.exists (fun (n, _, _) -> n = name) entries))
+        (read_bench_json path)
+    else []
+  in
+  let entries = List.sort compare (keep @ entries) in
+  let oc = open_out path in
+  output_string oc "{\n  \"schema\": \"adept-bench/v1\",\n  \"results\": [\n";
+  let last = List.length entries - 1 in
+  List.iteri
+    (fun i (name, mean_ns, runs) ->
+      Printf.fprintf oc "    {\"name\": %S, \"mean_ns\": %.1f, \"runs\": %d}%s\n"
+        name mean_ns runs
+        (if i = last then "" else ","))
+    entries;
+  output_string oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
+(* ---------- closed-loop serve driver ---------- *)
+
+(* `bench serve` re-execs this binary (posix_spawn) as one server
+   process and [clients] closed-loop client processes: Unix.fork is
+   forbidden once any domain exists, and on OCaml 5.1 in-process client
+   threads beside a domain-backed server deadlock the runtime's
+   stop-the-world handshake (docs/SERVE.md) — separate thread-free
+   processes sidestep both and keep this binary's micros unpolluted by
+   the systhreads tick thread.  With a variable set, the binary serves
+   or drives load instead of benching. *)
+let serve_socket_var = "ADEPT_BENCH_SERVE_SOCKET"
+let client_socket_var = "ADEPT_BENCH_CLIENT_SOCKET"
+let client_window_var = "ADEPT_BENCH_CLIENT_WINDOW"
+let client_out_var = "ADEPT_BENCH_CLIENT_OUT"
+
+let () =
+  match Sys.getenv_opt serve_socket_var with
+  | None -> ()
+  | Some path ->
+      Sserver.run (Sserver.default_config (Sserver.Unix_socket path));
+      exit 0
+
+(* One closed-loop client: zero think time, wall-clock window shared
+   with its siblings via the environment, post-warmup latencies written
+   one per line for the parent to aggregate. *)
+let run_serve_client path =
+  let warm_until, stop_at =
+    match Sys.getenv_opt client_window_var with
+    | Some w -> Scanf.sscanf w "%f %f" (fun a b -> (a, b))
+    | None -> failwith ("bench client: " ^ client_window_var ^ " unset")
+  in
+  let out =
+    match Sys.getenv_opt client_out_var with
+    | Some p -> p
+    | None -> failwith ("bench client: " ^ client_out_var ^ " unset")
+  in
+  let c =
+    match Sclient.connect_retry (Sserver.Unix_socket path) with
+    | Ok c -> c
+    | Error e -> failwith ("bench client: " ^ e)
+  in
+  let request = Sproto.Plan serve_plan_params in
+  let acc = ref [] in
+  let rec go () =
+    let started = Unix.gettimeofday () in
+    if started < stop_at then begin
+      (match Sclient.call c request with
+      | Ok (Sproto.Error _) -> failwith "bench client: server-side error"
+      | Ok _ -> ()
+      | Error e -> failwith ("bench client: " ^ e));
+      if started >= warm_until then
+        acc := (Unix.gettimeofday () -. started) :: !acc;
+      go ()
+    end
+  in
+  go ();
+  Sclient.close c;
+  let oc = open_out out in
+  List.iter (fun l -> Printf.fprintf oc "%.9f\n" l) !acc;
+  close_out oc;
+  exit 0
+
+let () =
+  match Sys.getenv_opt client_socket_var with
+  | None -> ()
+  | Some path -> run_serve_client path
+
+let spawn_with extra_env =
+  let env = Array.append (Unix.environment ()) extra_env in
+  Unix.create_process_env Sys.executable_name
+    [| Sys.executable_name |]
+    env Unix.stdin Unix.stdout Unix.stderr
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(max 0 (min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1)))
+
+(* Sustained QPS and tail latency of the served hot path: a pool-sized
+   server, [clients] closed-loop client processes, a warm cache after
+   the priming query.  Results land in BENCH_sim.json beside the
+   Bechamel micros. *)
+let run_serve_driver () =
+  let path = Filename.temp_file "adept-bench-serve" ".sock" in
+  Sys.remove path;
+  let server = spawn_with [| serve_socket_var ^ "=" ^ path |] in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.kill server Sys.sigterm with Unix.Unix_error _ -> ());
+      ignore (Unix.waitpid [] server))
+    (fun () ->
+      let clients = 4 and warmup = 0.5 and duration = 3.0 in
+      (* prime: the first query plans cold and fills the cache, so the
+         measured window is the steady state *)
+      let c0 =
+        match Sclient.connect_retry (Sserver.Unix_socket path) with
+        | Ok c -> c
+        | Error e -> failwith ("bench serve: " ^ e)
+      in
+      (match Sclient.call c0 (Sproto.Plan serve_plan_params) with
+      | Ok (Sproto.Error _) -> failwith "bench serve: priming query failed"
+      | Ok _ -> ()
+      | Error e -> failwith ("bench serve: " ^ e));
+      Sclient.close c0;
+      let t0 = Unix.gettimeofday () in
+      let window =
+        Printf.sprintf "%.6f %.6f" (t0 +. warmup) (t0 +. warmup +. duration)
+      in
+      let outs =
+        List.init clients (fun _ -> Filename.temp_file "adept-bench-lat" ".txt")
+      in
+      let pids =
+        List.map
+          (fun out ->
+            spawn_with
+              [|
+                client_socket_var ^ "=" ^ path;
+                client_window_var ^ "=" ^ window;
+                client_out_var ^ "=" ^ out;
+              |])
+          outs
+      in
+      List.iter
+        (fun pid ->
+          match Unix.waitpid [] pid with
+          | _, Unix.WEXITED 0 -> ()
+          | _ -> failwith "bench serve: client process failed")
+        pids;
+      let all =
+        List.concat_map
+          (fun out ->
+            let ic = open_in out in
+            let samples = ref [] in
+            (try
+               while true do
+                 samples := float_of_string (input_line ic) :: !samples
+               done
+             with End_of_file -> ());
+            close_in ic;
+            Sys.remove out;
+            !samples)
+          outs
+        |> Array.of_list
+      in
+      Array.sort compare all;
+      let total = Array.length all in
+      let qps = float_of_int total /. duration in
+      let p50 = percentile all 0.50 *. 1e9
+      and p99 = percentile all 0.99 *. 1e9 in
+      Printf.printf
+        "serve: %d closed-loop clients over %.1fs: %.0f queries/s, p50 %.2f us, p99 %.2f us (%d queries)\n"
+        clients duration qps (p50 /. 1e3) (p99 /. 1e3) total;
+      write_bench_json "BENCH_sim.json"
+        [
+          ("adept/serve/queries-per-sec", qps, total);
+          ("adept/serve/query-latency-p50-ns", p50, total);
+          ("adept/serve/query-latency-p99-ns", p99, total);
+        ])
 
 (* The perf trajectory gate: fresh micro results against a committed
    snapshot.  Only benchmarks present in both are compared; a mean more
@@ -478,6 +710,7 @@ let run_micro () =
         bench_scrape; bench_plan_2000; bench_window_ring; bench_window_naive;
         bench_event_queue; bench_xml;
         bench_plan_100k; bench_replan_incremental; bench_replan_full;
+        bench_serve_plan_cold; bench_serve_plan_cached;
       ]
   in
   let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 1.5) ~kde:(Some 1000) () in
@@ -536,10 +769,17 @@ let () =
     parse (List.tl (Array.to_list Sys.argv)) None 0.25 []
   in
   let micro = List.mem "micro" args || against <> None in
-  let ids = List.filter (fun a -> a <> "micro" && a <> "all") args in
-  let run_all = args = [] || List.mem "all" args || (ids = [] && not micro) in
+  let serve_mode = List.mem "serve" args in
+  let ids =
+    List.filter (fun a -> a <> "micro" && a <> "all" && a <> "serve") args
+  in
+  let run_all =
+    args = [] || List.mem "all" args
+    || (ids = [] && (not micro) && not serve_mode)
+  in
   if run_all then run_experiments []
   else if ids <> [] then run_experiments ids;
+  if serve_mode then run_serve_driver ();
   if micro then begin
     (* Read the baseline before run_micro overwrites BENCH_sim.json —
        the CI invocation gates against the committed copy of the same

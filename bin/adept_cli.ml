@@ -1469,6 +1469,217 @@ let bench_node_cmd =
        ~doc:"Measure this machine's MFlop/s with the Linpack mini-benchmark")
     Term.(const run $ const ())
 
+(* ---------- serve / query ---------- *)
+
+module Serve = Adept_serve.Server
+module Query = Adept_serve.Client
+module Proto = Adept_serve.Protocol
+
+let address_arg =
+  let doc =
+    "Planning-server address: unix:<path>, tcp:<host>:<port>, or a bare Unix \
+     socket path."
+  in
+  Arg.(value & opt string "unix:adept.sock"
+       & info [ "address"; "a" ] ~docv:"ADDR" ~doc)
+
+let parse_address s =
+  match Serve.address_of_string s with
+  | Ok a -> a
+  | Error e -> exit_err ("bad --address: " ^ e)
+
+let serve_cmd =
+  let run address workers shards cache_capacity max_requests prom_out =
+    let registry = Adept_obs.Registry.create () in
+    Serve.run
+      {
+        Serve.address = parse_address address;
+        workers;
+        shards;
+        cache_capacity;
+        max_requests;
+        registry = Some registry;
+      };
+    Option.iter
+      (fun path ->
+        Out_channel.with_open_text path (fun oc ->
+            Out_channel.output_string oc
+              (Adept_obs.Export.prometheus (Adept_obs.Registry.snapshot registry)));
+        Printf.printf "wrote Prometheus text to %s\n" path)
+      prom_out
+  in
+  let workers =
+    Arg.(value & opt (some int) None & info [ "workers" ] ~docv:"N"
+           ~doc:"Worker domains (default: this machine's recommended domain \
+                 count minus one).")
+  in
+  let shards =
+    Arg.(value & opt (some int) None & info [ "shards" ] ~docv:"N"
+           ~doc:"Planner shards for the heuristic (default: the worker count). \
+                 Any value yields bit-identical plans; it only changes how the \
+                 work spreads across domains.")
+  in
+  let cache_capacity =
+    Arg.(value & opt int 128 & info [ "cache-capacity" ] ~docv:"N"
+           ~doc:"Plan-fragment cache entries (LRU).")
+  in
+  let max_requests =
+    Arg.(value & opt (some int) None & info [ "max-requests" ] ~docv:"N"
+           ~doc:"Drain and exit after this many requests (tests/CI).")
+  in
+  let prom_out =
+    Arg.(value & opt (some string) None & info [ "prom" ] ~docv:"FILE"
+           ~doc:"At drain, export the server metrics in Prometheus text format.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the planner as a long-lived, concurrent, sharded service")
+    Term.(const run $ address_arg $ workers $ shards $ cache_capacity
+          $ max_requests $ prom_out)
+
+(* The query-side platform description: a catalog file is shipped inline
+   (the server may be remote), synthetic parameters go as-is. *)
+let spec_of file n power bandwidth hetero seed =
+  match file with
+  | Some path -> (
+      match In_channel.with_open_text path In_channel.input_all with
+      | text -> Proto.Catalog text
+      | exception Sys_error e -> exit_err e)
+  | None ->
+      Proto.Synthetic
+        { nodes = n; power; bandwidth; heterogeneous = hetero; seed }
+
+let query_call address request =
+  match Query.connect_retry (parse_address address) with
+  | Error e -> exit_err ("cannot connect: " ^ e)
+  | Ok c -> (
+      let r = Query.call c request in
+      Query.close c;
+      match r with
+      | Error e -> exit_err e
+      | Ok (Proto.Error kind) -> exit_err (snd (Proto.error_kind_fields kind))
+      | Ok resp -> resp)
+
+let query_plan_cmd =
+  let run address file n power bandwidth hetero seed dgemm demand strategy
+      no_cache =
+    let request =
+      Proto.Plan
+        {
+          Proto.spec = spec_of file n power bandwidth hetero seed;
+          dgemm;
+          demand;
+          strategy;
+          use_cache = not no_cache;
+        }
+    in
+    match query_call address request with
+    | Proto.Plan_ok { text; _ } -> print_string text
+    | _ -> exit_err "server sent a mismatched response"
+  in
+  let no_cache =
+    Arg.(value & flag & info [ "no-cache" ]
+           ~doc:"Bypass the server's plan cache (always plan afresh).")
+  in
+  Cmd.v
+    (Cmd.info "plan" ~doc:"Plan via the server; output matches `adept plan`")
+    Term.(const run $ address_arg $ platform_file $ nodes_arg $ power_arg
+          $ bandwidth_arg $ hetero_arg $ seed_arg $ dgemm_arg $ demand_arg
+          $ strategy_arg $ no_cache)
+
+let query_replan_cmd =
+  let run address file n power bandwidth hetero seed dgemm demand strategy
+      failed =
+    let request =
+      Proto.Replan
+        {
+          Proto.r_spec = spec_of file n power bandwidth hetero seed;
+          r_dgemm = dgemm;
+          r_demand = demand;
+          r_strategy = strategy;
+          r_failed = failed;
+        }
+    in
+    match query_call address request with
+    | Proto.Replan_ok { text; _ } -> print_string text
+    | _ -> exit_err "server sent a mismatched response"
+  in
+  let failed =
+    Arg.(value & pos_all int [] & info [] ~docv:"NODE_ID"
+           ~doc:"Ids of the failed nodes to plan around.")
+  in
+  Cmd.v
+    (Cmd.info "replan"
+       ~doc:"Replan via the server; output matches `adept replan`")
+    Term.(const run $ address_arg $ platform_file $ nodes_arg $ power_arg
+          $ bandwidth_arg $ hetero_arg $ seed_arg $ dgemm_arg $ demand_arg
+          $ strategy_arg $ failed)
+
+let query_observe_cmd =
+  let run address file n power bandwidth hetero seed dgemm demand strategy
+      clients warmup duration =
+    let request =
+      Proto.Observe
+        {
+          Proto.o_spec = spec_of file n power bandwidth hetero seed;
+          o_dgemm = dgemm;
+          o_demand = demand;
+          o_strategy = strategy;
+          o_seed = seed;
+          o_clients = clients;
+          o_warmup = warmup;
+          o_duration = duration;
+        }
+    in
+    match query_call address request with
+    | Proto.Observe_ok { text; _ } -> print_string text
+    | _ -> exit_err "server sent a mismatched response"
+  in
+  let clients =
+    Arg.(value & opt int 100 & info [ "clients" ] ~docv:"N"
+           ~doc:"Closed-loop client population.")
+  in
+  let warmup =
+    Arg.(value & opt float 2.0 & info [ "warmup" ] ~docv:"SECONDS"
+           ~doc:"Simulated warm-up before measurement.")
+  in
+  let duration =
+    Arg.(value & opt float 4.0 & info [ "duration" ] ~docv:"SECONDS"
+           ~doc:"Simulated measurement window.")
+  in
+  Cmd.v
+    (Cmd.info "observe"
+       ~doc:"Instrumented simulation via the server; output matches `adept \
+             observe`")
+    Term.(const run $ address_arg $ platform_file $ nodes_arg $ power_arg
+          $ bandwidth_arg $ hetero_arg $ seed_arg $ dgemm_arg $ demand_arg
+          $ strategy_arg $ clients $ warmup $ duration)
+
+let query_stats_cmd =
+  let run address =
+    match query_call address Proto.Stats with
+    | Proto.Stats_ok s ->
+        Printf.printf "requests: plan=%d replan=%d observe=%d stats=%d\n"
+          s.Proto.plan_requests s.Proto.replan_requests s.Proto.observe_requests
+          s.Proto.stats_requests;
+        Printf.printf "errors: %d\n" s.Proto.errors;
+        Printf.printf "cache: hits=%d misses=%d evictions=%d invalidations=%d\n"
+          s.Proto.cache_hits s.Proto.cache_misses s.Proto.cache_evictions
+          s.Proto.cache_invalidations;
+        Printf.printf "coalesced: %d\n" s.Proto.coalesced;
+        Printf.printf "workers: %d shards: %d\n" s.Proto.workers s.Proto.shards
+    | _ -> exit_err "server sent a mismatched response"
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Print the server's request and cache counters")
+    Term.(const run $ address_arg)
+
+let query_cmd =
+  Cmd.group
+    (Cmd.info "query"
+       ~doc:"Send planning requests to a running `adept serve` instance")
+    [ query_plan_cmd; query_replan_cmd; query_observe_cmd; query_stats_cmd ]
+
 let main =
   let doc = "Automatic middleware deployment planning (ADePT)" in
   Cmd.group
@@ -1476,7 +1687,7 @@ let main =
     [
       platform_cmd; plan_cmd; eval_cmd; simulate_cmd; observe_cmd; trace_cmd;
       monitor_cmd; replan_cmd; rollout_cmd; compare_cmd; improve_cmd;
-      latency_cmd; experiment_cmd; bench_node_cmd;
+      latency_cmd; experiment_cmd; bench_node_cmd; serve_cmd; query_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -169,14 +169,26 @@ let distribute ~slots children =
   in
   List.iter place children
 
-let build params pool ~target =
+(* Reusable per-plan scratch: the capacity memo is sized by the pool's
+   class count once and re-blanked per probe with [Array.fill] — the
+   bisection runs ~40 probes per plan, and re-allocating (and collecting)
+   a class-indexed array on every probe showed up at 100k nodes. *)
+let scratch_for pool = Array.make (max 1 (Node_pool.class_count pool)) (-1)
+
+let build ?scratch params pool ~target =
   let n = Node_pool.size pool in
   let bandwidth = Node_pool.bandwidth pool in
   let sorted = Node_pool.nodes pool in
   (* Capacity depends on a node only through its power: memoize per
      power class (the generators produce a handful of discrete levels,
      so this collapses the per-node capacity scans of the reference). *)
-  let cap_cache = Array.make (max 1 (Node_pool.class_count pool)) (-1) in
+  let cap_cache =
+    match scratch with
+    | Some arr ->
+        Array.fill arr 0 (Array.length arr) (-1);
+        arr
+    | None -> scratch_for pool
+  in
   let cap_at i =
     let c = Node_pool.class_of pool i in
     let cached = cap_cache.(c) in
@@ -224,35 +236,44 @@ let build params pool ~target =
                 Node_pool.min_servers pool ~target ~usable ~from:(q + j)
                   ~cap:(direct + deep)
               with
-              | Node_pool.Servers servers
-                when List.length servers <= direct + deep
-                     && (j = 0 || List.length servers >= 2 * j) ->
-                  `Finish (j, servers)
+              | Node_pool.Servers count
+                when count <= direct + deep && (j = 0 || count >= 2 * j) ->
+                  `Finish (j, count)
               | Node_pool.Servers _ | Node_pool.Overflow | Node_pool.Infeasible ->
                   try_j (j + 1) deep
             end
           end
         in
         match try_j 0 0 with
-        | `Finish (j, servers) ->
+        | `Finish (j, count) ->
+            (* The accepted servers are the sorted indices
+               [q + j .. q + j + count - 1]; read them off the pool
+               directly instead of materializing a list per probe. *)
+            let sfrom = q + j in
             let new_agents =
               List.init j (fun i ->
                   { anode = sorted.(q + i); cap = cap_at (q + i); kids = []; nkids = 0 })
             in
             distribute ~slots:frontier (List.map (fun a -> Kagent a) new_agents);
             (* Guarantee two servers per new agent before balancing the rest. *)
-            let rec seed agents servers =
-              match (agents, servers) with
-              | [], rest -> rest
-              | a :: more, s1 :: s2 :: rest ->
-                  a.kids <- Kserver s2 :: Kserver s1 :: a.kids;
-                  a.nkids <- a.nkids + 2;
-                  seed more rest
-              | _ :: _, _ -> invalid_arg "Heuristic.build: seeding underflow"
+            let rec seed agents idx =
+              match agents with
+              | [] -> idx
+              | a :: more ->
+                  if idx + 1 >= sfrom + count then
+                    invalid_arg "Heuristic.build: seeding underflow"
+                  else begin
+                    a.kids <- Kserver sorted.(idx + 1) :: Kserver sorted.(idx) :: a.kids;
+                    a.nkids <- a.nkids + 2;
+                    seed more (idx + 2)
+                  end
             in
-            let rest = seed new_agents servers in
-            distribute ~slots:(frontier @ new_agents)
-              (List.map (fun s -> Kserver s) rest);
+            let rest_from = seed new_agents sfrom in
+            let rest = ref [] in
+            for i = sfrom + count - 1 downto rest_from do
+              rest := Kserver sorted.(i) :: !rest
+            done;
+            distribute ~slots:(frontier @ new_agents) !rest;
             Some root
         | `No_finish ->
             (* Commit a full level: every remaining slot becomes an agent,
@@ -292,7 +313,27 @@ let build_for_target params ~platform ~wapp ~target =
   let pool = Node_pool.create params ~bandwidth ~wapp (Platform.nodes platform) in
   if Node_pool.size pool < 2 then None else build params pool ~target
 
-let plan params ~platform ~wapp ~demand =
+(* One probe as a standalone entry point for concurrent callers: the
+   build is a pure function of (params, pool, target) and the pool is
+   immutable after creation, so several domains may probe one shared
+   pool at once.  The only mutable state is the capacity scratch, held
+   per domain (not per pool — it is re-blanked and, when a bigger pool
+   comes along, re-sized on entry). *)
+let probe_scratch = Domain.DLS.new_key (fun () -> ref [||])
+
+let probe params pool ~target =
+  let cell = Domain.DLS.get probe_scratch in
+  let need = max 1 (Node_pool.class_count pool) in
+  if Array.length !cell < need then cell := Array.make need (-1);
+  build ~scratch:!cell params pool ~target
+
+let pool_of params ~platform ~wapp =
+  match Link.uniform_bandwidth (Platform.link platform) with
+  | None -> None
+  | Some bandwidth ->
+      Some (Node_pool.create params ~bandwidth ~wapp (Platform.nodes platform))
+
+let plan ?probe params ~platform ~wapp ~demand =
   let n = Platform.size platform in
   if n < 2 then Error "heuristic: need at least two nodes (one agent, one server)"
   else if wapp <= 0.0 || not (Float.is_finite wapp) then
@@ -305,8 +346,21 @@ let plan params ~platform ~wapp ~demand =
         let pool = Node_pool.create params ~bandwidth ~wapp (Platform.nodes platform) in
         let probes = ref [] in
         let candidates = ref [] in
+        let scratch = scratch_for pool in
+        (* [?probe] swaps the builder out from under the driver — the
+           sharded service memoizes speculative builds and feeds them
+           back here, so every decision (probe order, candidate order,
+           tie-breaks) is made by this very loop and the result is
+           bit-identical to the sequential plan by construction.  The
+           override MUST return exactly what [build] returns for the
+           same target; {!probe} does. *)
+        let run_build =
+          match probe with
+          | Some f -> f
+          | None -> fun ~target -> build ~scratch params pool ~target
+        in
         let try_target target =
-          match build params pool ~target with
+          match run_build ~target with
           | None ->
               probes :=
                 { target; feasible = false; achieved_rho = 0.0; nodes_used = 0 }

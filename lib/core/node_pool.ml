@@ -90,7 +90,7 @@ let usable_until t ~target =
   done;
   !lo
 
-type scan = Servers of Node.t list | Overflow | Infeasible
+type scan = Servers of int | Overflow | Infeasible
 
 let min_servers t ~target ~usable ~from ~cap =
   let comm =
@@ -107,20 +107,23 @@ let min_servers t ~target ~usable ~from ~cap =
        first re-check decides.  [cap] bounds the prefix the caller could
        accept (direct + deep slots); once the count exceeds it, every
        later answer — a longer prefix or None — is rejected the same way,
-       so the scan can stop without changing any decision. *)
-    let rec scan i sum_rate sum_inv count acc =
+       so the scan can stop without changing any decision.  The scan
+       consumes every index in [from, usable), so the answer is fully
+       described by its length — the caller reads the nodes straight off
+       the sorted array instead of a freshly consed list (the per-probe
+       allocation that dominated the 100k-node profile). *)
+    let rec scan i sum_rate sum_inv count =
       let numer = 1.0 +. (wpre *. sum_inv) in
-      if sum_rate > 0.0 && numer /. sum_rate <= budget then Servers (List.rev acc)
+      if sum_rate > 0.0 && numer /. sum_rate <= budget then Servers count
       else if count > cap then Overflow
       else if i >= usable then Infeasible
       else
-        let node = t.sorted.(i) in
         scan (i + 1)
-          (sum_rate +. (Node.power node /. t.wapp))
+          (sum_rate +. (Node.power t.sorted.(i) /. t.wapp))
           (sum_inv +. (1.0 /. t.wapp))
-          (count + 1) (node :: acc)
+          (count + 1)
     in
-    scan (max from 0) 0.0 0.0 0 []
+    scan (max from 0) 0.0 0.0 0
   end
 
 let feasible t ~target ~usable =

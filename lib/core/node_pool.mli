@@ -69,7 +69,12 @@ val usable_until : t -> target:float -> int
     the sorted order. *)
 
 type scan =
-  | Servers of Node.t list  (** Smallest usable prefix reaching [target]. *)
+  | Servers of int
+      (** Length of the smallest usable prefix reaching [target]: the
+          servers are [node t from .. node t (from + count - 1)] — the
+          scan consumes every index below the usable boundary, so the
+          count alone identifies them and no list is allocated on the
+          probe hot path. *)
   | Overflow  (** The prefix outgrew [cap] before reaching [target]. *)
   | Infeasible  (** Even every usable node from [from] falls short. *)
 

@@ -122,8 +122,7 @@ let validated ~context ~platform tree =
         (Error.invalid_hierarchy ~context "%s"
            (String.concat "; " (List.map Validate.error_to_string errs)))
 
-let run strategy params ~platform ~wapp ~demand =
-  let* tree, evaluations = plan_tree strategy params ~platform ~wapp ~demand in
+let finish strategy params ~platform ~demand ~wapp (tree, evaluations) =
   let* () =
     validated ~context:("strategy " ^ strategy_name strategy) ~platform tree
   in
@@ -138,6 +137,20 @@ let run strategy params ~platform ~wapp ~demand =
       nodes_available = Platform.size platform;
       evaluations;
     }
+
+let run strategy params ~platform ~wapp ~demand =
+  let* pair = plan_tree strategy params ~platform ~wapp ~demand in
+  finish strategy params ~platform ~demand ~wapp pair
+
+let run_with_probe probe params ~platform ~wapp ~demand =
+  let* pair =
+    Result.map_error
+      (fun reason -> Error.no_feasible ~strategy:(strategy_name Heuristic) "%s" reason)
+      (Result.map
+         (fun (r : Heuristic.result) -> (r.tree, List.length r.probes))
+         (Heuristic.plan ~probe params ~platform ~wapp ~demand))
+  in
+  finish Heuristic params ~platform ~demand ~wapp pair
 
 type replan_result = {
   replanned : plan;
@@ -291,8 +304,39 @@ let survivor_bound params ~bandwidth ~wapp ~demand survivors =
   in
   Demand.min_target demand hi
 
-let replan_incremental strategy params ~platform ~wapp ~demand ~failed ~previous
-    ?(slack = 0.15) () =
+(* Re-admission: recovered off-tree nodes rejoin the patched hierarchy as
+   servers under the least-loaded agent (fewest children, first in
+   preorder on ties) — the cheapest structural move that returns their
+   compute power to the service side without re-planning.  The graft is
+   kept only when it does not lower the patched tree's Eq. 16 rho: on a
+   scheduling-bound hierarchy an extra child can cost more than the
+   server adds, and then the recovered node is better left for the next
+   full replan to place. *)
+let graft_recovered params ~platform ~wapp patched nodes =
+  List.fold_left
+    (fun (tree, rho) node ->
+      if Tree.mem tree (Node.id node) then (tree, rho)
+      else
+        let agents = Tree.agents_with_degree tree in
+        let host, _ =
+          List.fold_left
+            (fun ((_, bd) as best) ((_, d) as cand) ->
+              if d < bd then cand else best)
+            (List.hd agents) (List.tl agents)
+        in
+        let rec add = function
+          | Tree.Server _ as s -> s
+          | Tree.Agent (a, kids) when Node.id a = Node.id host ->
+              Tree.agent a (kids @ [ Tree.server node ])
+          | Tree.Agent (a, kids) -> Tree.agent a (List.map add kids)
+        in
+        let grafted = add tree in
+        let rho' = Evaluate.rho_hetero params ~platform ~wapp grafted in
+        if rho' >= rho then (grafted, rho') else (tree, rho))
+    patched nodes
+
+let replan_incremental strategy params ~platform ~wapp ~demand ~failed
+    ?(recovered = []) ~previous ?(slack = 0.15) () =
   let n = Platform.size platform in
   let* () =
     if slack < 0.0 || slack >= 1.0 || not (Float.is_finite slack) then
@@ -305,13 +349,37 @@ let replan_incremental strategy params ~platform ~wapp ~demand ~failed ~previous
         Error (Error.invalid_input "replan: failed node %d is not on the platform" id)
     | None -> Ok ()
   in
+  let* () =
+    match List.find_opt (fun id -> id < 0 || id >= n) recovered with
+    | Some id ->
+        Error
+          (Error.invalid_input "replan: recovered node %d is not on the platform" id)
+    | None -> Ok ()
+  in
   let failed = List.sort_uniq Int.compare failed in
+  let recovered = List.sort_uniq Int.compare recovered in
+  let* () =
+    match List.find_opt (fun id -> List.mem id failed) recovered with
+    | Some id ->
+        Error
+          (Error.invalid_input "replan: node %d is both failed and recovered" id)
+    | None -> Ok ()
+  in
   let* rho_before =
     Result.map
       (fun () -> Evaluate.rho_hetero params ~platform ~wapp previous)
       (validated ~context:"replan reference" ~platform previous)
   in
-  if failed = [] then
+  (* Only nodes genuinely absent from the running hierarchy are
+     re-admission candidates — a "recovered" id still serving in
+     [previous] never left. *)
+  let recovered_nodes =
+    List.filter_map
+      (fun id ->
+        if Tree.mem previous id then None else Some (Platform.node platform id))
+      recovered
+  in
+  if failed = [] && recovered_nodes = [] then
     (* Nothing died: the previous hierarchy is returned verbatim
        (physically shared), with zero candidate evaluations. *)
     Ok
@@ -333,6 +401,36 @@ let replan_incremental strategy params ~platform ~wapp ~demand ~failed ~previous
           rho_drop = 0.0;
         },
         Incremental )
+  else if failed = [] then begin
+    (* Nothing died but nodes recovered: re-admission is a pure
+       improvement step — grafts are kept only when they raise rho, so
+       no slack gate is needed (there is no loss to bound) and the
+       result is always [Incremental].  When every graft would lower
+       rho the previous tree comes back physically unchanged. *)
+    let tree, rho =
+      graft_recovered params ~platform ~wapp (previous, rho_before)
+        recovered_nodes
+    in
+    Ok
+      ( {
+          replanned =
+            {
+              strategy;
+              tree;
+              predicted_rho = rho;
+              demand_met = Demand.is_met demand rho;
+              nodes_used = Tree.size tree;
+              nodes_available = n;
+              evaluations = List.length recovered_nodes;
+            };
+          failed = [];
+          survivors = n;
+          rho_before;
+          rho_after = rho;
+          rho_drop = 0.0;
+        },
+        Incremental )
+  end
   else
     let is_failed = Array.make n false in
     List.iter (fun id -> is_failed.(id) <- true) failed;
@@ -363,7 +461,7 @@ let replan_incremental strategy params ~platform ~wapp ~demand ~failed ~previous
                 demand_met = Demand.is_met demand rho_after;
                 nodes_used = Tree.size tree;
                 nodes_available = survivors;
-                evaluations = 1;
+                evaluations = 1 + List.length recovered_nodes;
               };
             failed;
             survivors;
@@ -382,6 +480,19 @@ let replan_incremental strategy params ~platform ~wapp ~demand ~failed ~previous
       | None -> full "no-survivors-in-tree"
       | Some patched -> (
           let patched = Tree.normalize patched in
+          (* A recovery can rescue a patch the deaths reduced below a
+             servable hierarchy: [Agent (a, [])] is the only server-less
+             shape normalization leaves (every other childless agent was
+             demoted), it has no Eq. 16 rho to compare against, and a
+             hierarchy with no servers serves nothing — so the first
+             recovered node is grafted unconditionally before the patch
+             is judged. *)
+          let patched, recovered_nodes =
+            match (patched, recovered_nodes) with
+            | Tree.Agent (a, []), nd :: rest ->
+                (Tree.agent a [ Tree.server nd ], rest)
+            | _ -> (patched, recovered_nodes)
+          in
           if Tree.size patched < 2 || Validate.check ~platform patched <> Ok ()
           then full "invalid-patch"
           else
@@ -389,6 +500,15 @@ let replan_incremental strategy params ~platform ~wapp ~demand ~failed ~previous
             | None -> full "non-uniform-bandwidth"
             | Some bandwidth ->
                 let rho_patched = Evaluate.rho_hetero params ~platform ~wapp patched in
+                (* Recovered off-tree nodes rejoin the patch before the
+                   slack gate: their service power counts toward the
+                   survivor bound (they are in [members]), so letting the
+                   patch actually use them is what keeps it competitive
+                   with the from-scratch replan the gate prices against. *)
+                let patched, rho_patched =
+                  graft_recovered params ~platform ~wapp (patched, rho_patched)
+                    recovered_nodes
+                in
                 let bound = survivor_bound params ~bandwidth ~wapp ~demand members in
                 if rho_patched >= (1.0 -. slack) *. bound then
                   accept patched rho_patched

@@ -62,6 +62,20 @@ val run :
     (strategies whose algorithm needs a single bandwidth — the heuristic,
     the degree search, [Improved] — still error there). *)
 
+val run_with_probe :
+  (target:float -> Tree.t option) ->
+  Adept_model.Params.t ->
+  platform:Platform.t ->
+  wapp:float ->
+  demand:Adept_model.Demand.t ->
+  (plan, Error.t) Stdlib.result
+(** {!run} for [Heuristic] with the per-target builder swapped out (see
+    {!Heuristic.plan}'s [?probe]): same validation, same [plan] record.
+    This is the entry point the sharded planning service feeds its
+    speculative probe memo through — when the override answers each
+    target with exactly what the internal builder would, the result is
+    bit-identical to [run Heuristic]. *)
+
 type replan_result = {
   replanned : plan;  (** New plan over the survivors, on original node ids. *)
   failed : Node.id list;  (** Sorted, deduplicated. *)
@@ -118,6 +132,7 @@ val replan_incremental :
   wapp:float ->
   demand:Adept_model.Demand.t ->
   failed:Node.id list ->
+  ?recovered:Node.id list ->
   previous:Tree.t ->
   ?slack:float ->
   unit ->
@@ -136,12 +151,27 @@ val replan_incremental :
     ["no-survivors-in-tree"], ["invalid-patch"],
     ["non-uniform-bandwidth"], ["rho-below-bound"].
 
-    Unlike {!replan}, an empty [failed] list is not an error: the result
-    is the input plan verbatim (the tree physically shared, zero
-    evaluations, zero drop) — the determinism anchor the property tests
-    pin.  Off-platform ids, zero survivors and a single survivor are the
-    same typed errors as {!replan}.  [slack] defaults to [0.15]; it must
-    lie in [\[0, 1)]. *)
+    [recovered] names nodes that returned to service since [previous]
+    was planned (the write-off/recovery set an online controller
+    tracks): each one absent from [previous] is grafted back into the
+    patched hierarchy as a server under the least-loaded agent, kept
+    only when the graft does not lower the patched tree's Eq. 16
+    throughput — re-admission without waiting for the full-replan path
+    (which re-admits implicitly by planning over every survivor).  A
+    patch the deaths reduced to a bare root (no servers left, hence no
+    throughput to compare) is rescued by the first recovery, grafted
+    unconditionally before the patch is judged.  Ids already serving in
+    [previous] are ignored; an id in both [failed] and [recovered] is
+    [Error.Invalid_input].
+
+    Unlike {!replan}, an empty [failed] list is not an error: with no
+    recoveries the result is the input plan verbatim (the tree
+    physically shared, zero evaluations, zero drop) — the determinism
+    anchor the property tests pin; with recoveries the graft runs as a
+    pure improvement step (no slack gate — nothing was lost) and still
+    reports [Incremental].  Off-platform ids, zero survivors and a
+    single survivor are the same typed errors as {!replan}.  [slack]
+    defaults to [0.15]; it must lie in [\[0, 1)]. *)
 
 val compare_strategies :
   Adept_model.Params.t ->

@@ -9,6 +9,7 @@ let l_alertstate = "alertstate"
 let l_severity = "severity"
 let l_component = "component"
 let l_step = "step"
+let l_method = "method"
 
 let node_label id = (l_node, string_of_int id)
 let level_label depth = (l_level, string_of_int depth)
@@ -40,6 +41,16 @@ let rollout_transitions_total = "adept_rollout_transitions_total"
 
 let planner_evaluations_total = "adept_planner_evaluations_total"
 let planner_plans_total = "adept_planner_plans_total"
+
+let serve_requests_total = "adept_serve_requests_total"
+let serve_errors_total = "adept_serve_errors_total"
+let serve_cache_hits_total = "adept_serve_cache_hits_total"
+let serve_cache_misses_total = "adept_serve_cache_misses_total"
+let serve_cache_evictions_total = "adept_serve_cache_evictions_total"
+let serve_cache_invalidations_total = "adept_serve_cache_invalidations_total"
+let serve_coalesced_total = "adept_serve_coalesced_total"
+let serve_inflight_requests = "adept_serve_inflight_requests"
+let serve_request_seconds = "adept_serve_request_seconds"
 
 let model_predicted_rho = "adept_model_predicted_rho"
 let model_rho_sched = "adept_model_rho_sched"
@@ -83,6 +94,18 @@ let help_table =
       "Staged-rollout state-machine transitions, by step." );
     (planner_evaluations_total, "Candidate hierarchies evaluated while planning.");
     (planner_plans_total, "Planning passes, by strategy.");
+    (serve_requests_total, "Requests answered by the planning server, by method.");
+    (serve_errors_total, "Requests the planning server rejected, by reason.");
+    (serve_cache_hits_total, "Plan-fragment cache hits.");
+    (serve_cache_misses_total, "Plan-fragment cache misses.");
+    ( serve_cache_evictions_total,
+      "Plan-fragment cache entries evicted by the capacity bound (LRU)." );
+    ( serve_cache_invalidations_total,
+      "Plan-fragment cache entries dropped by replan node-death deltas." );
+    ( serve_coalesced_total,
+      "Requests answered by an identical in-flight computation." );
+    (serve_inflight_requests, "Server requests currently being computed.");
+    (serve_request_seconds, "Wall-clock seconds per answered request, by method.");
     ( model_predicted_rho,
       "Eq. 16 throughput predicted for the currently deployed tree." );
     (model_rho_sched, "Scheduling-side capacity of Eq. 16 (Eqs. 6-11).");

@@ -39,6 +39,10 @@ val l_step : string
 (** ["step"] — staged-rollout transition name on
     [rollout_transitions_total]. *)
 
+val l_method : string
+(** ["method"] — planning-server request method: [plan] / [replan] /
+    [observe] / [stats]. *)
+
 val node_label : int -> string * string
 
 val level_label : int -> string * string
@@ -78,6 +82,18 @@ val rollout_transitions_total : string
 
 val planner_evaluations_total : string
 val planner_plans_total : string
+
+(** {1 Planning server} *)
+
+val serve_requests_total : string
+val serve_errors_total : string
+val serve_cache_hits_total : string
+val serve_cache_misses_total : string
+val serve_cache_evictions_total : string
+val serve_cache_invalidations_total : string
+val serve_coalesced_total : string
+val serve_inflight_requests : string
+val serve_request_seconds : string
 
 (** {1 Monitor} *)
 

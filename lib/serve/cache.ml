@@ -1,0 +1,142 @@
+(* Plan-fragment cache for the serving loop.
+
+   Planning is a pure function of (params, platform, strategy, wapp,
+   demand), so repeated queries — the dominant pattern for a long-lived
+   service fronting a mostly-static platform — can be answered from
+   memory.  Entries are bucketed under a {e band} key (platform digest,
+   strategy, workload and demand rounded to three significant digits) so
+   near-identical workloads share a bucket, but a hit requires the exact
+   wapp/demand floats: banding bounds bucket size, it never blurs an
+   answer.  Eviction is LRU over a small fixed capacity (a plan text is
+   a few KB; the cache is about latency, not memory).  Invalidation is
+   by platform digest: a replan request reports node deaths on that
+   platform, after which every cached plan for it is stale.
+
+   The cache is only ever touched from the server's event-loop domain
+   (single writer); it needs no lock. *)
+
+type entry = { text : string; rho : float; nodes_used : int }
+
+type slot = {
+  e_wapp : float;
+  e_demand : float option;
+  entry : entry;
+  mutable last_used : int;
+}
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable invalidations : int;
+}
+
+type t = {
+  capacity : int;
+  (* band key -> exact-keyed slots, newest first *)
+  buckets : (string * string * string * string, slot list ref) Hashtbl.t;
+  mutable population : int;
+  mutable tick : int;
+  stats : stats;
+}
+
+let create ?(capacity = 128) () =
+  {
+    capacity = max 1 capacity;
+    buckets = Hashtbl.create 64;
+    population = 0;
+    tick = 0;
+    stats = { hits = 0; misses = 0; evictions = 0; invalidations = 0 };
+  }
+
+let band f = Printf.sprintf "%.3g" f
+
+let band_key ~digest ~strategy ~wapp ~demand =
+  ( digest,
+    strategy,
+    band wapp,
+    match demand with None -> "unbounded" | Some r -> band r )
+
+let digest_of_key (d, _, _, _) = d
+
+let find t ~digest ~strategy ~wapp ~demand =
+  t.tick <- t.tick + 1;
+  let key = band_key ~digest ~strategy ~wapp ~demand in
+  match Hashtbl.find_opt t.buckets key with
+  | None ->
+      t.stats.misses <- t.stats.misses + 1;
+      None
+  | Some slots -> (
+      match
+        List.find_opt (fun s -> s.e_wapp = wapp && s.e_demand = demand) !slots
+      with
+      | Some s ->
+          s.last_used <- t.tick;
+          t.stats.hits <- t.stats.hits + 1;
+          Some s.entry
+      | None ->
+          t.stats.misses <- t.stats.misses + 1;
+          None)
+
+(* O(population) LRU scan; capacity is small by design. *)
+let evict_lru t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun key slots ->
+      List.iter
+        (fun s ->
+          match !victim with
+          | Some (_, v) when v.last_used <= s.last_used -> ()
+          | _ -> victim := Some (key, s))
+        !slots)
+    t.buckets;
+  match !victim with
+  | None -> ()
+  | Some (key, v) ->
+      let slots = Hashtbl.find t.buckets key in
+      slots := List.filter (fun s -> s != v) !slots;
+      if !slots = [] then Hashtbl.remove t.buckets key;
+      t.population <- t.population - 1;
+      t.stats.evictions <- t.stats.evictions + 1
+
+let add t ~digest ~strategy ~wapp ~demand entry =
+  t.tick <- t.tick + 1;
+  let key = band_key ~digest ~strategy ~wapp ~demand in
+  let slots =
+    match Hashtbl.find_opt t.buckets key with
+    | Some r -> r
+    | None ->
+        let r = ref [] in
+        Hashtbl.replace t.buckets key r;
+        r
+  in
+  let fresh = List.filter (fun s -> not (s.e_wapp = wapp && s.e_demand = demand)) !slots in
+  if List.length fresh = List.length !slots then begin
+    if t.population >= t.capacity then evict_lru t;
+    t.population <- t.population + 1
+  end;
+  slots := { e_wapp = wapp; e_demand = demand; entry; last_used = t.tick } :: fresh
+
+let invalidate_platform t ~digest =
+  let dropped = ref 0 in
+  let doomed =
+    Hashtbl.fold
+      (fun key slots acc ->
+        if digest_of_key key = digest then (key, List.length !slots) :: acc
+        else acc)
+      t.buckets []
+  in
+  List.iter
+    (fun (key, n) ->
+      Hashtbl.remove t.buckets key;
+      dropped := !dropped + n)
+    doomed;
+  t.population <- t.population - !dropped;
+  t.stats.invalidations <- t.stats.invalidations + !dropped;
+  !dropped
+
+let size t = t.population
+let hits t = t.stats.hits
+let misses t = t.stats.misses
+let evictions t = t.stats.evictions
+let invalidations t = t.stats.invalidations

@@ -1,0 +1,46 @@
+(** Plan-fragment cache: banded buckets, exact-match hits, LRU
+    eviction, digest-keyed invalidation.
+
+    Keys combine the platform catalog digest, the strategy name, and
+    the workload/demand floats; lookups hit only on the exact floats (a
+    plan is a pure function of them), while internal bucketing bands
+    the floats to three significant digits to keep probe chains short.
+    Single-writer by design (the server's event-loop domain); not
+    thread-safe. *)
+
+type t
+
+type entry = { text : string; rho : float; nodes_used : int }
+
+val create : ?capacity:int -> unit -> t
+(** LRU capacity in entries, default 128 (clamped to >= 1). *)
+
+val find :
+  t ->
+  digest:string ->
+  strategy:string ->
+  wapp:float ->
+  demand:float option ->
+  entry option
+(** Exact-match lookup; counts a hit or a miss. *)
+
+val add :
+  t ->
+  digest:string ->
+  strategy:string ->
+  wapp:float ->
+  demand:float option ->
+  entry ->
+  unit
+(** Insert (replacing any entry under the same exact key), evicting the
+    least-recently-used entry when at capacity. *)
+
+val invalidate_platform : t -> digest:string -> int
+(** Drop every entry cached for this platform digest (driven by replan
+    requests reporting node deaths).  Returns the number dropped. *)
+
+val size : t -> int
+val hits : t -> int
+val misses : t -> int
+val evictions : t -> int
+val invalidations : t -> int

@@ -1,0 +1,21 @@
+(** Blocking client connection to a {!Server}: sequential
+    request/response exchanges, ids managed internally. *)
+
+type t
+
+val connect : Server.address -> t
+(** Raises [Unix.Unix_error] when the server is not there. *)
+
+val connect_retry :
+  ?attempts:int -> ?delay:float -> Server.address -> (t, string) result
+(** {!connect}, retrying connection-refused/absent-socket every [delay]
+    seconds (defaults: 50 attempts, 0.1s) — for racing a server that is
+    still starting. *)
+
+val call : t -> Protocol.request -> (Protocol.response, string) result
+(** Send one request, wait for its reply.  [Error] covers transport
+    failures (closed connection, oversized reply) and undecodable
+    replies; protocol-level failures arrive as [Protocol.Error]
+    responses inside [Ok]. *)
+
+val close : t -> unit

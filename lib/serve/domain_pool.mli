@@ -1,0 +1,44 @@
+(** A fixed pool of OCaml 5 worker domains with help-while-waiting
+    futures.
+
+    Domains are heavyweight (one runtime each), so the pool is sized
+    once at server start and every unit of CPU work goes through
+    {!submit}.  {!await} {e helps}: while its future is unresolved it
+    runs queued tasks on the calling domain, so a task may submit
+    sub-tasks and await them without deadlocking the pool — waiting
+    workers drain the very queue their dependencies sit in. *)
+
+type t
+
+val create : ?workers:int -> unit -> t
+(** Spawn the worker domains.  Default:
+    [Domain.recommended_domain_count () - 1] (the caller's domain keeps
+    one), at least 1. *)
+
+val size : t -> int
+(** Number of worker domains. *)
+
+type 'a future
+
+val submit : ?on_resolve:(unit -> unit) -> t -> (unit -> 'a) -> 'a future
+(** Enqueue.  Tasks run in submission order (modulo helping).  A task
+    submitted after {!shutdown} runs inline on the submitting domain —
+    a draining pool never loses work.
+
+    [on_resolve] fires on the running domain {e after} the future is
+    resolved — including when the task raises.  Use it for wakeup
+    notifications (e.g. poking an event loop's pipe): firing before
+    resolution would let the observer consume the wakeup, read the
+    future as pending, and sleep forever.  Exceptions from the hook are
+    swallowed. *)
+
+val await : 'a future -> 'a
+(** Block until resolved, helping with queued tasks meanwhile.
+    Re-raises (with backtrace) if the task raised. *)
+
+val is_resolved : 'a future -> bool
+(** Non-blocking completion check. *)
+
+val shutdown : t -> unit
+(** Stop accepting queued work, finish what is queued, join the
+    domains.  Idempotent. *)

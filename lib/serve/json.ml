@@ -1,0 +1,266 @@
+(* Minimal JSON for the wire protocol: the repository deliberately
+   carries no third-party JSON dependency, and the protocol needs two
+   properties off-the-shelf printers do not promise together — exact
+   float round-tripping (%.17g, so a rho crossing the wire compares
+   bit-for-bit with the batch CLI's) and a deterministic member order
+   (objects print in construction order, so golden transcripts are
+   stable byte-for-byte). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ---------- printing ---------- *)
+
+let escape buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+(* %.17g round-trips every finite binary64 exactly.  Whole-valued floats
+   print without a decimal point ("310", the %g convention) and so parse
+   back as [Int] — harmless, because the typed decoders accept [Int]
+   wherever a float is expected ([to_float]); the protocol-level
+   fixpoint is on decoded records, not raw literals. *)
+let float_literal f = Printf.sprintf "%.17g" f
+
+let rec write buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool true -> Buffer.add_string buf "true"
+  | Bool false -> Buffer.add_string buf "false"
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+      if Float.is_finite f then Buffer.add_string buf (float_literal f)
+      else Buffer.add_string buf "null"
+  | String s ->
+      Buffer.add_char buf '"';
+      escape buf s;
+      Buffer.add_char buf '"'
+  | List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char buf ',';
+          write buf v)
+        items;
+      Buffer.add_char buf ']'
+  | Obj members ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf '"';
+          escape buf k;
+          Buffer.add_string buf "\":";
+          write buf v)
+        members;
+      Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  write buf v;
+  Buffer.contents buf
+
+(* ---------- parsing ---------- *)
+
+exception Parse of string
+
+type state = { text : string; mutable pos : int }
+
+let fail st msg = raise (Parse (Printf.sprintf "%s at byte %d" msg st.pos))
+let peek st = if st.pos < String.length st.text then Some st.text.[st.pos] else None
+
+let next st =
+  match peek st with
+  | Some c ->
+      st.pos <- st.pos + 1;
+      c
+  | None -> fail st "unexpected end of input"
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      st.pos <- st.pos + 1;
+      skip_ws st
+  | _ -> ()
+
+let expect st c =
+  let got = next st in
+  if got <> c then fail st (Printf.sprintf "expected %C, got %C" c got)
+
+let literal st word value =
+  let n = String.length word in
+  if
+    st.pos + n <= String.length st.text
+    && String.sub st.text st.pos n = word
+  then begin
+    st.pos <- st.pos + n;
+    value
+  end
+  else fail st (Printf.sprintf "expected %s" word)
+
+let utf8_of_code buf code =
+  if code < 0x80 then Buffer.add_char buf (Char.chr code)
+  else if code < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+
+let parse_string st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match next st with
+    | '"' -> Buffer.contents buf
+    | '\\' -> (
+        (match next st with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '/' -> Buffer.add_char buf '/'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'b' -> Buffer.add_char buf '\b'
+        | 'f' -> Buffer.add_char buf '\012'
+        | 'u' ->
+            let hex = String.init 4 (fun _ -> next st) in
+            let code =
+              try int_of_string ("0x" ^ hex)
+              with _ -> fail st "bad \\u escape"
+            in
+            utf8_of_code buf code
+        | c -> fail st (Printf.sprintf "bad escape \\%C" c));
+        go ())
+    | c when Char.code c < 0x20 -> fail st "raw control character in string"
+    | c ->
+        Buffer.add_char buf c;
+        go ()
+  in
+  go ()
+
+let parse_number st =
+  let start = st.pos in
+  let is_float = ref false in
+  let consume () =
+    match peek st with
+    | Some ('0' .. '9' | '-' | '+') ->
+        st.pos <- st.pos + 1;
+        true
+    | Some ('.' | 'e' | 'E') ->
+        is_float := true;
+        st.pos <- st.pos + 1;
+        true
+    | _ -> false
+  in
+  while consume () do
+    ()
+  done;
+  let lit = String.sub st.text start (st.pos - start) in
+  if lit = "" then fail st "expected a number"
+  else if !is_float then
+    match float_of_string_opt lit with
+    | Some f -> Float f
+    | None -> fail st ("bad number " ^ lit)
+  else
+    match int_of_string_opt lit with
+    | Some i -> Int i
+    | None -> (
+        (* Integer literal too wide for [int]: keep the value as a float
+           rather than failing — the protocol never needs 63-bit ids. *)
+        match float_of_string_opt lit with
+        | Some f -> Float f
+        | None -> fail st ("bad number " ^ lit))
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail st "unexpected end of input"
+  | Some '"' -> String (parse_string st)
+  | Some 't' -> literal st "true" (Bool true)
+  | Some 'f' -> literal st "false" (Bool false)
+  | Some 'n' -> literal st "null" Null
+  | Some '[' ->
+      expect st '[';
+      skip_ws st;
+      if peek st = Some ']' then begin
+        st.pos <- st.pos + 1;
+        List []
+      end
+      else
+        let rec items acc =
+          let v = parse_value st in
+          skip_ws st;
+          match next st with
+          | ',' -> items (v :: acc)
+          | ']' -> List (List.rev (v :: acc))
+          | c -> fail st (Printf.sprintf "expected ',' or ']', got %C" c)
+        in
+        items []
+  | Some '{' ->
+      expect st '{';
+      skip_ws st;
+      if peek st = Some '}' then begin
+        st.pos <- st.pos + 1;
+        Obj []
+      end
+      else
+        let rec members acc =
+          skip_ws st;
+          let k = parse_string st in
+          skip_ws st;
+          expect st ':';
+          let v = parse_value st in
+          skip_ws st;
+          match next st with
+          | ',' -> members ((k, v) :: acc)
+          | '}' -> Obj (List.rev ((k, v) :: acc))
+          | c -> fail st (Printf.sprintf "expected ',' or '}', got %C" c)
+        in
+        members []
+  | Some _ -> parse_number st
+
+let of_string text =
+  let st = { text; pos = 0 } in
+  match parse_value st with
+  | v ->
+      skip_ws st;
+      if st.pos <> String.length text then
+        Error (Printf.sprintf "trailing bytes after JSON value at byte %d" st.pos)
+      else Ok v
+  | exception Parse msg -> Error msg
+
+(* ---------- typed accessors ---------- *)
+
+let member key = function Obj ms -> List.assoc_opt key ms | _ -> None
+
+let to_int = function Int i -> Some i | _ -> None
+
+let to_float = function
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | _ -> None
+
+let to_string_v = function String s -> Some s | _ -> None
+let to_bool = function Bool b -> Some b | _ -> None
+let to_list = function List l -> Some l | _ -> None

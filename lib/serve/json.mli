@@ -1,0 +1,39 @@
+(** Minimal JSON for the planning-server wire protocol.
+
+    Hand-rolled on purpose: the repository carries no third-party JSON
+    dependency, and the protocol needs exact float round-tripping
+    ([%.17g], so model throughputs compare bit-for-bit across the wire)
+    and deterministic member order (objects print in construction
+    order — golden transcripts are stable byte-for-byte). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (no whitespace), deterministic.  Non-finite floats print as
+    [null] — the protocol never produces them. *)
+
+val of_string : string -> (t, string) result
+(** Strict parse of one JSON value spanning the whole input (modulo
+    surrounding whitespace).  Number literals without [./e] parse as
+    [Int], others as [Float]; integers wider than [int] fall back to
+    [Float]. *)
+
+(** {1 Typed accessors}
+
+    All return [None] on a shape mismatch; [to_float] accepts [Int]
+    (whole-valued floats print without a decimal point, so the reader
+    must not care). *)
+
+val member : string -> t -> t option
+val to_int : t -> int option
+val to_float : t -> float option
+val to_string_v : t -> string option
+val to_bool : t -> bool option
+val to_list : t -> t list option

@@ -1,0 +1,566 @@
+(* The planning server: one event-loop domain multiplexing connections
+   with [Unix.select], a {!Domain_pool} of worker domains doing the
+   planning/simulation, and a {!Cache} of finished plan answers.
+
+   Life of a request:
+
+   - bytes accumulate in the connection's incremental {!Wire.reader};
+   - a complete frame is decoded ({!Protocol.decode_request});
+     undecodable payloads get a typed error reply and the connection
+     lives on — only a corrupt {e framing} layer (oversized length
+     prefix, EOF mid-frame) kills the connection, because past that
+     point the stream offset is unrecoverable;
+   - [stats] and plan cache hits are answered inline (they are O(1));
+     everything else becomes a task on the worker pool, tracked in the
+     in-flight table.  A plan request identical to one already in
+     flight (same spec digest, strategy, workload, demand) does not
+     plan again: it joins the existing entry's waiter list and is
+     answered by the same computation — request {e batching} by
+     coalescing;
+   - workers signal completion through a self-pipe (one byte), which
+     wakes the select; the event loop then writes every waiter's reply
+     and, for plans, stores the answer in the cache — cache and
+     counters are touched only from the event-loop domain, so they need
+     no locks;
+   - a replan request reports node deaths, so its completion
+     invalidates every cached plan for that platform digest.
+
+   Draining: on SIGINT/SIGTERM (or after [max_requests] dispatches) the
+   listener closes, in-flight work finishes and is answered, then
+   connections close and [run] returns.  A long-lived planner should
+   die with an empty in-flight table, not mid-bisection. *)
+
+module Label = Adept_obs.Label
+module Semconv = Adept_obs.Semconv
+
+type address = Unix_socket of string | Tcp of string * int
+
+let address_of_string s =
+  match String.index_opt s ':' with
+  | Some i when String.sub s 0 i = "unix" ->
+      Ok (Unix_socket (String.sub s (i + 1) (String.length s - i - 1)))
+  | Some i when String.sub s 0 i = "tcp" -> (
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      match String.rindex_opt rest ':' with
+      | None -> Error "tcp address needs host:port"
+      | Some j -> (
+          let host = String.sub rest 0 j in
+          let port = String.sub rest (j + 1) (String.length rest - j - 1) in
+          match int_of_string_opt port with
+          | Some p when p > 0 && p < 65536 -> Ok (Tcp (host, p))
+          | _ -> Error ("invalid port: " ^ port)))
+  | _ ->
+      (* A bare path is a Unix socket — the common local case. *)
+      if s = "" then Error "empty address" else Ok (Unix_socket s)
+
+let address_to_string = function
+  | Unix_socket path -> "unix:" ^ path
+  | Tcp (host, port) -> Printf.sprintf "tcp:%s:%d" host port
+
+type config = {
+  address : address;
+  workers : int option;  (** worker domains; default [recommended - 1] *)
+  shards : int option;  (** planner shards; default = worker count *)
+  cache_capacity : int;
+  max_requests : int option;  (** drain after this many dispatches *)
+  registry : Adept_obs.Registry.t option;
+}
+
+let default_config address =
+  {
+    address;
+    workers = None;
+    shards = None;
+    cache_capacity = 128;
+    max_requests = None;
+    registry = None;
+  }
+
+(* ---------- connections ---------- *)
+
+type conn = {
+  fd : Unix.file_descr;
+  reader : Wire.reader;
+  mutable alive : bool;
+}
+
+type work_result =
+  | W_plan of (Cache.entry, string) result
+  | W_replan of (string * float, string) result
+  | W_observe of (string * float, string) result
+
+type waiter = { w_conn : conn; w_id : int; w_started : float }
+
+type inflight = {
+  future : work_result Domain_pool.future;
+  mutable waiters : waiter list;
+  coalesce_key : string option;  (** present iff later plans may join *)
+  cache_key : (string * string * float * float option) option;
+      (** store a successful plan under this exact key on completion *)
+  invalidate : string option;  (** platform digest to invalidate on completion *)
+}
+
+type t = {
+  config : config;
+  pool : Domain_pool.t;
+  cache : Cache.t;
+  listener : Unix.file_descr;
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  mutable conns : conn list;
+  mutable inflight : inflight list;
+  coalesce : (string, inflight) Hashtbl.t;
+  mutable draining : bool;
+  mutable dispatched : int;
+  (* deterministic protocol-level counters (the [stats] payload) *)
+  mutable plan_requests : int;
+  mutable replan_requests : int;
+  mutable observe_requests : int;
+  mutable stats_requests : int;
+  mutable errors : int;
+  mutable coalesced : int;
+  (* registry instruments *)
+  m_requests : string -> Adept_obs.Counter.t;
+  m_errors : Adept_obs.Counter.t;
+  m_cache_hits : Adept_obs.Counter.t;
+  m_cache_misses : Adept_obs.Counter.t;
+  m_cache_evictions : Adept_obs.Counter.t;
+  m_cache_invalidations : Adept_obs.Counter.t;
+  m_coalesced : Adept_obs.Counter.t;
+  m_inflight : Adept_obs.Gauge.t;
+  m_latency : Adept_obs.Histogram.t;
+}
+
+let shards t = Option.value ~default:(Domain_pool.size t.pool) t.config.shards
+
+let listen_socket address =
+  match address with
+  | Unix_socket path ->
+      if Sys.file_exists path then Sys.remove path;
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      Unix.listen fd 64;
+      fd
+  | Tcp (host, port) ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      let addr =
+        try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+        with Not_found -> Unix.inet_addr_of_string host
+      in
+      Unix.bind fd (Unix.ADDR_INET (addr, port));
+      Unix.listen fd 64;
+      fd
+
+(* Process-global so signal handlers can reach it without a closure
+   allocation in signal context. *)
+let stop_requested = Atomic.make false
+
+let create config =
+  (* Reset here, not in [serve]: a stop requested between [create] and
+     [serve] (a signal racing a slow startup) must drain the server, not
+     vanish.  A previous server's leftover request is discarded. *)
+  Atomic.set stop_requested false;
+  let registry =
+    match config.registry with
+    | Some r -> r
+    | None -> Adept_obs.Registry.create ()
+  in
+  let pool = Domain_pool.create ?workers:config.workers () in
+  let wake_r, wake_w = Unix.pipe () in
+  {
+    config;
+    pool;
+    cache = Cache.create ~capacity:config.cache_capacity ();
+    listener = listen_socket config.address;
+    wake_r;
+    wake_w;
+    conns = [];
+    inflight = [];
+    coalesce = Hashtbl.create 16;
+    draining = false;
+    dispatched = 0;
+    plan_requests = 0;
+    replan_requests = 0;
+    observe_requests = 0;
+    stats_requests = 0;
+    errors = 0;
+    coalesced = 0;
+    m_requests =
+      (fun method_ ->
+        Adept_obs.Registry.counter registry
+          ~labels:(Label.v [ (Semconv.l_method, method_) ])
+          Semconv.serve_requests_total);
+    m_errors = Adept_obs.Registry.counter registry Semconv.serve_errors_total;
+    m_cache_hits =
+      Adept_obs.Registry.counter registry Semconv.serve_cache_hits_total;
+    m_cache_misses =
+      Adept_obs.Registry.counter registry Semconv.serve_cache_misses_total;
+    m_cache_evictions =
+      Adept_obs.Registry.counter registry Semconv.serve_cache_evictions_total;
+    m_cache_invalidations =
+      Adept_obs.Registry.counter registry Semconv.serve_cache_invalidations_total;
+    m_coalesced =
+      Adept_obs.Registry.counter registry Semconv.serve_coalesced_total;
+    m_inflight =
+      Adept_obs.Registry.gauge registry Semconv.serve_inflight_requests;
+    m_latency =
+      Adept_obs.Registry.histogram registry Semconv.serve_request_seconds;
+  }
+
+(* Mirror the cache's internal tallies into the registry by delta — the
+   cache is single-writer (this domain), so the subtraction is exact. *)
+let sync_cache_metrics t =
+  let bump counter target =
+    let d = float_of_int target -. Adept_obs.Counter.value counter in
+    if d > 0.0 then Adept_obs.Counter.inc ~by:d counter
+  in
+  bump t.m_cache_hits (Cache.hits t.cache);
+  bump t.m_cache_misses (Cache.misses t.cache);
+  bump t.m_cache_evictions (Cache.evictions t.cache);
+  bump t.m_cache_invalidations (Cache.invalidations t.cache)
+
+let close_conn t conn =
+  if conn.alive then begin
+    conn.alive <- false;
+    (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+    t.conns <- List.filter (fun c -> c != conn) t.conns
+  end
+
+let send_reply t conn reply =
+  if conn.alive then
+    match Wire.write_frame conn.fd (Protocol.encode_reply reply) with
+    | () -> ()
+    | exception (Unix.Unix_error _ | Sys_error _) ->
+        (* The peer vanished mid-reply; that is its problem, not the
+           server's.  Drop the connection, keep serving. *)
+        close_conn t conn
+
+let send_error t conn id kind =
+  t.errors <- t.errors + 1;
+  Adept_obs.Counter.inc t.m_errors;
+  send_reply t conn
+    { Protocol.reply_id = Option.value ~default:0 id;
+      response = Protocol.Error kind }
+
+let current_stats t =
+  {
+    Protocol.plan_requests = t.plan_requests;
+    replan_requests = t.replan_requests;
+    observe_requests = t.observe_requests;
+    stats_requests = t.stats_requests;
+    errors = t.errors;
+    cache_hits = Cache.hits t.cache;
+    cache_misses = Cache.misses t.cache;
+    cache_evictions = Cache.evictions t.cache;
+    cache_invalidations = Cache.invalidations t.cache;
+    coalesced = t.coalesced;
+    workers = Domain_pool.size t.pool;
+    shards = shards t;
+  }
+
+(* ---------- dispatch ---------- *)
+
+let wake t = ignore (Unix.write t.wake_w (Bytes.of_string "x") 0 1)
+
+let submit_work t conn id ?coalesce_key ?cache_key ?invalidate work =
+  let waiter = { w_conn = conn; w_id = id; w_started = Unix.gettimeofday () } in
+  let entry =
+    {
+      (* The wake MUST ride on [on_resolve], not inside the task: a wake
+         written before the future resolves can be drained by the event
+         loop while the entry still reads as pending, and with no second
+         wake coming the reply never leaves [reap] — a lost wakeup that
+         hangs the client.  (It also fires when [work] raises.) *)
+      future = Domain_pool.submit ~on_resolve:(fun () -> wake t) t.pool work;
+      waiters = [ waiter ];
+      coalesce_key;
+      cache_key;
+      invalidate;
+    }
+  in
+  t.inflight <- entry :: t.inflight;
+  Option.iter (fun k -> Hashtbl.replace t.coalesce k entry) coalesce_key;
+  Adept_obs.Gauge.set t.m_inflight (float_of_int (List.length t.inflight))
+
+let plan_cache_key (p : Protocol.plan_params) =
+  match Render.wapp_of_dgemm p.Protocol.dgemm with
+  | Error _ -> None
+  | Ok wapp ->
+      Some
+        ( Protocol.spec_digest p.Protocol.spec,
+          p.Protocol.strategy,
+          wapp,
+          p.Protocol.demand )
+
+let dispatch t conn { Protocol.id; request } =
+  t.dispatched <- t.dispatched + 1;
+  match request with
+  | Protocol.Stats ->
+      t.stats_requests <- t.stats_requests + 1;
+      Adept_obs.Counter.inc (t.m_requests "stats");
+      send_reply t conn
+        { Protocol.reply_id = id; response = Protocol.Stats_ok (current_stats t) }
+  | Protocol.Plan p -> (
+      t.plan_requests <- t.plan_requests + 1;
+      Adept_obs.Counter.inc (t.m_requests "plan");
+      let run_plan () =
+        let pool = t.pool and n_shards = shards t in
+        fun () ->
+          W_plan
+            (Result.map
+               (fun (text, rho, nodes_used) -> { Cache.text; rho; nodes_used })
+               (Render.plan ~pool ~shards:n_shards p))
+      in
+      match plan_cache_key p with
+      | None ->
+          (* Let the worker path surface the workload error as a typed
+             plan failure. *)
+          submit_work t conn id (run_plan ())
+      | Some (digest, strategy, wapp, demand) -> (
+          let cached =
+            if p.Protocol.use_cache then
+              Cache.find t.cache ~digest ~strategy ~wapp ~demand
+            else None
+          in
+          if p.Protocol.use_cache then sync_cache_metrics t;
+          match cached with
+          | Some e ->
+              send_reply t conn
+                {
+                  Protocol.reply_id = id;
+                  response =
+                    Protocol.Plan_ok
+                      {
+                        text = e.Cache.text;
+                        rho = e.Cache.rho;
+                        nodes_used = e.Cache.nodes_used;
+                        cached = true;
+                      };
+                }
+          | None -> (
+              let key =
+                if p.Protocol.use_cache then
+                  Some
+                    (Printf.sprintf "%s/%s/%h/%s" digest strategy wapp
+                       (match demand with
+                       | None -> "unbounded"
+                       | Some r -> Printf.sprintf "%h" r))
+                else None
+              in
+              match Option.bind key (Hashtbl.find_opt t.coalesce) with
+              | Some entry when not (Domain_pool.is_resolved entry.future) ->
+                  t.coalesced <- t.coalesced + 1;
+                  Adept_obs.Counter.inc t.m_coalesced;
+                  entry.waiters <-
+                    { w_conn = conn; w_id = id; w_started = Unix.gettimeofday () }
+                    :: entry.waiters
+              | _ ->
+                  let cache_key =
+                    if p.Protocol.use_cache then
+                      Some (digest, strategy, wapp, demand)
+                    else None
+                  in
+                  submit_work t conn id ?coalesce_key:key ?cache_key
+                    (run_plan ()))))
+  | Protocol.Replan r ->
+      t.replan_requests <- t.replan_requests + 1;
+      Adept_obs.Counter.inc (t.m_requests "replan");
+      submit_work t conn id
+        ~invalidate:(Protocol.spec_digest r.Protocol.r_spec)
+        (fun () -> W_replan (Render.replan r))
+  | Protocol.Observe o ->
+      t.observe_requests <- t.observe_requests + 1;
+      Adept_obs.Counter.inc (t.m_requests "observe");
+      submit_work t conn id (fun () -> W_observe (Render.observe o))
+
+let response_of_result = function
+  | W_plan (Ok e) ->
+      Protocol.Plan_ok
+        {
+          text = e.Cache.text;
+          rho = e.Cache.rho;
+          nodes_used = e.Cache.nodes_used;
+          cached = false;
+        }
+  | W_replan (Ok (text, rho_after)) -> Protocol.Replan_ok { text; rho_after }
+  | W_observe (Ok (text, throughput)) -> Protocol.Observe_ok { text; throughput }
+  | W_plan (Error msg) | W_replan (Error msg) | W_observe (Error msg) ->
+      Protocol.Error (Protocol.Plan_failed msg)
+
+(* Answer every resolved in-flight entry; cache plan answers; apply
+   replan invalidations. *)
+let reap t =
+  let resolved, pending =
+    List.partition (fun e -> Domain_pool.is_resolved e.future) t.inflight
+  in
+  t.inflight <- pending;
+  Adept_obs.Gauge.set t.m_inflight (float_of_int (List.length pending));
+  List.iter
+    (fun entry ->
+      Option.iter
+        (fun k ->
+          match Hashtbl.find_opt t.coalesce k with
+          | Some e when e == entry -> Hashtbl.remove t.coalesce k
+          | _ -> ())
+        entry.coalesce_key;
+      let result =
+        try Domain_pool.await entry.future
+        with e -> W_plan (Error (Printexc.to_string e))
+      in
+      (match (result, entry.cache_key) with
+      | W_plan (Ok e), Some (digest, strategy, wapp, demand) ->
+          Cache.add t.cache ~digest ~strategy ~wapp ~demand e
+      | _ -> ());
+      (match (result, entry.invalidate) with
+      | (W_replan (Ok _) | W_replan (Error _)), Some digest ->
+          ignore (Cache.invalidate_platform t.cache ~digest);
+          sync_cache_metrics t
+      | _ -> ());
+      let response = response_of_result result in
+      let is_error =
+        match response with Protocol.Error _ -> true | _ -> false
+      in
+      let now = Unix.gettimeofday () in
+      List.iter
+        (fun w ->
+          Adept_obs.Histogram.record t.m_latency (now -. w.w_started);
+          if is_error then send_error t w.w_conn (Some w.w_id)
+              (match response with
+              | Protocol.Error k -> k
+              | _ -> assert false)
+          else
+            send_reply t w.w_conn
+              { Protocol.reply_id = w.w_id; response })
+        (List.rev entry.waiters))
+    (List.rev resolved)
+
+(* ---------- frame handling ---------- *)
+
+let handle_frame t conn payload =
+  match Protocol.decode_request payload with
+  | Protocol.Bad (id, kind) -> send_error t conn id kind
+  | Protocol.Request envelope -> dispatch t conn envelope
+
+let read_conn t conn =
+  let buf = Bytes.create 65536 in
+  match Unix.read conn.fd buf 0 (Bytes.length buf) with
+  | 0 ->
+      (* Clean or mid-frame EOF: either way the stream is over.  Any
+         unanswered frame dies with it — the client is gone. *)
+      close_conn t conn
+  | n ->
+      Wire.feed conn.reader (Bytes.sub_string buf 0 n) 0 n;
+      let rec drain_frames () =
+        if conn.alive then
+          match Wire.step conn.reader with
+          | Wire.Frame payload ->
+              handle_frame t conn payload;
+              drain_frames ()
+          | Wire.Need_more -> ()
+          | Wire.Oversized declared ->
+              (* The stream offset is unrecoverable past a bogus length
+                 prefix; drop the connection. *)
+              Logs.warn (fun m ->
+                  m "serve: dropping connection (oversized frame: %d bytes)"
+                    declared);
+              t.errors <- t.errors + 1;
+              Adept_obs.Counter.inc t.m_errors;
+              close_conn t conn
+      in
+      drain_frames ()
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+      close_conn t conn
+
+(* ---------- main loop ---------- *)
+
+(* One read per select round: the fd is blocking, so only read when
+   select reported it readable, and only once — the pipe is a wakeup
+   edge, not a data channel. *)
+let drain_wake t =
+  let buf = Bytes.create 256 in
+  match Unix.read t.wake_r buf 0 (Bytes.length buf) with
+  | _ -> ()
+  | exception Unix.Unix_error _ -> ()
+
+let should_drain t =
+  t.draining
+  || match t.config.max_requests with
+     | Some m -> t.dispatched >= m
+     | None -> false
+
+let install_signal_handlers t =
+  let handler _ =
+    Atomic.set stop_requested true;
+    (* Poke the select from the signal context; a failed write only
+       delays the drain until the next wakeup. *)
+    try wake t with _ -> ()
+  in
+  (try Sys.set_signal Sys.sigint (Sys.Signal_handle handler)
+   with Invalid_argument _ | Sys_error _ -> ());
+  (try Sys.set_signal Sys.sigterm (Sys.Signal_handle handler)
+   with Invalid_argument _ | Sys_error _ -> ());
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  with Invalid_argument _ | Sys_error _ -> ()
+
+let serve t =
+  install_signal_handlers t;
+  Logs.info (fun m ->
+      m "serve: listening on %s (%d worker domain(s), %d shard(s))"
+        (address_to_string t.config.address)
+        (Domain_pool.size t.pool) (shards t));
+  let accepting = ref true in
+  let finished () =
+    should_drain t && t.inflight = []
+  in
+  while not (finished ()) do
+    if Atomic.get stop_requested then t.draining <- true;
+    if should_drain t && !accepting then begin
+      accepting := false;
+      Logs.info (fun m -> m "serve: draining (%d in flight)" (List.length t.inflight));
+      try Unix.close t.listener with Unix.Unix_error _ -> ()
+    end;
+    let read_fds =
+      (if !accepting then [ t.listener ] else [])
+      @ (t.wake_r :: List.map (fun c -> c.fd) t.conns)
+    in
+    (match Unix.select read_fds [] [] (-1.0) with
+    | ready, _, _ ->
+        if List.mem t.wake_r ready then drain_wake t;
+        if !accepting && List.mem t.listener ready then begin
+          match Unix.accept t.listener with
+          | fd, _ ->
+              t.conns <-
+                { fd; reader = Wire.reader (); alive = true } :: t.conns
+          | exception Unix.Unix_error _ -> ()
+        end;
+        List.iter
+          (fun conn -> if conn.alive && List.mem conn.fd ready then read_conn t conn)
+          (* snapshot: read_conn may close (remove) connections *)
+          (List.filter (fun c -> c.alive) t.conns)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+    reap t
+  done;
+  (* Drained: answer nothing more, tear down. *)
+  List.iter (fun c -> close_conn t c) t.conns;
+  if !accepting then (try Unix.close t.listener with Unix.Unix_error _ -> ());
+  (match t.config.address with
+  | Unix_socket path -> ( try Sys.remove path with Sys_error _ -> ())
+  | Tcp _ -> ());
+  Domain_pool.shutdown t.pool;
+  (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
+  (try Unix.close t.wake_w with Unix.Unix_error _ -> ());
+  Logs.info (fun m -> m "serve: drained, bye")
+
+(* Only touches the atomic and the pipe, so it is safe from a signal
+   handler or another thread.  NOTE: on OCaml 5.1 do not embed [serve]
+   on a secondary thread next to blocking client calls in the same
+   process — with worker domains live, two systhreads parked in blocking
+   sections deadlock the runtime's stop-the-world handshake.  Tests and
+   the bench driver fork a dedicated server process instead and drain it
+   with SIGTERM (see docs/SERVE.md). *)
+let stop t =
+  Atomic.set stop_requested true;
+  try wake t with _ -> ()
+
+let run config = serve (create config)

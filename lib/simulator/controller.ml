@@ -173,6 +173,14 @@ type t = {
          entries disappear on recovery.  Generation swaps keep the
          entries of nodes still dead in the new tree (seeded from the
          crash time when sampling missed the death). *)
+  written_off : (Node.id, unit) Hashtbl.t;
+      (* Nodes a past replan excluded from its hierarchy.  The full
+         replan re-admits recovered ones implicitly (it plans over
+         every survivor); the incremental patcher cannot — it only
+         removes tree nodes — so the ones that are alive again are
+         threaded to [Planner.replan_incremental ~recovered] for
+         explicit re-admission.  Entries are dropped once the node
+         serves in an enacted hierarchy again. *)
   mutable predicted_rho : float;
   mutable degraded_since : float option;
   mutable last_enact : float;
@@ -356,6 +364,17 @@ let record_suppressed t reason =
            Adept_obs.Semconv.controller_suppressed_total)
   | None -> ()
 
+(* The write-off ledger follows the hierarchy that actually serves: a
+   replan that got suppressed (gain guard, dead agent mid-migration) or
+   rolled back wrote nothing off, so the ledger only moves when a new
+   generation takes charge — its exclusions join, anything it serves
+   again leaves. *)
+let note_written_off t (r : Planner.replan_result) =
+  List.iter (fun id -> Hashtbl.replace t.written_off id ()) r.Planner.failed;
+  List.iter
+    (fun n -> Hashtbl.remove t.written_off (Node.id n))
+    (Tree.nodes r.Planner.replanned.Planner.tree)
+
 (* Migration finished: swap generations — unless an agent the new
    hierarchy is built around died while it was being set up, in which
    case the migration is abandoned (its disruption was already paid) and
@@ -418,6 +437,7 @@ let enact t (r : Planner.replan_result) ~mode ~observed ~cost ~bottleneck ~alert
         ~faults:t.faults ~engine:t.engine ~params:t.params ~platform:t.platform
         ~initial_dead:inherited_dead new_tree;
     t.tree <- new_tree;
+    note_written_off t r;
     t.predicted_rho <- r.Planner.rho_after;
     t.last_enact <- now;
     t.degraded_since <- None;
@@ -478,6 +498,7 @@ let finish_promote t (s : staging) () =
   Middleware.set_recording s.s_canary true;
   t.middleware <- s.s_canary;
   t.tree <- new_tree;
+  note_written_off t r;
   let dead =
     List.filter_map
       (fun n ->
@@ -732,10 +753,27 @@ let consider t ~now ~observed =
          the patch's predicted throughput trails the survivor bound by
          more than the configured slack — unless incremental planning is
          switched off, in which case every replan is a full one. *)
+      (* Written-off nodes that came back to life are re-admission
+         candidates for the incremental patcher (the full replan needs no
+         hint: it plans over every survivor).  Liveness comes from the
+         fault schedule — these nodes are off the running tree, invisible
+         to the middleware. *)
+      let recovered =
+        Hashtbl.fold
+          (fun id () acc ->
+            if
+              (not (List.mem id failed))
+              && (not (Tree.mem t.tree id))
+              && node_alive t id ~now
+            then id :: acc
+            else acc)
+          t.written_off []
+        |> List.sort Int.compare
+      in
       match
         if t.cfg.prefer_incremental then
           Planner.replan_incremental t.cfg.strategy t.params ~platform:t.platform
-            ~wapp:t.wapp ~demand:t.demand ~failed ~previous:t.tree
+            ~wapp:t.wapp ~demand:t.demand ~failed ~recovered ~previous:t.tree
             ~slack:t.cfg.replan_slack ()
         else
           Result.map
@@ -908,6 +946,7 @@ let create cfg ~engine ~params ~platform ~wapp ~demand ~selection
       staging = None;
       observed_at_trigger = 0.0;
       dead_since = Hashtbl.create 16;
+      written_off = Hashtbl.create 16;
       obs = Option.map make_ctrl_obs obs;
       rtrace;
       alerts;

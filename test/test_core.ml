@@ -914,6 +914,93 @@ let test_replan_incremental_modes () =
     | Error (Error.Insufficient_survivors _) -> true
     | _ -> false)
 
+(* Satellite regression (incremental twin of the sim-level re-admission
+   test): a node written out by an earlier patch and recovered since must
+   rejoin through the patcher itself, without waiting for a full-replan
+   fallback to re-admit it implicitly. *)
+let test_replan_incremental_readmission () =
+  let platform, wapp, p = lyon_star_plan 6 in
+  let incr ?recovered failed previous =
+    Planner.replan_incremental Planner.Star params ~platform ~wapp
+      ~demand:Demand.unbounded ~failed ?recovered ~previous ()
+  in
+  let root = Node.id (Tree.root_node p.Planner.tree) in
+  let s1, s2, rest =
+    match List.filter (fun i -> i <> root) [ 0; 1; 2; 3; 4; 5 ] with
+    | a :: b :: rest -> (a, b, rest)
+    | _ -> Alcotest.fail "star over 6 nodes has 5 servers"
+  in
+  (* first incident writes one server off, as an online controller would *)
+  let without_s1 =
+    match incr [ s1 ] p.Planner.tree with
+    | Ok (r, _) -> r.Planner.replanned.Planner.tree
+    | Error e -> Alcotest.fail (Error.to_string e)
+  in
+  Alcotest.(check bool) "precondition: first server written out" true
+    (not (Tree.mem without_s1 s1));
+  (* second incident: another server dies while the first is back up —
+     the patcher must write out the corpse AND graft the recovery *)
+  (match incr ~recovered:[ s1 ] [ s2 ] without_s1 with
+  | Error e -> Alcotest.fail (Error.to_string e)
+  | Ok (r, mode) ->
+      Alcotest.(check string) "patched in place" "incremental"
+        (Planner.replan_mode_name mode);
+      let tree = r.Planner.replanned.Planner.tree in
+      Alcotest.(check bool) "corpse written out" true (not (Tree.mem tree s2));
+      Alcotest.(check bool) "recovered node re-admitted" true (Tree.mem tree s1);
+      Alcotest.(check bool) "validates" true (Validate.is_valid ~platform tree);
+      Alcotest.(check int) "patch plus graft evaluated" 2
+        r.Planner.replanned.Planner.evaluations);
+  (* nothing died but a node recovered: pure improvement step, no slack
+     gate, still [Incremental] *)
+  (match incr ~recovered:[ s1 ] [] without_s1 with
+  | Error e -> Alcotest.fail (Error.to_string e)
+  | Ok (r, mode) ->
+      Alcotest.(check string) "graft-only is incremental" "incremental"
+        (Planner.replan_mode_name mode);
+      Alcotest.(check bool) "re-admitted without a failure" true
+        (Tree.mem r.Planner.replanned.Planner.tree s1);
+      Alcotest.(check bool) "improvement step reports no drop" true
+        (r.Planner.rho_drop = 0.0
+        && r.Planner.rho_after >= r.Planner.rho_before));
+  (* a "recovered" id still serving in [previous] never left: the
+     verbatim determinism anchor holds *)
+  (match incr ~recovered:[ root ] [] p.Planner.tree with
+  | Error e -> Alcotest.fail (Error.to_string e)
+  | Ok (r, _) ->
+      Alcotest.(check bool) "tree physically shared" true
+        (r.Planner.replanned.Planner.tree == p.Planner.tree);
+      Alcotest.(check int) "zero evaluations" 0
+        r.Planner.replanned.Planner.evaluations);
+  (* a patch reduced to the bare root is rescued by the recovery instead
+     of falling back to a full replan *)
+  (let two_node =
+     match incr (s2 :: rest) p.Planner.tree with
+     | Ok (r, _) -> r.Planner.replanned.Planner.tree
+     | Error e -> Alcotest.fail (Error.to_string e)
+   in
+   Alcotest.(check int) "precondition: root plus one server" 2
+     (Tree.size two_node);
+   (* still-dead off-tree nodes ride along in [failed], exactly as the
+      online controller submits them, keeping the survivor bound honest *)
+   match incr ~recovered:[ s2 ] (s1 :: rest) two_node with
+   | Error e -> Alcotest.fail (Error.to_string e)
+   | Ok (r, mode) ->
+       Alcotest.(check string) "bare-root patch rescued incrementally"
+         "incremental"
+         (Planner.replan_mode_name mode);
+       Alcotest.(check bool) "rescue node serves" true
+         (Tree.mem r.Planner.replanned.Planner.tree s2));
+  (* contradictory ledger is a typed error *)
+  Alcotest.(check bool) "failed+recovered overlap rejected" true
+    (match incr ~recovered:[ s1 ] [ s1 ] without_s1 with
+    | Error (Error.Invalid_input _) -> true
+    | _ -> false);
+  Alcotest.(check bool) "off-platform recovery rejected" true
+    (match incr ~recovered:[ 99 ] [ s2 ] without_s1 with
+    | Error (Error.Invalid_input _) -> true
+    | _ -> false)
+
 (* ---------- properties ---------- *)
 
 let prop_heuristic_always_valid =
@@ -1257,6 +1344,8 @@ let () =
             test_replan_incremental_empty_crash;
           Alcotest.test_case "modes and errors" `Quick
             test_replan_incremental_modes;
+          Alcotest.test_case "recovered nodes re-admitted" `Quick
+            test_replan_incremental_readmission;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest

@@ -1,0 +1,908 @@
+(* Tests for the planning service: JSON and protocol codec fixpoints,
+   wire framing, the domain pool, the plan cache, sharded-planning
+   equivalence, and a live server driven over a Unix socket — including
+   the golden session transcript and the robustness cases (malformed
+   frame, oversized prefix, unknown method, mid-request disconnect). *)
+
+module Json = Adept_serve.Json
+module Wire = Adept_serve.Wire
+module Proto = Adept_serve.Protocol
+module Pool = Adept_serve.Domain_pool
+module Shard = Adept_serve.Shard
+module Cache = Adept_serve.Cache
+module Server = Adept_serve.Server
+module Client = Adept_serve.Client
+module Planner = Adept.Planner
+module Demand = Adept_model.Demand
+module Generator = Adept_platform.Generator
+module Tree = Adept_hierarchy.Tree
+module Rng = Adept_util.Rng
+
+let params = Adept_model.Params.diet_lyon
+let dgemm n = Adept_workload.Dgemm.(mflops (make n))
+
+(* ---------- JSON ---------- *)
+
+let roundtrip j =
+  match Json.of_string (Json.to_string j) with
+  | Ok j' -> j'
+  | Error e -> Alcotest.fail ("reparse failed: " ^ e)
+
+let test_json_fixpoint () =
+  (* values whose printed form reparses to the same constructor *)
+  let cases =
+    [
+      Json.Null;
+      Json.Bool true;
+      Json.Bool false;
+      Json.Int 0;
+      Json.Int (-42);
+      Json.Int max_int;
+      Json.Float 0.1;
+      Json.Float (1.0 /. 3.0);
+      Json.Float 1e-9;
+      Json.Float 5e-324;
+      Json.Float 1.7976931348623157e308;
+      Json.String "";
+      Json.String "plain";
+      Json.String "quotes \" backslash \\ newline \n tab \t";
+      Json.List [];
+      Json.List [ Json.Int 1; Json.String "two"; Json.Null ];
+      Json.Obj [];
+      Json.Obj
+        [
+          ("a", Json.Int 1);
+          ("nested", Json.Obj [ ("l", Json.List [ Json.Bool false ]) ]);
+        ];
+    ]
+  in
+  List.iter
+    (fun j ->
+      Alcotest.(check bool)
+        ("fixpoint: " ^ Json.to_string j)
+        true
+        (roundtrip j = j))
+    cases
+
+let test_json_whole_floats () =
+  (* %.17g prints whole floats without a point; readers must accept the
+     Int that comes back *)
+  Alcotest.(check string) "310.0 prints as int" "310" (Json.to_string (Json.Float 310.0));
+  Alcotest.(check (option (float 0.0))) "Int reads as float" (Some 310.0)
+    (Json.to_float (roundtrip (Json.Float 310.0)))
+
+let test_json_rejects () =
+  let bad s =
+    match Json.of_string s with
+    | Ok _ -> Alcotest.fail ("accepted: " ^ s)
+    | Error _ -> ()
+  in
+  bad "not json";
+  bad "{} trailing";
+  bad "[1,2";
+  bad "{\"a\":}";
+  bad "\"unterminated";
+  bad ""
+
+let test_json_escapes () =
+  (match Json.of_string "\"a\\u0041b\"" with
+  | Ok (Json.String s) -> Alcotest.(check string) "\\u escape" "aAb" s
+  | _ -> Alcotest.fail "\\u0041 did not parse");
+  (* control chars escape on the way out and survive the roundtrip *)
+  Alcotest.(check bool) "control char roundtrip" true
+    (roundtrip (Json.String "\x01\x02") = Json.String "\x01\x02")
+
+(* ---------- protocol codecs ---------- *)
+
+let syn8 =
+  Proto.Synthetic
+    { nodes = 8; power = 730.0; bandwidth = 1000.0; heterogeneous = false; seed = 42 }
+
+let plan_syn8 =
+  Proto.Plan
+    { spec = syn8; dgemm = 310; demand = None; strategy = "heuristic"; use_cache = true }
+
+let sample_envelopes =
+  [
+    { Proto.id = 1; request = plan_syn8 };
+    {
+      Proto.id = 2;
+      request =
+        Proto.Plan
+          {
+            spec =
+              Proto.Synthetic
+                { nodes = 3; power = 512.5; bandwidth = 100.0; heterogeneous = true; seed = 7 };
+            dgemm = 1000;
+            demand = Some 200.5;
+            strategy = "star";
+            use_cache = false;
+          };
+    };
+    {
+      Proto.id = 3;
+      request =
+        Proto.Plan
+          {
+            spec = Proto.Catalog "node a 730.0\nnode \"b\" 100.0\n";
+            dgemm = 310;
+            demand = Some 0.1;
+            strategy = "heuristic";
+            use_cache = true;
+          };
+    };
+    {
+      Proto.id = 4;
+      request =
+        Proto.Replan
+          {
+            r_spec = syn8;
+            r_dgemm = 310;
+            r_demand = None;
+            r_strategy = "heuristic";
+            r_failed = [ 1; 3; 5 ];
+          };
+    };
+    {
+      Proto.id = 5;
+      request =
+        Proto.Observe
+          {
+            o_spec = syn8;
+            o_dgemm = 310;
+            o_demand = Some 50.25;
+            o_strategy = "heuristic";
+            o_seed = 9;
+            o_clients = 40;
+            o_warmup = 0.5;
+            o_duration = 1.5;
+          };
+    };
+    { Proto.id = 6; request = Proto.Stats };
+  ]
+
+let test_request_fixpoint () =
+  List.iter
+    (fun e ->
+      match Proto.decode_request (Proto.encode_request e) with
+      | Proto.Request e' ->
+          Alcotest.(check bool)
+            (Printf.sprintf "request %d survives the codec" e.Proto.id)
+            true (e' = e)
+      | Proto.Bad (_, kind) ->
+          Alcotest.fail (snd (Proto.error_kind_fields kind)))
+    sample_envelopes
+
+let sample_stats =
+  {
+    Proto.plan_requests = 3;
+    replan_requests = 1;
+    observe_requests = 1;
+    stats_requests = 1;
+    errors = 2;
+    cache_hits = 1;
+    cache_misses = 2;
+    cache_evictions = 0;
+    cache_invalidations = 1;
+    coalesced = 4;
+    workers = 1;
+    shards = 2;
+  }
+
+let sample_replies =
+  [
+    {
+      Proto.reply_id = 1;
+      response =
+        Proto.Plan_ok
+          { text = "tree\nwith \"quotes\"\n"; rho = 1234.5678901234567; nodes_used = 8; cached = false };
+    };
+    {
+      Proto.reply_id = 2;
+      response = Proto.Plan_ok { text = ""; rho = 0.1; nodes_used = 0; cached = true };
+    };
+    { Proto.reply_id = 3; response = Proto.Replan_ok { text = "t"; rho_after = 88.25 } };
+    { Proto.reply_id = 4; response = Proto.Observe_ok { text = "o"; throughput = 310.0 } };
+    { Proto.reply_id = 5; response = Proto.Stats_ok sample_stats };
+    { Proto.reply_id = 0; response = Proto.Error Proto.Parse_error };
+    { Proto.reply_id = 6; response = Proto.Error Proto.Invalid_request };
+    { Proto.reply_id = 7; response = Proto.Error (Proto.Unknown_method "frobnicate") };
+    { Proto.reply_id = 8; response = Proto.Error (Proto.Invalid_params "missing field \"failed\"") };
+    { Proto.reply_id = 9; response = Proto.Error (Proto.Plan_failed "no feasible hierarchy") };
+  ]
+
+let test_reply_fixpoint () =
+  List.iter
+    (fun r ->
+      match Proto.decode_reply (Proto.encode_reply r) with
+      | Ok r' ->
+          Alcotest.(check bool)
+            (Printf.sprintf "reply %d survives the codec" r.Proto.reply_id)
+            true (r' = r)
+      | Error e -> Alcotest.fail e)
+    sample_replies
+
+let test_decode_bad_requests () =
+  (match Proto.decode_request "not json" with
+  | Proto.Bad (None, Proto.Parse_error) -> ()
+  | _ -> Alcotest.fail "garbage should be Parse_error without an id");
+  (match Proto.decode_request "[1,2,3]" with
+  | Proto.Bad (None, Proto.Invalid_request) -> ()
+  | _ -> Alcotest.fail "non-envelope JSON should be Invalid_request");
+  (match Proto.decode_request "{\"method\":\"plan\",\"params\":{}}" with
+  | Proto.Bad (None, Proto.Invalid_request) -> ()
+  | _ -> Alcotest.fail "missing id should be Invalid_request");
+  (match Proto.decode_request "{\"id\":7,\"method\":\"frobnicate\",\"params\":{}}" with
+  | Proto.Bad (Some 7, Proto.Unknown_method "frobnicate") -> ()
+  | _ -> Alcotest.fail "unknown method should echo the id");
+  (match Proto.decode_request "{\"id\":8,\"method\":\"plan\",\"params\":{\"dgemm\":\"x\"}}" with
+  | Proto.Bad (Some 8, Proto.Invalid_params _) -> ()
+  | _ -> Alcotest.fail "mistyped field should be Invalid_params");
+  match Proto.decode_request "{\"id\":9,\"method\":\"replan\",\"params\":{\"platform\":{\"synthetic\":{}}}}" with
+  | Proto.Bad (Some 9, Proto.Invalid_params _) -> ()
+  | _ -> Alcotest.fail "replan without failed list should be Invalid_params"
+
+let test_decode_defaults_match_cli () =
+  (* an empty params object decodes to exactly the CLI's defaults *)
+  match Proto.decode_request "{\"id\":1,\"method\":\"plan\",\"params\":{\"platform\":{\"synthetic\":{}}}}" with
+  | Proto.Request { request = Proto.Plan p; _ } ->
+      Alcotest.(check bool) "defaults" true
+        (p.Proto.spec
+         = Proto.Synthetic
+             { nodes = 50; power = 730.0; bandwidth = 1000.0; heterogeneous = false; seed = 42 }
+        && p.Proto.dgemm = 310 && p.Proto.demand = None
+        && p.Proto.strategy = "heuristic" && p.Proto.use_cache)
+  | _ -> Alcotest.fail "defaulted plan request did not decode"
+
+let test_spec_digest () =
+  Alcotest.(check string) "equal specs, equal digests"
+    (Proto.spec_digest syn8) (Proto.spec_digest syn8);
+  let other = Proto.Synthetic
+      { nodes = 8; power = 730.0; bandwidth = 1000.0; heterogeneous = false; seed = 43 } in
+  Alcotest.(check bool) "seed changes the digest" true
+    (Proto.spec_digest syn8 <> Proto.spec_digest other);
+  Alcotest.(check bool) "catalog digests differently" true
+    (Proto.spec_digest syn8 <> Proto.spec_digest (Proto.Catalog "x"))
+
+(* ---------- wire framing ---------- *)
+
+let test_wire_roundtrip () =
+  let r = Wire.reader () in
+  let frame = Wire.encode "hello" in
+  Wire.feed r frame 0 (String.length frame);
+  (match Wire.step r with
+  | Wire.Frame p -> Alcotest.(check string) "payload" "hello" p
+  | _ -> Alcotest.fail "expected a frame");
+  match Wire.step r with
+  | Wire.Need_more -> ()
+  | _ -> Alcotest.fail "buffer should be empty"
+
+let test_wire_chunked () =
+  let r = Wire.reader () in
+  let frame = Wire.encode "chunked payload with some length" in
+  String.iteri
+    (fun i _ ->
+      (match Wire.step r with
+      | Wire.Need_more -> ()
+      | _ -> Alcotest.fail "frame completed early");
+      Wire.feed r frame i 1)
+    frame;
+  match Wire.step r with
+  | Wire.Frame p -> Alcotest.(check string) "payload" "chunked payload with some length" p
+  | _ -> Alcotest.fail "expected a frame after the last byte"
+
+let test_wire_several_frames_one_feed () =
+  let r = Wire.reader () in
+  let chunk = Wire.encode "one" ^ Wire.encode "" ^ Wire.encode "three" in
+  Wire.feed r chunk 0 (String.length chunk);
+  let next () =
+    match Wire.step r with
+    | Wire.Frame p -> p
+    | _ -> Alcotest.fail "expected a frame"
+  in
+  Alcotest.(check string) "first" "one" (next ());
+  Alcotest.(check string) "second (empty payload)" "" (next ());
+  Alcotest.(check string) "third" "three" (next ());
+  match Wire.step r with Wire.Need_more -> () | _ -> Alcotest.fail "drained"
+
+let oversized_header () =
+  let b = Bytes.create Wire.header_len in
+  Bytes.set_int32_be b 0 (Int32.of_int (Wire.max_frame + 1));
+  Bytes.to_string b
+
+let test_wire_oversized () =
+  let r = Wire.reader () in
+  let h = oversized_header () in
+  Wire.feed r h 0 (String.length h);
+  (match Wire.step r with
+  | Wire.Oversized n -> Alcotest.(check int) "declared length" (Wire.max_frame + 1) n
+  | _ -> Alcotest.fail "expected Oversized");
+  match Wire.encode (String.make (Wire.max_frame + 1) 'x') with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "encode should reject oversized payloads"
+
+(* ---------- domain pool ---------- *)
+
+let test_pool_submit_await () =
+  let pool = Pool.create ~workers:2 () in
+  Alcotest.(check int) "size" 2 (Pool.size pool);
+  let futures = List.init 100 (fun i -> Pool.submit pool (fun () -> i * i)) in
+  List.iteri
+    (fun i f -> Alcotest.(check int) "result" (i * i) (Pool.await f))
+    futures;
+  Pool.shutdown pool
+
+let test_pool_nested_helping () =
+  (* one worker: awaiting subtasks inside a task must help, not deadlock *)
+  let pool = Pool.create ~workers:1 () in
+  let f =
+    Pool.submit pool (fun () ->
+        let subs = List.init 4 (fun i -> Pool.submit pool (fun () -> i * 10)) in
+        List.fold_left (fun acc s -> acc + Pool.await s) 0 subs)
+  in
+  Alcotest.(check int) "nested sum" 60 (Pool.await f);
+  Pool.shutdown pool
+
+let test_pool_exception_propagates () =
+  let pool = Pool.create ~workers:1 () in
+  let f = Pool.submit pool (fun () -> failwith "boom") in
+  (match Pool.await f with
+  | exception Failure m -> Alcotest.(check string) "message" "boom" m
+  | _ -> Alcotest.fail "expected the task's exception");
+  Pool.shutdown pool
+
+let test_pool_on_resolve_after_resolution () =
+  (* the wakeup contract the server's pipe depends on: when the hook
+     fires the future must already read as resolved, and it must fire
+     even when the task raises *)
+  let pool = Pool.create ~workers:1 () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      let observed = Atomic.make (-1) in
+      let rec settle n =
+        if Atomic.get observed < 0 && n > 0 then (
+          Unix.sleepf 0.01;
+          settle (n - 1))
+      in
+      let run_one body expect_exn =
+        Atomic.set observed (-1);
+        let fut_ref = ref None in
+        (* gate: the task may not finish before [fut_ref] is filled, or
+           the hook could not inspect its own future *)
+        let ready = Atomic.make false in
+        let on_resolve () =
+          Atomic.set observed
+            (match !fut_ref with
+            | Some f when Pool.is_resolved f -> 1
+            | _ -> 0)
+        in
+        let fut =
+          Pool.submit ~on_resolve pool (fun () ->
+              while not (Atomic.get ready) do
+                Domain.cpu_relax ()
+              done;
+              body ())
+        in
+        fut_ref := Some fut;
+        Atomic.set ready true;
+        (match Pool.await fut with
+        | (_ : int) ->
+            if expect_exn then Alcotest.fail "expected the task's exception"
+        | exception Failure _ when expect_exn -> ());
+        settle 200;
+        Alcotest.(check int) "hook saw a resolved future" 1
+          (Atomic.get observed)
+      in
+      run_one (fun () -> 7) false;
+      (* a raising task must still fire the hook *)
+      run_one (fun () -> failwith "boom") true)
+
+let test_pool_shutdown_semantics () =
+  let pool = Pool.create ~workers:1 () in
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  (* post-shutdown work runs inline on the submitting domain *)
+  let f = Pool.submit pool (fun () -> 7) in
+  Alcotest.(check bool) "inline tasks resolve immediately" true (Pool.is_resolved f);
+  Alcotest.(check int) "inline result" 7 (Pool.await f)
+
+(* ---------- plan cache ---------- *)
+
+let entry text = { Cache.text; rho = 100.0; nodes_used = 5 }
+
+let test_cache_hit_miss () =
+  let c = Cache.create () in
+  Alcotest.(check (option reject)) "empty cache misses" None
+    (Cache.find c ~digest:"d" ~strategy:"heuristic" ~wapp:310.0 ~demand:None);
+  Cache.add c ~digest:"d" ~strategy:"heuristic" ~wapp:310.0 ~demand:None (entry "t");
+  (match Cache.find c ~digest:"d" ~strategy:"heuristic" ~wapp:310.0 ~demand:None with
+  | Some e -> Alcotest.(check string) "hit text" "t" e.Cache.text
+  | None -> Alcotest.fail "expected a hit");
+  (* exact floats only: a nearby wapp in the same 3-digit band still misses *)
+  Alcotest.(check bool) "near-miss on wapp" true
+    (Cache.find c ~digest:"d" ~strategy:"heuristic" ~wapp:310.0000001 ~demand:None = None);
+  Alcotest.(check bool) "demand distinguishes" true
+    (Cache.find c ~digest:"d" ~strategy:"heuristic" ~wapp:310.0 ~demand:(Some 200.0) = None);
+  Alcotest.(check bool) "strategy distinguishes" true
+    (Cache.find c ~digest:"d" ~strategy:"star" ~wapp:310.0 ~demand:None = None);
+  Alcotest.(check int) "hits" 1 (Cache.hits c);
+  Alcotest.(check int) "misses" 4 (Cache.misses c);
+  Alcotest.(check int) "size" 1 (Cache.size c)
+
+let test_cache_lru_eviction () =
+  let c = Cache.create ~capacity:2 () in
+  Cache.add c ~digest:"a" ~strategy:"h" ~wapp:1.0 ~demand:None (entry "a");
+  Cache.add c ~digest:"b" ~strategy:"h" ~wapp:1.0 ~demand:None (entry "b");
+  (* touch a so b is the least recently used *)
+  ignore (Cache.find c ~digest:"a" ~strategy:"h" ~wapp:1.0 ~demand:None);
+  Cache.add c ~digest:"c" ~strategy:"h" ~wapp:1.0 ~demand:None (entry "c");
+  Alcotest.(check int) "evictions" 1 (Cache.evictions c);
+  Alcotest.(check int) "size stays at capacity" 2 (Cache.size c);
+  Alcotest.(check bool) "b evicted" true
+    (Cache.find c ~digest:"b" ~strategy:"h" ~wapp:1.0 ~demand:None = None);
+  Alcotest.(check bool) "a survived" true
+    (Cache.find c ~digest:"a" ~strategy:"h" ~wapp:1.0 ~demand:None <> None)
+
+let test_cache_replace_same_key () =
+  let c = Cache.create ~capacity:2 () in
+  Cache.add c ~digest:"a" ~strategy:"h" ~wapp:1.0 ~demand:None (entry "old");
+  Cache.add c ~digest:"a" ~strategy:"h" ~wapp:1.0 ~demand:None (entry "new");
+  Alcotest.(check int) "no growth" 1 (Cache.size c);
+  match Cache.find c ~digest:"a" ~strategy:"h" ~wapp:1.0 ~demand:None with
+  | Some e -> Alcotest.(check string) "latest wins" "new" e.Cache.text
+  | None -> Alcotest.fail "expected a hit"
+
+let test_cache_invalidate_platform () =
+  let c = Cache.create () in
+  Cache.add c ~digest:"x" ~strategy:"h" ~wapp:1.0 ~demand:None (entry "1");
+  Cache.add c ~digest:"x" ~strategy:"h" ~wapp:2.0 ~demand:None (entry "2");
+  Cache.add c ~digest:"y" ~strategy:"h" ~wapp:1.0 ~demand:None (entry "3");
+  Alcotest.(check int) "dropped both x entries" 2 (Cache.invalidate_platform c ~digest:"x");
+  Alcotest.(check int) "invalidations" 2 (Cache.invalidations c);
+  Alcotest.(check int) "y remains" 1 (Cache.size c);
+  Alcotest.(check bool) "x gone" true
+    (Cache.find c ~digest:"x" ~strategy:"h" ~wapp:1.0 ~demand:None = None);
+  Alcotest.(check int) "nothing to drop twice" 0 (Cache.invalidate_platform c ~digest:"x")
+
+(* ---------- sharded-planning equivalence ---------- *)
+
+let plans_identical (a : Planner.plan) (b : Planner.plan) =
+  Tree.equal a.Planner.tree b.Planner.tree
+  && a.Planner.predicted_rho = b.Planner.predicted_rho
+  && a.Planner.demand_met = b.Planner.demand_met
+  && a.Planner.nodes_used = b.Planner.nodes_used
+  && a.Planner.evaluations = b.Planner.evaluations
+
+let prop_shard_equivalence pool =
+  (* the service's load-bearing invariant: for any platform family,
+     demand regime and shard count, the sharded plan is bit-identical to
+     the sequential heuristic — same tree, same rho float, same probe
+     count.  Speculation may miss; it must never change a decision. *)
+  QCheck.Test.make ~count:25
+    ~name:"sharded plan bit-identical to sequential heuristic"
+    QCheck.(triple (int_range 0 10_000) (int_range 2 160) (int_range 1 4))
+    (fun (seed, n, shards) ->
+      let rng = Rng.create seed in
+      let platform =
+        match seed mod 3 with
+        | 0 ->
+            Generator.uniform_heterogeneous ~bandwidth:1000.0 ~rng ~n
+              ~power_min:100.0 ~power_max:1000.0 ()
+        | 1 -> Generator.grid5000_orsay ~rng ~n ()
+        | _ -> Generator.homogeneous ~bandwidth:1000.0 ~n ~power:730.0 ()
+      in
+      let wapp = dgemm (100 + (seed mod 900)) in
+      let demand =
+        if seed mod 4 = 0 then Demand.rate (float_of_int ((seed mod 400) + 50))
+        else Demand.unbounded
+      in
+      let sequential = Planner.run Planner.Heuristic params ~platform ~wapp ~demand in
+      let sharded, _diag = Shard.plan ~shards ~pool params ~platform ~wapp ~demand in
+      match (sequential, sharded) with
+      | Ok a, Ok b -> plans_identical a b
+      | Error a, Error b -> a = b
+      | Ok _, Error _ | Error _, Ok _ -> false)
+
+let test_shard_equivalence () =
+  let pool = Pool.create ~workers:2 () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () -> QCheck.Test.check_exn (prop_shard_equivalence pool))
+
+let test_shard_diag () =
+  let pool = Pool.create ~workers:2 () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      let platform = Generator.homogeneous ~bandwidth:1000.0 ~n:100 ~power:730.0 () in
+      let result, diag =
+        Shard.plan ~shards:4 ~pool params ~platform ~wapp:(dgemm 310)
+          ~demand:Demand.unbounded
+      in
+      (match result with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail (Adept.Error.to_string e));
+      Alcotest.(check int) "all four shards used" 4 diag.Shard.shards_used;
+      Alcotest.(check bool) "hint from shard plans" true (diag.Shard.hint > 0.0);
+      (* a tiny platform cannot shard: sequential fallback *)
+      let small = Generator.homogeneous ~bandwidth:1000.0 ~n:3 ~power:730.0 () in
+      let _, diag =
+        Shard.plan ~shards:4 ~pool params ~platform:small ~wapp:(dgemm 310)
+          ~demand:Demand.unbounded
+      in
+      Alcotest.(check int) "fallback reports one shard" 1 diag.Shard.shards_used)
+
+(* ---------- live server ---------- *)
+
+let temp_socket_path () =
+  let path = Filename.temp_file "adept-serve-test" ".sock" in
+  Sys.remove path;
+  path
+
+(* The server runs in a child process, exactly like production
+   (`adept serve` + `adept query`).  An in-process server thread is NOT
+   an option on OCaml 5.1: with worker domains live, two systhreads of
+   domain 0 parked in blocking sections (the serve loop's select plus
+   the client's read) deadlock the runtime's stop-the-world handshake.
+   Nor is [Unix.fork] — the pool and shard suites spawn domains first,
+   and fork is forbidden once any domain was ever created.  So the test
+   binary re-execs ITSELF via posix_spawn ([Unix.create_process_env]):
+   when [server_socket_var] is set it becomes the server (see the hook
+   below) instead of running the suites.  The child is drained with
+   SIGTERM and must exit 0 — every test therefore also exercises
+   graceful shutdown. *)
+let server_socket_var = "ADEPT_SERVE_TEST_SOCKET"
+
+let run_as_server_child path =
+  (* a SIGTERM racing server startup must still drain, hence the
+     interim handler installed before [create]/[serve] *)
+  let early_stop = ref false in
+  let target = ref None in
+  Sys.set_signal Sys.sigterm
+    (Sys.Signal_handle
+       (fun _ ->
+         match !target with
+         | Some server -> Server.stop server
+         | None -> early_stop := true));
+  let addr = Server.Unix_socket path in
+  let config =
+    (* one worker, one shard: counters and replies must not depend on
+       the machine's core count (the transcript is golden) *)
+    { (Server.default_config addr) with Server.workers = Some 1; shards = Some 1 }
+  in
+  exit
+    (try
+       let server = Server.create config in
+       target := Some server;
+       if !early_stop then Server.stop server;
+       Server.serve server;
+       0
+     with _ -> 1)
+
+let () =
+  match Sys.getenv_opt server_socket_var with
+  | Some path -> run_as_server_child path
+  | None -> ()
+
+let with_server f =
+  let path = temp_socket_path () in
+  let addr = Server.Unix_socket path in
+  let env =
+    Array.append (Unix.environment ())
+      [| server_socket_var ^ "=" ^ path |]
+  in
+  let pid =
+    Unix.create_process_env Sys.executable_name
+      [| Sys.executable_name |]
+      env Unix.stdin Unix.stdout Unix.stderr
+  in
+  let outcome =
+    try Ok (f addr) with e -> Error (e, Printexc.get_raw_backtrace ())
+  in
+  (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+  let _, status = Unix.waitpid [] pid in
+  match outcome with
+  | Error (e, bt) -> Printexc.raise_with_backtrace e bt
+  | Ok v -> (
+      match status with
+      | Unix.WEXITED 0 -> v
+      | Unix.WEXITED n -> Alcotest.fail (Printf.sprintf "server exited with %d" n)
+      | Unix.WSIGNALED s ->
+          Alcotest.fail (Printf.sprintf "server killed by signal %d" s)
+      | Unix.WSTOPPED _ -> Alcotest.fail "server stopped")
+
+let rec connect_raw ?(attempts = 200) addr =
+  match addr with
+  | Server.Tcp _ -> assert false
+  | Server.Unix_socket path -> (
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      match Unix.connect fd (Unix.ADDR_UNIX path) with
+      | () -> fd
+      | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
+        when attempts > 0 ->
+          Unix.close fd;
+          Unix.sleepf 0.02;
+          connect_raw ~attempts:(attempts - 1) addr)
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* The golden session: typed requests plus raw bad frames on one
+   connection.  Every exchange is deterministic — fixed spec, fixed
+   simulation seed, single worker — so both directions of the dialogue
+   can be pinned byte-for-byte. *)
+let session_requests =
+  [
+    `Typed { Proto.id = 1; request = plan_syn8 };
+    `Typed { Proto.id = 2; request = plan_syn8 };
+    `Typed
+      {
+        Proto.id = 3;
+        request =
+          Proto.Replan
+            {
+              r_spec = syn8;
+              r_dgemm = 310;
+              r_demand = None;
+              r_strategy = "heuristic";
+              r_failed = [ 1 ];
+            };
+      };
+    `Typed { Proto.id = 4; request = plan_syn8 };
+    `Raw "{\"id\":7,\"method\":\"frobnicate\",\"params\":{}}";
+    `Raw "this is not json";
+    `Typed
+      {
+        Proto.id = 8;
+        request =
+          Proto.Observe
+            {
+              o_spec = syn8;
+              o_dgemm = 310;
+              o_demand = None;
+              o_strategy = "heuristic";
+              o_seed = 42;
+              o_clients = 10;
+              o_warmup = 0.5;
+              o_duration = 1.0;
+            };
+      };
+    `Typed { Proto.id = 9; request = Proto.Stats };
+  ]
+
+(* Returns the transcript (one JSON object per line, [c2s]/[s2c]) and
+   the decoded replies in exchange order. *)
+let run_session () =
+  with_server (fun addr ->
+      let fd = connect_raw addr in
+      Fun.protect
+        ~finally:(fun () -> close_quietly fd)
+        (fun () ->
+          let buf = Buffer.create 4096 in
+          let line dir payload =
+            Buffer.add_string buf
+              (Json.to_string (Json.Obj [ (dir, Json.String payload) ]));
+            Buffer.add_char buf '\n'
+          in
+          let replies =
+            List.map
+              (fun req ->
+                let payload =
+                  match req with
+                  | `Typed e -> Proto.encode_request e
+                  | `Raw s -> s
+                in
+                line "c2s" payload;
+                Wire.write_frame fd payload;
+                let reply = Wire.read_frame fd in
+                line "s2c" reply;
+                match Proto.decode_reply reply with
+                | Ok r -> r
+                | Error e -> Alcotest.fail ("undecodable reply: " ^ e))
+              session_requests
+          in
+          (Buffer.contents buf, replies)))
+
+let test_session_semantics () =
+  let _, replies = run_session () in
+  let nth i = (List.nth replies i).Proto.response in
+  let id i = (List.nth replies i).Proto.reply_id in
+  (* cold plan, cached repeat, invalidation by the replan, cold again *)
+  (match (nth 0, nth 1, nth 3) with
+  | Proto.Plan_ok a, Proto.Plan_ok b, Proto.Plan_ok c ->
+      Alcotest.(check bool) "first plan is cold" false a.cached;
+      Alcotest.(check bool) "second plan is cached" true b.cached;
+      Alcotest.(check bool) "replan invalidated the cache" false c.cached;
+      Alcotest.(check bool) "cached reply identical" true
+        (a.text = b.text && a.rho = b.rho && a.nodes_used = b.nodes_used)
+  | _ -> Alcotest.fail "expected three Plan_ok replies");
+  (match nth 2 with
+  | Proto.Replan_ok r -> Alcotest.(check bool) "replan rho" true (r.rho_after > 0.0)
+  | _ -> Alcotest.fail "expected Replan_ok");
+  (* bad frames answered with typed errors, connection still usable *)
+  (match nth 4 with
+  | Proto.Error (Proto.Unknown_method "frobnicate") ->
+      Alcotest.(check int) "unknown method echoes the id" 7 (id 4)
+  | _ -> Alcotest.fail "expected Unknown_method");
+  (match nth 5 with
+  | Proto.Error Proto.Parse_error ->
+      Alcotest.(check int) "unparsable frame replies with id 0" 0 (id 5)
+  | _ -> Alcotest.fail "expected Parse_error");
+  (match nth 6 with
+  | Proto.Observe_ok o -> Alcotest.(check bool) "throughput" true (o.throughput > 0.0)
+  | _ -> Alcotest.fail "expected Observe_ok");
+  match nth 7 with
+  | Proto.Stats_ok s ->
+      Alcotest.(check bool) "deterministic counters" true
+        (s.Proto.plan_requests = 3 && s.Proto.replan_requests = 1
+        && s.Proto.observe_requests = 1 && s.Proto.stats_requests = 1
+        && s.Proto.errors = 2 && s.Proto.cache_hits = 1
+        && s.Proto.cache_misses = 2 && s.Proto.cache_evictions = 0
+        && s.Proto.cache_invalidations = 1 && s.Proto.coalesced = 0
+        && s.Proto.workers = 1 && s.Proto.shards = 1)
+  | _ -> Alcotest.fail "expected Stats_ok"
+
+let read_golden name =
+  In_channel.with_open_bin
+    (Filename.concat (Filename.dirname Sys.executable_name) name)
+    In_channel.input_all
+
+let test_golden_transcript () =
+  let got, _ = run_session () in
+  Alcotest.(check string)
+    "session transcript is byte-identical (SERVE_GOLDEN_OUT regenerates)"
+    (read_golden "golden/serve_session.jsonl")
+    got
+
+let test_oversized_frame_closes_connection () =
+  with_server (fun addr ->
+      let fd = connect_raw addr in
+      let h = oversized_header () in
+      let n = Unix.write_substring fd h 0 (String.length h) in
+      Alcotest.(check int) "header sent" (String.length h) n;
+      (match Wire.read_frame fd with
+      | exception End_of_file -> ()
+      | _ -> Alcotest.fail "server should close on an oversized prefix");
+      close_quietly fd;
+      (* the server itself survived *)
+      let c = Client.connect addr in
+      (match Client.call c Proto.Stats with
+      | Ok (Proto.Stats_ok s) ->
+          Alcotest.(check int) "no request was dispatched" 0 s.Proto.plan_requests
+      | Ok _ -> Alcotest.fail "expected Stats_ok"
+      | Error e -> Alcotest.fail e);
+      Client.close c)
+
+let test_mid_request_disconnect () =
+  with_server (fun addr ->
+      let fd = connect_raw addr in
+      (* header promising 50 bytes, then only 10, then a hard close *)
+      let b = Bytes.create Wire.header_len in
+      Bytes.set_int32_be b 0 50l;
+      ignore (Unix.write fd b 0 Wire.header_len);
+      ignore (Unix.write_substring fd "0123456789" 0 10);
+      close_quietly fd;
+      (* a second client is served as if nothing happened *)
+      let c = Client.connect addr in
+      (match Client.call c plan_syn8 with
+      | Ok (Proto.Plan_ok p) ->
+          Alcotest.(check bool) "planned" true (p.rho > 0.0 && not p.cached)
+      | Ok (Proto.Error k) -> Alcotest.fail (snd (Proto.error_kind_fields k))
+      | Ok _ -> Alcotest.fail "expected Plan_ok"
+      | Error e -> Alcotest.fail e);
+      Client.close c)
+
+let test_client_call_no_cache () =
+  (* use_cache:false bypasses the cache in both directions *)
+  with_server (fun addr ->
+      let c =
+        match Client.connect_retry addr with
+        | Ok c -> c
+        | Error e -> Alcotest.fail e
+      in
+      let cold =
+        Proto.Plan
+          { spec = syn8; dgemm = 310; demand = None; strategy = "heuristic"; use_cache = false }
+      in
+      (match (Client.call c cold, Client.call c cold) with
+      | Ok (Proto.Plan_ok a), Ok (Proto.Plan_ok b) ->
+          Alcotest.(check bool) "never cached" false (a.cached || b.cached);
+          Alcotest.(check bool) "still deterministic" true
+            (a.text = b.text && a.rho = b.rho)
+      | _ -> Alcotest.fail "expected two Plan_ok replies");
+      (match Client.call c Proto.Stats with
+      | Ok (Proto.Stats_ok s) ->
+          Alcotest.(check int) "cache untouched" 0 (s.Proto.cache_hits + s.Proto.cache_misses)
+      | _ -> Alcotest.fail "expected Stats_ok");
+      Client.close c)
+
+let test_address_parsing () =
+  (match Server.address_of_string "unix:/tmp/x.sock" with
+  | Ok (Server.Unix_socket "/tmp/x.sock") -> ()
+  | _ -> Alcotest.fail "unix: prefix");
+  (match Server.address_of_string "tcp:localhost:9090" with
+  | Ok (Server.Tcp ("localhost", 9090)) -> ()
+  | _ -> Alcotest.fail "tcp:host:port");
+  (match Server.address_of_string "plain.sock" with
+  | Ok (Server.Unix_socket "plain.sock") -> ()
+  | _ -> Alcotest.fail "bare path is a unix socket");
+  (match Server.address_of_string "tcp:nope" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "tcp without a port must be rejected");
+  List.iter
+    (fun s ->
+      match Server.address_of_string s with
+      | Ok a -> Alcotest.(check string) ("roundtrip " ^ s) s (Server.address_to_string a)
+      | Error e -> Alcotest.fail e)
+    [ "unix:/tmp/x.sock"; "tcp:localhost:9090" ]
+
+(* Regenerate the golden transcript instead of running the suite:
+   SERVE_GOLDEN_OUT=/path/to/serve_session.jsonl ./test_serve.exe *)
+let () =
+  match Sys.getenv_opt "SERVE_GOLDEN_OUT" with
+  | Some path ->
+      let transcript, _ = run_session () in
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc transcript);
+      Printf.printf "wrote %s (%d bytes)\n" path (String.length transcript);
+      exit 0
+  | None -> ()
+
+let () =
+  Alcotest.run "adept-serve"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "parse/print fixpoint" `Quick test_json_fixpoint;
+          Alcotest.test_case "whole floats" `Quick test_json_whole_floats;
+          Alcotest.test_case "rejects malformed input" `Quick test_json_rejects;
+          Alcotest.test_case "escapes" `Quick test_json_escapes;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "request codec fixpoint" `Quick test_request_fixpoint;
+          Alcotest.test_case "reply codec fixpoint" `Quick test_reply_fixpoint;
+          Alcotest.test_case "bad requests get typed errors" `Quick test_decode_bad_requests;
+          Alcotest.test_case "defaults mirror the CLI" `Quick test_decode_defaults_match_cli;
+          Alcotest.test_case "spec digest" `Quick test_spec_digest;
+        ] );
+      ( "wire",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_wire_roundtrip;
+          Alcotest.test_case "byte-by-byte feeding" `Quick test_wire_chunked;
+          Alcotest.test_case "several frames per feed" `Quick test_wire_several_frames_one_feed;
+          Alcotest.test_case "oversized prefix" `Quick test_wire_oversized;
+        ] );
+      ( "domain-pool",
+        [
+          Alcotest.test_case "submit/await" `Quick test_pool_submit_await;
+          Alcotest.test_case "nested await helps" `Quick test_pool_nested_helping;
+          Alcotest.test_case "exceptions propagate" `Quick test_pool_exception_propagates;
+          Alcotest.test_case "on_resolve fires after resolution" `Quick
+            test_pool_on_resolve_after_resolution;
+          Alcotest.test_case "shutdown semantics" `Quick test_pool_shutdown_semantics;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "hit/miss and exact keys" `Quick test_cache_hit_miss;
+          Alcotest.test_case "LRU eviction" `Quick test_cache_lru_eviction;
+          Alcotest.test_case "replace same key" `Quick test_cache_replace_same_key;
+          Alcotest.test_case "platform invalidation" `Quick test_cache_invalidate_platform;
+        ] );
+      ( "shard",
+        [
+          Alcotest.test_case "bit-identical to sequential" `Slow test_shard_equivalence;
+          Alcotest.test_case "diagnostics" `Quick test_shard_diag;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "session semantics" `Quick test_session_semantics;
+          Alcotest.test_case "golden transcript" `Quick test_golden_transcript;
+          Alcotest.test_case "oversized frame closes the connection" `Quick
+            test_oversized_frame_closes_connection;
+          Alcotest.test_case "mid-request disconnect" `Quick test_mid_request_disconnect;
+          Alcotest.test_case "use_cache:false bypasses the cache" `Quick
+            test_client_call_no_cache;
+          Alcotest.test_case "address parsing" `Quick test_address_parsing;
+        ] );
+    ]

@@ -1318,6 +1318,38 @@ let test_rollout_readmission () =
     (not (Tree.mem r.Scenario.final_tree 2)
     && not (Tree.mem r.Scenario.final_tree 3))
 
+(* Incremental twin of [test_rollout_readmission]: the controller now
+   threads its write-off ledger into the patcher as [~recovered], so the
+   same crash/recover/crash schedule must re-admit the recovered node
+   WITHOUT the full-replan fallback doing it implicitly — the final
+   replan stays [Incremental] and still serves the recovered node. *)
+let test_incremental_readmission () =
+  let faults =
+    Faults.make_exn ~service_timeout:0.5 ~patience:0.2 ()
+    |> Faults.crash ~node:1 ~at:1.0 ~recover_at:6.0
+    |> Faults.crash ~node:3 ~at:1.0
+    |> Faults.crash ~node:2 ~at:7.0
+  in
+  let s =
+    controller_scenario
+      ~controller:(controller_config ~min_gain:0.0 ())
+      ~faults ~seed:7 ()
+  in
+  let r = Scenario.run_fixed s ~clients:12 ~warmup:0.5 ~duration:10.0 in
+  Alcotest.(check bool) "the write-off and the re-admission both happened"
+    true
+    (List.length r.Scenario.replans >= 2);
+  let last = List.nth r.Scenario.replans (List.length r.Scenario.replans - 1) in
+  Alcotest.(check string)
+    "re-admission went through the patcher, not the full fallback"
+    "incremental"
+    (Adept.Planner.replan_mode_name last.Controller.mode);
+  Alcotest.(check bool) "recovered node serves in the final hierarchy" true
+    (Tree.mem r.Scenario.final_tree 1);
+  Alcotest.(check bool) "corpses stay out" true
+    (not (Tree.mem r.Scenario.final_tree 2)
+    && not (Tree.mem r.Scenario.final_tree 3))
+
 (* The canonical demo reaches both verdicts: nothing further goes wrong
    and the canary promotes; a node dies mid-bake and the canary rolls
    back, citing the alert that condemned it. *)
@@ -1696,6 +1728,8 @@ let () =
           Alcotest.test_case "direct bit-identical" `Slow
             test_rollout_direct_bit_identical;
           Alcotest.test_case "node re-admission" `Slow test_rollout_readmission;
+          Alcotest.test_case "incremental node re-admission" `Slow
+            test_incremental_readmission;
           Alcotest.test_case "demo outcomes" `Slow test_rollout_demo_outcomes;
           Alcotest.test_case "golden timeline" `Slow
             test_rollout_golden_timeline;
