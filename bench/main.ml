@@ -23,6 +23,7 @@ module Scache = Adept_serve.Cache
 module Srender = Adept_serve.Render
 module Sserver = Adept_serve.Server
 module Sclient = Adept_serve.Client
+module Sprof = Adept_serve.Prof
 
 let params = Adept_model.Params.diet_lyon
 
@@ -464,6 +465,83 @@ let bench_serve_plan_cached =
                   })
          | None -> failwith "serve/plan-cached: unexpected cache miss"))
 
+(* The cold plan with the full tracing tax a sampled request pays on
+   the serving path: worker-side stage samples (mutex + raw clock
+   reads), span grafting into the trace store, and the finish
+   accounting.  Its distance from serve/plan-cold IS the observability
+   overhead — gated below. *)
+let traced_plan_store =
+  lazy (Adept_obs.Request_trace.create ~sample_rate:1.0 ~max_traces:8 ())
+
+let run_plan_traced () =
+  let module Rt = Adept_obs.Request_trace in
+  let traces = Lazy.force traced_plan_store in
+  let now = Unix.gettimeofday in
+  let t0 = now () in
+  match Rt.begin_with_id traces ~id:1 ~now:t0 with
+  | None -> failwith "serve/plan-traced: rate-1.0 request not sampled"
+  | Some h ->
+      let prof = Sprof.create ~now in
+      (match Srender.plan ~prof serve_plan_params with
+      | Ok (_text, _rho, _nodes_used) -> ()
+      | Error e -> failwith e);
+      let parent = ref (-1) in
+      List.iter
+        (fun (s : Sprof.sample) ->
+          let kind =
+            Rt.Stage
+              (match s.Sprof.ps_stage with
+              | "shard" -> Rt.Shard_plan
+              | "replay" -> Rt.Replay
+              | _ -> Rt.Render_reply)
+          in
+          parent :=
+            Rt.add_span traces h ~parent:!parent ~kind
+              ~node:(max 0 s.Sprof.ps_shard) ~start:s.Sprof.ps_start
+              ~stop:s.Sprof.ps_stop)
+        (Sprof.samples prof);
+      Rt.finish traces h ~now:(now ())
+
+let bench_serve_plan_traced =
+  Bechamel.Test.make ~name:"serve/plan-traced"
+    (Bechamel.Staged.stage run_plan_traced)
+
+(* The wall-clock overhead gate on the hard invariant's cheap half:
+   tracing may not tax the request path.  Interleaved p50s (drift hits
+   both arms equally) of the traced and untraced cold plan; traced must
+   stay within 5%. *)
+let check_tracing_overhead () =
+  let iters = 30 in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  let untraced () =
+    match Srender.plan serve_plan_params with
+    | Ok _ -> ()
+    | Error e -> failwith e
+  in
+  (* warm both paths before measuring *)
+  untraced ();
+  run_plan_traced ();
+  let a = Array.make iters 0.0 and b = Array.make iters 0.0 in
+  for i = 0 to iters - 1 do
+    a.(i) <- time untraced;
+    b.(i) <- time run_plan_traced
+  done;
+  Array.sort compare a;
+  Array.sort compare b;
+  let p50 x = x.(Array.length x / 2) in
+  let ratio = p50 b /. p50 a in
+  Printf.printf
+    "tracing overhead: plan-cold p50 %.0f ns untraced, %.0f ns traced (%.3fx, gate 1.05x)\n"
+    (p50 a *. 1e9) (p50 b *. 1e9) ratio;
+  if ratio > 1.05 then begin
+    print_endline "bench: tracing overhead beyond the 1.05x gate";
+    exit 1
+  end
+
 (* Reads only the format write_bench_json produces (one result object per
    line) — good enough without a JSON dependency. *)
 let read_bench_json path =
@@ -526,15 +604,32 @@ let write_bench_json path entries =
    the systhreads tick thread.  With a variable set, the binary serves
    or drives load instead of benching. *)
 let serve_socket_var = "ADEPT_BENCH_SERVE_SOCKET"
+let serve_prom_var = "ADEPT_BENCH_SERVE_PROM"
 let client_socket_var = "ADEPT_BENCH_CLIENT_SOCKET"
 let client_window_var = "ADEPT_BENCH_CLIENT_WINDOW"
 let client_out_var = "ADEPT_BENCH_CLIENT_OUT"
+let client_trace_var = "ADEPT_BENCH_CLIENT_TRACE_BASE"
 
 let () =
   match Sys.getenv_opt serve_socket_var with
   | None -> ()
   | Some path ->
-      Sserver.run (Sserver.default_config (Sserver.Unix_socket path));
+      let config = Sserver.default_config (Sserver.Unix_socket path) in
+      let config =
+        (* with a scrape-file path set, the bench server runs fully
+           observed: every request traced, runtime events on, the
+           Prometheus snapshot atomically rewritten each second *)
+        match Sys.getenv_opt serve_prom_var with
+        | None -> config
+        | Some prom ->
+            {
+              config with
+              Sserver.obs =
+                Some
+                  { (Sserver.default_obs ()) with Sserver.prom_path = Some prom };
+            }
+      in
+      Sserver.run config;
       exit 0
 
 (* One closed-loop client: zero think time, wall-clock window shared
@@ -551,8 +646,11 @@ let run_serve_client path =
     | Some p -> p
     | None -> failwith ("bench client: " ^ client_out_var ^ " unset")
   in
+  let trace_base =
+    Option.bind (Sys.getenv_opt client_trace_var) int_of_string_opt
+  in
   let c =
-    match Sclient.connect_retry (Sserver.Unix_socket path) with
+    match Sclient.connect_retry ?trace_base (Sserver.Unix_socket path) with
     | Ok c -> c
     | Error e -> failwith ("bench client: " ^ e)
   in
@@ -600,7 +698,12 @@ let percentile sorted p =
 let run_serve_driver () =
   let path = Filename.temp_file "adept-bench-serve" ".sock" in
   Sys.remove path;
-  let server = spawn_with [| serve_socket_var ^ "=" ^ path |] in
+  let prom_out = "BENCH_serve_metrics.prom" in
+  let trace_out = "BENCH_serve_trace.json" in
+  let server =
+    spawn_with
+      [| serve_socket_var ^ "=" ^ path; serve_prom_var ^ "=" ^ prom_out |]
+  in
   Fun.protect
     ~finally:(fun () ->
       (try Unix.kill server Sys.sigterm with Unix.Unix_error _ -> ());
@@ -627,13 +730,16 @@ let run_serve_driver () =
         List.init clients (fun _ -> Filename.temp_file "adept-bench-lat" ".txt")
       in
       let pids =
-        List.map
-          (fun out ->
+        (* disjoint deterministic trace-id bases per client — ids never
+           collide, so the server's head sampling is reproducible *)
+        List.mapi
+          (fun i out ->
             spawn_with
               [|
                 client_socket_var ^ "=" ^ path;
                 client_window_var ^ "=" ^ window;
                 client_out_var ^ "=" ^ out;
+                client_trace_var ^ "=" ^ string_of_int ((i + 1) * 1_000_000);
               |])
           outs
       in
@@ -667,12 +773,42 @@ let run_serve_driver () =
       Printf.printf
         "serve: %d closed-loop clients over %.1fs: %.0f queries/s, p50 %.2f us, p99 %.2f us (%d queries)\n"
         clients duration qps (p50 /. 1e3) (p99 /. 1e3) total;
+      (* pull the wall-clock observability artifacts off the live
+         server before draining it: the slowest-request Chrome trace
+         and the live stats line *)
+      (match Sclient.connect_retry (Sserver.Unix_socket path) with
+      | Error e -> failwith ("bench serve: " ^ e)
+      | Ok c ->
+          (match Sclient.call c Sproto.Trace_dump with
+          | Ok (Sproto.Trace_ok { chrome }) ->
+              let oc = open_out trace_out in
+              output_string oc chrome;
+              close_out oc;
+              Printf.printf "wrote %s (%d bytes, chrome://tracing)\n" trace_out
+                (String.length chrome)
+          | Ok _ -> failwith "bench serve: unexpected trace reply"
+          | Error e -> failwith ("bench serve: trace dump: " ^ e));
+          (match Sclient.call c Sproto.Stats with
+          | Ok (Sproto.Stats_ok { Sproto.live = Some l; _ }) ->
+              Printf.printf
+                "serve live: p50 %.2f us, p99 %.2f us, cache hit %.1f%%, gc pause p99 %.2f us, %d traces sampled\n"
+                (l.Sproto.latency_p50 *. 1e6)
+                (l.Sproto.latency_p99 *. 1e6)
+                (100.0 *. l.Sproto.cache_hit_ratio)
+                (l.Sproto.gc_pause_p99 *. 1e6)
+                l.Sproto.traces_sampled
+          | Ok _ -> failwith "bench serve: stats carried no live block"
+          | Error e -> failwith ("bench serve: stats: " ^ e));
+          Sclient.close c);
       write_bench_json "BENCH_sim.json"
         [
           ("adept/serve/queries-per-sec", qps, total);
           ("adept/serve/query-latency-p50-ns", p50, total);
           ("adept/serve/query-latency-p99-ns", p99, total);
-        ])
+        ]);
+  (* the server rewrote the scrape file on its way out *)
+  if Sys.file_exists prom_out then
+    Printf.printf "wrote %s (Prometheus snapshot)\n" prom_out
 
 (* The perf trajectory gate: fresh micro results against a committed
    snapshot.  Only benchmarks present in both are compared; a mean more
@@ -711,6 +847,7 @@ let run_micro () =
         bench_event_queue; bench_xml;
         bench_plan_100k; bench_replan_incremental; bench_replan_full;
         bench_serve_plan_cold; bench_serve_plan_cached;
+        bench_serve_plan_traced;
       ]
   in
   let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 1.5) ~kde:(Some 1000) () in
@@ -788,6 +925,7 @@ let () =
     let fresh = run_micro () in
     match baseline with
     | Some (baseline_path, baseline) ->
-        compare_against ~baseline_path ~baseline ~tolerance fresh
+        compare_against ~baseline_path ~baseline ~tolerance fresh;
+        check_tracing_overhead ()
     | None -> ()
   end

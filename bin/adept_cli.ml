@@ -1489,8 +1489,45 @@ let parse_address s =
   | Error e -> exit_err ("bad --address: " ^ e)
 
 let serve_cmd =
-  let run address workers shards cache_capacity max_requests prom_out =
+  let run address workers shards cache_capacity max_requests prom_out live
+      trace_sample_rate access_log rules_file scrape_interval =
     let registry = Adept_obs.Registry.create () in
+    (* Any observability flag switches the live layer on; [--live] asks
+       for it with the defaults. *)
+    let obs_on =
+      live || trace_sample_rate <> None || access_log <> None
+      || rules_file <> None || scrape_interval <> None
+    in
+    let obs =
+      if not obs_on then None
+      else
+        let base = Serve.default_obs () in
+        let rules =
+          match rules_file with
+          | None -> base.Serve.rules
+          | Some path -> (
+              let text =
+                match In_channel.with_open_text path In_channel.input_all with
+                | text -> text
+                | exception Sys_error e -> exit_err e
+              in
+              match Adept_obs.Rule.parse text with
+              | Ok rules -> rules
+              | Error e -> exit_err ("bad --rules file: " ^ e))
+        in
+        Some
+          {
+            base with
+            Serve.trace_sample_rate =
+              Option.value ~default:base.Serve.trace_sample_rate
+                trace_sample_rate;
+            rules;
+            scrape_interval =
+              Option.value ~default:base.Serve.scrape_interval scrape_interval;
+            access_log;
+            prom_path = prom_out;
+          }
+    in
     Serve.run
       {
         Serve.address = parse_address address;
@@ -1499,12 +1536,17 @@ let serve_cmd =
         cache_capacity;
         max_requests;
         registry = Some registry;
+        obs;
       };
     Option.iter
       (fun path ->
-        Out_channel.with_open_text path (fun oc ->
-            Out_channel.output_string oc
-              (Adept_obs.Export.prometheus (Adept_obs.Registry.snapshot registry)));
+        (* With the live layer on the server already re-exported this
+           file on every scrape and once more at teardown. *)
+        if not obs_on then
+          Out_channel.with_open_text path (fun oc ->
+              Out_channel.output_string oc
+                (Adept_obs.Export.prometheus
+                   (Adept_obs.Registry.snapshot registry)));
         Printf.printf "wrote Prometheus text to %s\n" path)
       prom_out
   in
@@ -1529,13 +1571,48 @@ let serve_cmd =
   in
   let prom_out =
     Arg.(value & opt (some string) None & info [ "prom" ] ~docv:"FILE"
-           ~doc:"At drain, export the server metrics in Prometheus text format.")
+           ~doc:"Export the server metrics in Prometheus text format: at drain, \
+                 and (with live observability on) re-written atomically on \
+                 every scrape so it can be read mid-run.")
+  in
+  let live =
+    Arg.(value & flag & info [ "live" ]
+           ~doc:"Turn on wall-clock observability with the defaults: request \
+                 span tracing, runtime-events GC profiling, a periodic metrics \
+                 scrape and the built-in alert rules.  Never changes answers — \
+                 responses are byte-identical with or without it.")
+  in
+  let trace_sample_rate =
+    Arg.(value & opt (some float) None & info [ "trace-sample-rate" ]
+           ~docv:"RATE"
+           ~doc:"Fraction of trace-carrying requests to record as span chains \
+                 (0..1, default 1).  Sampling is a deterministic hash of the \
+                 client-sent trace id — no RNG.  Implies live observability.")
+  in
+  let access_log =
+    Arg.(value & opt (some string) None & info [ "access-log" ] ~docv:"FILE"
+           ~doc:"Append one JSON line per served request: trace id, method, \
+                 platform digest, cache hit/miss, shard count, wall-clock \
+                 duration, status.  Implies live observability.")
+  in
+  let rules_file =
+    Arg.(value & opt (some string) None & info [ "rules" ] ~docv:"FILE"
+           ~doc:"Alert rules file (see `adept monitor` rule syntax) evaluated \
+                 against the live metrics every scrape; replaces the built-in \
+                 serve rules.  Implies live observability.")
+  in
+  let scrape_interval =
+    Arg.(value & opt (some float) None & info [ "scrape-interval" ]
+           ~docv:"SECONDS"
+           ~doc:"Wall-clock seconds between metric scrapes and alert \
+                 evaluations (default 1).  Implies live observability.")
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the planner as a long-lived, concurrent, sharded service")
     Term.(const run $ address_arg $ workers $ shards $ cache_capacity
-          $ max_requests $ prom_out)
+          $ max_requests $ prom_out $ live $ trace_sample_rate $ access_log
+          $ rules_file $ scrape_interval)
 
 (* The query-side platform description: a catalog file is shipped inline
    (the server may be remote), synthetic parameters go as-is. *)
@@ -1550,7 +1627,10 @@ let spec_of file n power bandwidth hetero seed =
         { nodes = n; power; bandwidth; heterogeneous = hetero; seed }
 
 let query_call address request =
-  match Query.connect_retry (parse_address address) with
+  (* always carry trace context: ids are the connection's request ids
+     (deterministic, no RNG), servers without observability — and old
+     servers — simply ignore the envelope member *)
+  match Query.connect_retry ~trace_base:0 (parse_address address) with
   | Error e -> exit_err ("cannot connect: " ^ e)
   | Ok c -> (
       let r = Query.call c request in
@@ -1655,30 +1735,179 @@ let query_observe_cmd =
           $ bandwidth_arg $ hetero_arg $ seed_arg $ dgemm_arg $ demand_arg
           $ strategy_arg $ clients $ warmup $ duration)
 
+let print_stats (s : Proto.server_stats) =
+  Printf.printf "requests: plan=%d replan=%d observe=%d stats=%d\n"
+    s.Proto.plan_requests s.Proto.replan_requests s.Proto.observe_requests
+    s.Proto.stats_requests;
+  Printf.printf "errors: %d\n" s.Proto.errors;
+  Printf.printf "cache: hits=%d misses=%d evictions=%d invalidations=%d\n"
+    s.Proto.cache_hits s.Proto.cache_misses s.Proto.cache_evictions
+    s.Proto.cache_invalidations;
+  Printf.printf "coalesced: %d\n" s.Proto.coalesced;
+  Printf.printf "workers: %d shards: %d\n" s.Proto.workers s.Proto.shards;
+  match s.Proto.live with
+  | None -> ()
+  | Some l ->
+      Printf.printf "uptime: %.1fs\n" l.Proto.uptime_seconds;
+      Printf.printf "latency: p50=%.3fms p99=%.3fms\n"
+        (l.Proto.latency_p50 *. 1e3) (l.Proto.latency_p99 *. 1e3);
+      Printf.printf "cache hit ratio: %.1f%%\n"
+        (l.Proto.cache_hit_ratio *. 100.0);
+      Printf.printf "gc pause p99: %.3fms\n" (l.Proto.gc_pause_p99 *. 1e3);
+      Printf.printf "domain busy:%s\n"
+        (String.concat ""
+           (List.mapi
+              (fun i r -> Printf.sprintf " [%d]=%.0f%%" i (r *. 100.0))
+              l.Proto.domain_busy));
+      Printf.printf "traces sampled: %d\n" l.Proto.traces_sampled;
+      Printf.printf "alerts firing:%s\n"
+        (match l.Proto.firing_alerts with
+        | [] -> " none"
+        | alerts ->
+            String.concat ""
+              (List.map
+                 (fun (name, sev) -> Printf.sprintf " %s(%s)" name sev)
+                 alerts))
+
 let query_stats_cmd =
   let run address =
     match query_call address Proto.Stats with
-    | Proto.Stats_ok s ->
-        Printf.printf "requests: plan=%d replan=%d observe=%d stats=%d\n"
-          s.Proto.plan_requests s.Proto.replan_requests s.Proto.observe_requests
-          s.Proto.stats_requests;
-        Printf.printf "errors: %d\n" s.Proto.errors;
-        Printf.printf "cache: hits=%d misses=%d evictions=%d invalidations=%d\n"
-          s.Proto.cache_hits s.Proto.cache_misses s.Proto.cache_evictions
-          s.Proto.cache_invalidations;
-        Printf.printf "coalesced: %d\n" s.Proto.coalesced;
-        Printf.printf "workers: %d shards: %d\n" s.Proto.workers s.Proto.shards
+    | Proto.Stats_ok s -> print_stats s
     | _ -> exit_err "server sent a mismatched response"
   in
   Cmd.v
-    (Cmd.info "stats" ~doc:"Print the server's request and cache counters")
+    (Cmd.info "stats"
+       ~doc:"Print the server's request and cache counters (plus live \
+             latency/GC/alert state when the server runs with observability \
+             on)")
     Term.(const run $ address_arg)
+
+let query_trace_cmd =
+  let run address out =
+    match query_call address Proto.Trace_dump with
+    | Proto.Trace_ok { chrome } -> (
+        match out with
+        | None -> print_string chrome
+        | Some path ->
+            Out_channel.with_open_text path (fun oc ->
+                Out_channel.output_string oc chrome);
+            Printf.printf "wrote Chrome trace JSON to %s\n" path)
+    | _ -> exit_err "server sent a mismatched response"
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE"
+           ~doc:"Write the trace document here instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Dump the server's slowest sampled requests as Chrome trace-event \
+             JSON (open in Perfetto): frame read, parse, cache lookup, \
+             per-shard plan, replay, render and write spans per request")
+    Term.(const run $ address_arg $ out)
 
 let query_cmd =
   Cmd.group
     (Cmd.info "query"
        ~doc:"Send planning requests to a running `adept serve` instance")
-    [ query_plan_cmd; query_replan_cmd; query_observe_cmd; query_stats_cmd ]
+    [ query_plan_cmd; query_replan_cmd; query_observe_cmd; query_stats_cmd;
+      query_trace_cmd ]
+
+(* ---------- top ---------- *)
+
+let top_cmd =
+  let run address interval count once =
+    let c =
+      match Query.connect_retry (parse_address address) with
+      | Error e -> exit_err ("cannot connect: " ^ e)
+      | Ok c -> c
+    in
+    let total (s : Proto.server_stats) =
+      s.Proto.plan_requests + s.Proto.replan_requests
+      + s.Proto.observe_requests + s.Proto.stats_requests
+    in
+    let fetch () =
+      match Query.call c Proto.Stats with
+      | Ok (Proto.Stats_ok s) -> s
+      | Ok (Proto.Error kind) ->
+          Query.close c;
+          exit_err (snd (Proto.error_kind_fields kind))
+      | Ok _ -> Query.close c; exit_err "server sent a mismatched response"
+      | Error e -> Query.close c; exit_err e
+    in
+    let frames = if once then 1 else count in
+    let rec loop i prev =
+      let s = fetch () in
+      let at = Unix.gettimeofday () in
+      (* QPS from the counter delta between successive polls — the
+         server does not need a rate endpoint. *)
+      let qps =
+        match prev with
+        | Some (t0, n0) when at > t0 ->
+            float_of_int (total s - n0) /. (at -. t0)
+        | _ -> 0.0
+      in
+      if not once then print_string "\027[2J\027[H";
+      Printf.printf "adept top — %s\n\n" address;
+      Printf.printf "requests: %d (%.1f qps)  errors: %d  coalesced: %d\n"
+        (total s) qps s.Proto.errors s.Proto.coalesced;
+      (match s.Proto.live with
+      | None ->
+          print_string
+            "live observability is off on this server \
+             (start `adept serve` with --live)\n"
+      | Some l ->
+          Printf.printf "uptime: %.1fs  traces sampled: %d\n"
+            l.Proto.uptime_seconds l.Proto.traces_sampled;
+          Printf.printf "latency: p50=%.3fms p99=%.3fms  gc pause p99: %.3fms\n"
+            (l.Proto.latency_p50 *. 1e3) (l.Proto.latency_p99 *. 1e3)
+            (l.Proto.gc_pause_p99 *. 1e3);
+          Printf.printf "cache: %.1f%% hit (hits=%d misses=%d evictions=%d)\n"
+            (l.Proto.cache_hit_ratio *. 100.0)
+            s.Proto.cache_hits s.Proto.cache_misses s.Proto.cache_evictions;
+          Printf.printf "domains:%s\n"
+            (match l.Proto.domain_busy with
+            | [] -> " (no scrape yet)"
+            | busy ->
+                String.concat ""
+                  (List.mapi
+                     (fun i r -> Printf.sprintf " [%d] %.0f%%" i (r *. 100.0))
+                     busy));
+          Printf.printf "alerts:%s\n"
+            (match l.Proto.firing_alerts with
+            | [] -> " none firing"
+            | alerts ->
+                String.concat ""
+                  (List.map
+                     (fun (name, sev) -> Printf.sprintf " %s(%s)" name sev)
+                     alerts)));
+      flush stdout;
+      if frames = 0 || i < frames then begin
+        Unix.sleepf interval;
+        loop (i + 1) (Some (at, total s))
+      end
+    in
+    loop 1 None;
+    Query.close c
+  in
+  let interval =
+    Arg.(value & opt float 1.0 & info [ "interval"; "i" ] ~docv:"SECONDS"
+           ~doc:"Seconds between refreshes.")
+  in
+  let count =
+    Arg.(value & opt int 0 & info [ "count"; "n" ] ~docv:"N"
+           ~doc:"Stop after N frames (0 = run until interrupted).")
+  in
+  let once =
+    Arg.(value & flag & info [ "once" ]
+           ~doc:"Print one snapshot without clearing the screen and exit \
+                 (scripting/CI).")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:"Live terminal view of a running `adept serve`: QPS, latency \
+             quantiles, cache hit ratio, GC pauses, per-domain utilization \
+             and firing alerts, refreshed in place")
+    Term.(const run $ address_arg $ interval $ count $ once)
 
 let main =
   let doc = "Automatic middleware deployment planning (ADePT)" in
@@ -1688,6 +1917,7 @@ let main =
       platform_cmd; plan_cmd; eval_cmd; simulate_cmd; observe_cmd; trace_cmd;
       monitor_cmd; replan_cmd; rollout_cmd; compare_cmd; improve_cmd;
       latency_cmd; experiment_cmd; bench_node_cmd; serve_cmd; query_cmd;
+      top_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -75,7 +75,7 @@ let build ~store ~tree ?(utilization = []) ?predicted () =
         | Rt.Send _ -> { r with at_send = r.at_send +. s }
         | Rt.Wire _ -> { r with at_wire = r.at_wire +. s }
         | Rt.Recv _ -> { r with at_recv = r.at_recv +. s }
-        | Rt.Compute _ -> { r with at_compute = r.at_compute +. s }
+        | Rt.Compute _ | Rt.Stage _ -> { r with at_compute = r.at_compute +. s }
       in
       current := Some r)
     (Rt.aggregates store);

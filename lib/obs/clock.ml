@@ -1,0 +1,44 @@
+type t =
+  | Manual of { mutable current : float }
+  | Source of { read : unit -> float; mutable last : float }
+
+let manual ?(start = 0.0) () =
+  if Float.is_nan start then invalid_arg "Clock.manual: start must not be NaN";
+  Manual { current = start }
+
+let source read = Source { read; last = neg_infinity }
+
+let now = function
+  | Manual m -> m.current
+  | Source s ->
+      (* Clamp rather than raise: a stepped wall clock must never take
+         the scrape loop down, only stall the series until real time
+         catches back up. *)
+      let v = s.read () in
+      if v > s.last then s.last <- v;
+      s.last
+
+let advance t by =
+  match t with
+  | Source _ -> invalid_arg "Clock.advance: source clocks advance themselves"
+  | Manual m ->
+      if Float.is_nan by || by < 0.0 then
+        invalid_arg "Clock.advance: delta must be >= 0";
+      m.current <- m.current +. by
+
+let set t at =
+  match t with
+  | Source _ -> invalid_arg "Clock.set: source clocks advance themselves"
+  | Manual m ->
+      if Float.is_nan at || at < m.current then
+        invalid_arg "Clock.set: time must not decrease";
+      m.current <- at
+
+let is_manual = function Manual _ -> true | Source _ -> false
+
+(* For worker domains: a plain reading function with no shared mutable
+   clamp state, so concurrent readers race on nothing.  Manual clocks
+   hand out the current value (tests drive those single-domain). *)
+let raw = function
+  | Manual m -> fun () -> m.current
+  | Source s -> s.read

@@ -1,0 +1,45 @@
+(** One [now] provider for every time-consuming observability layer.
+
+    {!Timeseries}, {!Rule}, {!Alert} and {!Request_trace} all take
+    explicit [now] floats, which makes them time-source agnostic; a
+    clock is the thing that produces those floats.  Two sources cover
+    every use:
+
+    - a {e manual} clock, advanced by the caller — simulated time (the
+      simulator's event loop) and deterministic tests;
+    - a monotonic {e source} clock wrapping an external reader (e.g.
+      [Unix.gettimeofday]) — wall-clock serving.  Reads are clamped to
+      be non-decreasing, so a stepped system clock can never violate
+      the [Timeseries.scrape] monotonicity contract.
+
+    [Adept_obs] deliberately has no [unix] dependency: the wall reader
+    is injected by the serving layer ({!source}), not baked in here. *)
+
+type t
+
+val manual : ?start:float -> unit -> t
+(** A clock that only moves when told to ([start] defaults to [0.]). *)
+
+val source : (unit -> float) -> t
+(** Wrap an external time reader.  The first {!now} fixes the baseline;
+    later reads never go backwards (clamped, not raised). *)
+
+val now : t -> float
+(** Current time.  Manual clocks return the set instant; source clocks
+    read and clamp. *)
+
+val advance : t -> float -> unit
+(** Move a manual clock forward by a non-negative delta.
+    @raise Invalid_argument on a source clock or a negative delta. *)
+
+val set : t -> float -> unit
+(** Jump a manual clock to an absolute, non-decreasing instant.
+    @raise Invalid_argument on a source clock or a decreasing instant. *)
+
+val is_manual : t -> bool
+
+val raw : t -> unit -> float
+(** The clock's underlying reading function, without the monotonic
+    clamp — safe to hand to other domains (no shared mutable state is
+    touched by calling it).  Worker-side profiling uses this; the
+    event-loop side keeps using {!now}. *)

@@ -21,7 +21,7 @@ let add share (sp : Rt.span) =
   | Rt.Send _ -> { share with s_send = share.s_send +. d }
   | Rt.Wire _ -> { share with s_wire = share.s_wire +. d }
   | Rt.Recv _ -> { share with s_recv = share.s_recv +. d }
-  | Rt.Compute _ -> { share with s_compute = share.s_compute +. d }
+  | Rt.Compute _ | Rt.Stage _ -> { share with s_compute = share.s_compute +. d }
 
 let by_element tr =
   let tbl = Hashtbl.create 16 in
@@ -39,6 +39,7 @@ let eq_label = function
   | Rt.Compute Rt.Wrep -> "Wrep(d)/w (Eq. 3)"
   | Rt.Compute Rt.Wpre -> "Wpre/w (Eq. 4)"
   | Rt.Compute Rt.Service -> "Wapp/w (Eq. 5)"
+  | Rt.Stage _ -> "serve stage"
   | Rt.Wire _ -> "link latency"
   | (Rt.Send m | Rt.Recv m) -> (
       match m with

@@ -261,8 +261,13 @@ let chrome_trace store =
                  "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"args\":{\"name\":%s}}"
                  pid tid
                  (Label.json_string
-                    (if sp.Rt.sp_node < 0 then "client/net"
-                     else Printf.sprintf "node %d" sp.Rt.sp_node)))
+                    (match sp.Rt.sp_kind with
+                    | Rt.Stage _ ->
+                        if sp.Rt.sp_node < 0 then "server"
+                        else Printf.sprintf "shard %d" sp.Rt.sp_node
+                    | _ ->
+                        if sp.Rt.sp_node < 0 then "client/net"
+                        else Printf.sprintf "node %d" sp.Rt.sp_node)))
           end;
           let cat =
             match sp.Rt.sp_kind with
@@ -271,6 +276,7 @@ let chrome_trace store =
             | Rt.Wire (Rt.Service_request | Rt.Service_reply)
             | Rt.Recv (Rt.Service_request | Rt.Service_reply) ->
                 "service"
+            | Rt.Stage _ -> "serve"
             | _ -> "sched"
           in
           emit

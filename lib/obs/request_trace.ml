@@ -2,7 +2,21 @@ type message = Submit | Forward | Reply | Answer | Service_request | Service_rep
 
 type step = Wreq | Wrep | Wpre | Service
 
-type kind = Send of message | Wire of message | Recv of message | Compute of step
+type stage =
+  | Frame_read
+  | Parse
+  | Cache_lookup
+  | Shard_plan
+  | Replay
+  | Render_reply
+  | Write_reply
+
+type kind =
+  | Send of message
+  | Wire of message
+  | Recv of message
+  | Compute of step
+  | Stage of stage
 
 let message_name = function
   | Submit -> "submit"
@@ -18,15 +32,25 @@ let step_name = function
   | Wpre -> "wpre"
   | Service -> "service"
 
+let stage_name = function
+  | Frame_read -> "frame_read"
+  | Parse -> "parse"
+  | Cache_lookup -> "cache_lookup"
+  | Shard_plan -> "shard_plan"
+  | Replay -> "replay"
+  | Render_reply -> "render"
+  | Write_reply -> "write"
+
 let kind_name = function
   | Send m -> "send." ^ message_name m
   | Wire m -> "wire." ^ message_name m
   | Recv m -> "recv." ^ message_name m
   | Compute s -> "compute." ^ step_name s
+  | Stage s -> "serve." ^ stage_name s
 
 let message_of_kind = function
   | Send m | Wire m | Recv m -> Some m
-  | Compute _ -> None
+  | Compute _ | Stage _ -> None
 
 (* Total order on kinds for deterministic aggregate listings. *)
 let message_rank = function
@@ -39,11 +63,21 @@ let message_rank = function
 
 let step_rank = function Wreq -> 0 | Wrep -> 1 | Wpre -> 2 | Service -> 3
 
+let stage_rank = function
+  | Frame_read -> 0
+  | Parse -> 1
+  | Cache_lookup -> 2
+  | Shard_plan -> 3
+  | Replay -> 4
+  | Render_reply -> 5
+  | Write_reply -> 6
+
 let kind_rank = function
   | Send m -> (0, message_rank m)
   | Wire m -> (1, message_rank m)
   | Recv m -> (2, message_rank m)
   | Compute s -> (3, step_rank s)
+  | Stage s -> (4, stage_rank s)
 
 let compare_kind a b = compare (kind_rank a) (kind_rank b)
 
@@ -93,6 +127,7 @@ type t = {
   max_traces : int;
   max_spans : int;
   mutable next_id : int;
+  mutable n_seen : int;
   mutable n_sampled : int;
   mutable n_finished : int;
   mutable n_abandoned : int;
@@ -112,6 +147,7 @@ let create ?(sample_rate = 1.0) ?(max_traces = 32) ?(max_spans = 4096) () =
     max_traces;
     max_spans;
     next_id = 0;
+    n_seen = 0;
     n_sampled = 0;
     n_finished = 0;
     n_abandoned = 0;
@@ -138,9 +174,8 @@ let would_sample t id =
   else if t.rate <= 0.0 then false
   else hash_unit id < t.rate
 
-let begin_request t ~now =
-  let id = t.next_id in
-  t.next_id <- t.next_id + 1;
+let open_handle t id ~now =
+  t.n_seen <- t.n_seen + 1;
   if would_sample t id then begin
     t.n_sampled <- t.n_sampled + 1;
     Some
@@ -154,6 +189,16 @@ let begin_request t ~now =
       }
   end
   else None
+
+let begin_request t ~now =
+  let id = t.next_id in
+  t.next_id <- t.next_id + 1;
+  open_handle t id ~now
+
+(* Serving path: the trace id travels with the request envelope, so the
+   client picks it and every tier's sampling decision agrees (same hash,
+   same rate => same verdict). *)
+let begin_with_id t ~id ~now = open_handle t id ~now
 
 let trace_id h = h.h_id
 
@@ -238,7 +283,7 @@ let abandon t h =
   ignore h;
   t.n_abandoned <- t.n_abandoned + 1
 
-let requests_seen t = t.next_id
+let requests_seen t = t.n_seen
 
 let sampled t = t.n_sampled
 

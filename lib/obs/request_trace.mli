@@ -35,11 +35,24 @@ type step =
   | Wpre  (** Server prediction, Eq. 4. *)
   | Service  (** Server application execution, Eq. 5. *)
 
+(** Stages of one planning-server request (the wall-clock serving path,
+    in causal order).  [Shard_plan] spans carry the shard index in
+    [sp_node]; every other stage uses node -1 (the serving process). *)
+type stage =
+  | Frame_read  (** Socket read until the frame completed. *)
+  | Parse  (** JSON decode of the request envelope. *)
+  | Cache_lookup  (** Plan-fragment cache probe. *)
+  | Shard_plan  (** One per-shard hint computation on a worker domain. *)
+  | Replay  (** Sequential bisection replay over the memoized probes. *)
+  | Render_reply  (** Formatting the reply text. *)
+  | Write_reply  (** Frame write back to the client. *)
+
 type kind =
   | Send of message  (** Sender-side port time (queue wait included). *)
   | Wire of message  (** Link latency between the two ports. *)
   | Recv of message  (** Receiver-side port time (queue wait included). *)
   | Compute of step  (** A booked or charged computation. *)
+  | Stage of stage  (** A planning-server request stage (wall clock). *)
 
 val kind_name : kind -> string
 (** Stable [send.submit] / [compute.wrep] style names (used by the
@@ -97,6 +110,12 @@ val begin_request : t -> now:float -> handle option
 (** Assign the next trace id (ids advance for unsampled requests too, so
     the sampled id set is independent of the rate) and open a handle if
     the id is sampled. *)
+
+val begin_with_id : t -> id:int -> now:float -> handle option
+(** Open a handle for an externally assigned trace id — the serving
+    path, where the id travels inside the request envelope.  Sampling
+    is the same deterministic hash as {!begin_request}; the internal id
+    sequence does not advance. *)
 
 val trace_id : handle -> int
 

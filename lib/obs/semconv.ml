@@ -51,6 +51,17 @@ let serve_cache_invalidations_total = "adept_serve_cache_invalidations_total"
 let serve_coalesced_total = "adept_serve_coalesced_total"
 let serve_inflight_requests = "adept_serve_inflight_requests"
 let serve_request_seconds = "adept_serve_request_seconds"
+let serve_cache_hit_ratio = "adept_serve_cache_hit_ratio"
+let serve_cache_eviction_age_seconds = "adept_serve_cache_eviction_age_seconds"
+let serve_traces_sampled_total = "adept_serve_traces_sampled_total"
+let serve_scrapes_total = "adept_serve_scrapes_total"
+
+let runtime_gc_pause_seconds = "adept_runtime_gc_pause_seconds"
+let runtime_domain_busy_ratio = "adept_runtime_domain_busy_ratio"
+let runtime_events_total = "adept_runtime_events_total"
+
+let l_phase = "phase"
+let l_domain = "domain"
 
 let model_predicted_rho = "adept_model_predicted_rho"
 let model_rho_sched = "adept_model_rho_sched"
@@ -106,6 +117,19 @@ let help_table =
       "Requests answered by an identical in-flight computation." );
     (serve_inflight_requests, "Server requests currently being computed.");
     (serve_request_seconds, "Wall-clock seconds per answered request, by method.");
+    ( serve_cache_hit_ratio,
+      "Plan-fragment cache hits / lookups since server start (gauge)." );
+    ( serve_cache_eviction_age_seconds,
+      "Age of plan-fragment cache entries at LRU eviction." );
+    ( serve_traces_sampled_total,
+      "Requests whose trace context was head-sampled into the span store." );
+    (serve_scrapes_total, "Wall-clock registry scrapes taken by the server.");
+    ( runtime_gc_pause_seconds,
+      "OCaml runtime GC pause/phase durations from Runtime_events, by phase." );
+    ( runtime_domain_busy_ratio,
+      "Fraction of the last scrape interval each worker domain spent running tasks." );
+    ( runtime_events_total,
+      "Runtime_events records consumed from the runtime tracing ring." );
     ( model_predicted_rho,
       "Eq. 16 throughput predicted for the currently deployed tree." );
     (model_rho_sched, "Scheduling-side capacity of Eq. 16 (Eqs. 6-11).");

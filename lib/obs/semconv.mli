@@ -41,7 +41,14 @@ val l_step : string
 
 val l_method : string
 (** ["method"] — planning-server request method: [plan] / [replan] /
-    [observe] / [stats]. *)
+    [observe] / [stats] / [trace]. *)
+
+val l_phase : string
+(** ["phase"] — OCaml runtime phase name on [runtime_gc_pause_seconds]
+    samples: [minor] / [major] / [major_slice] / [stw_leader] / ... *)
+
+val l_domain : string
+(** ["domain"] — worker-domain index as a decimal string. *)
 
 val node_label : int -> string * string
 
@@ -94,6 +101,16 @@ val serve_cache_invalidations_total : string
 val serve_coalesced_total : string
 val serve_inflight_requests : string
 val serve_request_seconds : string
+val serve_cache_hit_ratio : string
+val serve_cache_eviction_age_seconds : string
+val serve_traces_sampled_total : string
+val serve_scrapes_total : string
+
+(** {1 OCaml runtime (Runtime_events)} *)
+
+val runtime_gc_pause_seconds : string
+val runtime_domain_busy_ratio : string
+val runtime_events_total : string
 
 (** {1 Monitor} *)
 

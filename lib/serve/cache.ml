@@ -21,6 +21,7 @@ type slot = {
   e_wapp : float;
   e_demand : float option;
   entry : entry;
+  inserted : float;  (** wall instant of insertion (0. when untimed) *)
   mutable last_used : int;
 }
 
@@ -38,15 +39,17 @@ type t = {
   mutable population : int;
   mutable tick : int;
   stats : stats;
+  on_evict : (age:float -> unit) option;
 }
 
-let create ?(capacity = 128) () =
+let create ?(capacity = 128) ?on_evict () =
   {
     capacity = max 1 capacity;
     buckets = Hashtbl.create 64;
     population = 0;
     tick = 0;
     stats = { hits = 0; misses = 0; evictions = 0; invalidations = 0 };
+    on_evict;
   }
 
 let band f = Printf.sprintf "%.3g" f
@@ -79,7 +82,7 @@ let find t ~digest ~strategy ~wapp ~demand =
           None)
 
 (* O(population) LRU scan; capacity is small by design. *)
-let evict_lru t =
+let evict_lru t ~now =
   let victim = ref None in
   Hashtbl.iter
     (fun key slots ->
@@ -97,9 +100,12 @@ let evict_lru t =
       slots := List.filter (fun s -> s != v) !slots;
       if !slots = [] then Hashtbl.remove t.buckets key;
       t.population <- t.population - 1;
-      t.stats.evictions <- t.stats.evictions + 1
+      t.stats.evictions <- t.stats.evictions + 1;
+      Option.iter
+        (fun f -> f ~age:(Float.max 0.0 (now -. v.inserted)))
+        t.on_evict
 
-let add t ~digest ~strategy ~wapp ~demand entry =
+let add t ?(now = 0.0) ~digest ~strategy ~wapp ~demand entry =
   t.tick <- t.tick + 1;
   let key = band_key ~digest ~strategy ~wapp ~demand in
   let slots =
@@ -112,10 +118,12 @@ let add t ~digest ~strategy ~wapp ~demand entry =
   in
   let fresh = List.filter (fun s -> not (s.e_wapp = wapp && s.e_demand = demand)) !slots in
   if List.length fresh = List.length !slots then begin
-    if t.population >= t.capacity then evict_lru t;
+    if t.population >= t.capacity then evict_lru t ~now;
     t.population <- t.population + 1
   end;
-  slots := { e_wapp = wapp; e_demand = demand; entry; last_used = t.tick } :: fresh
+  slots :=
+    { e_wapp = wapp; e_demand = demand; entry; inserted = now; last_used = t.tick }
+    :: fresh
 
 let invalidate_platform t ~digest =
   let dropped = ref 0 in
@@ -137,6 +145,11 @@ let invalidate_platform t ~digest =
 
 let size t = t.population
 let hits t = t.stats.hits
+
+let hit_ratio t =
+  let lookups = t.stats.hits + t.stats.misses in
+  if lookups = 0 then 0.0 else float_of_int t.stats.hits /. float_of_int lookups
+
 let misses t = t.stats.misses
 let evictions t = t.stats.evictions
 let invalidations t = t.stats.invalidations

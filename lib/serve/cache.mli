@@ -12,8 +12,11 @@ type t
 
 type entry = { text : string; rho : float; nodes_used : int }
 
-val create : ?capacity:int -> unit -> t
-(** LRU capacity in entries, default 128 (clamped to >= 1). *)
+val create : ?capacity:int -> ?on_evict:(age:float -> unit) -> unit -> t
+(** LRU capacity in entries, default 128 (clamped to >= 1).  [on_evict]
+    observes every capacity eviction with the entry's age — insertion
+    to eviction, in whatever time base [add]'s [now] used (0. when the
+    caller never passes one). *)
 
 val find :
   t ->
@@ -26,6 +29,7 @@ val find :
 
 val add :
   t ->
+  ?now:float ->
   digest:string ->
   strategy:string ->
   wapp:float ->
@@ -33,7 +37,9 @@ val add :
   entry ->
   unit
 (** Insert (replacing any entry under the same exact key), evicting the
-    least-recently-used entry when at capacity. *)
+    least-recently-used entry when at capacity.  [now] (default 0.)
+    stamps the slot for eviction-age observability; it never affects
+    lookup or eviction decisions. *)
 
 val invalidate_platform : t -> digest:string -> int
 (** Drop every entry cached for this platform digest (driven by replan
@@ -41,6 +47,10 @@ val invalidate_platform : t -> digest:string -> int
 
 val size : t -> int
 val hits : t -> int
+
+val hit_ratio : t -> float
+(** [hits / (hits + misses)] since creation; 0. before any lookup. *)
+
 val misses : t -> int
 val evictions : t -> int
 val invalidations : t -> int

@@ -3,15 +3,23 @@
    is all [adept query] and the closed-loop bench driver need — each
    logical client holds one connection and waits for its answer. *)
 
-type t = { fd : Unix.file_descr; mutable next_id : int }
+type t = {
+  fd : Unix.file_descr;
+  mutable next_id : int;
+  (* When set, every call carries trace id [base + request id] — a
+     deterministic per-connection id space (bench client [i] passes a
+     disjoint base per client, so ids never collide across
+     connections and sampling stays reproducible without any RNG). *)
+  trace_base : int option;
+}
 
-let connect address =
+let connect ?trace_base address =
   match address with
   | Server.Unix_socket path ->
       let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
       (try Unix.connect fd (Unix.ADDR_UNIX path)
        with e -> Unix.close fd; raise e);
-      { fd; next_id = 1 }
+      { fd; next_id = 1; trace_base }
   | Server.Tcp (host, port) ->
       let addr =
         try (Unix.gethostbyname host).Unix.h_addr_list.(0)
@@ -20,13 +28,13 @@ let connect address =
       let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
       (try Unix.connect fd (Unix.ADDR_INET (addr, port))
        with e -> Unix.close fd; raise e);
-      { fd; next_id = 1 }
+      { fd; next_id = 1; trace_base }
 
 (* Retry the connect while the server is still binding — the CLI and CI
    start the server as a background process and race it. *)
-let connect_retry ?(attempts = 50) ?(delay = 0.1) address =
+let connect_retry ?(attempts = 50) ?(delay = 0.1) ?trace_base address =
   let rec go n =
-    match connect address with
+    match connect ?trace_base address with
     | c -> Ok c
     | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _)
       when n > 1 ->
@@ -37,10 +45,15 @@ let connect_retry ?(attempts = 50) ?(delay = 0.1) address =
   in
   go (max 1 attempts)
 
-let call t request =
+let call ?trace_id t request =
   let id = t.next_id in
   t.next_id <- id + 1;
-  Wire.write_frame t.fd (Protocol.encode_request { Protocol.id; request });
+  let trace =
+    match trace_id with
+    | Some _ -> trace_id
+    | None -> Option.map (fun base -> base + id) t.trace_base
+  in
+  Wire.write_frame t.fd (Protocol.encode_request { Protocol.id; trace; request });
   let rec read_mine () =
     let payload = Wire.read_frame t.fd in
     match Protocol.decode_reply payload with

@@ -3,19 +3,27 @@
 
 type t
 
-val connect : Server.address -> t
-(** Raises [Unix.Unix_error] when the server is not there. *)
+val connect : ?trace_base:int -> Server.address -> t
+(** Raises [Unix.Unix_error] when the server is not there.  With
+    [trace_base] set, every {!call} carries trace context: trace id
+    [trace_base + request id].  Callers holding several connections
+    should pass disjoint bases so trace ids never collide — the scheme
+    is deterministic by construction (no RNG), so the server's
+    head-sampling decisions are reproducible run to run. *)
 
 val connect_retry :
-  ?attempts:int -> ?delay:float -> Server.address -> (t, string) result
+  ?attempts:int -> ?delay:float -> ?trace_base:int -> Server.address ->
+  (t, string) result
 (** {!connect}, retrying connection-refused/absent-socket every [delay]
     seconds (defaults: 50 attempts, 0.1s) — for racing a server that is
     still starting. *)
 
-val call : t -> Protocol.request -> (Protocol.response, string) result
-(** Send one request, wait for its reply.  [Error] covers transport
-    failures (closed connection, oversized reply) and undecodable
-    replies; protocol-level failures arrive as [Protocol.Error]
-    responses inside [Ok]. *)
+val call : ?trace_id:int -> t -> Protocol.request -> (Protocol.response, string) result
+(** Send one request, wait for its reply.  [trace_id] overrides the
+    connection's trace id scheme for this one call (attach context on
+    an untraced connection, or pin a specific id).  [Error] covers
+    transport failures (closed connection, oversized reply) and
+    undecodable replies; protocol-level failures arrive as
+    [Protocol.Error] responses inside [Ok]. *)
 
 val close : t -> unit

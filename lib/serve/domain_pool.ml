@@ -20,6 +20,10 @@ type t = {
   mutable closed : bool;
   mutable domains : unit Domain.t array;
   workers : int;
+  (* Wall seconds each worker spent inside task bodies (help-while-await
+     nests inside the outer task and is covered by it).  One writer per
+     cell; [Atomic] so the event-loop domain reads torn-free. *)
+  busy : float Atomic.t array;
 }
 
 type 'a state = Pending | Done of 'a | Raised of exn * Printexc.raw_backtrace
@@ -37,14 +41,17 @@ let try_pop t =
   Mutex.unlock t.mutex;
   task
 
-let worker_loop t () =
+let worker_loop t idx () =
   let rec go () =
     Mutex.lock t.mutex;
     let rec wait () =
       match Queue.take_opt t.queue with
       | Some task ->
           Mutex.unlock t.mutex;
+          let started = Unix.gettimeofday () in
           task.run ();
+          Atomic.set t.busy.(idx)
+            (Atomic.get t.busy.(idx) +. (Unix.gettimeofday () -. started));
           true
       | None ->
           if t.closed then begin
@@ -74,12 +81,15 @@ let create ?workers () =
       closed = false;
       domains = [||];
       workers;
+      busy = Array.init workers (fun _ -> Atomic.make 0.0);
     }
   in
-  t.domains <- Array.init workers (fun _ -> Domain.spawn (worker_loop t));
+  t.domains <- Array.init workers (fun i -> Domain.spawn (worker_loop t i));
   t
 
 let size t = t.workers
+
+let busy_seconds t = Array.map Atomic.get t.busy
 
 let submit ?on_resolve t f =
   let fut = { state = Pending; fm = Mutex.create (); resolved = Condition.create (); pool = t } in

@@ -18,6 +18,12 @@ val create : ?workers:int -> unit -> t
 val size : t -> int
 (** Number of worker domains. *)
 
+val busy_seconds : t -> float array
+(** Cumulative wall seconds each worker domain has spent running task
+    bodies, indexed by worker.  Monotone; the scrape loop differences
+    consecutive snapshots into per-domain busy ratios.  Safe to call
+    from any domain. *)
+
 type 'a future
 
 val submit : ?on_resolve:(unit -> unit) -> t -> (unit -> 'a) -> 'a future

@@ -49,8 +49,13 @@ type request =
   | Replan of replan_params
   | Observe of observe_params
   | Stats
+  | Trace_dump
 
-type envelope = { id : int; request : request }
+(* [trace] is the optional trace context: a client-generated trace id
+   the server head-samples deterministically.  Old clients simply never
+   send it (the member is absent, not null), and old servers ignore it
+   — the field rides the envelope, so every method can carry it. *)
+type envelope = { id : int; trace : int option; request : request }
 
 type error_kind =
   | Parse_error  (** payload is not valid JSON *)
@@ -58,6 +63,20 @@ type error_kind =
   | Unknown_method of string
   | Invalid_params of string
   | Plan_failed of string  (** planner/simulator returned a typed error *)
+
+(* Wall-clock observability snapshot, present only when the server runs
+   with live observability on — the deterministic counters alone keep
+   the golden transcript reproducible. *)
+type live_stats = {
+  uptime_seconds : float;
+  latency_p50 : float;
+  latency_p99 : float;
+  cache_hit_ratio : float;
+  gc_pause_p99 : float;
+  domain_busy : float list;  (** per worker domain, last scrape interval *)
+  traces_sampled : int;
+  firing_alerts : (string * string) list;  (** (rule name, severity) *)
+}
 
 type server_stats = {
   plan_requests : int;
@@ -72,6 +91,7 @@ type server_stats = {
   coalesced : int;
   workers : int;
   shards : int;
+  live : live_stats option;
 }
 
 type response =
@@ -79,6 +99,7 @@ type response =
   | Replan_ok of { text : string; rho_after : float }
   | Observe_ok of { text : string; throughput : float }
   | Stats_ok of server_stats
+  | Trace_ok of { chrome : string }
   | Error of error_kind
 
 type reply = { reply_id : int; response : response }
@@ -141,21 +162,22 @@ let json_of_request = function
             ("duration", Json.Float o_duration);
           ] )
   | Stats -> ("stats", Json.Obj [])
+  | Trace_dump -> ("trace", Json.Obj [])
 
 (* The canonical encoding doubles as the cache/coalescing identity:
    equal specs encode equally (deterministic member order), and a
    catalog digest covers exactly the platform text. *)
 let spec_digest spec = Digest.to_hex (Digest.string (Json.to_string (json_of_spec spec)))
 
-let encode_request { id; request } =
+let encode_request { id; trace; request } =
   let method_, params = json_of_request request in
   Json.to_string
     (Json.Obj
-       [
-         ("id", Json.Int id);
-         ("method", Json.String method_);
-         ("params", params);
-       ])
+       (("id", Json.Int id)
+        :: (match trace with
+           | None -> []  (* absent, not null: old servers never see it *)
+           | Some tid -> [ ("trace", Json.Int tid) ])
+       @ [ ("method", Json.String method_); ("params", params) ]))
 
 let error_kind_fields = function
   | Parse_error -> ("parse-error", "request payload is not valid JSON")
@@ -164,30 +186,59 @@ let error_kind_fields = function
   | Invalid_params msg -> ("invalid-params", msg)
   | Plan_failed msg -> ("plan-failed", msg)
 
-let json_of_stats s =
+(* Non-finite floats would encode as JSON null and decode as absent;
+   clamp at the codec boundary so the fixpoint holds for every value a
+   misbehaving clock could produce. *)
+let finite v = if Float.is_finite v then v else 0.0
+
+let json_of_live l =
   Json.Obj
     [
-      ( "requests",
-        Json.Obj
-          [
-            ("plan", Json.Int s.plan_requests);
-            ("replan", Json.Int s.replan_requests);
-            ("observe", Json.Int s.observe_requests);
-            ("stats", Json.Int s.stats_requests);
-          ] );
-      ("errors", Json.Int s.errors);
-      ( "cache",
-        Json.Obj
-          [
-            ("hits", Json.Int s.cache_hits);
-            ("misses", Json.Int s.cache_misses);
-            ("evictions", Json.Int s.cache_evictions);
-            ("invalidations", Json.Int s.cache_invalidations);
-          ] );
-      ("coalesced", Json.Int s.coalesced);
-      ("workers", Json.Int s.workers);
-      ("shards", Json.Int s.shards);
+      ("uptime_seconds", Json.Float (finite l.uptime_seconds));
+      ("latency_p50", Json.Float (finite l.latency_p50));
+      ("latency_p99", Json.Float (finite l.latency_p99));
+      ("cache_hit_ratio", Json.Float (finite l.cache_hit_ratio));
+      ("gc_pause_p99", Json.Float (finite l.gc_pause_p99));
+      ( "domain_busy",
+        Json.List (List.map (fun v -> Json.Float (finite v)) l.domain_busy) );
+      ("traces_sampled", Json.Int l.traces_sampled);
+      ( "firing_alerts",
+        Json.List
+          (List.map
+             (fun (name, severity) ->
+               Json.Obj
+                 [
+                   ("name", Json.String name);
+                   ("severity", Json.String severity);
+                 ])
+             l.firing_alerts) );
     ]
+
+let json_of_stats s =
+  Json.Obj
+    ([
+       ( "requests",
+         Json.Obj
+           [
+             ("plan", Json.Int s.plan_requests);
+             ("replan", Json.Int s.replan_requests);
+             ("observe", Json.Int s.observe_requests);
+             ("stats", Json.Int s.stats_requests);
+           ] );
+       ("errors", Json.Int s.errors);
+       ( "cache",
+         Json.Obj
+           [
+             ("hits", Json.Int s.cache_hits);
+             ("misses", Json.Int s.cache_misses);
+             ("evictions", Json.Int s.cache_evictions);
+             ("invalidations", Json.Int s.cache_invalidations);
+           ] );
+       ("coalesced", Json.Int s.coalesced);
+       ("workers", Json.Int s.workers);
+       ("shards", Json.Int s.shards);
+     ]
+    @ match s.live with None -> [] | Some l -> [ ("live", json_of_live l) ])
 
 let encode_reply { reply_id; response } =
   let body =
@@ -211,6 +262,7 @@ let encode_reply { reply_id; response } =
             [ ("text", Json.String text); ("throughput", Json.Float throughput) ]
         )
     | Stats_ok s -> ("ok", json_of_stats s)
+    | Trace_ok { chrome } -> ("ok", Json.Obj [ ("chrome", Json.String chrome) ])
     | Error kind ->
         let k, msg = error_kind_fields kind in
         ("error", Json.Obj [ ("kind", Json.String k); ("message", Json.String msg) ])
@@ -300,6 +352,7 @@ let decode_params method_ params =
            { o_spec; o_dgemm; o_demand; o_strategy; o_seed; o_clients; o_warmup;
              o_duration })
   | "stats" -> Ok Stats
+  | "trace" -> Ok Trace_dump
   | other -> Stdlib.Error (Printf.sprintf "unknown method %S" other)
 
 type decoded = Request of envelope | Bad of int option * error_kind
@@ -312,15 +365,59 @@ let decode_request payload =
       match (id, Option.bind (Json.member "method" j) Json.to_string_v) with
       | None, _ | _, None -> Bad (id, Invalid_request)
       | Some id, Some method_ ->
-          if not (List.mem method_ [ "plan"; "replan"; "observe"; "stats" ]) then
-            Bad (Some id, Unknown_method method_)
+          if
+            not
+              (List.mem method_ [ "plan"; "replan"; "observe"; "stats"; "trace" ])
+          then Bad (Some id, Unknown_method method_)
           else
+            (* Absent or non-integer trace context degrades to "no
+               trace" — a malformed trace id must never reject an
+               otherwise valid request. *)
+            let trace = Option.bind (Json.member "trace" j) Json.to_int in
             let params =
               Option.value ~default:(Json.Obj []) (Json.member "params" j)
             in
             (match decode_params method_ params with
-            | Ok request -> Request { id; request }
+            | Ok request -> Request { id; trace; request }
             | Stdlib.Error msg -> Bad (Some id, Invalid_params msg)))
+
+(* Tolerant by construction: each member defaults independently, so a
+   newer server can grow the live block without breaking this client. *)
+let decode_live j =
+  let num name d =
+    Option.value ~default:d (Option.bind (Json.member name j) Json.to_float)
+  in
+  let domain_busy =
+    match Option.bind (Json.member "domain_busy" j) Json.to_list with
+    | None -> []
+    | Some items -> List.filter_map Json.to_float items
+  in
+  let firing_alerts =
+    match Option.bind (Json.member "firing_alerts" j) Json.to_list with
+    | None -> []
+    | Some items ->
+        List.filter_map
+          (fun a ->
+            match
+              ( Option.bind (Json.member "name" a) Json.to_string_v,
+                Option.bind (Json.member "severity" a) Json.to_string_v )
+            with
+            | Some name, Some severity -> Some (name, severity)
+            | _ -> None)
+          items
+  in
+  {
+    uptime_seconds = num "uptime_seconds" 0.0;
+    latency_p50 = num "latency_p50" 0.0;
+    latency_p99 = num "latency_p99" 0.0;
+    cache_hit_ratio = num "cache_hit_ratio" 0.0;
+    gc_pause_p99 = num "gc_pause_p99" 0.0;
+    domain_busy;
+    traces_sampled =
+      Option.value ~default:0
+        (Option.bind (Json.member "traces_sampled" j) Json.to_int);
+    firing_alerts;
+  }
 
 let decode_stats j =
   let req name =
@@ -372,6 +469,7 @@ let decode_stats j =
           coalesced;
           workers;
           shards;
+          live = Option.map decode_live (Json.member "live" j);
         }
   | _ -> None
 
@@ -421,10 +519,15 @@ let decode_reply payload =
                             { reply_id;
                               response = Observe_ok { text; throughput } }
                       | _ -> (
-                          match decode_stats ok with
-                          | Some s ->
-                              Result.Ok { reply_id; response = Stats_ok s }
-                          | None -> Result.Error "unrecognized ok payload"))))
+                          match str "chrome" with
+                          | Some chrome ->
+                              Result.Ok
+                                { reply_id; response = Trace_ok { chrome } }
+                          | None -> (
+                              match decode_stats ok with
+                              | Some s ->
+                                  Result.Ok { reply_id; response = Stats_ok s }
+                              | None -> Result.Error "unrecognized ok payload")))))
           | None, Some err -> (
               match
                 ( Option.bind (Json.member "kind" err) Json.to_string_v,

@@ -55,8 +55,15 @@ type request =
   | Replan of replan_params
   | Observe of observe_params
   | Stats
+  | Trace_dump
+      (** Dump the server's sampled-trace reservoir as Chrome-trace
+          JSON.  Observability read path: never touches planning state. *)
 
-type envelope = { id : int; request : request }
+type envelope = { id : int; trace : int option; request : request }
+(** [trace] is the optional trace context: a client-generated trace id
+    the server head-samples deterministically.  Old clients never send
+    it (absent member, not null) and old servers ignore it, so the
+    field is backward- and forward-compatible on the same wire. *)
 
 type error_kind =
   | Parse_error  (** payload is not valid JSON *)
@@ -64,6 +71,19 @@ type error_kind =
   | Unknown_method of string
   | Invalid_params of string
   | Plan_failed of string  (** planner/simulator returned a typed error *)
+
+type live_stats = {
+  uptime_seconds : float;
+  latency_p50 : float;  (** request wall-clock seconds, this process *)
+  latency_p99 : float;
+  cache_hit_ratio : float;
+  gc_pause_p99 : float;
+  domain_busy : float list;  (** per worker domain, last scrape interval *)
+  traces_sampled : int;
+  firing_alerts : (string * string) list;  (** (rule name, severity) *)
+}
+(** Wall-clock observability snapshot.  Non-finite floats are clamped
+    to 0 at the codec boundary (JSON has no representation for them). *)
 
 type server_stats = {
   plan_requests : int;
@@ -78,15 +98,20 @@ type server_stats = {
   coalesced : int;
   workers : int;
   shards : int;
+  live : live_stats option;
 }
-(** Deterministic counters only — no wall-clock, no uptime — so a
-    [stats] exchange can sit in a golden transcript. *)
+(** Deterministic counters, plus a [live] wall-clock block present only
+    when the server runs with live observability on — with it off, a
+    [stats] exchange is byte-reproducible and can sit in a golden
+    transcript. *)
 
 type response =
   | Plan_ok of { text : string; rho : float; nodes_used : int; cached : bool }
   | Replan_ok of { text : string; rho_after : float }
   | Observe_ok of { text : string; throughput : float }
   | Stats_ok of server_stats
+  | Trace_ok of { chrome : string }
+      (** Chrome-trace JSON for the sampled slowest requests. *)
   | Error of error_kind
 
 type reply = { reply_id : int; response : response }

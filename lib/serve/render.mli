@@ -27,6 +27,7 @@ val plan_text : platform:Platform.t -> wapp:float -> Adept.Planner.plan -> strin
 val run_plan :
   ?pool:Domain_pool.t ->
   ?shards:int ->
+  ?prof:Prof.t ->
   Adept.Planner.strategy ->
   platform:Platform.t ->
   wapp:float ->
@@ -38,9 +39,12 @@ val run_plan :
 val plan :
   ?pool:Domain_pool.t ->
   ?shards:int ->
+  ?prof:Prof.t ->
   Protocol.plan_params ->
   (string * float * int, string) result
-(** Execute a plan request: [(text, predicted_rho, nodes_used)]. *)
+(** Execute a plan request: [(text, predicted_rho, nodes_used)].
+    [prof] collects wall-clock shard/replay/render stage samples;
+    passing it never changes the produced bytes. *)
 
 val replan : Protocol.replan_params -> (string * float, string) result
 (** Execute a replan request: [(text, rho_after)].  An empty failed list

@@ -1,0 +1,77 @@
+module Re = Runtime_events
+module Semconv = Adept_obs.Semconv
+
+(* Pause-like phases only: sub-phases of a collection would double-count
+   the same wall time under a "pause" metric.  [minor] fires on every
+   minor collection, so any allocating workload produces data. *)
+let pause_phases = [ "minor"; "major"; "major_slice"; "stw_leader" ]
+
+type t = {
+  cursor : Re.cursor;
+  callbacks : Re.Callbacks.t;
+  events : Adept_obs.Counter.t;
+  (* (ring domain id, phase) -> begin timestamp; phases of interest do
+     not self-nest, so one cell per pair suffices. *)
+  open_phases : (int * Re.runtime_phase, Re.Timestamp.t) Hashtbl.t;
+}
+
+let seconds_between t0 t1 =
+  Int64.to_float (Int64.sub (Re.Timestamp.to_int64 t1) (Re.Timestamp.to_int64 t0))
+  /. 1e9
+
+let start ~registry () =
+  match
+    (try Re.start () with Failure _ -> ());
+    Re.create_cursor None
+  with
+  | exception e -> Error (Printexc.to_string e)
+  | cursor ->
+      let open_phases = Hashtbl.create 16 in
+      let histograms = Hashtbl.create 8 in
+      let histogram phase_name =
+        match Hashtbl.find_opt histograms phase_name with
+        | Some h -> h
+        | None ->
+            let h =
+              Adept_obs.Registry.histogram registry
+                ~labels:
+                  (Adept_obs.Label.v [ (Semconv.l_phase, phase_name) ])
+                Semconv.runtime_gc_pause_seconds
+            in
+            Hashtbl.replace histograms phase_name h;
+            h
+      in
+      (* Register every pause phase up front: a scrape taken before the
+         first collection still exports the full, stable metric set. *)
+      List.iter (fun p -> ignore (histogram p)) pause_phases;
+      let runtime_begin ring ts phase =
+        if List.mem (Re.runtime_phase_name phase) pause_phases then
+          Hashtbl.replace open_phases (ring, phase) ts
+      in
+      let runtime_end ring ts phase =
+        match Hashtbl.find_opt open_phases (ring, phase) with
+        | None -> ()
+        | Some t0 ->
+            Hashtbl.remove open_phases (ring, phase);
+            let d = seconds_between t0 ts in
+            if d >= 0.0 then
+              Adept_obs.Histogram.record
+                (histogram (Re.runtime_phase_name phase))
+                d
+      in
+      let callbacks = Re.Callbacks.create ~runtime_begin ~runtime_end () in
+      Ok
+        {
+          cursor;
+          callbacks;
+          events =
+            Adept_obs.Registry.counter registry Semconv.runtime_events_total;
+          open_phases;
+        }
+
+let poll t =
+  match Re.read_poll t.cursor t.callbacks None with
+  | n ->
+      if n > 0 then Adept_obs.Counter.inc ~by:(float_of_int n) t.events;
+      n
+  | exception _ -> 0

@@ -1,0 +1,27 @@
+(** OCaml runtime profiling for the serving process.
+
+    Consumes the runtime's own tracing ring ([Runtime_events], OCaml
+    5.1) in-process and turns GC pause phases into registry histograms
+    ([adept_runtime_gc_pause_seconds], labeled by phase) so GC stalls
+    land in the same scrape as cache misses and request latency.  The
+    consumer is poll-driven: the server's scrape tick calls {!poll},
+    which drains whatever the runtime produced since the last tick —
+    no thread, no signal handler.
+
+    Observation-only: consuming the ring never perturbs planning
+    results, and a runtime without the events ring simply reports an
+    error from {!start} instead of failing the server. *)
+
+type t
+
+val start : registry:Adept_obs.Registry.t -> unit -> (t, string) result
+(** Start the runtime's tracing ring (idempotent if already started)
+    and attach a cursor to this process. *)
+
+val poll : t -> int
+(** Drain pending runtime events into the registry; returns the number
+    of events consumed this call.  Also bumps
+    [adept_runtime_events_total]. *)
+
+val pause_phases : string list
+(** The phase names recorded into [adept_runtime_gc_pause_seconds]. *)

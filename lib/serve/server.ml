@@ -25,6 +25,20 @@
    - a replan request reports node deaths, so its completion
      invalidates every cached plan for that platform digest.
 
+   Wall-clock observability is opt-in ([config.obs]).  When on, the
+   event loop additionally: head-samples request spans (frame read →
+   parse → cache lookup → per-shard plan → replay → render → write)
+   into a {!Adept_obs.Request_trace} slowest-N reservoir, consumes the
+   OCaml runtime's event ring into GC-pause histograms, scrapes the
+   registry into a bounded {!Adept_obs.Timeseries} on a wall-clock tick
+   and evaluates alert rules over it, and appends a JSONL access log.
+   The hard invariant: observability never changes answers.  Requests
+   are parsed, planned, cached and answered identically with [obs]
+   absent, and sampling is a deterministic hash of the client-sent
+   trace id (no RNG is consulted).  With [obs = None] the loop blocks
+   indefinitely in select exactly as before, so golden transcripts of
+   an untraced server stay byte-identical.
+
    Draining: on SIGINT/SIGTERM (or after [max_requests] dispatches) the
    listener closes, in-flight work finishes and is answered, then
    connections close and [run] returns.  A long-lived planner should
@@ -32,6 +46,8 @@
 
 module Label = Adept_obs.Label
 module Semconv = Adept_obs.Semconv
+module Rt = Adept_obs.Request_trace
+module Clock = Adept_obs.Clock
 
 type address = Unix_socket of string | Tcp of string * int
 
@@ -57,6 +73,53 @@ let address_to_string = function
   | Unix_socket path -> "unix:" ^ path
   | Tcp (host, port) -> Printf.sprintf "tcp:%s:%d" host port
 
+(* ---------- observability configuration ---------- *)
+
+(* Signals chosen to cover the monitoring taxonomy over the serve
+   metrics: a latency threshold with a [for:] hold, a queue-depth
+   threshold, a hit-ratio floor, and a two-window miss burn rate. *)
+let default_rules_text =
+  "# Default serve alerting rules (see docs/OBSERVABILITY.md).\n\
+   alert serve_latency_p99_high severity=warning for=3 when \
+   p99(adept_serve_request_seconds) > 0.5\n\
+   alert serve_queue_deep severity=warning for=3 when \
+   last(adept_serve_inflight_requests) > 64\n\
+   alert serve_cache_hit_ratio_low severity=warning for=5 when \
+   last(adept_serve_cache_hit_ratio) < 0.5\n\
+   alert serve_cache_miss_burn severity=critical when \
+   min(rate(adept_serve_cache_misses_total[10]), \
+   rate(adept_serve_cache_misses_total[60])) > 50\n"
+
+let default_rules () =
+  match Adept_obs.Rule.parse default_rules_text with
+  | Ok rules -> rules
+  | Error msg -> invalid_arg ("serve: default rules do not parse: " ^ msg)
+
+type obs_config = {
+  clock : Clock.t;
+  trace_sample_rate : float;
+  trace_slowest : int;
+  rules : Adept_obs.Rule.t list;
+  scrape_interval : float;
+  retention : float;
+  access_log : string option;
+  prom_path : string option;
+  runtime_events : bool;
+}
+
+let default_obs () =
+  {
+    clock = Clock.source Unix.gettimeofday;
+    trace_sample_rate = 1.0;
+    trace_slowest = 32;
+    rules = default_rules ();
+    scrape_interval = 1.0;
+    retention = 300.0;
+    access_log = None;
+    prom_path = None;
+    runtime_events = true;
+  }
+
 type config = {
   address : address;
   workers : int option;  (** worker domains; default [recommended - 1] *)
@@ -64,6 +127,7 @@ type config = {
   cache_capacity : int;
   max_requests : int option;  (** drain after this many dispatches *)
   registry : Adept_obs.Registry.t option;
+  obs : obs_config option;
 }
 
 let default_config address =
@@ -74,6 +138,7 @@ let default_config address =
     cache_capacity = 128;
     max_requests = None;
     registry = None;
+    obs = None;
   }
 
 (* ---------- connections ---------- *)
@@ -82,6 +147,10 @@ type conn = {
   fd : Unix.file_descr;
   reader : Wire.reader;
   mutable alive : bool;
+  mutable frame_start : float;
+      (** Wall instant the current partial frame's first bytes arrived;
+          [nan] when no read has happened since the last frame (only
+          maintained when observability is on). *)
 }
 
 type work_result =
@@ -89,7 +158,17 @@ type work_result =
   | W_replan of (string * float, string) result
   | W_observe of (string * float, string) result
 
-type waiter = { w_conn : conn; w_id : int; w_started : float }
+type waiter = {
+  w_conn : conn;
+  w_id : int;
+  w_started : float;
+  (* observability context; zero/None with [obs] off *)
+  w_trace : int option;
+  w_method : string;
+  w_digest : string option;
+  w_frame0 : float;
+  w_obs : Rt.handle option;
+}
 
 type inflight = {
   future : work_result Domain_pool.future;
@@ -98,10 +177,31 @@ type inflight = {
   cache_key : (string * string * float * float option) option;
       (** store a successful plan under this exact key on completion *)
   invalidate : string option;  (** platform digest to invalidate on completion *)
+  prof : Prof.t option;
+      (** worker-side stage samples, converted to spans at reap *)
+}
+
+type obs_state = {
+  o_cfg : obs_config;
+  o_now : unit -> float;  (** clamped, event-loop side *)
+  o_raw : unit -> float;  (** unclamped, safe on worker domains *)
+  o_traces : Rt.t;
+  o_ts : Adept_obs.Timeseries.t;
+  o_alerts : Adept_obs.Alert.t;
+  o_started : float;
+  mutable o_next_scrape : float;
+  mutable o_last_scrape : float;
+  mutable o_last_busy : float array;
+  mutable o_busy_ratio : float list;
+  o_access : out_channel option;
+  o_runtime : Runtime_metrics.t option;
+  o_traces_sampled : Adept_obs.Counter.t;
+  o_scrapes : Adept_obs.Counter.t;
 }
 
 type t = {
   config : config;
+  registry : Adept_obs.Registry.t;
   pool : Domain_pool.t;
   cache : Cache.t;
   listener : Unix.file_descr;
@@ -112,6 +212,7 @@ type t = {
   coalesce : (string, inflight) Hashtbl.t;
   mutable draining : bool;
   mutable dispatched : int;
+  obs : obs_state option;
   (* deterministic protocol-level counters (the [stats] payload) *)
   mutable plan_requests : int;
   mutable replan_requests : int;
@@ -132,6 +233,8 @@ type t = {
 }
 
 let shards t = Option.value ~default:(Domain_pool.size t.pool) t.config.shards
+
+let registry t = t.registry
 
 let listen_socket address =
   match address with
@@ -156,7 +259,7 @@ let listen_socket address =
    allocation in signal context. *)
 let stop_requested = Atomic.make false
 
-let create config =
+let create (config : config) =
   (* Reset here, not in [serve]: a stop requested between [create] and
      [serve] (a signal racing a slow startup) must drain the server, not
      vanish.  A previous server's leftover request is discarded. *)
@@ -168,10 +271,69 @@ let create config =
   in
   let pool = Domain_pool.create ?workers:config.workers () in
   let wake_r, wake_w = Unix.pipe () in
+  let m_eviction_age =
+    Adept_obs.Registry.histogram registry Semconv.serve_cache_eviction_age_seconds
+  in
+  let obs =
+    Option.map
+      (fun (oc : obs_config) ->
+        let o_now () = Clock.now oc.clock in
+        let started = o_now () in
+        let selectors = List.concat_map Adept_obs.Rule.selectors oc.rules in
+        let ts =
+          Adept_obs.Timeseries.create ~retention:oc.retention selectors
+        in
+        let alerts =
+          match Adept_obs.Alert.create ~timeseries:ts oc.rules with
+          | Ok a -> a
+          | Error msg -> invalid_arg ("serve: invalid alert rules: " ^ msg)
+        in
+        let access =
+          Option.map
+            (fun path -> open_out_gen [ Open_append; Open_creat ] 0o644 path)
+            oc.access_log
+        in
+        let runtime =
+          if oc.runtime_events then
+            match Runtime_metrics.start ~registry () with
+            | Ok r -> Some r
+            | Error msg ->
+                Logs.warn (fun m ->
+                    m "serve: runtime events unavailable: %s" msg);
+                None
+          else None
+        in
+        {
+          o_cfg = oc;
+          o_now;
+          o_raw = Clock.raw oc.clock;
+          o_traces =
+            Rt.create ~sample_rate:oc.trace_sample_rate
+              ~max_traces:(max 1 oc.trace_slowest) ();
+          o_ts = ts;
+          o_alerts = alerts;
+          o_started = started;
+          o_next_scrape = started +. oc.scrape_interval;
+          o_last_scrape = started;
+          o_last_busy = Domain_pool.busy_seconds pool;
+          o_busy_ratio = [];
+          o_access = access;
+          o_runtime = runtime;
+          o_traces_sampled =
+            Adept_obs.Registry.counter registry Semconv.serve_traces_sampled_total;
+          o_scrapes =
+            Adept_obs.Registry.counter registry Semconv.serve_scrapes_total;
+        })
+      config.obs
+  in
   {
     config;
+    registry;
     pool;
-    cache = Cache.create ~capacity:config.cache_capacity ();
+    cache =
+      Cache.create ~capacity:config.cache_capacity
+        ~on_evict:(fun ~age -> Adept_obs.Histogram.record m_eviction_age age)
+        ();
     listener = listen_socket config.address;
     wake_r;
     wake_w;
@@ -180,6 +342,7 @@ let create config =
     coalesce = Hashtbl.create 16;
     draining = false;
     dispatched = 0;
+    obs;
     plan_requests = 0;
     replan_requests = 0;
     observe_requests = 0;
@@ -243,6 +406,55 @@ let send_error t conn id kind =
     { Protocol.reply_id = Option.value ~default:0 id;
       response = Protocol.Error kind }
 
+(* ---------- live observability helpers ---------- *)
+
+let obs_now t = match t.obs with Some o -> o.o_now () | None -> 0.0
+
+(* Merge every phase's GC-pause histogram and take the p99 — the single
+   "how bad are pauses" number [adept top] shows. *)
+let gc_pause_p99 t =
+  match Adept_obs.Registry.find t.registry Semconv.runtime_gc_pause_seconds with
+  | None -> 0.0
+  | Some fam -> (
+      let merged =
+        List.fold_left
+          (fun acc (_, v) ->
+            match v with
+            | Adept_obs.Registry.Histogram s -> (
+                match acc with
+                | None -> Some s
+                | Some a -> Some (Adept_obs.Histogram.merge a s))
+            | _ -> acc)
+          None fam.Adept_obs.Registry.series
+      in
+      match merged with
+      | None -> 0.0
+      | Some s ->
+          Option.value ~default:0.0 (Adept_obs.Histogram.quantile s 99.0))
+
+let live_stats t o =
+  let now = o.o_now () in
+  let snap = Adept_obs.Histogram.snapshot t.m_latency in
+  let q p = Option.value ~default:0.0 (Adept_obs.Histogram.quantile snap p) in
+  {
+    Protocol.uptime_seconds = now -. o.o_started;
+    latency_p50 = q 50.0;
+    latency_p99 = q 99.0;
+    cache_hit_ratio = Cache.hit_ratio t.cache;
+    gc_pause_p99 = gc_pause_p99 t;
+    domain_busy = o.o_busy_ratio;
+    traces_sampled = Rt.sampled o.o_traces;
+    firing_alerts =
+      List.filter_map
+        (fun ((r : Adept_obs.Rule.t), st) ->
+          match st with
+          | Adept_obs.Alert.Firing _ ->
+              Some (r.Adept_obs.Rule.name,
+                    Adept_obs.Rule.severity_name r.Adept_obs.Rule.severity)
+          | _ -> None)
+        (Adept_obs.Alert.states o.o_alerts);
+  }
+
 let current_stats t =
   {
     Protocol.plan_requests = t.plan_requests;
@@ -257,14 +469,56 @@ let current_stats t =
     coalesced = t.coalesced;
     workers = Domain_pool.size t.pool;
     shards = shards t;
+    live = Option.map (fun o -> live_stats t o) t.obs;
   }
+
+let log_access o ~now ~trace ~method_ ~digest ~cache ~shard_count ~duration
+    ~status =
+  match o.o_access with
+  | None -> ()
+  | Some ch ->
+      let fields =
+        [ ("at", Json.Float now) ]
+        @ (match trace with
+          | None -> []
+          | Some tid -> [ ("trace", Json.Int tid) ])
+        @ [ ("method", Json.String method_) ]
+        @ (match digest with
+          | None -> []
+          | Some d -> [ ("digest", Json.String d) ])
+        @ (match cache with
+          | None -> []
+          | Some hit ->
+              [ ("cache", Json.String (if hit then "hit" else "miss")) ])
+        @ [
+            ("shards", Json.Int shard_count);
+            ("duration", Json.Float duration);
+            ("status", Json.String status);
+          ]
+      in
+      output_string ch (Json.to_string (Json.Obj fields));
+      output_char ch '\n';
+      flush ch
+
+(* Append one span to a sampled request's chain and advance its tail. *)
+let record_stage t ~robs ~kind ~node ~start ~stop =
+  match (t.obs, robs) with
+  | Some o, Some h ->
+      Rt.set_tail h
+        (Rt.add_span o.o_traces h ~parent:(Rt.tail h) ~kind ~node ~start ~stop)
+  | _ -> ()
 
 (* ---------- dispatch ---------- *)
 
 let wake t = ignore (Unix.write t.wake_w (Bytes.of_string "x") 0 1)
 
-let submit_work t conn id ?coalesce_key ?cache_key ?invalidate work =
-  let waiter = { w_conn = conn; w_id = id; w_started = Unix.gettimeofday () } in
+let submit_work t conn id ?coalesce_key ?cache_key ?invalidate ~robs ~prof
+    ~trace ~method_ ~digest ~frame0 work =
+  let waiter =
+    { w_conn = conn; w_id = id; w_started = Unix.gettimeofday ();
+      w_trace = trace; w_method = method_; w_digest = digest;
+      w_frame0 = frame0; w_obs = robs }
+  in
   let entry =
     {
       (* The wake MUST ride on [on_resolve], not inside the task: a wake
@@ -277,6 +531,7 @@ let submit_work t conn id ?coalesce_key ?cache_key ?invalidate work =
       coalesce_key;
       cache_key;
       invalidate;
+      prof;
     }
   in
   t.inflight <- entry :: t.inflight;
@@ -293,51 +548,96 @@ let plan_cache_key (p : Protocol.plan_params) =
           wapp,
           p.Protocol.demand )
 
-let dispatch t conn { Protocol.id; request } =
+(* Answer an inline (event-loop) request: write span around the actual
+   frame write, close the trace, log the access. *)
+let answer_inline t ~robs ~frame0 ~trace ~method_ ~digest ~cache conn id
+    response =
+  match t.obs with
+  | None -> send_reply t conn { Protocol.reply_id = id; response }
+  | Some o ->
+      let t0 = o.o_now () in
+      send_reply t conn { Protocol.reply_id = id; response };
+      let t1 = o.o_now () in
+      (match robs with
+      | None -> ()
+      | Some h ->
+          ignore
+            (Rt.add_span o.o_traces h ~parent:(Rt.tail h)
+               ~kind:(Rt.Stage Rt.Write_reply) ~node:(-1) ~start:t0 ~stop:t1);
+          Rt.finish o.o_traces h ~now:t1);
+      log_access o ~now:t1 ~trace ~method_ ~digest ~cache ~shard_count:0
+        ~duration:(t1 -. frame0) ~status:"ok"
+
+let dispatch t conn ~robs ~frame0 { Protocol.id; trace; request } =
   t.dispatched <- t.dispatched + 1;
   match request with
   | Protocol.Stats ->
       t.stats_requests <- t.stats_requests + 1;
       Adept_obs.Counter.inc (t.m_requests "stats");
-      send_reply t conn
-        { Protocol.reply_id = id; response = Protocol.Stats_ok (current_stats t) }
+      answer_inline t ~robs ~frame0 ~trace ~method_:"stats" ~digest:None
+        ~cache:None conn id
+        (Protocol.Stats_ok (current_stats t))
+  | Protocol.Trace_dump -> (
+      Adept_obs.Counter.inc (t.m_requests "trace");
+      match t.obs with
+      | None ->
+          send_error t conn (Some id)
+            (Protocol.Invalid_params
+               "tracing is not enabled on this server (run serve with \
+                observability on)")
+      | Some o ->
+          answer_inline t ~robs ~frame0 ~trace ~method_:"trace" ~digest:None
+            ~cache:None conn id
+            (Protocol.Trace_ok
+               { chrome = Adept_obs.Export.chrome_trace o.o_traces }))
   | Protocol.Plan p -> (
       t.plan_requests <- t.plan_requests + 1;
       Adept_obs.Counter.inc (t.m_requests "plan");
+      (* Worker-side stage samples only exist for sampled requests — the
+         untraced path passes [None] through to {!Prof.time} no-ops. *)
+      let prof =
+        match (t.obs, robs) with
+        | Some o, Some _ -> Some (Prof.create ~now:o.o_raw)
+        | _ -> None
+      in
       let run_plan () =
         let pool = t.pool and n_shards = shards t in
         fun () ->
           W_plan
             (Result.map
                (fun (text, rho, nodes_used) -> { Cache.text; rho; nodes_used })
-               (Render.plan ~pool ~shards:n_shards p))
+               (Render.plan ~pool ~shards:n_shards ?prof p))
+      in
+      let submit ?coalesce_key ?cache_key ~digest () =
+        submit_work t conn id ?coalesce_key ?cache_key ~robs ~prof ~trace
+          ~method_:"plan" ~digest:(Some digest) ~frame0 (run_plan ())
       in
       match plan_cache_key p with
       | None ->
           (* Let the worker path surface the workload error as a typed
              plan failure. *)
-          submit_work t conn id (run_plan ())
+          submit ~digest:(Protocol.spec_digest p.Protocol.spec) ()
       | Some (digest, strategy, wapp, demand) -> (
+          let c0 = obs_now t in
           let cached =
             if p.Protocol.use_cache then
               Cache.find t.cache ~digest ~strategy ~wapp ~demand
             else None
           in
+          record_stage t ~robs ~kind:(Rt.Stage Rt.Cache_lookup) ~node:(-1)
+            ~start:c0 ~stop:(obs_now t);
           if p.Protocol.use_cache then sync_cache_metrics t;
           match cached with
           | Some e ->
-              send_reply t conn
-                {
-                  Protocol.reply_id = id;
-                  response =
-                    Protocol.Plan_ok
-                      {
-                        text = e.Cache.text;
-                        rho = e.Cache.rho;
-                        nodes_used = e.Cache.nodes_used;
-                        cached = true;
-                      };
-                }
+              answer_inline t ~robs ~frame0 ~trace ~method_:"plan"
+                ~digest:(Some digest) ~cache:(Some true) conn id
+                (Protocol.Plan_ok
+                   {
+                     text = e.Cache.text;
+                     rho = e.Cache.rho;
+                     nodes_used = e.Cache.nodes_used;
+                     cached = true;
+                   })
           | None -> (
               let key =
                 if p.Protocol.use_cache then
@@ -353,7 +653,10 @@ let dispatch t conn { Protocol.id; request } =
                   t.coalesced <- t.coalesced + 1;
                   Adept_obs.Counter.inc t.m_coalesced;
                   entry.waiters <-
-                    { w_conn = conn; w_id = id; w_started = Unix.gettimeofday () }
+                    { w_conn = conn; w_id = id;
+                      w_started = Unix.gettimeofday (); w_trace = trace;
+                      w_method = "plan"; w_digest = Some digest;
+                      w_frame0 = frame0; w_obs = robs }
                     :: entry.waiters
               | _ ->
                   let cache_key =
@@ -361,18 +664,19 @@ let dispatch t conn { Protocol.id; request } =
                       Some (digest, strategy, wapp, demand)
                     else None
                   in
-                  submit_work t conn id ?coalesce_key:key ?cache_key
-                    (run_plan ()))))
+                  submit ?coalesce_key:key ?cache_key ~digest ())))
   | Protocol.Replan r ->
       t.replan_requests <- t.replan_requests + 1;
       Adept_obs.Counter.inc (t.m_requests "replan");
-      submit_work t conn id
-        ~invalidate:(Protocol.spec_digest r.Protocol.r_spec)
-        (fun () -> W_replan (Render.replan r))
+      let digest = Protocol.spec_digest r.Protocol.r_spec in
+      submit_work t conn id ~invalidate:digest ~robs ~prof:None ~trace
+        ~method_:"replan" ~digest:(Some digest) ~frame0 (fun () ->
+          W_replan (Render.replan r))
   | Protocol.Observe o ->
       t.observe_requests <- t.observe_requests + 1;
       Adept_obs.Counter.inc (t.m_requests "observe");
-      submit_work t conn id (fun () -> W_observe (Render.observe o))
+      submit_work t conn id ~robs ~prof:None ~trace ~method_:"observe"
+        ~digest:None ~frame0 (fun () -> W_observe (Render.observe o))
 
 let response_of_result = function
   | W_plan (Ok e) ->
@@ -387,6 +691,49 @@ let response_of_result = function
   | W_observe (Ok (text, throughput)) -> Protocol.Observe_ok { text; throughput }
   | W_plan (Error msg) | W_replan (Error msg) | W_observe (Error msg) ->
       Protocol.Error (Protocol.Plan_failed msg)
+
+(* Turn the entry's worker-side stage samples into spans on one sampled
+   waiter's chain: every shard span hangs off the cache-lookup span,
+   the replay continues from the last-stopping shard (the barrier the
+   sequential replay actually waited on), then render. *)
+let graft_worker_spans o entry h =
+  match entry.prof with
+  | None -> ()
+  | Some prof ->
+      let samples = Prof.samples prof in
+      let fork = Rt.tail h in
+      let last_stop = ref neg_infinity and last_id = ref fork in
+      List.iter
+        (fun (s : Prof.sample) ->
+          if s.Prof.ps_stage = "shard" then begin
+            let sid =
+              Rt.add_span o.o_traces h ~parent:fork
+                ~kind:(Rt.Stage Rt.Shard_plan) ~node:s.Prof.ps_shard
+                ~start:s.Prof.ps_start ~stop:s.Prof.ps_stop
+            in
+            if s.Prof.ps_stop >= !last_stop then begin
+              last_stop := s.Prof.ps_stop;
+              last_id := sid
+            end
+          end)
+        samples;
+      let tail = ref !last_id in
+      List.iter
+        (fun (s : Prof.sample) ->
+          let kind =
+            match s.Prof.ps_stage with
+            | "replay" -> Some (Rt.Stage Rt.Replay)
+            | "render" -> Some (Rt.Stage Rt.Render_reply)
+            | _ -> None
+          in
+          Option.iter
+            (fun kind ->
+              tail :=
+                Rt.add_span o.o_traces h ~parent:!tail ~kind ~node:(-1)
+                  ~start:s.Prof.ps_start ~stop:s.Prof.ps_stop)
+            kind)
+        samples;
+      Rt.set_tail h !tail
 
 (* Answer every resolved in-flight entry; cache plan answers; apply
    replan invalidations. *)
@@ -410,7 +757,7 @@ let reap t =
       in
       (match (result, entry.cache_key) with
       | W_plan (Ok e), Some (digest, strategy, wapp, demand) ->
-          Cache.add t.cache ~digest ~strategy ~wapp ~demand e
+          Cache.add t.cache ~now:(obs_now t) ~digest ~strategy ~wapp ~demand e
       | _ -> ());
       (match (result, entry.invalidate) with
       | (W_replan (Ok _) | W_replan (Error _)), Some digest ->
@@ -425,24 +772,89 @@ let reap t =
       List.iter
         (fun w ->
           Adept_obs.Histogram.record t.m_latency (now -. w.w_started);
-          if is_error then send_error t w.w_conn (Some w.w_id)
-              (match response with
-              | Protocol.Error k -> k
-              | _ -> assert false)
-          else
-            send_reply t w.w_conn
-              { Protocol.reply_id = w.w_id; response })
+          let send () =
+            if is_error then
+              send_error t w.w_conn (Some w.w_id)
+                (match response with
+                | Protocol.Error k -> k
+                | _ -> assert false)
+            else
+              send_reply t w.w_conn { Protocol.reply_id = w.w_id; response }
+          in
+          match t.obs with
+          | None -> send ()
+          | Some o ->
+              Option.iter (fun h -> graft_worker_spans o entry h) w.w_obs;
+              let t0 = o.o_now () in
+              send ();
+              let t1 = o.o_now () in
+              Option.iter
+                (fun h ->
+                  ignore
+                    (Rt.add_span o.o_traces h ~parent:(Rt.tail h)
+                       ~kind:(Rt.Stage Rt.Write_reply) ~node:(-1) ~start:t0
+                       ~stop:t1);
+                  Rt.finish o.o_traces h ~now:t1)
+                w.w_obs;
+              log_access o ~now:t1 ~trace:w.w_trace ~method_:w.w_method
+                ~digest:w.w_digest
+                ~cache:(if w.w_method = "plan" then Some false else None)
+                ~shard_count:(shards t) ~duration:(t1 -. w.w_frame0)
+                ~status:(if is_error then "error" else "ok"))
         (List.rev entry.waiters))
     (List.rev resolved)
 
 (* ---------- frame handling ---------- *)
 
-let handle_frame t conn payload =
-  match Protocol.decode_request payload with
-  | Protocol.Bad (id, kind) -> send_error t conn id kind
-  | Protocol.Request envelope -> dispatch t conn envelope
+let handle_frame t conn ~frame_start payload =
+  match t.obs with
+  | None -> (
+      match Protocol.decode_request payload with
+      | Protocol.Bad (id, kind) -> send_error t conn id kind
+      | Protocol.Request envelope ->
+          dispatch t conn ~robs:None ~frame0:0.0 envelope)
+  | Some o -> (
+      let t_parse0 = o.o_now () in
+      let decoded = Protocol.decode_request payload in
+      let t_parse1 = o.o_now () in
+      match decoded with
+      | Protocol.Bad (id, kind) -> send_error t conn id kind
+      | Protocol.Request envelope ->
+          let frame0 =
+            if Float.is_nan frame_start then t_parse0 else frame_start
+          in
+          let robs =
+            match envelope.Protocol.trace with
+            | None -> None
+            | Some tid -> (
+                match Rt.begin_with_id o.o_traces ~id:tid ~now:frame0 with
+                | None -> None
+                | Some h ->
+                    Adept_obs.Counter.inc o.o_traces_sampled;
+                    let p =
+                      Rt.add_span o.o_traces h ~parent:(-1)
+                        ~kind:(Rt.Stage Rt.Frame_read) ~node:(-1) ~start:frame0
+                        ~stop:t_parse0
+                    in
+                    let p =
+                      Rt.add_span o.o_traces h ~parent:p
+                        ~kind:(Rt.Stage Rt.Parse) ~node:(-1) ~start:t_parse0
+                        ~stop:t_parse1
+                    in
+                    Rt.set_tail h p;
+                    Some h)
+          in
+          dispatch t conn ~robs ~frame0 envelope)
 
 let read_conn t conn =
+  (* Stamp the arrival of the first bytes of a frame: the frame-read
+     span runs from here to frame completion.  A second frame completed
+     out of the same buffer gets a zero-length read span (its bytes
+     were already here). *)
+  (match t.obs with
+  | Some o when Float.is_nan conn.frame_start ->
+      conn.frame_start <- o.o_now ()
+  | _ -> ());
   let buf = Bytes.create 65536 in
   match Unix.read conn.fd buf 0 (Bytes.length buf) with
   | 0 ->
@@ -455,7 +867,9 @@ let read_conn t conn =
         if conn.alive then
           match Wire.step conn.reader with
           | Wire.Frame payload ->
-              handle_frame t conn payload;
+              let frame_start = conn.frame_start in
+              conn.frame_start <- Float.nan;
+              handle_frame t conn ~frame_start payload;
               drain_frames ()
           | Wire.Need_more -> ()
           | Wire.Oversized declared ->
@@ -471,6 +885,69 @@ let read_conn t conn =
       drain_frames ()
   | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
       close_conn t conn
+
+(* ---------- scrape loop ---------- *)
+
+let write_prom t o =
+  match o.o_cfg.prom_path with
+  | None -> ()
+  | Some path -> (
+      try
+        let doc =
+          Adept_obs.Export.prometheus (Adept_obs.Registry.snapshot t.registry)
+        in
+        let tmp = path ^ ".tmp" in
+        let oc = open_out tmp in
+        output_string oc doc;
+        close_out oc;
+        Sys.rename tmp path
+      with Sys_error msg ->
+        Logs.warn (fun m -> m "serve: prometheus export failed: %s" msg))
+
+(* One wall-clock observability tick: drain the runtime's event ring,
+   refresh derived gauges, scrape the time series, advance the alert
+   state machines, re-export the scrape file. *)
+let scrape_tick t o =
+  let now = o.o_now () in
+  if now >= o.o_next_scrape then begin
+    (match o.o_runtime with
+    | Some r -> ignore (Runtime_metrics.poll r)
+    | None -> ());
+    sync_cache_metrics t;
+    (* Register the ratio gauge lazily: before the first lookup there
+       is no ratio, and a fresh 0 sample would spuriously trip the
+       hit-ratio-floor alert on startup. *)
+    if Cache.hits t.cache + Cache.misses t.cache > 0 then
+      Adept_obs.Gauge.set
+        (Adept_obs.Registry.gauge t.registry Semconv.serve_cache_hit_ratio)
+        (Cache.hit_ratio t.cache);
+    let busy = Domain_pool.busy_seconds t.pool in
+    let dt = now -. o.o_last_scrape in
+    if dt > 0.0 then
+      o.o_busy_ratio <-
+        Array.to_list
+          (Array.mapi
+             (fun i b ->
+               let prev =
+                 if i < Array.length o.o_last_busy then o.o_last_busy.(i)
+                 else 0.0
+               in
+               let r = Float.max 0.0 (Float.min 1.0 ((b -. prev) /. dt)) in
+               Adept_obs.Gauge.set
+                 (Adept_obs.Registry.gauge t.registry
+                    ~labels:(Label.v [ (Semconv.l_domain, string_of_int i) ])
+                    Semconv.runtime_domain_busy_ratio)
+                 r;
+               r)
+             busy);
+    o.o_last_busy <- busy;
+    o.o_last_scrape <- now;
+    Adept_obs.Timeseries.scrape o.o_ts ~registry:t.registry ~now;
+    Adept_obs.Alert.eval o.o_alerts ~now;
+    Adept_obs.Counter.inc o.o_scrapes;
+    o.o_next_scrape <- now +. o.o_cfg.scrape_interval;
+    write_prom t o
+  end
 
 (* ---------- main loop ---------- *)
 
@@ -524,14 +1001,27 @@ let serve t =
       (if !accepting then [ t.listener ] else [])
       @ (t.wake_r :: List.map (fun c -> c.fd) t.conns)
     in
-    (match Unix.select read_fds [] [] (-1.0) with
+    (* With observability off the select blocks indefinitely — exactly
+       the pre-observability server.  With it on, the timeout is the
+       time to the next scrape (manual clocks are driven by events, not
+       the wall, so they keep the indefinite block). *)
+    let timeout =
+      match t.obs with
+      | None -> -1.0
+      | Some o ->
+          if Clock.is_manual o.o_cfg.clock then -1.0
+          else Float.max 0.001 (o.o_next_scrape -. o.o_now ())
+    in
+    (match Unix.select read_fds [] [] timeout with
     | ready, _, _ ->
         if List.mem t.wake_r ready then drain_wake t;
         if !accepting && List.mem t.listener ready then begin
           match Unix.accept t.listener with
           | fd, _ ->
               t.conns <-
-                { fd; reader = Wire.reader (); alive = true } :: t.conns
+                { fd; reader = Wire.reader (); alive = true;
+                  frame_start = Float.nan }
+                :: t.conns
           | exception Unix.Unix_error _ -> ()
         end;
         List.iter
@@ -539,7 +1029,8 @@ let serve t =
           (* snapshot: read_conn may close (remove) connections *)
           (List.filter (fun c -> c.alive) t.conns)
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
-    reap t
+    reap t;
+    Option.iter (fun o -> scrape_tick t o) t.obs
   done;
   (* Drained: answer nothing more, tear down. *)
   List.iter (fun c -> close_conn t c) t.conns;
@@ -548,6 +1039,17 @@ let serve t =
   | Unix_socket path -> ( try Sys.remove path with Sys_error _ -> ())
   | Tcp _ -> ());
   Domain_pool.shutdown t.pool;
+  (match t.obs with
+  | Some o ->
+      (* A short-lived server may drain before its first tick; force a
+         final one so the exported snapshot (and the lazily-registered
+         derived gauges) always reflect the drained state. *)
+      o.o_next_scrape <- Float.neg_infinity;
+      scrape_tick t o;
+      (match o.o_access with
+      | Some ch -> ( try close_out ch with Sys_error _ -> ())
+      | None -> ())
+  | None -> ());
   (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
   (try Unix.close t.wake_w with Unix.Unix_error _ -> ());
   Logs.info (fun m -> m "serve: drained, bye")

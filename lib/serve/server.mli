@@ -15,6 +15,42 @@ val address_of_string : string -> (address, string) result
 
 val address_to_string : address -> string
 
+(** Wall-clock observability for a serving process.  The hard
+    invariant: observability never changes answers — responses are
+    byte-identical with it on or off, and trace sampling is a
+    deterministic hash of the client-sent trace id (no RNG). *)
+type obs_config = {
+  clock : Adept_obs.Clock.t;
+      (** The one [now] provider for spans, scrapes, alerts and the
+          access log.  [Clock.source Unix.gettimeofday] for real
+          serving; a manual clock turns the scrape loop event-driven
+          (deterministic tests). *)
+  trace_sample_rate : float;  (** Fraction of trace ids sampled, [0, 1]. *)
+  trace_slowest : int;  (** Slowest-N exemplar traces retained. *)
+  rules : Adept_obs.Rule.t list;  (** Alert rules over the serve metrics. *)
+  scrape_interval : float;  (** Seconds between registry scrapes. *)
+  retention : float;  (** Time-series retention window, seconds. *)
+  access_log : string option;  (** JSONL per-request log path (append). *)
+  prom_path : string option;
+      (** Re-written atomically on every scrape and at teardown, so an
+          external scraper (or CI) can read a mid-run snapshot. *)
+  runtime_events : bool;
+      (** Consume the OCaml runtime's event ring into
+          [adept_runtime_gc_pause_seconds]. *)
+}
+
+val default_obs : unit -> obs_config
+(** Wall clock, sample everything, 32 exemplars, {!default_rules}, 1 s
+    scrapes, 300 s retention, no access log, no scrape file, runtime
+    events on. *)
+
+val default_rules_text : string
+(** The built-in alert rules in {!Adept_obs.Rule.parse} syntax: p99
+    latency, queue depth, cache hit-ratio floor, and a two-window cache
+    miss burn rate. *)
+
+val default_rules : unit -> Adept_obs.Rule.t list
+
 type config = {
   address : address;
   workers : int option;
@@ -27,11 +63,15 @@ type config = {
   registry : Adept_obs.Registry.t option;
       (** Metrics destination ([adept_serve_*]); a private registry is
           created when absent. *)
+  obs : obs_config option;
+      (** [None] (the default) serves exactly as before observability
+          existed: no clock reads on the request path, select blocks
+          indefinitely, stats carry no live block. *)
 }
 
 val default_config : address -> config
 (** Defaults: pool-sized workers and shards, 128 cache entries, no
-    request bound, private registry. *)
+    request bound, private registry, observability off. *)
 
 val run : config -> unit
 (** Bind, serve, block until drained (SIGINT/SIGTERM or
@@ -43,7 +83,12 @@ type t
 
 val create : config -> t
 (** Bind the listener and spawn the worker pool without serving yet.
-    Raises [Unix.Unix_error] when the address cannot be bound. *)
+    Raises [Unix.Unix_error] when the address cannot be bound,
+    [Invalid_argument] on an invalid [obs] rule set. *)
+
+val registry : t -> Adept_obs.Registry.t
+(** The server's metrics registry (the configured one, or the private
+    registry created in its absence). *)
 
 val serve : t -> unit
 (** The blocking loop of {!run} on an already-created server. *)

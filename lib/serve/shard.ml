@@ -67,7 +67,7 @@ let rec retranslate mapping = function
    the hint.  Shard 0 holds the globally strongest node (round-robin
    over the sorted order), so its candidate contributes the merged
    root. *)
-let shard_hint pool ~shards params npool ~wapp ~demand =
+let shard_hint ?prof pool ~shards params npool ~wapp ~demand =
   let sorted = Adept.Node_pool.nodes npool in
   let n = Array.length sorted in
   let k = max 1 (min shards (n / 2)) in
@@ -80,16 +80,19 @@ let shard_hint pool ~shards params npool ~wapp ~demand =
     let bandwidth = Adept.Node_pool.bandwidth npool in
     let link = Link.homogeneous ~bandwidth () in
     let futures =
-      Array.map
-        (fun members ->
+      Array.mapi
+        (fun shard members ->
           Domain_pool.submit pool (fun () ->
-              let sub, mapping = sub_platform ~link members in
-              match Adept.Heuristic.plan params ~platform:sub ~wapp ~demand with
-              | Ok r ->
-                  Some
-                    ( retranslate mapping r.Adept.Heuristic.tree,
-                      r.Adept.Heuristic.predicted_rho )
-              | Error _ -> None))
+              Prof.time prof ~stage:"shard" ~shard (fun () ->
+                  let sub, mapping = sub_platform ~link members in
+                  match
+                    Adept.Heuristic.plan params ~platform:sub ~wapp ~demand
+                  with
+                  | Ok r ->
+                      Some
+                        ( retranslate mapping r.Adept.Heuristic.tree,
+                          r.Adept.Heuristic.predicted_rho )
+                  | Error _ -> None)))
         buckets
     in
     let candidates =
@@ -138,7 +141,7 @@ let predicted_targets ~search_hi ~hint =
     List.rev !acc
   end
 
-let plan ?(shards = 0) ~pool params ~platform ~wapp ~demand =
+let plan ?(shards = 0) ?prof ~pool params ~platform ~wapp ~demand =
   let shards = if shards <= 0 then Domain_pool.size pool else shards in
   match Adept.Heuristic.pool_of params ~platform ~wapp with
   | None ->
@@ -150,7 +153,9 @@ let plan ?(shards = 0) ~pool params ~platform ~wapp ~demand =
       (Adept.Planner.run Adept.Planner.Heuristic params ~platform ~wapp ~demand,
        { shards_used = 1; hint = 0.0; speculated = 0; inline_probes = 0 })
   | Some npool ->
-      let shards_used, hint = shard_hint pool ~shards params npool ~wapp ~demand in
+      let shards_used, hint =
+        shard_hint ?prof pool ~shards params npool ~wapp ~demand
+      in
       let hi =
         Float.min
           (Adept.Node_pool.hi_sched npool)
@@ -176,7 +181,10 @@ let plan ?(shards = 0) ~pool params ~platform ~wapp ~demand =
             incr inline_probes;
             Adept.Heuristic.probe params npool ~target
       in
-      let result = Adept.Planner.run_with_probe probe params ~platform ~wapp ~demand in
+      let result =
+        Prof.time prof ~stage:"replay" (fun () ->
+            Adept.Planner.run_with_probe probe params ~platform ~wapp ~demand)
+      in
       ( result,
         {
           shards_used;

@@ -20,6 +20,7 @@ type diag = {
 
 val plan :
   ?shards:int ->
+  ?prof:Prof.t ->
   pool:Domain_pool.t ->
   Adept_model.Params.t ->
   platform:Platform.t ->
@@ -27,6 +28,9 @@ val plan :
   demand:Adept_model.Demand.t ->
   (Adept.Planner.plan, Adept.Error.t) Stdlib.result * diag
 (** Plan with the heuristic strategy, sharded across [pool]'s domains.
+    [prof] collects wall-clock ["shard"] (one per shard hint, labeled
+    with the shard index) and ["replay"] stage samples — pure
+    observation, never a planning input.
     [shards] defaults to the pool size; it is clamped to
     [platform size / 2] so every shard keeps at least two nodes (an
     agent and a server).  Platforms the heuristic cannot shard

@@ -104,9 +104,10 @@ let plan_syn8 =
 
 let sample_envelopes =
   [
-    { Proto.id = 1; request = plan_syn8 };
+    { Proto.id = 1; trace = None; request = plan_syn8 };
     {
       Proto.id = 2;
+      trace = None;
       request =
         Proto.Plan
           {
@@ -121,6 +122,7 @@ let sample_envelopes =
     };
     {
       Proto.id = 3;
+      trace = None;
       request =
         Proto.Plan
           {
@@ -133,6 +135,7 @@ let sample_envelopes =
     };
     {
       Proto.id = 4;
+      trace = None;
       request =
         Proto.Replan
           {
@@ -145,6 +148,7 @@ let sample_envelopes =
     };
     {
       Proto.id = 5;
+      trace = None;
       request =
         Proto.Observe
           {
@@ -158,7 +162,12 @@ let sample_envelopes =
             o_duration = 1.5;
           };
     };
-    { Proto.id = 6; request = Proto.Stats };
+    { Proto.id = 6; trace = None; request = Proto.Stats };
+    (* trace context rides the envelope, orthogonal to the method *)
+    { Proto.id = 7; trace = Some 1_000_007; request = plan_syn8 };
+    { Proto.id = 8; trace = Some 0; request = Proto.Stats };
+    { Proto.id = 9; trace = Some max_int; request = Proto.Trace_dump };
+    { Proto.id = 10; trace = None; request = Proto.Trace_dump };
   ]
 
 let test_request_fixpoint () =
@@ -187,6 +196,19 @@ let sample_stats =
     coalesced = 4;
     workers = 1;
     shards = 2;
+    live = None;
+  }
+
+let sample_live =
+  {
+    Proto.uptime_seconds = 12.5;
+    latency_p50 = 0.0015;
+    latency_p99 = 0.25;
+    cache_hit_ratio = 0.75;
+    gc_pause_p99 = 0.00012;
+    domain_busy = [ 0.5; 0.25 ];
+    traces_sampled = 17;
+    firing_alerts = [ ("serve_latency_p99_high", "warning") ];
   }
 
 let sample_replies =
@@ -209,6 +231,23 @@ let sample_replies =
     { Proto.reply_id = 7; response = Proto.Error (Proto.Unknown_method "frobnicate") };
     { Proto.reply_id = 8; response = Proto.Error (Proto.Invalid_params "missing field \"failed\"") };
     { Proto.reply_id = 9; response = Proto.Error (Proto.Plan_failed "no feasible hierarchy") };
+    {
+      Proto.reply_id = 10;
+      response = Proto.Trace_ok { chrome = "{\"traceEvents\":[]}" };
+    };
+    {
+      Proto.reply_id = 11;
+      response = Proto.Stats_ok { sample_stats with Proto.live = Some sample_live };
+    };
+    {
+      Proto.reply_id = 12;
+      response =
+        Proto.Stats_ok
+          {
+            sample_stats with
+            Proto.live = Some { sample_live with Proto.domain_busy = []; firing_alerts = [] };
+          };
+    };
   ]
 
 let test_reply_fixpoint () =
@@ -253,6 +292,123 @@ let test_decode_defaults_match_cli () =
         && p.Proto.dgemm = 310 && p.Proto.demand = None
         && p.Proto.strategy = "heuristic" && p.Proto.use_cache)
   | _ -> Alcotest.fail "defaulted plan request did not decode"
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_trace_context_compat () =
+  (* old client: no "trace" member at all ⇒ decodes, trace = None *)
+  (match Proto.decode_request "{\"id\":1,\"method\":\"stats\",\"params\":{}}" with
+  | Proto.Request { trace = None; request = Proto.Stats; _ } -> ()
+  | _ -> Alcotest.fail "traceless request must decode with trace = None");
+  (* a malformed trace member never rejects the request — the span is
+     suppressed, the request is served *)
+  (match
+     Proto.decode_request "{\"id\":2,\"trace\":\"xyz\",\"method\":\"stats\",\"params\":{}}"
+   with
+  | Proto.Request { trace = None; request = Proto.Stats; _ } -> ()
+  | _ -> Alcotest.fail "malformed trace must decode with trace = None");
+  (match
+     Proto.decode_request "{\"id\":3,\"trace\":null,\"method\":\"stats\",\"params\":{}}"
+   with
+  | Proto.Request { trace = None; request = Proto.Stats; _ } -> ()
+  | _ -> Alcotest.fail "null trace must decode with trace = None");
+  (* encoding trace = None emits no member an old server could see *)
+  let untraced =
+    Proto.encode_request { Proto.id = 4; trace = None; request = Proto.Stats }
+  in
+  Alcotest.(check bool) "no trace member when None" false
+    (contains untraced "trace");
+  let traced =
+    Proto.encode_request { Proto.id = 4; trace = Some 9; request = Proto.Stats }
+  in
+  Alcotest.(check bool) "trace member when Some" true
+    (contains traced "\"trace\":9")
+
+let test_stats_live_absent_when_none () =
+  (* live = None encodes byte-identically to the pre-observability
+     stats object: no "live" member, nothing for an old client to
+     choke on *)
+  let encoded =
+    Proto.encode_reply
+      { Proto.reply_id = 1; response = Proto.Stats_ok sample_stats }
+  in
+  Alcotest.(check bool) "no live member" false (contains encoded "live")
+
+(* Property: any envelope — traced or not, any method, any finite
+   numeric params — survives encode/decode bit-exactly. *)
+let prop_envelope_fixpoint =
+  let open QCheck in
+  let gen =
+    Gen.(
+      let spec =
+        oneof
+          [
+            map2
+              (fun n seed ->
+                Proto.Synthetic
+                  {
+                    nodes = n;
+                    power = float_of_int (100 + (seed mod 900)) +. 0.5;
+                    bandwidth = 1000.0;
+                    heterogeneous = n mod 2 = 0;
+                    seed;
+                  })
+              (int_range 2 200) (int_range 0 10_000);
+            map
+              (fun s -> Proto.Catalog s)
+              (string_size ~gen:(char_range 'a' 'z') (int_range 0 24));
+          ]
+      in
+      let demand = opt (map (fun i -> float_of_int i /. 7.0) (int_range 1 10_000)) in
+      let strategy = oneofl [ "heuristic"; "star"; "greedy" ] in
+      let request =
+        frequency
+          [
+            ( 4,
+              let* spec = spec and* dgemm = int_range 1 5_000
+              and* demand = demand and* strategy = strategy
+              and* use_cache = bool in
+              return (Proto.Plan { spec; dgemm; demand; strategy; use_cache })
+            );
+            ( 2,
+              let* r_spec = spec and* r_dgemm = int_range 1 5_000
+              and* r_demand = demand and* r_strategy = strategy
+              and* r_failed = list_size (int_range 0 6) (int_range 0 199) in
+              return
+                (Proto.Replan { r_spec; r_dgemm; r_demand; r_strategy; r_failed })
+            );
+            ( 2,
+              let* o_spec = spec and* o_dgemm = int_range 1 5_000
+              and* o_demand = demand and* o_strategy = strategy
+              and* o_seed = int_range 0 1_000 and* o_clients = int_range 1 100
+              and* o_warmup = map (fun i -> float_of_int i /. 4.0) (int_range 0 8)
+              and* o_duration = map (fun i -> float_of_int i /. 4.0) (int_range 1 8) in
+              return
+                (Proto.Observe
+                   {
+                     o_spec; o_dgemm; o_demand; o_strategy;
+                     o_seed; o_clients; o_warmup; o_duration;
+                   }));
+            (1, return Proto.Stats);
+            (1, return Proto.Trace_dump);
+          ]
+      in
+      let* id = int_range 0 1_000_000
+      and* trace = opt (int_range 0 max_int)
+      and* request = request in
+      return { Proto.id; trace; request })
+  in
+  QCheck.Test.make ~count:200 ~name:"envelope codec fixpoint" (QCheck.make gen)
+    (fun e ->
+      match Proto.decode_request (Proto.encode_request e) with
+      | Proto.Request e' -> e' = e
+      | Proto.Bad _ -> false)
+
+let test_envelope_qcheck_fixpoint () =
+  QCheck.Test.check_exn prop_envelope_fixpoint
 
 let test_spec_digest () =
   Alcotest.(check string) "equal specs, equal digests"
@@ -554,6 +710,14 @@ let temp_socket_path () =
    graceful shutdown. *)
 let server_socket_var = "ADEPT_SERVE_TEST_SOCKET"
 
+(* When set, the child serves with observability on (value = shard
+   count, so the traced suites can exercise the sharded stage spans).
+   The golden-transcript child never sets it: the golden bytes pin the
+   obs-off path. *)
+let server_obs_var = "ADEPT_SERVE_TEST_OBS"
+let server_access_var = "ADEPT_SERVE_TEST_ACCESS_LOG"
+let server_prom_var = "ADEPT_SERVE_TEST_PROM"
+
 let run_as_server_child path =
   (* a SIGTERM racing server startup must still drain, hence the
      interim handler installed before [create]/[serve] *)
@@ -566,10 +730,32 @@ let run_as_server_child path =
          | Some server -> Server.stop server
          | None -> early_stop := true));
   let addr = Server.Unix_socket path in
+  let obs, shards =
+    match Sys.getenv_opt server_obs_var with
+    | None -> (None, 1)
+    | Some v ->
+        let shards =
+          match int_of_string_opt v with Some n when n > 0 -> n | _ -> 1
+        in
+        ( Some
+            {
+              (Server.default_obs ()) with
+              Server.scrape_interval = 0.05;
+              trace_slowest = 8;
+              access_log = Sys.getenv_opt server_access_var;
+              prom_path = Sys.getenv_opt server_prom_var;
+            },
+          shards )
+  in
   let config =
     (* one worker, one shard: counters and replies must not depend on
        the machine's core count (the transcript is golden) *)
-    { (Server.default_config addr) with Server.workers = Some 1; shards = Some 1 }
+    {
+      (Server.default_config addr) with
+      Server.workers = Some 1;
+      shards = Some shards;
+      obs;
+    }
   in
   exit
     (try
@@ -585,12 +771,12 @@ let () =
   | Some path -> run_as_server_child path
   | None -> ()
 
-let with_server f =
+let with_server ?(extra_env = []) f =
   let path = temp_socket_path () in
   let addr = Server.Unix_socket path in
   let env =
     Array.append (Unix.environment ())
-      [| server_socket_var ^ "=" ^ path |]
+      (Array.of_list ((server_socket_var ^ "=" ^ path) :: extra_env))
   in
   let pid =
     Unix.create_process_env Sys.executable_name
@@ -633,11 +819,12 @@ let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
    can be pinned byte-for-byte. *)
 let session_requests =
   [
-    `Typed { Proto.id = 1; request = plan_syn8 };
-    `Typed { Proto.id = 2; request = plan_syn8 };
+    `Typed { Proto.id = 1; trace = None; request = plan_syn8 };
+    `Typed { Proto.id = 2; trace = None; request = plan_syn8 };
     `Typed
       {
         Proto.id = 3;
+        trace = None;
         request =
           Proto.Replan
             {
@@ -648,12 +835,13 @@ let session_requests =
               r_failed = [ 1 ];
             };
       };
-    `Typed { Proto.id = 4; request = plan_syn8 };
+    `Typed { Proto.id = 4; trace = None; request = plan_syn8 };
     `Raw "{\"id\":7,\"method\":\"frobnicate\",\"params\":{}}";
     `Raw "this is not json";
     `Typed
       {
         Proto.id = 8;
+        trace = None;
         request =
           Proto.Observe
             {
@@ -667,7 +855,7 @@ let session_requests =
               o_duration = 1.0;
             };
       };
-    `Typed { Proto.id = 9; request = Proto.Stats };
+    `Typed { Proto.id = 9; trace = None; request = Proto.Stats };
   ]
 
 (* Returns the transcript (one JSON object per line, [c2s]/[s2c]) and
@@ -816,6 +1004,223 @@ let test_client_call_no_cache () =
       | _ -> Alcotest.fail "expected Stats_ok");
       Client.close c)
 
+(* ---------- wall-clock observability over the live server ---------- *)
+
+let collect_raw_replies addr payloads =
+  let fd = connect_raw addr in
+  Fun.protect
+    ~finally:(fun () -> close_quietly fd)
+    (fun () ->
+      List.map
+        (fun payload ->
+          Wire.write_frame fd payload;
+          Wire.read_frame fd)
+        payloads)
+
+let test_trace_dump_requires_obs () =
+  with_server (fun addr ->
+      let c =
+        match Client.connect_retry addr with
+        | Ok c -> c
+        | Error e -> Alcotest.fail e
+      in
+      (match Client.call c Proto.Trace_dump with
+      | Ok (Proto.Error (Proto.Invalid_params _)) -> ()
+      | Ok _ -> Alcotest.fail "trace dump on an untraced server must error"
+      | Error e -> Alcotest.fail e);
+      (* the error is typed, not fatal: the connection still serves *)
+      (match Client.call c Proto.Stats with
+      | Ok (Proto.Stats_ok s) ->
+          Alcotest.(check bool) "no live block without obs" true
+            (s.Proto.live = None)
+      | _ -> Alcotest.fail "expected Stats_ok");
+      Client.close c)
+
+let test_tracing_byte_identical () =
+  (* the hard invariant of the whole observability layer: raw reply
+     bytes are identical with tracing on (every request sampled) and
+     off — for traced and untraced envelopes alike *)
+  let payloads =
+    List.map Proto.encode_request
+      [
+        { Proto.id = 1; trace = Some 101; request = plan_syn8 };
+        { Proto.id = 2; trace = Some 102; request = plan_syn8 };
+        {
+          Proto.id = 3;
+          trace = Some 103;
+          request =
+            Proto.Replan
+              {
+                r_spec = syn8;
+                r_dgemm = 310;
+                r_demand = None;
+                r_strategy = "heuristic";
+                r_failed = [ 1 ];
+              };
+        };
+        { Proto.id = 4; trace = None; request = plan_syn8 };
+        {
+          Proto.id = 5;
+          trace = Some 105;
+          request =
+            Proto.Observe
+              {
+                o_spec = syn8;
+                o_dgemm = 310;
+                o_demand = None;
+                o_strategy = "heuristic";
+                o_seed = 42;
+                o_clients = 10;
+                o_warmup = 0.5;
+                o_duration = 1.0;
+              };
+        };
+      ]
+    @ [ "{\"id\":7,\"method\":\"frobnicate\",\"params\":{}}" ]
+  in
+  let plain = with_server (fun addr -> collect_raw_replies addr payloads) in
+  let traced =
+    with_server
+      ~extra_env:[ server_obs_var ^ "=1" ]
+      (fun addr -> collect_raw_replies addr payloads)
+  in
+  List.iteri
+    (fun i (a, b) ->
+      Alcotest.(check string)
+        (Printf.sprintf "reply %d byte-identical with tracing on" i)
+        a b)
+    (List.combine plain traced)
+
+let test_trace_dump_spans () =
+  with_server
+    ~extra_env:[ server_obs_var ^ "=2" ]
+    (fun addr ->
+      let c =
+        match Client.connect_retry ~trace_base:1_000 addr with
+        | Ok c -> c
+        | Error e -> Alcotest.fail e
+      in
+      (* a cold sharded plan, a cache hit, then the dump *)
+      (match Client.call c plan_syn8 with
+      | Ok (Proto.Plan_ok p) ->
+          Alcotest.(check bool) "cold" false p.cached
+      | _ -> Alcotest.fail "expected Plan_ok");
+      (match Client.call c plan_syn8 with
+      | Ok (Proto.Plan_ok p) -> Alcotest.(check bool) "hit" true p.cached
+      | _ -> Alcotest.fail "expected Plan_ok");
+      (match Client.call c Proto.Trace_dump with
+      | Ok (Proto.Trace_ok { chrome }) ->
+          (match Json.of_string chrome with
+          | Ok _ -> ()
+          | Error e -> Alcotest.fail ("chrome trace is not JSON: " ^ e));
+          List.iter
+            (fun span ->
+              Alcotest.(check bool) ("dump has " ^ span) true
+                (contains chrome ("\"" ^ span ^ "\"")))
+            [
+              "serve.frame_read"; "serve.parse"; "serve.cache_lookup";
+              "serve.shard_plan"; "serve.replay"; "serve.render";
+              "serve.write";
+            ]
+      | Ok _ -> Alcotest.fail "expected Trace_ok"
+      | Error e -> Alcotest.fail e);
+      (* live stats report the sampled traces *)
+      (match Client.call c Proto.Stats with
+      | Ok (Proto.Stats_ok { live = Some l; _ }) ->
+          Alcotest.(check bool) "traces sampled" true (l.Proto.traces_sampled >= 2);
+          Alcotest.(check bool) "uptime moves" true (l.Proto.uptime_seconds >= 0.0);
+          Alcotest.(check bool) "hit ratio in range" true
+            (l.Proto.cache_hit_ratio >= 0.0 && l.Proto.cache_hit_ratio <= 1.0)
+      | Ok (Proto.Stats_ok { live = None; _ }) ->
+          Alcotest.fail "obs server must report live stats"
+      | _ -> Alcotest.fail "expected Stats_ok");
+      Client.close c)
+
+let read_all path = In_channel.with_open_bin path In_channel.input_all
+
+let test_access_log () =
+  let log = Filename.temp_file "adept-access" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove log with Sys_error _ -> ())
+    (fun () ->
+      with_server
+        ~extra_env:
+          [ server_obs_var ^ "=1"; server_access_var ^ "=" ^ log ]
+        (fun addr ->
+          let c =
+            match Client.connect_retry ~trace_base:500 addr with
+            | Ok c -> c
+            | Error e -> Alcotest.fail e
+          in
+          ignore (Client.call c plan_syn8);
+          ignore (Client.call c plan_syn8);
+          ignore (Client.call c Proto.Stats);
+          Client.close c);
+      let lines =
+        read_all log |> String.split_on_char '\n'
+        |> List.filter (fun l -> l <> "")
+      in
+      Alcotest.(check int) "one line per request" 3 (List.length lines);
+      let objs =
+        List.map
+          (fun l ->
+            match Json.of_string l with
+            | Ok (Json.Obj o) -> o
+            | _ -> Alcotest.fail ("access log line is not an object: " ^ l))
+          lines
+      in
+      let str o k = Option.bind (List.assoc_opt k o) Json.to_string_v in
+      let methods = List.filter_map (fun o -> str o "method") objs in
+      Alcotest.(check (list string)) "methods in order"
+        [ "plan"; "plan"; "stats" ] methods;
+      List.iter
+        (fun o ->
+          Alcotest.(check bool) "status ok" true (str o "status" = Some "ok");
+          Alcotest.(check bool) "trace id present" true
+            (match List.assoc_opt "trace" o with
+            | Some (Json.Int _) -> true
+            | _ -> false);
+          Alcotest.(check bool) "duration present" true
+            (match Option.bind (List.assoc_opt "duration" o) Json.to_float with
+            | Some d -> d >= 0.0
+            | None -> false))
+        objs;
+      (* cold plan misses, repeat hits *)
+      Alcotest.(check (list (option string))) "cache column"
+        [ Some "miss"; Some "hit"; None ]
+        (List.map (fun o -> str o "cache") objs))
+
+let test_prom_snapshot () =
+  let prom = Filename.temp_file "adept-prom" ".prom" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove prom with Sys_error _ -> ())
+    (fun () ->
+      with_server
+        ~extra_env:[ server_obs_var ^ "=1"; server_prom_var ^ "=" ^ prom ]
+        (fun addr ->
+          let c =
+            match Client.connect_retry ~trace_base:0 addr with
+            | Ok c -> c
+            | Error e -> Alcotest.fail e
+          in
+          ignore (Client.call c plan_syn8);
+          ignore (Client.call c plan_syn8);
+          ignore (Client.call c Proto.Stats);
+          Client.close c);
+      (* teardown rewrites the snapshot unconditionally *)
+      let text = read_all prom in
+      List.iter
+        (fun metric ->
+          Alcotest.(check bool) ("HELP for " ^ metric) true
+            (contains text ("# HELP " ^ metric)))
+        [
+          "adept_serve_requests_total"; "adept_serve_request_seconds";
+          "adept_serve_cache_hits_total"; "adept_serve_cache_misses_total";
+          "adept_serve_cache_hit_ratio"; "adept_serve_inflight_requests";
+          "adept_serve_traces_sampled_total"; "adept_serve_scrapes_total";
+          "adept_runtime_gc_pause_seconds"; "adept_runtime_events_total";
+        ])
+
 let test_address_parsing () =
   (match Server.address_of_string "unix:/tmp/x.sock" with
   | Ok (Server.Unix_socket "/tmp/x.sock") -> ()
@@ -836,6 +1241,223 @@ let test_address_parsing () =
       | Error e -> Alcotest.fail e)
     [ "unix:/tmp/x.sock"; "tcp:localhost:9090" ]
 
+(* ---------- observability units ---------- *)
+
+module Obs = Adept_obs
+module Prof = Adept_serve.Prof
+module Rtm = Adept_serve.Runtime_metrics
+module Rt = Adept_obs.Request_trace
+module Clock = Adept_obs.Clock
+
+let test_clock_sources () =
+  let m = Clock.manual ~start:5.0 () in
+  Alcotest.(check (float 0.0)) "manual start" 5.0 (Clock.now m);
+  Clock.advance m 2.5;
+  Alcotest.(check (float 0.0)) "manual advance" 7.5 (Clock.now m);
+  (match Clock.advance m (-1.0) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "negative advance must raise");
+  Alcotest.(check bool) "manual is manual" true (Clock.is_manual m);
+  (* a stepped system clock can never move a source clock backwards *)
+  let readings = ref [ 10.0; 20.0; 15.0; 30.0 ] in
+  let read () =
+    match !readings with [] -> 99.0 | r :: tl -> readings := tl; r
+  in
+  let s = Clock.source read in
+  Alcotest.(check bool) "source is not manual" false (Clock.is_manual s);
+  let seen = List.init 4 (fun _ -> Clock.now s) in
+  Alcotest.(check (list (float 0.0))) "clamped monotone"
+    [ 10.0; 20.0; 20.0; 30.0 ] seen;
+  (* [raw] hands out the unclamped reader (safe on worker domains) *)
+  let vals = ref [ 5.0; 2.0 ] in
+  let s2 = Clock.source (fun () -> match !vals with [] -> 0.0 | v :: tl -> vals := tl; v) in
+  let raw = Clock.raw s2 in
+  Alcotest.(check (float 0.0)) "raw first" 5.0 (raw ());
+  Alcotest.(check (float 0.0)) "raw is unclamped" 2.0 (raw ())
+
+let test_trace_sampling_deterministic () =
+  (* head sampling is a pure function of the trace id: two stores with
+     the same rate agree on every id, and no RNG state is consulted *)
+  let a = Rt.create ~sample_rate:0.35 () in
+  let b = Rt.create ~sample_rate:0.35 () in
+  let ids = List.init 400 (fun i -> 7919 * (i + 1)) in
+  let da = List.map (Rt.would_sample a) ids in
+  let db = List.map (Rt.would_sample b) ids in
+  Alcotest.(check bool) "identical decisions" true (da = db);
+  Alcotest.(check bool) "some sampled" true (List.mem true da);
+  Alcotest.(check bool) "some skipped" true (List.mem false da);
+  List.iter
+    (fun id ->
+      match Rt.begin_with_id b ~id ~now:0.0 with
+      | Some h ->
+          Alcotest.(check bool) "handle carries the wire id" true
+            (Rt.trace_id h = id);
+          Alcotest.(check bool) "begin agrees with would_sample" true
+            (Rt.would_sample a id);
+          Rt.abandon b h
+      | None ->
+          Alcotest.(check bool) "skip agrees with would_sample" false
+            (Rt.would_sample a id))
+    ids;
+  let always = Rt.create ~sample_rate:1.0 () in
+  let never = Rt.create ~sample_rate:0.0 () in
+  Alcotest.(check bool) "rate 1 samples all" true
+    (List.for_all (Rt.would_sample always) ids);
+  Alcotest.(check bool) "rate 0 samples none" true
+    (List.for_all (fun id -> not (Rt.would_sample never id)) ids)
+
+let test_prof_samples () =
+  let t = ref 0.0 in
+  let now () =
+    let v = !t in
+    t := v +. 1.0;
+    v
+  in
+  let p = Prof.create ~now in
+  Alcotest.(check int) "None is a free no-op" 3
+    (Prof.time None ~stage:"x" (fun () -> 3));
+  Alcotest.(check int) "result passes through" 7
+    (Prof.time (Some p) ~stage:"shard" ~shard:2 (fun () -> 7));
+  (match Prof.time (Some p) ~stage:"replay" (fun () -> failwith "boom") with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "the thunk's exception must propagate");
+  match Prof.samples p with
+  | [ s1; s2 ] ->
+      Alcotest.(check string) "stage 1" "shard" s1.Prof.ps_stage;
+      Alcotest.(check int) "shard index" 2 s1.Prof.ps_shard;
+      Alcotest.(check (float 0.0)) "start 1" 0.0 s1.Prof.ps_start;
+      Alcotest.(check (float 0.0)) "stop 1" 1.0 s1.Prof.ps_stop;
+      Alcotest.(check string) "stage 2 recorded despite the raise" "replay"
+        s2.Prof.ps_stage;
+      Alcotest.(check int) "no shard" (-1) s2.Prof.ps_shard
+  | l -> Alcotest.fail (Printf.sprintf "expected 2 samples, got %d" (List.length l))
+
+let test_cache_eviction_age () =
+  let ages = ref [] in
+  let c = Cache.create ~capacity:1 ~on_evict:(fun ~age -> ages := age :: !ages) () in
+  Cache.add c ~now:10.0 ~digest:"a" ~strategy:"h" ~wapp:1.0 ~demand:None (entry "a");
+  Cache.add c ~now:25.5 ~digest:"b" ~strategy:"h" ~wapp:1.0 ~demand:None (entry "b");
+  Alcotest.(check (list (float 1e-9))) "age = insertion to eviction" [ 15.5 ] !ages;
+  Alcotest.(check (float 1e-9)) "no lookups yet" 0.0 (Cache.hit_ratio c);
+  ignore (Cache.find c ~digest:"b" ~strategy:"h" ~wapp:1.0 ~demand:None);
+  ignore (Cache.find c ~digest:"z" ~strategy:"h" ~wapp:1.0 ~demand:None);
+  Alcotest.(check (float 1e-9)) "one hit, one miss" 0.5 (Cache.hit_ratio c)
+
+let test_pool_busy_seconds () =
+  let pool = Pool.create ~workers:2 () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      Alcotest.(check int) "one cell per worker" 2
+        (Array.length (Pool.busy_seconds pool));
+      (* poll rather than await: await helps, and a helped task runs on
+         this domain — the point here is the WORKER's accounting *)
+      let f = Pool.submit pool (fun () -> Unix.sleepf 0.05) in
+      let rec settle n =
+        if (not (Pool.is_resolved f)) && n > 0 then begin
+          Unix.sleepf 0.01;
+          settle (n - 1)
+        end
+      in
+      settle 200;
+      Pool.await f;
+      let total = Array.fold_left ( +. ) 0.0 (Pool.busy_seconds pool) in
+      Alcotest.(check bool) "busy time accrued" true (total >= 0.04);
+      let again = Array.fold_left ( +. ) 0.0 (Pool.busy_seconds pool) in
+      Alcotest.(check bool) "monotone" true (again >= total))
+
+let test_runtime_metrics () =
+  let reg = Obs.Registry.create () in
+  match Rtm.start ~registry:reg () with
+  | Error e -> Alcotest.fail ("runtime events unavailable: " ^ e)
+  | Ok rm ->
+      (* the full pause metric set exists before any collection *)
+      (match Obs.Registry.find reg "adept_runtime_gc_pause_seconds" with
+      | Some fam ->
+          Alcotest.(check int) "one series per pause phase"
+            (List.length Rtm.pause_phases)
+            (List.length fam.Obs.Registry.series)
+      | None -> Alcotest.fail "pause histogram not pre-registered");
+      (* allocate hard so minor collections certainly happen *)
+      let junk = ref [] in
+      for i = 0 to 500 do
+        junk := Array.make 10_000 (float_of_int i) :: !junk;
+        if i mod 50 = 0 then junk := []
+      done;
+      Gc.full_major ();
+      let drained = ref 0 in
+      for _ = 1 to 10 do
+        drained := !drained + Rtm.poll rm
+      done;
+      Alcotest.(check bool) "events drained" true (!drained > 0);
+      (match Obs.Registry.find reg "adept_runtime_gc_pause_seconds" with
+      | Some fam ->
+          let pauses =
+            List.fold_left
+              (fun acc (_, v) ->
+                match v with
+                | Obs.Registry.Histogram s -> acc + Obs.Histogram.count s
+                | _ -> acc)
+              0 fam.Obs.Registry.series
+          in
+          Alcotest.(check bool) "non-zero gc pauses recorded" true (pauses > 0)
+      | None -> Alcotest.fail "pause histogram vanished");
+      match Obs.Registry.find reg "adept_runtime_events_total" with
+      | Some _ -> ()
+      | None -> Alcotest.fail "event counter missing"
+
+(* ---------- alert timeline (golden) ---------- *)
+
+(* The serve rule set over a manual clock: a forced cache-hit-ratio
+   collapse arms, fires after its for-window, and resolves on
+   recovery, while the healthy rules stay silent throughout.  Every
+   input is a fixed float, so the exported timeline is golden. *)
+let alert_timeline () =
+  let rules = Server.default_rules () in
+  let ts =
+    Obs.Timeseries.create ~retention:300.0
+      (List.concat_map Obs.Rule.selectors rules)
+  in
+  let alerts =
+    match Obs.Alert.create ~timeseries:ts rules with
+    | Ok a -> a
+    | Error e -> failwith e
+  in
+  let reg = Obs.Registry.create () in
+  let latency = Obs.Registry.histogram reg Obs.Semconv.serve_request_seconds in
+  let inflight = Obs.Registry.gauge reg Obs.Semconv.serve_inflight_requests in
+  let hit_ratio = Obs.Registry.gauge reg Obs.Semconv.serve_cache_hit_ratio in
+  let misses = Obs.Registry.counter reg Obs.Semconv.serve_cache_misses_total in
+  Obs.Gauge.set inflight 2.0;
+  for sec = 0 to 30 do
+    let now = float_of_int sec in
+    Obs.Histogram.record latency 0.01;
+    Obs.Counter.inc misses;
+    Obs.Gauge.set hit_ratio (if sec >= 10 && sec < 25 then 0.2 else 0.9);
+    Obs.Timeseries.scrape ts ~registry:reg ~now;
+    Obs.Alert.eval alerts ~now
+  done;
+  (alerts, Obs.Export.alert_timeline_jsonl alerts)
+
+let test_alert_timeline_golden () =
+  let alerts, got = alert_timeline () in
+  (* semantics first: exactly one rule ran the full life cycle *)
+  let names =
+    List.filter_map
+      (fun (tr : Obs.Alert.transition) ->
+        Some tr.Obs.Alert.rule.Obs.Rule.name)
+      (Obs.Alert.transitions alerts)
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check (list string)) "only the hit-ratio rule transitioned"
+    [ "serve_cache_hit_ratio_low" ] names;
+  Alcotest.(check (list string)) "nothing still firing" []
+    (Obs.Alert.firing_names alerts);
+  Alcotest.(check string)
+    "alert timeline is byte-identical (SERVE_ALERTS_GOLDEN_OUT regenerates)"
+    (read_golden "golden/serve_alerts.jsonl")
+    got
+
 (* Regenerate the golden transcript instead of running the suite:
    SERVE_GOLDEN_OUT=/path/to/serve_session.jsonl ./test_serve.exe *)
 let () =
@@ -845,6 +1467,18 @@ let () =
       Out_channel.with_open_bin path (fun oc ->
           Out_channel.output_string oc transcript);
       Printf.printf "wrote %s (%d bytes)\n" path (String.length transcript);
+      exit 0
+  | None -> ()
+
+(* Likewise for the alert-timeline golden:
+   SERVE_ALERTS_GOLDEN_OUT=/path/to/serve_alerts.jsonl ./test_serve.exe *)
+let () =
+  match Sys.getenv_opt "SERVE_ALERTS_GOLDEN_OUT" with
+  | Some path ->
+      let _, timeline = alert_timeline () in
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc timeline);
+      Printf.printf "wrote %s (%d bytes)\n" path (String.length timeline);
       exit 0
   | None -> ()
 
@@ -864,6 +1498,11 @@ let () =
           Alcotest.test_case "reply codec fixpoint" `Quick test_reply_fixpoint;
           Alcotest.test_case "bad requests get typed errors" `Quick test_decode_bad_requests;
           Alcotest.test_case "defaults mirror the CLI" `Quick test_decode_defaults_match_cli;
+          Alcotest.test_case "trace context compatibility" `Quick test_trace_context_compat;
+          Alcotest.test_case "stats without live block are unchanged" `Quick
+            test_stats_live_absent_when_none;
+          Alcotest.test_case "envelope fixpoint (qcheck)" `Quick
+            test_envelope_qcheck_fixpoint;
           Alcotest.test_case "spec digest" `Quick test_spec_digest;
         ] );
       ( "wire",
@@ -904,5 +1543,26 @@ let () =
           Alcotest.test_case "use_cache:false bypasses the cache" `Quick
             test_client_call_no_cache;
           Alcotest.test_case "address parsing" `Quick test_address_parsing;
+        ] );
+      ( "observability",
+        [
+          Alcotest.test_case "clock sources and clamping" `Quick test_clock_sources;
+          Alcotest.test_case "deterministic head sampling" `Quick
+            test_trace_sampling_deterministic;
+          Alcotest.test_case "worker stage profiling" `Quick test_prof_samples;
+          Alcotest.test_case "cache eviction age and hit ratio" `Quick
+            test_cache_eviction_age;
+          Alcotest.test_case "domain busy accounting" `Quick test_pool_busy_seconds;
+          Alcotest.test_case "runtime gc pause metrics" `Quick test_runtime_metrics;
+          Alcotest.test_case "trace dump requires observability" `Quick
+            test_trace_dump_requires_obs;
+          Alcotest.test_case "replies byte-identical with tracing on" `Quick
+            test_tracing_byte_identical;
+          Alcotest.test_case "trace dump carries the stage spans" `Quick
+            test_trace_dump_spans;
+          Alcotest.test_case "access log" `Quick test_access_log;
+          Alcotest.test_case "prometheus snapshot" `Quick test_prom_snapshot;
+          Alcotest.test_case "alert timeline (golden)" `Quick
+            test_alert_timeline_golden;
         ] );
     ]
