@@ -506,6 +506,106 @@ let bench_serve_plan_traced =
   Bechamel.Test.make ~name:"serve/plan-traced"
     (Bechamel.Staged.stage run_plan_traced)
 
+(* The traced plan plus the flight recorder's per-request tax: a
+   Begin_request and a Finish (with the full span array) appended and
+   flushed to the journal.  The OTLP push rides the scrape cadence, not
+   the request path, so it is deliberately absent here. *)
+let bench_journal_dir =
+  lazy
+    (let path = Filename.temp_file "adept-bench-journal" "" in
+     Sys.remove path;
+     Unix.mkdir path 0o755;
+     path)
+
+let recorded_plan_journal =
+  lazy
+    (match Adept_obs.Journal.create (Lazy.force bench_journal_dir) with
+    | Ok w -> w
+    | Error e -> failwith ("serve/plan-recorded: " ^ e))
+
+let run_plan_recorded () =
+  let module Rt = Adept_obs.Request_trace in
+  let module Journal = Adept_obs.Journal in
+  let traces = Lazy.force traced_plan_store in
+  let w = Lazy.force recorded_plan_journal in
+  let now = Unix.gettimeofday in
+  let t0 = now () in
+  match Rt.begin_with_id traces ~id:1 ~now:t0 with
+  | None -> failwith "serve/plan-recorded: rate-1.0 request not sampled"
+  | Some h ->
+      ignore
+        (Journal.append w
+           (Journal.Begin_request { b_at = t0; b_trace = 1; b_sampled = true }));
+      let prof = Sprof.create ~now in
+      (match Srender.plan ~prof serve_plan_params with
+      | Ok (_text, _rho, _nodes_used) -> ()
+      | Error e -> failwith e);
+      let parent = ref (-1) in
+      List.iter
+        (fun (s : Sprof.sample) ->
+          let kind =
+            Rt.Stage
+              (match s.Sprof.ps_stage with
+              | "shard" -> Rt.Shard_plan
+              | "replay" -> Rt.Replay
+              | _ -> Rt.Render_reply)
+          in
+          parent :=
+            Rt.add_span traces h ~parent:!parent ~kind
+              ~node:(max 0 s.Sprof.ps_shard) ~start:s.Sprof.ps_start
+              ~stop:s.Sprof.ps_stop)
+        (Sprof.samples prof);
+      let t1 = now () in
+      let tr = Rt.finish_trace traces h ~now:t1 in
+      ignore
+        (Journal.append w
+           (Journal.Finish
+              {
+                f_at = t1;
+                f_trace = 1;
+                f_issued = t0;
+                f_conn = 1;
+                f_spans =
+                  Option.map (fun t -> t.Adept_obs.Request_trace.tr_spans) tr;
+                f_dropped_spans = Rt.dropped_spans traces;
+              }))
+
+let bench_serve_plan_recorded =
+  Bechamel.Test.make ~name:"serve/plan-recorded"
+    (Bechamel.Staged.stage run_plan_recorded)
+
+(* Raw recorder throughput: 1000 spans' worth of Finish records (125
+   finishes of 8 spans each) appended and flushed. *)
+let bench_journal_append =
+  let module Journal = Adept_obs.Journal in
+  let spans =
+    Array.init 8 (fun i ->
+        {
+          Adept_obs.Request_trace.sp_id = i;
+          sp_parent = i - 1;
+          sp_kind = Adept_obs.Request_trace.Stage Adept_obs.Request_trace.Parse;
+          sp_node = -1;
+          sp_start = float_of_int i;
+          sp_stop = float_of_int i +. 0.5;
+        })
+  in
+  Bechamel.Test.make ~name:"journal/append-1k-spans"
+    (Bechamel.Staged.stage (fun () ->
+         let w = Lazy.force recorded_plan_journal in
+         for i = 1 to 125 do
+           ignore
+             (Journal.append w
+                (Journal.Finish
+                   {
+                     f_at = float_of_int i;
+                     f_trace = i;
+                     f_issued = float_of_int i -. 0.5;
+                     f_conn = 1;
+                     f_spans = Some spans;
+                     f_dropped_spans = 0;
+                   }))
+         done))
+
 (* The wall-clock overhead gate on the hard invariant's cheap half:
    tracing may not tax the request path.  Interleaved p50s (drift hits
    both arms equally) of the traced and untraced cold plan; traced must
@@ -539,6 +639,40 @@ let check_tracing_overhead () =
     (p50 a *. 1e9) (p50 b *. 1e9) ratio;
   if ratio > 1.05 then begin
     print_endline "bench: tracing overhead beyond the 1.05x gate";
+    exit 1
+  end
+
+(* The same interleaved-p50 gate with the flight recorder on: tracing
+   plus two flushed journal appends per request must stay within 10%
+   of the untraced cold plan. *)
+let check_recorded_overhead () =
+  let iters = 30 in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  let untraced () =
+    match Srender.plan serve_plan_params with
+    | Ok _ -> ()
+    | Error e -> failwith e
+  in
+  untraced ();
+  run_plan_recorded ();
+  let a = Array.make iters 0.0 and b = Array.make iters 0.0 in
+  for i = 0 to iters - 1 do
+    a.(i) <- time untraced;
+    b.(i) <- time run_plan_recorded
+  done;
+  Array.sort compare a;
+  Array.sort compare b;
+  let p50 x = x.(Array.length x / 2) in
+  let ratio = p50 b /. p50 a in
+  Printf.printf
+    "recorder overhead: plan-cold p50 %.0f ns untraced, %.0f ns recorded (%.3fx, gate 1.10x)\n"
+    (p50 a *. 1e9) (p50 b *. 1e9) ratio;
+  if ratio > 1.10 then begin
+    print_endline "bench: flight-recorder overhead beyond the 1.10x gate";
     exit 1
   end
 
@@ -847,7 +981,8 @@ let run_micro () =
         bench_event_queue; bench_xml;
         bench_plan_100k; bench_replan_incremental; bench_replan_full;
         bench_serve_plan_cold; bench_serve_plan_cached;
-        bench_serve_plan_traced;
+        bench_serve_plan_traced; bench_serve_plan_recorded;
+        bench_journal_append;
       ]
   in
   let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 1.5) ~kde:(Some 1000) () in
@@ -926,6 +1061,7 @@ let () =
     match baseline with
     | Some (baseline_path, baseline) ->
         compare_against ~baseline_path ~baseline ~tolerance fresh;
-        check_tracing_overhead ()
+        check_tracing_overhead ();
+        check_recorded_overhead ()
     | None -> ()
   end

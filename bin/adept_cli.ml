@@ -1490,13 +1490,23 @@ let parse_address s =
 
 let serve_cmd =
   let run address workers shards cache_capacity max_requests prom_out live
-      trace_sample_rate access_log rules_file scrape_interval =
+      trace_sample_rate access_log rules_file scrape_interval journal
+      journal_segment_bytes journal_max_segments otlp =
     let registry = Adept_obs.Registry.create () in
     (* Any observability flag switches the live layer on; [--live] asks
        for it with the defaults. *)
     let obs_on =
       live || trace_sample_rate <> None || access_log <> None
-      || rules_file <> None || scrape_interval <> None
+      || rules_file <> None || scrape_interval <> None || journal <> None
+      || otlp <> None
+    in
+    let otlp_sink =
+      Option.map
+        (fun s ->
+          match Serve.otlp_sink_of_string s with
+          | Ok sink -> sink
+          | Error e -> exit_err ("bad --otlp: " ^ e))
+        otlp
     in
     let obs =
       if not obs_on then None
@@ -1526,6 +1536,14 @@ let serve_cmd =
               Option.value ~default:base.Serve.scrape_interval scrape_interval;
             access_log;
             prom_path = prom_out;
+            journal_dir = journal;
+            journal_segment_bytes =
+              Option.value ~default:base.Serve.journal_segment_bytes
+                journal_segment_bytes;
+            journal_max_segments =
+              Option.value ~default:base.Serve.journal_max_segments
+                journal_max_segments;
+            otlp = otlp_sink;
           }
     in
     Serve.run
@@ -1607,12 +1625,39 @@ let serve_cmd =
            ~doc:"Wall-clock seconds between metric scrapes and alert \
                  evaluations (default 1).  Implies live observability.")
   in
+  let journal =
+    Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"DIR"
+           ~doc:"Crash-safe flight recorder: append every finished span \
+                 chain, scrape summary, alert transition and access-log line \
+                 to rotated segments in this directory, replayable later with \
+                 `adept obs replay`.  Implies live observability.")
+  in
+  let journal_segment_bytes =
+    Arg.(value & opt (some int) None & info [ "journal-segment-bytes" ]
+           ~docv:"BYTES"
+           ~doc:"Rotate flight-recorder segments past this size (default \
+                 4 MiB).")
+  in
+  let journal_max_segments =
+    Arg.(value & opt (some int) None & info [ "journal-max-segments" ]
+           ~docv:"N"
+           ~doc:"Retain at most N flight-recorder segments, pruning the \
+                 oldest (default 8).")
+  in
+  let otlp =
+    Arg.(value & opt (some string) None & info [ "otlp" ] ~docv:"SINK"
+           ~doc:"Push an OTLP/JSON document (sampled spans plus a metrics \
+                 snapshot) on every scrape: a file path (re-written \
+                 atomically) or tcp:<host>:<port> (one connection per push). \
+                 Implies live observability.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the planner as a long-lived, concurrent, sharded service")
     Term.(const run $ address_arg $ workers $ shards $ cache_capacity
           $ max_requests $ prom_out $ live $ trace_sample_rate $ access_log
-          $ rules_file $ scrape_interval)
+          $ rules_file $ scrape_interval $ journal $ journal_segment_bytes
+          $ journal_max_segments $ otlp)
 
 (* The query-side platform description: a catalog file is shipped inline
    (the server may be remote), synthetic parameters go as-is. *)
@@ -1767,7 +1812,18 @@ let print_stats (s : Proto.server_stats) =
             String.concat ""
               (List.map
                  (fun (name, sev) -> Printf.sprintf " %s(%s)" name sev)
-                 alerts))
+                 alerts));
+      match l.Proto.connections with
+      | [] -> ()
+      | conns ->
+          Printf.printf "connections:%s\n"
+            (String.concat ""
+               (List.map
+                  (fun (c : Proto.conn_stats) ->
+                    Printf.sprintf " [%d] %dreq/%dspan/%.1fms" c.Proto.conn_id
+                      c.Proto.conn_requests c.Proto.conn_spans
+                      (c.Proto.conn_seconds *. 1e3))
+                  conns))
 
 let query_stats_cmd =
   let run address =
@@ -1783,27 +1839,38 @@ let query_stats_cmd =
     Term.(const run $ address_arg)
 
 let query_trace_cmd =
-  let run address out =
-    match query_call address Proto.Trace_dump with
-    | Proto.Trace_ok { chrome } -> (
-        match out with
-        | None -> print_string chrome
-        | Some path ->
-            Out_channel.with_open_text path (fun oc ->
-                Out_channel.output_string oc chrome);
-            Printf.printf "wrote Chrome trace JSON to %s\n" path)
-    | _ -> exit_err "server sent a mismatched response"
+  let run address out otlp =
+    let request = if otlp then Proto.Otlp_dump else Proto.Trace_dump in
+    let label = if otlp then "OTLP JSON" else "Chrome trace JSON" in
+    let doc =
+      match query_call address request with
+      | Proto.Trace_ok { chrome } -> chrome
+      | Proto.Otlp_ok { otlp } -> otlp
+      | _ -> exit_err "server sent a mismatched response"
+    in
+    match out with
+    | None -> print_string doc
+    | Some path ->
+        Out_channel.with_open_text path (fun oc ->
+            Out_channel.output_string oc doc);
+        Printf.printf "wrote %s to %s\n" label path
   in
   let out =
     Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE"
            ~doc:"Write the trace document here instead of stdout.")
+  in
+  let otlp =
+    Arg.(value & flag & info [ "otlp" ]
+           ~doc:"Dump one OTLP/JSON document (resource, scope, spans and a \
+                 metrics snapshot with exemplars) instead of Chrome \
+                 trace-event JSON.")
   in
   Cmd.v
     (Cmd.info "trace"
        ~doc:"Dump the server's slowest sampled requests as Chrome trace-event \
              JSON (open in Perfetto): frame read, parse, cache lookup, \
              per-shard plan, replay, render and write spans per request")
-    Term.(const run $ address_arg $ out)
+    Term.(const run $ address_arg $ out $ otlp)
 
 let query_cmd =
   Cmd.group
@@ -1811,6 +1878,86 @@ let query_cmd =
        ~doc:"Send planning requests to a running `adept serve` instance")
     [ query_plan_cmd; query_replan_cmd; query_observe_cmd; query_stats_cmd;
       query_trace_cmd ]
+
+(* ---------- obs ---------- *)
+
+let obs_replay_cmd =
+  let run journal chrome_out alerts_out access_out at_dump until =
+    let cut =
+      match (at_dump, until) with
+      | Some _, Some _ -> exit_err "--at-dump and --until are exclusive"
+      | Some n, None -> Adept_obs.Replay.At_dump n
+      | None, Some t -> Adept_obs.Replay.Until t
+      | None, None -> Adept_obs.Replay.To_end
+    in
+    let reader =
+      match Adept_obs.Journal.open_ journal with
+      | Ok r -> r
+      | Error e -> exit_err ("cannot open journal: " ^ e)
+    in
+    let records = Adept_obs.Journal.records reader in
+    let stats = Adept_obs.Journal.stats reader in
+    let t = Adept_obs.Replay.run ~cut records in
+    let write path what content =
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc content);
+      Printf.printf "wrote %s to %s\n" what path
+    in
+    Option.iter
+      (fun p -> write p "replayed Chrome trace JSON" t.Adept_obs.Replay.rp_chrome)
+      chrome_out;
+    Option.iter
+      (fun p -> write p "replayed alert timeline" t.Adept_obs.Replay.rp_alerts)
+      alerts_out;
+    Option.iter
+      (fun p -> write p "replayed access log" t.Adept_obs.Replay.rp_access)
+      access_out;
+    print_string (Adept_obs.Replay.summary ~stats t)
+  in
+  let journal =
+    Arg.(required & opt (some string) None & info [ "journal" ] ~docv:"DIR"
+           ~doc:"Flight-recorder directory (or a single segment file) written \
+                 by `adept serve --journal`.")
+  in
+  let chrome_out =
+    Arg.(value & opt (some string) None & info [ "chrome" ] ~docv:"FILE"
+           ~doc:"Write the window's Chrome trace-event JSON here — \
+                 byte-identical to what a live `adept query trace` returned \
+                 at the same cut.")
+  in
+  let alerts_out =
+    Arg.(value & opt (some string) None & info [ "alerts" ] ~docv:"FILE"
+           ~doc:"Write the window's alert-transition timeline (JSONL) here.")
+  in
+  let access_out =
+    Arg.(value & opt (some string) None & info [ "access" ] ~docv:"FILE"
+           ~doc:"Write the window's access-log lines (byte-verbatim) here.")
+  in
+  let at_dump =
+    Arg.(value & opt (some int) None & info [ "at-dump" ] ~docv:"N"
+           ~doc:"Cut the replay at the Nth (1-based) live trace dump; 0 means \
+                 the last one.  Reproduces that dump's bytes exactly.")
+  in
+  let until =
+    Arg.(value & opt (some float) None & info [ "until" ] ~docv:"TIME"
+           ~doc:"Replay records with timestamp <= TIME (the clock the server \
+                 ran on, as recorded).")
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Rebuild a past window's observability exports from a flight \
+             recorder: Chrome trace, alert timeline and access log — \
+             bit-identical to what the live server exported — plus an `adept \
+             top`-style summary of the window")
+    Term.(const run $ journal $ chrome_out $ alerts_out $ access_out $ at_dump
+          $ until)
+
+let obs_cmd =
+  Cmd.group
+    (Cmd.info "obs"
+       ~doc:"Retrospective observability: query flight-recorder journals \
+             written by `adept serve --journal`")
+    [ obs_replay_cmd ]
 
 (* ---------- top ---------- *)
 
@@ -1917,7 +2064,7 @@ let main =
       platform_cmd; plan_cmd; eval_cmd; simulate_cmd; observe_cmd; trace_cmd;
       monitor_cmd; replan_cmd; rollout_cmd; compare_cmd; improve_cmd;
       latency_cmd; experiment_cmd; bench_node_cmd; serve_cmd; query_cmd;
-      top_cmd;
+      top_cmd; obs_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -172,24 +172,37 @@ let tracer_jsonl tracer =
     (Tracer.items tracer);
   Buffer.contents buf
 
-let alert_timeline_jsonl alerts =
+(* The line-level emitter is shared between the live path (feeding it
+   [Alert.transitions]) and the flight-recorder replay (feeding it
+   journalled transition records) so both produce identical bytes. *)
+let alert_timeline_entries entries =
   let buf = Buffer.create 1024 in
   List.iter
-    (fun (tr : Alert.transition) ->
+    (fun (at, name, severity, state, value) ->
       Buffer.add_string buf
         (Printf.sprintf
            "{\"at\":%s,\"alert\":%s,\"severity\":%s,\"state\":%s,\"value\":%s}\n"
-           (json_float tr.Alert.at)
-           (Label.json_string tr.Alert.rule.Rule.name)
-           (Label.json_string (Rule.severity_name tr.Alert.rule.Rule.severity))
-           (Label.json_string
-              (match tr.Alert.edge with
-              | Alert.To_pending -> "pending"
-              | Alert.To_firing -> "firing"
-              | Alert.To_resolved -> "resolved"))
-           (json_float tr.Alert.value)))
-    (Alert.transitions alerts);
+           (json_float at) (Label.json_string name)
+           (Label.json_string severity) (Label.json_string state)
+           (json_float value)))
+    entries;
   Buffer.contents buf
+
+let transition_state (tr : Alert.transition) =
+  match tr.Alert.edge with
+  | Alert.To_pending -> "pending"
+  | Alert.To_firing -> "firing"
+  | Alert.To_resolved -> "resolved"
+
+let transition_entry (tr : Alert.transition) =
+  ( tr.Alert.at,
+    tr.Alert.rule.Rule.name,
+    Rule.severity_name tr.Alert.rule.Rule.severity,
+    transition_state tr,
+    tr.Alert.value )
+
+let alert_timeline_jsonl alerts =
+  alert_timeline_entries (List.map transition_entry (Alert.transitions alerts))
 
 let alerts_prom alerts =
   let buf = Buffer.create 1024 in
@@ -226,7 +239,8 @@ let alerts_prom alerts =
    every span a complete ("X") event with microsecond timestamps.
    Deterministic: traces slowest-first as the reservoir keeps them,
    spans by id, stable float formatting. *)
-let chrome_trace store =
+let chrome_trace_spans ~exemplars ~requests ~sampled ~finished ~dropped
+    ~dropped_spans =
   let module Rt = Request_trace in
   let buf = Buffer.create 4096 in
   let us v = Printf.sprintf "%.3f" (v *. 1e6) in
@@ -289,11 +303,17 @@ let chrome_trace store =
                pid tid sp.Rt.sp_id sp.Rt.sp_parent
                (if on_path sp.Rt.sp_id then 1 else 0)))
         tr.Rt.tr_spans)
-    (Rt.exemplars store);
+    exemplars;
   Buffer.add_string buf
     (Printf.sprintf
        "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"requests\":%d,\"sampled\":%d,\"finished\":%d,\"dropped\":%d,\"dropped_spans\":%d}}\n"
-       (Rt.requests_seen store) (Rt.sampled store) (Rt.finished store)
-       (Rt.dropped store) (Rt.dropped_spans store));
+       requests sampled finished dropped dropped_spans);
   Buffer.contents buf
+
+let chrome_trace store =
+  let module Rt = Request_trace in
+  chrome_trace_spans ~exemplars:(Rt.exemplars store)
+    ~requests:(Rt.requests_seen store) ~sampled:(Rt.sampled store)
+    ~finished:(Rt.finished store) ~dropped:(Rt.dropped store)
+    ~dropped_spans:(Rt.dropped_spans store)
 

@@ -31,6 +31,17 @@ val tracer_jsonl : Tracer.t -> string
     overflowed, the first line is [{"type":"meta","dropped":N}] so the
     truncation is visible in the export. *)
 
+val alert_timeline_entries :
+  (float * string * string * string * float) list -> string
+(** The alert-timeline line emitter on raw [(at, alert, severity,
+    state, value)] tuples — shared by {!alert_timeline_jsonl} and the
+    flight-recorder replay, which feeds it journalled transitions, so
+    live and replayed timelines are byte-identical. *)
+
+val transition_entry : Alert.transition -> float * string * string * string * float
+(** A transition as an {!alert_timeline_entries} tuple (state rendered
+    as ["pending"] / ["firing"] / ["resolved"]). *)
+
 val alert_timeline_jsonl : Alert.t -> string
 (** The chronological alert transition log, one JSON object per line:
     [{"at":...,"alert":...,"severity":...,"state":"pending"|"firing"|
@@ -42,6 +53,19 @@ val alerts_prom : Alert.t -> string
     millisecond timestamps: value [1] on entering a state, [0] on
     leaving [firing], labelled [alertname] / [alertstate] /
     [severity]. *)
+
+val chrome_trace_spans :
+  exemplars:Request_trace.trace list ->
+  requests:int ->
+  sampled:int ->
+  finished:int ->
+  dropped:int ->
+  dropped_spans:int ->
+  string
+(** {!chrome_trace} on explicit parts: the exemplar list (slowest
+    first) and the [otherData] counters.  The flight-recorder replay
+    renders through this with reconstructed parts to reproduce the live
+    document byte-for-byte. *)
 
 val chrome_trace : Request_trace.t -> string
 (** The store's exemplar traces as Chrome trace-event JSON

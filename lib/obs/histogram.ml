@@ -10,6 +10,7 @@ type t = {
   mutable sum : float;
   mutable min_v : float;
   mutable max_v : float;
+  mutable exemplar : (float * int) option; (* largest (value, trace id) seen *)
 }
 
 let create ?(alpha = 0.01) ?(min_value = 1e-9) ?(max_value = 1e9) () =
@@ -30,6 +31,7 @@ let create ?(alpha = 0.01) ?(min_value = 1e-9) ?(max_value = 1e9) () =
     sum = 0.;
     min_v = infinity;
     max_v = neg_infinity;
+    exemplar = None;
   }
 
 let bucket_index t v =
@@ -55,6 +57,14 @@ let record_n t v n =
 
 let record t v = record_n t v 1
 
+let record_ex t v ~trace_id =
+  if not (Float.is_nan v) then begin
+    (match t.exemplar with
+    | Some (e, _) when e >= v -> ()
+    | _ -> t.exemplar <- Some (v, trace_id));
+    record t v
+  end
+
 type snapshot = {
   s_alpha : float;
   s_gamma : float;
@@ -66,6 +76,7 @@ type snapshot = {
   s_sum : float;
   s_min : float;
   s_max : float;
+  s_exemplar : (float * int) option;
 }
 
 let snapshot t =
@@ -85,6 +96,7 @@ let snapshot t =
     s_sum = t.sum;
     s_min = t.min_v;
     s_max = t.max_v;
+    s_exemplar = t.exemplar;
   }
 
 let empty_snapshot ?alpha ?min_value ?max_value () =
@@ -123,6 +135,11 @@ let merge a b =
     s_sum = a.s_sum +. b.s_sum;
     s_min = Float.min a.s_min b.s_min;
     s_max = Float.max a.s_max b.s_max;
+    s_exemplar =
+      (match (a.s_exemplar, b.s_exemplar) with
+      | (Some (va, _) as ea), Some (vb, _) when va >= vb -> ea
+      | Some _, (Some _ as eb) -> eb
+      | (Some _ as e), None | None, e -> e);
   }
 
 let count s = s.s_count
@@ -134,6 +151,8 @@ let mean s = if s.s_count = 0 then None else Some (s.s_sum /. float_of_int s.s_c
 let min_recorded s = if s.s_count = 0 then None else Some s.s_min
 
 let max_recorded s = if s.s_count = 0 then None else Some s.s_max
+
+let exemplar s = s.s_exemplar
 
 let alpha s = s.s_alpha
 

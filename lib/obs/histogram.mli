@@ -31,6 +31,11 @@ val record : t -> float -> unit
 val record_n : t -> float -> int -> unit
 (** [record_n t v n] records [v] [n] times in O(1). *)
 
+val record_ex : t -> float -> trace_id:int -> unit
+(** [record] plus exemplar attachment: the histogram keeps the single
+    largest [(value, trace_id)] pair it has seen, so an OTLP export can
+    point at the trace behind the worst latency.  NaN is ignored. *)
+
 (** {1 Snapshots} *)
 
 type snapshot
@@ -54,6 +59,10 @@ val mean : snapshot -> float option
 val min_recorded : snapshot -> float option
 
 val max_recorded : snapshot -> float option
+
+val exemplar : snapshot -> (float * int) option
+(** The largest [(value, trace_id)] recorded via {!record_ex}, if any.
+    [merge] keeps the larger of the two sides' exemplars. *)
 
 val quantile : snapshot -> float -> float option
 (** [quantile s q] for [q] in [[0, 100]]: an estimate [est] of the

@@ -1,0 +1,193 @@
+(* Dependency-free OTLP/JSON encoder: resource -> scope -> spans and
+   metrics, rendered with the same deterministic hand-rolled printing
+   the other exporters use (stable ordering, stable float formatting),
+   so identical inputs produce byte-identical documents. *)
+
+module Rt = Request_trace
+
+let scope_name = "adept.serve"
+let scope_version = "1"
+
+(* OTLP/JSON requires trace ids as 32 lowercase hex chars and span ids
+   as 16.  Trace ids are the protocol envelope's ints; span ids pack
+   (trace, span) so they are unique across the whole export. *)
+let trace_id_hex id = Printf.sprintf "%032x" (id land max_int)
+
+let span_id_hex ~trace ~span =
+  Printf.sprintf "%016x" (((trace land 0xffffff) * 65536) + span + 1)
+
+(* Timestamps are uint64 nanoseconds since the epoch, emitted as JSON
+   strings per the OTLP/JSON mapping. *)
+let nanos v =
+  let ns = Int64.of_float (Float.max 0.0 v *. 1e9) in
+  Printf.sprintf "\"%Lu\"" ns
+
+(* Finite JSON number (OTLP has no Inf/NaN spelling): non-finite
+   values clamp to 0. *)
+let number v = if Float.is_finite v then Export.float_repr v else "0"
+
+let attr_string k v =
+  Printf.sprintf "{\"key\":%s,\"value\":{\"stringValue\":%s}}"
+    (Label.json_string k) (Label.json_string v)
+
+let attr_int k v =
+  Printf.sprintf "{\"key\":%s,\"value\":{\"intValue\":\"%d\"}}"
+    (Label.json_string k) v
+
+let attrs_json attrs = String.concat "," attrs
+
+let resource_json attrs =
+  Printf.sprintf "{\"attributes\":[%s]}"
+    (attrs_json (List.map (fun (k, v) -> attr_string k v) attrs))
+
+let scope_json =
+  Printf.sprintf "{\"name\":%s,\"version\":%s}" (Label.json_string scope_name)
+    (Label.json_string scope_version)
+
+let span_json ~conn_of (tr : Rt.trace) (sp : Rt.span) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"traceId\":\"%s\",\"spanId\":\"%s\""
+       (trace_id_hex tr.Rt.tr_id)
+       (span_id_hex ~trace:tr.Rt.tr_id ~span:sp.Rt.sp_id));
+  if sp.Rt.sp_parent >= 0 then
+    Buffer.add_string buf
+      (Printf.sprintf ",\"parentSpanId\":\"%s\""
+         (span_id_hex ~trace:tr.Rt.tr_id ~span:sp.Rt.sp_parent));
+  Buffer.add_string buf
+    (Printf.sprintf
+       ",\"name\":%s,\"kind\":1,\"startTimeUnixNano\":%s,\"endTimeUnixNano\":%s"
+       (Label.json_string (Rt.kind_name sp.Rt.sp_kind))
+       (nanos sp.Rt.sp_start) (nanos sp.Rt.sp_stop));
+  let attrs =
+    attr_int "adept.node" sp.Rt.sp_node
+    ::
+    (match conn_of tr.Rt.tr_id with
+    | Some c -> [ attr_int "adept.conn.id" c ]
+    | None -> [])
+  in
+  Buffer.add_string buf
+    (Printf.sprintf ",\"attributes\":[%s]}" (attrs_json attrs));
+  Buffer.contents buf
+
+let resource_spans ?(resource = []) ?(conn_of = fun _ -> None) exemplars =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"resource\":%s,\"scopeSpans\":[{\"scope\":%s,\"spans\":["
+       (resource_json resource) scope_json);
+  let first = ref true in
+  List.iter
+    (fun (tr : Rt.trace) ->
+      Array.iter
+        (fun sp ->
+          if !first then first := false else Buffer.add_char buf ',';
+          Buffer.add_string buf (span_json ~conn_of tr sp))
+        tr.Rt.tr_spans)
+    exemplars;
+  Buffer.add_string buf "]}]}";
+  Buffer.contents buf
+
+let data_point_attrs labels =
+  attrs_json (List.map (fun (k, v) -> attr_string k v) (Label.pairs labels))
+
+let sum_json ~at ~monotonic series value_of =
+  let points =
+    List.map
+      (fun (labels, v) ->
+        Printf.sprintf "{\"attributes\":[%s],\"timeUnixNano\":%s,\"asDouble\":%s}"
+          (data_point_attrs labels) (nanos at) (number (value_of v)))
+      series
+  in
+  Printf.sprintf
+    "\"sum\":{\"dataPoints\":[%s],\"aggregationTemporality\":2,\"isMonotonic\":%b}"
+    (String.concat "," points) monotonic
+
+let gauge_json ~at series value_of =
+  let points =
+    List.map
+      (fun (labels, v) ->
+        Printf.sprintf "{\"attributes\":[%s],\"timeUnixNano\":%s,\"asDouble\":%s}"
+          (data_point_attrs labels) (nanos at) (number (value_of v)))
+      series
+  in
+  Printf.sprintf "\"gauge\":{\"dataPoints\":[%s]}" (String.concat "," points)
+
+(* De-cumulate the Prometheus-style buckets into OTLP explicit-bounds
+   form: [explicitBounds] are the finite upper bounds; [bucketCounts]
+   has one extra entry for the +Inf overflow. *)
+let histogram_point ~at labels snap =
+  let cumulative = Histogram.cumulative_buckets snap in
+  let bounds = ref [] and counts = ref [] and prev = ref 0 in
+  List.iter
+    (fun (bound, cum) ->
+      let c = cum - !prev in
+      prev := cum;
+      if Float.is_finite bound then bounds := Export.float_repr bound :: !bounds;
+      counts := Printf.sprintf "\"%d\"" c :: !counts)
+    cumulative;
+  (* an empty histogram has no cumulative buckets at all: emit the bare
+     +Inf overflow bucket so the point is still well-formed *)
+  if !counts = [] then counts := [ "\"0\"" ];
+  let exemplar =
+    match Histogram.exemplar snap with
+    | None -> ""
+    | Some (v, trace_id) ->
+        Printf.sprintf
+          ",\"exemplars\":[{\"timeUnixNano\":%s,\"asDouble\":%s,\"traceId\":\"%s\"}]"
+          (nanos at) (number v) (trace_id_hex trace_id)
+  in
+  Printf.sprintf
+    "{\"attributes\":[%s],\"timeUnixNano\":%s,\"count\":\"%d\",\"sum\":%s,\"bucketCounts\":[%s],\"explicitBounds\":[%s]%s}"
+    (data_point_attrs labels) (nanos at)
+    (Histogram.count snap)
+    (number (Histogram.sum snap))
+    (String.concat "," (List.rev !counts))
+    (String.concat "," (List.rev !bounds))
+    exemplar
+
+let histogram_json ~at series =
+  let points = List.map (fun (labels, s) -> histogram_point ~at labels s) series in
+  Printf.sprintf
+    "\"histogram\":{\"dataPoints\":[%s],\"aggregationTemporality\":2}"
+    (String.concat "," points)
+
+let metric_json ~at (f : Registry.family) =
+  let help = if f.Registry.help <> "" then f.Registry.help else Semconv.help f.Registry.name in
+  let body =
+    match f.Registry.series with
+    | (_, Registry.Counter _) :: _ ->
+        sum_json ~at ~monotonic:true f.Registry.series (function
+          | Registry.Counter v | Registry.Gauge v -> v
+          | Registry.Histogram _ -> 0.0)
+    | (_, Registry.Gauge _) :: _ ->
+        gauge_json ~at f.Registry.series (function
+          | Registry.Counter v | Registry.Gauge v -> v
+          | Registry.Histogram _ -> 0.0)
+    | (_, Registry.Histogram _) :: _ ->
+        histogram_json ~at
+          (List.filter_map
+             (fun (labels, v) ->
+               match v with
+               | Registry.Histogram s -> Some (labels, s)
+               | Registry.Counter _ | Registry.Gauge _ -> None)
+             f.Registry.series)
+    | [] -> "\"gauge\":{\"dataPoints\":[]}"
+  in
+  Printf.sprintf "{\"name\":%s,\"description\":%s,%s}"
+    (Label.json_string f.Registry.name) (Label.json_string help) body
+
+let resource_metrics ?(resource = []) ~at families =
+  let metrics =
+    families
+    |> List.filter (fun (f : Registry.family) -> f.Registry.series <> [])
+    |> List.map (metric_json ~at)
+  in
+  Printf.sprintf
+    "{\"resource\":%s,\"scopeMetrics\":[{\"scope\":%s,\"metrics\":[%s]}]}"
+    (resource_json resource) scope_json
+    (String.concat "," metrics)
+
+let document ?(resource = []) ?(conn_of = fun _ -> None) ~at ~exemplars families =
+  Printf.sprintf "{\"resourceSpans\":[%s],\"resourceMetrics\":[%s]}\n"
+    (resource_spans ~resource ~conn_of exemplars)
+    (resource_metrics ~resource ~at families)

@@ -1,0 +1,47 @@
+(** Retrospective query over a {!Journal}: rebuild the live
+    observability exports for a past window.
+
+    The journal records the exact inputs the live exporters consumed —
+    finished traces in finish order, alert transitions, rendered
+    access-log lines, scrape summaries — and the exporters themselves
+    are deterministic, so replaying a journal prefix through the same
+    code reproduces the live documents byte-for-byte.  In particular,
+    cutting {!At_dump} yields the very bytes a live [adept query
+    trace] dump returned at that moment (pinned in tests and CI). *)
+
+(** Where to stop replaying. *)
+type cut =
+  | To_end  (** Every recovered record. *)
+  | Until of float  (** Records with timestamp [<= t]. *)
+  | At_dump of int
+      (** The state at the [n]-th (1-based) {!Journal.record.Dump_marker};
+          [0] (or any non-positive [n]) means the last one.  This is
+          the cut that reproduces a live dump's bytes. *)
+
+type t = {
+  rp_meta : Journal.record option;  (** The [Meta] record, if present. *)
+  rp_chrome : string;  (** Chrome trace JSON — live-dump byte-identical. *)
+  rp_alerts : string;  (** Alert timeline JSONL — live byte-identical. *)
+  rp_access : string;  (** Access-log lines, byte-verbatim. *)
+  rp_last_scrape : Journal.scrape option;  (** Last scrape before the cut. *)
+  rp_seen : int;
+  rp_sampled : int;
+  rp_finished : int;
+  rp_retained : int;
+  rp_dropped : int;
+  rp_dropped_spans : int;
+  rp_alert_edges : int;
+  rp_firing : string list;  (** Alerts in state ["firing"] at the cut. *)
+  rp_window : (float * float) option;
+      (** First and last replayed record timestamps. *)
+}
+
+val run : ?cut:cut -> Journal.record list -> t
+(** Replay a journal's records (as {!Journal.records} returns them)
+    up to [cut] (default {!To_end}). *)
+
+val summary : ?stats:Journal.read_stats -> t -> string
+(** An [adept top]-style plain-text summary of the replayed window:
+    request/latency/cache counters from the last scrape, trace and
+    alert totals, and (when [stats] is given) the journal's segment
+    and torn-tail accounting. *)

@@ -81,6 +81,41 @@ let kind_rank = function
 
 let compare_kind a b = compare (kind_rank a) (kind_rank b)
 
+(* Stable wire codec for kinds (the flight recorder persists spans).
+   [kind_rank] is already a dense total order; pack it into one byte. *)
+let kind_code k =
+  let group, sub = kind_rank k in
+  (group * 16) + sub
+
+let message_of_rank = function
+  | 0 -> Submit
+  | 1 -> Forward
+  | 2 -> Reply
+  | 3 -> Answer
+  | 4 -> Service_request
+  | _ -> Service_reply
+
+let step_of_rank = function 0 -> Wreq | 1 -> Wrep | 2 -> Wpre | _ -> Service
+
+let stage_of_rank = function
+  | 0 -> Frame_read
+  | 1 -> Parse
+  | 2 -> Cache_lookup
+  | 3 -> Shard_plan
+  | 4 -> Replay
+  | 5 -> Render_reply
+  | _ -> Write_reply
+
+let kind_of_code c =
+  let group = c / 16 and sub = c mod 16 in
+  match group with
+  | 0 -> Some (Send (message_of_rank sub))
+  | 1 -> Some (Wire (message_of_rank sub))
+  | 2 -> Some (Recv (message_of_rank sub))
+  | 3 -> Some (Compute (step_of_rank sub))
+  | 4 -> Some (Stage (stage_of_rank sub))
+  | _ -> None
+
 type span = {
   sp_id : int;
   sp_parent : int;
@@ -222,6 +257,8 @@ let set_tail h id = h.h_tail <- id
 
 let tail h = h.h_tail
 
+let span_count h = h.h_count
+
 (* Slowest-first reservoir order; ties break to the lower trace id so
    the retained set never depends on insertion order. *)
 let slower a b =
@@ -260,9 +297,12 @@ let accumulate t tr =
       cell.ac_count <- cell.ac_count + 1)
     (critical_path tr)
 
-let finish t h ~now =
+let finish_trace t h ~now =
   t.n_finished <- t.n_finished + 1;
-  if h.h_overflowed then t.n_dropped <- t.n_dropped + 1
+  if h.h_overflowed then begin
+    t.n_dropped <- t.n_dropped + 1;
+    None
+  end
   else begin
     let spans =
       match h.h_spans with
@@ -276,8 +316,19 @@ let finish t h ~now =
       { tr_id = h.h_id; tr_issued = h.h_issued; tr_finished = now; tr_spans = spans }
     in
     accumulate t tr;
-    offer t tr
+    offer t tr;
+    Some tr
   end
+
+let finish t h ~now = ignore (finish_trace t h ~now)
+
+(* Re-admit a previously recorded trace (flight-recorder replay): same
+   bookkeeping as a live [finish] of an unoverflowed handle, so a replayed
+   store converges to the exact reservoir and aggregates of the live one. *)
+let restore t tr =
+  t.n_finished <- t.n_finished + 1;
+  accumulate t tr;
+  offer t tr
 
 let abandon t h =
   ignore h;

@@ -60,6 +60,13 @@ val kind_name : kind -> string
 
 val message_of_kind : kind -> message option
 
+val kind_code : kind -> int
+(** A stable one-byte wire code for a kind (the flight recorder persists
+    spans).  Inverse of {!kind_of_code}. *)
+
+val kind_of_code : int -> kind option
+(** Decode a {!kind_code}; [None] on bytes no current kind produces. *)
+
 type span = {
   sp_id : int;  (** Dense per-trace index, in completion order. *)
   sp_parent : int;  (** Causal predecessor's [sp_id]; -1 for chain heads. *)
@@ -132,6 +139,9 @@ val add_span :
     chain link).  Past [max_spans] the trace is poisoned: the span is
     discarded, [parent] is returned, and {!finish} will drop the trace. *)
 
+val span_count : handle -> int
+(** Spans recorded on the handle so far (per-connection aggregation). *)
+
 val set_tail : handle -> int -> unit
 
 val tail : handle -> int
@@ -144,6 +154,17 @@ val finish : t -> handle -> now:float -> unit
     into the per-element aggregates, and offer it to the slowest-N
     reservoir (evicting the fastest retained trace, counted in
     {!dropped}).  Overflowed traces are dropped instead. *)
+
+val finish_trace : t -> handle -> now:float -> trace option
+(** {!finish} that also returns the built trace ([None] when the handle
+    overflowed and was dropped) — the serving path hands it to the
+    flight recorder. *)
+
+val restore : t -> trace -> unit
+(** Re-admit a recorded trace (flight-recorder replay): counts as
+    finished, accumulates its critical path, and offers it to the
+    reservoir — replaying finishes in their original order rebuilds the
+    live store's exact reservoir and drop counts. *)
 
 val abandon : t -> handle -> unit
 (** The request failed (fault runs): count it, record nothing. *)

@@ -55,6 +55,9 @@ let serve_cache_hit_ratio = "adept_serve_cache_hit_ratio"
 let serve_cache_eviction_age_seconds = "adept_serve_cache_eviction_age_seconds"
 let serve_traces_sampled_total = "adept_serve_traces_sampled_total"
 let serve_scrapes_total = "adept_serve_scrapes_total"
+let serve_journal_records_total = "adept_serve_journal_records_total"
+let serve_journal_bytes_total = "adept_serve_journal_bytes_total"
+let serve_otlp_exports_total = "adept_serve_otlp_exports_total"
 
 let runtime_gc_pause_seconds = "adept_runtime_gc_pause_seconds"
 let runtime_domain_busy_ratio = "adept_runtime_domain_busy_ratio"
@@ -124,6 +127,12 @@ let help_table =
     ( serve_traces_sampled_total,
       "Requests whose trace context was head-sampled into the span store." );
     (serve_scrapes_total, "Wall-clock registry scrapes taken by the server.");
+    ( serve_journal_records_total,
+      "Flight-recorder records appended by the planning server." );
+    ( serve_journal_bytes_total,
+      "Flight-recorder bytes appended (record framing included)." );
+    ( serve_otlp_exports_total,
+      "OTLP documents exported (file rewrites plus TCP pushes)." );
     ( runtime_gc_pause_seconds,
       "OCaml runtime GC pause/phase durations from Runtime_events, by phase." );
     ( runtime_domain_busy_ratio,

@@ -105,6 +105,9 @@ val serve_cache_hit_ratio : string
 val serve_cache_eviction_age_seconds : string
 val serve_traces_sampled_total : string
 val serve_scrapes_total : string
+val serve_journal_records_total : string
+val serve_journal_bytes_total : string
+val serve_otlp_exports_total : string
 
 (** {1 OCaml runtime (Runtime_events)} *)
 

@@ -50,6 +50,7 @@ type request =
   | Observe of observe_params
   | Stats
   | Trace_dump
+  | Otlp_dump
 
 (* [trace] is the optional trace context: a client-generated trace id
    the server head-samples deterministically.  Old clients simply never
@@ -67,6 +68,15 @@ type error_kind =
 (* Wall-clock observability snapshot, present only when the server runs
    with live observability on — the deterministic counters alone keep
    the golden transcript reproducible. *)
+(* Per-connection trace aggregation: what each live connection has
+   contributed to the sampled-span stream. *)
+type conn_stats = {
+  conn_id : int;
+  conn_requests : int;  (** traced requests finished on this connection *)
+  conn_spans : int;
+  conn_seconds : float;  (** wall-clock seconds inside those requests *)
+}
+
 type live_stats = {
   uptime_seconds : float;
   latency_p50 : float;
@@ -76,6 +86,7 @@ type live_stats = {
   domain_busy : float list;  (** per worker domain, last scrape interval *)
   traces_sampled : int;
   firing_alerts : (string * string) list;  (** (rule name, severity) *)
+  connections : conn_stats list;  (** traced connections, by id *)
 }
 
 type server_stats = {
@@ -100,6 +111,7 @@ type response =
   | Observe_ok of { text : string; throughput : float }
   | Stats_ok of server_stats
   | Trace_ok of { chrome : string }
+  | Otlp_ok of { otlp : string }
   | Error of error_kind
 
 type reply = { reply_id : int; response : response }
@@ -163,6 +175,7 @@ let json_of_request = function
           ] )
   | Stats -> ("stats", Json.Obj [])
   | Trace_dump -> ("trace", Json.Obj [])
+  | Otlp_dump -> ("otlp", Json.Obj [])
 
 (* The canonical encoding doubles as the cache/coalescing identity:
    equal specs encode equally (deterministic member order), and a
@@ -193,7 +206,7 @@ let finite v = if Float.is_finite v then v else 0.0
 
 let json_of_live l =
   Json.Obj
-    [
+    ([
       ("uptime_seconds", Json.Float (finite l.uptime_seconds));
       ("latency_p50", Json.Float (finite l.latency_p50));
       ("latency_p99", Json.Float (finite l.latency_p99));
@@ -213,6 +226,26 @@ let json_of_live l =
                  ])
              l.firing_alerts) );
     ]
+    @
+    (* absent when empty, like the trace member on envelopes: clients
+       predating per-connection aggregation never see it *)
+    match l.connections with
+    | [] -> []
+    | conns ->
+        [
+          ( "connections",
+            Json.List
+              (List.map
+                 (fun c ->
+                   Json.Obj
+                     [
+                       ("id", Json.Int c.conn_id);
+                       ("requests", Json.Int c.conn_requests);
+                       ("spans", Json.Int c.conn_spans);
+                       ("seconds", Json.Float (finite c.conn_seconds));
+                     ])
+                 conns) );
+        ])
 
 let json_of_stats s =
   Json.Obj
@@ -263,6 +296,7 @@ let encode_reply { reply_id; response } =
         )
     | Stats_ok s -> ("ok", json_of_stats s)
     | Trace_ok { chrome } -> ("ok", Json.Obj [ ("chrome", Json.String chrome) ])
+    | Otlp_ok { otlp } -> ("ok", Json.Obj [ ("otlp", Json.String otlp) ])
     | Error kind ->
         let k, msg = error_kind_fields kind in
         ("error", Json.Obj [ ("kind", Json.String k); ("message", Json.String msg) ])
@@ -353,6 +387,7 @@ let decode_params method_ params =
              o_duration })
   | "stats" -> Ok Stats
   | "trace" -> Ok Trace_dump
+  | "otlp" -> Ok Otlp_dump
   | other -> Stdlib.Error (Printf.sprintf "unknown method %S" other)
 
 type decoded = Request of envelope | Bad of int option * error_kind
@@ -367,7 +402,8 @@ let decode_request payload =
       | Some id, Some method_ ->
           if
             not
-              (List.mem method_ [ "plan"; "replan"; "observe"; "stats"; "trace" ])
+              (List.mem method_
+                 [ "plan"; "replan"; "observe"; "stats"; "trace"; "otlp" ])
           then Bad (Some id, Unknown_method method_)
           else
             (* Absent or non-integer trace context degrades to "no
@@ -406,6 +442,30 @@ let decode_live j =
             | _ -> None)
           items
   in
+  let connections =
+    match Option.bind (Json.member "connections" j) Json.to_list with
+    | None -> []
+    | Some items ->
+        List.filter_map
+          (fun c ->
+            match Option.bind (Json.member "id" c) Json.to_int with
+            | None -> None
+            | Some conn_id ->
+                let int name d =
+                  Option.value ~default:d
+                    (Option.bind (Json.member name c) Json.to_int)
+                in
+                Some
+                  {
+                    conn_id;
+                    conn_requests = int "requests" 0;
+                    conn_spans = int "spans" 0;
+                    conn_seconds =
+                      Option.value ~default:0.0
+                        (Option.bind (Json.member "seconds" c) Json.to_float);
+                  })
+          items
+  in
   {
     uptime_seconds = num "uptime_seconds" 0.0;
     latency_p50 = num "latency_p50" 0.0;
@@ -417,6 +477,7 @@ let decode_live j =
       Option.value ~default:0
         (Option.bind (Json.member "traces_sampled" j) Json.to_int);
     firing_alerts;
+    connections;
   }
 
 let decode_stats j =
@@ -524,10 +585,17 @@ let decode_reply payload =
                               Result.Ok
                                 { reply_id; response = Trace_ok { chrome } }
                           | None -> (
-                              match decode_stats ok with
-                              | Some s ->
-                                  Result.Ok { reply_id; response = Stats_ok s }
-                              | None -> Result.Error "unrecognized ok payload")))))
+                              match str "otlp" with
+                              | Some otlp ->
+                                  Result.Ok
+                                    { reply_id; response = Otlp_ok { otlp } }
+                              | None -> (
+                                  match decode_stats ok with
+                                  | Some s ->
+                                      Result.Ok
+                                        { reply_id; response = Stats_ok s }
+                                  | None ->
+                                      Result.Error "unrecognized ok payload"))))))
           | None, Some err -> (
               match
                 ( Option.bind (Json.member "kind" err) Json.to_string_v,

@@ -58,6 +58,9 @@ type request =
   | Trace_dump
       (** Dump the server's sampled-trace reservoir as Chrome-trace
           JSON.  Observability read path: never touches planning state. *)
+  | Otlp_dump
+      (** Dump the reservoir and a registry snapshot as one OTLP/JSON
+          document ({!Adept_obs.Otlp}).  Observability read path. *)
 
 type envelope = { id : int; trace : int option; request : request }
 (** [trace] is the optional trace context: a client-generated trace id
@@ -72,6 +75,15 @@ type error_kind =
   | Invalid_params of string
   | Plan_failed of string  (** planner/simulator returned a typed error *)
 
+type conn_stats = {
+  conn_id : int;
+  conn_requests : int;  (** traced requests finished on this connection *)
+  conn_spans : int;
+  conn_seconds : float;  (** wall-clock seconds inside those requests *)
+}
+(** Per-connection trace aggregation: what each connection contributed
+    to the sampled-span stream since it was accepted. *)
+
 type live_stats = {
   uptime_seconds : float;
   latency_p50 : float;  (** request wall-clock seconds, this process *)
@@ -81,6 +93,10 @@ type live_stats = {
   domain_busy : float list;  (** per worker domain, last scrape interval *)
   traces_sampled : int;
   firing_alerts : (string * string) list;  (** (rule name, severity) *)
+  connections : conn_stats list;
+      (** Connections that finished traced requests, by connection id.
+          Encoded as an absent member when empty, so the wire shape
+          predating per-connection aggregation is unchanged. *)
 }
 (** Wall-clock observability snapshot.  Non-finite floats are clamped
     to 0 at the codec boundary (JSON has no representation for them). *)
@@ -112,6 +128,8 @@ type response =
   | Stats_ok of server_stats
   | Trace_ok of { chrome : string }
       (** Chrome-trace JSON for the sampled slowest requests. *)
+  | Otlp_ok of { otlp : string }
+      (** One OTLP/JSON document: spans + metrics at dump time. *)
   | Error of error_kind
 
 type reply = { reply_id : int; response : response }

@@ -95,6 +95,27 @@ let default_rules () =
   | Ok rules -> rules
   | Error msg -> invalid_arg ("serve: default rules do not parse: " ^ msg)
 
+type otlp_sink = Otlp_file of string | Otlp_tcp of string * int
+
+let otlp_sink_of_string s =
+  if String.length s > 4 && String.sub s 0 4 = "tcp:" then begin
+    let rest = String.sub s 4 (String.length s - 4) in
+    match String.rindex_opt rest ':' with
+    | None -> Error "otlp tcp sink needs tcp:host:port"
+    | Some j -> (
+        let host = String.sub rest 0 j in
+        let port = String.sub rest (j + 1) (String.length rest - j - 1) in
+        match int_of_string_opt port with
+        | Some p when p > 0 && p < 65536 -> Ok (Otlp_tcp (host, p))
+        | _ -> Error ("invalid port: " ^ port))
+  end
+  else if s = "" then Error "empty otlp sink"
+  else Ok (Otlp_file s)
+
+let otlp_sink_to_string = function
+  | Otlp_file path -> path
+  | Otlp_tcp (host, port) -> Printf.sprintf "tcp:%s:%d" host port
+
 type obs_config = {
   clock : Clock.t;
   trace_sample_rate : float;
@@ -105,6 +126,10 @@ type obs_config = {
   access_log : string option;
   prom_path : string option;
   runtime_events : bool;
+  journal_dir : string option;
+  journal_segment_bytes : int;
+  journal_max_segments : int;
+  otlp : otlp_sink option;
 }
 
 let default_obs () =
@@ -118,7 +143,15 @@ let default_obs () =
     access_log = None;
     prom_path = None;
     runtime_events = true;
+    journal_dir = None;
+    journal_segment_bytes = 4 * 1024 * 1024;
+    journal_max_segments = 8;
+    otlp = None;
   }
+
+(* The one [max_spans] the serving trace store uses — persisted in the
+   journal's [Meta] record so replay rebuilds an identical store. *)
+let trace_max_spans = 4096
 
 type config = {
   address : address;
@@ -144,6 +177,7 @@ let default_config address =
 (* ---------- connections ---------- *)
 
 type conn = {
+  c_id : int;  (** accept-order connection id, 1-based *)
   fd : Unix.file_descr;
   reader : Wire.reader;
   mutable alive : bool;
@@ -181,6 +215,14 @@ type inflight = {
       (** worker-side stage samples, converted to spans at reap *)
 }
 
+(* Per-connection trace aggregation: what each connection contributed
+   to the sampled-span stream.  Single-writer (event loop). *)
+type conn_agg = {
+  mutable ca_requests : int;
+  mutable ca_spans : int;
+  mutable ca_seconds : float;
+}
+
 type obs_state = {
   o_cfg : obs_config;
   o_now : unit -> float;  (** clamped, event-loop side *)
@@ -197,6 +239,16 @@ type obs_state = {
   o_runtime : Runtime_metrics.t option;
   o_traces_sampled : Adept_obs.Counter.t;
   o_scrapes : Adept_obs.Counter.t;
+  o_journal : Adept_obs.Journal.writer option;
+  o_conn_aggs : (int, conn_agg) Hashtbl.t;  (** conn id -> aggregation *)
+  o_trace_conns : (int, int) Hashtbl.t;
+      (** trace id -> conn id, for retained exemplars (pruned at scrape) *)
+  mutable o_alerts_logged : int;
+      (** transitions already journalled (watermark into
+          [Alert.transitions]) *)
+  o_journal_records : Adept_obs.Counter.t;
+  o_journal_bytes : Adept_obs.Counter.t;
+  o_otlp_exports : Adept_obs.Counter.t;
 }
 
 type t = {
@@ -208,6 +260,7 @@ type t = {
   wake_r : Unix.file_descr;
   wake_w : Unix.file_descr;
   mutable conns : conn list;
+  mutable next_conn : int;
   mutable inflight : inflight list;
   coalesce : (string, inflight) Hashtbl.t;
   mutable draining : bool;
@@ -303,13 +356,56 @@ let create (config : config) =
                 None
           else None
         in
+        let journal =
+          Option.bind oc.journal_dir (fun dir ->
+              match
+                Adept_obs.Journal.create
+                  ~segment_bytes:oc.journal_segment_bytes
+                  ~max_segments:oc.journal_max_segments dir
+              with
+              | Ok w -> Some w
+              | Error msg ->
+                  Logs.warn (fun m ->
+                      m "serve: flight recorder disabled: %s" msg);
+                  None)
+        in
+        let j_records =
+          Adept_obs.Registry.counter registry
+            Semconv.serve_journal_records_total
+        and j_bytes =
+          Adept_obs.Registry.counter registry Semconv.serve_journal_bytes_total
+        and otlp_exports =
+          Adept_obs.Registry.counter registry Semconv.serve_otlp_exports_total
+        in
+        Option.iter
+          (fun w ->
+            let n =
+              Adept_obs.Journal.append w
+                (Adept_obs.Journal.Meta
+                   {
+                     m_at = started;
+                     m_sample_rate = oc.trace_sample_rate;
+                     m_max_traces = max 1 oc.trace_slowest;
+                     m_max_spans = trace_max_spans;
+                     m_scrape_interval = oc.scrape_interval;
+                     m_retention = oc.retention;
+                     m_workers = Domain_pool.size pool;
+                     m_shards =
+                       Option.value ~default:(Domain_pool.size pool)
+                         config.shards;
+                   })
+            in
+            Adept_obs.Counter.inc j_records;
+            Adept_obs.Counter.inc ~by:(float_of_int n) j_bytes)
+          journal;
         {
           o_cfg = oc;
           o_now;
           o_raw = Clock.raw oc.clock;
           o_traces =
             Rt.create ~sample_rate:oc.trace_sample_rate
-              ~max_traces:(max 1 oc.trace_slowest) ();
+              ~max_traces:(max 1 oc.trace_slowest)
+              ~max_spans:trace_max_spans ();
           o_ts = ts;
           o_alerts = alerts;
           o_started = started;
@@ -323,6 +419,13 @@ let create (config : config) =
             Adept_obs.Registry.counter registry Semconv.serve_traces_sampled_total;
           o_scrapes =
             Adept_obs.Registry.counter registry Semconv.serve_scrapes_total;
+          o_journal = journal;
+          o_conn_aggs = Hashtbl.create 16;
+          o_trace_conns = Hashtbl.create 64;
+          o_alerts_logged = 0;
+          o_journal_records = j_records;
+          o_journal_bytes = j_bytes;
+          o_otlp_exports = otlp_exports;
         })
       config.obs
   in
@@ -338,6 +441,7 @@ let create (config : config) =
     wake_r;
     wake_w;
     conns = [];
+    next_conn = 1;
     inflight = [];
     coalesce = Hashtbl.create 16;
     draining = false;
@@ -432,6 +536,135 @@ let gc_pause_p99 t =
       | Some s ->
           Option.value ~default:0.0 (Adept_obs.Histogram.quantile s 99.0))
 
+(* ---------- flight recorder ---------- *)
+
+let journal o r =
+  match o.o_journal with
+  | None -> ()
+  | Some w -> (
+      try
+        let n = Adept_obs.Journal.append w r in
+        Adept_obs.Counter.inc o.o_journal_records;
+        Adept_obs.Counter.inc ~by:(float_of_int n) o.o_journal_bytes
+      with Sys_error msg ->
+        Logs.warn (fun m -> m "serve: flight recorder append failed: %s" msg))
+
+(* Fold a finished traced request into its connection's aggregate, map
+   the trace to the connection for OTLP export, and journal the finish
+   with the exact span array the live reservoir admitted. *)
+let note_traced_finish o ~conn ~h ~spans_n ~issued ~now tr =
+  let cell =
+    match Hashtbl.find_opt o.o_conn_aggs conn.c_id with
+    | Some c -> c
+    | None ->
+        let c = { ca_requests = 0; ca_spans = 0; ca_seconds = 0.0 } in
+        Hashtbl.add o.o_conn_aggs conn.c_id c;
+        c
+  in
+  cell.ca_requests <- cell.ca_requests + 1;
+  cell.ca_spans <- cell.ca_spans + spans_n;
+  cell.ca_seconds <- cell.ca_seconds +. (now -. issued);
+  Hashtbl.replace o.o_trace_conns (Rt.trace_id h) conn.c_id;
+  journal o
+    (Adept_obs.Journal.Finish
+       {
+         f_at = now;
+         f_trace = Rt.trace_id h;
+         f_issued = issued;
+         f_conn = conn.c_id;
+         f_spans = Option.map (fun tr -> tr.Rt.tr_spans) tr;
+         f_dropped_spans = Rt.dropped_spans o.o_traces;
+       })
+
+let conn_agg_list o =
+  Hashtbl.fold
+    (fun id c acc ->
+      {
+        Protocol.conn_id = id;
+        conn_requests = c.ca_requests;
+        conn_spans = c.ca_spans;
+        conn_seconds = c.ca_seconds;
+      }
+      :: acc)
+    o.o_conn_aggs []
+  |> List.sort (fun a b -> Int.compare a.Protocol.conn_id b.Protocol.conn_id)
+
+(* ---------- OTLP export ---------- *)
+
+let otlp_resource t o =
+  let conns = conn_agg_list o in
+  let busiest =
+    List.fold_left
+      (fun acc (c : Protocol.conn_stats) ->
+        match acc with
+        | Some (b : Protocol.conn_stats) when b.conn_seconds >= c.conn_seconds
+          ->
+            acc
+        | _ -> Some c)
+      None conns
+  in
+  [
+    ("service.name", "adept-serve");
+    ("adept.workers", string_of_int (Domain_pool.size t.pool));
+    ("adept.shards", string_of_int (shards t));
+    ("adept.connections.open", string_of_int (List.length t.conns));
+    ("adept.connections.traced", string_of_int (List.length conns));
+  ]
+  @
+  match busiest with
+  | None -> []
+  | Some c ->
+      [
+        ("adept.conn.busiest", string_of_int c.Protocol.conn_id);
+        ( "adept.conn.busiest.seconds",
+          Printf.sprintf "%.6f" c.Protocol.conn_seconds );
+      ]
+
+let otlp_document t o =
+  Adept_obs.Otlp.document ~resource:(otlp_resource t o)
+    ~conn_of:(fun tr -> Hashtbl.find_opt o.o_trace_conns tr)
+    ~at:(o.o_now ())
+    ~exemplars:(Rt.exemplars o.o_traces)
+    (Adept_obs.Registry.snapshot t.registry)
+
+let write_otlp t o =
+  match o.o_cfg.otlp with
+  | None -> ()
+  | Some sink -> (
+      let doc = otlp_document t o in
+      try
+        (match sink with
+        | Otlp_file path ->
+            let tmp = path ^ ".tmp" in
+            let oc = open_out tmp in
+            output_string oc doc;
+            close_out oc;
+            Sys.rename tmp path
+        | Otlp_tcp (host, port) ->
+            let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+            Fun.protect
+              ~finally:(fun () ->
+                try Unix.close fd with Unix.Unix_error _ -> ())
+              (fun () ->
+                let addr =
+                  try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+                  with Not_found -> Unix.inet_addr_of_string host
+                in
+                Unix.connect fd (Unix.ADDR_INET (addr, port));
+                let b = Bytes.of_string doc in
+                let sent = ref 0 in
+                while !sent < Bytes.length b do
+                  sent := !sent + Unix.write fd b !sent (Bytes.length b - !sent)
+                done));
+        Adept_obs.Counter.inc o.o_otlp_exports
+      with
+      | Unix.Unix_error (e, _, _) ->
+          Logs.warn (fun m ->
+              m "serve: OTLP export to %s failed: %s"
+                (otlp_sink_to_string sink) (Unix.error_message e))
+      | Sys_error msg ->
+          Logs.warn (fun m -> m "serve: OTLP export failed: %s" msg))
+
 let live_stats t o =
   let now = o.o_now () in
   let snap = Adept_obs.Histogram.snapshot t.m_latency in
@@ -453,6 +686,7 @@ let live_stats t o =
                     Adept_obs.Rule.severity_name r.Adept_obs.Rule.severity)
           | _ -> None)
         (Adept_obs.Alert.states o.o_alerts);
+    connections = conn_agg_list o;
   }
 
 let current_stats t =
@@ -474,31 +708,35 @@ let current_stats t =
 
 let log_access o ~now ~trace ~method_ ~digest ~cache ~shard_count ~duration
     ~status =
-  match o.o_access with
-  | None -> ()
-  | Some ch ->
-      let fields =
-        [ ("at", Json.Float now) ]
-        @ (match trace with
-          | None -> []
-          | Some tid -> [ ("trace", Json.Int tid) ])
-        @ [ ("method", Json.String method_) ]
-        @ (match digest with
-          | None -> []
-          | Some d -> [ ("digest", Json.String d) ])
-        @ (match cache with
-          | None -> []
-          | Some hit ->
-              [ ("cache", Json.String (if hit then "hit" else "miss")) ])
-        @ [
-            ("shards", Json.Int shard_count);
-            ("duration", Json.Float duration);
-            ("status", Json.String status);
-          ]
-      in
-      output_string ch (Json.to_string (Json.Obj fields));
-      output_char ch '\n';
-      flush ch
+  if o.o_access <> None || o.o_journal <> None then begin
+    let fields =
+      [ ("at", Json.Float now) ]
+      @ (match trace with
+        | None -> []
+        | Some tid -> [ ("trace", Json.Int tid) ])
+      @ [ ("method", Json.String method_) ]
+      @ (match digest with
+        | None -> []
+        | Some d -> [ ("digest", Json.String d) ])
+      @ (match cache with
+        | None -> []
+        | Some hit ->
+            [ ("cache", Json.String (if hit then "hit" else "miss")) ])
+      @ [
+          ("shards", Json.Int shard_count);
+          ("duration", Json.Float duration);
+          ("status", Json.String status);
+        ]
+    in
+    let line = Json.to_string (Json.Obj fields) in
+    (match o.o_access with
+    | None -> ()
+    | Some ch ->
+        output_string ch line;
+        output_char ch '\n';
+        flush ch);
+    journal o (Adept_obs.Journal.Access { x_at = now; x_line = line })
+  end
 
 (* Append one span to a sampled request's chain and advance its tail. *)
 let record_stage t ~robs ~kind ~node ~start ~stop =
@@ -564,7 +802,9 @@ let answer_inline t ~robs ~frame0 ~trace ~method_ ~digest ~cache conn id
           ignore
             (Rt.add_span o.o_traces h ~parent:(Rt.tail h)
                ~kind:(Rt.Stage Rt.Write_reply) ~node:(-1) ~start:t0 ~stop:t1);
-          Rt.finish o.o_traces h ~now:t1);
+          let spans_n = Rt.span_count h in
+          let tr = Rt.finish_trace o.o_traces h ~now:t1 in
+          note_traced_finish o ~conn ~h ~spans_n ~issued:frame0 ~now:t1 tr);
       log_access o ~now:t1 ~trace ~method_ ~digest ~cache ~shard_count:0
         ~duration:(t1 -. frame0) ~status:"ok"
 
@@ -586,10 +826,27 @@ let dispatch t conn ~robs ~frame0 { Protocol.id; trace; request } =
                "tracing is not enabled on this server (run serve with \
                 observability on)")
       | Some o ->
+          (* Marker first: replay cuts just before it, and the dump
+             request's own Begin_request was already journalled in
+             [handle_frame] — exactly the state the live renderer saw. *)
+          journal o (Adept_obs.Journal.Dump_marker { d_at = o.o_now () });
           answer_inline t ~robs ~frame0 ~trace ~method_:"trace" ~digest:None
             ~cache:None conn id
             (Protocol.Trace_ok
                { chrome = Adept_obs.Export.chrome_trace o.o_traces }))
+  | Protocol.Otlp_dump -> (
+      Adept_obs.Counter.inc (t.m_requests "otlp");
+      match t.obs with
+      | None ->
+          send_error t conn (Some id)
+            (Protocol.Invalid_params
+               "tracing is not enabled on this server (run serve with \
+                observability on)")
+      | Some o ->
+          journal o (Adept_obs.Journal.Dump_marker { d_at = o.o_now () });
+          answer_inline t ~robs ~frame0 ~trace ~method_:"otlp" ~digest:None
+            ~cache:None conn id
+            (Protocol.Otlp_ok { otlp = otlp_document t o }))
   | Protocol.Plan p -> (
       t.plan_requests <- t.plan_requests + 1;
       Adept_obs.Counter.inc (t.m_requests "plan");
@@ -771,7 +1028,11 @@ let reap t =
       let now = Unix.gettimeofday () in
       List.iter
         (fun w ->
-          Adept_obs.Histogram.record t.m_latency (now -. w.w_started);
+          (match w.w_obs with
+          | Some h ->
+              Adept_obs.Histogram.record_ex t.m_latency (now -. w.w_started)
+                ~trace_id:(Rt.trace_id h)
+          | None -> Adept_obs.Histogram.record t.m_latency (now -. w.w_started));
           let send () =
             if is_error then
               send_error t w.w_conn (Some w.w_id)
@@ -794,7 +1055,10 @@ let reap t =
                     (Rt.add_span o.o_traces h ~parent:(Rt.tail h)
                        ~kind:(Rt.Stage Rt.Write_reply) ~node:(-1) ~start:t0
                        ~stop:t1);
-                  Rt.finish o.o_traces h ~now:t1)
+                  let spans_n = Rt.span_count h in
+                  let tr = Rt.finish_trace o.o_traces h ~now:t1 in
+                  note_traced_finish o ~conn:w.w_conn ~h ~spans_n
+                    ~issued:w.w_frame0 ~now:t1 tr)
                 w.w_obs;
               log_access o ~now:t1 ~trace:w.w_trace ~method_:w.w_method
                 ~digest:w.w_digest
@@ -827,7 +1091,15 @@ let handle_frame t conn ~frame_start payload =
             match envelope.Protocol.trace with
             | None -> None
             | Some tid -> (
-                match Rt.begin_with_id o.o_traces ~id:tid ~now:frame0 with
+                let admitted = Rt.begin_with_id o.o_traces ~id:tid ~now:frame0 in
+                journal o
+                  (Adept_obs.Journal.Begin_request
+                     {
+                       b_at = frame0;
+                       b_trace = tid;
+                       b_sampled = admitted <> None;
+                     });
+                match admitted with
                 | None -> None
                 | Some h ->
                     Adept_obs.Counter.inc o.o_traces_sampled;
@@ -946,7 +1218,69 @@ let scrape_tick t o =
     Adept_obs.Alert.eval o.o_alerts ~now;
     Adept_obs.Counter.inc o.o_scrapes;
     o.o_next_scrape <- now +. o.o_cfg.scrape_interval;
-    write_prom t o
+    write_prom t o;
+    (* Journal the scrape summary and any alert transitions this tick
+       produced (everything past the watermark). *)
+    (let snap = Adept_obs.Histogram.snapshot t.m_latency in
+     let q p =
+       Option.value ~default:0.0 (Adept_obs.Histogram.quantile snap p)
+     in
+     journal o
+       (Adept_obs.Journal.Scrape
+          {
+            j_at = now;
+            j_uptime = now -. o.o_started;
+            j_plans = t.plan_requests;
+            j_replans = t.replan_requests;
+            j_observes = t.observe_requests;
+            j_stats = t.stats_requests;
+            j_errors = t.errors;
+            j_coalesced = t.coalesced;
+            j_cache_hits = Cache.hits t.cache;
+            j_cache_misses = Cache.misses t.cache;
+            j_cache_evictions = Cache.evictions t.cache;
+            j_cache_invalidations = Cache.invalidations t.cache;
+            j_inflight = List.length t.inflight;
+            j_latency_p50 = q 50.0;
+            j_latency_p99 = q 99.0;
+            j_hit_ratio = Cache.hit_ratio t.cache;
+            j_gc_pause_p99 = gc_pause_p99 t;
+            j_traces_sampled = Rt.sampled o.o_traces;
+            j_busy = o.o_busy_ratio;
+          }));
+    (let txs = Adept_obs.Alert.transitions o.o_alerts in
+     let n = List.length txs in
+     if n > o.o_alerts_logged then begin
+       List.iteri
+         (fun i tr ->
+           if i >= o.o_alerts_logged then begin
+             let at, name, severity, state, value =
+               Adept_obs.Export.transition_entry tr
+             in
+             journal o
+               (Adept_obs.Journal.Alert_edge
+                  {
+                    a_at = at;
+                    a_name = name;
+                    a_severity = severity;
+                    a_state = state;
+                    a_value = value;
+                  })
+           end)
+         txs;
+       o.o_alerts_logged <- n
+     end);
+    (* The trace->conn map only needs to cover retained exemplars. *)
+    (let keep = Hashtbl.create 64 in
+     List.iter
+       (fun (tr : Rt.trace) ->
+         match Hashtbl.find_opt o.o_trace_conns tr.Rt.tr_id with
+         | Some c -> Hashtbl.replace keep tr.Rt.tr_id c
+         | None -> ())
+       (Rt.exemplars o.o_traces);
+     Hashtbl.reset o.o_trace_conns;
+     Hashtbl.iter (Hashtbl.replace o.o_trace_conns) keep);
+    write_otlp t o
   end
 
 (* ---------- main loop ---------- *)
@@ -1018,8 +1352,10 @@ let serve t =
         if !accepting && List.mem t.listener ready then begin
           match Unix.accept t.listener with
           | fd, _ ->
+              let c_id = t.next_conn in
+              t.next_conn <- t.next_conn + 1;
               t.conns <-
-                { fd; reader = Wire.reader (); alive = true;
+                { c_id; fd; reader = Wire.reader (); alive = true;
                   frame_start = Float.nan }
                 :: t.conns
           | exception Unix.Unix_error _ -> ()
@@ -1048,6 +1384,9 @@ let serve t =
       scrape_tick t o;
       (match o.o_access with
       | Some ch -> ( try close_out ch with Sys_error _ -> ())
+      | None -> ());
+      (match o.o_journal with
+      | Some w -> ( try Adept_obs.Journal.close w with Sys_error _ -> ())
       | None -> ())
   | None -> ());
   (try Unix.close t.wake_r with Unix.Unix_error _ -> ());

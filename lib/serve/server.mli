@@ -15,6 +15,16 @@ val address_of_string : string -> (address, string) result
 
 val address_to_string : address -> string
 
+(** Where the scrape-cadence OTLP push goes: an atomically-rewritten
+    file, or one short-lived TCP connection per push. *)
+type otlp_sink = Otlp_file of string | Otlp_tcp of string * int
+
+val otlp_sink_of_string : string -> (otlp_sink, string) result
+(** ["tcp:<host>:<port>"], or any other non-empty string as a file
+    path. *)
+
+val otlp_sink_to_string : otlp_sink -> string
+
 (** Wall-clock observability for a serving process.  The hard
     invariant: observability never changes answers — responses are
     byte-identical with it on or off, and trace sampling is a
@@ -37,12 +47,22 @@ type obs_config = {
   runtime_events : bool;
       (** Consume the OCaml runtime's event ring into
           [adept_runtime_gc_pause_seconds]. *)
+  journal_dir : string option;
+      (** Flight-recorder directory ({!Adept_obs.Journal}); [None]
+          disables the recorder.  A failed open logs a warning and
+          serves without it — recording never blocks serving. *)
+  journal_segment_bytes : int;  (** Rotate segments past this size. *)
+  journal_max_segments : int;  (** Oldest segments pruned beyond this. *)
+  otlp : otlp_sink option;
+      (** Push an OTLP/JSON document (spans + metrics) on every scrape
+          tick and at teardown; export failures warn and continue. *)
 }
 
 val default_obs : unit -> obs_config
 (** Wall clock, sample everything, 32 exemplars, {!default_rules}, 1 s
     scrapes, 300 s retention, no access log, no scrape file, runtime
-    events on. *)
+    events on, no flight recorder (4 MiB × 8 segments when enabled),
+    no OTLP sink. *)
 
 val default_rules_text : string
 (** The built-in alert rules in {!Adept_obs.Rule.parse} syntax: p99

@@ -209,6 +209,7 @@ let sample_live =
     domain_busy = [ 0.5; 0.25 ];
     traces_sampled = 17;
     firing_alerts = [ ("serve_latency_p99_high", "warning") ];
+    connections = [];
   }
 
 let sample_replies =
@@ -246,6 +247,30 @@ let sample_replies =
           {
             sample_stats with
             Proto.live = Some { sample_live with Proto.domain_busy = []; firing_alerts = [] };
+          };
+    };
+    {
+      Proto.reply_id = 13;
+      response = Proto.Otlp_ok { otlp = "{\"resourceSpans\":[]}\n" };
+    };
+    {
+      Proto.reply_id = 14;
+      response =
+        Proto.Stats_ok
+          {
+            sample_stats with
+            Proto.live =
+              Some
+                {
+                  sample_live with
+                  Proto.connections =
+                    [
+                      { Proto.conn_id = 1; conn_requests = 3; conn_spans = 21;
+                        conn_seconds = 0.125 };
+                      { Proto.conn_id = 4; conn_requests = 1; conn_spans = 6;
+                        conn_seconds = 0.5 };
+                    ];
+                };
           };
     };
   ]
@@ -717,6 +742,8 @@ let server_socket_var = "ADEPT_SERVE_TEST_SOCKET"
 let server_obs_var = "ADEPT_SERVE_TEST_OBS"
 let server_access_var = "ADEPT_SERVE_TEST_ACCESS_LOG"
 let server_prom_var = "ADEPT_SERVE_TEST_PROM"
+let server_journal_var = "ADEPT_SERVE_TEST_JOURNAL"
+let server_otlp_var = "ADEPT_SERVE_TEST_OTLP"
 
 let run_as_server_child path =
   (* a SIGTERM racing server startup must still drain, hence the
@@ -744,6 +771,11 @@ let run_as_server_child path =
               trace_slowest = 8;
               access_log = Sys.getenv_opt server_access_var;
               prom_path = Sys.getenv_opt server_prom_var;
+              journal_dir = Sys.getenv_opt server_journal_var;
+              otlp =
+                Option.map
+                  (fun s -> Server.Otlp_file s)
+                  (Sys.getenv_opt server_otlp_var);
             },
           shards )
   in
@@ -1458,6 +1490,529 @@ let test_alert_timeline_golden () =
     (read_golden "golden/serve_alerts.jsonl")
     got
 
+(* ---------- clock edges ---------- *)
+
+let test_clock_edges () =
+  (* zero advance is a no-op (the guard rejects strictly-negative) *)
+  let m = Clock.manual ~start:3.0 () in
+  Clock.advance m 0.0;
+  Alcotest.(check (float 0.0)) "zero advance is a no-op" 3.0 (Clock.now m);
+  (match Clock.advance m Float.nan with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "NaN advance must raise");
+  (match Clock.advance m neg_infinity with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "-inf advance must raise");
+  Alcotest.(check (float 0.0)) "rejected advances left time alone" 3.0
+    (Clock.now m);
+  Clock.set m 3.0;
+  Alcotest.(check (float 0.0)) "set to the current instant is allowed" 3.0
+    (Clock.now m);
+  (match Clock.set m 2.9 with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "backwards set must raise");
+  (* the clamp holds across interleaved raw reads: [raw] bypasses (and
+     never disturbs) the monotonic clamp state *)
+  let vals = ref [ 10.0; 8.0; 12.0; 11.0; 13.0; Float.nan ] in
+  let read () = match !vals with [] -> 99.0 | v :: tl -> vals := tl; v in
+  let s = Clock.source read in
+  let raw = Clock.raw s in
+  Alcotest.(check (float 0.0)) "now 1" 10.0 (Clock.now s);
+  Alcotest.(check (float 0.0)) "raw jitters backwards" 8.0 (raw ());
+  Alcotest.(check (float 0.0)) "now unaffected by raw jitter" 12.0
+    (Clock.now s);
+  Alcotest.(check (float 0.0)) "raw again" 11.0 (raw ());
+  Alcotest.(check (float 0.0)) "now keeps climbing" 13.0 (Clock.now s);
+  Alcotest.(check (float 0.0)) "a NaN reading never moves the clamp" 13.0
+    (Clock.now s)
+
+(* ---------- flight-recorder journal ---------- *)
+
+let temp_dir () =
+  let path = Filename.temp_file "adept-journal" "" in
+  Sys.remove path;
+  Unix.mkdir path 0o755;
+  path
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+let with_temp_dir f =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> try rm_rf dir with Sys_error _ -> ()) (fun () -> f dir)
+
+module Journal = Obs.Journal
+
+let sample_span i =
+  {
+    Rt.sp_id = i;
+    sp_parent = i - 1;
+    sp_kind = (if i = 0 then Rt.Stage Rt.Frame_read else Rt.Stage Rt.Parse);
+    sp_node = -1;
+    sp_start = float_of_int i;
+    sp_stop = float_of_int i +. 0.5;
+  }
+
+let sample_records =
+  [
+    Journal.Meta
+      {
+        m_at = 1.0;
+        m_sample_rate = 0.5;
+        m_max_traces = 8;
+        m_max_spans = 64;
+        m_scrape_interval = 0.25;
+        m_retention = 300.0;
+        m_workers = 2;
+        m_shards = 4;
+      };
+    Journal.Begin_request { b_at = 1.5; b_trace = 42; b_sampled = true };
+    Journal.Begin_request { b_at = 1.6; b_trace = 43; b_sampled = false };
+    Journal.Finish
+      {
+        f_at = 2.0;
+        f_trace = 42;
+        f_issued = 1.5;
+        f_conn = 3;
+        f_spans = Some (Array.init 3 sample_span);
+        f_dropped_spans = 0;
+      };
+    Journal.Finish
+      {
+        f_at = 2.1;
+        f_trace = 44;
+        f_issued = 1.9;
+        f_conn = 3;
+        f_spans = None;
+        f_dropped_spans = 7;
+      };
+    Journal.Scrape
+      {
+        j_at = 2.5;
+        j_uptime = 1.5;
+        j_plans = 10;
+        j_replans = 1;
+        j_observes = 0;
+        j_stats = 2;
+        j_errors = 1;
+        j_coalesced = 3;
+        j_cache_hits = 4;
+        j_cache_misses = 6;
+        j_cache_evictions = 1;
+        j_cache_invalidations = 0;
+        j_inflight = 2;
+        j_latency_p50 = 0.001;
+        j_latency_p99 = 0.125;
+        j_hit_ratio = 0.4;
+        j_gc_pause_p99 = 0.0002;
+        j_traces_sampled = 5;
+        j_busy = [ 0.25; 1.0 ];
+      };
+    Journal.Alert_edge
+      {
+        a_at = 2.6;
+        a_name = "serve_latency_p99_high";
+        a_severity = "warning";
+        a_state = "firing";
+        a_value = 0.125;
+      };
+    Journal.Access { x_at = 2.7; x_line = "{\"method\":\"plan\"}" };
+    Journal.Dump_marker { d_at = 3.0 };
+  ]
+
+let test_journal_roundtrip () =
+  (* payload codec is a fixpoint for every record shape *)
+  List.iter
+    (fun r ->
+      match Journal.decode (Journal.encode r) with
+      | Some r' -> Alcotest.(check bool) "codec fixpoint" true (r = r')
+      | None -> Alcotest.fail "decode returned None on a valid payload")
+    sample_records;
+  with_temp_dir (fun dir ->
+      (match Journal.create dir with
+      | Error e -> Alcotest.fail e
+      | Ok w ->
+          List.iter (fun r -> ignore (Journal.append w r)) sample_records;
+          Alcotest.(check int) "records_written"
+            (List.length sample_records)
+            (Journal.records_written w);
+          Journal.close w);
+      match Journal.open_ dir with
+      | Error e -> Alcotest.fail e
+      | Ok rd ->
+          Alcotest.(check bool) "records survive the disk roundtrip" true
+            (Journal.records rd = sample_records);
+          let s = Journal.stats rd in
+          Alcotest.(check int) "one segment" 1 s.Journal.r_segments;
+          Alcotest.(check int) "no torn tail" 0 s.Journal.r_truncated)
+
+let test_journal_rotation () =
+  with_temp_dir (fun dir ->
+      match Journal.create ~segment_bytes:4096 ~max_segments:2 dir with
+      | Error e -> Alcotest.fail e
+      | Ok w ->
+          (* each access record is ~100 framed bytes: hundreds of
+             appends must rotate and prune down to the newest two *)
+          for i = 1 to 400 do
+            ignore
+              (Journal.append w
+                 (Journal.Access
+                    {
+                      x_at = float_of_int i;
+                      x_line = String.make 80 (Char.chr (65 + (i mod 26)));
+                    }))
+          done;
+          Journal.close w;
+          let segments =
+            Sys.readdir dir |> Array.to_list
+            |> List.filter (fun f -> Filename.check_suffix f ".adj")
+          in
+          Alcotest.(check int) "pruned to max_segments" 2
+            (List.length segments);
+          (match Journal.open_ dir with
+          | Error e -> Alcotest.fail e
+          | Ok rd ->
+              let recs = Journal.records rd in
+              Alcotest.(check bool) "a bounded suffix survives" true
+                (List.length recs > 0 && List.length recs < 400);
+              (* the retained records are the newest, contiguous *)
+              match (recs, List.rev recs) with
+              | ( Journal.Access { x_at = first_at; _ } :: _,
+                  Journal.Access { x_at = last_at; _ } :: _ ) ->
+                  Alcotest.(check (float 0.0)) "suffix ends at the last append"
+                    400.0 last_at;
+                  Alcotest.(check int) "suffix is contiguous"
+                    (List.length recs)
+                    (int_of_float (last_at -. first_at) + 1)
+              | _ -> Alcotest.fail "expected access records"))
+
+let test_journal_torn_tail () =
+  with_temp_dir (fun dir ->
+      (match Journal.create dir with
+      | Error e -> Alcotest.fail e
+      | Ok w ->
+          List.iter (fun r -> ignore (Journal.append w r)) sample_records;
+          Journal.close w);
+      let seg =
+        Sys.readdir dir |> Array.to_list
+        |> List.filter (fun f -> Filename.check_suffix f ".adj")
+        |> List.sort compare |> List.rev |> List.hd
+        |> Filename.concat dir
+      in
+      (* crash mid-write: chop 3 bytes off the newest segment's tail *)
+      let all = read_all seg in
+      Out_channel.with_open_bin seg (fun oc ->
+          Out_channel.output_string oc
+            (String.sub all 0 (String.length all - 3)));
+      (match Journal.open_ dir with
+      | Error e -> Alcotest.fail e
+      | Ok rd ->
+          let expect_whole =
+            List.filteri
+              (fun i _ -> i < List.length sample_records - 1)
+              sample_records
+          in
+          Alcotest.(check bool) "every whole record recovered" true
+            (Journal.records rd = expect_whole);
+          let s = Journal.stats rd in
+          Alcotest.(check int) "torn tail counted" 1 s.Journal.r_truncated;
+          Alcotest.(check bool) "lost bytes counted" true
+            (s.Journal.r_bytes_lost > 0));
+      (* a writer reopening the damaged journal truncates the tear and
+         appends cleanly after the last whole record *)
+      (match Journal.create dir with
+      | Error e -> Alcotest.fail e
+      | Ok w ->
+          ignore (Journal.append w (Journal.Dump_marker { d_at = 9.0 }));
+          Journal.close w);
+      match Journal.open_ dir with
+      | Error e -> Alcotest.fail e
+      | Ok rd ->
+          Alcotest.(check int) "tear healed, append continues"
+            (List.length sample_records)
+            (List.length (Journal.records rd));
+          Alcotest.(check int) "no torn tail after resume" 0
+            (Journal.stats rd).Journal.r_truncated)
+
+(* ---------- OTLP encoding ---------- *)
+
+let test_otlp_shape () =
+  Alcotest.(check int) "trace id is 32 hex chars" 32
+    (String.length (Obs.Otlp.trace_id_hex 7));
+  Alcotest.(check int) "span id is 16 hex chars" 16
+    (String.length (Obs.Otlp.span_id_hex ~trace:7 ~span:0));
+  let store = Rt.create ~sample_rate:1.0 ~max_traces:4 () in
+  (match Rt.begin_with_id store ~id:7 ~now:1.0 with
+  | None -> Alcotest.fail "sample_rate 1 must admit"
+  | Some h ->
+      let p =
+        Rt.add_span store h ~parent:(-1) ~kind:(Rt.Stage Rt.Frame_read)
+          ~node:(-1) ~start:1.0 ~stop:1.1
+      in
+      ignore
+        (Rt.add_span store h ~parent:p ~kind:(Rt.Stage Rt.Shard_plan) ~node:2
+           ~start:1.1 ~stop:1.4);
+      Rt.finish store h ~now:1.5);
+  let reg = Obs.Registry.create () in
+  Obs.Counter.inc ~by:3.0 (Obs.Registry.counter reg "adept_test_total");
+  Obs.Gauge.set (Obs.Registry.gauge reg "adept_test_gauge") 0.5;
+  let hist = Obs.Registry.histogram reg "adept_test_seconds" in
+  Obs.Histogram.record_ex hist 0.25 ~trace_id:7;
+  Obs.Histogram.record hist 0.01;
+  let doc =
+    Obs.Otlp.document
+      ~resource:[ ("service.name", "adept-test") ]
+      ~conn_of:(fun tr -> if tr = 7 then Some 3 else None)
+      ~at:100.0
+      ~exemplars:(Rt.exemplars store)
+      (Obs.Registry.snapshot reg)
+  in
+  (match Json.of_string doc with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("OTLP document is not JSON: " ^ e));
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("document has " ^ needle) true
+        (contains doc needle))
+    [
+      "\"resourceSpans\"";
+      "\"resourceMetrics\"";
+      Obs.Otlp.trace_id_hex 7;
+      "\"adept.conn.id\"";
+      "\"adept.node\"";
+      "\"service.name\"";
+      "\"adept_test_total\"";
+      "\"adept_test_gauge\"";
+      "\"adept_test_seconds\"";
+      "\"explicitBounds\"";
+      "\"exemplars\"";
+      "\"isMonotonic\":true";
+    ];
+  (* a chain head has no parentSpanId member; the child does *)
+  Alcotest.(check bool) "child span carries its parent" true
+    (contains doc
+       ("\"parentSpanId\":\"" ^ Obs.Otlp.span_id_hex ~trace:7 ~span:0 ^ "\""));
+  let doc2 =
+    Obs.Otlp.document
+      ~resource:[ ("service.name", "adept-test") ]
+      ~conn_of:(fun tr -> if tr = 7 then Some 3 else None)
+      ~at:100.0
+      ~exemplars:(Rt.exemplars store)
+      (Obs.Registry.snapshot reg)
+  in
+  Alcotest.(check string) "rendering is deterministic" doc doc2
+
+(* ---------- replay (unit bit-identity) ---------- *)
+
+(* Drive a live trace store and a journal side by side — exactly what
+   the server does — then replay the journal and demand the very bytes
+   the live exporter produced, both at a mid-run dump marker and at the
+   end (reservoir eviction included: 12 finishes into 4 slots). *)
+let test_replay_bit_identical () =
+  with_temp_dir (fun dir ->
+      let w =
+        match Journal.create dir with Ok w -> w | Error e -> Alcotest.fail e
+      in
+      let store = Rt.create ~sample_rate:1.0 ~max_traces:4 ~max_spans:64 () in
+      ignore
+        (Journal.append w
+           (Journal.Meta
+              {
+                m_at = 0.0;
+                m_sample_rate = 1.0;
+                m_max_traces = 4;
+                m_max_spans = 64;
+                m_scrape_interval = 1.0;
+                m_retention = 300.0;
+                m_workers = 1;
+                m_shards = 1;
+              }));
+      let run_request i =
+        let id = 100 + i in
+        let issued = float_of_int i in
+        (* non-monotone durations so the slowest-N reservoir evicts *)
+        let dur = 0.1 +. (float_of_int ((i * 7) mod 5) /. 10.0) in
+        match Rt.begin_with_id store ~id ~now:issued with
+        | None -> Alcotest.fail "must sample"
+        | Some h ->
+            ignore
+              (Journal.append w
+                 (Journal.Begin_request
+                    { b_at = issued; b_trace = id; b_sampled = true }));
+            let p =
+              Rt.add_span store h ~parent:(-1) ~kind:(Rt.Stage Rt.Frame_read)
+                ~node:(-1) ~start:issued ~stop:(issued +. 0.01)
+            in
+            ignore
+              (Rt.add_span store h ~parent:p ~kind:(Rt.Stage Rt.Shard_plan)
+                 ~node:(i mod 3) ~start:(issued +. 0.01)
+                 ~stop:(issued +. dur));
+            let spans_n = Rt.span_count h in
+            ignore spans_n;
+            let tr = Rt.finish_trace store h ~now:(issued +. dur) in
+            ignore
+              (Journal.append w
+                 (Journal.Finish
+                    {
+                      f_at = issued +. dur;
+                      f_trace = id;
+                      f_issued = issued;
+                      f_conn = 1;
+                      f_spans = Option.map (fun t -> t.Rt.tr_spans) tr;
+                      f_dropped_spans = Rt.dropped_spans store;
+                    }))
+      in
+      for i = 1 to 6 do run_request i done;
+      let live_at_dump = Obs.Export.chrome_trace store in
+      ignore (Journal.append w (Journal.Dump_marker { d_at = 6.9 }));
+      for i = 7 to 12 do run_request i done;
+      let live_at_end = Obs.Export.chrome_trace store in
+      Journal.close w;
+      let rd =
+        match Journal.open_ dir with Ok r -> r | Error e -> Alcotest.fail e
+      in
+      let records = Journal.records rd in
+      let at_dump = Obs.Replay.run ~cut:(Obs.Replay.At_dump 1) records in
+      Alcotest.(check string) "dump-cut chrome trace is byte-identical"
+        live_at_dump at_dump.Obs.Replay.rp_chrome;
+      let at_end = Obs.Replay.run records in
+      Alcotest.(check string) "end-of-journal chrome trace is byte-identical"
+        live_at_end at_end.Obs.Replay.rp_chrome;
+      Alcotest.(check int) "replay saw every request" 12
+        at_end.Obs.Replay.rp_seen;
+      Alcotest.(check int) "reservoir eviction reproduced" 4
+        at_end.Obs.Replay.rp_retained;
+      Alcotest.(check bool) "summary renders" true
+        (String.length
+           (Obs.Replay.summary ~stats:(Journal.stats rd) at_end)
+        > 0))
+
+(* ---------- recorder over the live server ---------- *)
+
+let test_recorder_byte_identical () =
+  (* the serving invariant extends to the recorder: responses are
+     byte-identical with the journal and OTLP push on or off *)
+  let payloads =
+    List.map Proto.encode_request
+      [
+        { Proto.id = 1; trace = Some 201; request = plan_syn8 };
+        { Proto.id = 2; trace = Some 202; request = plan_syn8 };
+        { Proto.id = 3; trace = None; request = plan_syn8 };
+        {
+          Proto.id = 4;
+          trace = Some 204;
+          request =
+            Proto.Replan
+              {
+                r_spec = syn8;
+                r_dgemm = 310;
+                r_demand = None;
+                r_strategy = "heuristic";
+                r_failed = [ 1 ];
+              };
+        };
+      ]
+  in
+  let plain = with_server (fun addr -> collect_raw_replies addr payloads) in
+  let recorded =
+    with_temp_dir (fun dir ->
+        let otlp = Filename.concat dir "otlp.json" in
+        with_server
+          ~extra_env:
+            [
+              server_obs_var ^ "=1";
+              server_journal_var ^ "=" ^ Filename.concat dir "journal";
+              server_otlp_var ^ "=" ^ otlp;
+            ]
+          (fun addr -> collect_raw_replies addr payloads))
+  in
+  List.iteri
+    (fun i (a, b) ->
+      Alcotest.(check string)
+        (Printf.sprintf "reply %d byte-identical with the recorder on" i)
+        a b)
+    (List.combine plain recorded)
+
+let test_replay_matches_live_server () =
+  with_temp_dir (fun dir ->
+      let journal_dir = Filename.concat dir "journal" in
+      let otlp = Filename.concat dir "otlp.json" in
+      let live_chrome = ref "" and live_otlp = ref "" in
+      with_server
+        ~extra_env:
+          [
+            server_obs_var ^ "=2";
+            server_journal_var ^ "=" ^ journal_dir;
+            server_otlp_var ^ "=" ^ otlp;
+          ]
+        (fun addr ->
+          let c =
+            match Client.connect_retry ~trace_base:2_000 addr with
+            | Ok c -> c
+            | Error e -> Alcotest.fail e
+          in
+          ignore (Client.call c plan_syn8);
+          ignore (Client.call c plan_syn8);
+          (match Client.call c Proto.Trace_dump with
+          | Ok (Proto.Trace_ok { chrome }) -> live_chrome := chrome
+          | _ -> Alcotest.fail "expected Trace_ok");
+          (match Client.call c Proto.Otlp_dump with
+          | Ok (Proto.Otlp_ok { otlp }) -> live_otlp := otlp
+          | _ -> Alcotest.fail "expected Otlp_ok");
+          (* per-connection aggregation is live in stats *)
+          (match Client.call c Proto.Stats with
+          | Ok (Proto.Stats_ok { live = Some l; _ }) -> (
+              match l.Proto.connections with
+              | [ conn ] ->
+                  Alcotest.(check bool) "requests aggregated" true
+                    (conn.Proto.conn_requests >= 4);
+                  Alcotest.(check bool) "spans aggregated" true
+                    (conn.Proto.conn_spans > conn.Proto.conn_requests);
+                  Alcotest.(check bool) "seconds aggregated" true
+                    (conn.Proto.conn_seconds > 0.0)
+              | l ->
+                  Alcotest.fail
+                    (Printf.sprintf "expected one connection, got %d"
+                       (List.length l)))
+          | _ -> Alcotest.fail "expected live stats");
+          Client.close c);
+      (* the server has drained: replay its journal *)
+      let rd =
+        match Journal.open_ journal_dir with
+        | Ok r -> r
+        | Error e -> Alcotest.fail e
+      in
+      let records = Journal.records rd in
+      Alcotest.(check int) "no torn tail after a clean drain" 0
+        (Journal.stats rd).Journal.r_truncated;
+      let at_dump = Obs.Replay.run ~cut:(Obs.Replay.At_dump 1) records in
+      Alcotest.(check string)
+        "replayed chrome trace is byte-identical to the live dump"
+        !live_chrome at_dump.Obs.Replay.rp_chrome;
+      (* the live OTLP dump's spans carry the same retained trace ids *)
+      (match Json.of_string !live_otlp with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail ("live OTLP dump is not JSON: " ^ e));
+      Alcotest.(check bool) "OTLP dump carries resource attributes" true
+        (contains !live_otlp "\"adept-serve\"");
+      (* the scrape-cadence OTLP file was written (teardown forces one) *)
+      let pushed = read_all otlp in
+      (match Json.of_string pushed with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail ("pushed OTLP file is not JSON: " ^ e));
+      Alcotest.(check bool) "pushed document has spans and metrics" true
+        (contains pushed "\"resourceSpans\""
+        && contains pushed "\"resourceMetrics\"");
+      (* access lines in the journal match the replay byte-verbatim
+         (the full-journal replay carries every line) *)
+      let full = Obs.Replay.run records in
+      Alcotest.(check bool) "replayed access log has the plan lines" true
+        (contains full.Obs.Replay.rp_access "\"method\":\"plan\""))
+
 (* Regenerate the golden transcript instead of running the suite:
    SERVE_GOLDEN_OUT=/path/to/serve_session.jsonl ./test_serve.exe *)
 let () =
@@ -1564,5 +2119,21 @@ let () =
           Alcotest.test_case "prometheus snapshot" `Quick test_prom_snapshot;
           Alcotest.test_case "alert timeline (golden)" `Quick
             test_alert_timeline_golden;
+        ] );
+      ( "flight-recorder",
+        [
+          Alcotest.test_case "clock edges" `Quick test_clock_edges;
+          Alcotest.test_case "journal codec and disk roundtrip" `Quick
+            test_journal_roundtrip;
+          Alcotest.test_case "segment rotation and pruning" `Quick
+            test_journal_rotation;
+          Alcotest.test_case "torn tail recovery" `Quick test_journal_torn_tail;
+          Alcotest.test_case "otlp document shape" `Quick test_otlp_shape;
+          Alcotest.test_case "replay is bit-identical (unit)" `Quick
+            test_replay_bit_identical;
+          Alcotest.test_case "replies byte-identical with the recorder on"
+            `Quick test_recorder_byte_identical;
+          Alcotest.test_case "replay matches the live server" `Quick
+            test_replay_matches_live_server;
         ] );
     ]
